@@ -1,0 +1,111 @@
+// ABL1 — ablation for the TorchScript-analog StaticExecutor (the mechanism
+// behind Figure 3's backend choices): elementwise-chain fusion + early buffer
+// release vs the eager executor, on (a) a synthetic pointwise chain and
+// (b) TPC-H Q1/Q6 expression-heavy queries.
+//
+// Usage: abl_fusion [scale_factor]   (default 0.1)
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "compile/compiler.h"
+#include "graph/static_executor.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+using namespace tqp;  // NOLINT: bench binary
+
+namespace {
+
+// A Q6-like pointwise chain over one big column: ((x*a+b)*x - c) clamped,
+// compared, combined — 12 fusible nodes.
+std::shared_ptr<TensorProgram> MakeChainProgram() {
+  auto program = std::make_shared<TensorProgram>();
+  const int x = program->AddInput("x");
+  auto constant = [&](double v) {
+    return program->AddConstant(
+        Tensor::Full(DType::kFloat64, 1, 1, v).ValueOrDie(), "c");
+  };
+  auto binary = [&](BinaryOpKind op, int a, int b) {
+    AttrMap attrs;
+    attrs.Set("op", static_cast<int64_t>(op));
+    return program->AddNode(OpType::kBinary, {a, b}, attrs);
+  };
+  auto compare = [&](CompareOpKind op, int a, int b) {
+    AttrMap attrs;
+    attrs.Set("op", static_cast<int64_t>(op));
+    return program->AddNode(OpType::kCompare, {a, b}, attrs);
+  };
+  int t = binary(BinaryOpKind::kMul, x, constant(1.0001));
+  t = binary(BinaryOpKind::kAdd, t, constant(3.5));
+  t = binary(BinaryOpKind::kMul, t, x);
+  t = binary(BinaryOpKind::kSub, t, constant(0.25));
+  t = binary(BinaryOpKind::kMin, t, constant(1e9));
+  t = binary(BinaryOpKind::kMax, t, constant(-1e9));
+  const int gt = compare(CompareOpKind::kGt, t, constant(0.0));
+  const int lt = compare(CompareOpKind::kLt, t, constant(100.0));
+  AttrMap and_attr;
+  and_attr.Set("op", static_cast<int64_t>(LogicalOpKind::kAnd));
+  const int mask = program->AddNode(OpType::kLogical, {gt, lt}, and_attr);
+  const int where = program->AddNode(OpType::kWhere, {mask, t, constant(0.0)});
+  AttrMap sum_attr;
+  sum_attr.Set("op", static_cast<int64_t>(ReduceOpKind::kSum));
+  const int sum = program->AddNode(OpType::kReduceAll, {where}, sum_attr);
+  program->MarkOutput(sum);
+  return program;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double sf = bench::ScaleFactorArg(argc, argv, 0.1);
+  bench::PrintHeader("ABL1: static (fused) vs eager executor");
+
+  // (a) Synthetic pointwise chain at several sizes.
+  std::printf("\nsynthetic 10-op pointwise chain:\n");
+  std::printf("%10s %12s %12s %9s %7s\n", "rows", "eager (ms)", "static (ms)",
+              "speedup", "groups");
+  auto program = MakeChainProgram();
+  for (int64_t n : {100000L, 1000000L, 4000000L}) {
+    Tensor x = Tensor::Full(DType::kFloat64, n, 1, 1.5).ValueOrDie();
+    auto eager = MakeExecutor(ExecutorTarget::kEager, program).ValueOrDie();
+    auto fused = MakeExecutor(ExecutorTarget::kStatic, program).ValueOrDie();
+    const double eager_sec =
+        bench::MedianTime([&] { TQP_CHECK_OK(eager->Run({x}).status()); });
+    const double static_sec =
+        bench::MedianTime([&] { TQP_CHECK_OK(fused->Run({x}).status()); });
+    const auto* st = static_cast<const StaticExecutor*>(fused.get());
+    std::printf("%10lld %12.3f %12.3f %8.2fx %7d\n", static_cast<long long>(n),
+                eager_sec * 1e3, static_sec * 1e3, eager_sec / static_sec,
+                st->num_fusion_groups());
+  }
+
+  // (b) TPC-H Q1 and Q6 (expression heavy).
+  Catalog catalog;
+  tpch::DbgenOptions gen;
+  gen.scale_factor = sf;
+  TQP_CHECK_OK(tpch::GenerateAll(gen, &catalog));
+  QueryCompiler compiler;
+  std::printf("\nTPC-H at SF %.3f:\n", sf);
+  std::printf("%6s %12s %12s %9s\n", "query", "eager (ms)", "static (ms)",
+              "speedup");
+  for (int q : {1, 6}) {
+    const std::string sql = tpch::QueryText(q).ValueOrDie();
+    CompileOptions eager_options;
+    eager_options.target = ExecutorTarget::kEager;
+    CompiledQuery eager = compiler.CompileSql(sql, catalog, eager_options)
+                              .ValueOrDie();
+    CompileOptions static_options;
+    static_options.target = ExecutorTarget::kStatic;
+    CompiledQuery fused = compiler.CompileSql(sql, catalog, static_options)
+                              .ValueOrDie();
+    std::vector<Tensor> inputs = eager.CollectInputs(catalog).ValueOrDie();
+    const double eager_sec = bench::MedianTime(
+        [&] { TQP_CHECK_OK(eager.RunWithInputs(inputs).status()); });
+    const double static_sec = bench::MedianTime(
+        [&] { TQP_CHECK_OK(fused.RunWithInputs(inputs).status()); });
+    std::printf("Q%-5d %12.3f %12.3f %8.2fx\n", q, eager_sec * 1e3,
+                static_sec * 1e3, eager_sec / static_sec);
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// ABL4 — Hummingbird strategy ablation (the tree-compilation machinery TQP
+// inherits for PREDICT): GEMM vs TreeTraversal across tree depth and batch
+// size, on CPU wall time and on the simulated-GPU clock. Expected shape (as
+// in the Hummingbird paper): GEMM wins for shallow trees / accelerators
+// (dense compute), traversal wins as depth grows (GEMM cost is O(2^depth)
+// per row, traversal O(depth)).
+//
+// Usage: abl_hummingbird [batch_thousands]   (default 50 -> 50k rows)
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "graph/executor.h"
+#include "ml/tree.h"
+
+using namespace tqp;  // NOLINT: bench binary
+
+int main(int argc, char** argv) {
+  const double arg = bench::ScaleFactorArg(argc, argv, 50);
+  const int64_t batch = static_cast<int64_t>(arg * 1000);
+  bench::PrintHeader("ABL4: Hummingbird GEMM vs TreeTraversal");
+  const int64_t d = 16;
+  Rng rng(9);
+  Tensor x = Tensor::Empty(DType::kFloat64, batch, d).ValueOrDie();
+  for (int64_t i = 0; i < batch * d; ++i) {
+    x.mutable_data<double>()[i] = rng.UniformDouble(-1, 1);
+  }
+  // Train targets correlated with a few features so trees grow to max depth.
+  std::printf("%lld rows, %lld features\n\n", static_cast<long long>(batch),
+              static_cast<long long>(d));
+  std::printf("%6s %7s %7s %12s %12s %15s %15s\n", "depth", "nodes", "leaves",
+              "gemm (ms)", "trav (ms)", "gemm gpu (ms)", "trav gpu (ms)");
+  for (int depth : {2, 4, 6, 8, 10}) {
+    Tensor y = Tensor::Empty(DType::kFloat64, batch, 1).ValueOrDie();
+    Rng noise(17);
+    for (int64_t i = 0; i < batch; ++i) {
+      double v = 0;
+      for (int64_t f = 0; f < d; ++f) {
+        v += (x.at<double>(i, f) > 0.1 * static_cast<double>(f % 7) ? 1.0 : -0.5);
+      }
+      y.mutable_data<double>()[i] = v + noise.NextGaussian() * 0.1;
+    }
+    ml::DecisionTree::FitOptions options;
+    options.max_depth = depth;
+    options.min_samples_leaf = 1;
+    ml::DecisionTree tree = ml::DecisionTree::Fit(x, y, options).ValueOrDie();
+
+    double wall[2];
+    double sim[2];
+    for (ml::TreeStrategy strategy :
+         {ml::TreeStrategy::kGemm, ml::TreeStrategy::kTreeTraversal}) {
+      auto program = std::make_shared<TensorProgram>();
+      const int input = program->AddInput("x");
+      const int out =
+          ml::BuildTreeGraph(program.get(), input, tree, strategy, "tree")
+              .ValueOrDie();
+      program->MarkOutput(out);
+      auto executor = MakeExecutor(ExecutorTarget::kStatic, program).ValueOrDie();
+      const int idx = strategy == ml::TreeStrategy::kGemm ? 0 : 1;
+      wall[idx] =
+          bench::MedianTime([&] { TQP_CHECK_OK(executor->Run({x}).status()); },
+                            bench::TimingProtocol{2, 5});
+      ExecOptions gpu;
+      gpu.device = DeviceKind::kCudaSim;
+      auto gpu_exec =
+          MakeExecutor(ExecutorTarget::kStatic, program, gpu).ValueOrDie();
+      Device* dev = GetDevice(DeviceKind::kCudaSim);
+      dev->ResetClock();
+      TQP_CHECK_OK(gpu_exec->Run({x}).status());
+      sim[idx] = dev->simulated_seconds();
+    }
+    std::printf("%6d %7zu %7d %12.3f %12.3f %15.3f %15.3f\n", depth,
+                tree.nodes().size(), tree.num_leaves(), wall[0] * 1e3,
+                wall[1] * 1e3, sim[0] * 1e3, sim[1] * 1e3);
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// ABL2 — join algorithm ablation: the paper's tensor-friendly
+// sort+searchsorted join (what the TQP compiler emits) vs a classic CPU
+// build+probe hash join, across build/probe sizes and key skew.
+//
+// Usage: abl_join [scale]   (scales the base row counts; default 1)
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "operators/hash_join.h"
+
+using namespace tqp;  // NOLINT: bench binary
+
+namespace {
+
+Tensor RandomKeys(int64_t n, int64_t domain, double zipf_theta, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t = Tensor::Empty(DType::kInt64, n, 1).ValueOrDie();
+  int64_t* p = t.mutable_data<int64_t>();
+  for (int64_t i = 0; i < n; ++i) {
+    p[i] = zipf_theta > 0 ? rng.Zipf(domain, zipf_theta) : rng.Uniform(0, domain - 1);
+  }
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::ScaleFactorArg(argc, argv, 1.0);
+  bench::PrintHeader("ABL2: sort-merge (searchsorted) vs hash join");
+  std::printf("%10s %10s %6s %16s %12s %9s %10s\n", "probe", "build", "skew",
+              "sort-merge (ms)", "hash (ms)", "sm/hash", "out rows");
+  struct Config {
+    int64_t probe;
+    int64_t build;
+    double zipf;
+  };
+  const Config configs[] = {
+      {100000, 1000, 0.0},   {100000, 100000, 0.0}, {1000000, 10000, 0.0},
+      {1000000, 1000000, 0.0}, {1000000, 10000, 0.8},
+  };
+  for (const Config& cfg : configs) {
+    const auto probe_n = static_cast<int64_t>(static_cast<double>(cfg.probe) * scale);
+    const auto build_n = static_cast<int64_t>(static_cast<double>(cfg.build) * scale);
+    Tensor probe = RandomKeys(probe_n, build_n, cfg.zipf, 1);
+    Tensor build = RandomKeys(build_n, build_n, 0.0, 2);
+    int64_t out_rows = 0;
+    const double sm_sec = bench::MedianTime(
+        [&] {
+          auto r = op::SortMergeJoinIndices(probe, build).ValueOrDie();
+          out_rows = r.left_ids.rows();
+        },
+        bench::TimingProtocol{2, 5});
+    const double hash_sec = bench::MedianTime(
+        [&] { TQP_CHECK_OK(op::HashJoinIndices(probe, build).status()); },
+        bench::TimingProtocol{2, 5});
+    std::printf("%10lld %10lld %6.1f %16.3f %12.3f %8.2fx %10lld\n",
+                static_cast<long long>(probe_n), static_cast<long long>(build_n),
+                cfg.zipf, sm_sec * 1e3, hash_sec * 1e3, sm_sec / hash_sec,
+                static_cast<long long>(out_rows));
+  }
+  std::printf("\n(the compiler defaults to sort-merge because it is the "
+              "GPU-expressible formulation; hash wins on CPU for small build "
+              "sides — the classic trade-off)\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// ABL6 — semi/anti join compilation strategies. The compiler has two
+// lowerings for EXISTS / IN subqueries:
+//   fast path   : sort build side, searchsorted counts, mask = counts > 0
+//                 (no pair materialization; possible when the correlation is
+//                  pure equality over a single numeric key)
+//   general path: expand all candidate pairs, evaluate the residual
+//                 predicate, segmented-sum verified matches per left row
+//                 (required for Q21-style non-equality correlation)
+// This ablation measures the price of the general path as the average match
+// multiplicity grows: the fast path is O(n log n) regardless, while the
+// expansion is O(#pairs). Run with a residual that is always true so both
+// paths compute the same result.
+//
+// Usage: abl_semijoin [left_rows_in_millions]   (default 0.5)
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "baseline/volcano.h"
+#include "compile/compiler.h"
+#include "relational/table_builder.h"
+
+using namespace tqp;  // NOLINT: bench binary
+
+namespace {
+
+Table MakeTable(Rng* rng, int64_t rows, int64_t key_domain) {
+  Schema schema({Field{"k", LogicalType::kInt64},
+                 Field{"v", LogicalType::kFloat64}});
+  TableBuilder b(schema);
+  for (int64_t i = 0; i < rows; ++i) {
+    b.AppendInt(0, rng->Uniform(0, key_domain - 1));
+    b.AppendDouble(1, rng->UniformDouble(0, 100));
+  }
+  return b.Finish().ValueOrDie();
+}
+
+double RunQuery(const std::string& sql, const Catalog& catalog, int64_t* rows) {
+  QueryCompiler compiler;
+  CompiledQuery query =
+      compiler.CompileSql(sql, catalog, CompileOptions{}).ValueOrDie();
+  std::vector<Tensor> inputs = query.CollectInputs(catalog).ValueOrDie();
+  Table result;
+  const double sec = bench::MedianTime(
+      [&] { result = query.RunWithInputs(inputs).ValueOrDie(); },
+      bench::TimingProtocol{2, 3});
+  *rows = result.num_rows();
+  return sec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::ScaleFactorArg(argc, argv, 0.5);
+  const auto left_rows = static_cast<int64_t>(scale * 1e6);
+  bench::PrintHeader("ABL6: semi-join fast path vs general pair expansion");
+  std::printf("left side %lld rows; right side sized for the target match "
+              "multiplicity\n\n",
+              static_cast<long long>(left_rows));
+  std::printf("%12s %12s %14s %16s %9s %9s\n", "multiplicity", "right rows",
+              "fast path(ms)", "expansion (ms)", "ratio", "equal");
+
+  Rng rng(61314);
+  for (const int64_t multiplicity : {1, 2, 4, 8, 16}) {
+    const int64_t key_domain = left_rows / 4;
+    const int64_t right_rows = key_domain * multiplicity;
+    Catalog catalog;
+    catalog.RegisterTable("l", MakeTable(&rng, left_rows, key_domain));
+    catalog.RegisterTable("r", MakeTable(&rng, right_rows, key_domain));
+
+    // Identical semantics; the always-true residual forces the general path.
+    const std::string fast_sql =
+        "SELECT COUNT(*) AS n FROM l WHERE EXISTS "
+        "(SELECT * FROM r WHERE r.k = l.k)";
+    const std::string general_sql =
+        "SELECT COUNT(*) AS n FROM l WHERE EXISTS "
+        "(SELECT * FROM r WHERE r.k = l.k AND r.v >= l.v - 1000)";
+    int64_t fast_rows = 0;
+    int64_t general_rows = 0;
+    VolcanoEngine oracle_engine(&catalog);
+    const int64_t fast_n = oracle_engine.ExecuteSql(fast_sql)
+                               .ValueOrDie()
+                               .column(0)
+                               .GetScalar(0)
+                               .AsInt64();
+    const int64_t gen_n = oracle_engine.ExecuteSql(general_sql)
+                              .ValueOrDie()
+                              .column(0)
+                              .GetScalar(0)
+                              .AsInt64();
+    const double fast_sec = RunQuery(fast_sql, catalog, &fast_rows);
+    const double general_sec = RunQuery(general_sql, catalog, &general_rows);
+    std::printf("%12lld %12lld %14.3f %16.3f %8.2fx %9s\n",
+                static_cast<long long>(multiplicity),
+                static_cast<long long>(right_rows), fast_sec * 1e3,
+                general_sec * 1e3, general_sec / fast_sec,
+                fast_n == gen_n ? "yes" : "NO");
+  }
+  std::printf(
+      "\n(the compiler picks the fast path automatically whenever the\n"
+      " correlation is a pure single-key equality; the expansion price is\n"
+      " what Q21-style residual correlation costs)\n");
+  return 0;
+}

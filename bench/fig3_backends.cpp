@@ -1,0 +1,66 @@
+// FIG3 — reproduces Figure 3 of the paper: the same query (TPC-H Q6) is
+// compiled once per backend/device with a one-line option change, and all
+// backends produce the same result. Prints the full executor-target x device
+// matrix with timings, demonstrating the portability claim.
+//
+// Usage: fig3_backends [scale_factor]   (default 0.05)
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "compile/compiler.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+using namespace tqp;  // NOLINT: bench binary
+
+int main(int argc, char** argv) {
+  const double sf = bench::ScaleFactorArg(argc, argv, 0.05);
+  bench::PrintHeader("Figure 3: one-line backend/device switch (TPC-H Q6)");
+  Catalog catalog;
+  tpch::DbgenOptions gen;
+  gen.scale_factor = sf;
+  TQP_CHECK_OK(tpch::GenerateAll(gen, &catalog));
+  const std::string sql = tpch::QueryText(6).ValueOrDie();
+  QueryCompiler compiler;
+
+  // Reference answer for the "same correct result" check.
+  CompiledQuery reference = compiler.CompileSql(sql, catalog).ValueOrDie();
+  Table expected = reference.Run(catalog).ValueOrDie();
+  const double expected_revenue = expected.column(0).tensor().at<double>(0);
+  std::printf("scale factor %.3f; Q6 revenue = %.2f\n\n", sf, expected_revenue);
+
+  std::printf("%-10s %-10s %14s %16s  %s\n", "target", "device", "wall (ms)",
+              "sim clock (ms)", "result");
+  for (ExecutorTarget target :
+       {ExecutorTarget::kEager, ExecutorTarget::kStatic, ExecutorTarget::kInterp}) {
+    for (DeviceKind device : {DeviceKind::kCpu, DeviceKind::kCudaSim}) {
+      if (target == ExecutorTarget::kInterp && device == DeviceKind::kCudaSim) {
+        continue;  // browser backend targets CPU (see paper footnote 2)
+      }
+      // The paper's point: switching backend is one line.
+      CompileOptions options;
+      options.target = target;  // <- the one line
+      options.device = device;  // <- and the other one line
+      CompiledQuery query = compiler.CompileSql(sql, catalog, options).ValueOrDie();
+      std::vector<Tensor> inputs = query.CollectInputs(catalog).ValueOrDie();
+      Device* dev = GetDevice(device);
+      double sim = 0;
+      Table result;
+      const double wall = bench::MedianTime([&] {
+        dev->ResetClock();
+        result = query.RunWithInputs(inputs).ValueOrDie();
+        sim = dev->simulated_seconds();
+      });
+      const bool same = TablesEqualUnordered(result, expected).ok();
+      std::printf("%-10s %-10s %14.3f %16.3f  %s\n", ExecutorTargetName(target),
+                  DeviceKindName(device), wall * 1e3,
+                  dev->is_simulated() ? sim * 1e3 : 0.0,
+                  same ? "identical" : "MISMATCH");
+    }
+  }
+  std::printf("\nbytecode export: the interp target serialized the program to "
+              "the portable format (ONNX-analog) and reloaded it before "
+              "execution.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// FIG4 — reproduces Figure 4 of the paper: the prediction query
+//
+//   SELECT brand,
+//          SUM(CASE WHEN rating >= 3 THEN 1 ELSE 0 END) AS actual_positive,
+//          SUM(PREDICT('sentiment_classifier', text))   AS predicted_positive
+//   FROM amazon_reviews GROUP BY brand
+//
+// compiled into ONE tensor program (relational operators + tokenizer +
+// embedding + MLP + threshold + aggregation), executed end-to-end, and the
+// executor graph exported as Graphviz DOT (/tmp/tqp_fig4_executor.dot) — the
+// stand-in for the interactive TensorBoard graph of the paper.
+//
+// Usage: fig4_prediction [num_reviews_thousands]   (default 20 -> 20k rows)
+
+#include <cstdio>
+#include <fstream>
+
+#include "baseline/volcano.h"
+#include "bench_util.h"
+#include "compile/compiler.h"
+#include "datasets/reviews.h"
+#include "ml/text.h"
+
+using namespace tqp;  // NOLINT: bench binary
+
+int main(int argc, char** argv) {
+  const double arg = bench::ScaleFactorArg(argc, argv, 20);
+  const int64_t num_reviews = static_cast<int64_t>(arg * 1000);
+  bench::PrintHeader("Figure 4: prediction query as one tensor program");
+
+  Catalog catalog;
+  datasets::ReviewsOptions review_options;
+  review_options.num_reviews = num_reviews;
+  catalog.RegisterTable("amazon_reviews",
+                        datasets::ReviewsTable(review_options).ValueOrDie());
+  ml::ModelRegistry registry;
+  {
+    std::vector<std::string> texts;
+    std::vector<double> labels;
+    datasets::GenerateReviewTexts(2000, 31, &texts, &labels);
+    registry.Register(
+        ml::SentimentClassifier::Fit("sentiment_classifier", texts, labels)
+            .ValueOrDie());
+  }
+  const std::string sql =
+      "SELECT brand, "
+      "SUM(CASE WHEN rating >= 3 THEN 1 ELSE 0 END) AS actual_positive, "
+      "SUM(PREDICT('sentiment_classifier', text)) AS predicted_positive "
+      "FROM amazon_reviews GROUP BY brand ORDER BY brand";
+
+  QueryCompiler compiler(&registry);
+  CompiledQuery query = compiler.CompileSql(sql, catalog).ValueOrDie();
+  std::printf("%lld reviews; tensor program has %d nodes "
+              "(relational + ML fused into one graph)\n",
+              static_cast<long long>(num_reviews), query.program().num_nodes());
+
+  // Export the executor graph (the Figure 4 artifact).
+  const std::string dot = query.ToDot("fig4_prediction_query");
+  std::ofstream out("/tmp/tqp_fig4_executor.dot");
+  out << dot;
+  std::printf("executor graph written to /tmp/tqp_fig4_executor.dot "
+              "(render: dot -Tsvg)\n\n");
+
+  std::vector<Tensor> inputs = query.CollectInputs(catalog).ValueOrDie();
+  Table result;
+  const double tqp_sec =
+      bench::MedianTime([&] { result = query.RunWithInputs(inputs).ValueOrDie(); });
+  std::printf("%s\n", result.ToString().c_str());
+
+  VolcanoEngine volcano(&catalog, &registry);
+  PlanPtr plan = PlanQuery(sql, catalog, {}, &registry).ValueOrDie();
+  Table oracle;
+  const double volcano_sec = bench::MedianTime(
+      [&] { oracle = volcano.Execute(plan).ValueOrDie(); },
+      bench::TimingProtocol{1, 3});
+  std::printf("TQP (one tensor program):   %8.3f ms\n", tqp_sec * 1e3);
+  std::printf("row engine + per-row model: %8.3f ms (%.1fx slower)\n",
+              volcano_sec * 1e3, volcano_sec / tqp_sec);
+  std::printf("results identical: %s\n",
+              TablesEqualUnordered(result, oracle).ok() ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,182 @@
+// Interactive SQL shell over TQP: loads the TPC-H catalog at a chosen scale
+// factor and compiles each typed statement into a tensor program, mirroring
+// the paper's notebook experience (type a query, watch it run on the engine
+// and backend of your choice).
+//
+// Usage: sql_shell [scale_factor]          (default 0.01)
+//
+// Shell commands (everything else is SQL):
+//   \backend eager|static|interp    choose the tensor executor
+//   \device cpu|gpu                 choose the device (gpu = simulator)
+//   \engine tqp|volcano|columnar    choose the engine family
+//   \plan <sql>                     print the optimized physical plan
+//   \program <sql>                  print the compiled tensor program ops
+//   \tables                         list catalog tables
+//   \q <n>                          run TPC-H query n
+//   quit                            exit
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "baseline/columnar.h"
+#include "baseline/volcano.h"
+#include "common/stopwatch.h"
+#include "compile/compiler.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+using namespace tqp;  // NOLINT: example code
+
+namespace {
+
+struct ShellState {
+  ExecutorTarget target = ExecutorTarget::kStatic;
+  DeviceKind device = DeviceKind::kCpu;
+  std::string engine = "tqp";
+};
+
+void RunSql(const std::string& sql, const Catalog& catalog, ShellState* state) {
+  Stopwatch watch;
+  Result<Table> result_or = Status::Internal("unset");
+  double compile_ms = 0;
+  if (state->engine == "volcano") {
+    VolcanoEngine volcano(&catalog);
+    watch.Reset();
+    result_or = volcano.ExecuteSql(sql);
+  } else if (state->engine == "columnar") {
+    ColumnarEngine columnar(&catalog);
+    watch.Reset();
+    result_or = columnar.ExecuteSql(sql);
+  } else {
+    QueryCompiler compiler;
+    CompileOptions options;
+    options.target = state->target;
+    options.device = state->device;
+    watch.Reset();
+    auto compiled_or = compiler.CompileSql(sql, catalog, options);
+    compile_ms = watch.ElapsedSeconds() * 1e3;
+    if (!compiled_or.ok()) {
+      std::printf("error: %s\n", compiled_or.status().ToString().c_str());
+      return;
+    }
+    if (state->device == DeviceKind::kCudaSim) {
+      GetDevice(DeviceKind::kCudaSim)->ResetClock();
+    }
+    watch.Reset();
+    result_or = compiled_or.ValueOrDie().Run(catalog);
+  }
+  const double exec_ms = watch.ElapsedSeconds() * 1e3;
+  if (!result_or.ok()) {
+    std::printf("error: %s\n", result_or.status().ToString().c_str());
+    return;
+  }
+  Table result = std::move(result_or).ValueOrDie();
+  // Print at most 20 rows (ToString already truncates large tables).
+  std::printf("%s", result.ToString(20).c_str());
+  std::printf("(%lld rows)  compile %.2f ms, execute %.2f ms",
+              static_cast<long long>(result.num_rows()), compile_ms, exec_ms);
+  if (state->engine == "tqp" && state->device == DeviceKind::kCudaSim) {
+    std::printf(", simulated GPU clock %.3f ms",
+                GetDevice(DeviceKind::kCudaSim)->simulated_seconds() * 1e3);
+  }
+  std::printf("\n");
+}
+
+void PrintPlanOrProgram(const std::string& sql, const Catalog& catalog,
+                        bool program, const ShellState& state) {
+  auto plan_or = PlanQuery(sql, catalog);
+  if (!plan_or.ok()) {
+    std::printf("error: %s\n", plan_or.status().ToString().c_str());
+    return;
+  }
+  if (!program) {
+    std::printf("%s", plan_or.ValueOrDie()->ToString().c_str());
+    return;
+  }
+  QueryCompiler compiler;
+  CompileOptions options;
+  options.target = state.target;
+  options.device = state.device;
+  auto compiled_or = compiler.Compile(plan_or.ValueOrDie(), options);
+  if (!compiled_or.ok()) {
+    std::printf("error: %s\n", compiled_or.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", compiled_or.ValueOrDie().program().ToString().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double sf = argc > 1 ? std::stod(argv[1]) : 0.01;
+  Catalog catalog;
+  tpch::DbgenOptions gen;
+  gen.scale_factor = sf;
+  TQP_CHECK_OK(tpch::GenerateAll(gen, &catalog));
+  std::printf("TQP shell — TPC-H catalog at SF %.3f. Type \\tables, SQL, or quit.\n",
+              sf);
+
+  ShellState state;
+  std::string line;
+  while (true) {
+    std::printf("tqp[%s/%s/%s]> ", state.engine.c_str(),
+                ExecutorTargetName(state.target),
+                state.device == DeviceKind::kCpu ? "cpu" : "gpu-sim");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "quit" || line == "exit" || line == "\\q!") break;
+    if (line.rfind("\\backend ", 0) == 0) {
+      const std::string b = line.substr(9);
+      if (b == "eager") state.target = ExecutorTarget::kEager;
+      else if (b == "static") state.target = ExecutorTarget::kStatic;
+      else if (b == "interp") state.target = ExecutorTarget::kInterp;
+      else std::printf("unknown backend '%s'\n", b.c_str());
+      continue;
+    }
+    if (line.rfind("\\device ", 0) == 0) {
+      const std::string d = line.substr(8);
+      if (d == "cpu") state.device = DeviceKind::kCpu;
+      else if (d == "gpu") state.device = DeviceKind::kCudaSim;
+      else std::printf("unknown device '%s'\n", d.c_str());
+      continue;
+    }
+    if (line.rfind("\\engine ", 0) == 0) {
+      const std::string e = line.substr(8);
+      if (e == "tqp" || e == "volcano" || e == "columnar") state.engine = e;
+      else std::printf("unknown engine '%s'\n", e.c_str());
+      continue;
+    }
+    if (line == "\\tables") {
+      for (const std::string& name : catalog.TableNames()) {
+        Table t = catalog.GetTable(name).ValueOrDie();
+        std::printf("  %-10s %8lld rows, %d columns\n", name.c_str(),
+                    static_cast<long long>(t.num_rows()), t.num_columns());
+      }
+      continue;
+    }
+    if (line.rfind("\\plan ", 0) == 0) {
+      PrintPlanOrProgram(line.substr(6), catalog, /*program=*/false, state);
+      continue;
+    }
+    if (line.rfind("\\program ", 0) == 0) {
+      PrintPlanOrProgram(line.substr(9), catalog, /*program=*/true, state);
+      continue;
+    }
+    if (line.rfind("\\q ", 0) == 0) {
+      const int q = std::stoi(line.substr(3));
+      auto sql_or = tpch::QueryText(q);
+      if (!sql_or.ok()) {
+        std::printf("error: %s\n", sql_or.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s\n", sql_or.ValueOrDie().c_str());
+      RunSql(sql_or.ValueOrDie(), catalog, &state);
+      continue;
+    }
+    RunSql(line, catalog, &state);
+  }
+  return 0;
+}

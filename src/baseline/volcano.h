@@ -1,0 +1,41 @@
+#ifndef TQP_BASELINE_VOLCANO_H_
+#define TQP_BASELINE_VOLCANO_H_
+
+#include <memory>
+#include <string>
+
+#include "ml/model.h"
+#include "plan/catalog.h"
+#include "plan/physical_planner.h"
+
+namespace tqp {
+
+/// \brief Row-at-a-time (Volcano/iterator) engine executing the same physical
+/// plans as the tensor compiler.
+///
+/// This is the reproduction's stand-in for Apache Spark's CPU execution in
+/// Figure 1 (tuple-oriented processing with per-row interpretation overhead)
+/// and the correctness oracle for differential tests: every supported query
+/// must produce identical results here and in TQP. Joins and aggregations are
+/// hash-based regardless of the plan's algorithm hints, as in Spark.
+class VolcanoEngine {
+ public:
+  explicit VolcanoEngine(const Catalog* catalog,
+                         const ml::ModelRegistry* models = nullptr)
+      : catalog_(catalog), models_(models) {}
+
+  /// \brief Executes a bound physical plan.
+  Result<Table> Execute(const PlanPtr& plan) const;
+
+  /// \brief Frontend + execution in one call.
+  Result<Table> ExecuteSql(const std::string& sql,
+                           const PhysicalOptions& options = {}) const;
+
+ private:
+  const Catalog* catalog_;
+  const ml::ModelRegistry* models_;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_BASELINE_VOLCANO_H_

@@ -1,0 +1,55 @@
+#ifndef TQP_COMMON_LOGGING_H_
+#define TQP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace tqp {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// \brief Process-wide minimum level below which log lines are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. kFatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tqp
+
+#define TQP_LOG(level) \
+  ::tqp::internal::LogMessage(::tqp::LogLevel::k##level, __FILE__, __LINE__)
+
+/// \brief Fatal invariant check; use for conditions that indicate engine bugs
+/// (never for user-input validation, which must return Status).
+#define TQP_DCHECK(cond)                                                    \
+  if (!(cond)) TQP_LOG(Fatal) << "DCHECK failed: " #cond
+
+#define TQP_DCHECK_EQ(a, b) TQP_DCHECK((a) == (b))
+#define TQP_DCHECK_LT(a, b) TQP_DCHECK((a) < (b))
+#define TQP_DCHECK_LE(a, b) TQP_DCHECK((a) <= (b))
+#define TQP_DCHECK_GT(a, b) TQP_DCHECK((a) > (b))
+#define TQP_DCHECK_GE(a, b) TQP_DCHECK((a) >= (b))
+
+#endif  // TQP_COMMON_LOGGING_H_

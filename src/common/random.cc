@@ -1,0 +1,31 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <vector>
+
+namespace tqp {
+
+int64_t Rng::Zipf(int64_t n, double theta) {
+  if (n <= 1) return 0;
+  // Inverse-CDF sampling over a truncated harmonic approximation:
+  // P(X <= k) ~= H_k / H_n with H_k ~= (k^(1-theta) - 1) / (1 - theta).
+  const double one_minus = 1.0 - theta;
+  const double hn = (std::pow(static_cast<double>(n), one_minus) - 1.0) / one_minus;
+  const double u = NextDouble();
+  const double target = u * hn;
+  double k = std::pow(target * one_minus + 1.0, 1.0 / one_minus);
+  int64_t idx = static_cast<int64_t>(k);
+  if (idx < 0) idx = 0;
+  if (idx >= n) idx = n - 1;
+  return idx;
+}
+
+std::string Rng::NextString(int len) {
+  std::string s(static_cast<size_t>(len), 'a');
+  for (int i = 0; i < len; ++i) {
+    s[static_cast<size_t>(i)] = static_cast<char>('a' + Uniform(0, 25));
+  }
+  return s;
+}
+
+}  // namespace tqp

@@ -1,0 +1,96 @@
+#ifndef TQP_COMMON_RANDOM_H_
+#define TQP_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace tqp {
+
+/// \brief Deterministic, seedable PRNG (xorshift128+).
+///
+/// Used everywhere randomness is needed (data generators, property tests,
+/// model initialization) so that every run of the repo is reproducible.
+/// Not cryptographically secure; never use for security purposes.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 to spread a small seed over the full state.
+    s0_ = SplitMix(&seed);
+    s1_ = SplitMix(&seed);
+    if (s0_ == 0 && s1_ == 0) s1_ = 0x9E3779B97F4A7C15ull;
+  }
+
+  /// \brief Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// \brief Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// \brief Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// \brief Bernoulli draw with probability p of true.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// \brief Standard normal via Box–Muller.
+  double NextGaussian() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    have_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// \brief Zipf-distributed integer in [0, n) with skew `theta` in (0, 1).
+  ///
+  /// Uses the standard rejection-free approximation adequate for workload
+  /// generation (not exact for theta >= 1).
+  int64_t Zipf(int64_t n, double theta);
+
+  /// \brief Random lowercase ASCII string of the given length.
+  std::string NextString(int len);
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_ = 0;
+  uint64_t s1_ = 0;
+  bool have_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_COMMON_RANDOM_H_

@@ -1,0 +1,91 @@
+#ifndef TQP_COMMON_RESULT_H_
+#define TQP_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace tqp {
+
+/// \brief Either a value of type T or a failing Status (Arrow's Result idiom).
+///
+/// Usage:
+/// \code
+///   Result<Tensor> r = MakeTensor(...);
+///   if (!r.ok()) return r.status();
+///   Tensor t = std::move(r).ValueOrDie();
+/// \endcode
+/// or, inside a Status/Result-returning function:
+/// \code
+///   TQP_ASSIGN_OR_RETURN(Tensor t, MakeTensor(...));
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a success value.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT implicit
+  /// Constructs from a failing status. Aborts if `st` is OK (programming bug).
+  Result(Status st) : payload_(std::move(st)) {  // NOLINT implicit
+    if (status().ok()) {
+      internal::CheckOkImpl(Status::Internal("Result constructed from OK status"),
+                            __FILE__, __LINE__);
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// \brief Returns the status (OK when a value is held).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// \brief Returns the value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return std::get<T>(payload_);
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return std::get<T>(payload_);
+  }
+  T ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<T>(payload_));
+  }
+
+  /// \brief Alias for ValueOrDie, matching Arrow naming.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      internal::CheckOkImpl(std::get<Status>(payload_), __FILE__, __LINE__);
+    }
+  }
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace tqp
+
+#define TQP_CONCAT_IMPL(x, y) x##y
+#define TQP_CONCAT(x, y) TQP_CONCAT_IMPL(x, y)
+
+/// \brief Evaluates a Result-returning expression; on error returns the status,
+/// otherwise assigns the value to `lhs` (which may include a declaration).
+#define TQP_ASSIGN_OR_RETURN(lhs, rexpr)                                     \
+  auto TQP_CONCAT(_tqp_result_, __LINE__) = (rexpr);                         \
+  if (!TQP_CONCAT(_tqp_result_, __LINE__).ok())                              \
+    return TQP_CONCAT(_tqp_result_, __LINE__).status();                      \
+  lhs = std::move(TQP_CONCAT(_tqp_result_, __LINE__)).ValueOrDie()
+
+#endif  // TQP_COMMON_RESULT_H_

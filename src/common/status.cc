@@ -1,0 +1,84 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tqp {
+
+namespace {
+const std::string& EmptyString() {
+  static const std::string* const kEmpty = new std::string();
+  return *kEmpty;
+}
+}  // namespace
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kParseError:
+      return "Parse error";
+    case StatusCode::kBindError:
+      return "Bind error";
+    case StatusCode::kTypeError:
+      return "Type error";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kKeyError:
+      return "Key error";
+    case StatusCode::kIndexError:
+      return "Index error";
+    case StatusCode::kOutOfMemory:
+      return "Out of memory";
+    case StatusCode::kIoError:
+      return "IO error";
+    case StatusCode::kInternal:
+      return "Internal error";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string msg)
+    : state_(new State{code, std::move(msg)}) {}
+
+Status::Status(const Status& other)
+    : state_(other.state_ ? new State(*other.state_) : nullptr) {}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    state_.reset(other.state_ ? new State(*other.state_) : nullptr);
+  }
+  return *this;
+}
+
+const std::string& Status::message() const {
+  return ok() ? EmptyString() : state_->msg;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(state_->code);
+  out += ": ";
+  out += state_->msg;
+  return out;
+}
+
+Status Status::WithContext(const std::string& prefix) const {
+  if (ok()) return *this;
+  return Status(state_->code, prefix + ": " + state_->msg);
+}
+
+namespace internal {
+
+void CheckOkImpl(const Status& st, const char* file, int line) {
+  if (st.ok()) return;
+  std::fprintf(stderr, "TQP_CHECK_OK failed at %s:%d: %s\n", file, line,
+               st.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+
+}  // namespace tqp

@@ -1,0 +1,127 @@
+#ifndef TQP_COMMON_STATUS_H_
+#define TQP_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace tqp {
+
+/// \brief Error categories used across the TQP code base.
+///
+/// The set mirrors the failure modes of a query processor: malformed input
+/// (SQL or data), semantic analysis errors, unsupported-but-valid requests,
+/// engine invariant violations, and resource problems.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kParseError = 2,
+  kBindError = 3,
+  kTypeError = 4,
+  kNotImplemented = 5,
+  kKeyError = 6,
+  kIndexError = 7,
+  kOutOfMemory = 8,
+  kIoError = 9,
+  kInternal = 10,
+};
+
+/// \brief Returns a human-readable name for a status code ("Invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Arrow-style status object: cheap success path, message on failure.
+///
+/// TQP does not use exceptions; every fallible public function returns either
+/// a `Status` or a `Result<T>` (see result.h). A default-constructed Status is
+/// OK and carries no allocation.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  /// \brief The success value.
+  static Status OK() { return Status(); }
+
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status IndexError(std::string msg) {
+    return Status(StatusCode::kIndexError, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// \brief The error message; empty for OK statuses.
+  const std::string& message() const;
+
+  /// \brief "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// \brief Returns a copy with `prefix + ": "` prepended to the message.
+  Status WithContext(const std::string& prefix) const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // Null on success. unique_ptr keeps sizeof(Status) == sizeof(void*).
+  std::unique_ptr<State> state_;
+};
+
+namespace internal {
+/// Formats one or more streamable pieces into a std::string.
+template <typename... Args>
+std::string FormatPieces(Args&&... args);
+}  // namespace internal
+
+}  // namespace tqp
+
+/// \brief Propagates a non-OK Status out of the enclosing function.
+#define TQP_RETURN_NOT_OK(expr)             \
+  do {                                      \
+    ::tqp::Status _st = (expr);             \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+/// \brief Aborts the process if `expr` is not OK. For tests and examples only.
+#define TQP_CHECK_OK(expr) ::tqp::internal::CheckOkImpl((expr), __FILE__, __LINE__)
+
+namespace tqp::internal {
+void CheckOkImpl(const Status& st, const char* file, int line);
+}  // namespace tqp::internal
+
+#endif  // TQP_COMMON_STATUS_H_

@@ -1,0 +1,897 @@
+#include "compile/compiler.h"
+
+#include <string>
+
+namespace tqp {
+
+namespace {
+
+/// Per-node compilation state: the graph node carrying each column of the
+/// current operator's output, plus its schema.
+struct ColumnsState {
+  std::vector<int> nodes;
+  Schema schema;
+};
+
+struct TypedNode {
+  int node = -1;
+  DType dtype = DType::kFloat64;
+};
+
+class PlanCompiler {
+ public:
+  PlanCompiler(TensorProgram* program, const ml::ModelRegistry* models,
+               std::vector<CompiledQuery::InputBinding>* bindings)
+      : program_(program), models_(models), bindings_(bindings) {}
+
+  Result<ColumnsState> CompileNode(const PlanNode& node) {
+    switch (node.kind) {
+      case PlanKind::kScan:
+        return CompileScan(node);
+      case PlanKind::kFilter: {
+        TQP_ASSIGN_OR_RETURN(ColumnsState in, CompileNode(*node.children[0]));
+        return CompileFilter(node, in);
+      }
+      case PlanKind::kProject: {
+        TQP_ASSIGN_OR_RETURN(ColumnsState in, CompileNode(*node.children[0]));
+        return CompileProject(node, in);
+      }
+      case PlanKind::kJoin: {
+        TQP_ASSIGN_OR_RETURN(ColumnsState left, CompileNode(*node.children[0]));
+        TQP_ASSIGN_OR_RETURN(ColumnsState right, CompileNode(*node.children[1]));
+        return CompileJoin(node, left, right);
+      }
+      case PlanKind::kAggregate: {
+        TQP_ASSIGN_OR_RETURN(ColumnsState in, CompileNode(*node.children[0]));
+        return CompileAggregate(node, in);
+      }
+      case PlanKind::kSort: {
+        TQP_ASSIGN_OR_RETURN(ColumnsState in, CompileNode(*node.children[0]));
+        return CompileSort(node, in);
+      }
+      case PlanKind::kLimit: {
+        TQP_ASSIGN_OR_RETURN(ColumnsState in, CompileNode(*node.children[0]));
+        ColumnsState out;
+        out.schema = node.output_schema;
+        AttrMap attrs;
+        attrs.Set("n", node.limit);
+        for (int col : in.nodes) {
+          out.nodes.push_back(
+              program_->AddNode(OpType::kHeadRows, {col}, attrs, "limit"));
+        }
+        return out;
+      }
+    }
+    return Status::Internal("unknown plan node");
+  }
+
+ private:
+  // ---- Scan ---------------------------------------------------------------
+
+  Result<ColumnsState> CompileScan(const PlanNode& node) {
+    ColumnsState out;
+    out.schema = node.output_schema;
+    for (int i = 0; i < node.output_schema.num_fields(); ++i) {
+      const int base_col = node.scan_columns.empty()
+                               ? i
+                               : node.scan_columns[static_cast<size_t>(i)];
+      const std::string name =
+          node.table_name + "." + node.output_schema.field(i).name;
+      out.nodes.push_back(program_->AddInput(name));
+      bindings_->push_back({node.table_name, base_col});
+    }
+    return out;
+  }
+
+  // ---- Expression compilation ----------------------------------------------
+
+  static DType ArithResultDType(DType a, DType b) {
+    DType dt = PromoteTypes(a, b);
+    if (dt == DType::kBool || dt == DType::kUInt8) dt = DType::kInt32;
+    return dt;
+  }
+
+  TypedNode CastTo(TypedNode in, DType target, const std::string& label = "") {
+    if (in.dtype == target) return in;
+    AttrMap attrs;
+    attrs.Set("dtype", static_cast<int64_t>(target));
+    return TypedNode{program_->AddNode(OpType::kCast, {in.node}, attrs, label),
+                     target};
+  }
+
+  Result<TypedNode> ConstantScalar(const Scalar& value, DType dtype,
+                                   const std::string& label) {
+    TQP_ASSIGN_OR_RETURN(Tensor t, Tensor::Full(dtype, 1, 1, value.AsDouble()));
+    return TypedNode{program_->AddConstant(std::move(t), label), dtype};
+  }
+
+  Result<TypedNode> CompileExpr(const BoundExpr& expr, const ColumnsState& in) {
+    switch (expr.kind) {
+      case BExprKind::kColumn: {
+        const int idx = expr.column_index;
+        return TypedNode{in.nodes[static_cast<size_t>(idx)],
+                         PhysicalType(in.schema.field(idx).type)};
+      }
+      case BExprKind::kLiteral: {
+        if (expr.literal.is_string()) {
+          return Status::Internal(
+              "string literal outside comparison context: " + expr.ToString());
+        }
+        return ConstantScalar(expr.literal, PhysicalType(expr.type),
+                              expr.literal.ToString());
+      }
+      case BExprKind::kArith: {
+        TQP_ASSIGN_OR_RETURN(TypedNode l, CompileExpr(*expr.children[0], in));
+        TQP_ASSIGN_OR_RETURN(TypedNode r, CompileExpr(*expr.children[1], in));
+        const DType want = PhysicalType(expr.type);
+        // Division must happen in float when SQL typing says float.
+        if (want == DType::kFloat64 &&
+            ArithResultDType(l.dtype, r.dtype) != DType::kFloat64) {
+          l = CastTo(l, DType::kFloat64);
+        }
+        AttrMap attrs;
+        attrs.Set("op", static_cast<int64_t>(expr.arith_op));
+        TypedNode out{program_->AddNode(OpType::kBinary, {l.node, r.node}, attrs),
+                      ArithResultDType(l.dtype, r.dtype)};
+        return CastTo(out, want);
+      }
+      case BExprKind::kCompare: {
+        const BoundExpr& lhs = *expr.children[0];
+        const BoundExpr& rhs = *expr.children[1];
+        const bool lhs_str = lhs.type == LogicalType::kString;
+        const bool rhs_str = rhs.type == LogicalType::kString;
+        if (lhs_str || rhs_str) {
+          // String comparisons: column vs literal uses the scalar kernel.
+          if (rhs.kind == BExprKind::kLiteral) {
+            TQP_ASSIGN_OR_RETURN(TypedNode l, CompileExpr(lhs, in));
+            AttrMap attrs;
+            attrs.Set("op", static_cast<int64_t>(expr.cmp_op));
+            attrs.Set("literal", rhs.literal.string_value());
+            return TypedNode{program_->AddNode(OpType::kStringCompareScalar,
+                                               {l.node}, attrs, expr.ToString()),
+                             DType::kBool};
+          }
+          if (lhs.kind == BExprKind::kLiteral) {
+            TQP_ASSIGN_OR_RETURN(TypedNode r, CompileExpr(rhs, in));
+            AttrMap attrs;
+            attrs.Set("op", static_cast<int64_t>(MirrorCompare(expr.cmp_op)));
+            attrs.Set("literal", lhs.literal.string_value());
+            return TypedNode{program_->AddNode(OpType::kStringCompareScalar,
+                                               {r.node}, attrs, expr.ToString()),
+                             DType::kBool};
+          }
+          TQP_ASSIGN_OR_RETURN(TypedNode l, CompileExpr(lhs, in));
+          TQP_ASSIGN_OR_RETURN(TypedNode r, CompileExpr(rhs, in));
+          AttrMap attrs;
+          attrs.Set("op", static_cast<int64_t>(expr.cmp_op));
+          return TypedNode{program_->AddNode(OpType::kStringCompare,
+                                             {l.node, r.node}, attrs),
+                           DType::kBool};
+        }
+        TQP_ASSIGN_OR_RETURN(TypedNode l, CompileExpr(lhs, in));
+        TQP_ASSIGN_OR_RETURN(TypedNode r, CompileExpr(rhs, in));
+        AttrMap attrs;
+        attrs.Set("op", static_cast<int64_t>(expr.cmp_op));
+        return TypedNode{
+            program_->AddNode(OpType::kCompare, {l.node, r.node}, attrs),
+            DType::kBool};
+      }
+      case BExprKind::kLogical: {
+        TQP_ASSIGN_OR_RETURN(TypedNode l, CompileExpr(*expr.children[0], in));
+        TQP_ASSIGN_OR_RETURN(TypedNode r, CompileExpr(*expr.children[1], in));
+        AttrMap attrs;
+        attrs.Set("op", static_cast<int64_t>(expr.logical_op));
+        return TypedNode{
+            program_->AddNode(OpType::kLogical, {l.node, r.node}, attrs),
+            DType::kBool};
+      }
+      case BExprKind::kNot: {
+        TQP_ASSIGN_OR_RETURN(TypedNode c, CompileExpr(*expr.children[0], in));
+        AttrMap attrs;
+        attrs.Set("op", static_cast<int64_t>(UnaryOpKind::kNot));
+        return TypedNode{program_->AddNode(OpType::kUnary, {c.node}, attrs),
+                         DType::kBool};
+      }
+      case BExprKind::kCase: {
+        const DType want = PhysicalType(expr.type);
+        const size_t pairs =
+            (expr.children.size() - (expr.case_has_else ? 1 : 0)) / 2;
+        TypedNode current;
+        if (expr.case_has_else) {
+          TQP_ASSIGN_OR_RETURN(current, CompileExpr(*expr.children.back(), in));
+        } else {
+          TQP_ASSIGN_OR_RETURN(current,
+                               ConstantScalar(Scalar(0.0), want, "case-default"));
+        }
+        current = CastTo(current, want);
+        for (size_t i = pairs; i-- > 0;) {
+          TQP_ASSIGN_OR_RETURN(TypedNode when,
+                               CompileExpr(*expr.children[2 * i], in));
+          TQP_ASSIGN_OR_RETURN(TypedNode then,
+                               CompileExpr(*expr.children[2 * i + 1], in));
+          then = CastTo(then, want);
+          current = TypedNode{
+              program_->AddNode(OpType::kWhere,
+                                {when.node, then.node, current.node}, {}, "case"),
+              want};
+        }
+        return current;
+      }
+      case BExprKind::kLike: {
+        TQP_ASSIGN_OR_RETURN(TypedNode c, CompileExpr(*expr.children[0], in));
+        AttrMap attrs;
+        attrs.Set("pattern", expr.like_pattern);
+        TypedNode like{program_->AddNode(OpType::kStringLike, {c.node}, attrs,
+                                         "like '" + expr.like_pattern + "'"),
+                       DType::kBool};
+        if (!expr.negated) return like;
+        AttrMap not_attrs;
+        not_attrs.Set("op", static_cast<int64_t>(UnaryOpKind::kNot));
+        return TypedNode{program_->AddNode(OpType::kUnary, {like.node}, not_attrs),
+                         DType::kBool};
+      }
+      case BExprKind::kInList: {
+        const BoundExpr& child = *expr.children[0];
+        TQP_ASSIGN_OR_RETURN(TypedNode c, CompileExpr(child, in));
+        TypedNode acc;
+        for (size_t i = 0; i < expr.in_list.size(); ++i) {
+          TypedNode eq;
+          if (child.type == LogicalType::kString) {
+            AttrMap attrs;
+            attrs.Set("op", static_cast<int64_t>(CompareOpKind::kEq));
+            attrs.Set("literal", expr.in_list[i].string_value());
+            eq = TypedNode{program_->AddNode(OpType::kStringCompareScalar,
+                                             {c.node}, attrs),
+                           DType::kBool};
+          } else {
+            TQP_ASSIGN_OR_RETURN(
+                TypedNode lit,
+                ConstantScalar(expr.in_list[i], c.dtype,
+                               expr.in_list[i].ToString()));
+            AttrMap attrs;
+            attrs.Set("op", static_cast<int64_t>(CompareOpKind::kEq));
+            eq = TypedNode{program_->AddNode(OpType::kCompare,
+                                             {c.node, lit.node}, attrs),
+                           DType::kBool};
+          }
+          if (acc.node < 0) {
+            acc = eq;
+          } else {
+            AttrMap attrs;
+            attrs.Set("op", static_cast<int64_t>(LogicalOpKind::kOr));
+            acc = TypedNode{
+                program_->AddNode(OpType::kLogical, {acc.node, eq.node}, attrs),
+                DType::kBool};
+          }
+        }
+        if (acc.node < 0) {
+          TQP_ASSIGN_OR_RETURN(acc,
+                               ConstantScalar(Scalar(false), DType::kBool, "false"));
+        }
+        if (!expr.negated) return acc;
+        AttrMap attrs;
+        attrs.Set("op", static_cast<int64_t>(UnaryOpKind::kNot));
+        return TypedNode{program_->AddNode(OpType::kUnary, {acc.node}, attrs),
+                         DType::kBool};
+      }
+      case BExprKind::kSubstring: {
+        TQP_ASSIGN_OR_RETURN(TypedNode c, CompileExpr(*expr.children[0], in));
+        AttrMap attrs;
+        attrs.Set("start", expr.substr_start);
+        attrs.Set("len", expr.substr_len);
+        return TypedNode{program_->AddNode(OpType::kSubstring, {c.node}, attrs),
+                         DType::kUInt8};
+      }
+      case BExprKind::kPredict: {
+        if (models_ == nullptr) {
+          return Status::Invalid("PREDICT without a model registry");
+        }
+        TQP_ASSIGN_OR_RETURN(auto model, models_->Get(expr.model_name));
+        std::vector<int> args;
+        for (const BExpr& c : expr.children) {
+          TQP_ASSIGN_OR_RETURN(TypedNode a, CompileExpr(*c, in));
+          args.push_back(a.node);
+        }
+        TQP_ASSIGN_OR_RETURN(int out, model->BuildGraph(program_, args));
+        return TypedNode{out, PhysicalType(expr.type)};
+      }
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+  static CompareOpKind MirrorCompare(CompareOpKind op) {
+    switch (op) {
+      case CompareOpKind::kLt:
+        return CompareOpKind::kGt;
+      case CompareOpKind::kLe:
+        return CompareOpKind::kGe;
+      case CompareOpKind::kGt:
+        return CompareOpKind::kLt;
+      case CompareOpKind::kGe:
+        return CompareOpKind::kLe;
+      default:
+        return op;
+    }
+  }
+
+  // ---- Filter ---------------------------------------------------------------
+
+  Result<ColumnsState> CompileFilter(const PlanNode& node, const ColumnsState& in) {
+    TQP_ASSIGN_OR_RETURN(TypedNode mask, CompileExpr(*node.predicate, in));
+    ColumnsState out;
+    out.schema = node.output_schema;
+    for (int col : in.nodes) {
+      out.nodes.push_back(program_->AddNode(
+          OpType::kCompress, {col, mask.node}, {},
+          "filter"));
+    }
+    return out;
+  }
+
+  // ---- Project ---------------------------------------------------------------
+
+  Result<ColumnsState> CompileProject(const PlanNode& node,
+                                      const ColumnsState& in) {
+    ColumnsState out;
+    out.schema = node.output_schema;
+    for (size_t i = 0; i < node.exprs.size(); ++i) {
+      TQP_ASSIGN_OR_RETURN(TypedNode e, CompileExpr(*node.exprs[i], in));
+      e = CastTo(e, PhysicalType(node.exprs[i]->type),
+                 node.output_schema.field(static_cast<int>(i)).name);
+      out.nodes.push_back(e.node);
+    }
+    return out;
+  }
+
+  // ---- Join (the paper's sort + searchsorted formulation) --------------------
+
+  // Cross join: every left row pairs with every right row, as tensor ops.
+  // counts = |right| broadcast per left row, then the standard expansion;
+  // right ids cycle via modulo. Uncorrelated scalar subqueries take this
+  // path with |right| == 1 (a pure broadcast).
+  Result<ColumnsState> CompileCrossJoin(const PlanNode& node,
+                                        const ColumnsState& left,
+                                        const ColumnsState& right) {
+    AttrMap count_attr;
+    count_attr.Set("op", static_cast<int64_t>(ReduceOpKind::kCount));
+    const int nr = program_->AddNode(OpType::kReduceAll, {right.nodes[0]},
+                                     count_attr, "cross: |right|");
+    const int left_arange =
+        program_->AddNode(OpType::kArangeLike, {left.nodes[0]}, {}, "cross");
+    TQP_ASSIGN_OR_RETURN(
+        TypedNode zero, ConstantScalar(Scalar(int64_t{0}), DType::kInt64, "0"));
+    AttrMap mul;
+    mul.Set("op", static_cast<int64_t>(BinaryOpKind::kMul));
+    AttrMap add;
+    add.Set("op", static_cast<int64_t>(BinaryOpKind::kAdd));
+    AttrMap mod;
+    mod.Set("op", static_cast<int64_t>(BinaryOpKind::kMod));
+    const int zero_l = program_->AddNode(OpType::kBinary,
+                                         {left_arange, zero.node}, mul, "cross");
+    const int counts =
+        program_->AddNode(OpType::kBinary, {zero_l, nr}, add, "cross: counts");
+    const int left_ids = program_->AddNode(
+        OpType::kRepeatInterleave, {left_arange, counts}, {}, "cross: left ids");
+    const int pos = program_->AddNode(OpType::kArangeLike, {left_ids}, {}, "cross");
+    const int right_ids =
+        program_->AddNode(OpType::kBinary, {pos, nr}, mod, "cross: right ids");
+    ColumnsState joined;
+    joined.schema = left.schema;
+    for (const Field& f : right.schema.fields()) joined.schema.AddField(f);
+    for (int col : left.nodes) {
+      joined.nodes.push_back(
+          program_->AddNode(OpType::kGather, {col, left_ids}, {}, "cross"));
+    }
+    for (int col : right.nodes) {
+      joined.nodes.push_back(
+          program_->AddNode(OpType::kGather, {col, right_ids}, {}, "cross"));
+    }
+    if (node.residual) {
+      TQP_ASSIGN_OR_RETURN(TypedNode res, CompileExpr(*node.residual, joined));
+      ColumnsState out;
+      out.schema = joined.schema;
+      for (int col : joined.nodes) {
+        out.nodes.push_back(program_->AddNode(OpType::kCompress, {col, res.node},
+                                              {}, "cross: residual"));
+      }
+      return out;
+    }
+    return joined;
+  }
+
+  Result<ColumnsState> CompileJoin(const PlanNode& node, const ColumnsState& left,
+                                   const ColumnsState& right) {
+    const bool semi_anti = node.join_type == sql::JoinType::kSemi ||
+                           node.join_type == sql::JoinType::kAnti;
+    const bool left_outer = node.join_type == sql::JoinType::kLeft;
+    if (node.left_keys.empty()) {
+      if (semi_anti || left_outer) {
+        return Status::NotImplemented(
+            "keyless semi/anti/left joins are not compiled to tensors");
+      }
+      return CompileCrossJoin(node, left, right);
+    }
+    // Key handling: the primary sort key must be numeric. Hash algo (or
+    // string/multi keys) mixes all keys into one int64 hash and verifies
+    // real equality afterwards on the joined rows.
+    const LogicalType k0l =
+        left.schema.field(node.left_keys[0]).type;
+    bool use_hash = node.join_algo == JoinAlgo::kHash ||
+                    k0l == LogicalType::kString || node.left_keys.size() > 1;
+    if (semi_anti && use_hash && node.join_algo == JoinAlgo::kHash &&
+        node.left_keys.size() == 1 && k0l != LogicalType::kString) {
+      use_hash = false;  // exactness beats the algo hint for semi/anti
+    }
+    if (left_outer) {
+      if (node.left_keys.size() > 1 || k0l == LogicalType::kString ||
+          node.residual) {
+        return Status::NotImplemented(
+            "LEFT JOIN compiles with a single numeric key and no residual");
+      }
+      use_hash = false;
+    }
+    // Semi/anti joins with hashed keys or a residual predicate go through the
+    // pair expansion below and reduce verified matches per left row.
+    const bool general_semi =
+        semi_anti && (use_hash || node.residual != nullptr);
+
+    int kl = -1;
+    int kr = -1;
+    if (use_hash) {
+      kl = HashKeys(left, node.left_keys);
+      kr = HashKeys(right, node.right_keys);
+    } else {
+      TypedNode l{left.nodes[static_cast<size_t>(node.left_keys[0])],
+                  PhysicalType(k0l)};
+      TypedNode r{right.nodes[static_cast<size_t>(node.right_keys[0])],
+                  PhysicalType(right.schema.field(node.right_keys[0]).type)};
+      const DType common = PromoteTypes(l.dtype, r.dtype);
+      kl = CastTo(l, common).node;
+      kr = CastTo(r, common).node;
+    }
+    // Sort the right (build) side and locate each probe key's match range.
+    AttrMap asc;
+    asc.Set("ascending", true);
+    const int perm_r = program_->AddNode(OpType::kArgsortRows, {kr}, asc,
+                                         "join: sort build side");
+    const int kr_sorted =
+        program_->AddNode(OpType::kGather, {kr, perm_r}, {}, "join");
+    AttrMap left_side;
+    left_side.Set("right", false);
+    AttrMap right_side;
+    right_side.Set("right", true);
+    const int lo = program_->AddNode(OpType::kSearchSorted, {kr_sorted, kl},
+                                     left_side, "join: probe lower");
+    const int hi = program_->AddNode(OpType::kSearchSorted, {kr_sorted, kl},
+                                     right_side, "join: probe upper");
+    AttrMap sub;
+    sub.Set("op", static_cast<int64_t>(BinaryOpKind::kSub));
+    const int counts =
+        program_->AddNode(OpType::kBinary, {hi, lo}, sub, "join: match counts");
+
+    if (semi_anti && !general_semi) {
+      TQP_ASSIGN_OR_RETURN(
+          TypedNode zero, ConstantScalar(Scalar(int64_t{0}), DType::kInt64, "0"));
+      AttrMap cmp;
+      cmp.Set("op", static_cast<int64_t>(node.join_type == sql::JoinType::kSemi
+                                             ? CompareOpKind::kGt
+                                             : CompareOpKind::kEq));
+      const int mask = program_->AddNode(OpType::kCompare, {counts, zero.node},
+                                         cmp, "semi/anti mask");
+      ColumnsState out;
+      out.schema = node.output_schema;
+      for (int col : left.nodes) {
+        out.nodes.push_back(
+            program_->AddNode(OpType::kCompress, {col, mask}, {}, "semi/anti"));
+      }
+      return out;
+    }
+
+    // Expand matches: left row ids and right row ids of the join result.
+    const int left_arange =
+        program_->AddNode(OpType::kArangeLike, {kl}, {}, "join");
+    const int left_ids = program_->AddNode(
+        OpType::kRepeatInterleave, {left_arange, counts}, {}, "join: left ids");
+    const int incl = program_->AddNode(OpType::kCumSum, {counts}, {}, "join");
+    const int excl =
+        program_->AddNode(OpType::kBinary, {incl, counts}, sub, "join");
+    const int excl_rep = program_->AddNode(OpType::kRepeatInterleave,
+                                           {excl, counts}, {}, "join");
+    const int pos = program_->AddNode(OpType::kArangeLike, {left_ids}, {}, "join");
+    const int within =
+        program_->AddNode(OpType::kBinary, {pos, excl_rep}, sub, "join");
+    const int lo_rep =
+        program_->AddNode(OpType::kRepeatInterleave, {lo, counts}, {}, "join");
+    AttrMap add;
+    add.Set("op", static_cast<int64_t>(BinaryOpKind::kAdd));
+    const int rpos =
+        program_->AddNode(OpType::kBinary, {lo_rep, within}, add, "join");
+    const int right_ids = program_->AddNode(OpType::kGather, {perm_r, rpos}, {},
+                                            "join: right ids");
+
+    ColumnsState joined;
+    joined.schema = left.schema;
+    for (const Field& f : right.schema.fields()) joined.schema.AddField(f);
+    for (int col : left.nodes) {
+      joined.nodes.push_back(program_->AddNode(OpType::kGather, {col, left_ids},
+                                               {}, "join: gather left"));
+    }
+    for (int col : right.nodes) {
+      joined.nodes.push_back(program_->AddNode(OpType::kGather, {col, right_ids},
+                                               {}, "join: gather right"));
+    }
+
+    if (left_outer) {
+      // LEFT OUTER = matched pairs (the expansion above; unmatched rows
+      // contribute zero pairs) concatenated with the unmatched left rows,
+      // whose right columns are zero sentinels (empty string for padded
+      // string columns — ConcatRows pads widths). The trailing __matched
+      // column is the validity mask ([8]'s NULL representation).
+      TQP_ASSIGN_OR_RETURN(
+          TypedNode zero, ConstantScalar(Scalar(int64_t{0}), DType::kInt64, "0"));
+      AttrMap gt;
+      gt.Set("op", static_cast<int64_t>(CompareOpKind::kGt));
+      const int matched_l = program_->AddNode(
+          OpType::kCompare, {counts, zero.node}, gt, "left join: matched");
+      AttrMap not_attr;
+      not_attr.Set("op", static_cast<int64_t>(UnaryOpKind::kNot));
+      const int unmatched = program_->AddNode(OpType::kUnary, {matched_l},
+                                              not_attr, "left join: unmatched");
+      // Part A validity: all-true aligned with the matched pairs.
+      AttrMap eq;
+      eq.Set("op", static_cast<int64_t>(CompareOpKind::kEq));
+      const int true_a = program_->AddNode(OpType::kCompare,
+                                           {left_ids, left_ids}, eq,
+                                           "left join: matched flag");
+      // Part B: unmatched left rows with zero-filled right columns.
+      const int unmatched_arange = program_->AddNode(
+          OpType::kCompress, {left_arange, unmatched}, {}, "left join");
+      AttrMap mul;
+      mul.Set("op", static_cast<int64_t>(BinaryOpKind::kMul));
+      const int zero_b = program_->AddNode(
+          OpType::kBinary, {unmatched_arange, zero.node}, mul, "left join");
+      AttrMap to_bool;
+      to_bool.Set("dtype", static_cast<int64_t>(DType::kBool));
+      const int false_b = program_->AddNode(OpType::kCast, {zero_b}, to_bool,
+                                            "left join: unmatched flag");
+      ColumnsState out;
+      out.schema = node.output_schema;
+      const int lw = static_cast<int>(left.nodes.size());
+      for (int i = 0; i < lw; ++i) {
+        const int part_b = program_->AddNode(
+            OpType::kCompress, {left.nodes[static_cast<size_t>(i)], unmatched},
+            {}, "left join: unmatched left");
+        out.nodes.push_back(program_->AddNode(
+            OpType::kConcatRows,
+            {joined.nodes[static_cast<size_t>(i)], part_b}, {}, "left join"));
+      }
+      for (size_t j = 0; j < right.nodes.size(); ++j) {
+        AttrMap cast_attr;
+        cast_attr.Set("dtype",
+                      static_cast<int64_t>(
+                          PhysicalType(right.schema.field(static_cast<int>(j)).type)));
+        const int zeros = program_->AddNode(OpType::kCast, {zero_b}, cast_attr,
+                                            "left join: null sentinel");
+        out.nodes.push_back(program_->AddNode(
+            OpType::kConcatRows,
+            {joined.nodes[static_cast<size_t>(lw) + j], zeros}, {},
+            "left join"));
+      }
+      out.nodes.push_back(program_->AddNode(
+          OpType::kConcatRows, {true_a, false_b}, {}, "left join: __matched"));
+      return out;
+    }
+
+    // Residual mask: true key equality (when hashed) plus any non-equi parts.
+    TypedNode mask;
+    if (use_hash) {
+      const int lw = static_cast<int>(left.nodes.size());
+      for (size_t k = 0; k < node.left_keys.size(); ++k) {
+        const int lk = node.left_keys[k];
+        const int rk = node.right_keys[k];
+        const LogicalType lt = left.schema.field(lk).type;
+        TypedNode eq;
+        if (lt == LogicalType::kString) {
+          AttrMap attrs;
+          attrs.Set("op", static_cast<int64_t>(CompareOpKind::kEq));
+          eq = TypedNode{
+              program_->AddNode(
+                  OpType::kStringCompare,
+                  {joined.nodes[static_cast<size_t>(lk)],
+                   joined.nodes[static_cast<size_t>(lw + rk)]},
+                  attrs, "join: verify keys"),
+              DType::kBool};
+        } else {
+          AttrMap attrs;
+          attrs.Set("op", static_cast<int64_t>(CompareOpKind::kEq));
+          eq = TypedNode{
+              program_->AddNode(
+                  OpType::kCompare,
+                  {joined.nodes[static_cast<size_t>(lk)],
+                   joined.nodes[static_cast<size_t>(lw + rk)]},
+                  attrs, "join: verify keys"),
+              DType::kBool};
+        }
+        mask = AndMasks(mask, eq);
+      }
+    }
+    if (node.residual) {
+      TQP_ASSIGN_OR_RETURN(TypedNode res, CompileExpr(*node.residual, joined));
+      mask = AndMasks(mask, res);
+    }
+    if (general_semi) {
+      // Count verified matches per left row (segment ids = left row ids,
+      // which the expansion emits sorted), then keep rows with any match
+      // (semi) or none (anti).
+      if (mask.node < 0) {
+        return Status::Internal("semi/anti expansion without a pair mask");
+      }
+      AttrMap to_i64;
+      to_i64.Set("dtype", static_cast<int64_t>(DType::kInt64));
+      const int pair_int = program_->AddNode(OpType::kCast, {mask.node}, to_i64,
+                                             "semi/anti: verified pairs");
+      AttrMap count_attr;
+      count_attr.Set("op", static_cast<int64_t>(ReduceOpKind::kCount));
+      const int nseg = program_->AddNode(OpType::kReduceAll, {kl}, count_attr,
+                                         "semi/anti: |left|");
+      AttrMap sum_attr;
+      sum_attr.Set("op", static_cast<int64_t>(ReduceOpKind::kSum));
+      const int cnt = program_->AddNode(OpType::kSegmentedReduce,
+                                        {pair_int, left_ids, nseg}, sum_attr,
+                                        "semi/anti: matches per left row");
+      TQP_ASSIGN_OR_RETURN(
+          TypedNode zero, ConstantScalar(Scalar(0.0), DType::kFloat64, "0"));
+      AttrMap cmp;
+      cmp.Set("op", static_cast<int64_t>(node.join_type == sql::JoinType::kSemi
+                                             ? CompareOpKind::kGt
+                                             : CompareOpKind::kEq));
+      const int keep = program_->AddNode(OpType::kCompare, {cnt, zero.node}, cmp,
+                                         "semi/anti mask");
+      ColumnsState out;
+      out.schema = node.output_schema;
+      for (int col : left.nodes) {
+        out.nodes.push_back(
+            program_->AddNode(OpType::kCompress, {col, keep}, {}, "semi/anti"));
+      }
+      return out;
+    }
+    if (mask.node >= 0) {
+      ColumnsState out;
+      out.schema = joined.schema;
+      for (int col : joined.nodes) {
+        out.nodes.push_back(program_->AddNode(OpType::kCompress, {col, mask.node},
+                                              {}, "join: residual filter"));
+      }
+      return out;
+    }
+    return joined;
+  }
+
+  TypedNode AndMasks(TypedNode acc, TypedNode m) {
+    if (acc.node < 0) return m;
+    AttrMap attrs;
+    attrs.Set("op", static_cast<int64_t>(LogicalOpKind::kAnd));
+    return TypedNode{
+        program_->AddNode(OpType::kLogical, {acc.node, m.node}, attrs),
+        DType::kBool};
+  }
+
+  int HashKeys(const ColumnsState& state, const std::vector<int>& keys) {
+    int h = program_->AddNode(OpType::kHashRows,
+                              {state.nodes[static_cast<size_t>(keys[0])]}, {},
+                              "join: hash keys");
+    for (size_t k = 1; k < keys.size(); ++k) {
+      h = program_->AddNode(
+          OpType::kHashCombine,
+          {h, state.nodes[static_cast<size_t>(keys[k])]}, {}, "join: hash keys");
+    }
+    return h;
+  }
+
+  // ---- Aggregate (sort + segmented reduction, the paper's formulation) -------
+
+  Result<ColumnsState> CompileAggregate(const PlanNode& node,
+                                        const ColumnsState& in) {
+    ColumnsState out;
+    out.schema = node.output_schema;
+    if (node.group_exprs.empty()) {
+      // Global aggregation: one ReduceAll per aggregate.
+      for (const AggSpec& agg : node.aggs) {
+        int arg = -1;
+        if (agg.count_star || !agg.arg) {
+          arg = in.nodes[0];
+        } else {
+          TQP_ASSIGN_OR_RETURN(TypedNode a, CompileExpr(*agg.arg, in));
+          arg = a.node;
+        }
+        AttrMap attrs;
+        attrs.Set("op", static_cast<int64_t>(agg.op));
+        TypedNode r{program_->AddNode(OpType::kReduceAll, {arg}, attrs,
+                                      agg.ToString()),
+                    PhysicalType(agg.result_type())};
+        // ReduceAll min/max keep input dtype; coerce to the declared type.
+        r = CastTo(r, PhysicalType(agg.result_type()));
+        out.nodes.push_back(r.node);
+      }
+      return out;
+    }
+
+    // 1. Compile group keys and build the composed multi-key stable sort.
+    std::vector<TypedNode> keys;
+    for (const BExpr& g : node.group_exprs) {
+      TQP_ASSIGN_OR_RETURN(TypedNode k, CompileExpr(*g, in));
+      keys.push_back(k);
+    }
+    AttrMap asc;
+    asc.Set("ascending", true);
+    int perm = program_->AddNode(OpType::kArgsortRows, {keys.back().node}, asc,
+                                 "group-by: sort");
+    for (size_t i = keys.size() - 1; i-- > 0;) {
+      const int gathered = program_->AddNode(
+          OpType::kGather, {keys[i].node, perm}, {}, "group-by: sort");
+      const int p2 = program_->AddNode(OpType::kArgsortRows, {gathered}, asc,
+                                       "group-by: sort");
+      perm = program_->AddNode(OpType::kGather, {perm, p2}, {}, "group-by: sort");
+    }
+    // 2. Sorted keys, segment boundaries, segment ids and count.
+    std::vector<int> sorted_keys;
+    int bounds = -1;
+    for (const TypedNode& k : keys) {
+      const int sk = program_->AddNode(OpType::kGather, {k.node, perm}, {},
+                                       "group-by: sorted keys");
+      sorted_keys.push_back(sk);
+      const int b = program_->AddNode(OpType::kSegmentBoundaries, {sk}, {},
+                                      "group-by: boundaries");
+      if (bounds < 0) {
+        bounds = b;
+      } else {
+        AttrMap attrs;
+        attrs.Set("op", static_cast<int64_t>(LogicalOpKind::kOr));
+        bounds = program_->AddNode(OpType::kLogical, {bounds, b}, attrs,
+                                   "group-by: boundaries");
+      }
+    }
+    const int seg_incl =
+        program_->AddNode(OpType::kCumSum, {bounds}, {}, "group-by: segment ids");
+    AttrMap sub;
+    sub.Set("op", static_cast<int64_t>(BinaryOpKind::kSub));
+    TQP_ASSIGN_OR_RETURN(TypedNode one,
+                         ConstantScalar(Scalar(int64_t{1}), DType::kInt64, "1"));
+    const int seg_ids = program_->AddNode(OpType::kBinary, {seg_incl, one.node},
+                                          sub, "group-by: segment ids");
+    AttrMap sum_attr;
+    sum_attr.Set("op", static_cast<int64_t>(ReduceOpKind::kSum));
+    const int nseg_f = program_->AddNode(OpType::kReduceAll, {bounds}, sum_attr,
+                                         "group-by: segment count");
+    AttrMap to_i64;
+    to_i64.Set("dtype", static_cast<int64_t>(DType::kInt64));
+    const int nseg =
+        program_->AddNode(OpType::kCast, {nseg_f}, to_i64, "group-by");
+
+    // 3. Group key output columns.
+    for (size_t i = 0; i < sorted_keys.size(); ++i) {
+      out.nodes.push_back(program_->AddNode(OpType::kCompress,
+                                            {sorted_keys[i], bounds}, {},
+                                            "group-by: group keys"));
+    }
+    // 4. Aggregates: evaluate args pre-sort, permute, reduce per segment.
+    for (const AggSpec& agg : node.aggs) {
+      int values = -1;
+      if (agg.count_star || !agg.arg) {
+        values = seg_ids;  // any column with the right length
+      } else {
+        TQP_ASSIGN_OR_RETURN(TypedNode a, CompileExpr(*agg.arg, in));
+        values = program_->AddNode(OpType::kGather, {a.node, perm}, {},
+                                   "group-by: agg input");
+      }
+      AttrMap attrs;
+      attrs.Set("op", static_cast<int64_t>(agg.op));
+      TypedNode r{program_->AddNode(OpType::kSegmentedReduce,
+                                    {values, seg_ids, nseg}, attrs,
+                                    agg.ToString()),
+                  PhysicalType(agg.result_type())};
+      r = CastTo(r, PhysicalType(agg.result_type()));
+      out.nodes.push_back(r.node);
+    }
+    return out;
+  }
+
+  // ---- Sort (ORDER BY) -------------------------------------------------------
+
+  Result<ColumnsState> CompileSort(const PlanNode& node, const ColumnsState& in) {
+    std::vector<TypedNode> keys;
+    std::vector<bool> asc_flags;
+    for (const SortKey& k : node.sort_keys) {
+      TQP_ASSIGN_OR_RETURN(TypedNode kn, CompileExpr(*k.expr, in));
+      keys.push_back(kn);
+      asc_flags.push_back(k.ascending);
+    }
+    AttrMap last_attrs;
+    last_attrs.Set("ascending", asc_flags.back());
+    int perm = program_->AddNode(OpType::kArgsortRows, {keys.back().node},
+                                 last_attrs, "order-by");
+    for (size_t i = keys.size() - 1; i-- > 0;) {
+      const int gathered =
+          program_->AddNode(OpType::kGather, {keys[i].node, perm}, {}, "order-by");
+      AttrMap attrs;
+      attrs.Set("ascending", asc_flags[i]);
+      const int p2 =
+          program_->AddNode(OpType::kArgsortRows, {gathered}, attrs, "order-by");
+      perm = program_->AddNode(OpType::kGather, {perm, p2}, {}, "order-by");
+    }
+    ColumnsState out;
+    out.schema = node.output_schema;
+    for (int col : in.nodes) {
+      out.nodes.push_back(
+          program_->AddNode(OpType::kGather, {col, perm}, {}, "order-by"));
+    }
+    return out;
+  }
+
+  TensorProgram* program_;
+  const ml::ModelRegistry* models_;
+  std::vector<CompiledQuery::InputBinding>* bindings_;
+};
+
+}  // namespace
+
+Result<Table> CompiledQuery::Run(const Catalog& catalog) const {
+  TQP_ASSIGN_OR_RETURN(std::vector<Tensor> inputs, CollectInputs(catalog));
+  return RunWithInputs(inputs);
+}
+
+Result<std::vector<Tensor>> CompiledQuery::CollectInputs(
+    const Catalog& catalog) const {
+  std::vector<Tensor> inputs;
+  inputs.reserve(bindings_.size());
+  for (const InputBinding& b : bindings_) {
+    TQP_ASSIGN_OR_RETURN(Table t, catalog.GetTable(b.table));
+    if (b.column < 0 || b.column >= t.num_columns()) {
+      return Status::Internal("input binding out of range for " + b.table);
+    }
+    inputs.push_back(t.column(b.column).tensor());
+  }
+  return inputs;
+}
+
+Result<Table> CompiledQuery::RunWithInputs(
+    const std::vector<Tensor>& inputs) const {
+  TQP_ASSIGN_OR_RETURN(std::vector<Tensor> outputs, executor_->Run(inputs));
+  if (outputs.size() != static_cast<size_t>(output_schema_.num_fields())) {
+    return Status::Internal("executor output arity mismatch");
+  }
+  std::vector<Column> columns;
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    columns.emplace_back(output_schema_.field(static_cast<int>(i)).type,
+                         outputs[i]);
+  }
+  return Table::Make(output_schema_, std::move(columns));
+}
+
+Result<CompiledQuery> QueryCompiler::Compile(const PlanPtr& physical_plan,
+                                             const CompileOptions& options) const {
+  CompiledQuery out;
+  auto program = std::make_shared<TensorProgram>();
+  PlanCompiler compiler(program.get(), models_, &out.bindings_);
+  TQP_ASSIGN_OR_RETURN(ColumnsState result, compiler.CompileNode(*physical_plan));
+  for (int node : result.nodes) program->MarkOutput(node);
+  TQP_RETURN_NOT_OK(program->Validate());
+  out.output_schema_ = physical_plan->output_schema;
+  out.program_ = program;
+  ExecOptions exec_options;
+  exec_options.device = options.device;
+  exec_options.profiler = options.profiler;
+  exec_options.charge_transfers = options.charge_transfers;
+  TQP_ASSIGN_OR_RETURN(out.executor_,
+                       MakeExecutor(options.target, program, exec_options));
+  return out;
+}
+
+Result<CompiledQuery> QueryCompiler::CompileSql(
+    const std::string& sql, const Catalog& catalog, const CompileOptions& options,
+    const PhysicalOptions& physical) const {
+  TQP_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(sql, catalog, physical, models_));
+  return Compile(plan, options);
+}
+
+}  // namespace tqp

@@ -1,0 +1,25 @@
+#ifndef TQP_CORE_TQP_H_
+#define TQP_CORE_TQP_H_
+
+/// \file Umbrella header for the TQP reproduction: include this to get the
+/// full public API (tensor runtime, SQL frontend, compiler, engines, ML,
+/// TPC-H substrate, profiler).
+
+#include "baseline/columnar.h"    // IWYU pragma: export
+#include "baseline/volcano.h"     // IWYU pragma: export
+#include "compile/compiler.h"     // IWYU pragma: export
+#include "datasets/iris.h"        // IWYU pragma: export
+#include "datasets/reviews.h"     // IWYU pragma: export
+#include "graph/serialize.h"      // IWYU pragma: export
+#include "ml/linear.h"            // IWYU pragma: export
+#include "ml/mlp.h"               // IWYU pragma: export
+#include "ml/text.h"              // IWYU pragma: export
+#include "ml/tree.h"              // IWYU pragma: export
+#include "profiler/profiler.h"    // IWYU pragma: export
+#include "relational/csv.h"       // IWYU pragma: export
+#include "relational/ingest.h"    // IWYU pragma: export
+#include "tpch/dbgen.h"           // IWYU pragma: export
+#include "tpch/queries.h"         // IWYU pragma: export
+#include "tpch/schema.h"          // IWYU pragma: export
+
+#endif  // TQP_CORE_TQP_H_

@@ -1,0 +1,50 @@
+#include "datasets/iris.h"
+
+#include "common/random.h"
+#include "relational/table_builder.h"
+
+namespace tqp::datasets {
+
+namespace {
+
+struct SpeciesParams {
+  const char* name;
+  // mean/std for sepal_length, sepal_width, petal_length, petal_width —
+  // the published per-class statistics of the 1936 data.
+  double mean[4];
+  double stddev[4];
+};
+
+const SpeciesParams kSpecies[3] = {
+    {"setosa", {5.006, 3.428, 1.462, 0.246}, {0.352, 0.379, 0.174, 0.105}},
+    {"versicolor", {5.936, 2.770, 4.260, 1.326}, {0.516, 0.314, 0.470, 0.198}},
+    {"virginica", {6.588, 2.974, 5.552, 2.026}, {0.636, 0.322, 0.552, 0.275}},
+};
+
+}  // namespace
+
+Result<Table> IrisTable(uint64_t seed) {
+  Schema schema({Field{"sepal_length", LogicalType::kFloat64},
+                 Field{"sepal_width", LogicalType::kFloat64},
+                 Field{"petal_length", LogicalType::kFloat64},
+                 Field{"petal_width", LogicalType::kFloat64},
+                 Field{"species", LogicalType::kString},
+                 Field{"species_id", LogicalType::kInt64}});
+  TableBuilder builder(schema);
+  Rng rng(seed);
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 50; ++i) {
+      for (int f = 0; f < 4; ++f) {
+        double v = kSpecies[s].mean[f] + rng.NextGaussian() * kSpecies[s].stddev[f];
+        if (v < 0.1) v = 0.1;
+        // Measurements were recorded to one decimal place.
+        builder.AppendDouble(f, static_cast<double>(static_cast<int>(v * 10 + 0.5)) / 10.0);
+      }
+      builder.AppendString(4, kSpecies[s].name);
+      builder.AppendInt(5, s);
+    }
+  }
+  return builder.Finish();
+}
+
+}  // namespace tqp::datasets

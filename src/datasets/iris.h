@@ -1,0 +1,20 @@
+#ifndef TQP_DATASETS_IRIS_H_
+#define TQP_DATASETS_IRIS_H_
+
+#include "relational/table.h"
+
+namespace tqp::datasets {
+
+/// \brief A parametric reconstruction of Fisher's Iris data (1936): 50 rows
+/// per species sampled from class-conditional Gaussians with the published
+/// per-class means and standard deviations of the four measurements.
+///
+/// The original Kaggle/UCI file is not available offline; this preserves the
+/// property the demo's regression task needs (petal measurements strongly
+/// predict species and each other). Columns: sepal_length, sepal_width,
+/// petal_length, petal_width (float64), species (string), species_id (int64).
+Result<Table> IrisTable(uint64_t seed = 4242);
+
+}  // namespace tqp::datasets
+
+#endif  // TQP_DATASETS_IRIS_H_

@@ -1,0 +1,78 @@
+#include "datasets/reviews.h"
+
+#include "common/random.h"
+#include "relational/table_builder.h"
+
+namespace tqp::datasets {
+
+namespace {
+
+const char* kBrands[] = {"Acme", "Globex", "Initech", "Umbrella", "Soylent",
+                         "Stark", "Wayne", "Tyrell"};
+
+const char* kPositive[] = {"great",    "excellent", "love",     "perfect",
+                           "amazing",  "fantastic", "works",    "wonderful",
+                           "best",     "happy",     "reliable", "recommend"};
+const char* kNegative[] = {"terrible", "broken",   "waste",   "awful",
+                           "refund",   "horrible", "useless", "disappointed",
+                           "worst",    "failed",   "cheap",   "returned"};
+const char* kNeutral[] = {"the", "product", "battery", "screen", "price",
+                          "delivery", "box", "quality", "device", "after",
+                          "week", "bought", "using", "still"};
+
+std::string MakeText(Rng* rng, bool positive) {
+  std::string out;
+  const int words = static_cast<int>(rng->Uniform(6, 18));
+  for (int w = 0; w < words; ++w) {
+    if (w > 0) out += ' ';
+    const double roll = rng->NextDouble();
+    if (roll < 0.35) {
+      out += positive ? kPositive[rng->Uniform(0, 11)] : kNegative[rng->Uniform(0, 11)];
+    } else if (roll < 0.42) {
+      // A sprinkle of opposite-sentiment words keeps the task non-trivial.
+      out += positive ? kNegative[rng->Uniform(0, 11)] : kPositive[rng->Uniform(0, 11)];
+    } else {
+      out += kNeutral[rng->Uniform(0, 13)];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Table> ReviewsTable(const ReviewsOptions& options) {
+  Schema schema({Field{"review_id", LogicalType::kInt64},
+                 Field{"brand", LogicalType::kString},
+                 Field{"rating", LogicalType::kInt64},
+                 Field{"text", LogicalType::kString}});
+  TableBuilder builder(schema);
+  Rng rng(options.seed);
+  for (int64_t i = 0; i < options.num_reviews; ++i) {
+    const bool positive_sentiment = rng.Bernoulli(0.62);
+    // Rating tracks sentiment unless noise flips the wording.
+    const bool positive_text =
+        rng.Bernoulli(options.noise) ? !positive_sentiment : positive_sentiment;
+    const int64_t rating =
+        positive_sentiment ? rng.Uniform(3, 5) : rng.Uniform(1, 2);
+    builder.AppendInt(0, i + 1);
+    builder.AppendString(1, kBrands[rng.Uniform(0, 7)]);
+    builder.AppendInt(2, rating);
+    builder.AppendString(3, MakeText(&rng, positive_text));
+  }
+  return builder.Finish();
+}
+
+void GenerateReviewTexts(int64_t n, uint64_t seed,
+                         std::vector<std::string>* texts,
+                         std::vector<double>* labels) {
+  Rng rng(seed);
+  texts->clear();
+  labels->clear();
+  for (int64_t i = 0; i < n; ++i) {
+    const bool positive = rng.Bernoulli(0.5);
+    texts->push_back(MakeText(&rng, positive));
+    labels->push_back(positive ? 1.0 : 0.0);
+  }
+}
+
+}  // namespace tqp::datasets

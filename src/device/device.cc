@@ -1,0 +1,52 @@
+#include "device/device.h"
+
+#include <algorithm>
+
+namespace tqp {
+
+const char* DeviceKindName(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kCpu:
+      return "cpu";
+    case DeviceKind::kCudaSim:
+      return "cuda_sim";
+  }
+  return "unknown";
+}
+
+void Device::RecordKernel(const KernelCost& cost, bool irregular) {
+  if (!is_simulated()) return;
+  const double bw = spec_.mem_bandwidth_bytes_per_sec *
+                    (irregular ? spec_.irregular_efficiency : 1.0);
+  const double mem_sec =
+      static_cast<double>(cost.bytes_read + cost.bytes_written) / bw;
+  const double compute_sec = static_cast<double>(cost.flops) / spec_.flops_per_sec;
+  const double passes = static_cast<double>(std::max<int64_t>(1, cost.passes));
+  // Each pass pays launch latency; memory/compute overlap within a pass.
+  sim_clock_sec_ +=
+      passes * spec_.kernel_launch_sec + std::max(mem_sec, compute_sec);
+  kernels_launched_ += cost.passes;
+}
+
+void Device::RecordTransfer(int64_t bytes) {
+  if (!is_simulated()) return;
+  sim_clock_sec_ += static_cast<double>(bytes) / spec_.pcie_bytes_per_sec;
+  bytes_transferred_ += bytes;
+}
+
+Device* GetDevice(DeviceKind kind) {
+  // Never destroyed: devices have static storage duration for the process
+  // lifetime (Google style: function-local static pointers).
+  static Device* const kCpuDevice = new Device(DeviceKind::kCpu, AcceleratorSpec{});
+  static Device* const kCudaSimDevice =
+      new Device(DeviceKind::kCudaSim, AcceleratorSpec{});
+  switch (kind) {
+    case DeviceKind::kCpu:
+      return kCpuDevice;
+    case DeviceKind::kCudaSim:
+      return kCudaSimDevice;
+  }
+  return kCpuDevice;
+}
+
+}  // namespace tqp

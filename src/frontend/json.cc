@@ -1,0 +1,253 @@
+#include "frontend/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace tqp::frontend {
+
+const JsonValue* JsonValue::Get(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+Result<std::string> JsonValue::GetString(const std::string& key) const {
+  const JsonValue* v = Get(key);
+  if (v == nullptr || !v->is_string()) {
+    return Status::Invalid("JSON: expected string member '" + key + "'");
+  }
+  return v->string_value();
+}
+
+Result<int64_t> JsonValue::GetInt(const std::string& key) const {
+  const JsonValue* v = Get(key);
+  if (v == nullptr || !v->is_number()) {
+    return Status::Invalid("JSON: expected numeric member '" + key + "'");
+  }
+  return v->int_value();
+}
+
+Result<std::vector<std::string>> JsonValue::GetStringArray(
+    const std::string& key) const {
+  std::vector<std::string> out;
+  const JsonValue* v = Get(key);
+  if (v == nullptr) return out;
+  if (!v->is_array()) {
+    return Status::Invalid("JSON: member '" + key + "' must be an array");
+  }
+  for (const JsonValue& item : v->array()) {
+    if (!item.is_string()) {
+      return Status::Invalid("JSON: member '" + key + "' must hold strings");
+    }
+    out.push_back(item.string_value());
+  }
+  return out;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    TQP_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::ParseError("JSON: " + message + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') {
+      if (text_.compare(pos_, 4, "null") == 0) {
+        pos_ += 4;
+        return JsonValue::MakeNull();
+      }
+      return Error("bad literal");
+    }
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++pos_;  // {
+    JsonValue out;
+    out.kind_ = JsonValue::Kind::kObject;
+    if (Consume('}')) return out;
+    while (true) {
+      SkipSpace();
+      TQP_ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      if (!Consume(':')) return Error("expected ':' in object");
+      TQP_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      out.object_.emplace(key.string_value(), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return out;
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++pos_;  // [
+    JsonValue out;
+    out.kind_ = JsonValue::Kind::kArray;
+    if (Consume(']')) return out;
+    while (true) {
+      TQP_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      out.array_.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return out;
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<JsonValue> ParseString() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Error("expected string");
+    }
+    ++pos_;
+    JsonValue out;
+    out.kind_ = JsonValue::Kind::kString;
+    std::string value;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        out.string_ = std::move(value);
+        return out;
+      }
+      if (c != '\\') {
+        value.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("bad escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          value.push_back(esc);
+          break;
+        case 'b':
+          value.push_back('\b');
+          break;
+        case 'f':
+          value.push_back('\f');
+          break;
+        case 'n':
+          value.push_back('\n');
+          break;
+        case 'r':
+          value.push_back('\r');
+          break;
+        case 't':
+          value.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad \\u escape digit");
+            }
+          }
+          // UTF-8 encode (BMP only; surrogate pairs unsupported).
+          if (code < 0x80) {
+            value.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            value.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            value.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            value.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            value.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            value.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseBool() {
+    JsonValue out;
+    out.kind_ = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out.bool_ = true;
+      pos_ += 4;
+      return out;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out.bool_ = false;
+      pos_ += 5;
+      return out;
+    }
+    return Error("bad literal");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '-' || text_[pos_] == '+') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      if (std::isdigit(static_cast<unsigned char>(text_[pos_]))) digits = true;
+      ++pos_;
+    }
+    if (!digits) return Error("bad number");
+    JsonValue out;
+    out.kind_ = JsonValue::Kind::kNumber;
+    out.number_ = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return out;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  JsonParser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace tqp::frontend

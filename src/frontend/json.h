@@ -1,0 +1,59 @@
+#ifndef TQP_FRONTEND_JSON_H_
+#define TQP_FRONTEND_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tqp::frontend {
+
+/// \brief A parsed JSON value: the minimal document model the Spark-plan
+/// frontend needs (objects, arrays, strings, numbers, booleans, null).
+/// Self-contained on purpose — the repository has no external dependencies.
+class JsonValue {
+ public:
+  enum class Kind : int8_t { kNull = 0, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  int64_t int_value() const { return static_cast<int64_t>(number_); }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+
+  /// \brief Object member lookup; returns nullptr when absent.
+  const JsonValue* Get(const std::string& key) const;
+
+  /// \brief Convenience accessors with type checking.
+  Result<std::string> GetString(const std::string& key) const;
+  Result<int64_t> GetInt(const std::string& key) const;
+  /// \brief Array-of-strings member; missing key yields an empty vector.
+  Result<std::vector<std::string>> GetStringArray(const std::string& key) const;
+
+  static JsonValue MakeNull() { return JsonValue(); }
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// \brief Parses a JSON document. Rejects trailing garbage; supports the
+/// standard escapes (\" \\ \/ \b \f \n \r \t and \uXXXX for BMP codepoints).
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace tqp::frontend
+
+#endif  // TQP_FRONTEND_JSON_H_

@@ -1,0 +1,64 @@
+#include "graph/dot.h"
+
+#include <sstream>
+
+namespace tqp {
+
+namespace {
+
+std::string EscapeDot(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ProgramToDot(const TensorProgram& program,
+                         const std::string& graph_name) {
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n";
+  os << "  rankdir=TB;\n  node [fontname=\"Helvetica\", fontsize=10];\n";
+  for (const OpNode& n : program.nodes()) {
+    os << "  n" << n.id << " [";
+    if (n.type == OpType::kInput) {
+      os << "shape=ellipse, style=filled, fillcolor=\"#cfe8ff\", label=\"input\\n"
+         << EscapeDot(n.label) << "\"";
+    } else if (n.type == OpType::kConstant) {
+      const Tensor& c = program.constant(static_cast<int>(n.attrs.GetInt("const_id")));
+      os << "shape=box, style=filled, fillcolor=\"#eeeeee\", label=\""
+         << EscapeDot(n.label.empty() ? "const" : n.label) << "\\n"
+         << DTypeName(c.dtype()) << " " << c.rows() << "x" << c.cols() << "\"";
+    } else {
+      os << "shape=box, style=\"rounded,filled\", fillcolor=\"#ffe9c7\", label=\""
+         << OpTypeName(n.type);
+      if (!n.label.empty()) os << "\\n" << EscapeDot(n.label);
+      os << "\"";
+    }
+    os << "];\n";
+  }
+  for (const OpNode& n : program.nodes()) {
+    for (size_t i = 0; i < n.inputs.size(); ++i) {
+      os << "  n" << n.inputs[i] << " -> n" << n.id;
+      if (n.inputs.size() > 1) os << " [label=\"" << i << "\"]";
+      os << ";\n";
+    }
+  }
+  for (size_t i = 0; i < program.outputs().size(); ++i) {
+    os << "  out" << i
+       << " [shape=ellipse, style=filled, fillcolor=\"#d8f0d8\", label=\"output "
+       << i << "\"];\n";
+    os << "  n" << program.outputs()[i] << " -> out" << i << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace tqp

@@ -1,0 +1,19 @@
+#ifndef TQP_GRAPH_DOT_H_
+#define TQP_GRAPH_DOT_H_
+
+#include <string>
+
+#include "graph/program.h"
+
+namespace tqp {
+
+/// \brief Renders the tensor program as Graphviz DOT — the stand-in for the
+/// TensorBoard executor-graph view of the paper's Figure 4. Node shapes:
+/// inputs are ellipses, constants are boxes, ops are rounded records with
+/// the op name and (when present) the relational label.
+std::string ProgramToDot(const TensorProgram& program,
+                         const std::string& graph_name = "tqp_executor");
+
+}  // namespace tqp
+
+#endif  // TQP_GRAPH_DOT_H_

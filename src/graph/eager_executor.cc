@@ -1,0 +1,66 @@
+#include "graph/eager_executor.h"
+
+#include "common/stopwatch.h"
+#include "graph/eval.h"
+
+namespace tqp {
+
+const char* ExecutorTargetName(ExecutorTarget target) {
+  switch (target) {
+    case ExecutorTarget::kEager:
+      return "eager";
+    case ExecutorTarget::kStatic:
+      return "static";
+    case ExecutorTarget::kInterp:
+      return "interp";
+  }
+  return "?";
+}
+
+EagerExecutor::EagerExecutor(std::shared_ptr<const TensorProgram> program,
+                             ExecOptions options)
+    : program_(std::move(program)), options_(options) {}
+
+Result<std::vector<Tensor>> EagerExecutor::Run(const std::vector<Tensor>& inputs) {
+  const TensorProgram& prog = *program_;
+  if (inputs.size() != prog.input_nodes().size()) {
+    return Status::Invalid("executor expects " +
+                           std::to_string(prog.input_nodes().size()) +
+                           " inputs, got " + std::to_string(inputs.size()));
+  }
+  Device* device = GetDevice(options_.device);
+  std::vector<Tensor> values(static_cast<size_t>(prog.num_nodes()));
+  // Bind inputs; on a simulated accelerator, charge the host->device copy.
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    values[static_cast<size_t>(prog.input_nodes()[i])] = inputs[i];
+    if (device->is_simulated() && options_.charge_transfers) {
+      device->RecordTransfer(inputs[i].nbytes());
+    }
+  }
+  for (const OpNode& node : prog.nodes()) {
+    if (node.type == OpType::kInput) continue;
+    Stopwatch timer;
+    TQP_ASSIGN_OR_RETURN(Tensor out, EvalNode(prog, node, values));
+    if (device->is_simulated()) {
+      bool irregular = false;
+      const KernelCost cost = EstimateNodeCost(node, values, out, &irregular);
+      device->RecordKernel(cost, irregular);
+    }
+    if (options_.profiler != nullptr) {
+      options_.profiler->RecordOp(node, timer.ElapsedNanos(), out.nbytes());
+    }
+    values[static_cast<size_t>(node.id)] = std::move(out);
+  }
+  std::vector<Tensor> outputs;
+  outputs.reserve(prog.outputs().size());
+  for (int id : prog.outputs()) {
+    outputs.push_back(values[static_cast<size_t>(id)]);
+    // Device -> host copy of results.
+    if (device->is_simulated() && options_.charge_transfers) {
+      device->RecordTransfer(outputs.back().nbytes());
+    }
+  }
+  return outputs;
+}
+
+}  // namespace tqp

@@ -1,0 +1,28 @@
+#ifndef TQP_GRAPH_EAGER_EXECUTOR_H_
+#define TQP_GRAPH_EAGER_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/executor.h"
+
+namespace tqp {
+
+/// \brief Node-by-node dispatch, materializing every intermediate — the
+/// PyTorch-eager analog and the reference semantics for the other executors.
+class EagerExecutor : public Executor {
+ public:
+  EagerExecutor(std::shared_ptr<const TensorProgram> program, ExecOptions options);
+
+  Result<std::vector<Tensor>> Run(const std::vector<Tensor>& inputs) override;
+  std::string name() const override { return "eager"; }
+  ExecutorTarget target() const override { return ExecutorTarget::kEager; }
+
+ private:
+  std::shared_ptr<const TensorProgram> program_;
+  ExecOptions options_;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_GRAPH_EAGER_EXECUTOR_H_

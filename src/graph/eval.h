@@ -1,0 +1,25 @@
+#ifndef TQP_GRAPH_EVAL_H_
+#define TQP_GRAPH_EVAL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "device/device.h"
+#include "graph/program.h"
+
+namespace tqp {
+
+/// \brief Evaluates one op node given the tensors computed for its inputs
+/// (indexed by node id in `values`). Shared by all executors.
+Result<Tensor> EvalNode(const TensorProgram& program, const OpNode& node,
+                        const std::vector<Tensor>& values);
+
+/// \brief Roofline cost of a node execution, fed to the simulated device
+/// clock. `irregular` is set for data-dependent access patterns (gather,
+/// hashing) that run below peak bandwidth on real GPUs.
+KernelCost EstimateNodeCost(const OpNode& node, const std::vector<Tensor>& values,
+                            const Tensor& output, bool* irregular);
+
+}  // namespace tqp
+
+#endif  // TQP_GRAPH_EVAL_H_

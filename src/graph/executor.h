@@ -1,0 +1,66 @@
+#ifndef TQP_GRAPH_EXECUTOR_H_
+#define TQP_GRAPH_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "device/device.h"
+#include "graph/program.h"
+
+namespace tqp {
+
+/// \brief Executor backends, mirroring the paper's lowering targets (§2.2):
+/// PyTorch eager, TorchScript (ahead-of-time planned, fused), and the
+/// ONNX/WebAssembly browser path (portable bytecode, scalar interpreter).
+enum class ExecutorTarget : int8_t {
+  kEager = 0,
+  kStatic = 1,
+  kInterp = 2,
+};
+
+const char* ExecutorTargetName(ExecutorTarget target);
+
+/// \brief Hook for per-op profiling (implemented in src/profiler).
+class OpProfiler {
+ public:
+  virtual ~OpProfiler() = default;
+  /// Called after each op node executes.
+  virtual void RecordOp(const OpNode& node, int64_t wall_nanos,
+                        int64_t output_bytes) = 0;
+};
+
+/// \brief Execution configuration: target hardware device + optional profiler.
+struct ExecOptions {
+  DeviceKind device = DeviceKind::kCpu;
+  OpProfiler* profiler = nullptr;  // not owned; may be null
+  /// Rows per block for fused elementwise execution (StaticExecutor).
+  int64_t fusion_block_rows = 32768;
+  /// Charge host<->device PCIe transfers to the simulated clock. Disable to
+  /// model data already resident on the accelerator (how GPU-database
+  /// comparisons such as TXT2 are usually reported).
+  bool charge_transfers = true;
+};
+
+/// \brief A compiled, runnable tensor program (the paper's "Executor").
+///
+/// Run() binds positional inputs to the program's input nodes and returns the
+/// program outputs in order. Executors are reusable across calls (the
+/// compile-once / run-many workflow of Figure 3).
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  virtual Result<std::vector<Tensor>> Run(const std::vector<Tensor>& inputs) = 0;
+  virtual std::string name() const = 0;
+  virtual ExecutorTarget target() const = 0;
+};
+
+/// \brief Builds an executor for the given target over a shared program.
+Result<std::unique_ptr<Executor>> MakeExecutor(
+    ExecutorTarget target, std::shared_ptr<const TensorProgram> program,
+    ExecOptions options = {});
+
+}  // namespace tqp
+
+#endif  // TQP_GRAPH_EXECUTOR_H_

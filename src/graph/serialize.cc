@@ -1,0 +1,213 @@
+#include "graph/serialize.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace tqp {
+
+namespace {
+
+constexpr char kMagic[] = "TQPROG/1";
+
+void AppendHex(const uint8_t* data, int64_t size, std::string* out) {
+  static const char* kDigits = "0123456789abcdef";
+  out->reserve(out->size() + static_cast<size_t>(size) * 2);
+  for (int64_t i = 0; i < size; ++i) {
+    out->push_back(kDigits[data[i] >> 4]);
+    out->push_back(kDigits[data[i] & 0xF]);
+  }
+}
+
+Result<int> HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return Status::ParseError("bad hex digit in program");
+}
+
+// Strings are escaped as %XX for bytes outside [33, 126] plus '%' itself.
+std::string EscapeString(const std::string& s) {
+  // Leading '~' keeps empty strings tokenizable by operator>>.
+  std::string out = "~";
+  for (unsigned char c : s) {
+    if (c > 32 && c < 127 && c != '%') {
+      out.push_back(static_cast<char>(c));
+    } else {
+      static const char* kDigits = "0123456789abcdef";
+      out.push_back('%');
+      out.push_back(kDigits[c >> 4]);
+      out.push_back(kDigits[c & 0xF]);
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeString(const std::string& s) {
+  if (s.empty() || s[0] != '~') return Status::ParseError("missing string sentinel");
+  std::string out;
+  for (size_t i = 1; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (i + 2 >= s.size()) return Status::ParseError("truncated escape");
+    TQP_ASSIGN_OR_RETURN(int hi, HexNibble(s[i + 1]));
+    TQP_ASSIGN_OR_RETURN(int lo, HexNibble(s[i + 2]));
+    out.push_back(static_cast<char>(hi * 16 + lo));
+    i += 2;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SerializeProgram(const TensorProgram& program) {
+  std::ostringstream os;
+  os << kMagic << "\n";
+  os << "constants " << program.constants().size() << "\n";
+  for (const Tensor& c : program.constants()) {
+    os << "const " << static_cast<int>(c.dtype()) << " " << c.rows() << " "
+       << c.cols() << " ";
+    std::string hex = "#";
+    AppendHex(static_cast<const uint8_t*>(c.raw_data()), c.nbytes(), &hex);
+    os << hex << "\n";
+  }
+  os << "nodes " << program.num_nodes() << "\n";
+  for (const OpNode& n : program.nodes()) {
+    os << "node " << n.id << " " << static_cast<int>(n.type) << " "
+       << n.inputs.size();
+    for (int in : n.inputs) os << " " << in;
+    os << " attrs " << n.attrs.entries().size();
+    for (const auto& [key, value] : n.attrs.entries()) {
+      os << " " << EscapeString(key) << " ";
+      if (std::holds_alternative<int64_t>(value)) {
+        os << "i " << std::get<int64_t>(value);
+      } else if (std::holds_alternative<double>(value)) {
+        // Hex-encode the double bits for exact round-tripping.
+        uint64_t bits;
+        std::memcpy(&bits, &std::get<double>(value), 8);
+        os << "d " << bits;
+      } else if (std::holds_alternative<bool>(value)) {
+        os << "b " << (std::get<bool>(value) ? 1 : 0);
+      } else {
+        os << "s " << EscapeString(std::get<std::string>(value));
+      }
+    }
+    os << " label " << EscapeString(n.label) << "\n";
+  }
+  os << "outputs " << program.outputs().size();
+  for (int out : program.outputs()) os << " " << out;
+  os << "\n";
+  return os.str();
+}
+
+Result<TensorProgram> DeserializeProgram(const std::string& text) {
+  std::istringstream is(text);
+  std::string tok;
+  is >> tok;
+  if (tok != kMagic) return Status::ParseError("bad program magic");
+
+  TensorProgram program;
+  size_t num_constants = 0;
+  is >> tok >> num_constants;
+  if (tok != "constants") return Status::ParseError("expected constants section");
+  std::vector<Tensor> constants;
+  constants.reserve(num_constants);
+  for (size_t i = 0; i < num_constants; ++i) {
+    int dtype_int = 0;
+    int64_t rows = 0;
+    int64_t cols = 0;
+    std::string hex;
+    is >> tok >> dtype_int >> rows >> cols >> hex;
+    if (tok != "const") return Status::ParseError("expected const entry");
+    TQP_ASSIGN_OR_RETURN(
+        Tensor c, Tensor::Empty(static_cast<DType>(dtype_int), rows, cols));
+    if (hex.empty() || hex[0] != '#' ||
+        static_cast<int64_t>(hex.size()) != c.nbytes() * 2 + 1) {
+      return Status::ParseError("constant payload size mismatch");
+    }
+    uint8_t* p = static_cast<uint8_t*>(c.raw_mutable_data());
+    for (int64_t b = 0; b < c.nbytes(); ++b) {
+      TQP_ASSIGN_OR_RETURN(int hi, HexNibble(hex[static_cast<size_t>(2 * b + 1)]));
+      TQP_ASSIGN_OR_RETURN(int lo, HexNibble(hex[static_cast<size_t>(2 * b + 2)]));
+      p[b] = static_cast<uint8_t>(hi * 16 + lo);
+    }
+    constants.push_back(std::move(c));
+  }
+
+  int num_nodes = 0;
+  is >> tok >> num_nodes;
+  if (tok != "nodes") return Status::ParseError("expected nodes section");
+  for (int i = 0; i < num_nodes; ++i) {
+    int id = 0;
+    int type_int = 0;
+    size_t num_inputs = 0;
+    is >> tok >> id >> type_int >> num_inputs;
+    if (tok != "node" || id != i) return Status::ParseError("bad node entry");
+    std::vector<int> inputs(num_inputs);
+    for (size_t k = 0; k < num_inputs; ++k) is >> inputs[k];
+    size_t num_attrs = 0;
+    is >> tok >> num_attrs;
+    if (tok != "attrs") return Status::ParseError("expected attrs");
+    AttrMap attrs;
+    for (size_t k = 0; k < num_attrs; ++k) {
+      std::string key_esc;
+      std::string tag;
+      is >> key_esc >> tag;
+      TQP_ASSIGN_OR_RETURN(std::string key, UnescapeString(key_esc));
+      if (tag == "i") {
+        int64_t v = 0;
+        is >> v;
+        attrs.Set(key, v);
+      } else if (tag == "d") {
+        uint64_t bits = 0;
+        is >> bits;
+        double v;
+        std::memcpy(&v, &bits, 8);
+        attrs.Set(key, v);
+      } else if (tag == "b") {
+        int v = 0;
+        is >> v;
+        attrs.Set(key, v != 0);
+      } else if (tag == "s") {
+        std::string v_esc;
+        is >> v_esc;
+        TQP_ASSIGN_OR_RETURN(std::string v, UnescapeString(v_esc));
+        attrs.Set(key, v);
+      } else {
+        return Status::ParseError("bad attr tag '" + tag + "'");
+      }
+    }
+    std::string label_esc;
+    is >> tok >> label_esc;
+    if (tok != "label") return Status::ParseError("expected label");
+    TQP_ASSIGN_OR_RETURN(std::string label, UnescapeString(label_esc));
+
+    const OpType type = static_cast<OpType>(type_int);
+    if (type == OpType::kInput) {
+      program.AddInput(attrs.GetString("name"));
+    } else if (type == OpType::kConstant) {
+      const int64_t cid = attrs.GetInt("const_id");
+      if (cid < 0 || cid >= static_cast<int64_t>(constants.size())) {
+        return Status::ParseError("constant id out of range");
+      }
+      program.AddConstant(constants[static_cast<size_t>(cid)], label);
+    } else {
+      program.AddNode(type, std::move(inputs), std::move(attrs), label);
+    }
+  }
+
+  size_t num_outputs = 0;
+  is >> tok >> num_outputs;
+  if (tok != "outputs") return Status::ParseError("expected outputs section");
+  for (size_t i = 0; i < num_outputs; ++i) {
+    int out = 0;
+    is >> out;
+    program.MarkOutput(out);
+  }
+  TQP_RETURN_NOT_OK(program.Validate());
+  return program;
+}
+
+}  // namespace tqp

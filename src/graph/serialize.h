@@ -1,0 +1,21 @@
+#ifndef TQP_GRAPH_SERIALIZE_H_
+#define TQP_GRAPH_SERIALIZE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/program.h"
+
+namespace tqp {
+
+/// \brief Serializes a tensor program (nodes, attrs, constants, outputs) to a
+/// self-contained portable text format — the ONNX-export analog used by the
+/// web/interpreter backend. Constant buffers are hex-encoded.
+std::string SerializeProgram(const TensorProgram& program);
+
+/// \brief Parses a serialized program. Round-trips with SerializeProgram.
+Result<TensorProgram> DeserializeProgram(const std::string& text);
+
+}  // namespace tqp
+
+#endif  // TQP_GRAPH_SERIALIZE_H_

@@ -1,0 +1,251 @@
+#include "graph/static_executor.h"
+
+#include <cstring>
+
+#include "common/stopwatch.h"
+#include "graph/eval.h"
+
+namespace tqp {
+
+StaticExecutor::StaticExecutor(std::shared_ptr<const TensorProgram> program,
+                               ExecOptions options)
+    : program_(std::move(program)), options_(options) {
+  // Plan: contiguous runs of fusible pointwise nodes become one fused step.
+  // Contiguity in topological order guarantees every non-group input is
+  // already materialized when the group starts.
+  use_counts_ = program_->ComputeUseCounts();
+  Step open;
+  auto flush = [&]() {
+    if (open.node_ids.empty()) return;
+    if (open.node_ids.size() > 1) ++num_fusion_groups_;
+    steps_.push_back(open);
+    open.node_ids.clear();
+  };
+  for (const OpNode& node : program_->nodes()) {
+    if (node.type == OpType::kInput) continue;
+    if (IsFusibleElementwise(node.type)) {
+      open.node_ids.push_back(node.id);
+    } else {
+      flush();
+      steps_.push_back(Step{{node.id}});
+    }
+  }
+  flush();
+}
+
+Result<std::vector<Tensor>> StaticExecutor::Run(const std::vector<Tensor>& inputs) {
+  const TensorProgram& prog = *program_;
+  if (inputs.size() != prog.input_nodes().size()) {
+    return Status::Invalid("executor expects " +
+                           std::to_string(prog.input_nodes().size()) +
+                           " inputs, got " + std::to_string(inputs.size()));
+  }
+  Device* device = GetDevice(options_.device);
+  std::vector<Tensor> values(static_cast<size_t>(prog.num_nodes()));
+  std::vector<int> remaining = use_counts_;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    values[static_cast<size_t>(prog.input_nodes()[i])] = inputs[i];
+    if (device->is_simulated() && options_.charge_transfers) {
+      device->RecordTransfer(inputs[i].nbytes());
+    }
+  }
+  // Program outputs must survive buffer release.
+  std::vector<bool> is_output(static_cast<size_t>(prog.num_nodes()), false);
+  for (int id : prog.outputs()) is_output[static_cast<size_t>(id)] = true;
+
+  auto release_inputs = [&](const OpNode& node) {
+    for (int in : node.inputs) {
+      int& uses = remaining[static_cast<size_t>(in)];
+      --uses;
+      if (uses <= 0 && !is_output[static_cast<size_t>(in)] &&
+          prog.node(in).type != OpType::kInput) {
+        values[static_cast<size_t>(in)] = Tensor();  // drop buffer
+      }
+    }
+  };
+
+  for (const Step& step : steps_) {
+    if (step.node_ids.size() == 1) {
+      const OpNode& node = prog.node(step.node_ids[0]);
+      Stopwatch timer;
+      TQP_ASSIGN_OR_RETURN(Tensor out, EvalNode(prog, node, values));
+      if (device->is_simulated()) {
+        bool irregular = false;
+        device->RecordKernel(EstimateNodeCost(node, values, out, &irregular),
+                             irregular);
+      }
+      if (options_.profiler != nullptr) {
+        options_.profiler->RecordOp(node, timer.ElapsedNanos(), out.nbytes());
+      }
+      values[static_cast<size_t>(node.id)] = std::move(out);
+      release_inputs(node);
+    } else {
+      TQP_RETURN_NOT_OK(RunFusedGroup(step, &values, device));
+      for (int id : step.node_ids) release_inputs(prog.node(id));
+    }
+  }
+  std::vector<Tensor> outputs;
+  outputs.reserve(prog.outputs().size());
+  for (int id : prog.outputs()) {
+    if (!values[static_cast<size_t>(id)].defined()) {
+      return Status::Internal("static executor dropped an output tensor");
+    }
+    outputs.push_back(values[static_cast<size_t>(id)]);
+    if (device->is_simulated() && options_.charge_transfers) {
+      device->RecordTransfer(outputs.back().nbytes());
+    }
+  }
+  return outputs;
+}
+
+Status StaticExecutor::RunFusedGroup(const Step& step, std::vector<Tensor>* values,
+                                     Device* device) {
+  const TensorProgram& prog = *program_;
+  // Determine the shared row domain: every non-scalar external input of the
+  // group must agree on the row count, and all tensors must be single-column
+  // (the relational expression case). Otherwise fall back to per-node eval.
+  std::vector<bool> in_group(static_cast<size_t>(prog.num_nodes()), false);
+  for (int id : step.node_ids) in_group[static_cast<size_t>(id)] = true;
+  int64_t n_rows = -1;
+  bool fallback = false;
+  for (int id : step.node_ids) {
+    for (int in : prog.node(id).inputs) {
+      if (in_group[static_cast<size_t>(in)]) continue;
+      Tensor ext = prog.node(in).type == OpType::kConstant
+                       ? prog.constant(static_cast<int>(
+                             prog.node(in).attrs.GetInt("const_id")))
+                       : (*values)[static_cast<size_t>(in)];
+      if (!ext.defined()) {
+        fallback = true;
+        break;
+      }
+      if (ext.numel() == 1) continue;  // broadcast scalar
+      if (ext.cols() != 1) {
+        fallback = true;
+        break;
+      }
+      if (n_rows == -1) {
+        n_rows = ext.rows();
+      } else if (n_rows != ext.rows()) {
+        fallback = true;
+        break;
+      }
+    }
+    if (fallback) break;
+  }
+  Stopwatch timer;
+  const int64_t block = options_.fusion_block_rows;
+  if (fallback || n_rows < 2 * block) {
+    // Small input or irregular shapes: plain per-node evaluation.
+    for (int id : step.node_ids) {
+      const OpNode& node = prog.node(id);
+      Stopwatch node_timer;
+      TQP_ASSIGN_OR_RETURN(Tensor out, EvalNode(prog, node, *values));
+      if (device->is_simulated()) {
+        bool irregular = false;
+        device->RecordKernel(EstimateNodeCost(node, *values, out, &irregular),
+                             irregular);
+      }
+      if (options_.profiler != nullptr) {
+        options_.profiler->RecordOp(node, node_timer.ElapsedNanos(), out.nbytes());
+      }
+      (*values)[static_cast<size_t>(node.id)] = std::move(out);
+    }
+    return Status::OK();
+  }
+
+  // Blocked fused execution. Which group nodes escape (used outside or are
+  // program outputs)?
+  std::vector<bool> is_output(static_cast<size_t>(prog.num_nodes()), false);
+  for (int id : prog.outputs()) is_output[static_cast<size_t>(id)] = true;
+  std::vector<int> external_uses(static_cast<size_t>(prog.num_nodes()), 0);
+  for (const OpNode& n : prog.nodes()) {
+    for (int in : n.inputs) {
+      if (in_group[static_cast<size_t>(in)] && !in_group[static_cast<size_t>(n.id)]) {
+        ++external_uses[static_cast<size_t>(in)];
+      }
+    }
+  }
+  std::vector<Tensor> block_values(static_cast<size_t>(prog.num_nodes()));
+  std::vector<Tensor> full_outputs(static_cast<size_t>(prog.num_nodes()));
+  for (int64_t b0 = 0; b0 < n_rows; b0 += block) {
+    const int64_t b1 = std::min(n_rows, b0 + block);
+    // Bind external inputs (sliced or broadcast) into the block value table.
+    for (int id : step.node_ids) {
+      for (int in : prog.node(id).inputs) {
+        if (in_group[static_cast<size_t>(in)]) continue;
+        Tensor ext = prog.node(in).type == OpType::kConstant
+                         ? prog.constant(static_cast<int>(
+                               prog.node(in).attrs.GetInt("const_id")))
+                         : (*values)[static_cast<size_t>(in)];
+        block_values[static_cast<size_t>(in)] =
+            ext.numel() == 1 ? ext : ext.SliceRows(b0, b1);
+      }
+    }
+    for (int id : step.node_ids) {
+      const OpNode& node = prog.node(id);
+      TQP_ASSIGN_OR_RETURN(Tensor out, EvalNode(prog, node, block_values));
+      block_values[static_cast<size_t>(id)] = std::move(out);
+    }
+    // Copy escaping nodes' block results into their full tensors.
+    for (int id : step.node_ids) {
+      if (external_uses[static_cast<size_t>(id)] == 0 &&
+          !is_output[static_cast<size_t>(id)]) {
+        continue;
+      }
+      const Tensor& blk = block_values[static_cast<size_t>(id)];
+      Tensor& full = full_outputs[static_cast<size_t>(id)];
+      if (!full.defined()) {
+        // Scalar results of broadcast chains keep scalar shape.
+        const int64_t out_rows = blk.rows() == (b1 - b0) ? n_rows : blk.rows();
+        TQP_ASSIGN_OR_RETURN(
+            full, Tensor::Empty(blk.dtype(), out_rows, blk.cols(), blk.device()));
+      }
+      if (blk.rows() == (b1 - b0)) {
+        std::memcpy(static_cast<uint8_t*>(full.raw_mutable_data()) +
+                        b0 * blk.cols() * DTypeSize(blk.dtype()),
+                    blk.raw_data(), static_cast<size_t>(blk.nbytes()));
+      } else {
+        std::memcpy(full.raw_mutable_data(), blk.raw_data(),
+                    static_cast<size_t>(blk.nbytes()));
+      }
+    }
+  }
+  for (int id : step.node_ids) {
+    if (full_outputs[static_cast<size_t>(id)].defined()) {
+      (*values)[static_cast<size_t>(id)] = std::move(full_outputs[static_cast<size_t>(id)]);
+    }
+  }
+  if (device->is_simulated()) {
+    // A fused group reads its external inputs and writes escaping outputs
+    // once — that is the fusion benefit on a real GPU too (one kernel).
+    KernelCost cost;
+    for (int id : step.node_ids) {
+      for (int in : prog.node(id).inputs) {
+        if (!in_group[static_cast<size_t>(in)]) {
+          const Tensor& t = (*values)[static_cast<size_t>(in)];
+          if (t.defined()) cost.bytes_read += t.nbytes();
+        }
+      }
+      const Tensor& out = (*values)[static_cast<size_t>(id)];
+      if (out.defined()) cost.bytes_written += out.nbytes();
+      cost.flops += n_rows;
+    }
+    device->RecordKernel(cost, /*irregular=*/false);
+  }
+  if (options_.profiler != nullptr) {
+    // Attribute the whole fused group to its last node with a fused label.
+    OpNode pseudo = prog.node(step.node_ids.back());
+    pseudo.label = "fused[" + std::to_string(step.node_ids.size()) + " ops]" +
+                   (pseudo.label.empty() ? "" : " " + pseudo.label);
+    int64_t out_bytes = 0;
+    for (int id : step.node_ids) {
+      const Tensor& t = (*values)[static_cast<size_t>(id)];
+      if (t.defined()) out_bytes += t.nbytes();
+    }
+    options_.profiler->RecordOp(pseudo, timer.ElapsedNanos(), out_bytes);
+  }
+  return Status::OK();
+}
+
+}  // namespace tqp

@@ -1,0 +1,50 @@
+#ifndef TQP_GRAPH_STATIC_EXECUTOR_H_
+#define TQP_GRAPH_STATIC_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/executor.h"
+
+namespace tqp {
+
+/// \brief Ahead-of-time planned execution — the TorchScript analog.
+///
+/// Two optimizations over EagerExecutor, planned once at construction:
+///  1. *Elementwise fusion*: contiguous runs of pointwise ops execute in
+///     cache-sized row blocks, so chain intermediates stay in L1/L2 instead
+///     of streaming through memory once per op.
+///  2. *Buffer release*: intermediate tensors are dropped as soon as their
+///     last consumer has run (eager keeps everything until the end).
+/// Results are bit-identical to EagerExecutor; only the schedule differs.
+class StaticExecutor : public Executor {
+ public:
+  StaticExecutor(std::shared_ptr<const TensorProgram> program, ExecOptions options);
+
+  Result<std::vector<Tensor>> Run(const std::vector<Tensor>& inputs) override;
+  std::string name() const override { return "static"; }
+  ExecutorTarget target() const override { return ExecutorTarget::kStatic; }
+
+  /// \brief Number of fusion groups planned (>= 2 pointwise ops each);
+  /// exposed for tests and the fusion ablation bench.
+  int num_fusion_groups() const { return num_fusion_groups_; }
+
+ private:
+  // One planned step: either a single node or a fused run of pointwise nodes.
+  struct Step {
+    std::vector<int> node_ids;  // size 1 = plain; > 1 = fused group
+  };
+
+  Status RunFusedGroup(const Step& step, std::vector<Tensor>* values,
+                       Device* device);
+
+  std::shared_ptr<const TensorProgram> program_;
+  ExecOptions options_;
+  std::vector<Step> steps_;
+  std::vector<int> use_counts_;
+  int num_fusion_groups_ = 0;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_GRAPH_STATIC_EXECUTOR_H_

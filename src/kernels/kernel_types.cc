@@ -1,0 +1,64 @@
+#include "kernels/kernel_types.h"
+
+namespace tqp {
+
+const char* BinaryOpName(BinaryOpKind op) {
+  switch (op) {
+    case BinaryOpKind::kAdd: return "add";
+    case BinaryOpKind::kSub: return "sub";
+    case BinaryOpKind::kMul: return "mul";
+    case BinaryOpKind::kDiv: return "div";
+    case BinaryOpKind::kMod: return "mod";
+    case BinaryOpKind::kMin: return "min";
+    case BinaryOpKind::kMax: return "max";
+  }
+  return "?";
+}
+
+const char* CompareOpName(CompareOpKind op) {
+  switch (op) {
+    case CompareOpKind::kEq: return "eq";
+    case CompareOpKind::kNe: return "ne";
+    case CompareOpKind::kLt: return "lt";
+    case CompareOpKind::kLe: return "le";
+    case CompareOpKind::kGt: return "gt";
+    case CompareOpKind::kGe: return "ge";
+  }
+  return "?";
+}
+
+const char* LogicalOpName(LogicalOpKind op) {
+  switch (op) {
+    case LogicalOpKind::kAnd: return "and";
+    case LogicalOpKind::kOr: return "or";
+    case LogicalOpKind::kXor: return "xor";
+  }
+  return "?";
+}
+
+const char* UnaryOpName(UnaryOpKind op) {
+  switch (op) {
+    case UnaryOpKind::kNeg: return "neg";
+    case UnaryOpKind::kAbs: return "abs";
+    case UnaryOpKind::kExp: return "exp";
+    case UnaryOpKind::kLog: return "log";
+    case UnaryOpKind::kSqrt: return "sqrt";
+    case UnaryOpKind::kSigmoid: return "sigmoid";
+    case UnaryOpKind::kTanh: return "tanh";
+    case UnaryOpKind::kRelu: return "relu";
+    case UnaryOpKind::kNot: return "not";
+  }
+  return "?";
+}
+
+const char* ReduceOpName(ReduceOpKind op) {
+  switch (op) {
+    case ReduceOpKind::kSum: return "sum";
+    case ReduceOpKind::kMin: return "min";
+    case ReduceOpKind::kMax: return "max";
+    case ReduceOpKind::kCount: return "count";
+  }
+  return "?";
+}
+
+}  // namespace tqp

@@ -1,0 +1,65 @@
+#ifndef TQP_KERNELS_KERNEL_TYPES_H_
+#define TQP_KERNELS_KERNEL_TYPES_H_
+
+#include <cstdint>
+
+namespace tqp {
+
+/// \brief Binary arithmetic kernels (torch.add / sub / mul / ... analogs).
+enum class BinaryOpKind : int8_t {
+  kAdd = 0,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kMin,
+  kMax,
+};
+
+/// \brief Comparison kernels producing boolean masks.
+enum class CompareOpKind : int8_t {
+  kEq = 0,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+/// \brief Boolean combinators for masks.
+enum class LogicalOpKind : int8_t {
+  kAnd = 0,
+  kOr,
+  kXor,
+};
+
+/// \brief Unary elementwise kernels.
+enum class UnaryOpKind : int8_t {
+  kNeg = 0,
+  kAbs,
+  kExp,
+  kLog,
+  kSqrt,
+  kSigmoid,
+  kTanh,
+  kRelu,
+  kNot,  // boolean negation
+};
+
+/// \brief Reduction kernels.
+enum class ReduceOpKind : int8_t {
+  kSum = 0,
+  kMin,
+  kMax,
+  kCount,
+};
+
+const char* BinaryOpName(BinaryOpKind op);
+const char* CompareOpName(CompareOpKind op);
+const char* LogicalOpName(LogicalOpKind op);
+const char* UnaryOpName(UnaryOpKind op);
+const char* ReduceOpName(ReduceOpKind op);
+
+}  // namespace tqp
+
+#endif  // TQP_KERNELS_KERNEL_TYPES_H_

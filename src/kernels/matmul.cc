@@ -1,0 +1,89 @@
+#include "kernels/matmul.h"
+
+#include "kernels/elementwise.h"
+
+namespace tqp::kernels {
+
+namespace {
+
+template <typename T>
+void MatMulTyped(const Tensor& a, const Tensor& b, Tensor* out) {
+  const T* pa = a.data<T>();
+  const T* pb = b.data<T>();
+  T* po = out->mutable_data<T>();
+  const int64_t n = a.rows();
+  const int64_t k = a.cols();
+  const int64_t m = b.cols();
+  // i-k-j loop order: streams through b row-wise for cache friendliness.
+  for (int64_t i = 0; i < n; ++i) {
+    T* orow = po + i * m;
+    for (int64_t j = 0; j < m; ++j) orow[j] = T{0};
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const T av = pa[i * k + kk];
+      if (av == T{0}) continue;
+      const T* brow = pb + kk * m;
+      for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Result<Tensor> MatMul(const Tensor& a, const Tensor& b) {
+  if (!IsFloatingPoint(a.dtype()) || a.dtype() != b.dtype()) {
+    return Status::TypeError("MatMul requires matching float tensors");
+  }
+  if (a.cols() != b.rows()) {
+    return Status::Invalid("MatMul: inner dimensions differ (" +
+                           std::to_string(a.cols()) + " vs " +
+                           std::to_string(b.rows()) + ")");
+  }
+  TQP_ASSIGN_OR_RETURN(Tensor out,
+                       Tensor::Empty(a.dtype(), a.rows(), b.cols(), a.device()));
+  if (a.dtype() == DType::kFloat32) {
+    MatMulTyped<float>(a, b, &out);
+  } else {
+    MatMulTyped<double>(a, b, &out);
+  }
+  return out;
+}
+
+Result<Tensor> MatMulAddBias(const Tensor& a, const Tensor& b, const Tensor& bias) {
+  TQP_ASSIGN_OR_RETURN(Tensor prod, MatMul(a, b));
+  if (bias.rows() != 1 || bias.cols() != prod.cols()) {
+    return Status::Invalid("MatMulAddBias: bias must be (1 x m)");
+  }
+  return BinaryOp(BinaryOpKind::kAdd, prod, bias);
+}
+
+Result<Tensor> EmbeddingBagSum(const Tensor& table, const Tensor& ids) {
+  if (!IsFloatingPoint(table.dtype())) {
+    return Status::TypeError("EmbeddingBagSum: table must be float");
+  }
+  if (ids.dtype() != DType::kInt64) {
+    return Status::TypeError("EmbeddingBagSum: ids must be int64");
+  }
+  TQP_ASSIGN_OR_RETURN(Tensor tbl, Cast(table, DType::kFloat64));
+  TQP_ASSIGN_OR_RETURN(
+      Tensor out, Tensor::Full(DType::kFloat64, ids.rows(), table.cols(), 0.0,
+                               table.device()));
+  const double* pt = tbl.data<double>();
+  const int64_t* pi = ids.data<int64_t>();
+  double* po = out.mutable_data<double>();
+  const int64_t d = table.cols();
+  for (int64_t i = 0; i < ids.rows(); ++i) {
+    double* orow = po + i * d;
+    for (int64_t j = 0; j < ids.cols(); ++j) {
+      const int64_t id = pi[i * ids.cols() + j];
+      if (id < 0) continue;  // negative ids are padding
+      if (id >= table.rows()) {
+        return Status::IndexError("EmbeddingBagSum: id out of range");
+      }
+      const double* trow = pt + id * d;
+      for (int64_t c = 0; c < d; ++c) orow[c] += trow[c];
+    }
+  }
+  return Cast(out, table.dtype());
+}
+
+}  // namespace tqp::kernels

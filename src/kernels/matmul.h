@@ -1,0 +1,23 @@
+#ifndef TQP_KERNELS_MATMUL_H_
+#define TQP_KERNELS_MATMUL_H_
+
+#include "common/result.h"
+#include "tensor/tensor.h"
+
+namespace tqp::kernels {
+
+/// \brief Dense matrix multiply: (n x k) @ (k x m) -> (n x m).
+/// float32/float64 only (ML scoring path; Hummingbird GEMM strategy).
+Result<Tensor> MatMul(const Tensor& a, const Tensor& b);
+
+/// \brief out = a @ b + bias where bias is (1 x m), broadcast over rows.
+Result<Tensor> MatMulAddBias(const Tensor& a, const Tensor& b, const Tensor& bias);
+
+/// \brief Row-gathered embedding lookup: table is (v x d), ids int64 (n x k);
+/// the result (n x d) sums the k embeddings per row (EmbeddingBag "sum" mode,
+/// the tokenized-text path of the sentiment model).
+Result<Tensor> EmbeddingBagSum(const Tensor& table, const Tensor& ids);
+
+}  // namespace tqp::kernels
+
+#endif  // TQP_KERNELS_MATMUL_H_

@@ -1,0 +1,165 @@
+#include "kernels/sort.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "kernels/selection.h"
+
+namespace tqp::kernels {
+
+namespace {
+
+// Three-way lexicographic comparison of rows i and j of `a`.
+template <typename T>
+int CompareRowsTyped(const T* p, int64_t cols, int64_t i, int64_t j) {
+  const T* ri = p + i * cols;
+  const T* rj = p + j * cols;
+  for (int64_t c = 0; c < cols; ++c) {
+    if (ri[c] < rj[c]) return -1;
+    if (rj[c] < ri[c]) return 1;
+  }
+  return 0;
+}
+
+template <typename T>
+void StableArgsortTyped(const Tensor& a, bool ascending, int64_t* out) {
+  const T* p = a.data<T>();
+  const int64_t cols = a.cols();
+  std::iota(out, out + a.rows(), int64_t{0});
+  std::stable_sort(out, out + a.rows(), [&](int64_t i, int64_t j) {
+    const int c = CompareRowsTyped<T>(p, cols, i, j);
+    return ascending ? c < 0 : c > 0;
+  });
+}
+
+template <typename T, typename V>
+int64_t LowerBoundRow(const T* data, int64_t n, V v) {
+  int64_t lo = 0;
+  int64_t hi = n;
+  while (lo < hi) {
+    const int64_t mid = (lo + hi) / 2;
+    if (data[mid] < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+template <typename T, typename V>
+int64_t UpperBoundRow(const T* data, int64_t n, V v) {
+  int64_t lo = 0;
+  int64_t hi = n;
+  while (lo < hi) {
+    const int64_t mid = (lo + hi) / 2;
+    if (data[mid] <= v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+template <typename T>
+void SearchSortedTyped(const Tensor& sorted, const Tensor& values, bool right,
+                       int64_t* out) {
+  const T* s = sorted.data<T>();
+  const T* v = values.data<T>();
+  const int64_t n = sorted.rows();
+  for (int64_t i = 0; i < values.rows(); ++i) {
+    out[i] = right ? UpperBoundRow<T, T>(s, n, v[i]) : LowerBoundRow<T, T>(s, n, v[i]);
+  }
+}
+
+}  // namespace
+
+Result<Tensor> ArgsortRows(const Tensor& a, bool ascending) {
+  TQP_ASSIGN_OR_RETURN(Tensor out,
+                       Tensor::Empty(DType::kInt64, a.rows(), 1, a.device()));
+  int64_t* po = out.mutable_data<int64_t>();
+  switch (a.dtype()) {
+    case DType::kBool:
+      StableArgsortTyped<bool>(a, ascending, po);
+      break;
+    case DType::kUInt8:
+      StableArgsortTyped<uint8_t>(a, ascending, po);
+      break;
+    case DType::kInt32:
+      StableArgsortTyped<int32_t>(a, ascending, po);
+      break;
+    case DType::kInt64:
+      StableArgsortTyped<int64_t>(a, ascending, po);
+      break;
+    case DType::kFloat32:
+      StableArgsortTyped<float>(a, ascending, po);
+      break;
+    case DType::kFloat64:
+      StableArgsortTyped<double>(a, ascending, po);
+      break;
+  }
+  return out;
+}
+
+Result<Tensor> SortRows(const Tensor& a, const Tensor& perm) {
+  return Gather(a, perm);
+}
+
+Result<Tensor> SearchSorted(const Tensor& sorted, const Tensor& values,
+                            bool right) {
+  if (sorted.cols() != 1 || values.cols() != 1) {
+    return Status::Invalid("SearchSorted requires (n x 1) tensors");
+  }
+  if (sorted.dtype() != values.dtype()) {
+    return Status::TypeError("SearchSorted: dtype mismatch");
+  }
+  TQP_ASSIGN_OR_RETURN(Tensor out,
+                       Tensor::Empty(DType::kInt64, values.rows(), 1, values.device()));
+  int64_t* po = out.mutable_data<int64_t>();
+  switch (sorted.dtype()) {
+    case DType::kBool:
+      SearchSortedTyped<bool>(sorted, values, right, po);
+      break;
+    case DType::kUInt8:
+      SearchSortedTyped<uint8_t>(sorted, values, right, po);
+      break;
+    case DType::kInt32:
+      SearchSortedTyped<int32_t>(sorted, values, right, po);
+      break;
+    case DType::kInt64:
+      SearchSortedTyped<int64_t>(sorted, values, right, po);
+      break;
+    case DType::kFloat32:
+      SearchSortedTyped<float>(sorted, values, right, po);
+      break;
+    case DType::kFloat64:
+      SearchSortedTyped<double>(sorted, values, right, po);
+      break;
+  }
+  return out;
+}
+
+Result<Tensor> SegmentBoundaries(const Tensor& keys) {
+  TQP_ASSIGN_OR_RETURN(Tensor out,
+                       Tensor::Empty(DType::kBool, keys.rows(), 1, keys.device()));
+  bool* po = out.mutable_data<bool>();
+  if (keys.rows() == 0) return out;
+  po[0] = true;
+  const int64_t row_bytes = keys.cols() * DTypeSize(keys.dtype());
+  const uint8_t* p = static_cast<const uint8_t*>(keys.raw_data());
+  for (int64_t i = 1; i < keys.rows(); ++i) {
+    po[i] = std::memcmp(p + i * row_bytes, p + (i - 1) * row_bytes,
+                        static_cast<size_t>(row_bytes)) != 0;
+  }
+  return out;
+}
+
+Result<Tensor> UniqueSorted(const Tensor& sorted_keys) {
+  TQP_ASSIGN_OR_RETURN(Tensor mask, SegmentBoundaries(sorted_keys));
+  return Compress(sorted_keys, mask);
+}
+
+}  // namespace tqp::kernels

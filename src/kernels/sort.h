@@ -1,0 +1,39 @@
+#ifndef TQP_KERNELS_SORT_H_
+#define TQP_KERNELS_SORT_H_
+
+#include "common/result.h"
+#include "tensor/tensor.h"
+
+namespace tqp::kernels {
+
+/// \brief Stable argsort of an (n x m) tensor by lexicographic row order
+/// (torch.argsort analog; m == 1 is the common numeric case, m > 1 covers
+/// padded string tensors). Returns int64 (n x 1) permutation indices.
+Result<Tensor> ArgsortRows(const Tensor& a, bool ascending = true);
+
+/// \brief Applies `perm` (from ArgsortRows) to produce the sorted tensor.
+/// Equivalent to Gather(a, perm); provided for symmetry with torch.sort.
+Result<Tensor> SortRows(const Tensor& a, const Tensor& perm);
+
+/// \brief torch.searchsorted / bucketize: for each value v in `values`
+/// (k x 1), the insertion index into ascending `sorted` (n x 1) keeping order.
+/// `right` selects the upper-bound variant. Returns int64 (k x 1).
+///
+/// This is the primitive behind the paper's sort-merge join: probe keys are
+/// located in the sorted build side with two searchsorted calls whose
+/// difference is the per-probe match count.
+Result<Tensor> SearchSorted(const Tensor& sorted, const Tensor& values,
+                            bool right = false);
+
+/// \brief Boolean (n x 1) mask marking rows that differ from their
+/// predecessor (row 0 is always true; empty input gives an empty mask).
+/// On lexicographically sorted keys this marks group starts.
+Result<Tensor> SegmentBoundaries(const Tensor& keys);
+
+/// \brief Deduplicates a *sorted* (n x m) tensor: keeps rows where
+/// SegmentBoundaries is true.
+Result<Tensor> UniqueSorted(const Tensor& sorted_keys);
+
+}  // namespace tqp::kernels
+
+#endif  // TQP_KERNELS_SORT_H_

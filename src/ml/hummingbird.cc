@@ -1,0 +1,192 @@
+// Hummingbird-style compilation of fitted decision trees into tensor
+// programs (Nakandala et al., OSDI'20), which TQP "integrates and expands"
+// (paper §3.3). Two strategies:
+//
+//  * GEMM: the tree becomes three dense matmuls —
+//      (1) route features to internal nodes:   T = X @ A        (n x I)
+//      (2) evaluate all node conditions:       Dm = T < B       (n x I)
+//      (3) match decision patterns to leaves:  P = Dm @ C == D  (n x L)
+//      (4) read out leaf values:               y = P @ E        (n x 1)
+//    where leaf l matches iff its ancestors' decisions agree exactly:
+//    C[i][l] = +1 for left-ancestors, -1 for right-ancestors, and
+//    D[l] = (#left-ancestors of l), so the maximum of Dm@C is attained only
+//    by the exact pattern.
+//
+//  * TreeTraversal: `depth` gather steps walk all rows down the tree in
+//    lockstep; leaves self-loop so shallow rows park at their leaf.
+//
+// Both produce bit-identical predictions to DecisionTree::PredictOne (the
+// property tests check this), but with very different cost shapes: GEMM is
+// compute-dense (great on GPUs for shallow trees), traversal is
+// gather-bound but O(depth) instead of O(nodes) — reproduced in ABL4.
+
+#include "ml/tree.h"
+
+namespace tqp::ml {
+
+namespace {
+
+Result<int> BuildGemm(TensorProgram* program, int x_node, const DecisionTree& tree,
+                      const std::string& label) {
+  const std::vector<TreeNode>& nodes = tree.nodes();
+  std::vector<int> internal_idx(nodes.size(), -1);
+  std::vector<int> leaf_idx(nodes.size(), -1);
+  int num_internal = 0;
+  int num_leaves = 0;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].is_leaf) {
+      leaf_idx[i] = num_leaves++;
+    } else {
+      internal_idx[i] = num_internal++;
+    }
+  }
+  const int d = tree.num_features();
+  TQP_ASSIGN_OR_RETURN(Tensor a, Tensor::Full(DType::kFloat64, d, num_internal, 0.0));
+  TQP_ASSIGN_OR_RETURN(Tensor b, Tensor::Full(DType::kFloat64, 1, num_internal, 0.0));
+  TQP_ASSIGN_OR_RETURN(Tensor c,
+                       Tensor::Full(DType::kFloat64, num_internal, num_leaves, 0.0));
+  TQP_ASSIGN_OR_RETURN(Tensor dd, Tensor::Full(DType::kFloat64, 1, num_leaves, 0.0));
+  TQP_ASSIGN_OR_RETURN(Tensor e, Tensor::Full(DType::kFloat64, num_leaves, 1, 0.0));
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].is_leaf) {
+      e.set<double>(leaf_idx[i], 0, nodes[i].value);
+    } else {
+      a.set<double>(nodes[i].feature, internal_idx[i], 1.0);
+      b.set<double>(0, internal_idx[i], nodes[i].threshold);
+    }
+  }
+  // Fill C and D by walking root->leaf paths.
+  struct Frame {
+    int node;
+    std::vector<std::pair<int, bool>> path;  // (internal idx, went_left)
+  };
+  std::vector<Frame> stack{{0, {}}};
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    const TreeNode& n = nodes[static_cast<size_t>(f.node)];
+    if (n.is_leaf) {
+      int lefts = 0;
+      for (const auto& [idx, went_left] : f.path) {
+        c.set<double>(idx, leaf_idx[static_cast<size_t>(f.node)],
+                      went_left ? 1.0 : -1.0);
+        lefts += went_left ? 1 : 0;
+      }
+      dd.set<double>(0, leaf_idx[static_cast<size_t>(f.node)],
+                     static_cast<double>(lefts));
+      continue;
+    }
+    Frame left{n.left, f.path};
+    left.path.emplace_back(internal_idx[static_cast<size_t>(f.node)], true);
+    Frame right{n.right, std::move(f.path)};
+    right.path.emplace_back(internal_idx[static_cast<size_t>(f.node)], false);
+    stack.push_back(std::move(left));
+    stack.push_back(std::move(right));
+  }
+
+  const int a_node = program->AddConstant(std::move(a), label + ".A");
+  const int b_node = program->AddConstant(std::move(b), label + ".B");
+  const int c_node = program->AddConstant(std::move(c), label + ".C");
+  const int d_node = program->AddConstant(std::move(dd), label + ".D");
+  const int e_node = program->AddConstant(std::move(e), label + ".E");
+  const int routed = program->AddNode(OpType::kMatMul, {x_node, a_node}, {},
+                                      label + ": route");
+  AttrMap lt;
+  lt.Set("op", static_cast<int64_t>(CompareOpKind::kLt));
+  const int decisions = program->AddNode(OpType::kCompare, {routed, b_node}, lt,
+                                         label + ": decide");
+  AttrMap to_f64;
+  to_f64.Set("dtype", static_cast<int64_t>(DType::kFloat64));
+  const int decisions_f =
+      program->AddNode(OpType::kCast, {decisions}, to_f64, label);
+  const int paths = program->AddNode(OpType::kMatMul, {decisions_f, c_node}, {},
+                                     label + ": match paths");
+  AttrMap eq;
+  eq.Set("op", static_cast<int64_t>(CompareOpKind::kEq));
+  const int leaf_onehot =
+      program->AddNode(OpType::kCompare, {paths, d_node}, eq, label + ": leaves");
+  const int leaf_f = program->AddNode(OpType::kCast, {leaf_onehot}, to_f64, label);
+  return program->AddNode(OpType::kMatMul, {leaf_f, e_node}, {},
+                          label + ": leaf values");
+}
+
+Result<int> BuildTraversal(TensorProgram* program, int x_node,
+                           const DecisionTree& tree, const std::string& label) {
+  const std::vector<TreeNode>& nodes = tree.nodes();
+  const auto num_nodes = static_cast<int64_t>(nodes.size());
+  std::vector<int64_t> feature(nodes.size());
+  std::vector<double> threshold(nodes.size());
+  std::vector<int64_t> left(nodes.size());
+  std::vector<int64_t> right(nodes.size());
+  std::vector<double> value(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const TreeNode& n = nodes[i];
+    feature[i] = n.is_leaf ? 0 : n.feature;
+    threshold[i] = n.is_leaf ? 0.0 : n.threshold;
+    left[i] = n.is_leaf ? static_cast<int64_t>(i) : n.left;   // leaves self-loop
+    right[i] = n.is_leaf ? static_cast<int64_t>(i) : n.right;
+    value[i] = n.value;
+  }
+  const int feat_node = program->AddConstant(
+      Tensor::FromVector2D(feature, num_nodes, 1), label + ".feature");
+  const int thr_node = program->AddConstant(
+      Tensor::FromVector2D(threshold, num_nodes, 1), label + ".threshold");
+  const int left_node = program->AddConstant(
+      Tensor::FromVector2D(left, num_nodes, 1), label + ".left");
+  const int right_node = program->AddConstant(
+      Tensor::FromVector2D(right, num_nodes, 1), label + ".right");
+  const int value_node = program->AddConstant(
+      Tensor::FromVector2D(value, num_nodes, 1), label + ".value");
+
+  // cur = zeros(n) int64 (root).
+  const int arange = program->AddNode(OpType::kArangeLike, {x_node}, {}, label);
+  TQP_ASSIGN_OR_RETURN(Tensor zero, Tensor::Full(DType::kInt64, 1, 1, 0.0));
+  const int zero_node = program->AddConstant(std::move(zero), "0");
+  AttrMap mul;
+  mul.Set("op", static_cast<int64_t>(BinaryOpKind::kMul));
+  int cur = program->AddNode(OpType::kBinary, {arange, zero_node}, mul,
+                             label + ": root ids");
+  AttrMap lt;
+  lt.Set("op", static_cast<int64_t>(CompareOpKind::kLt));
+  for (int step = 0; step < tree.depth(); ++step) {
+    const std::string sl = label + ": step " + std::to_string(step);
+    const int f = program->AddNode(OpType::kGather, {feat_node, cur}, {}, sl);
+    const int t = program->AddNode(OpType::kGather, {thr_node, cur}, {}, sl);
+    const int xv = program->AddNode(OpType::kGatherCols, {x_node, f}, {}, sl);
+    const int go_left = program->AddNode(OpType::kCompare, {xv, t}, lt, sl);
+    const int l = program->AddNode(OpType::kGather, {left_node, cur}, {}, sl);
+    const int r = program->AddNode(OpType::kGather, {right_node, cur}, {}, sl);
+    cur = program->AddNode(OpType::kWhere, {go_left, l, r}, {}, sl);
+  }
+  return program->AddNode(OpType::kGather, {value_node, cur}, {},
+                          label + ": leaf values");
+}
+
+}  // namespace
+
+Result<int> BuildTreeGraph(TensorProgram* program, int x_node,
+                           const DecisionTree& tree, TreeStrategy strategy,
+                           const std::string& label) {
+  if (tree.nodes().empty()) return Status::Invalid("empty tree");
+  if (tree.num_internal() == 0) {
+    // Single-leaf tree: broadcast the constant value over the row domain.
+    const int arange = program->AddNode(OpType::kArangeLike, {x_node}, {}, label);
+    AttrMap mul;
+    mul.Set("op", static_cast<int64_t>(BinaryOpKind::kMul));
+    TQP_ASSIGN_OR_RETURN(Tensor zero, Tensor::Full(DType::kFloat64, 1, 1, 0.0));
+    const int zero_node = program->AddConstant(std::move(zero), "0");
+    const int zeros =
+        program->AddNode(OpType::kBinary, {arange, zero_node}, mul, label);
+    TQP_ASSIGN_OR_RETURN(
+        Tensor v, Tensor::Full(DType::kFloat64, 1, 1, tree.nodes()[0].value));
+    const int v_node = program->AddConstant(std::move(v), label + ".value");
+    AttrMap add;
+    add.Set("op", static_cast<int64_t>(BinaryOpKind::kAdd));
+    return program->AddNode(OpType::kBinary, {zeros, v_node}, add, label);
+  }
+  return strategy == TreeStrategy::kGemm
+             ? BuildGemm(program, x_node, tree, label)
+             : BuildTraversal(program, x_node, tree, label);
+}
+
+}  // namespace tqp::ml

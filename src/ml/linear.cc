@@ -1,0 +1,208 @@
+#include "ml/linear.h"
+
+#include <cmath>
+
+namespace tqp::ml {
+
+namespace {
+
+// Solves the symmetric positive-definite system A x = b in place (Gaussian
+// elimination with partial pivoting; d is tiny for PREDICT signatures).
+Status SolveLinearSystem(std::vector<std::vector<double>>* a,
+                         std::vector<double>* b) {
+  const size_t d = b->size();
+  for (size_t col = 0; col < d; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < d; ++r) {
+      if (std::abs((*a)[r][col]) > std::abs((*a)[pivot][col])) pivot = r;
+    }
+    if (std::abs((*a)[pivot][col]) < 1e-12) {
+      return Status::Invalid("singular system in linear fit");
+    }
+    std::swap((*a)[col], (*a)[pivot]);
+    std::swap((*b)[col], (*b)[pivot]);
+    for (size_t r = col + 1; r < d; ++r) {
+      const double f = (*a)[r][col] / (*a)[col][col];
+      for (size_t c = col; c < d; ++c) (*a)[r][c] -= f * (*a)[col][c];
+      (*b)[r] -= f * (*b)[col];
+    }
+  }
+  for (size_t col = d; col-- > 0;) {
+    for (size_t c = col + 1; c < d; ++c) {
+      (*b)[col] -= (*a)[col][c] * (*b)[c];
+    }
+    (*b)[col] /= (*a)[col][col];
+  }
+  return Status::OK();
+}
+
+Status CheckFitInputs(const Tensor& features, const Tensor& targets) {
+  if (features.dtype() != DType::kFloat64 || targets.dtype() != DType::kFloat64) {
+    return Status::TypeError("Fit expects float64 tensors");
+  }
+  if (features.rows() != targets.rows() || targets.cols() != 1) {
+    return Status::Invalid("Fit: shape mismatch");
+  }
+  if (features.rows() == 0) return Status::Invalid("Fit: empty training set");
+  return Status::OK();
+}
+
+double DotBias(const std::vector<double>& w, double bias,
+               const std::vector<Scalar>& args) {
+  double acc = bias;
+  for (size_t i = 0; i < w.size(); ++i) acc += w[i] * args[i].AsDouble();
+  return acc;
+}
+
+}  // namespace
+
+Result<LogicalType> CheckNumericArgs(const std::vector<LogicalType>& args,
+                                     size_t expected) {
+  if (args.size() != expected) {
+    return Status::BindError("model expects " + std::to_string(expected) +
+                             " arguments, got " + std::to_string(args.size()));
+  }
+  for (LogicalType t : args) {
+    if (!IsNumericType(t)) {
+      return Status::TypeError("model arguments must be numeric");
+    }
+  }
+  return LogicalType::kFloat64;
+}
+
+Result<int> BuildFeatureMatrix(TensorProgram* program,
+                               const std::vector<int>& arg_nodes) {
+  if (arg_nodes.empty()) return Status::Invalid("model needs arguments");
+  std::vector<int> casted;
+  AttrMap cast_attrs;
+  cast_attrs.Set("dtype", static_cast<int64_t>(DType::kFloat64));
+  for (int node : arg_nodes) {
+    casted.push_back(
+        program->AddNode(OpType::kCast, {node}, cast_attrs, "feature"));
+  }
+  if (casted.size() == 1) return casted[0];
+  return program->AddNode(OpType::kConcatCols, casted, {}, "features");
+}
+
+Result<std::shared_ptr<LinearRegressionModel>> LinearRegressionModel::Fit(
+    const std::string& name, const Tensor& features, const Tensor& targets,
+    double l2) {
+  TQP_RETURN_NOT_OK(CheckFitInputs(features, targets));
+  const int64_t n = features.rows();
+  const size_t d = static_cast<size_t>(features.cols()) + 1;  // + bias column
+  const double* x = features.data<double>();
+  const double* y = targets.data<double>();
+  std::vector<std::vector<double>> xtx(d, std::vector<double>(d, 0.0));
+  std::vector<double> xty(d, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (size_t a = 0; a < d; ++a) {
+      const double xa = a + 1 == d ? 1.0 : x[i * features.cols() + static_cast<int64_t>(a)];
+      xty[a] += xa * y[i];
+      for (size_t b = a; b < d; ++b) {
+        const double xb =
+            b + 1 == d ? 1.0 : x[i * features.cols() + static_cast<int64_t>(b)];
+        xtx[a][b] += xa * xb;
+      }
+    }
+  }
+  for (size_t a = 0; a < d; ++a) {
+    xtx[a][a] += l2;
+    for (size_t b = 0; b < a; ++b) xtx[a][b] = xtx[b][a];
+  }
+  TQP_RETURN_NOT_OK(SolveLinearSystem(&xtx, &xty));
+  const double bias = xty.back();
+  xty.pop_back();
+  return std::make_shared<LinearRegressionModel>(name, std::move(xty), bias);
+}
+
+Result<LogicalType> LinearRegressionModel::CheckArgs(
+    const std::vector<LogicalType>& args) const {
+  return CheckNumericArgs(args, weights_.size());
+}
+
+Result<int> LinearRegressionModel::BuildGraph(
+    TensorProgram* program, const std::vector<int>& arg_nodes) const {
+  if (arg_nodes.size() != weights_.size()) {
+    return Status::Invalid("argument count mismatch for " + name_);
+  }
+  TQP_ASSIGN_OR_RETURN(int x, BuildFeatureMatrix(program, arg_nodes));
+  Tensor w = Tensor::FromVector2D(weights_, static_cast<int64_t>(weights_.size()), 1);
+  TQP_ASSIGN_OR_RETURN(Tensor b, Tensor::Full(DType::kFloat64, 1, 1, bias_));
+  const int w_node = program->AddConstant(std::move(w), name_ + ".weights");
+  const int b_node = program->AddConstant(std::move(b), name_ + ".bias");
+  return program->AddNode(OpType::kMatMulAddBias, {x, w_node, b_node}, {},
+                          name_ + ": linear");
+}
+
+Result<Scalar> LinearRegressionModel::PredictRow(
+    const std::vector<Scalar>& args) const {
+  if (args.size() != weights_.size()) {
+    return Status::Invalid("argument count mismatch for " + name_);
+  }
+  return Scalar(DotBias(weights_, bias_, args));
+}
+
+Result<std::shared_ptr<LogisticRegressionModel>> LogisticRegressionModel::Fit(
+    const std::string& name, const Tensor& features, const Tensor& labels,
+    const FitOptions& options) {
+  TQP_RETURN_NOT_OK(CheckFitInputs(features, labels));
+  const int64_t n = features.rows();
+  const int64_t d = features.cols();
+  const double* x = features.data<double>();
+  const double* y = labels.data<double>();
+  std::vector<double> w(static_cast<size_t>(d), 0.0);
+  double bias = 0.0;
+  std::vector<double> grad(static_cast<size_t>(d), 0.0);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_b = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      double z = bias;
+      for (int64_t j = 0; j < d; ++j) z += w[static_cast<size_t>(j)] * x[i * d + j];
+      const double p = 1.0 / (1.0 + std::exp(-z));
+      const double err = p - y[i];
+      for (int64_t j = 0; j < d; ++j) grad[static_cast<size_t>(j)] += err * x[i * d + j];
+      grad_b += err;
+    }
+    const double scale = options.learning_rate / static_cast<double>(n);
+    for (int64_t j = 0; j < d; ++j) {
+      w[static_cast<size_t>(j)] -=
+          scale * (grad[static_cast<size_t>(j)] + options.l2 * w[static_cast<size_t>(j)]);
+    }
+    bias -= scale * grad_b;
+  }
+  return std::make_shared<LogisticRegressionModel>(name, std::move(w), bias);
+}
+
+Result<LogicalType> LogisticRegressionModel::CheckArgs(
+    const std::vector<LogicalType>& args) const {
+  return CheckNumericArgs(args, weights_.size());
+}
+
+Result<int> LogisticRegressionModel::BuildGraph(
+    TensorProgram* program, const std::vector<int>& arg_nodes) const {
+  if (arg_nodes.size() != weights_.size()) {
+    return Status::Invalid("argument count mismatch for " + name_);
+  }
+  TQP_ASSIGN_OR_RETURN(int x, BuildFeatureMatrix(program, arg_nodes));
+  Tensor w = Tensor::FromVector2D(weights_, static_cast<int64_t>(weights_.size()), 1);
+  TQP_ASSIGN_OR_RETURN(Tensor b, Tensor::Full(DType::kFloat64, 1, 1, bias_));
+  const int w_node = program->AddConstant(std::move(w), name_ + ".weights");
+  const int b_node = program->AddConstant(std::move(b), name_ + ".bias");
+  const int z = program->AddNode(OpType::kMatMulAddBias, {x, w_node, b_node}, {},
+                                 name_ + ": linear");
+  AttrMap sig;
+  sig.Set("op", static_cast<int64_t>(UnaryOpKind::kSigmoid));
+  return program->AddNode(OpType::kUnary, {z}, sig, name_ + ": sigmoid");
+}
+
+Result<Scalar> LogisticRegressionModel::PredictRow(
+    const std::vector<Scalar>& args) const {
+  if (args.size() != weights_.size()) {
+    return Status::Invalid("argument count mismatch for " + name_);
+  }
+  const double z = DotBias(weights_, bias_, args);
+  return Scalar(1.0 / (1.0 + std::exp(-z)));
+}
+
+}  // namespace tqp::ml

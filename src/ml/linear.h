@@ -1,0 +1,83 @@
+#ifndef TQP_ML_LINEAR_H_
+#define TQP_ML_LINEAR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace tqp::ml {
+
+/// \brief Linear regression, y = X w + b — the scikit-learn
+/// LinearRegression/Ridge stand-in. Compiles to concat_cols -> matmul+bias.
+class LinearRegressionModel : public Model {
+ public:
+  /// \brief Fits by ridge-regularized normal equations (exact for the small
+  /// feature counts PREDICT queries use). X is (n x d) float64, y (n x 1).
+  static Result<std::shared_ptr<LinearRegressionModel>> Fit(
+      const std::string& name, const Tensor& features, const Tensor& targets,
+      double l2 = 1e-8);
+
+  LinearRegressionModel(std::string name, std::vector<double> weights, double bias)
+      : name_(std::move(name)), weights_(std::move(weights)), bias_(bias) {}
+
+  std::string name() const override { return name_; }
+  Result<LogicalType> CheckArgs(const std::vector<LogicalType>& args) const override;
+  Result<int> BuildGraph(TensorProgram* program,
+                         const std::vector<int>& arg_nodes) const override;
+  Result<Scalar> PredictRow(const std::vector<Scalar>& args) const override;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  std::string name_;
+  std::vector<double> weights_;
+  double bias_;
+};
+
+/// \brief Binary logistic regression, p = sigmoid(X w + b); outputs the
+/// positive-class probability. Fitted by full-batch gradient descent.
+struct LogisticFitOptions {
+  int epochs = 200;
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+};
+
+class LogisticRegressionModel : public Model {
+ public:
+  using FitOptions = LogisticFitOptions;
+  /// `labels` are 0/1 in float64.
+  static Result<std::shared_ptr<LogisticRegressionModel>> Fit(
+      const std::string& name, const Tensor& features, const Tensor& labels,
+      const FitOptions& options = {});
+
+  LogisticRegressionModel(std::string name, std::vector<double> weights,
+                          double bias)
+      : name_(std::move(name)), weights_(std::move(weights)), bias_(bias) {}
+
+  std::string name() const override { return name_; }
+  Result<LogicalType> CheckArgs(const std::vector<LogicalType>& args) const override;
+  Result<int> BuildGraph(TensorProgram* program,
+                         const std::vector<int>& arg_nodes) const override;
+  Result<Scalar> PredictRow(const std::vector<Scalar>& args) const override;
+
+ private:
+  std::string name_;
+  std::vector<double> weights_;
+  double bias_;
+};
+
+/// \brief Shared helper: concat per-column PREDICT args into an (n x d)
+/// float64 feature matrix node (casting each numeric arg).
+Result<int> BuildFeatureMatrix(TensorProgram* program,
+                               const std::vector<int>& arg_nodes);
+
+/// \brief Shared helper: validates all args are numeric, returns kFloat64.
+Result<LogicalType> CheckNumericArgs(const std::vector<LogicalType>& args,
+                                     size_t expected);
+
+}  // namespace tqp::ml
+
+#endif  // TQP_ML_LINEAR_H_

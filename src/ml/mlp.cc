@@ -1,0 +1,124 @@
+#include "ml/mlp.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "ml/linear.h"
+
+namespace tqp::ml {
+
+Result<std::shared_ptr<MlpModel>> MlpModel::Fit(const std::string& name,
+                                                const Tensor& features,
+                                                const Tensor& targets,
+                                                const FitOptions& options) {
+  if (features.dtype() != DType::kFloat64 || targets.dtype() != DType::kFloat64) {
+    return Status::TypeError("MlpModel::Fit expects float64 tensors");
+  }
+  const int64_t n = features.rows();
+  const int64_t d = features.cols();
+  const int64_t h = options.hidden;
+  if (n == 0 || targets.rows() != n) return Status::Invalid("MlpModel::Fit: shapes");
+  Rng rng(options.seed);
+  TQP_ASSIGN_OR_RETURN(Tensor w1, Tensor::Empty(DType::kFloat64, d, h));
+  TQP_ASSIGN_OR_RETURN(Tensor b1, Tensor::Full(DType::kFloat64, 1, h, 0.0));
+  TQP_ASSIGN_OR_RETURN(Tensor w2, Tensor::Empty(DType::kFloat64, h, 1));
+  TQP_ASSIGN_OR_RETURN(Tensor b2, Tensor::Full(DType::kFloat64, 1, 1, 0.0));
+  const double scale1 = std::sqrt(2.0 / static_cast<double>(d));
+  const double scale2 = std::sqrt(2.0 / static_cast<double>(h));
+  for (int64_t i = 0; i < d * h; ++i) {
+    w1.mutable_data<double>()[i] = rng.NextGaussian() * scale1;
+  }
+  for (int64_t i = 0; i < h; ++i) {
+    w2.mutable_data<double>()[i] = rng.NextGaussian() * scale2;
+  }
+  const double* x = features.data<double>();
+  const double* y = targets.data<double>();
+  double* pw1 = w1.mutable_data<double>();
+  double* pb1 = b1.mutable_data<double>();
+  double* pw2 = w2.mutable_data<double>();
+  double* pb2 = b2.mutable_data<double>();
+  std::vector<double> hidden(static_cast<size_t>(h));
+  std::vector<double> dhidden(static_cast<size_t>(h));
+  // Plain SGD, one row at a time (training happens offline; inference is
+  // the part that must be a tensor program).
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < h; ++j) {
+        double z = pb1[j];
+        for (int64_t k = 0; k < d; ++k) z += x[i * d + k] * pw1[k * h + j];
+        hidden[static_cast<size_t>(j)] = z > 0 ? z : 0;  // ReLU
+      }
+      double out = pb2[0];
+      for (int64_t j = 0; j < h; ++j) out += hidden[static_cast<size_t>(j)] * pw2[j];
+      double delta;
+      if (options.classification) {
+        const double p = 1.0 / (1.0 + std::exp(-out));
+        delta = p - y[i];  // dLogLoss/dz
+      } else {
+        delta = out - y[i];  // dMSE/2 / dz
+      }
+      const double lr = options.learning_rate;
+      for (int64_t j = 0; j < h; ++j) {
+        const double grad_h =
+            hidden[static_cast<size_t>(j)] > 0 ? delta * pw2[j] : 0.0;
+        dhidden[static_cast<size_t>(j)] = grad_h;
+        pw2[j] -= lr * delta * hidden[static_cast<size_t>(j)];
+      }
+      pb2[0] -= lr * delta;
+      for (int64_t j = 0; j < h; ++j) {
+        const double grad_h = dhidden[static_cast<size_t>(j)];
+        if (grad_h == 0.0) continue;
+        for (int64_t k = 0; k < d; ++k) pw1[k * h + j] -= lr * grad_h * x[i * d + k];
+        pb1[j] -= lr * grad_h;
+      }
+    }
+  }
+  return std::make_shared<MlpModel>(name, std::move(w1), std::move(b1),
+                                    std::move(w2), std::move(b2),
+                                    options.classification);
+}
+
+Result<LogicalType> MlpModel::CheckArgs(const std::vector<LogicalType>& args) const {
+  return CheckNumericArgs(args, static_cast<size_t>(w1_.rows()));
+}
+
+Result<int> MlpModel::BuildGraph(TensorProgram* program,
+                                 const std::vector<int>& arg_nodes) const {
+  TQP_ASSIGN_OR_RETURN(int x, BuildFeatureMatrix(program, arg_nodes));
+  const int w1 = program->AddConstant(w1_, name_ + ".w1");
+  const int b1 = program->AddConstant(b1_, name_ + ".b1");
+  const int w2 = program->AddConstant(w2_, name_ + ".w2");
+  const int b2 = program->AddConstant(b2_, name_ + ".b2");
+  const int z1 = program->AddNode(OpType::kMatMulAddBias, {x, w1, b1}, {},
+                                  name_ + ": layer1");
+  AttrMap relu;
+  relu.Set("op", static_cast<int64_t>(UnaryOpKind::kRelu));
+  const int h = program->AddNode(OpType::kUnary, {z1}, relu, name_ + ": relu");
+  const int z2 = program->AddNode(OpType::kMatMulAddBias, {h, w2, b2}, {},
+                                  name_ + ": layer2");
+  if (!sigmoid_output_) return z2;
+  AttrMap sig;
+  sig.Set("op", static_cast<int64_t>(UnaryOpKind::kSigmoid));
+  return program->AddNode(OpType::kUnary, {z2}, sig, name_ + ": sigmoid");
+}
+
+Result<Scalar> MlpModel::PredictRow(const std::vector<Scalar>& args) const {
+  const int64_t d = w1_.rows();
+  const int64_t h = w1_.cols();
+  if (static_cast<int64_t>(args.size()) != d) {
+    return Status::Invalid("argument count mismatch for " + name_);
+  }
+  const double* pw1 = w1_.data<double>();
+  const double* pb1 = b1_.data<double>();
+  const double* pw2 = w2_.data<double>();
+  double out = b2_.data<double>()[0];
+  for (int64_t j = 0; j < h; ++j) {
+    double z = pb1[j];
+    for (int64_t k = 0; k < d; ++k) z += args[static_cast<size_t>(k)].AsDouble() * pw1[k * h + j];
+    if (z > 0) out += z * pw2[j];
+  }
+  if (sigmoid_output_) out = 1.0 / (1.0 + std::exp(-out));
+  return Scalar(out);
+}
+
+}  // namespace tqp::ml

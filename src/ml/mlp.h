@@ -1,0 +1,56 @@
+#ifndef TQP_ML_MLP_H_
+#define TQP_ML_MLP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace tqp::ml {
+
+/// \brief One-hidden-layer perceptron: y = act2(act1(X W1 + b1) W2 + b2).
+/// Stand-in for the pre-trained neural networks of demo scenario 3; compiles
+/// to two matmul+bias nodes plus activations.
+struct MlpFitOptions {
+  int hidden = 16;
+  int epochs = 300;
+  double learning_rate = 0.05;
+  uint64_t seed = 7;
+  /// Train a binary classifier (sigmoid output + log loss) instead of a
+  /// regressor (linear output + squared loss).
+  bool classification = false;
+};
+
+class MlpModel : public Model {
+ public:
+  using FitOptions = MlpFitOptions;
+
+  static Result<std::shared_ptr<MlpModel>> Fit(const std::string& name,
+                                               const Tensor& features,
+                                               const Tensor& targets,
+                                               const FitOptions& options = {});
+
+  MlpModel(std::string name, Tensor w1, Tensor b1, Tensor w2, Tensor b2,
+           bool sigmoid_output)
+      : name_(std::move(name)), w1_(std::move(w1)), b1_(std::move(b1)),
+        w2_(std::move(w2)), b2_(std::move(b2)), sigmoid_output_(sigmoid_output) {}
+
+  std::string name() const override { return name_; }
+  Result<LogicalType> CheckArgs(const std::vector<LogicalType>& args) const override;
+  Result<int> BuildGraph(TensorProgram* program,
+                         const std::vector<int>& arg_nodes) const override;
+  Result<Scalar> PredictRow(const std::vector<Scalar>& args) const override;
+
+ private:
+  std::string name_;
+  Tensor w1_;  // (d x h) float64
+  Tensor b1_;  // (1 x h)
+  Tensor w2_;  // (h x 1)
+  Tensor b2_;  // (1 x 1)
+  bool sigmoid_output_;
+};
+
+}  // namespace tqp::ml
+
+#endif  // TQP_ML_MLP_H_

@@ -1,0 +1,51 @@
+#include "ml/model.h"
+
+#include "graph/executor.h"
+
+namespace tqp::ml {
+
+Result<Tensor> Model::PredictBatch(const std::vector<Tensor>& args) const {
+  auto program = std::make_shared<TensorProgram>();
+  std::vector<int> arg_nodes;
+  for (size_t i = 0; i < args.size(); ++i) {
+    arg_nodes.push_back(program->AddInput("arg" + std::to_string(i)));
+  }
+  TQP_ASSIGN_OR_RETURN(int out, BuildGraph(program.get(), arg_nodes));
+  program->MarkOutput(out);
+  TQP_ASSIGN_OR_RETURN(auto executor,
+                       MakeExecutor(ExecutorTarget::kEager, program));
+  TQP_ASSIGN_OR_RETURN(std::vector<Tensor> outputs, executor->Run(args));
+  return outputs[0];
+}
+
+void ModelRegistry::Register(std::shared_ptr<const Model> model) {
+  models_.insert_or_assign(model->name(), std::move(model));
+}
+
+Result<std::shared_ptr<const Model>> ModelRegistry::Get(
+    const std::string& name) const {
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Status::KeyError("model '" + name + "' is not registered");
+  }
+  return it->second;
+}
+
+bool ModelRegistry::Has(const std::string& name) const {
+  return models_.find(name) != models_.end();
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, model] : models_) names.push_back(name);
+  return names;
+}
+
+Result<LogicalType> ModelRegistry::CheckPredictCall(
+    const std::string& model, const std::vector<LogicalType>& args) const {
+  TQP_ASSIGN_OR_RETURN(auto m, Get(model));
+  return m->CheckArgs(args);
+}
+
+}  // namespace tqp::ml

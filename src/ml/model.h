@@ -1,0 +1,63 @@
+#ifndef TQP_ML_MODEL_H_
+#define TQP_ML_MODEL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/program.h"
+#include "plan/binder.h"
+#include "tensor/scalar.h"
+
+namespace tqp::ml {
+
+/// \brief A trained model that can compile itself into a tensor program —
+/// the TQP/Hummingbird contract (§3.3): models are not called out to an
+/// external runtime, they *become part of the query's tensor program*.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  virtual std::string name() const = 0;
+
+  /// \brief Number and types of the PREDICT arguments this model accepts,
+  /// and its output type (kFloat64 for scores/regressions).
+  virtual Result<LogicalType> CheckArgs(
+      const std::vector<LogicalType>& args) const = 0;
+
+  /// \brief Appends the model's inference computation to `program`.
+  /// `arg_nodes` are graph node ids carrying the bound PREDICT arguments
+  /// (numeric columns as (n x 1) tensors, strings as (n x m) uint8).
+  /// Returns the node id of the (n x 1) float64 prediction.
+  virtual Result<int> BuildGraph(TensorProgram* program,
+                                 const std::vector<int>& arg_nodes) const = 0;
+
+  /// \brief Batch inference over materialized argument tensors (used by the
+  /// two-runtime baseline, ABL5): runs a private graph executor internally.
+  Result<Tensor> PredictBatch(const std::vector<Tensor>& args) const;
+
+  /// \brief Row-at-a-time inference for the Volcano oracle engine.
+  virtual Result<Scalar> PredictRow(const std::vector<Scalar>& args) const = 0;
+};
+
+/// \brief Name -> model registry; implements the binder's ModelCatalog so
+/// PREDICT('name', ...) type-checks at bind time.
+class ModelRegistry : public ModelCatalog {
+ public:
+  void Register(std::shared_ptr<const Model> model);
+  Result<std::shared_ptr<const Model>> Get(const std::string& name) const;
+  bool Has(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+  Result<LogicalType> CheckPredictCall(
+      const std::string& model,
+      const std::vector<LogicalType>& args) const override;
+
+ private:
+  std::map<std::string, std::shared_ptr<const Model>> models_;
+};
+
+}  // namespace tqp::ml
+
+#endif  // TQP_ML_MODEL_H_

@@ -1,0 +1,157 @@
+#include "ml/text.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "kernels/strings.h"
+
+namespace tqp::ml {
+
+namespace {
+
+// Host-side mirror of the kHashTokenize kernel (single string).
+std::vector<int64_t> TokenizeOne(const std::string& text, int64_t vocab,
+                                 int64_t max_tokens) {
+  std::vector<int64_t> out;
+  uint64_t h = 1469598103934665603ull;
+  bool in_token = false;
+  for (size_t j = 0; j <= text.size(); ++j) {
+    if (static_cast<int64_t>(out.size()) >= max_tokens) break;
+    uint8_t c = j < text.size() ? static_cast<uint8_t>(text[j]) : 0;
+    if (c >= 'A' && c <= 'Z') c = static_cast<uint8_t>(c - 'A' + 'a');
+    const bool alnum = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9');
+    if (alnum) {
+      h = (h ^ c) * 1099511628211ull;
+      in_token = true;
+    } else if (in_token) {
+      out.push_back(static_cast<int64_t>(h % static_cast<uint64_t>(vocab)));
+      h = 1469598103934665603ull;
+      in_token = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<SentimentClassifier>> SentimentClassifier::Fit(
+    const std::string& name, const std::vector<std::string>& texts,
+    const std::vector<double>& labels, const FitOptions& options) {
+  if (texts.size() != labels.size() || texts.empty()) {
+    return Status::Invalid("SentimentClassifier::Fit: bad training data");
+  }
+  const int64_t v = options.vocab;
+  const int64_t h = options.hidden;
+  Rng rng(options.seed);
+  TQP_ASSIGN_OR_RETURN(Tensor embedding, Tensor::Empty(DType::kFloat64, v, h));
+  TQP_ASSIGN_OR_RETURN(Tensor w_out, Tensor::Empty(DType::kFloat64, h, 1));
+  double* pe = embedding.mutable_data<double>();
+  double* pw = w_out.mutable_data<double>();
+  for (int64_t i = 0; i < v * h; ++i) pe[i] = rng.NextGaussian() * 0.05;
+  for (int64_t i = 0; i < h; ++i) pw[i] = rng.NextGaussian() * 0.1;
+  double bias = 0.0;
+
+  std::vector<std::vector<int64_t>> tokens(texts.size());
+  for (size_t i = 0; i < texts.size(); ++i) {
+    tokens[i] = TokenizeOne(texts[i], v, options.max_tokens);
+  }
+  std::vector<double> bag(static_cast<size_t>(h));
+  std::vector<double> hidden(static_cast<size_t>(h));
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    for (size_t i = 0; i < texts.size(); ++i) {
+      std::fill(bag.begin(), bag.end(), 0.0);
+      for (int64_t id : tokens[i]) {
+        for (int64_t c = 0; c < h; ++c) bag[static_cast<size_t>(c)] += pe[id * h + c];
+      }
+      double out = bias;
+      for (int64_t c = 0; c < h; ++c) {
+        hidden[static_cast<size_t>(c)] =
+            bag[static_cast<size_t>(c)] > 0 ? bag[static_cast<size_t>(c)] : 0;
+        out += hidden[static_cast<size_t>(c)] * pw[c];
+      }
+      const double p = 1.0 / (1.0 + std::exp(-out));
+      const double delta = p - labels[i];
+      const double lr = options.learning_rate;
+      for (int64_t c = 0; c < h; ++c) {
+        const double grad_bag =
+            bag[static_cast<size_t>(c)] > 0 ? delta * pw[c] : 0.0;
+        pw[c] -= lr * delta * hidden[static_cast<size_t>(c)];
+        if (grad_bag != 0.0) {
+          for (int64_t id : tokens[i]) pe[id * h + c] -= lr * grad_bag;
+        }
+      }
+      bias -= lr * delta;
+    }
+  }
+  return std::make_shared<SentimentClassifier>(name, v, options.max_tokens,
+                                               std::move(embedding),
+                                               std::move(w_out), bias);
+}
+
+Result<LogicalType> SentimentClassifier::CheckArgs(
+    const std::vector<LogicalType>& args) const {
+  if (args.size() != 1 || args[0] != LogicalType::kString) {
+    return Status::TypeError(name_ + " expects one string argument");
+  }
+  return LogicalType::kFloat64;
+}
+
+Result<int> SentimentClassifier::BuildGraph(
+    TensorProgram* program, const std::vector<int>& arg_nodes) const {
+  if (arg_nodes.size() != 1) return Status::Invalid("expects one argument");
+  AttrMap tok;
+  tok.Set("vocab", vocab_);
+  tok.Set("max_tokens", max_tokens_);
+  const int ids = program->AddNode(OpType::kHashTokenize, {arg_nodes[0]}, tok,
+                                   name_ + ": tokenize");
+  const int table = program->AddConstant(embedding_, name_ + ".embedding");
+  const int bag = program->AddNode(OpType::kEmbeddingBagSum, {table, ids}, {},
+                                   name_ + ": embedding bag");
+  AttrMap relu;
+  relu.Set("op", static_cast<int64_t>(UnaryOpKind::kRelu));
+  const int hidden = program->AddNode(OpType::kUnary, {bag}, relu,
+                                      name_ + ": relu");
+  const int w = program->AddConstant(w_out_, name_ + ".w_out");
+  TQP_ASSIGN_OR_RETURN(Tensor b, Tensor::Full(DType::kFloat64, 1, 1, b_out_));
+  const int b_node = program->AddConstant(std::move(b), name_ + ".b_out");
+  const int logits = program->AddNode(OpType::kMatMulAddBias, {hidden, w, b_node},
+                                      {}, name_ + ": output layer");
+  AttrMap sig;
+  sig.Set("op", static_cast<int64_t>(UnaryOpKind::kSigmoid));
+  const int prob = program->AddNode(OpType::kUnary, {logits}, sig,
+                                    name_ + ": sigmoid");
+  // Threshold to {0,1} so SUM(PREDICT(...)) counts predicted positives.
+  TQP_ASSIGN_OR_RETURN(Tensor half, Tensor::Full(DType::kFloat64, 1, 1, 0.5));
+  const int half_node = program->AddConstant(std::move(half), "0.5");
+  AttrMap gt;
+  gt.Set("op", static_cast<int64_t>(CompareOpKind::kGt));
+  const int positive = program->AddNode(OpType::kCompare, {prob, half_node}, gt,
+                                        name_ + ": threshold");
+  AttrMap to_f64;
+  to_f64.Set("dtype", static_cast<int64_t>(DType::kFloat64));
+  return program->AddNode(OpType::kCast, {positive}, to_f64, name_);
+}
+
+double SentimentClassifier::ScoreText(const std::string& text) const {
+  const std::vector<int64_t> ids = TokenizeOne(text, vocab_, max_tokens_);
+  const double* pe = embedding_.data<double>();
+  const double* pw = w_out_.data<double>();
+  const int64_t h = embedding_.cols();
+  double out = b_out_;
+  for (int64_t c = 0; c < h; ++c) {
+    double bag = 0;
+    for (int64_t id : ids) bag += pe[id * h + c];
+    if (bag > 0) out += bag * pw[c];
+  }
+  return 1.0 / (1.0 + std::exp(-out));
+}
+
+Result<Scalar> SentimentClassifier::PredictRow(
+    const std::vector<Scalar>& args) const {
+  if (args.size() != 1 || !args[0].is_string()) {
+    return Status::Invalid(name_ + " expects one string argument");
+  }
+  return Scalar(ScoreText(args[0].string_value()) > 0.5 ? 1.0 : 0.0);
+}
+
+}  // namespace tqp::ml

@@ -1,0 +1,65 @@
+#ifndef TQP_ML_TEXT_H_
+#define TQP_ML_TEXT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace tqp::ml {
+
+/// \brief Text sentiment classifier over string-tensor input — the stand-in
+/// for the HuggingFace sentiment model in demo scenario 3 / Figure 4.
+///
+/// Architecture (all of it a tensor program, including tokenization):
+///   hash_tokenize (n x max_tokens) -> embedding_bag_sum with an (V x h)
+///   table -> ReLU -> matmul (h x 1) + bias -> sigmoid -> (> 0.5) -> {0, 1}.
+/// The PREDICT('sentiment_classifier', text) call therefore returns 1.0 for
+/// predicted-positive reviews, so SUM(PREDICT(...)) counts positives exactly
+/// as the paper's Figure 4 query does.
+struct SentimentFitOptions {
+  int64_t vocab = 2048;
+  int64_t max_tokens = 32;
+  int64_t hidden = 16;
+  int epochs = 12;
+  double learning_rate = 0.08;
+  uint64_t seed = 99;
+};
+
+class SentimentClassifier : public Model {
+ public:
+  using FitOptions = SentimentFitOptions;
+
+  /// \brief Trains on host text/label pairs (labels 0/1) via SGD on the
+  /// hashed bag-of-words representation.
+  static Result<std::shared_ptr<SentimentClassifier>> Fit(
+      const std::string& name, const std::vector<std::string>& texts,
+      const std::vector<double>& labels, const FitOptions& options = {});
+
+  SentimentClassifier(std::string name, int64_t vocab, int64_t max_tokens,
+                      Tensor embedding, Tensor w_out, double b_out)
+      : name_(std::move(name)), vocab_(vocab), max_tokens_(max_tokens),
+        embedding_(std::move(embedding)), w_out_(std::move(w_out)), b_out_(b_out) {}
+
+  std::string name() const override { return name_; }
+  Result<LogicalType> CheckArgs(const std::vector<LogicalType>& args) const override;
+  Result<int> BuildGraph(TensorProgram* program,
+                         const std::vector<int>& arg_nodes) const override;
+  Result<Scalar> PredictRow(const std::vector<Scalar>& args) const override;
+
+  /// \brief The positive-class probability (before thresholding).
+  double ScoreText(const std::string& text) const;
+
+ private:
+  std::string name_;
+  int64_t vocab_;
+  int64_t max_tokens_;
+  Tensor embedding_;  // (V x h) float64
+  Tensor w_out_;      // (h x 1)
+  double b_out_;
+};
+
+}  // namespace tqp::ml
+
+#endif  // TQP_ML_TEXT_H_

@@ -1,0 +1,337 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/random.h"
+#include "ml/linear.h"
+
+namespace tqp::ml {
+
+namespace {
+
+struct Split {
+  bool found = false;
+  int feature = 0;
+  double threshold = 0.0;
+  double score = 0.0;  // impurity decrease
+};
+
+// Variance-reduction split for regression targets.
+Split BestSplitRegression(const double* x, const double* y, int64_t d,
+                          const std::vector<int64_t>& rows, int min_leaf) {
+  Split best;
+  const auto n = static_cast<int64_t>(rows.size());
+  double total_sum = 0;
+  double total_sq = 0;
+  for (int64_t r : rows) {
+    total_sum += y[r];
+    total_sq += y[r] * y[r];
+  }
+  const double parent_sse = total_sq - total_sum * total_sum / static_cast<double>(n);
+  std::vector<std::pair<double, double>> vals(static_cast<size_t>(n));
+  for (int64_t f = 0; f < d; ++f) {
+    for (int64_t i = 0; i < n; ++i) {
+      vals[static_cast<size_t>(i)] = {x[rows[static_cast<size_t>(i)] * d + f],
+                                      y[rows[static_cast<size_t>(i)]]};
+    }
+    std::sort(vals.begin(), vals.end());
+    double left_sum = 0;
+    double left_sq = 0;
+    for (int64_t i = 0; i < n - 1; ++i) {
+      left_sum += vals[static_cast<size_t>(i)].second;
+      left_sq += vals[static_cast<size_t>(i)].second * vals[static_cast<size_t>(i)].second;
+      if (i + 1 < min_leaf || n - i - 1 < min_leaf) continue;
+      if (vals[static_cast<size_t>(i)].first == vals[static_cast<size_t>(i + 1)].first) {
+        continue;  // cannot split between equal values
+      }
+      const double nl = static_cast<double>(i + 1);
+      const double nr = static_cast<double>(n - i - 1);
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double sse = (left_sq - left_sum * left_sum / nl) +
+                         (right_sq - right_sum * right_sum / nr);
+      const double gain = parent_sse - sse;
+      if (!best.found || gain > best.score) {
+        best.found = true;
+        best.score = gain;
+        best.feature = static_cast<int>(f);
+        best.threshold = (vals[static_cast<size_t>(i)].first +
+                          vals[static_cast<size_t>(i + 1)].first) /
+                         2.0;
+      }
+    }
+  }
+  return best;
+}
+
+// Gini split for integer class labels.
+Split BestSplitGini(const double* x, const double* y, int64_t d,
+                    const std::vector<int64_t>& rows, int min_leaf, int k) {
+  Split best;
+  const auto n = static_cast<int64_t>(rows.size());
+  std::vector<double> total(static_cast<size_t>(k), 0.0);
+  for (int64_t r : rows) total[static_cast<size_t>(static_cast<int>(y[r]))] += 1;
+  auto gini = [&](const std::vector<double>& counts, double m) {
+    if (m <= 0) return 0.0;
+    double g = 1.0;
+    for (double c : counts) g -= (c / m) * (c / m);
+    return g;
+  };
+  const double parent = gini(total, static_cast<double>(n));
+  std::vector<std::pair<double, int>> vals(static_cast<size_t>(n));
+  std::vector<double> left(static_cast<size_t>(k));
+  for (int64_t f = 0; f < d; ++f) {
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t r = rows[static_cast<size_t>(i)];
+      vals[static_cast<size_t>(i)] = {x[r * d + f], static_cast<int>(y[r])};
+    }
+    std::sort(vals.begin(), vals.end());
+    std::fill(left.begin(), left.end(), 0.0);
+    for (int64_t i = 0; i < n - 1; ++i) {
+      left[static_cast<size_t>(vals[static_cast<size_t>(i)].second)] += 1;
+      if (i + 1 < min_leaf || n - i - 1 < min_leaf) continue;
+      if (vals[static_cast<size_t>(i)].first == vals[static_cast<size_t>(i + 1)].first) {
+        continue;
+      }
+      const double nl = static_cast<double>(i + 1);
+      const double nr = static_cast<double>(n - i - 1);
+      std::vector<double> right(static_cast<size_t>(k));
+      for (int c = 0; c < k; ++c) {
+        right[static_cast<size_t>(c)] =
+            total[static_cast<size_t>(c)] - left[static_cast<size_t>(c)];
+      }
+      const double score =
+          parent - (nl * gini(left, nl) + nr * gini(right, nr)) / static_cast<double>(n);
+      if (!best.found || score > best.score) {
+        best.found = true;
+        best.score = score;
+        best.feature = static_cast<int>(f);
+        best.threshold = (vals[static_cast<size_t>(i)].first +
+                          vals[static_cast<size_t>(i + 1)].first) /
+                         2.0;
+      }
+    }
+  }
+  return best;
+}
+
+double LeafValue(const double* y, const std::vector<int64_t>& rows,
+                 const DecisionTree::FitOptions& options) {
+  if (options.classification) {
+    std::vector<int64_t> counts(static_cast<size_t>(options.num_classes), 0);
+    for (int64_t r : rows) ++counts[static_cast<size_t>(static_cast<int>(y[r]))];
+    int best = 0;
+    for (int c = 1; c < options.num_classes; ++c) {
+      if (counts[static_cast<size_t>(c)] > counts[static_cast<size_t>(best)]) best = c;
+    }
+    return static_cast<double>(best);
+  }
+  double sum = 0;
+  for (int64_t r : rows) sum += y[r];
+  return rows.empty() ? 0.0 : sum / static_cast<double>(rows.size());
+}
+
+struct Builder {
+  const double* x;
+  const double* y;
+  int64_t d;
+  DecisionTree::FitOptions options;
+  std::vector<TreeNode> nodes;
+
+  int Build(std::vector<int64_t> rows, int depth) {
+    TreeNode node;
+    const bool pure = [&] {
+      for (size_t i = 1; i < rows.size(); ++i) {
+        if (y[rows[i]] != y[rows[0]]) return false;
+      }
+      return true;
+    }();
+    Split split;
+    if (depth < options.max_depth && !pure &&
+        static_cast<int>(rows.size()) >= 2 * options.min_samples_leaf) {
+      split = options.classification
+                  ? BestSplitGini(x, y, d, rows, options.min_samples_leaf,
+                                  options.num_classes)
+                  : BestSplitRegression(x, y, d, rows, options.min_samples_leaf);
+    }
+    if (!split.found || split.score <= 1e-12) {
+      node.is_leaf = true;
+      node.value = LeafValue(y, rows, options);
+      nodes.push_back(node);
+      return static_cast<int>(nodes.size()) - 1;
+    }
+    std::vector<int64_t> left_rows;
+    std::vector<int64_t> right_rows;
+    for (int64_t r : rows) {
+      if (x[r * d + split.feature] < split.threshold) {
+        left_rows.push_back(r);
+      } else {
+        right_rows.push_back(r);
+      }
+    }
+    rows.clear();
+    rows.shrink_to_fit();
+    node.is_leaf = false;
+    node.feature = split.feature;
+    node.threshold = split.threshold;
+    nodes.push_back(node);
+    const int id = static_cast<int>(nodes.size()) - 1;
+    nodes[static_cast<size_t>(id)].left = Build(std::move(left_rows), depth + 1);
+    nodes[static_cast<size_t>(id)].right = Build(std::move(right_rows), depth + 1);
+    return id;
+  }
+};
+
+int ComputeDepth(const std::vector<TreeNode>& nodes, int id) {
+  const TreeNode& n = nodes[static_cast<size_t>(id)];
+  if (n.is_leaf) return 0;
+  return 1 + std::max(ComputeDepth(nodes, n.left), ComputeDepth(nodes, n.right));
+}
+
+}  // namespace
+
+const char* TreeStrategyName(TreeStrategy s) {
+  return s == TreeStrategy::kGemm ? "gemm" : "tree_traversal";
+}
+
+Result<DecisionTree> DecisionTree::Fit(const Tensor& features,
+                                       const Tensor& targets,
+                                       const FitOptions& options) {
+  if (features.dtype() != DType::kFloat64 || targets.dtype() != DType::kFloat64) {
+    return Status::TypeError("DecisionTree::Fit expects float64 tensors");
+  }
+  if (features.rows() == 0 || features.rows() != targets.rows()) {
+    return Status::Invalid("DecisionTree::Fit: bad training shapes");
+  }
+  Builder builder;
+  builder.x = features.data<double>();
+  builder.y = targets.data<double>();
+  builder.d = features.cols();
+  builder.options = options;
+  std::vector<int64_t> all(static_cast<size_t>(features.rows()));
+  std::iota(all.begin(), all.end(), 0);
+  builder.Build(std::move(all), 0);
+  DecisionTree tree;
+  tree.nodes_ = std::move(builder.nodes);
+  tree.num_features_ = static_cast<int>(features.cols());
+  tree.depth_ = ComputeDepth(tree.nodes_, 0);
+  return tree;
+}
+
+DecisionTree DecisionTree::FromNodes(std::vector<TreeNode> nodes,
+                                     int num_features) {
+  DecisionTree tree;
+  tree.nodes_ = std::move(nodes);
+  tree.num_features_ = num_features;
+  tree.depth_ = tree.nodes_.empty() ? 0 : ComputeDepth(tree.nodes_, 0);
+  return tree;
+}
+
+double DecisionTree::PredictOne(const double* x) const {
+  int id = 0;
+  while (!nodes_[static_cast<size_t>(id)].is_leaf) {
+    const TreeNode& n = nodes_[static_cast<size_t>(id)];
+    id = x[n.feature] < n.threshold ? n.left : n.right;
+  }
+  return nodes_[static_cast<size_t>(id)].value;
+}
+
+int DecisionTree::num_leaves() const {
+  int count = 0;
+  for (const TreeNode& n : nodes_) count += n.is_leaf ? 1 : 0;
+  return count;
+}
+
+int DecisionTree::num_internal() const {
+  return static_cast<int>(nodes_.size()) - num_leaves();
+}
+
+Result<LogicalType> DecisionTreeModel::CheckArgs(
+    const std::vector<LogicalType>& args) const {
+  return CheckNumericArgs(args, static_cast<size_t>(tree_.num_features()));
+}
+
+Result<int> DecisionTreeModel::BuildGraph(
+    TensorProgram* program, const std::vector<int>& arg_nodes) const {
+  TQP_ASSIGN_OR_RETURN(int x, BuildFeatureMatrix(program, arg_nodes));
+  return BuildTreeGraph(program, x, tree_, strategy_, name_);
+}
+
+Result<Scalar> DecisionTreeModel::PredictRow(const std::vector<Scalar>& args) const {
+  std::vector<double> x(args.size());
+  for (size_t i = 0; i < args.size(); ++i) x[i] = args[i].AsDouble();
+  return Scalar(tree_.PredictOne(x.data()));
+}
+
+Result<std::shared_ptr<RandomForestModel>> RandomForestModel::Fit(
+    const std::string& name, const Tensor& features, const Tensor& targets,
+    const FitOptions& options, TreeStrategy strategy) {
+  if (features.dtype() != DType::kFloat64 || features.rows() == 0) {
+    return Status::TypeError("RandomForestModel::Fit expects float64 features");
+  }
+  Rng rng(options.seed);
+  const int64_t n = features.rows();
+  const int64_t d = features.cols();
+  std::vector<DecisionTree> trees;
+  for (int t = 0; t < options.num_trees; ++t) {
+    // Bootstrap sample.
+    TQP_ASSIGN_OR_RETURN(Tensor bx, Tensor::Empty(DType::kFloat64, n, d));
+    TQP_ASSIGN_OR_RETURN(Tensor by, Tensor::Empty(DType::kFloat64, n, 1));
+    double* px = bx.mutable_data<double>();
+    double* py = by.mutable_data<double>();
+    const double* sx = features.data<double>();
+    const double* sy = targets.data<double>();
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t r = rng.Uniform(0, n - 1);
+      std::copy(sx + r * d, sx + (r + 1) * d, px + i * d);
+      py[i] = sy[r];
+    }
+    TQP_ASSIGN_OR_RETURN(DecisionTree tree, DecisionTree::Fit(bx, by, options.tree));
+    trees.push_back(std::move(tree));
+  }
+  return std::make_shared<RandomForestModel>(name, std::move(trees), strategy);
+}
+
+Result<LogicalType> RandomForestModel::CheckArgs(
+    const std::vector<LogicalType>& args) const {
+  if (trees_.empty()) return Status::Invalid("empty forest");
+  return CheckNumericArgs(args, static_cast<size_t>(trees_[0].num_features()));
+}
+
+Result<int> RandomForestModel::BuildGraph(TensorProgram* program,
+                                          const std::vector<int>& arg_nodes) const {
+  if (trees_.empty()) return Status::Invalid("empty forest");
+  TQP_ASSIGN_OR_RETURN(int x, BuildFeatureMatrix(program, arg_nodes));
+  int acc = -1;
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    TQP_ASSIGN_OR_RETURN(
+        int pred, BuildTreeGraph(program, x, trees_[t], strategy_,
+                                 name_ + ".tree" + std::to_string(t)));
+    if (acc < 0) {
+      acc = pred;
+    } else {
+      AttrMap add;
+      add.Set("op", static_cast<int64_t>(BinaryOpKind::kAdd));
+      acc = program->AddNode(OpType::kBinary, {acc, pred}, add, name_ + ": sum");
+    }
+  }
+  TQP_ASSIGN_OR_RETURN(
+      Tensor inv, Tensor::Full(DType::kFloat64, 1, 1,
+                               1.0 / static_cast<double>(trees_.size())));
+  const int inv_node = program->AddConstant(std::move(inv), name_ + ".inv_trees");
+  AttrMap mul;
+  mul.Set("op", static_cast<int64_t>(BinaryOpKind::kMul));
+  return program->AddNode(OpType::kBinary, {acc, inv_node}, mul, name_ + ": mean");
+}
+
+Result<Scalar> RandomForestModel::PredictRow(const std::vector<Scalar>& args) const {
+  std::vector<double> x(args.size());
+  for (size_t i = 0; i < args.size(); ++i) x[i] = args[i].AsDouble();
+  double sum = 0;
+  for (const DecisionTree& tree : trees_) sum += tree.PredictOne(x.data());
+  return Scalar(sum / static_cast<double>(trees_.size()));
+}
+
+}  // namespace tqp::ml

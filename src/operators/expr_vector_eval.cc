@@ -1,0 +1,202 @@
+#include "operators/expr_vector_eval.h"
+
+#include "kernels/kernels.h"
+
+namespace tqp::op {
+
+namespace {
+
+using namespace tqp::kernels;  // NOLINT: this file is the kernel dispatcher
+
+struct Ctx {
+  const std::vector<Tensor>* columns;
+  int64_t num_rows;
+  const ml::ModelRegistry* models;
+  int64_t* kernels;
+};
+
+void Count(const Ctx& ctx, int64_t n = 1) {
+  if (ctx.kernels != nullptr) *ctx.kernels += n;
+}
+
+Result<Tensor> Eval(const BoundExpr& expr, const Ctx& ctx);
+
+Result<Tensor> EvalCompare(const BoundExpr& expr, const Ctx& ctx) {
+  const BoundExpr& lhs = *expr.children[0];
+  const BoundExpr& rhs = *expr.children[1];
+  const bool strings =
+      lhs.type == LogicalType::kString || rhs.type == LogicalType::kString;
+  if (strings) {
+    Count(ctx);
+    if (rhs.kind == BExprKind::kLiteral) {
+      TQP_ASSIGN_OR_RETURN(Tensor l, Eval(lhs, ctx));
+      return StringCompareScalar(expr.cmp_op, l, rhs.literal.string_value());
+    }
+    if (lhs.kind == BExprKind::kLiteral) {
+      TQP_ASSIGN_OR_RETURN(Tensor r, Eval(rhs, ctx));
+      CompareOpKind op = expr.cmp_op;
+      switch (expr.cmp_op) {
+        case CompareOpKind::kLt:
+          op = CompareOpKind::kGt;
+          break;
+        case CompareOpKind::kLe:
+          op = CompareOpKind::kGe;
+          break;
+        case CompareOpKind::kGt:
+          op = CompareOpKind::kLt;
+          break;
+        case CompareOpKind::kGe:
+          op = CompareOpKind::kLe;
+          break;
+        default:
+          break;
+      }
+      return StringCompareScalar(op, r, lhs.literal.string_value());
+    }
+    TQP_ASSIGN_OR_RETURN(Tensor l, Eval(lhs, ctx));
+    TQP_ASSIGN_OR_RETURN(Tensor r, Eval(rhs, ctx));
+    return StringCompare(expr.cmp_op, l, r);
+  }
+  TQP_ASSIGN_OR_RETURN(Tensor l, Eval(lhs, ctx));
+  TQP_ASSIGN_OR_RETURN(Tensor r, Eval(rhs, ctx));
+  Count(ctx);
+  return Compare(expr.cmp_op, l, r);
+}
+
+Result<Tensor> Eval(const BoundExpr& expr, const Ctx& ctx) {
+  switch (expr.kind) {
+    case BExprKind::kColumn:
+      return (*ctx.columns)[static_cast<size_t>(expr.column_index)];
+    case BExprKind::kLiteral: {
+      if (expr.literal.is_string()) {
+        return Status::Internal("string literal outside comparison context");
+      }
+      Count(ctx);
+      return Tensor::Full(PhysicalType(expr.type), 1, 1, expr.literal.AsDouble());
+    }
+    case BExprKind::kArith: {
+      TQP_ASSIGN_OR_RETURN(Tensor l, Eval(*expr.children[0], ctx));
+      TQP_ASSIGN_OR_RETURN(Tensor r, Eval(*expr.children[1], ctx));
+      Count(ctx);
+      if (expr.type == LogicalType::kFloat64 && IsInteger(l.dtype()) &&
+          IsInteger(r.dtype())) {
+        TQP_ASSIGN_OR_RETURN(l, Cast(l, DType::kFloat64));
+        Count(ctx);
+      }
+      TQP_ASSIGN_OR_RETURN(Tensor out, BinaryOp(expr.arith_op, l, r));
+      if (out.dtype() != PhysicalType(expr.type)) {
+        Count(ctx);
+        return Cast(out, PhysicalType(expr.type));
+      }
+      return out;
+    }
+    case BExprKind::kCompare:
+      return EvalCompare(expr, ctx);
+    case BExprKind::kLogical: {
+      TQP_ASSIGN_OR_RETURN(Tensor l, Eval(*expr.children[0], ctx));
+      TQP_ASSIGN_OR_RETURN(Tensor r, Eval(*expr.children[1], ctx));
+      Count(ctx);
+      return Logical(expr.logical_op, l, r);
+    }
+    case BExprKind::kNot: {
+      TQP_ASSIGN_OR_RETURN(Tensor c, Eval(*expr.children[0], ctx));
+      Count(ctx);
+      return Unary(UnaryOpKind::kNot, c);
+    }
+    case BExprKind::kCase: {
+      const DType want = PhysicalType(expr.type);
+      const size_t pairs =
+          (expr.children.size() - (expr.case_has_else ? 1 : 0)) / 2;
+      Tensor current;
+      if (expr.case_has_else) {
+        TQP_ASSIGN_OR_RETURN(current, Eval(*expr.children.back(), ctx));
+      } else {
+        TQP_ASSIGN_OR_RETURN(current, Tensor::Full(want, 1, 1, 0.0));
+      }
+      TQP_ASSIGN_OR_RETURN(current, Cast(current, want));
+      for (size_t i = pairs; i-- > 0;) {
+        TQP_ASSIGN_OR_RETURN(Tensor when, Eval(*expr.children[2 * i], ctx));
+        TQP_ASSIGN_OR_RETURN(Tensor then, Eval(*expr.children[2 * i + 1], ctx));
+        TQP_ASSIGN_OR_RETURN(then, Cast(then, want));
+        Count(ctx, 2);
+        TQP_ASSIGN_OR_RETURN(current, Where(when, then, current));
+      }
+      return current;
+    }
+    case BExprKind::kLike: {
+      TQP_ASSIGN_OR_RETURN(Tensor c, Eval(*expr.children[0], ctx));
+      Count(ctx);
+      TQP_ASSIGN_OR_RETURN(Tensor m, StringLike(c, expr.like_pattern));
+      if (!expr.negated) return m;
+      Count(ctx);
+      return Unary(UnaryOpKind::kNot, m);
+    }
+    case BExprKind::kInList: {
+      const BoundExpr& child = *expr.children[0];
+      TQP_ASSIGN_OR_RETURN(Tensor c, Eval(child, ctx));
+      Tensor acc;
+      for (const Scalar& item : expr.in_list) {
+        Tensor eq;
+        Count(ctx);
+        if (child.type == LogicalType::kString) {
+          TQP_ASSIGN_OR_RETURN(
+              eq, StringCompareScalar(CompareOpKind::kEq, c, item.string_value()));
+        } else {
+          TQP_ASSIGN_OR_RETURN(eq, CompareScalar(CompareOpKind::kEq, c, item));
+        }
+        if (!acc.defined()) {
+          acc = eq;
+        } else {
+          Count(ctx);
+          TQP_ASSIGN_OR_RETURN(acc, Logical(LogicalOpKind::kOr, acc, eq));
+        }
+      }
+      if (!acc.defined()) {
+        TQP_ASSIGN_OR_RETURN(acc,
+                             Tensor::Full(DType::kBool, ctx.num_rows, 1, 0.0));
+      }
+      if (!expr.negated) return acc;
+      Count(ctx);
+      return Unary(UnaryOpKind::kNot, acc);
+    }
+    case BExprKind::kSubstring: {
+      TQP_ASSIGN_OR_RETURN(Tensor c, Eval(*expr.children[0], ctx));
+      Count(ctx);
+      return Substring(c, expr.substr_start, expr.substr_len);
+    }
+    case BExprKind::kPredict: {
+      if (ctx.models == nullptr) {
+        return Status::Invalid("PREDICT without a model registry");
+      }
+      TQP_ASSIGN_OR_RETURN(auto model, ctx.models->Get(expr.model_name));
+      std::vector<Tensor> args;
+      for (const BExpr& c : expr.children) {
+        TQP_ASSIGN_OR_RETURN(Tensor a, Eval(*c, ctx));
+        args.push_back(std::move(a));
+      }
+      Count(ctx, 4);  // models are several kernels; coarse accounting
+      return model->PredictBatch(args);
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+}  // namespace
+
+Result<Tensor> EvalExprVector(const BoundExpr& expr,
+                              const std::vector<Tensor>& columns,
+                              int64_t num_rows, const ml::ModelRegistry* models,
+                              int64_t* kernels_launched) {
+  Ctx ctx{&columns, num_rows, models, kernels_launched};
+  TQP_ASSIGN_OR_RETURN(Tensor out, Eval(expr, ctx));
+  if (out.rows() == 1 && num_rows != 1) {
+    // Broadcast scalar results to column length for materializing engines.
+    TQP_ASSIGN_OR_RETURN(
+        Tensor full, Tensor::Full(out.dtype(), num_rows, out.cols(),
+                                  out.ScalarAsDouble(0)));
+    return full;
+  }
+  return out;
+}
+
+}  // namespace tqp::op

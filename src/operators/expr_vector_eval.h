@@ -1,0 +1,27 @@
+#ifndef TQP_OPERATORS_EXPR_VECTOR_EVAL_H_
+#define TQP_OPERATORS_EXPR_VECTOR_EVAL_H_
+
+#include <vector>
+
+#include "ml/model.h"
+#include "plan/bound_expr.h"
+#include "tensor/tensor.h"
+
+namespace tqp::op {
+
+/// \brief Vector-at-a-time evaluation of a bound expression over materialized
+/// input columns: each sub-expression runs a whole-column kernel and
+/// materializes its intermediate (no fusion, no program) — exactly how a
+/// kernel-library engine like cuDF/BlazingSQL evaluates expressions, and the
+/// mechanism behind the TXT2 comparison.
+///
+/// `num_rows` disambiguates literals when the expression reads no column.
+Result<Tensor> EvalExprVector(const BoundExpr& expr,
+                              const std::vector<Tensor>& columns,
+                              int64_t num_rows,
+                              const ml::ModelRegistry* models = nullptr,
+                              int64_t* kernels_launched = nullptr);
+
+}  // namespace tqp::op
+
+#endif  // TQP_OPERATORS_EXPR_VECTOR_EVAL_H_

@@ -1,0 +1,163 @@
+#include "operators/hash_join.h"
+
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "kernels/kernels.h"
+
+namespace tqp::op {
+
+namespace {
+
+Status CheckKeys(const Tensor& keys) {
+  if (keys.dtype() != DType::kInt64 || keys.cols() != 1) {
+    return Status::TypeError("join keys must be int64 (n x 1)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<JoinIndices> HashJoinIndices(const Tensor& left_keys,
+                                    const Tensor& right_keys) {
+  TQP_RETURN_NOT_OK(CheckKeys(left_keys));
+  TQP_RETURN_NOT_OK(CheckKeys(right_keys));
+  const int64_t* rk = right_keys.data<int64_t>();
+  const int64_t* lk = left_keys.data<int64_t>();
+  // Build: key -> first row id; chains via next[] (classic chained table
+  // without per-bucket vectors, keeps allocations flat).
+  std::unordered_map<int64_t, int64_t> first;
+  first.reserve(static_cast<size_t>(right_keys.rows()) * 2);
+  std::vector<int64_t> next(static_cast<size_t>(right_keys.rows()), -1);
+  for (int64_t r = 0; r < right_keys.rows(); ++r) {
+    auto [it, inserted] = first.try_emplace(rk[r], r);
+    if (!inserted) {
+      // Prepend to the chain.
+      next[static_cast<size_t>(r)] = it->second;
+      it->second = r;
+    }
+  }
+  std::vector<int64_t> lout;
+  std::vector<int64_t> rout;
+  for (int64_t l = 0; l < left_keys.rows(); ++l) {
+    auto it = first.find(lk[l]);
+    if (it == first.end()) continue;
+    for (int64_t r = it->second; r >= 0; r = next[static_cast<size_t>(r)]) {
+      lout.push_back(l);
+      rout.push_back(r);
+    }
+  }
+  JoinIndices out;
+  out.left_ids = Tensor::FromVector(lout);
+  out.right_ids = Tensor::FromVector(rout);
+  return out;
+}
+
+Result<JoinIndices> SortMergeJoinIndices(const Tensor& left_keys,
+                                         const Tensor& right_keys) {
+  TQP_RETURN_NOT_OK(CheckKeys(left_keys));
+  TQP_RETURN_NOT_OK(CheckKeys(right_keys));
+  using namespace tqp::kernels;  // NOLINT
+  TQP_ASSIGN_OR_RETURN(Tensor perm_r, ArgsortRows(right_keys));
+  TQP_ASSIGN_OR_RETURN(Tensor sorted_r, Gather(right_keys, perm_r));
+  TQP_ASSIGN_OR_RETURN(Tensor lo, SearchSorted(sorted_r, left_keys, false));
+  TQP_ASSIGN_OR_RETURN(Tensor hi, SearchSorted(sorted_r, left_keys, true));
+  TQP_ASSIGN_OR_RETURN(Tensor counts, BinaryOp(BinaryOpKind::kSub, hi, lo));
+  TQP_ASSIGN_OR_RETURN(Tensor left_arange, Tensor::Arange(left_keys.rows()));
+  TQP_ASSIGN_OR_RETURN(Tensor left_ids, RepeatInterleave(left_arange, counts));
+  TQP_ASSIGN_OR_RETURN(Tensor incl, CumSum(counts));
+  TQP_ASSIGN_OR_RETURN(Tensor excl, BinaryOp(BinaryOpKind::kSub, incl, counts));
+  TQP_ASSIGN_OR_RETURN(Tensor excl_rep, RepeatInterleave(excl, counts));
+  TQP_ASSIGN_OR_RETURN(Tensor pos, Tensor::Arange(left_ids.rows()));
+  TQP_ASSIGN_OR_RETURN(Tensor within, BinaryOp(BinaryOpKind::kSub, pos, excl_rep));
+  TQP_ASSIGN_OR_RETURN(Tensor lo_rep, RepeatInterleave(lo, counts));
+  TQP_ASSIGN_OR_RETURN(Tensor rpos, BinaryOp(BinaryOpKind::kAdd, lo_rep, within));
+  TQP_ASSIGN_OR_RETURN(Tensor right_ids, Gather(perm_r, rpos));
+  JoinIndices out;
+  out.left_ids = std::move(left_ids);
+  out.right_ids = std::move(right_ids);
+  return out;
+}
+
+Result<JoinIndices> CrossJoinIndices(int64_t left_rows, int64_t right_rows) {
+  if (left_rows < 0 || right_rows < 0) {
+    return Status::Invalid("CrossJoinIndices: negative row count");
+  }
+  std::vector<int64_t> lout;
+  std::vector<int64_t> rout;
+  lout.reserve(static_cast<size_t>(left_rows * right_rows));
+  rout.reserve(static_cast<size_t>(left_rows * right_rows));
+  for (int64_t l = 0; l < left_rows; ++l) {
+    for (int64_t r = 0; r < right_rows; ++r) {
+      lout.push_back(l);
+      rout.push_back(r);
+    }
+  }
+  JoinIndices out;
+  out.left_ids = Tensor::FromVector(lout);
+  out.right_ids = Tensor::FromVector(rout);
+  return out;
+}
+
+Result<LeftJoinIndices> LeftOuterJoinIndices(const Tensor& left_keys,
+                                             const Tensor& right_keys) {
+  TQP_RETURN_NOT_OK(CheckKeys(left_keys));
+  TQP_RETURN_NOT_OK(CheckKeys(right_keys));
+  const int64_t* rk = right_keys.data<int64_t>();
+  const int64_t* lk = left_keys.data<int64_t>();
+  std::unordered_map<int64_t, int64_t> first;
+  first.reserve(static_cast<size_t>(right_keys.rows()) * 2);
+  std::vector<int64_t> next(static_cast<size_t>(right_keys.rows()), -1);
+  for (int64_t r = 0; r < right_keys.rows(); ++r) {
+    auto [it, inserted] = first.try_emplace(rk[r], r);
+    if (!inserted) {
+      next[static_cast<size_t>(r)] = it->second;
+      it->second = r;
+    }
+  }
+  std::vector<int64_t> lout;
+  std::vector<int64_t> rout;
+  std::vector<uint8_t> match;
+  for (int64_t l = 0; l < left_keys.rows(); ++l) {
+    auto it = first.find(lk[l]);
+    if (it == first.end()) {
+      lout.push_back(l);
+      rout.push_back(0);
+      match.push_back(0);
+      continue;
+    }
+    for (int64_t r = it->second; r >= 0; r = next[static_cast<size_t>(r)]) {
+      lout.push_back(l);
+      rout.push_back(r);
+      match.push_back(1);
+    }
+  }
+  LeftJoinIndices out;
+  out.left_ids = Tensor::FromVector(lout);
+  out.right_ids = Tensor::FromVector(rout);
+  TQP_ASSIGN_OR_RETURN(Tensor m, Tensor::Empty(DType::kBool,
+                                               static_cast<int64_t>(match.size()), 1));
+  std::memcpy(m.raw_mutable_data(), match.data(), match.size());
+  out.matched = std::move(m);
+  return out;
+}
+
+Result<Tensor> SemiJoinIndices(const Tensor& left_keys, const Tensor& right_keys,
+                               bool anti) {
+  TQP_RETURN_NOT_OK(CheckKeys(left_keys));
+  TQP_RETURN_NOT_OK(CheckKeys(right_keys));
+  std::unordered_map<int64_t, bool> present;
+  present.reserve(static_cast<size_t>(right_keys.rows()) * 2);
+  const int64_t* rk = right_keys.data<int64_t>();
+  for (int64_t r = 0; r < right_keys.rows(); ++r) present[rk[r]] = true;
+  const int64_t* lk = left_keys.data<int64_t>();
+  std::vector<int64_t> out;
+  for (int64_t l = 0; l < left_keys.rows(); ++l) {
+    const bool matched = present.find(lk[l]) != present.end();
+    if (matched != anti) out.push_back(l);
+  }
+  return Tensor::FromVector(out);
+}
+
+}  // namespace tqp::op

@@ -1,0 +1,54 @@
+#ifndef TQP_OPERATORS_HASH_JOIN_H_
+#define TQP_OPERATORS_HASH_JOIN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "tensor/tensor.h"
+
+namespace tqp::op {
+
+/// \brief Result of a join index computation: row ids into the left/right
+/// inputs for every matching pair.
+struct JoinIndices {
+  Tensor left_ids;   // int64 (k x 1)
+  Tensor right_ids;  // int64 (k x 1)
+};
+
+/// \brief Classic build+probe hash join over int64 key columns (multi-column
+/// keys must be pre-hashed/combined by the caller). Exact: compares real key
+/// values on collision. This is the CPU-style algorithm used by the columnar
+/// baseline and the ABL2 ablation; the tensor compiler uses the paper's
+/// sort+searchsorted formulation instead.
+Result<JoinIndices> HashJoinIndices(const Tensor& left_keys,
+                                    const Tensor& right_keys);
+
+/// \brief Sort-merge join indices via argsort + searchsorted (the same
+/// algorithm the compiler emits, packaged for direct use in benches).
+Result<JoinIndices> SortMergeJoinIndices(const Tensor& left_keys,
+                                         const Tensor& right_keys);
+
+/// \brief Left row ids with at least one (semi) / zero (anti) match.
+Result<Tensor> SemiJoinIndices(const Tensor& left_keys, const Tensor& right_keys,
+                               bool anti);
+
+/// \brief Full Cartesian product indices: every left row paired with every
+/// right row (left-major order). Used for uncorrelated scalar subqueries,
+/// where the right side is a single broadcast row.
+Result<JoinIndices> CrossJoinIndices(int64_t left_rows, int64_t right_rows);
+
+/// \brief LEFT OUTER join indices. Matched left rows appear once per match;
+/// unmatched left rows appear once with right_ids = 0 (a safe gather target)
+/// and matched = false. The caller masks right-side values with `matched`,
+/// which becomes the __matched validity column.
+struct LeftJoinIndices {
+  Tensor left_ids;   // int64 (k x 1)
+  Tensor right_ids;  // int64 (k x 1), 0 where unmatched
+  Tensor matched;    // bool  (k x 1)
+};
+Result<LeftJoinIndices> LeftOuterJoinIndices(const Tensor& left_keys,
+                                             const Tensor& right_keys);
+
+}  // namespace tqp::op
+
+#endif  // TQP_OPERATORS_HASH_JOIN_H_

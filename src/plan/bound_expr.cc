@@ -1,0 +1,168 @@
+#include "plan/bound_expr.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace tqp {
+
+std::string BoundExpr::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case BExprKind::kColumn:
+      os << "#" << column_index;
+      break;
+    case BExprKind::kLiteral:
+      os << literal.ToString();
+      break;
+    case BExprKind::kArith:
+      os << "(" << children[0]->ToString() << " " << BinaryOpName(arith_op) << " "
+         << children[1]->ToString() << ")";
+      break;
+    case BExprKind::kCompare:
+      os << "(" << children[0]->ToString() << " " << CompareOpName(cmp_op) << " "
+         << children[1]->ToString() << ")";
+      break;
+    case BExprKind::kLogical:
+      os << "(" << children[0]->ToString() << " " << LogicalOpName(logical_op)
+         << " " << children[1]->ToString() << ")";
+      break;
+    case BExprKind::kNot:
+      os << "(not " << children[0]->ToString() << ")";
+      break;
+    case BExprKind::kCase: {
+      os << "case";
+      const size_t pairs = (children.size() - (case_has_else ? 1 : 0)) / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        os << " when " << children[2 * i]->ToString() << " then "
+           << children[2 * i + 1]->ToString();
+      }
+      if (case_has_else) os << " else " << children.back()->ToString();
+      os << " end";
+      break;
+    }
+    case BExprKind::kLike:
+      os << "(" << children[0]->ToString() << (negated ? " not" : "") << " like '"
+         << like_pattern << "')";
+      break;
+    case BExprKind::kInList: {
+      os << "(" << children[0]->ToString() << (negated ? " not" : "") << " in [";
+      for (size_t i = 0; i < in_list.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << in_list[i].ToString();
+      }
+      os << "])";
+      break;
+    }
+    case BExprKind::kSubstring:
+      os << "substr(" << children[0]->ToString() << ", " << substr_start << ", "
+         << substr_len << ")";
+      break;
+    case BExprKind::kPredict: {
+      os << "predict('" << model_name << "'";
+      for (const BExpr& c : children) os << ", " << c->ToString();
+      os << ")";
+      break;
+    }
+  }
+  return os.str();
+}
+
+BExpr MakeColumnRef(int index, LogicalType type) {
+  auto e = std::make_shared<BoundExpr>();
+  e->kind = BExprKind::kColumn;
+  e->column_index = index;
+  e->type = type;
+  return e;
+}
+
+BExpr MakeLiteral(Scalar value, LogicalType type) {
+  auto e = std::make_shared<BoundExpr>();
+  e->kind = BExprKind::kLiteral;
+  e->literal = std::move(value);
+  e->type = type;
+  return e;
+}
+
+BExpr MakeArith(BinaryOpKind op, BExpr lhs, BExpr rhs, LogicalType type) {
+  auto e = std::make_shared<BoundExpr>();
+  e->kind = BExprKind::kArith;
+  e->arith_op = op;
+  e->type = type;
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+BExpr MakeCompare(CompareOpKind op, BExpr lhs, BExpr rhs) {
+  auto e = std::make_shared<BoundExpr>();
+  e->kind = BExprKind::kCompare;
+  e->cmp_op = op;
+  e->type = LogicalType::kBool;
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+BExpr MakeLogical(LogicalOpKind op, BExpr lhs, BExpr rhs) {
+  auto e = std::make_shared<BoundExpr>();
+  e->kind = BExprKind::kLogical;
+  e->logical_op = op;
+  e->type = LogicalType::kBool;
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+BExpr MakeNot(BExpr child) {
+  auto e = std::make_shared<BoundExpr>();
+  e->kind = BExprKind::kNot;
+  e->type = LogicalType::kBool;
+  e->children = {std::move(child)};
+  return e;
+}
+
+void CollectColumns(const BoundExpr& expr, std::vector<bool>* used) {
+  if (expr.kind == BExprKind::kColumn) {
+    if (expr.column_index >= 0 &&
+        expr.column_index < static_cast<int>(used->size())) {
+      (*used)[static_cast<size_t>(expr.column_index)] = true;
+    }
+    return;
+  }
+  for (const BExpr& c : expr.children) CollectColumns(*c, used);
+}
+
+BExpr RemapColumns(const BoundExpr& expr, const std::vector<int>& mapping) {
+  auto out = std::make_shared<BoundExpr>(expr);
+  if (out->kind == BExprKind::kColumn) {
+    TQP_DCHECK_GE(out->column_index, 0);
+    TQP_DCHECK_LT(out->column_index, static_cast<int>(mapping.size()));
+    const int remapped = mapping[static_cast<size_t>(out->column_index)];
+    TQP_DCHECK_GE(remapped, 0);
+    out->column_index = remapped;
+    return out;
+  }
+  for (BExpr& c : out->children) c = RemapColumns(*c, mapping);
+  return out;
+}
+
+LogicalType AggSpec::result_type() const {
+  switch (op) {
+    case ReduceOpKind::kCount:
+      return LogicalType::kInt64;
+    case ReduceOpKind::kSum:
+      return LogicalType::kFloat64;
+    case ReduceOpKind::kMin:
+    case ReduceOpKind::kMax:
+      return arg ? arg->type : LogicalType::kFloat64;
+  }
+  return LogicalType::kFloat64;
+}
+
+std::string AggSpec::ToString() const {
+  std::string out = ReduceOpName(op);
+  out += "(";
+  out += count_star ? "*" : (arg ? arg->ToString() : "?");
+  out += ")";
+  return out;
+}
+
+}  // namespace tqp

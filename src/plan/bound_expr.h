@@ -1,0 +1,88 @@
+#ifndef TQP_PLAN_BOUND_EXPR_H_
+#define TQP_PLAN_BOUND_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/kernel_types.h"
+#include "relational/schema.h"
+#include "tensor/scalar.h"
+
+namespace tqp {
+
+/// \brief Kinds of bound (type-checked, column-resolved) expressions.
+enum class BExprKind : int8_t {
+  kColumn,     // input column by index
+  kLiteral,    // constant
+  kArith,      // BinaryOpKind over two numeric children
+  kCompare,    // CompareOpKind -> bool (numeric, date or string children)
+  kLogical,    // LogicalOpKind over bool children
+  kNot,        // bool negation
+  kCase,       // children = [when1, then1, ...]; optional else child at end
+  kLike,       // string child vs pattern -> bool
+  kInList,     // child IN literal list -> bool
+  kSubstring,  // string child, constant range
+  kPredict,    // PREDICT('model', args...) -> float64 (paper scenario 3)
+};
+
+struct BoundExpr;
+using BExpr = std::shared_ptr<BoundExpr>;
+
+/// \brief A bound expression node. Column references are positional indexes
+/// into the operator's input schema, so bound trees are engine-agnostic:
+/// the tensor compiler, the Volcano interpreter and the columnar engine all
+/// evaluate the same trees.
+struct BoundExpr {
+  BExprKind kind = BExprKind::kLiteral;
+  LogicalType type = LogicalType::kInt64;  // result type
+
+  int column_index = -1;                   // kColumn
+  Scalar literal;                          // kLiteral
+  BinaryOpKind arith_op = BinaryOpKind::kAdd;
+  CompareOpKind cmp_op = CompareOpKind::kEq;
+  LogicalOpKind logical_op = LogicalOpKind::kAnd;
+  std::string like_pattern;                // kLike
+  bool negated = false;                    // kLike / kInList
+  std::vector<Scalar> in_list;             // kInList
+  bool case_has_else = false;              // kCase
+  int64_t substr_start = 0;                // kSubstring (0-based)
+  int64_t substr_len = 0;
+  std::string model_name;                  // kPredict
+
+  std::vector<BExpr> children;
+
+  /// \brief Canonical rendering; used for structural matching of GROUP BY
+  /// expressions against SELECT items and for plan explain output.
+  std::string ToString() const;
+};
+
+/// Constructors.
+BExpr MakeColumnRef(int index, LogicalType type);
+BExpr MakeLiteral(Scalar value, LogicalType type);
+BExpr MakeArith(BinaryOpKind op, BExpr lhs, BExpr rhs, LogicalType type);
+BExpr MakeCompare(CompareOpKind op, BExpr lhs, BExpr rhs);
+BExpr MakeLogical(LogicalOpKind op, BExpr lhs, BExpr rhs);
+BExpr MakeNot(BExpr child);
+
+/// \brief Collects the set of input column indexes an expression reads.
+void CollectColumns(const BoundExpr& expr, std::vector<bool>* used);
+
+/// \brief Rewrites column indexes through `mapping` (old index -> new index);
+/// mapping entries of -1 are a logic error (DCHECK).
+BExpr RemapColumns(const BoundExpr& expr, const std::vector<int>& mapping);
+
+/// \brief One aggregate computed by an Aggregate node.
+struct AggSpec {
+  ReduceOpKind op = ReduceOpKind::kSum;
+  bool count_star = false;  // COUNT(*)
+  BExpr arg;                // null for COUNT(*)
+
+  /// \brief Result type of this aggregate.
+  LogicalType result_type() const;
+  std::string ToString() const;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_PLAN_BOUND_EXPR_H_

@@ -1,0 +1,33 @@
+#include "plan/catalog.h"
+
+namespace tqp {
+
+void Catalog::RegisterTable(const std::string& name, Table table) {
+  tables_.insert_or_assign(name, std::move(table));
+}
+
+Result<Table> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::KeyError("table '" + name + "' is not registered");
+  }
+  return it->second;
+}
+
+Result<Schema> Catalog::GetSchema(const std::string& name) const {
+  TQP_ASSIGN_OR_RETURN(Table t, GetTable(name));
+  return t.schema();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.find(name) != tables_.end();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace tqp

@@ -1,0 +1,31 @@
+#ifndef TQP_PLAN_CATALOG_H_
+#define TQP_PLAN_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace tqp {
+
+/// \brief Name -> table registry the binder resolves FROM clauses against
+/// (the "session" of the TQP workflow: tables registered from DataFrames).
+class Catalog {
+ public:
+  /// \brief Registers (or replaces) a table under `name`.
+  void RegisterTable(const std::string& name, Table table);
+
+  Result<Table> GetTable(const std::string& name) const;
+  Result<Schema> GetSchema(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_PLAN_CATALOG_H_

@@ -1,0 +1,190 @@
+#include "plan/expr_eval.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace tqp {
+
+namespace {
+
+bool ScalarLess(const Scalar& a, const Scalar& b) {
+  if (a.is_string()) return a.string_value() < b.string_value();
+  return a.AsDouble() < b.AsDouble();
+}
+
+bool ScalarEq(const Scalar& a, const Scalar& b) {
+  if (a.is_string() != b.is_string()) return false;
+  if (a.is_string()) return a.string_value() == b.string_value();
+  return a.AsDouble() == b.AsDouble();
+}
+
+}  // namespace
+
+Result<Scalar> EvalExprRow(const BoundExpr& expr, const RowGetter& row,
+                           const RowPredictFn& predict) {
+  switch (expr.kind) {
+    case BExprKind::kColumn:
+      if (!row) return Status::Invalid("column reference without a row");
+      return row(expr.column_index);
+    case BExprKind::kLiteral:
+      return expr.literal;
+    case BExprKind::kArith: {
+      TQP_ASSIGN_OR_RETURN(Scalar a, EvalExprRow(*expr.children[0], row, predict));
+      TQP_ASSIGN_OR_RETURN(Scalar b, EvalExprRow(*expr.children[1], row, predict));
+      const bool float_result = expr.type == LogicalType::kFloat64;
+      const double x = a.AsDouble();
+      const double y = b.AsDouble();
+      double r = 0;
+      switch (expr.arith_op) {
+        case BinaryOpKind::kAdd:
+          r = x + y;
+          break;
+        case BinaryOpKind::kSub:
+          r = x - y;
+          break;
+        case BinaryOpKind::kMul:
+          r = x * y;
+          break;
+        case BinaryOpKind::kDiv:
+          if (!float_result) {
+            return y == 0 ? Scalar(int64_t{0}) : Scalar(a.AsInt64() / b.AsInt64());
+          }
+          r = x / y;
+          break;
+        case BinaryOpKind::kMod:
+          if (!float_result) {
+            return y == 0 ? Scalar(int64_t{0}) : Scalar(a.AsInt64() % b.AsInt64());
+          }
+          r = std::fmod(x, y);
+          break;
+        case BinaryOpKind::kMin:
+          r = x < y ? x : y;
+          break;
+        case BinaryOpKind::kMax:
+          r = x > y ? x : y;
+          break;
+      }
+      return float_result ? Scalar(r) : Scalar(static_cast<int64_t>(r));
+    }
+    case BExprKind::kCompare: {
+      TQP_ASSIGN_OR_RETURN(Scalar a, EvalExprRow(*expr.children[0], row, predict));
+      TQP_ASSIGN_OR_RETURN(Scalar b, EvalExprRow(*expr.children[1], row, predict));
+      switch (expr.cmp_op) {
+        case CompareOpKind::kEq:
+          return Scalar(ScalarEq(a, b));
+        case CompareOpKind::kNe:
+          return Scalar(!ScalarEq(a, b));
+        case CompareOpKind::kLt:
+          return Scalar(ScalarLess(a, b));
+        case CompareOpKind::kLe:
+          return Scalar(!ScalarLess(b, a));
+        case CompareOpKind::kGt:
+          return Scalar(ScalarLess(b, a));
+        case CompareOpKind::kGe:
+          return Scalar(!ScalarLess(a, b));
+      }
+      return Status::Internal("bad compare op");
+    }
+    case BExprKind::kLogical: {
+      TQP_ASSIGN_OR_RETURN(Scalar a, EvalExprRow(*expr.children[0], row, predict));
+      // SQL two-valued here (no NULLs): short-circuit is safe.
+      if (expr.logical_op == LogicalOpKind::kAnd && !a.bool_value()) {
+        return Scalar(false);
+      }
+      if (expr.logical_op == LogicalOpKind::kOr && a.bool_value()) {
+        return Scalar(true);
+      }
+      TQP_ASSIGN_OR_RETURN(Scalar b, EvalExprRow(*expr.children[1], row, predict));
+      if (expr.logical_op == LogicalOpKind::kXor) {
+        return Scalar(a.bool_value() != b.bool_value());
+      }
+      return b;
+    }
+    case BExprKind::kNot: {
+      TQP_ASSIGN_OR_RETURN(Scalar a, EvalExprRow(*expr.children[0], row, predict));
+      return Scalar(!a.bool_value());
+    }
+    case BExprKind::kCase: {
+      const size_t pairs = (expr.children.size() - (expr.case_has_else ? 1 : 0)) / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        TQP_ASSIGN_OR_RETURN(Scalar when,
+                             EvalExprRow(*expr.children[2 * i], row, predict));
+        if (when.bool_value()) {
+          TQP_ASSIGN_OR_RETURN(
+              Scalar then, EvalExprRow(*expr.children[2 * i + 1], row, predict));
+          if (expr.type == LogicalType::kFloat64) return Scalar(then.AsDouble());
+          return Scalar(then.AsInt64());
+        }
+      }
+      if (expr.case_has_else) {
+        TQP_ASSIGN_OR_RETURN(Scalar els,
+                             EvalExprRow(*expr.children.back(), row, predict));
+        if (expr.type == LogicalType::kFloat64) return Scalar(els.AsDouble());
+        return Scalar(els.AsInt64());
+      }
+      // No ELSE: SQL would yield NULL; the engine substitutes the type's zero.
+      return expr.type == LogicalType::kFloat64 ? Scalar(0.0) : Scalar(int64_t{0});
+    }
+    case BExprKind::kLike: {
+      TQP_ASSIGN_OR_RETURN(Scalar v, EvalExprRow(*expr.children[0], row, predict));
+      const bool matched = LikeMatch(v.string_value(), expr.like_pattern);
+      return Scalar(expr.negated ? !matched : matched);
+    }
+    case BExprKind::kInList: {
+      TQP_ASSIGN_OR_RETURN(Scalar v, EvalExprRow(*expr.children[0], row, predict));
+      bool found = false;
+      for (const Scalar& item : expr.in_list) {
+        if (ScalarEq(v, item)) {
+          found = true;
+          break;
+        }
+      }
+      return Scalar(expr.negated ? !found : found);
+    }
+    case BExprKind::kSubstring: {
+      TQP_ASSIGN_OR_RETURN(Scalar v, EvalExprRow(*expr.children[0], row, predict));
+      const std::string& s = v.string_value();
+      const size_t start = static_cast<size_t>(expr.substr_start);
+      if (start >= s.size()) return Scalar(std::string());
+      return Scalar(s.substr(start, static_cast<size_t>(expr.substr_len)));
+    }
+    case BExprKind::kPredict: {
+      if (!predict) {
+        return Status::Invalid("PREDICT cannot be constant-folded");
+      }
+      return predict(expr, row);
+    }
+  }
+  return Status::Internal("unhandled bound expression kind");
+}
+
+namespace {
+
+bool IsFoldable(const BoundExpr& expr) {
+  if (expr.kind == BExprKind::kColumn || expr.kind == BExprKind::kPredict) {
+    return false;
+  }
+  for (const BExpr& c : expr.children) {
+    if (!IsFoldable(*c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+BExpr FoldConstants(const BExpr& expr) {
+  if (expr->kind == BExprKind::kLiteral) return expr;
+  if (IsFoldable(*expr)) {
+    auto value = EvalExprRow(*expr, nullptr);
+    if (value.ok()) {
+      return MakeLiteral(std::move(value).ValueOrDie(), expr->type);
+    }
+    return expr;
+  }
+  auto out = std::make_shared<BoundExpr>(*expr);
+  for (BExpr& c : out->children) c = FoldConstants(c);
+  return out;
+}
+
+}  // namespace tqp

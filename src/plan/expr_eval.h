@@ -1,0 +1,32 @@
+#ifndef TQP_PLAN_EXPR_EVAL_H_
+#define TQP_PLAN_EXPR_EVAL_H_
+
+#include <functional>
+
+#include "plan/bound_expr.h"
+
+namespace tqp {
+
+/// \brief Reads column `index` of the current row.
+using RowGetter = std::function<Scalar(int index)>;
+
+/// \brief Evaluates PREDICT for one row (wired to the ML registry by the
+/// row-oriented engine; constant folding passes null and fails instead).
+using RowPredictFn =
+    std::function<Result<Scalar>(const BoundExpr& predict, const RowGetter& row)>;
+
+/// \brief Row-at-a-time evaluation of a bound expression — the scalar
+/// reference semantics every engine must agree with. Used by the Volcano
+/// oracle engine, by optimizer constant folding (with a null row getter) and
+/// by tests.
+Result<Scalar> EvalExprRow(const BoundExpr& expr, const RowGetter& row,
+                           const RowPredictFn& predict = nullptr);
+
+/// \brief Folds an expression tree: any subtree without column references or
+/// PREDICT calls is replaced by its literal value. Never fails: subtrees that
+/// cannot fold are returned unchanged.
+BExpr FoldConstants(const BExpr& expr);
+
+}  // namespace tqp
+
+#endif  // TQP_PLAN_EXPR_EVAL_H_

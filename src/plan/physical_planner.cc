@@ -1,0 +1,25 @@
+#include "plan/physical_planner.h"
+
+#include "sql/parser.h"
+
+namespace tqp {
+
+PlanPtr ChoosePhysical(const PlanPtr& plan, const PhysicalOptions& options) {
+  auto out = std::make_shared<PlanNode>(*plan);
+  for (PlanPtr& c : out->children) c = ChoosePhysical(c, options);
+  if (out->kind == PlanKind::kJoin) out->join_algo = options.join_algo;
+  if (out->kind == PlanKind::kAggregate) out->agg_algo = options.agg_algo;
+  return out;
+}
+
+Result<PlanPtr> PlanQuery(const std::string& sql, const Catalog& catalog,
+                          const PhysicalOptions& options,
+                          const ModelCatalog* models) {
+  TQP_ASSIGN_OR_RETURN(auto stmt, sql::ParseSelect(sql));
+  Binder binder(&catalog, models);
+  TQP_ASSIGN_OR_RETURN(PlanPtr logical, binder.Bind(*stmt));
+  TQP_ASSIGN_OR_RETURN(PlanPtr optimized, Optimize(logical, options.optimizer));
+  return ChoosePhysical(optimized, options);
+}
+
+}  // namespace tqp

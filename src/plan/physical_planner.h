@@ -1,0 +1,36 @@
+#ifndef TQP_PLAN_PHYSICAL_PLANNER_H_
+#define TQP_PLAN_PHYSICAL_PLANNER_H_
+
+#include <memory>
+#include <string>
+
+#include "plan/binder.h"
+#include "plan/catalog.h"
+#include "plan/optimizer.h"
+#include "plan/plan_node.h"
+
+namespace tqp {
+
+/// \brief Physical operator choices. The defaults are the paper's: TQP
+/// implements joins with sort + searchsorted and aggregation with sort +
+/// segmented reductions, both GPU-friendly tensor shapes; hash variants are
+/// provided for the ablation studies (DESIGN.md ABL2/ABL3).
+struct PhysicalOptions {
+  JoinAlgo join_algo = JoinAlgo::kSortMerge;
+  AggAlgo agg_algo = AggAlgo::kSort;
+  OptimizerOptions optimizer;
+};
+
+/// \brief End-to-end frontend: SQL text -> parse -> bind -> optimize ->
+/// physical plan. This produces the "physical plan from an external frontend
+/// database system" that TQP's compilation stack consumes (§2.2).
+Result<PlanPtr> PlanQuery(const std::string& sql, const Catalog& catalog,
+                          const PhysicalOptions& options = {},
+                          const ModelCatalog* models = nullptr);
+
+/// \brief Applies physical choices to an already-bound logical plan.
+PlanPtr ChoosePhysical(const PlanPtr& plan, const PhysicalOptions& options);
+
+}  // namespace tqp
+
+#endif  // TQP_PLAN_PHYSICAL_PLANNER_H_

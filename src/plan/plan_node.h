@@ -1,0 +1,92 @@
+#ifndef TQP_PLAN_PLAN_NODE_H_
+#define TQP_PLAN_PLAN_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/bound_expr.h"
+#include "sql/ast.h"
+
+namespace tqp {
+
+enum class PlanKind : int8_t {
+  kScan = 0,
+  kFilter,
+  kProject,
+  kJoin,
+  kAggregate,
+  kSort,
+  kLimit,
+};
+
+const char* PlanKindName(PlanKind kind);
+
+/// \brief Physical join algorithm (chosen by the physical planner; the
+/// tensor compiler, Volcano and columnar engines all honor it).
+enum class JoinAlgo : int8_t { kHash = 0, kSortMerge };
+
+/// \brief Physical aggregation algorithm.
+enum class AggAlgo : int8_t { kHash = 0, kSort };
+
+struct SortKey {
+  BExpr expr;  // over the node input schema
+  bool ascending = true;
+};
+
+struct PlanNode;
+using PlanPtr = std::shared_ptr<PlanNode>;
+
+/// \brief A relational operator node. One structure serves as both logical
+/// and physical plan; the physical planner fills the algorithm fields
+/// (mirroring how Spark physical plans carry operator choices into TQP's
+/// parsing layer, §2.2).
+struct PlanNode {
+  PlanKind kind = PlanKind::kScan;
+  Schema output_schema;
+  std::vector<PlanPtr> children;
+
+  // kScan: `scan_columns` selects column indexes of the base table (empty =
+  // all columns, in table order). Filled in by the column-pruning rule.
+  std::string table_name;
+  std::vector<int> scan_columns;
+
+  // kFilter
+  BExpr predicate;
+
+  // kProject
+  std::vector<BExpr> exprs;
+
+  // kJoin: equi-key column indexes into left/right child schemas, plus an
+  // optional residual predicate over the concatenated (left ++ right) schema.
+  sql::JoinType join_type = sql::JoinType::kInner;
+  std::vector<int> left_keys;
+  std::vector<int> right_keys;
+  BExpr residual;
+  JoinAlgo join_algo = JoinAlgo::kHash;
+
+  // kAggregate: empty group_exprs = global aggregation (one output row).
+  std::vector<BExpr> group_exprs;
+  std::vector<AggSpec> aggs;
+  AggAlgo agg_algo = AggAlgo::kSort;
+
+  // kSort
+  std::vector<SortKey> sort_keys;
+
+  // kLimit
+  int64_t limit = -1;
+
+  /// \brief Indented explain string for the subtree.
+  std::string ToString(int indent = 0) const;
+};
+
+/// Node constructors (output schemas computed by the binder/callers).
+PlanPtr MakeScanNode(std::string table_name, Schema schema);
+PlanPtr MakeFilterNode(PlanPtr child, BExpr predicate);
+PlanPtr MakeProjectNode(PlanPtr child, std::vector<BExpr> exprs,
+                        std::vector<std::string> names);
+PlanPtr MakeLimitNode(PlanPtr child, int64_t limit);
+
+}  // namespace tqp
+
+#endif  // TQP_PLAN_PLAN_NODE_H_

@@ -1,0 +1,91 @@
+#include "profiler/profiler.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace tqp {
+
+void QueryProfiler::RecordOp(const OpNode& node, int64_t wall_nanos,
+                             int64_t output_bytes) {
+  OpRecord rec;
+  rec.node_id = node.id;
+  rec.op_name = OpTypeName(node.type);
+  rec.label = node.label;
+  rec.wall_nanos = wall_nanos;
+  rec.output_bytes = output_bytes;
+  records_.push_back(std::move(rec));
+}
+
+int64_t QueryProfiler::total_nanos() const {
+  int64_t total = 0;
+  for (const OpRecord& r : records_) total += r.wall_nanos;
+  return total;
+}
+
+std::string QueryProfiler::BreakdownReport(int top_k) const {
+  struct Agg {
+    int64_t nanos = 0;
+    int64_t calls = 0;
+    int64_t bytes = 0;
+  };
+  std::map<std::string, Agg> by_op;
+  for (const OpRecord& r : records_) {
+    Agg& agg = by_op[r.op_name];
+    agg.nanos += r.wall_nanos;
+    ++agg.calls;
+    agg.bytes += r.output_bytes;
+  }
+  std::vector<std::pair<std::string, Agg>> rows(by_op.begin(), by_op.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second.nanos > b.second.nanos; });
+  if (top_k > 0 && static_cast<int>(rows.size()) > top_k) {
+    rows.resize(static_cast<size_t>(top_k));
+  }
+  const double total = static_cast<double>(std::max<int64_t>(1, total_nanos()));
+  std::ostringstream os;
+  os << "operator              calls   total(ms)   share   out(MB)\n";
+  os << "---------------------------------------------------------\n";
+  for (const auto& [name, agg] : rows) {
+    os << name << std::string(name.size() < 22 ? 22 - name.size() : 1, ' ');
+    std::string calls = std::to_string(agg.calls);
+    os << calls << std::string(calls.size() < 8 ? 8 - calls.size() : 1, ' ');
+    std::string ms = FormatDouble(static_cast<double>(agg.nanos) / 1e6, 3);
+    os << ms << std::string(ms.size() < 12 ? 12 - ms.size() : 1, ' ');
+    std::string pct = FormatDouble(100.0 * static_cast<double>(agg.nanos) / total, 1);
+    os << pct << "%" << std::string(pct.size() + 1 < 8 ? 7 - pct.size() : 1, ' ');
+    os << FormatDouble(static_cast<double>(agg.bytes) / 1e6, 2) << "\n";
+  }
+  return os.str();
+}
+
+std::string QueryProfiler::ToChromeTrace(const std::string& process_name) const {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  // Ops executed sequentially; reconstruct begin offsets from durations.
+  int64_t clock = 0;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const OpRecord& r = records_[i];
+    if (i > 0) os << ",";
+    std::string name = r.op_name;
+    if (!r.label.empty()) name += " [" + r.label + "]";
+    // Escape quotes/backslashes for JSON.
+    std::string escaped;
+    for (char c : name) {
+      if (c == '"' || c == '\\') escaped.push_back('\\');
+      escaped.push_back(c);
+    }
+    os << "{\"name\":\"" << escaped << "\",\"cat\":\"op\",\"ph\":\"X\",\"ts\":"
+       << clock / 1000 << ",\"dur\":" << std::max<int64_t>(1, r.wall_nanos / 1000)
+       << ",\"pid\":1,\"tid\":1,\"args\":{\"node\":" << r.node_id
+       << ",\"output_bytes\":" << r.output_bytes << "}}";
+    clock += r.wall_nanos;
+  }
+  os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"process\":\""
+     << process_name << "\"}}";
+  return os.str();
+}
+
+}  // namespace tqp

@@ -1,0 +1,51 @@
+#ifndef TQP_PROFILER_PROFILER_H_
+#define TQP_PROFILER_PROFILER_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/executor.h"
+
+namespace tqp {
+
+/// \brief Per-operator query profiler — the stand-in for the PyTorch
+/// Profiler + TensorBoard integration of demo scenario 1.
+///
+/// Attach via ExecOptions/CompileOptions::profiler, run the query, then:
+///  * BreakdownReport() prints the Figure-2-style runtime breakdown of the
+///    top operators;
+///  * ToChromeTrace() emits a chrome://tracing-compatible JSON timeline
+///    (open in any Chromium browser or Perfetto, the TensorBoard-trace
+///    equivalent);
+///  * records() exposes raw per-op samples for programmatic use.
+class QueryProfiler : public OpProfiler {
+ public:
+  struct OpRecord {
+    int node_id = -1;
+    std::string op_name;
+    std::string label;
+    int64_t wall_nanos = 0;
+    int64_t output_bytes = 0;
+  };
+
+  void RecordOp(const OpNode& node, int64_t wall_nanos,
+                int64_t output_bytes) override;
+
+  void Reset() { records_.clear(); }
+  const std::vector<OpRecord>& records() const { return records_; }
+  int64_t total_nanos() const;
+
+  /// \brief Aggregated per-op-kind report, descending by total time.
+  /// `top_k` limits the rows (0 = all).
+  std::string BreakdownReport(int top_k = 10) const;
+
+  /// \brief chrome://tracing JSON ("traceEvents" array of X events).
+  std::string ToChromeTrace(const std::string& process_name = "tqp") const;
+
+ private:
+  std::vector<OpRecord> records_;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_PROFILER_PROFILER_H_

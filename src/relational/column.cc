@@ -1,0 +1,139 @@
+#include "relational/column.h"
+
+#include "common/string_util.h"
+#include "kernels/strings.h"
+#include "relational/date.h"
+
+namespace tqp {
+
+const char* LogicalTypeName(LogicalType t) {
+  switch (t) {
+    case LogicalType::kBool:
+      return "bool";
+    case LogicalType::kInt32:
+      return "int32";
+    case LogicalType::kInt64:
+      return "int64";
+    case LogicalType::kFloat64:
+      return "float64";
+    case LogicalType::kDate:
+      return "date";
+    case LogicalType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+DType PhysicalType(LogicalType t) {
+  switch (t) {
+    case LogicalType::kBool:
+      return DType::kBool;
+    case LogicalType::kInt32:
+      return DType::kInt32;
+    case LogicalType::kInt64:
+      return DType::kInt64;
+    case LogicalType::kFloat64:
+      return DType::kFloat64;
+    case LogicalType::kDate:
+      return DType::kInt64;
+    case LogicalType::kString:
+      return DType::kUInt8;
+  }
+  return DType::kInt64;
+}
+
+int Schema::FieldIndex(const std::string& name) const {
+  for (int i = 0; i < num_fields(); ++i) {
+    if (fields_[static_cast<size_t>(i)].name == name) return i;
+  }
+  return -1;
+}
+
+Result<Field> Schema::FieldByName(const std::string& name) const {
+  const int idx = FieldIndex(name);
+  if (idx < 0) return Status::KeyError("no column named '" + name + "'");
+  return fields_[static_cast<size_t>(idx)];
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (int i = 0; i < num_fields(); ++i) {
+    if (i > 0) out += ", ";
+    out += field(i).name;
+    out += ": ";
+    out += LogicalTypeName(field(i).type);
+  }
+  out += ")";
+  return out;
+}
+
+Result<Column> Column::FromInt64(const std::vector<int64_t>& values) {
+  return Column(LogicalType::kInt64, Tensor::FromVector(values));
+}
+
+Result<Column> Column::FromInt32(const std::vector<int32_t>& values) {
+  return Column(LogicalType::kInt32, Tensor::FromVector(values));
+}
+
+Result<Column> Column::FromDouble(const std::vector<double>& values) {
+  return Column(LogicalType::kFloat64, Tensor::FromVector(values));
+}
+
+Result<Column> Column::FromBool(const std::vector<bool>& values) {
+  TQP_ASSIGN_OR_RETURN(
+      Tensor t, Tensor::Empty(DType::kBool, static_cast<int64_t>(values.size()), 1));
+  bool* p = t.mutable_data<bool>();
+  for (size_t i = 0; i < values.size(); ++i) p[i] = values[i];
+  return Column(LogicalType::kBool, std::move(t));
+}
+
+Result<Column> Column::FromDates(const std::vector<int64_t>& days) {
+  return Column(LogicalType::kDate, Tensor::FromVector(days));
+}
+
+Result<Column> Column::FromDateStrings(const std::vector<std::string>& dates) {
+  std::vector<int64_t> days;
+  days.reserve(dates.size());
+  for (const std::string& d : dates) {
+    TQP_ASSIGN_OR_RETURN(int64_t v, ParseDate(d));
+    days.push_back(v);
+  }
+  return FromDates(days);
+}
+
+Result<Column> Column::FromStrings(const std::vector<std::string>& values) {
+  TQP_ASSIGN_OR_RETURN(Tensor t, kernels::EncodeStrings(values));
+  return Column(LogicalType::kString, std::move(t));
+}
+
+Scalar Column::GetScalar(int64_t row) const {
+  switch (type_) {
+    case LogicalType::kBool:
+      return Scalar(tensor_.at<bool>(row));
+    case LogicalType::kInt32:
+      return Scalar(static_cast<int64_t>(tensor_.at<int32_t>(row)));
+    case LogicalType::kInt64:
+    case LogicalType::kDate:
+      return Scalar(tensor_.at<int64_t>(row));
+    case LogicalType::kFloat64:
+      return Scalar(tensor_.at<double>(row));
+    case LogicalType::kString: {
+      const uint8_t* p = tensor_.data<uint8_t>() + row * tensor_.cols();
+      int64_t len = tensor_.cols();
+      while (len > 0 && p[len - 1] == 0) --len;
+      return Scalar(std::string(reinterpret_cast<const char*>(p),
+                                static_cast<size_t>(len)));
+    }
+  }
+  return Scalar();
+}
+
+std::string Column::ValueToString(int64_t row) const {
+  if (type_ == LogicalType::kDate) return FormatDate(tensor_.at<int64_t>(row));
+  if (type_ == LogicalType::kFloat64) {
+    return FormatDouble(tensor_.at<double>(row), 4);
+  }
+  return GetScalar(row).ToString();
+}
+
+}  // namespace tqp

@@ -1,0 +1,52 @@
+#ifndef TQP_RELATIONAL_COLUMN_H_
+#define TQP_RELATIONAL_COLUMN_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "tensor/scalar.h"
+#include "tensor/tensor.h"
+
+namespace tqp {
+
+/// \brief One table column: a logical type plus its tensor representation
+/// (the paper's §2.1 data model). Numerics/dates are (n x 1); strings are
+/// (n x m) uint8 right-padded with zeros.
+class Column {
+ public:
+  Column() = default;
+  Column(LogicalType type, Tensor tensor)
+      : type_(type), tensor_(std::move(tensor)) {}
+
+  static Result<Column> FromInt64(const std::vector<int64_t>& values);
+  static Result<Column> FromInt32(const std::vector<int32_t>& values);
+  static Result<Column> FromDouble(const std::vector<double>& values);
+  static Result<Column> FromBool(const std::vector<bool>& values);
+  /// Dates in days since epoch.
+  static Result<Column> FromDates(const std::vector<int64_t>& days);
+  /// Dates from 'YYYY-MM-DD' literals.
+  static Result<Column> FromDateStrings(const std::vector<std::string>& dates);
+  static Result<Column> FromStrings(const std::vector<std::string>& values);
+
+  LogicalType type() const { return type_; }
+  const Tensor& tensor() const { return tensor_; }
+  Tensor& mutable_tensor() { return tensor_; }
+  int64_t length() const { return tensor_.rows(); }
+  bool is_string() const { return type_ == LogicalType::kString; }
+
+  /// \brief Row value as a Scalar (strings decoded, dates as int days).
+  /// Slow path used by the row-oriented baseline engine and printing.
+  Scalar GetScalar(int64_t row) const;
+
+  /// \brief Row value rendered for output (dates as YYYY-MM-DD).
+  std::string ValueToString(int64_t row) const;
+
+ private:
+  LogicalType type_ = LogicalType::kInt64;
+  Tensor tensor_;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_RELATIONAL_COLUMN_H_

@@ -1,0 +1,34 @@
+#ifndef TQP_RELATIONAL_CSV_H_
+#define TQP_RELATIONAL_CSV_H_
+
+#include <string>
+
+#include "relational/table.h"
+
+namespace tqp {
+
+/// \brief Options for CSV parsing/writing. TPC-H dumps use '|'.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+};
+
+/// \brief Parses CSV text into a Table following `schema` (the data-ingestion
+/// path of demo scenario 1; stands in for pandas.read_csv).
+Result<Table> ReadCsvString(const std::string& text, const Schema& schema,
+                            const CsvOptions& options = {});
+
+/// \brief Reads a CSV file from disk.
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+                          const CsvOptions& options = {});
+
+/// \brief Serializes a table to CSV text.
+std::string WriteCsvString(const Table& table, const CsvOptions& options = {});
+
+/// \brief Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace tqp
+
+#endif  // TQP_RELATIONAL_CSV_H_

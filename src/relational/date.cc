@@ -1,0 +1,80 @@
+#include "relational/date.h"
+
+#include <cstdio>
+
+namespace tqp {
+
+// Howard Hinnant's days_from_civil / civil_from_days algorithms.
+int64_t DaysFromCivil(int year, int month, int day) {
+  const int y = year - (month <= 2 ? 1 : 0);
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(month + (month > 2 ? -3 : 9)) + 2u) / 5u +
+      static_cast<unsigned>(day) - 1u;
+  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t days, int* year, int* month, int* day) {
+  const int64_t z = days + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *day = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *month = static_cast<int>(mp < 10 ? mp + 3 : mp - 9);
+  *year = static_cast<int>(y + (*month <= 2 ? 1 : 0));
+}
+
+Result<int64_t> ParseDate(const std::string& text) {
+  int y = 0;
+  int m = 0;
+  int d = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d", &y, &m, &d) != 3) {
+    return Status::ParseError("bad date literal '" + text + "' (want YYYY-MM-DD)");
+  }
+  if (m < 1 || m > 12 || d < 1 || d > 31) {
+    return Status::ParseError("date out of range '" + text + "'");
+  }
+  return DaysFromCivil(y, m, d);
+}
+
+std::string FormatDate(int64_t days) {
+  int y = 0;
+  int m = 0;
+  int d = 0;
+  CivilFromDays(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+namespace {
+int DaysInMonth(int year, int month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2) {
+    const bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    return leap ? 29 : 28;
+  }
+  return kDays[month - 1];
+}
+}  // namespace
+
+int64_t AddInterval(int64_t days, int64_t count, const std::string& unit) {
+  if (unit == "day") return days + count;
+  int y = 0;
+  int m = 0;
+  int d = 0;
+  CivilFromDays(days, &y, &m, &d);
+  int64_t months = count * (unit == "year" ? 12 : 1);
+  int64_t total = y * 12 + (m - 1) + months;
+  const int ny = static_cast<int>(total / 12);
+  const int nm = static_cast<int>(total % 12) + 1;
+  const int nd = d <= DaysInMonth(ny, nm) ? d : DaysInMonth(ny, nm);
+  return DaysFromCivil(ny, nm, nd);
+}
+
+}  // namespace tqp

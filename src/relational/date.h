@@ -1,0 +1,34 @@
+#ifndef TQP_RELATIONAL_DATE_H_
+#define TQP_RELATIONAL_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace tqp {
+
+/// Date columns are stored as int64 days since the UNIX epoch (1970-01-01).
+/// The paper stores epoch nanoseconds; days are the same representation
+/// divided by a constant and exercise the identical numeric-tensor code path
+/// while leaving headroom for DATE +/- INTERVAL arithmetic in int64.
+
+/// \brief Days since epoch for a civil date (proleptic Gregorian).
+int64_t DaysFromCivil(int year, int month, int day);
+
+/// \brief Inverse of DaysFromCivil.
+void CivilFromDays(int64_t days, int* year, int* month, int* day);
+
+/// \brief Parses 'YYYY-MM-DD'.
+Result<int64_t> ParseDate(const std::string& text);
+
+/// \brief Formats days-since-epoch as 'YYYY-MM-DD'.
+std::string FormatDate(int64_t days);
+
+/// \brief Adds a calendar interval; unit is "day", "month" or "year"
+/// (SQL INTERVAL semantics: month/year arithmetic clamps the day of month).
+int64_t AddInterval(int64_t days, int64_t count, const std::string& unit);
+
+}  // namespace tqp
+
+#endif  // TQP_RELATIONAL_DATE_H_

@@ -1,0 +1,126 @@
+#include "relational/ingest.h"
+
+#include "kernels/strings.h"
+#include "relational/date.h"
+
+namespace tqp {
+
+void HostFrame::AddInt64(const std::string& name, std::vector<int64_t> values) {
+  HostColumn col;
+  col.name = name;
+  col.type = LogicalType::kInt64;
+  col.ints = std::move(values);
+  columns_.push_back(std::move(col));
+}
+
+void HostFrame::AddDouble(const std::string& name, std::vector<double> values) {
+  HostColumn col;
+  col.name = name;
+  col.type = LogicalType::kFloat64;
+  col.doubles = std::move(values);
+  columns_.push_back(std::move(col));
+}
+
+void HostFrame::AddDateStrings(const std::string& name,
+                               std::vector<std::string> values) {
+  HostColumn col;
+  col.name = name;
+  col.type = LogicalType::kDate;
+  col.strings = std::move(values);
+  columns_.push_back(std::move(col));
+}
+
+void HostFrame::AddStrings(const std::string& name,
+                           std::vector<std::string> values) {
+  HostColumn col;
+  col.name = name;
+  col.type = LogicalType::kString;
+  col.strings = std::move(values);
+  columns_.push_back(std::move(col));
+}
+
+int64_t HostFrame::num_rows() const {
+  if (columns_.empty()) return 0;
+  const HostColumn& c = columns_[0];
+  switch (c.type) {
+    case LogicalType::kInt64:
+      return static_cast<int64_t>(c.ints.size());
+    case LogicalType::kFloat64:
+      return static_cast<int64_t>(c.doubles.size());
+    default:
+      return static_cast<int64_t>(c.strings.size());
+  }
+}
+
+Result<Table> HostFrame::ToTable(bool zero_copy, IngestStats* stats) const {
+  Schema schema;
+  std::vector<Column> cols;
+  for (const HostColumn& hc : columns_) {
+    schema.AddField(Field{hc.name, hc.type});
+    switch (hc.type) {
+      case LogicalType::kInt64: {
+        if (zero_copy) {
+          // const_cast is safe: tensors over wrapped storage are never
+          // mutated by the engine (kernels allocate fresh outputs).
+          Tensor t = Tensor::WrapExternal(const_cast<int64_t*>(hc.ints.data()),
+                                          static_cast<int64_t>(hc.ints.size()));
+          if (stats != nullptr) {
+            stats->bytes_zero_copy += t.nbytes();
+            ++stats->columns_zero_copy;
+          }
+          cols.emplace_back(LogicalType::kInt64, std::move(t));
+        } else {
+          TQP_ASSIGN_OR_RETURN(Column col, Column::FromInt64(hc.ints));
+          if (stats != nullptr) {
+            stats->bytes_converted += col.tensor().nbytes();
+            ++stats->columns_converted;
+          }
+          cols.push_back(std::move(col));
+        }
+        break;
+      }
+      case LogicalType::kFloat64: {
+        if (zero_copy) {
+          Tensor t = Tensor::WrapExternal(const_cast<double*>(hc.doubles.data()),
+                                          static_cast<int64_t>(hc.doubles.size()));
+          if (stats != nullptr) {
+            stats->bytes_zero_copy += t.nbytes();
+            ++stats->columns_zero_copy;
+          }
+          cols.emplace_back(LogicalType::kFloat64, std::move(t));
+        } else {
+          TQP_ASSIGN_OR_RETURN(Column col, Column::FromDouble(hc.doubles));
+          if (stats != nullptr) {
+            stats->bytes_converted += col.tensor().nbytes();
+            ++stats->columns_converted;
+          }
+          cols.push_back(std::move(col));
+        }
+        break;
+      }
+      case LogicalType::kDate: {
+        TQP_ASSIGN_OR_RETURN(Column col, Column::FromDateStrings(hc.strings));
+        if (stats != nullptr) {
+          stats->bytes_converted += col.tensor().nbytes();
+          ++stats->columns_converted;
+        }
+        cols.push_back(std::move(col));
+        break;
+      }
+      case LogicalType::kString: {
+        TQP_ASSIGN_OR_RETURN(Column col, Column::FromStrings(hc.strings));
+        if (stats != nullptr) {
+          stats->bytes_converted += col.tensor().nbytes();
+          ++stats->columns_converted;
+        }
+        cols.push_back(std::move(col));
+        break;
+      }
+      default:
+        return Status::NotImplemented("HostFrame type");
+    }
+  }
+  return Table::Make(std::move(schema), std::move(cols));
+}
+
+}  // namespace tqp

@@ -1,0 +1,52 @@
+#ifndef TQP_RELATIONAL_INGEST_H_
+#define TQP_RELATIONAL_INGEST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/table.h"
+
+namespace tqp {
+
+/// \brief Conversion accounting for the §2.1 claim: "data transformation is
+/// in general zero-copy, except date and string columns".
+struct IngestStats {
+  int64_t bytes_zero_copy = 0;   // numeric columns wrapped in place
+  int64_t bytes_converted = 0;   // strings/dates materialized into tensors
+  int64_t columns_zero_copy = 0;
+  int64_t columns_converted = 0;
+};
+
+/// \brief An in-memory host "dataframe" of typed arrays — the stand-in for a
+/// Pandas DataFrame handed to TQP. Owns its buffers; tables produced by
+/// ToTable() in zero-copy mode alias them, so the frame must outlive them.
+class HostFrame {
+ public:
+  void AddInt64(const std::string& name, std::vector<int64_t> values);
+  void AddDouble(const std::string& name, std::vector<double> values);
+  /// Dates as 'YYYY-MM-DD' strings (always converted, per the paper).
+  void AddDateStrings(const std::string& name, std::vector<std::string> values);
+  void AddStrings(const std::string& name, std::vector<std::string> values);
+
+  /// \brief Tensorizes the frame. With `zero_copy` set, numeric columns wrap
+  /// the host arrays without copying (tensor owns_data() == false); strings
+  /// and dates always convert. `stats` (optional) receives the accounting.
+  Result<Table> ToTable(bool zero_copy = true, IngestStats* stats = nullptr) const;
+
+  int64_t num_rows() const;
+
+ private:
+  struct HostColumn {
+    std::string name;
+    LogicalType type;
+    std::vector<int64_t> ints;
+    std::vector<double> doubles;
+    std::vector<std::string> strings;
+  };
+  std::vector<HostColumn> columns_;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_RELATIONAL_INGEST_H_

@@ -1,0 +1,74 @@
+#ifndef TQP_RELATIONAL_SCHEMA_H_
+#define TQP_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tensor/dtype.h"
+
+namespace tqp {
+
+/// \brief SQL-level column types. These map onto tensor dtypes per the
+/// paper's §2.1: numerics and dates are (n x 1) numeric tensors, strings are
+/// (n x m) padded uint8 tensors.
+enum class LogicalType : int8_t {
+  kBool = 0,
+  kInt32,
+  kInt64,
+  kFloat64,
+  kDate,    // int64 days since UNIX epoch (see relational/date.h)
+  kString,  // (n x m) uint8, zero right-padded UTF-8
+};
+
+const char* LogicalTypeName(LogicalType t);
+
+/// \brief The tensor dtype a logical type is stored as.
+DType PhysicalType(LogicalType t);
+
+/// \brief True for types compared/aggregated numerically.
+inline bool IsNumericType(LogicalType t) {
+  return t == LogicalType::kBool || t == LogicalType::kInt32 ||
+         t == LogicalType::kInt64 || t == LogicalType::kFloat64 ||
+         t == LogicalType::kDate;
+}
+
+/// \brief A named, typed column slot.
+struct Field {
+  std::string name;
+  LogicalType type = LogicalType::kInt64;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief Ordered list of fields with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// \brief Index of the column named `name`, or -1.
+  int FieldIndex(const std::string& name) const;
+
+  /// \brief Field lookup by name as a Result.
+  Result<Field> FieldByName(const std::string& name) const;
+
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,140 @@
+#include "relational/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace tqp {
+
+Result<Table> Table::Make(Schema schema, std::vector<Column> columns) {
+  if (static_cast<size_t>(schema.num_fields()) != columns.size()) {
+    return Status::Invalid("Table::Make: schema has " +
+                           std::to_string(schema.num_fields()) + " fields but " +
+                           std::to_string(columns.size()) + " columns given");
+  }
+  int64_t rows = columns.empty() ? 0 : columns[0].length();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].length() != rows) {
+      return Status::Invalid("Table::Make: column '" +
+                             schema.field(static_cast<int>(i)).name +
+                             "' length mismatch");
+    }
+    if (columns[i].type() != schema.field(static_cast<int>(i)).type) {
+      return Status::TypeError("Table::Make: column '" +
+                               schema.field(static_cast<int>(i)).name +
+                               "' type mismatch");
+    }
+  }
+  Table t;
+  t.schema_ = std::move(schema);
+  t.columns_ = std::move(columns);
+  return t;
+}
+
+Result<Column> Table::ColumnByName(const std::string& name) const {
+  const int idx = schema_.FieldIndex(name);
+  if (idx < 0) return Status::KeyError("no column named '" + name + "'");
+  return columns_[static_cast<size_t>(idx)];
+}
+
+Result<Table> Table::Select(const std::vector<std::string>& names) const {
+  Schema schema;
+  std::vector<Column> cols;
+  for (const std::string& name : names) {
+    const int idx = schema_.FieldIndex(name);
+    if (idx < 0) return Status::KeyError("no column named '" + name + "'");
+    schema.AddField(schema_.field(idx));
+    cols.push_back(columns_[static_cast<size_t>(idx)]);
+  }
+  return Make(std::move(schema), std::move(cols));
+}
+
+std::string Table::ToString(int64_t max_rows) const {
+  // Compute column widths.
+  const int64_t show = std::min<int64_t>(num_rows(), max_rows);
+  std::vector<std::vector<std::string>> cells(static_cast<size_t>(show));
+  std::vector<size_t> width(static_cast<size_t>(num_columns()));
+  for (int c = 0; c < num_columns(); ++c) {
+    width[static_cast<size_t>(c)] = schema_.field(c).name.size();
+  }
+  for (int64_t r = 0; r < show; ++r) {
+    cells[static_cast<size_t>(r)].resize(static_cast<size_t>(num_columns()));
+    for (int c = 0; c < num_columns(); ++c) {
+      std::string v = columns_[static_cast<size_t>(c)].ValueToString(r);
+      width[static_cast<size_t>(c)] = std::max(width[static_cast<size_t>(c)], v.size());
+      cells[static_cast<size_t>(r)][static_cast<size_t>(c)] = std::move(v);
+    }
+  }
+  std::ostringstream os;
+  for (int c = 0; c < num_columns(); ++c) {
+    os << (c ? " | " : "");
+    os << schema_.field(c).name;
+    os << std::string(width[static_cast<size_t>(c)] - schema_.field(c).name.size(), ' ');
+  }
+  os << "\n";
+  for (int c = 0; c < num_columns(); ++c) {
+    os << (c ? "-+-" : "") << std::string(width[static_cast<size_t>(c)], '-');
+  }
+  os << "\n";
+  for (int64_t r = 0; r < show; ++r) {
+    for (int c = 0; c < num_columns(); ++c) {
+      const std::string& v = cells[static_cast<size_t>(r)][static_cast<size_t>(c)];
+      os << (c ? " | " : "") << v
+         << std::string(width[static_cast<size_t>(c)] - v.size(), ' ');
+    }
+    os << "\n";
+  }
+  if (num_rows() > show) {
+    os << "... (" << num_rows() << " rows total)\n";
+  }
+  return os.str();
+}
+
+int64_t Table::nbytes() const {
+  int64_t total = 0;
+  for (const Column& c : columns_) total += c.tensor().nbytes();
+  return total;
+}
+
+Status TablesEqualUnordered(const Table& a, const Table& b, int float_digits) {
+  if (a.num_columns() != b.num_columns()) {
+    return Status::Invalid("column count differs: " +
+                           std::to_string(a.num_columns()) + " vs " +
+                           std::to_string(b.num_columns()));
+  }
+  if (a.num_rows() != b.num_rows()) {
+    return Status::Invalid("row count differs: " + std::to_string(a.num_rows()) +
+                           " vs " + std::to_string(b.num_rows()));
+  }
+  auto render = [&](const Table& t) {
+    std::vector<std::string> rows(static_cast<size_t>(t.num_rows()));
+    for (int64_t r = 0; r < t.num_rows(); ++r) {
+      std::string& row = rows[static_cast<size_t>(r)];
+      for (int c = 0; c < t.num_columns(); ++c) {
+        const Column& col = t.column(c);
+        row += '\x1f';
+        if (col.type() == LogicalType::kFloat64) {
+          double v = col.tensor().at<double>(r);
+          if (v == 0) v = 0;  // canonicalize -0.0
+          row += FormatDouble(v, float_digits);
+        } else {
+          row += col.ValueToString(r);
+        }
+      }
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  const std::vector<std::string> ra = render(a);
+  const std::vector<std::string> rb = render(b);
+  for (size_t i = 0; i < ra.size(); ++i) {
+    if (ra[i] != rb[i]) {
+      return Status::Invalid("row " + std::to_string(i) + " differs: [" + ra[i] +
+                             "] vs [" + rb[i] + "]");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tqp

@@ -1,0 +1,52 @@
+#ifndef TQP_RELATIONAL_TABLE_H_
+#define TQP_RELATIONAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/column.h"
+#include "relational/schema.h"
+
+namespace tqp {
+
+/// \brief A named collection of equal-length columns (columnar layout;
+/// the "DataFrame" of the TQP workflow).
+class Table {
+ public:
+  Table() = default;
+
+  static Result<Table> Make(Schema schema, std::vector<Column> columns);
+
+  const Schema& schema() const { return schema_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  int64_t num_rows() const { return columns_.empty() ? 0 : columns_[0].length(); }
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  Column& mutable_column(int i) { return columns_[static_cast<size_t>(i)]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// \brief Column lookup by name.
+  Result<Column> ColumnByName(const std::string& name) const;
+
+  /// \brief New table containing only the named columns (projection).
+  Result<Table> Select(const std::vector<std::string>& names) const;
+
+  /// \brief Renders up to `max_rows` rows as an aligned text table.
+  std::string ToString(int64_t max_rows = 20) const;
+
+  /// \brief Total bytes across column tensors.
+  int64_t nbytes() const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+};
+
+/// \brief Compares two tables for semantic equality up to row order:
+/// rows are rendered (floats with `float_digits` precision), sorted and
+/// compared. Intended for differential tests between engines.
+/// Returns OK or an Invalid status describing the first difference.
+Status TablesEqualUnordered(const Table& a, const Table& b, int float_digits = 4);
+
+}  // namespace tqp
+
+#endif  // TQP_RELATIONAL_TABLE_H_

@@ -1,0 +1,114 @@
+#include "relational/table_builder.h"
+
+#include "relational/date.h"
+
+namespace tqp {
+
+TableBuilder::TableBuilder(Schema schema) : schema_(std::move(schema)) {
+  const size_t n = static_cast<size_t>(schema_.num_fields());
+  ints_.resize(n);
+  doubles_.resize(n);
+  bools_.resize(n);
+  strings_.resize(n);
+}
+
+Status TableBuilder::AppendRow(const std::vector<Scalar>& values) {
+  if (static_cast<int>(values.size()) != schema_.num_fields()) {
+    return Status::Invalid("AppendRow: arity mismatch");
+  }
+  for (int c = 0; c < schema_.num_fields(); ++c) {
+    const Scalar& v = values[static_cast<size_t>(c)];
+    switch (schema_.field(c).type) {
+      case LogicalType::kBool:
+        if (!v.is_numeric()) return Status::TypeError("expected bool");
+        AppendBool(c, v.AsInt64() != 0);
+        break;
+      case LogicalType::kInt32:
+      case LogicalType::kInt64:
+        if (!v.is_numeric()) return Status::TypeError("expected int");
+        AppendInt(c, v.AsInt64());
+        break;
+      case LogicalType::kFloat64:
+        if (!v.is_numeric()) return Status::TypeError("expected float");
+        AppendDouble(c, v.AsDouble());
+        break;
+      case LogicalType::kDate:
+        if (v.is_string()) {
+          TQP_ASSIGN_OR_RETURN(int64_t days, ParseDate(v.string_value()));
+          AppendInt(c, days);
+        } else {
+          AppendInt(c, v.AsInt64());
+        }
+        break;
+      case LogicalType::kString:
+        if (!v.is_string()) return Status::TypeError("expected string");
+        AppendString(c, v.string_value());
+        break;
+    }
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+void TableBuilder::AppendInt(int col, int64_t v) {
+  ints_[static_cast<size_t>(col)].push_back(v);
+}
+void TableBuilder::AppendDouble(int col, double v) {
+  doubles_[static_cast<size_t>(col)].push_back(v);
+}
+void TableBuilder::AppendBool(int col, bool v) {
+  bools_[static_cast<size_t>(col)].push_back(v ? 1 : 0);
+}
+void TableBuilder::AppendString(int col, std::string v) {
+  strings_[static_cast<size_t>(col)].push_back(std::move(v));
+}
+
+Result<Table> TableBuilder::Finish() {
+  std::vector<Column> cols;
+  cols.reserve(static_cast<size_t>(schema_.num_fields()));
+  for (int c = 0; c < schema_.num_fields(); ++c) {
+    const size_t sc = static_cast<size_t>(c);
+    switch (schema_.field(c).type) {
+      case LogicalType::kBool: {
+        TQP_ASSIGN_OR_RETURN(
+            Tensor t,
+            Tensor::Empty(DType::kBool, static_cast<int64_t>(bools_[sc].size()), 1));
+        bool* p = t.mutable_data<bool>();
+        for (size_t i = 0; i < bools_[sc].size(); ++i) p[i] = bools_[sc][i] != 0;
+        cols.emplace_back(LogicalType::kBool, std::move(t));
+        break;
+      }
+      case LogicalType::kInt32: {
+        std::vector<int32_t> narrow(ints_[sc].begin(), ints_[sc].end());
+        TQP_ASSIGN_OR_RETURN(Column col, Column::FromInt32(narrow));
+        cols.push_back(std::move(col));
+        break;
+      }
+      case LogicalType::kInt64: {
+        TQP_ASSIGN_OR_RETURN(Column col, Column::FromInt64(ints_[sc]));
+        cols.push_back(std::move(col));
+        break;
+      }
+      case LogicalType::kFloat64: {
+        TQP_ASSIGN_OR_RETURN(Column col, Column::FromDouble(doubles_[sc]));
+        cols.push_back(std::move(col));
+        break;
+      }
+      case LogicalType::kDate: {
+        TQP_ASSIGN_OR_RETURN(Column col, Column::FromDates(ints_[sc]));
+        cols.push_back(std::move(col));
+        break;
+      }
+      case LogicalType::kString: {
+        TQP_ASSIGN_OR_RETURN(Column col, Column::FromStrings(strings_[sc]));
+        cols.push_back(std::move(col));
+        break;
+      }
+    }
+  }
+  Schema schema = schema_;
+  *this = TableBuilder(schema_);
+  return Table::Make(std::move(schema), std::move(cols));
+}
+
+}  // namespace tqp

@@ -1,0 +1,45 @@
+#ifndef TQP_RELATIONAL_TABLE_BUILDER_H_
+#define TQP_RELATIONAL_TABLE_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/table.h"
+
+namespace tqp {
+
+/// \brief Row-at-a-time table construction (used by data generators and the
+/// CSV reader). Values are buffered in host vectors and tensorized once in
+/// Finish().
+class TableBuilder {
+ public:
+  explicit TableBuilder(Schema schema);
+
+  /// \brief Appends one row; scalars must match the schema types positionally
+  /// (dates as int64 days or as 'YYYY-MM-DD' strings).
+  Status AppendRow(const std::vector<Scalar>& values);
+
+  /// Typed per-column appenders (faster; caller keeps columns aligned).
+  void AppendInt(int col, int64_t v);
+  void AppendDouble(int col, double v);
+  void AppendBool(int col, bool v);
+  void AppendString(int col, std::string v);
+
+  int64_t num_rows() const { return num_rows_; }
+
+  /// \brief Builds the Table; the builder is left empty.
+  Result<Table> Finish();
+
+ private:
+  Schema schema_;
+  int64_t num_rows_ = 0;
+  // One buffer per column; the active vector depends on the field type.
+  std::vector<std::vector<int64_t>> ints_;
+  std::vector<std::vector<double>> doubles_;
+  std::vector<std::vector<uint8_t>> bools_;
+  std::vector<std::vector<std::string>> strings_;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_RELATIONAL_TABLE_BUILDER_H_

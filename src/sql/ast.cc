@@ -1,0 +1,176 @@
+#include "sql/ast.h"
+
+#include <sstream>
+
+namespace tqp::sql {
+
+const char* JoinTypeName(JoinType t) {
+  switch (t) {
+    case JoinType::kCross:
+      return "cross";
+    case JoinType::kInner:
+      return "inner";
+    case JoinType::kLeft:
+      return "left";
+    case JoinType::kSemi:
+      return "semi";
+    case JoinType::kAnti:
+      return "anti";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case ExprKind::kColumnRef:
+      if (!qualifier.empty()) os << qualifier << ".";
+      os << name;
+      break;
+    case ExprKind::kLiteral:
+      os << literal.ToString();
+      break;
+    case ExprKind::kStar:
+      os << "*";
+      break;
+    case ExprKind::kBinary:
+      os << "(" << children[0]->ToString() << " " << op << " "
+         << children[1]->ToString() << ")";
+      break;
+    case ExprKind::kUnary:
+      os << "(" << op << " " << children[0]->ToString() << ")";
+      break;
+    case ExprKind::kCase: {
+      os << "CASE";
+      for (size_t i = 0; i + 1 < children.size(); i += 2) {
+        os << " WHEN " << children[i]->ToString() << " THEN "
+           << children[i + 1]->ToString();
+      }
+      if (else_expr) os << " ELSE " << else_expr->ToString();
+      os << " END";
+      break;
+    }
+    case ExprKind::kLike:
+      os << "(" << children[0]->ToString() << (negated ? " NOT" : "") << " LIKE '"
+         << pattern << "')";
+      break;
+    case ExprKind::kInList: {
+      os << "(" << children[0]->ToString() << (negated ? " NOT" : "") << " IN (";
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) os << ", ";
+        os << children[i]->ToString();
+      }
+      os << "))";
+      break;
+    }
+    case ExprKind::kBetween:
+      os << "(" << children[0]->ToString() << " BETWEEN " << children[1]->ToString()
+         << " AND " << children[2]->ToString() << ")";
+      break;
+    case ExprKind::kFunction: {
+      os << name << "(";
+      if (distinct) os << "DISTINCT ";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << children[i]->ToString();
+      }
+      os << ")";
+      break;
+    }
+    case ExprKind::kExists:
+      os << (negated ? "NOT EXISTS(...)" : "EXISTS(...)");
+      break;
+    case ExprKind::kInSubquery:
+      os << "(" << children[0]->ToString() << (negated ? " NOT" : "")
+         << " IN (subquery))";
+      break;
+    case ExprKind::kScalarSubquery:
+      os << "(scalar subquery)";
+      break;
+  }
+  return os.str();
+}
+
+std::string SelectStatement::ToString() const {
+  std::ostringstream os;
+  os << "SELECT ";
+  if (items.empty()) {
+    os << "*";
+  } else {
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << items[i].expr->ToString();
+      if (!items[i].alias.empty()) os << " AS " << items[i].alias;
+    }
+  }
+  os << " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << (from[i].table_name.empty() ? "(subquery)" : from[i].table_name);
+    if (!from[i].alias.empty() && from[i].alias != from[i].table_name) {
+      os << " " << from[i].alias;
+    }
+  }
+  if (where) os << " WHERE " << where->ToString();
+  if (!group_by.empty()) {
+    os << " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << group_by[i]->ToString();
+    }
+  }
+  if (having) os << " HAVING " << having->ToString();
+  if (!order_by.empty()) {
+    os << " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << order_by[i].expr->ToString() << (order_by[i].ascending ? "" : " DESC");
+    }
+  }
+  if (limit >= 0) os << " LIMIT " << limit;
+  return os.str();
+}
+
+ExprPtr CloneExpr(const Expr& e) {
+  auto out = std::make_unique<Expr>();
+  out->kind = e.kind;
+  out->qualifier = e.qualifier;
+  out->name = e.name;
+  out->literal = e.literal;
+  out->literal_is_date = e.literal_is_date;
+  out->op = e.op;
+  out->pattern = e.pattern;
+  out->negated = e.negated;
+  out->distinct = e.distinct;
+  if (e.else_expr) out->else_expr = CloneExpr(*e.else_expr);
+  if (e.subquery) out->subquery = CloneSelect(*e.subquery);
+  out->children.reserve(e.children.size());
+  for (const ExprPtr& c : e.children) out->children.push_back(CloneExpr(*c));
+  return out;
+}
+
+std::unique_ptr<SelectStatement> CloneSelect(const SelectStatement& s) {
+  auto out = std::make_unique<SelectStatement>();
+  for (const SelectItem& item : s.items) {
+    out->items.push_back(SelectItem{CloneExpr(*item.expr), item.alias});
+  }
+  for (const TableRef& ref : s.from) {
+    TableRef r;
+    r.table_name = ref.table_name;
+    if (ref.subquery) r.subquery = CloneSelect(*ref.subquery);
+    r.alias = ref.alias;
+    r.join_type = ref.join_type;
+    if (ref.join_condition) r.join_condition = CloneExpr(*ref.join_condition);
+    out->from.push_back(std::move(r));
+  }
+  if (s.where) out->where = CloneExpr(*s.where);
+  for (const ExprPtr& g : s.group_by) out->group_by.push_back(CloneExpr(*g));
+  if (s.having) out->having = CloneExpr(*s.having);
+  for (const OrderItem& o : s.order_by) {
+    out->order_by.push_back(OrderItem{CloneExpr(*o.expr), o.ascending});
+  }
+  out->limit = s.limit;
+  return out;
+}
+
+}  // namespace tqp::sql

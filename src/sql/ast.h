@@ -1,0 +1,115 @@
+#ifndef TQP_SQL_AST_H_
+#define TQP_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/scalar.h"
+
+namespace tqp::sql {
+
+/// Abstract syntax tree for the SQL dialect TQP accepts: single SELECT
+/// statements with joins (explicit JOIN ... ON and TPC-H comma style),
+/// WHERE/GROUP BY/HAVING/ORDER BY/LIMIT, CASE/LIKE/IN/BETWEEN/EXISTS, the
+/// standard aggregates, and the PREDICT('model', args...) extension from the
+/// paper's scenario 3.
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : int8_t {
+  kColumnRef,   // [qualifier.]name
+  kLiteral,     // number / string / bool / DATE 'lit'
+  kStar,        // * inside COUNT(*)
+  kBinary,      // op: + - * / % = <> < <= > >= AND OR
+  kUnary,       // op: - NOT
+  kCase,        // WHEN..THEN pairs + optional ELSE
+  kLike,        // child LIKE 'pattern' (negated for NOT LIKE)
+  kInList,      // child IN (literals...) (negated for NOT IN)
+  kBetween,     // child BETWEEN lo AND hi
+  kFunction,    // name(args...) including aggregates and PREDICT
+  kExists,          // EXISTS (subquery) (negated for NOT EXISTS)
+  kInSubquery,      // child IN (subquery)
+  kScalarSubquery,  // (SELECT <single aggregate> ...) used as a value
+};
+
+struct SelectStatement;
+
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kColumnRef
+  std::string qualifier;  // optional table alias
+  std::string name;       // column name; also function name for kFunction
+
+  // kLiteral
+  Scalar literal;
+  bool literal_is_date = false;  // DATE 'YYYY-MM-DD'
+
+  // kBinary / kUnary: operator spelling ("+", "AND", ...)
+  std::string op;
+
+  // kLike
+  std::string pattern;
+
+  // kLike / kInList / kExists / kInSubquery
+  bool negated = false;
+
+  // kCase: children = [when1, then1, ..., whenN, thenN]; else_expr optional.
+  ExprPtr else_expr;
+
+  // kFunction
+  bool distinct = false;  // COUNT(DISTINCT x) — parsed, rejected at bind
+
+  // kExists / kInSubquery / kScalarSubquery
+  std::unique_ptr<SelectStatement> subquery;
+
+  std::vector<ExprPtr> children;
+
+  std::string ToString() const;
+};
+
+/// \brief One FROM entry. `join_type` describes how this entry joins the
+/// accumulated left side ("," behaves like INNER with the predicate in WHERE).
+enum class JoinType : int8_t { kCross = 0, kInner, kLeft, kSemi, kAnti };
+
+const char* JoinTypeName(JoinType t);
+
+struct TableRef {
+  std::string table_name;  // base table; empty if subquery
+  std::unique_ptr<SelectStatement> subquery;
+  std::string alias;  // defaults to table_name
+  JoinType join_type = JoinType::kCross;
+  ExprPtr join_condition;  // for explicit JOIN ... ON
+};
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // optional
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStatement {
+  std::vector<SelectItem> items;  // empty means SELECT *
+  std::vector<TableRef> from;
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1 = no limit
+
+  std::string ToString() const;
+};
+
+/// \brief Deep copy helpers (AST nodes are move-only by default).
+ExprPtr CloneExpr(const Expr& e);
+std::unique_ptr<SelectStatement> CloneSelect(const SelectStatement& s);
+
+}  // namespace tqp::sql
+
+#endif  // TQP_SQL_AST_H_

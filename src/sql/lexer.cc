@@ -1,0 +1,151 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace tqp::sql {
+
+namespace {
+
+const char* kKeywords[] = {
+    "SELECT",  "FROM",    "WHERE",   "GROUP",   "BY",      "HAVING", "ORDER",
+    "LIMIT",   "AS",      "AND",     "OR",      "NOT",     "IN",     "LIKE",
+    "BETWEEN", "CASE",    "WHEN",    "THEN",    "ELSE",    "END",    "JOIN",
+    "INNER",   "LEFT",    "OUTER",   "ON",      "ASC",     "DESC",   "DATE",
+    "INTERVAL", "EXISTS", "DISTINCT", "NULL",   "TRUE",    "FALSE",  "SUBSTRING",
+    "FOR",     "IS",      "CROSS",   "SEMI",    "ANTI",    "UNION",  "ALL",
+    "EXTRACT",
+};
+
+bool IsKeywordText(const std::string& upper) {
+  for (const char* kw : kKeywords) {
+    if (upper == kw) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kKeyword && text == kw;
+}
+
+bool Token::IsOperator(const char* op) const {
+  return type == TokenType::kOperator && text == op;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = static_cast<int>(i);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      const std::string word = sql.substr(i, j - i);
+      const std::string upper = ToUpper(word);
+      if (IsKeywordText(upper)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdent;
+        tok.text = ToLower(word);
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      bool saw_dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       (sql[j] == '.' && !saw_dot))) {
+        if (sql[j] == '.') saw_dot = true;
+        ++j;
+      }
+      // Optional exponent: e[+-]digits.
+      if (j < n && (sql[j] == 'e' || sql[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (sql[k] == '+' || sql[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(sql[k]))) {
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+        }
+      }
+      tok.type = TokenType::kNumber;
+      tok.text = sql.substr(i, j - i);
+      i = j;
+    } else if (c == '\'') {
+      std::string value;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {
+            value.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        value.push_back(sql[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(i));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(value);
+      i = j;
+    } else {
+      // Multi-char operators first.
+      static const char* kTwoChar[] = {"<>", "!=", "<=", ">=", "||"};
+      bool matched = false;
+      for (const char* op : kTwoChar) {
+        if (i + 1 < n && sql[i] == op[0] && sql[i + 1] == op[1]) {
+          tok.type = TokenType::kOperator;
+          tok.text = op;
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        static const std::string kSingles = "()+-*/%=<>,.;";
+        if (kSingles.find(c) == std::string::npos) {
+          return Status::ParseError(std::string("unexpected character '") + c +
+                                    "' at offset " + std::to_string(i));
+        }
+        tok.type = TokenType::kOperator;
+        tok.text = std::string(1, c);
+        ++i;
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = static_cast<int>(n);
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace tqp::sql

@@ -1,0 +1,35 @@
+#ifndef TQP_SQL_LEXER_H_
+#define TQP_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tqp::sql {
+
+enum class TokenType : int8_t {
+  kKeyword,   // normalized to upper case
+  kIdent,     // normalized to lower case
+  kNumber,    // integer or decimal literal text
+  kString,    // contents of a '...' literal (quotes stripped, '' unescaped)
+  kOperator,  // punctuation: ( ) , . + - * / % = <> != < <= > >= ||
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  int position = 0;  // byte offset for error messages
+
+  bool IsKeyword(const char* kw) const;
+  bool IsOperator(const char* op) const;
+};
+
+/// \brief Tokenizes SQL text. Keywords are recognized case-insensitively;
+/// identifiers fold to lower case (SQL default folding, simplified).
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace tqp::sql
+
+#endif  // TQP_SQL_LEXER_H_

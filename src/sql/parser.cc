@@ -1,0 +1,547 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "sql/lexer.h"
+
+namespace tqp::sql {
+
+namespace {
+
+/// Recursive-descent parser with standard SQL operator precedence:
+/// OR < AND < NOT < predicates (comparison/LIKE/IN/BETWEEN) < +,-,|| < *,/,% < unary.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<SelectStatement>> ParseStatement() {
+    TQP_ASSIGN_OR_RETURN(auto select, ParseSelectBody());
+    if (Peek().IsOperator(";")) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing input").status();
+    }
+    return select;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    const size_t idx = std::min(pos_ + static_cast<size_t>(ahead),
+                                tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AcceptKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptOperator(const char* op) {
+    if (Peek().IsOperator(op)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) return Error(std::string("expected ") + kw).status();
+    return Status::OK();
+  }
+  Status ExpectOperator(const char* op) {
+    if (!AcceptOperator(op)) {
+      return Error(std::string("expected '") + op + "'").status();
+    }
+    return Status::OK();
+  }
+  Result<ExprPtr> Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " + std::to_string(Peek().position) +
+                              " (near '" + Peek().text + "')");
+  }
+
+  Result<std::unique_ptr<SelectStatement>> ParseSelectBody() {
+    TQP_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    auto stmt = std::make_unique<SelectStatement>();
+    if (AcceptOperator("*")) {
+      // SELECT * — empty item list.
+    } else {
+      do {
+        SelectItem item;
+        TQP_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("AS")) {
+          if (Peek().type != TokenType::kIdent) return Error("expected alias").status();
+          item.alias = Advance().text;
+        } else if (Peek().type == TokenType::kIdent) {
+          item.alias = Advance().text;
+        }
+        stmt->items.push_back(std::move(item));
+      } while (AcceptOperator(","));
+    }
+    TQP_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    TQP_RETURN_NOT_OK(ParseFromList(stmt.get()));
+    if (AcceptKeyword("WHERE")) {
+      TQP_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    if (AcceptKeyword("GROUP")) {
+      TQP_RETURN_NOT_OK(ExpectKeyword("BY"));
+      do {
+        TQP_ASSIGN_OR_RETURN(ExprPtr g, ParseExpr());
+        stmt->group_by.push_back(std::move(g));
+      } while (AcceptOperator(","));
+    }
+    if (AcceptKeyword("HAVING")) {
+      TQP_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+    }
+    if (AcceptKeyword("ORDER")) {
+      TQP_RETURN_NOT_OK(ExpectKeyword("BY"));
+      do {
+        OrderItem item;
+        TQP_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("DESC")) {
+          item.ascending = false;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        stmt->order_by.push_back(std::move(item));
+      } while (AcceptOperator(","));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kNumber) {
+        return Error("expected LIMIT count").status();
+      }
+      stmt->limit = std::strtoll(Advance().text.c_str(), nullptr, 10);
+    }
+    return stmt;
+  }
+
+  Status ParseFromList(SelectStatement* stmt) {
+    TQP_ASSIGN_OR_RETURN(TableRef first, ParseTableRef());
+    first.join_type = JoinType::kCross;
+    stmt->from.push_back(std::move(first));
+    while (true) {
+      if (AcceptOperator(",")) {
+        TQP_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+        ref.join_type = JoinType::kCross;  // predicate arrives via WHERE
+        stmt->from.push_back(std::move(ref));
+        continue;
+      }
+      JoinType type;
+      if (Peek().IsKeyword("JOIN") || Peek().IsKeyword("INNER")) {
+        AcceptKeyword("INNER");
+        TQP_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+        type = JoinType::kInner;
+      } else if (Peek().IsKeyword("LEFT")) {
+        Advance();
+        AcceptKeyword("OUTER");
+        TQP_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+        type = JoinType::kLeft;
+      } else if (Peek().IsKeyword("SEMI")) {
+        Advance();
+        TQP_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+        type = JoinType::kSemi;
+      } else if (Peek().IsKeyword("ANTI")) {
+        Advance();
+        TQP_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+        type = JoinType::kAnti;
+      } else if (Peek().IsKeyword("CROSS")) {
+        Advance();
+        TQP_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+        TQP_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+        ref.join_type = JoinType::kCross;
+        stmt->from.push_back(std::move(ref));
+        continue;
+      } else {
+        break;
+      }
+      TQP_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+      ref.join_type = type;
+      TQP_RETURN_NOT_OK(ExpectKeyword("ON"));
+      TQP_ASSIGN_OR_RETURN(ref.join_condition, ParseExpr());
+      stmt->from.push_back(std::move(ref));
+    }
+    return Status::OK();
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    if (AcceptOperator("(")) {
+      TQP_ASSIGN_OR_RETURN(ref.subquery, ParseSelectBody());
+      TQP_RETURN_NOT_OK(ExpectOperator(")"));
+      AcceptKeyword("AS");
+      if (Peek().type != TokenType::kIdent) {
+        return Status::ParseError("derived table requires an alias");
+      }
+      ref.alias = Advance().text;
+      return ref;
+    }
+    if (Peek().type != TokenType::kIdent) {
+      return Status::ParseError("expected table name near '" + Peek().text + "'");
+    }
+    ref.table_name = Advance().text;
+    ref.alias = ref.table_name;
+    if (AcceptKeyword("AS")) {
+      if (Peek().type != TokenType::kIdent) {
+        return Status::ParseError("expected alias after AS");
+      }
+      ref.alias = Advance().text;
+    } else if (Peek().type == TokenType::kIdent) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  }
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    TQP_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (Peek().IsKeyword("OR")) {
+      Advance();
+      TQP_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = MakeBinary("OR", std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    TQP_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (Peek().IsKeyword("AND")) {
+      Advance();
+      TQP_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = MakeBinary("AND", std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      TQP_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->op = "NOT";
+      e->children.push_back(std::move(inner));
+      return e;
+    }
+    return ParsePredicate();
+  }
+
+  Result<ExprPtr> ParsePredicate() {
+    TQP_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    // Comparison operators.
+    static const char* kCompare[] = {"=", "<>", "!=", "<=", ">=", "<", ">"};
+    for (const char* op : kCompare) {
+      if (Peek().IsOperator(op)) {
+        Advance();
+        TQP_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+        return MakeBinary(op, std::move(left), std::move(right));
+      }
+    }
+    bool negated = false;
+    if (Peek().IsKeyword("NOT") &&
+        (Peek(1).IsKeyword("LIKE") || Peek(1).IsKeyword("IN") ||
+         Peek(1).IsKeyword("BETWEEN"))) {
+      Advance();
+      negated = true;
+    }
+    if (AcceptKeyword("LIKE")) {
+      if (Peek().type != TokenType::kString) {
+        return Error("expected LIKE pattern string").status();
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kLike;
+      e->pattern = Advance().text;
+      e->negated = negated;
+      e->children.push_back(std::move(left));
+      return e;
+    }
+    if (AcceptKeyword("BETWEEN")) {
+      TQP_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      TQP_RETURN_NOT_OK(ExpectKeyword("AND"));
+      TQP_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBetween;
+      e->negated = negated;
+      e->children.push_back(std::move(left));
+      e->children.push_back(std::move(lo));
+      e->children.push_back(std::move(hi));
+      return e;
+    }
+    if (AcceptKeyword("IN")) {
+      TQP_RETURN_NOT_OK(ExpectOperator("("));
+      if (Peek().IsKeyword("SELECT")) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kInSubquery;
+        e->negated = negated;
+        TQP_ASSIGN_OR_RETURN(e->subquery, ParseSelectBody());
+        TQP_RETURN_NOT_OK(ExpectOperator(")"));
+        e->children.push_back(std::move(left));
+        return e;
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kInList;
+      e->negated = negated;
+      e->children.push_back(std::move(left));
+      do {
+        TQP_ASSIGN_OR_RETURN(ExprPtr item, ParseAdditive());
+        e->children.push_back(std::move(item));
+      } while (AcceptOperator(","));
+      TQP_RETURN_NOT_OK(ExpectOperator(")"));
+      return e;
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    TQP_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (true) {
+      const char* op = nullptr;
+      if (Peek().IsOperator("+")) {
+        op = "+";
+      } else if (Peek().IsOperator("-")) {
+        op = "-";
+      } else if (Peek().IsOperator("||")) {
+        op = "||";
+      } else {
+        break;
+      }
+      Advance();
+      TQP_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    TQP_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    while (true) {
+      const char* op = nullptr;
+      if (Peek().IsOperator("*")) {
+        op = "*";
+      } else if (Peek().IsOperator("/")) {
+        op = "/";
+      } else if (Peek().IsOperator("%")) {
+        op = "%";
+      } else {
+        break;
+      }
+      Advance();
+      TQP_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (AcceptOperator("-")) {
+      TQP_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->op = "-";
+      e->children.push_back(std::move(inner));
+      return e;
+    }
+    AcceptOperator("+");
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    if (tok.type == TokenType::kNumber) {
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kLiteral;
+      if (tok.text.find_first_of(".eE") != std::string::npos) {
+        e->literal = Scalar(std::strtod(tok.text.c_str(), nullptr));
+      } else {
+        e->literal = Scalar(static_cast<int64_t>(
+            std::strtoll(tok.text.c_str(), nullptr, 10)));
+      }
+      return e;
+    }
+    if (tok.type == TokenType::kString) {
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kLiteral;
+      e->literal = Scalar(tok.text);
+      return e;
+    }
+    if (tok.IsKeyword("TRUE") || tok.IsKeyword("FALSE")) {
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kLiteral;
+      e->literal = Scalar(tok.text == "TRUE");
+      return e;
+    }
+    if (tok.IsKeyword("DATE")) {
+      Advance();
+      if (Peek().type != TokenType::kString) {
+        return Error("expected date string after DATE").status();
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kLiteral;
+      e->literal = Scalar(Advance().text);
+      e->literal_is_date = true;
+      return e;
+    }
+    if (tok.IsKeyword("INTERVAL")) {
+      Advance();
+      // INTERVAL '<n>' <unit>
+      if (Peek().type != TokenType::kString && Peek().type != TokenType::kNumber) {
+        return Error("expected INTERVAL count").status();
+      }
+      const std::string count_text = Advance().text;
+      if (Peek().type != TokenType::kIdent) {
+        return Error("expected INTERVAL unit (day/month/year)").status();
+      }
+      const std::string unit = Advance().text;
+      if (unit != "day" && unit != "month" && unit != "year") {
+        return Error("unsupported INTERVAL unit '" + unit + "'").status();
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kFunction;
+      e->name = "__interval";
+      e->op = unit;
+      auto count = std::make_unique<Expr>();
+      count->kind = ExprKind::kLiteral;
+      count->literal =
+          Scalar(static_cast<int64_t>(std::strtoll(count_text.c_str(), nullptr, 10)));
+      e->children.push_back(std::move(count));
+      return e;
+    }
+    if (tok.IsKeyword("CASE")) {
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kCase;
+      while (AcceptKeyword("WHEN")) {
+        TQP_ASSIGN_OR_RETURN(ExprPtr when, ParseExpr());
+        TQP_RETURN_NOT_OK(ExpectKeyword("THEN"));
+        TQP_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+        e->children.push_back(std::move(when));
+        e->children.push_back(std::move(then));
+      }
+      if (e->children.empty()) {
+        return Error("CASE requires at least one WHEN").status();
+      }
+      if (AcceptKeyword("ELSE")) {
+        TQP_ASSIGN_OR_RETURN(e->else_expr, ParseExpr());
+      }
+      TQP_RETURN_NOT_OK(ExpectKeyword("END"));
+      return e;
+    }
+    if (tok.IsKeyword("EXISTS")) {
+      Advance();
+      TQP_RETURN_NOT_OK(ExpectOperator("("));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kExists;
+      TQP_ASSIGN_OR_RETURN(e->subquery, ParseSelectBody());
+      TQP_RETURN_NOT_OK(ExpectOperator(")"));
+      return e;
+    }
+    if (tok.IsKeyword("EXTRACT")) {
+      // EXTRACT(YEAR|MONTH|DAY FROM expr) -> function "extract_<unit>".
+      Advance();
+      TQP_RETURN_NOT_OK(ExpectOperator("("));
+      if (Peek().type != TokenType::kIdent) {
+        return Error("expected EXTRACT unit (year/month/day)").status();
+      }
+      const std::string unit = Advance().text;
+      if (unit != "year" && unit != "month" && unit != "day") {
+        return Error("unsupported EXTRACT unit '" + unit + "'").status();
+      }
+      TQP_RETURN_NOT_OK(ExpectKeyword("FROM"));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kFunction;
+      e->name = "extract_" + unit;
+      TQP_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+      e->children.push_back(std::move(arg));
+      TQP_RETURN_NOT_OK(ExpectOperator(")"));
+      return e;
+    }
+    if (tok.IsKeyword("SUBSTRING")) {
+      Advance();
+      TQP_RETURN_NOT_OK(ExpectOperator("("));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kFunction;
+      e->name = "substring";
+      TQP_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+      e->children.push_back(std::move(arg));
+      if (AcceptKeyword("FROM") || AcceptOperator(",")) {
+        TQP_ASSIGN_OR_RETURN(ExprPtr from, ParseExpr());
+        e->children.push_back(std::move(from));
+      }
+      if (AcceptKeyword("FOR") || AcceptOperator(",")) {
+        TQP_ASSIGN_OR_RETURN(ExprPtr len, ParseExpr());
+        e->children.push_back(std::move(len));
+      }
+      TQP_RETURN_NOT_OK(ExpectOperator(")"));
+      return e;
+    }
+    if (tok.type == TokenType::kIdent) {
+      // function call or [qualified] column reference
+      if (Peek(1).IsOperator("(")) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kFunction;
+        e->name = Advance().text;
+        Advance();  // (
+        if (AcceptKeyword("DISTINCT")) e->distinct = true;
+        if (AcceptOperator("*")) {
+          auto star = std::make_unique<Expr>();
+          star->kind = ExprKind::kStar;
+          e->children.push_back(std::move(star));
+        } else if (!Peek().IsOperator(")")) {
+          do {
+            TQP_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            e->children.push_back(std::move(arg));
+          } while (AcceptOperator(","));
+        }
+        TQP_RETURN_NOT_OK(ExpectOperator(")"));
+        return e;
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kColumnRef;
+      e->name = Advance().text;
+      if (AcceptOperator(".")) {
+        if (Peek().type != TokenType::kIdent) {
+          return Error("expected column after '.'").status();
+        }
+        e->qualifier = e->name;
+        e->name = Advance().text;
+      }
+      return e;
+    }
+    if (AcceptOperator("(")) {
+      if (Peek().IsKeyword("SELECT")) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kScalarSubquery;
+        TQP_ASSIGN_OR_RETURN(e->subquery, ParseSelectBody());
+        TQP_RETURN_NOT_OK(ExpectOperator(")"));
+        return e;
+      }
+      TQP_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      TQP_RETURN_NOT_OK(ExpectOperator(")"));
+      return inner;
+    }
+    return Error("unexpected token");
+  }
+
+  static ExprPtr MakeBinary(const std::string& op, ExprPtr left, ExprPtr right) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kBinary;
+    e->op = op == "!=" ? "<>" : op;
+    e->children.push_back(std::move(left));
+    e->children.push_back(std::move(right));
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SelectStatement>> ParseSelect(const std::string& sql) {
+  TQP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace tqp::sql

@@ -1,0 +1,48 @@
+#include "tensor/buffer.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace tqp {
+
+namespace {
+constexpr int64_t kAlignment = 64;
+}  // namespace
+
+Result<std::shared_ptr<Buffer>> Buffer::Allocate(int64_t size) {
+  if (size < 0) {
+    return Status::Invalid("Buffer::Allocate: negative size " + std::to_string(size));
+  }
+  // Round up so aligned_alloc's size-multiple-of-alignment requirement holds.
+  const int64_t alloc = ((size + kAlignment - 1) / kAlignment) * kAlignment;
+  uint8_t* mem = nullptr;
+  if (alloc > 0) {
+    mem = static_cast<uint8_t*>(
+        std::aligned_alloc(static_cast<size_t>(kAlignment), static_cast<size_t>(alloc)));
+    if (mem == nullptr) {
+      return Status::OutOfMemory("Buffer::Allocate: failed to allocate " +
+                                 std::to_string(alloc) + " bytes");
+    }
+    std::memset(mem, 0, static_cast<size_t>(alloc));
+  }
+  return std::shared_ptr<Buffer>(new Buffer(mem, size, /*owned=*/true, nullptr));
+}
+
+std::shared_ptr<Buffer> Buffer::WrapExternal(void* data, int64_t size) {
+  return std::shared_ptr<Buffer>(
+      new Buffer(static_cast<uint8_t*>(data), size, /*owned=*/false, nullptr));
+}
+
+std::shared_ptr<Buffer> Buffer::SliceOf(std::shared_ptr<Buffer> parent,
+                                        int64_t offset, int64_t size) {
+  uint8_t* base = parent->data_ + offset;
+  return std::shared_ptr<Buffer>(
+      new Buffer(base, size, /*owned=*/false, std::move(parent)));
+}
+
+Buffer::~Buffer() {
+  if (owned_ && data_ != nullptr) std::free(data_);
+}
+
+}  // namespace tqp

@@ -1,0 +1,53 @@
+#ifndef TQP_TENSOR_BUFFER_H_
+#define TQP_TENSOR_BUFFER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/result.h"
+
+namespace tqp {
+
+/// \brief Reference-counted byte storage backing tensors.
+///
+/// A Buffer either owns an aligned allocation or is a zero-copy view over
+/// external memory (used for the paper's §2.1 claim that numeric column
+/// ingestion is zero-copy). Views keep the parent alive via `parent_`, or the
+/// caller guarantees lifetime for raw external wraps.
+class Buffer {
+ public:
+  /// \brief Allocates an owning, 64-byte-aligned buffer of `size` bytes.
+  static Result<std::shared_ptr<Buffer>> Allocate(int64_t size);
+
+  /// \brief Wraps external memory without copying. The caller must keep the
+  /// memory alive for the lifetime of the buffer and all tensors over it.
+  static std::shared_ptr<Buffer> WrapExternal(void* data, int64_t size);
+
+  /// \brief Zero-copy slice view [offset, offset+size) of `parent`.
+  static std::shared_ptr<Buffer> SliceOf(std::shared_ptr<Buffer> parent,
+                                         int64_t offset, int64_t size);
+
+  ~Buffer();
+
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  uint8_t* mutable_data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  int64_t size() const { return size_; }
+  /// \brief True when this buffer owns its allocation (not a view/wrap).
+  bool owns_data() const { return owned_; }
+
+ private:
+  Buffer(uint8_t* data, int64_t size, bool owned, std::shared_ptr<Buffer> parent)
+      : data_(data), size_(size), owned_(owned), parent_(std::move(parent)) {}
+
+  uint8_t* data_;
+  int64_t size_;
+  bool owned_;
+  std::shared_ptr<Buffer> parent_;  // keeps sliced storage alive
+};
+
+}  // namespace tqp
+
+#endif  // TQP_TENSOR_BUFFER_H_

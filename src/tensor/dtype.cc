@@ -1,0 +1,59 @@
+#include "tensor/dtype.h"
+
+namespace tqp {
+
+const char* DTypeName(DType t) {
+  switch (t) {
+    case DType::kBool:
+      return "bool";
+    case DType::kUInt8:
+      return "uint8";
+    case DType::kInt32:
+      return "int32";
+    case DType::kInt64:
+      return "int64";
+    case DType::kFloat32:
+      return "float32";
+    case DType::kFloat64:
+      return "float64";
+  }
+  return "unknown";
+}
+
+DType PromoteTypes(DType a, DType b) {
+  if (a == b) return a;
+  // Floating point dominates; wider wins within a category.
+  const bool fa = IsFloatingPoint(a);
+  const bool fb = IsFloatingPoint(b);
+  if (fa && fb) return DType::kFloat64;
+  if (fa || fb) {
+    const DType f = fa ? a : b;
+    const DType i = fa ? b : a;
+    // int64 + float32 -> float64 to preserve magnitude (PyTorch would keep
+    // float32; we bias toward exactness since aggregates feed results).
+    if (i == DType::kInt64 && f == DType::kFloat32) return DType::kFloat64;
+    return f;
+  }
+  // Integer x integer (bool counts as the narrowest integer).
+  auto rank = [](DType t) {
+    switch (t) {
+      case DType::kBool:
+        return 0;
+      case DType::kUInt8:
+        return 1;
+      case DType::kInt32:
+        return 2;
+      case DType::kInt64:
+        return 3;
+      default:
+        return 3;
+    }
+  };
+  DType wide = rank(a) >= rank(b) ? a : b;
+  if (wide == DType::kBool) return DType::kBool;
+  // uint8 mixed with anything signed promotes to int32 minimum.
+  if (wide == DType::kUInt8 && a != b) return DType::kInt32;
+  return wide;
+}
+
+}  // namespace tqp

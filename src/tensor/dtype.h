@@ -1,0 +1,91 @@
+#ifndef TQP_TENSOR_DTYPE_H_
+#define TQP_TENSOR_DTYPE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tqp {
+
+/// \brief Element types supported by the tensor runtime.
+///
+/// This is the minimal set TQP needs (see paper §2.1): booleans for masks,
+/// uint8 for padded UTF-8 string tensors, int32/int64 for keys, dates
+/// (epoch days / nanoseconds) and counts, float32/float64 for measures and
+/// ML feature/score tensors.
+enum class DType : int8_t {
+  kBool = 0,
+  kUInt8 = 1,
+  kInt32 = 2,
+  kInt64 = 3,
+  kFloat32 = 4,
+  kFloat64 = 5,
+};
+
+/// \brief Number of distinct dtypes (for dispatch tables).
+inline constexpr int kNumDTypes = 6;
+
+/// \brief Bytes per element of the dtype.
+inline constexpr int64_t DTypeSize(DType t) {
+  switch (t) {
+    case DType::kBool:
+    case DType::kUInt8:
+      return 1;
+    case DType::kInt32:
+      return 4;
+    case DType::kInt64:
+      return 8;
+    case DType::kFloat32:
+      return 4;
+    case DType::kFloat64:
+      return 8;
+  }
+  return 0;
+}
+
+inline constexpr bool IsFloatingPoint(DType t) {
+  return t == DType::kFloat32 || t == DType::kFloat64;
+}
+
+inline constexpr bool IsInteger(DType t) {
+  return t == DType::kInt32 || t == DType::kInt64 || t == DType::kUInt8;
+}
+
+/// \brief Short lowercase name ("int64", "float32", ...).
+const char* DTypeName(DType t);
+
+/// \brief The dtype arithmetic between `a` and `b` promotes to
+/// (PyTorch-style type promotion restricted to our dtype set).
+DType PromoteTypes(DType a, DType b);
+
+/// \brief C++ type -> DType mapping for templated kernels.
+template <typename T>
+struct DTypeOf;
+
+template <>
+struct DTypeOf<bool> {
+  static constexpr DType value = DType::kBool;
+};
+template <>
+struct DTypeOf<uint8_t> {
+  static constexpr DType value = DType::kUInt8;
+};
+template <>
+struct DTypeOf<int32_t> {
+  static constexpr DType value = DType::kInt32;
+};
+template <>
+struct DTypeOf<int64_t> {
+  static constexpr DType value = DType::kInt64;
+};
+template <>
+struct DTypeOf<float> {
+  static constexpr DType value = DType::kFloat32;
+};
+template <>
+struct DTypeOf<double> {
+  static constexpr DType value = DType::kFloat64;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_TENSOR_DTYPE_H_

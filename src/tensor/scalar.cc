@@ -1,0 +1,21 @@
+#include "tensor/scalar.h"
+
+#include <sstream>
+
+namespace tqp {
+
+std::string Scalar::ToString() const {
+  std::ostringstream os;
+  if (is_bool()) {
+    os << (bool_value() ? "true" : "false");
+  } else if (is_int()) {
+    os << int_value();
+  } else if (is_float()) {
+    os << float_value();
+  } else {
+    os << "'" << string_value() << "'";
+  }
+  return os.str();
+}
+
+}  // namespace tqp

@@ -1,0 +1,70 @@
+#ifndef TQP_TENSOR_SCALAR_H_
+#define TQP_TENSOR_SCALAR_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "tensor/dtype.h"
+
+namespace tqp {
+
+/// \brief A single constant value flowing through expressions and plans
+/// (SQL literals, fold results, aggregate initializers).
+class Scalar {
+ public:
+  Scalar() : value_(int64_t{0}) {}
+  explicit Scalar(bool v) : value_(v) {}
+  explicit Scalar(int64_t v) : value_(v) {}
+  explicit Scalar(double v) : value_(v) {}
+  explicit Scalar(std::string v) : value_(std::move(v)) {}
+
+  static Scalar Int(int64_t v) { return Scalar(v); }
+  static Scalar Float(double v) { return Scalar(v); }
+  static Scalar Bool(bool v) { return Scalar(v); }
+  static Scalar String(std::string v) { return Scalar(std::move(v)); }
+
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(value_); }
+  bool is_float() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_numeric() const { return is_bool() || is_int() || is_float(); }
+
+  bool bool_value() const { return std::get<bool>(value_); }
+  int64_t int_value() const { return std::get<int64_t>(value_); }
+  double float_value() const { return std::get<double>(value_); }
+  const std::string& string_value() const { return std::get<std::string>(value_); }
+
+  /// \brief Numeric value widened to double (bool -> 0/1). Requires numeric.
+  double AsDouble() const {
+    if (is_bool()) return bool_value() ? 1.0 : 0.0;
+    if (is_int()) return static_cast<double>(int_value());
+    return float_value();
+  }
+
+  /// \brief Numeric value as int64 (floats truncate). Requires numeric.
+  int64_t AsInt64() const {
+    if (is_bool()) return bool_value() ? 1 : 0;
+    if (is_int()) return int_value();
+    return static_cast<int64_t>(float_value());
+  }
+
+  /// \brief The natural dtype of this literal.
+  DType dtype() const {
+    if (is_bool()) return DType::kBool;
+    if (is_int()) return DType::kInt64;
+    if (is_float()) return DType::kFloat64;
+    return DType::kUInt8;  // strings are padded uint8 tensors
+  }
+
+  std::string ToString() const;
+
+  bool operator==(const Scalar& other) const { return value_ == other.value_; }
+
+ private:
+  std::variant<bool, int64_t, double, std::string> value_;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_TENSOR_SCALAR_H_

@@ -1,0 +1,152 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+namespace tqp {
+
+namespace {
+
+template <typename T>
+void FillTyped(Tensor* t, double value) {
+  T* p = t->mutable_data<T>();
+  const int64_t n = t->numel();
+  const T v = static_cast<T>(value);
+  for (int64_t i = 0; i < n; ++i) p[i] = v;
+}
+
+}  // namespace
+
+Result<Tensor> Tensor::Empty(DType dtype, int64_t rows, int64_t cols,
+                             DeviceKind device) {
+  if (rows < 0 || cols <= 0) {
+    return Status::Invalid("Tensor::Empty: bad shape " + std::to_string(rows) + "x" +
+                           std::to_string(cols));
+  }
+  TQP_ASSIGN_OR_RETURN(auto buf, Buffer::Allocate(rows * cols * DTypeSize(dtype)));
+  return Tensor(dtype, rows, cols, std::move(buf), device);
+}
+
+Result<Tensor> Tensor::Full(DType dtype, int64_t rows, int64_t cols, double value,
+                            DeviceKind device) {
+  TQP_ASSIGN_OR_RETURN(Tensor t, Empty(dtype, rows, cols, device));
+  switch (dtype) {
+    case DType::kBool:
+      FillTyped<bool>(&t, value);
+      break;
+    case DType::kUInt8:
+      FillTyped<uint8_t>(&t, value);
+      break;
+    case DType::kInt32:
+      FillTyped<int32_t>(&t, value);
+      break;
+    case DType::kInt64:
+      FillTyped<int64_t>(&t, value);
+      break;
+    case DType::kFloat32:
+      FillTyped<float>(&t, value);
+      break;
+    case DType::kFloat64:
+      FillTyped<double>(&t, value);
+      break;
+  }
+  return t;
+}
+
+Result<Tensor> Tensor::Arange(int64_t n, DType dtype, DeviceKind device) {
+  if (dtype != DType::kInt32 && dtype != DType::kInt64) {
+    return Status::TypeError("Arange requires an int dtype");
+  }
+  TQP_ASSIGN_OR_RETURN(Tensor t, Empty(dtype, n, 1, device));
+  if (dtype == DType::kInt32) {
+    int32_t* p = t.mutable_data<int32_t>();
+    for (int64_t i = 0; i < n; ++i) p[i] = static_cast<int32_t>(i);
+  } else {
+    int64_t* p = t.mutable_data<int64_t>();
+    for (int64_t i = 0; i < n; ++i) p[i] = i;
+  }
+  return t;
+}
+
+double Tensor::ScalarAsDouble(int64_t i, int64_t j) const {
+  switch (dtype_) {
+    case DType::kBool:
+      return at<bool>(i, j) ? 1.0 : 0.0;
+    case DType::kUInt8:
+      return static_cast<double>(at<uint8_t>(i, j));
+    case DType::kInt32:
+      return static_cast<double>(at<int32_t>(i, j));
+    case DType::kInt64:
+      return static_cast<double>(at<int64_t>(i, j));
+    case DType::kFloat32:
+      return static_cast<double>(at<float>(i, j));
+    case DType::kFloat64:
+      return at<double>(i, j);
+  }
+  return 0.0;
+}
+
+int64_t Tensor::ScalarAsInt64(int64_t i, int64_t j) const {
+  switch (dtype_) {
+    case DType::kBool:
+      return at<bool>(i, j) ? 1 : 0;
+    case DType::kUInt8:
+      return at<uint8_t>(i, j);
+    case DType::kInt32:
+      return at<int32_t>(i, j);
+    case DType::kInt64:
+      return at<int64_t>(i, j);
+    case DType::kFloat32:
+      return static_cast<int64_t>(at<float>(i, j));
+    case DType::kFloat64:
+      return static_cast<int64_t>(at<double>(i, j));
+  }
+  return 0;
+}
+
+Tensor Tensor::SliceRows(int64_t begin, int64_t end) const {
+  TQP_DCHECK_GE(begin, 0);
+  TQP_DCHECK_LE(begin, end);
+  TQP_DCHECK_LE(end, rows_);
+  const int64_t row_bytes = cols_ * DTypeSize(dtype_);
+  auto buf = Buffer::SliceOf(buffer_, begin * row_bytes, (end - begin) * row_bytes);
+  return Tensor(dtype_, end - begin, cols_, std::move(buf), device_);
+}
+
+Result<Tensor> Tensor::ToDevice(DeviceKind target) const {
+  TQP_ASSIGN_OR_RETURN(Tensor out, Empty(dtype_, rows_, cols_, target));
+  if (numel() > 0) {
+    std::memcpy(out.raw_mutable_data(), raw_data(), static_cast<size_t>(nbytes()));
+  }
+  if (target != device_) {
+    // Charge the PCIe transfer to whichever side is simulated.
+    Device* sim = GetDevice(target == DeviceKind::kCpu ? device_ : target);
+    sim->RecordTransfer(nbytes());
+  }
+  return out;
+}
+
+Result<Tensor> Tensor::Clone() const { return ToDevice(device_); }
+
+std::string Tensor::ToString(int64_t max_rows) const {
+  std::ostringstream os;
+  if (!defined()) return "Tensor<undefined>";
+  os << "Tensor<" << DTypeName(dtype_) << ">(" << rows_ << "x" << cols_ << ")";
+  os << "[";
+  const int64_t show = rows_ < max_rows ? rows_ : max_rows;
+  for (int64_t i = 0; i < show; ++i) {
+    if (i > 0) os << ", ";
+    if (cols_ > 1) os << "[";
+    const int64_t show_cols = cols_ < 8 ? cols_ : 8;
+    for (int64_t j = 0; j < show_cols; ++j) {
+      if (j > 0) os << " ";
+      os << ScalarAsDouble(i, j);
+    }
+    if (cols_ > show_cols) os << " ...";
+    if (cols_ > 1) os << "]";
+  }
+  if (rows_ > show) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace tqp

@@ -1,0 +1,149 @@
+#ifndef TQP_TENSOR_TENSOR_H_
+#define TQP_TENSOR_TENSOR_H_
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "device/device.h"
+#include "tensor/buffer.h"
+#include "tensor/dtype.h"
+
+namespace tqp {
+
+/// \brief A dense, row-major, at-most-2-D tensor.
+///
+/// Mirrors the paper's data representation (§2.1): a column of a table is an
+/// (n x m) tensor — numeric and date columns are (n x 1) vectors, string
+/// columns are (n x m) uint8 tensors right-padded with zeros. Tensors share
+/// immutable storage by reference; copies are shallow. Kernels allocate fresh
+/// outputs, so sharing is safe in practice (no copy-on-write machinery).
+class Tensor {
+ public:
+  /// Constructs an undefined tensor (no storage). `defined()` is false.
+  Tensor() = default;
+
+  Tensor(DType dtype, int64_t rows, int64_t cols, std::shared_ptr<Buffer> buf,
+         DeviceKind device = DeviceKind::kCpu)
+      : dtype_(dtype), rows_(rows), cols_(cols), buffer_(std::move(buf)),
+        device_(device) {}
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
+
+  /// \brief Allocates an uninitialized (zeroed) tensor.
+  static Result<Tensor> Empty(DType dtype, int64_t rows, int64_t cols = 1,
+                              DeviceKind device = DeviceKind::kCpu);
+
+  /// \brief Allocates a tensor filled with `value` (cast to dtype).
+  static Result<Tensor> Full(DType dtype, int64_t rows, int64_t cols, double value,
+                             DeviceKind device = DeviceKind::kCpu);
+
+  /// \brief [0, 1, ..., n-1] as an (n x 1) tensor of the given integer dtype.
+  static Result<Tensor> Arange(int64_t n, DType dtype = DType::kInt64,
+                               DeviceKind device = DeviceKind::kCpu);
+
+  /// \brief Copies a host vector into a fresh (n x 1) tensor.
+  template <typename T>
+  static Tensor FromVector(const std::vector<T>& values) {
+    return FromVector2D(values, static_cast<int64_t>(values.size()), 1);
+  }
+
+  /// \brief Copies a host vector into a fresh (rows x cols) tensor
+  /// (row-major layout; values.size() must equal rows*cols).
+  template <typename T>
+  static Tensor FromVector2D(const std::vector<T>& values, int64_t rows,
+                             int64_t cols) {
+    TQP_DCHECK_EQ(static_cast<int64_t>(values.size()), rows * cols);
+    auto r = Empty(DTypeOf<T>::value, rows, cols);
+    Tensor t = std::move(r).ValueOrDie();
+    if (!values.empty()) {
+      std::memcpy(t.buffer_->mutable_data(), values.data(),
+                  values.size() * sizeof(T));
+    }
+    return t;
+  }
+
+  /// \brief Zero-copy wrap of external memory as an (n x 1) tensor. The caller
+  /// must keep `data` alive while the tensor (or views of it) exist. This is
+  /// the §2.1 zero-copy ingestion path for numeric columns.
+  template <typename T>
+  static Tensor WrapExternal(T* data, int64_t rows, int64_t cols = 1) {
+    auto buf = Buffer::WrapExternal(data, rows * cols * static_cast<int64_t>(sizeof(T)));
+    return Tensor(DTypeOf<T>::value, rows, cols, std::move(buf));
+  }
+
+  bool defined() const { return buffer_ != nullptr; }
+  DType dtype() const { return dtype_; }
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t numel() const { return rows_ * cols_; }
+  int64_t nbytes() const { return numel() * DTypeSize(dtype_); }
+  DeviceKind device() const { return device_; }
+  /// \brief True if the underlying buffer owns its allocation (false for
+  /// zero-copy wraps of external memory).
+  bool owns_data() const { return buffer_ != nullptr && buffer_->owns_data(); }
+
+  template <typename T>
+  const T* data() const {
+    TQP_DCHECK(dtype_ == DTypeOf<T>::value);
+    return reinterpret_cast<const T*>(buffer_->data());
+  }
+
+  template <typename T>
+  T* mutable_data() {
+    TQP_DCHECK(dtype_ == DTypeOf<T>::value);
+    return reinterpret_cast<T*>(buffer_->mutable_data());
+  }
+
+  const void* raw_data() const { return buffer_->data(); }
+  void* raw_mutable_data() { return buffer_->mutable_data(); }
+
+  template <typename T>
+  T at(int64_t i, int64_t j = 0) const {
+    TQP_DCHECK_GE(i, 0);
+    TQP_DCHECK_LT(i, rows_);
+    return data<T>()[i * cols_ + j];
+  }
+
+  template <typename T>
+  void set(int64_t i, int64_t j, T v) {
+    mutable_data<T>()[i * cols_ + j] = v;
+  }
+
+  /// \brief Reads element (i, j) converted to double regardless of dtype.
+  /// Slow path for tests, printing and row-oriented baselines.
+  double ScalarAsDouble(int64_t i, int64_t j = 0) const;
+
+  /// \brief Reads element (i, j) converted to int64 regardless of dtype.
+  int64_t ScalarAsInt64(int64_t i, int64_t j = 0) const;
+
+  /// \brief Zero-copy view of rows [begin, end).
+  Tensor SliceRows(int64_t begin, int64_t end) const;
+
+  /// \brief Returns a deep copy on the target device, charging the simulated
+  /// PCIe transfer when crossing the host/accelerator boundary.
+  Result<Tensor> ToDevice(DeviceKind target) const;
+
+  /// \brief Deep copy (same device).
+  Result<Tensor> Clone() const;
+
+  /// \brief Debug rendering, e.g. "Tensor<float64>(3x1)[1, 2, 3]".
+  std::string ToString(int64_t max_rows = 8) const;
+
+ private:
+  DType dtype_ = DType::kFloat64;
+  int64_t rows_ = 0;
+  int64_t cols_ = 1;
+  std::shared_ptr<Buffer> buffer_;
+  DeviceKind device_ = DeviceKind::kCpu;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_TENSOR_TENSOR_H_

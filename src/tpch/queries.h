@@ -1,0 +1,27 @@
+#ifndef TQP_TPCH_QUERIES_H_
+#define TQP_TPCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tqp::tpch {
+
+/// \brief SQL text of TPC-H query `number` in TQP's dialect.
+///
+/// Supported: Q1, Q3, Q4, Q5, Q6, Q10, Q12, Q14, Q18, Q19 — filters over all
+/// column types, multi-way joins, multi-key group-bys, CASE/LIKE/IN,
+/// EXISTS and IN-subquery (rewritten to semi-joins), ORDER BY + LIMIT.
+/// Q19 uses the standard factored form (join predicate outside the OR),
+/// which is the variant most engines and the dbgen qgen templates use.
+/// Unsupported query numbers return NotImplemented (they need NULL-aware
+/// outer joins or correlated scalar subqueries; see DESIGN.md §5).
+Result<std::string> QueryText(int number);
+
+/// \brief The query numbers this reproduction supports, in order.
+const std::vector<int>& SupportedQueries();
+
+}  // namespace tqp::tpch
+
+#endif  // TQP_TPCH_QUERIES_H_

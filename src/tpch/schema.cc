@@ -1,0 +1,114 @@
+#include "tpch/schema.h"
+
+namespace tqp::tpch {
+
+namespace {
+
+Schema MakeSchema(std::initializer_list<Field> fields) {
+  return Schema(std::vector<Field>(fields));
+}
+
+}  // namespace
+
+Result<Schema> TableSchema(const std::string& table) {
+  using LT = LogicalType;
+  if (table == "region") {
+    return MakeSchema({{"r_regionkey", LT::kInt64},
+                       {"r_name", LT::kString},
+                       {"r_comment", LT::kString}});
+  }
+  if (table == "nation") {
+    return MakeSchema({{"n_nationkey", LT::kInt64},
+                       {"n_name", LT::kString},
+                       {"n_regionkey", LT::kInt64},
+                       {"n_comment", LT::kString}});
+  }
+  if (table == "supplier") {
+    return MakeSchema({{"s_suppkey", LT::kInt64},
+                       {"s_name", LT::kString},
+                       {"s_address", LT::kString},
+                       {"s_nationkey", LT::kInt64},
+                       {"s_phone", LT::kString},
+                       {"s_acctbal", LT::kFloat64},
+                       {"s_comment", LT::kString}});
+  }
+  if (table == "customer") {
+    return MakeSchema({{"c_custkey", LT::kInt64},
+                       {"c_name", LT::kString},
+                       {"c_address", LT::kString},
+                       {"c_nationkey", LT::kInt64},
+                       {"c_phone", LT::kString},
+                       {"c_acctbal", LT::kFloat64},
+                       {"c_mktsegment", LT::kString},
+                       {"c_comment", LT::kString}});
+  }
+  if (table == "part") {
+    return MakeSchema({{"p_partkey", LT::kInt64},
+                       {"p_name", LT::kString},
+                       {"p_mfgr", LT::kString},
+                       {"p_brand", LT::kString},
+                       {"p_type", LT::kString},
+                       {"p_size", LT::kInt64},
+                       {"p_container", LT::kString},
+                       {"p_retailprice", LT::kFloat64},
+                       {"p_comment", LT::kString}});
+  }
+  if (table == "partsupp") {
+    return MakeSchema({{"ps_partkey", LT::kInt64},
+                       {"ps_suppkey", LT::kInt64},
+                       {"ps_availqty", LT::kInt64},
+                       {"ps_supplycost", LT::kFloat64},
+                       {"ps_comment", LT::kString}});
+  }
+  if (table == "orders") {
+    return MakeSchema({{"o_orderkey", LT::kInt64},
+                       {"o_custkey", LT::kInt64},
+                       {"o_orderstatus", LT::kString},
+                       {"o_totalprice", LT::kFloat64},
+                       {"o_orderdate", LT::kDate},
+                       {"o_orderpriority", LT::kString},
+                       {"o_clerk", LT::kString},
+                       {"o_shippriority", LT::kInt64},
+                       {"o_comment", LT::kString}});
+  }
+  if (table == "lineitem") {
+    return MakeSchema({{"l_orderkey", LT::kInt64},
+                       {"l_partkey", LT::kInt64},
+                       {"l_suppkey", LT::kInt64},
+                       {"l_linenumber", LT::kInt64},
+                       {"l_quantity", LT::kFloat64},
+                       {"l_extendedprice", LT::kFloat64},
+                       {"l_discount", LT::kFloat64},
+                       {"l_tax", LT::kFloat64},
+                       {"l_returnflag", LT::kString},
+                       {"l_linestatus", LT::kString},
+                       {"l_shipdate", LT::kDate},
+                       {"l_commitdate", LT::kDate},
+                       {"l_receiptdate", LT::kDate},
+                       {"l_shipinstruct", LT::kString},
+                       {"l_shipmode", LT::kString},
+                       {"l_comment", LT::kString}});
+  }
+  return Status::KeyError("unknown TPC-H table '" + table + "'");
+}
+
+const std::vector<std::string>& TableNames() {
+  static const std::vector<std::string>* const kNames =
+      new std::vector<std::string>{"region",   "nation", "supplier", "customer",
+                                   "part",     "partsupp", "orders", "lineitem"};
+  return *kNames;
+}
+
+int64_t BaseRowCount(const std::string& table, double sf) {
+  if (table == "region") return 5;
+  if (table == "nation") return 25;
+  if (table == "supplier") return static_cast<int64_t>(10000 * sf);
+  if (table == "customer") return static_cast<int64_t>(150000 * sf);
+  if (table == "part") return static_cast<int64_t>(200000 * sf);
+  if (table == "partsupp") return static_cast<int64_t>(800000 * sf);
+  if (table == "orders") return static_cast<int64_t>(1500000 * sf);
+  if (table == "lineitem") return static_cast<int64_t>(6000000 * sf);
+  return 0;
+}
+
+}  // namespace tqp::tpch

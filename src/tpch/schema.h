@@ -1,0 +1,24 @@
+#ifndef TQP_TPCH_SCHEMA_H_
+#define TQP_TPCH_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+
+namespace tqp::tpch {
+
+/// \brief Schema of one TPC-H base table ("lineitem", "orders", "customer",
+/// "part", "partsupp", "supplier", "nation", "region").
+Result<Schema> TableSchema(const std::string& table);
+
+/// \brief All eight table names in generation order (dimensions first).
+const std::vector<std::string>& TableNames();
+
+/// \brief Spec row count of `table` at scale factor `sf` (region/nation are
+/// fixed; lineitem is approximate, as in dbgen).
+int64_t BaseRowCount(const std::string& table, double sf);
+
+}  // namespace tqp::tpch
+
+#endif  // TQP_TPCH_SCHEMA_H_

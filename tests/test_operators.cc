@@ -1,0 +1,214 @@
+// Tests for the operator-algorithm library: hash join vs sort-merge join
+// equivalence, semi/anti joins, and hash vs sort grouping equivalence —
+// the algorithm pairs exercised by ablations ABL2/ABL3.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "operators/hash_groupby.h"
+#include "operators/hash_join.h"
+
+namespace tqp {
+namespace {
+
+Tensor RandomKeys(Rng* rng, int64_t n, int64_t domain) {
+  Tensor t = Tensor::Empty(DType::kInt64, n, 1).ValueOrDie();
+  for (int64_t i = 0; i < n; ++i) {
+    t.mutable_data<int64_t>()[i] = rng->Uniform(0, domain - 1);
+  }
+  return t;
+}
+
+// Canonical multiset of (left, right) pairs.
+std::multiset<std::pair<int64_t, int64_t>> PairSet(const op::JoinIndices& idx) {
+  std::multiset<std::pair<int64_t, int64_t>> out;
+  for (int64_t i = 0; i < idx.left_ids.rows(); ++i) {
+    out.emplace(idx.left_ids.at<int64_t>(i), idx.right_ids.at<int64_t>(i));
+  }
+  return out;
+}
+
+TEST(JoinOperatorsTest, HashAndSortMergeAgreeOnRandomKeys) {
+  Rng rng(42);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int64_t nl = rng.Uniform(0, 300);
+    const int64_t nr = rng.Uniform(0, 300);
+    const int64_t domain = rng.Uniform(1, 60);
+    Tensor left = RandomKeys(&rng, nl, domain);
+    Tensor right = RandomKeys(&rng, nr, domain);
+    auto hash = op::HashJoinIndices(left, right).ValueOrDie();
+    auto merge = op::SortMergeJoinIndices(left, right).ValueOrDie();
+    ASSERT_EQ(hash.left_ids.rows(), merge.left_ids.rows()) << "trial " << trial;
+    ASSERT_EQ(PairSet(hash), PairSet(merge)) << "trial " << trial;
+    // Every emitted pair joins equal keys.
+    for (int64_t i = 0; i < merge.left_ids.rows(); ++i) {
+      ASSERT_EQ(left.at<int64_t>(merge.left_ids.at<int64_t>(i)),
+                right.at<int64_t>(merge.right_ids.at<int64_t>(i)));
+    }
+  }
+}
+
+TEST(JoinOperatorsTest, JoinCardinalityMatchesBruteForce) {
+  Rng rng(9);
+  Tensor left = RandomKeys(&rng, 80, 10);
+  Tensor right = RandomKeys(&rng, 60, 10);
+  int64_t expected = 0;
+  for (int64_t l = 0; l < 80; ++l) {
+    for (int64_t r = 0; r < 60; ++r) {
+      expected += left.at<int64_t>(l) == right.at<int64_t>(r) ? 1 : 0;
+    }
+  }
+  auto result = op::HashJoinIndices(left, right).ValueOrDie();
+  EXPECT_EQ(result.left_ids.rows(), expected);
+}
+
+TEST(JoinOperatorsTest, SemiAndAntiPartitionTheLeft) {
+  Rng rng(11);
+  Tensor left = RandomKeys(&rng, 120, 30);
+  Tensor right = RandomKeys(&rng, 40, 30);
+  Tensor semi = op::SemiJoinIndices(left, right, /*anti=*/false).ValueOrDie();
+  Tensor anti = op::SemiJoinIndices(left, right, /*anti=*/true).ValueOrDie();
+  EXPECT_EQ(semi.rows() + anti.rows(), left.rows());
+  std::set<int64_t> right_keys;
+  for (int64_t r = 0; r < right.rows(); ++r) right_keys.insert(right.at<int64_t>(r));
+  for (int64_t i = 0; i < semi.rows(); ++i) {
+    EXPECT_TRUE(right_keys.count(left.at<int64_t>(semi.at<int64_t>(i))) > 0);
+  }
+  for (int64_t i = 0; i < anti.rows(); ++i) {
+    EXPECT_TRUE(right_keys.count(left.at<int64_t>(anti.at<int64_t>(i))) == 0);
+  }
+}
+
+TEST(JoinOperatorsTest, EmptySidesProduceEmptyResults) {
+  Tensor empty = Tensor::Empty(DType::kInt64, 0, 1).ValueOrDie();
+  Tensor keys = Tensor::FromVector<int64_t>({1, 2, 3});
+  EXPECT_EQ(op::HashJoinIndices(empty, keys).ValueOrDie().left_ids.rows(), 0);
+  EXPECT_EQ(op::HashJoinIndices(keys, empty).ValueOrDie().left_ids.rows(), 0);
+  EXPECT_EQ(op::SortMergeJoinIndices(keys, empty).ValueOrDie().left_ids.rows(), 0);
+  EXPECT_EQ(op::SemiJoinIndices(keys, empty, false).ValueOrDie().rows(), 0);
+  EXPECT_EQ(op::SemiJoinIndices(keys, empty, true).ValueOrDie().rows(), 3);
+}
+
+TEST(GroupByOperatorsTest, HashAndSortGroupingAgree) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int64_t n = rng.Uniform(1, 500);
+    const int64_t domain = rng.Uniform(1, 40);
+    Tensor keys = RandomKeys(&rng, n, domain);
+    Tensor values = Tensor::Empty(DType::kFloat64, n, 1).ValueOrDie();
+    for (int64_t i = 0; i < n; ++i) {
+      values.mutable_data<double>()[i] = rng.UniformDouble(0, 10);
+    }
+    auto hash_groups = op::HashGroupIds({keys}).ValueOrDie();
+    auto sort_groups = op::SortGroupIds({keys}).ValueOrDie();
+    ASSERT_EQ(hash_groups.num_groups, sort_groups.num_groups);
+    // Per-key sums must agree regardless of group-id numbering.
+    auto sums_by_key = [&](const op::GroupIds& groups) {
+      Tensor sums =
+          op::GroupedReduce(ReduceOpKind::kSum, values, groups).ValueOrDie();
+      std::map<int64_t, double> out;
+      for (int64_t g = 0; g < groups.num_groups; ++g) {
+        const int64_t rep = groups.representatives.at<int64_t>(g);
+        out[keys.at<int64_t>(rep)] = sums.at<double>(g);
+      }
+      return out;
+    };
+    const auto hash_sums = sums_by_key(hash_groups);
+    const auto sort_sums = sums_by_key(sort_groups);
+    ASSERT_EQ(hash_sums.size(), sort_sums.size());
+    for (const auto& [key, sum] : hash_sums) {
+      ASSERT_NEAR(sum, sort_sums.at(key), 1e-9) << "key " << key;
+    }
+  }
+}
+
+TEST(GroupByOperatorsTest, GroupSumsEqualGlobalSum) {
+  Rng rng(13);
+  Tensor keys = RandomKeys(&rng, 333, 17);
+  Tensor values = Tensor::Empty(DType::kFloat64, 333, 1).ValueOrDie();
+  double total = 0;
+  for (int64_t i = 0; i < 333; ++i) {
+    const double v = rng.UniformDouble(-5, 5);
+    values.mutable_data<double>()[i] = v;
+    total += v;
+  }
+  auto groups = op::HashGroupIds({keys}).ValueOrDie();
+  Tensor sums = op::GroupedReduce(ReduceOpKind::kSum, values, groups).ValueOrDie();
+  double grouped_total = 0;
+  for (int64_t g = 0; g < groups.num_groups; ++g) grouped_total += sums.at<double>(g);
+  EXPECT_NEAR(grouped_total, total, 1e-9);
+  // Counts sum to n.
+  Tensor counts =
+      op::GroupedReduce(ReduceOpKind::kCount, values, groups).ValueOrDie();
+  int64_t count_total = 0;
+  for (int64_t g = 0; g < groups.num_groups; ++g) count_total += counts.at<int64_t>(g);
+  EXPECT_EQ(count_total, 333);
+}
+
+TEST(GroupByOperatorsTest, MultiColumnKeys) {
+  Tensor k1 = Tensor::FromVector<int64_t>({1, 1, 2, 2, 1});
+  Tensor k2 = Tensor::FromVector<int64_t>({1, 2, 1, 1, 1});
+  auto groups = op::HashGroupIds({k1, k2}).ValueOrDie();
+  EXPECT_EQ(groups.num_groups, 3);  // (1,1), (1,2), (2,1)
+  const int64_t* ids = groups.group_ids.data<int64_t>();
+  EXPECT_EQ(ids[0], ids[4]);
+  EXPECT_NE(ids[0], ids[1]);
+  EXPECT_EQ(ids[2], ids[3]);
+}
+
+TEST(JoinOperatorsTest, CrossJoinIndicesLeftMajor) {
+  auto idx = op::CrossJoinIndices(3, 2).ValueOrDie();
+  ASSERT_EQ(idx.left_ids.rows(), 6);
+  const int64_t* l = idx.left_ids.data<int64_t>();
+  const int64_t* r = idx.right_ids.data<int64_t>();
+  EXPECT_EQ(l[0], 0);
+  EXPECT_EQ(r[0], 0);
+  EXPECT_EQ(l[1], 0);
+  EXPECT_EQ(r[1], 1);
+  EXPECT_EQ(l[5], 2);
+  EXPECT_EQ(r[5], 1);
+  // Degenerate sides produce empty products.
+  EXPECT_EQ(op::CrossJoinIndices(0, 5).ValueOrDie().left_ids.rows(), 0);
+  EXPECT_EQ(op::CrossJoinIndices(5, 0).ValueOrDie().left_ids.rows(), 0);
+}
+
+TEST(JoinOperatorsTest, LeftOuterJoinIndicesEmitUnmatchedOnce) {
+  Tensor lk = Tensor::FromVector<int64_t>({10, 20, 30});
+  Tensor rk = Tensor::FromVector<int64_t>({20, 20, 40});
+  auto idx = op::LeftOuterJoinIndices(lk, rk).ValueOrDie();
+  // Row 0 (key 10): unmatched once. Row 1 (key 20): two matches.
+  // Row 2 (key 30): unmatched once. Total 4 output rows.
+  ASSERT_EQ(idx.left_ids.rows(), 4);
+  const int64_t* l = idx.left_ids.data<int64_t>();
+  const bool* m = idx.matched.data<bool>();
+  int matched_rows = 0;
+  int unmatched_rows = 0;
+  for (int64_t i = 0; i < 4; ++i) {
+    if (m[i]) {
+      ++matched_rows;
+      EXPECT_EQ(l[i], 1);
+    } else {
+      ++unmatched_rows;
+      EXPECT_EQ(idx.right_ids.data<int64_t>()[i], 0);  // safe gather target
+    }
+  }
+  EXPECT_EQ(matched_rows, 2);
+  EXPECT_EQ(unmatched_rows, 2);
+}
+
+TEST(JoinOperatorsTest, LeftOuterJoinAllMatchedEqualsInner) {
+  Tensor lk = Tensor::FromVector<int64_t>({1, 2});
+  Tensor rk = Tensor::FromVector<int64_t>({2, 1});
+  auto left = op::LeftOuterJoinIndices(lk, rk).ValueOrDie();
+  auto inner = op::HashJoinIndices(lk, rk).ValueOrDie();
+  EXPECT_EQ(left.left_ids.rows(), inner.left_ids.rows());
+  const bool* m = left.matched.data<bool>();
+  for (int64_t i = 0; i < left.matched.rows(); ++i) EXPECT_TRUE(m[i]);
+}
+
+}  // namespace
+}  // namespace tqp

@@ -1,0 +1,264 @@
+// Tests for the planning layers: binder name/type resolution and rewrites
+// (join-key extraction, EXISTS -> semi-join, AVG expansion), the rule-based
+// optimizer (constant folding, filter merge, column pruning), and the
+// row-wise expression evaluator used for folding.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "baseline/volcano.h"
+#include "plan/binder.h"
+#include "plan/expr_eval.h"
+#include "plan/optimizer.h"
+#include "plan/physical_planner.h"
+#include "relational/table_builder.h"
+#include "sql/parser.h"
+
+namespace tqp {
+namespace {
+
+Catalog MakeCatalog() {
+  Catalog catalog;
+  {
+    Schema schema({Field{"id", LogicalType::kInt64},
+                   Field{"price", LogicalType::kFloat64},
+                   Field{"day", LogicalType::kDate},
+                   Field{"tag", LogicalType::kString}});
+    TableBuilder b(schema);
+    for (int i = 0; i < 5; ++i) {
+      b.AppendInt(0, i);
+      b.AppendDouble(1, i * 1.5);
+      b.AppendInt(2, 8766 + i);
+      b.AppendString(3, i % 2 == 0 ? "even" : "odd");
+    }
+    catalog.RegisterTable("items", b.Finish().ValueOrDie());
+  }
+  {
+    Schema schema({Field{"item_id", LogicalType::kInt64},
+                   Field{"qty", LogicalType::kInt64}});
+    TableBuilder b(schema);
+    for (int i = 0; i < 8; ++i) {
+      b.AppendInt(0, i % 5);
+      b.AppendInt(1, i);
+    }
+    catalog.RegisterTable("sales", b.Finish().ValueOrDie());
+  }
+  return catalog;
+}
+
+Result<PlanPtr> BindSql(const std::string& sql, const Catalog& catalog) {
+  TQP_ASSIGN_OR_RETURN(auto stmt, sql::ParseSelect(sql));
+  Binder binder(&catalog);
+  return binder.Bind(*stmt);
+}
+
+TEST(BinderTest, ResolvesColumnsAndTypes) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan =
+      BindSql("SELECT id, price * 2 AS double_price FROM items", catalog)
+          .ValueOrDie();
+  EXPECT_EQ(plan->kind, PlanKind::kProject);
+  EXPECT_EQ(plan->output_schema.field(0).type, LogicalType::kInt64);
+  EXPECT_EQ(plan->output_schema.field(1).name, "double_price");
+  EXPECT_EQ(plan->output_schema.field(1).type, LogicalType::kFloat64);
+}
+
+TEST(BinderTest, ErrorsAreDescriptive) {
+  Catalog catalog = MakeCatalog();
+  auto unknown_col = BindSql("SELECT nope FROM items", catalog);
+  EXPECT_EQ(unknown_col.status().code(), StatusCode::kBindError);
+  auto unknown_table = BindSql("SELECT id FROM nope", catalog);
+  EXPECT_EQ(unknown_table.status().code(), StatusCode::kKeyError);
+  auto type_mismatch = BindSql("SELECT id FROM items WHERE tag > 5", catalog);
+  EXPECT_EQ(type_mismatch.status().code(), StatusCode::kTypeError);
+  auto bad_agg =
+      BindSql("SELECT price FROM items GROUP BY tag", catalog);
+  EXPECT_EQ(bad_agg.status().code(), StatusCode::kBindError);
+  auto bool_where = BindSql("SELECT id FROM items WHERE price", catalog);
+  EXPECT_EQ(bool_where.status().code(), StatusCode::kTypeError);
+}
+
+TEST(BinderTest, ExtractsJoinKeysFromWhere) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan = BindSql(
+      "SELECT id, qty FROM items, sales WHERE id = item_id AND qty > 2",
+      catalog).ValueOrDie();
+  // Find the join node.
+  const PlanNode* node = plan.get();
+  while (node->kind != PlanKind::kJoin) node = node->children[0].get();
+  EXPECT_EQ(node->join_type, sql::JoinType::kInner);
+  ASSERT_EQ(node->left_keys.size(), 1u);
+  ASSERT_EQ(node->right_keys.size(), 1u);
+}
+
+TEST(BinderTest, DateLiteralCoercion) {
+  Catalog catalog = MakeCatalog();
+  // String literal compared to a date column parses as a date.
+  PlanPtr plan =
+      BindSql("SELECT id FROM items WHERE day >= '1994-01-02'", catalog)
+          .ValueOrDie();
+  EXPECT_TRUE(plan != nullptr);
+  EXPECT_FALSE(BindSql("SELECT id FROM items WHERE day >= 'xx'", catalog).ok());
+}
+
+TEST(BinderTest, AvgExpandsToSumAndCount) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan = BindSql("SELECT AVG(price) FROM items", catalog).ValueOrDie();
+  const PlanNode* agg = plan.get();
+  while (agg->kind != PlanKind::kAggregate) agg = agg->children[0].get();
+  ASSERT_EQ(agg->aggs.size(), 2u);
+  EXPECT_EQ(agg->aggs[0].op, ReduceOpKind::kSum);
+  EXPECT_EQ(agg->aggs[1].op, ReduceOpKind::kCount);
+}
+
+TEST(BinderTest, SharedAggregatesDeduplicate) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan = BindSql(
+      "SELECT SUM(price), AVG(price), SUM(price) / 2 FROM items", catalog)
+                     .ValueOrDie();
+  const PlanNode* agg = plan.get();
+  while (agg->kind != PlanKind::kAggregate) agg = agg->children[0].get();
+  // sum(price) shared by all three items + count(price) for AVG.
+  EXPECT_EQ(agg->aggs.size(), 2u);
+}
+
+TEST(BinderTest, ExistsBecomesSemiJoin) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan = BindSql(
+      "SELECT id FROM items WHERE EXISTS "
+      "(SELECT * FROM sales WHERE item_id = id AND qty > 3)",
+      catalog).ValueOrDie();
+  const PlanNode* node = plan.get();
+  while (node->kind != PlanKind::kJoin) node = node->children[0].get();
+  EXPECT_EQ(node->join_type, sql::JoinType::kSemi);
+  // NOT EXISTS -> anti join.
+  PlanPtr anti_plan = BindSql(
+      "SELECT id FROM items WHERE NOT EXISTS "
+      "(SELECT * FROM sales WHERE item_id = id)",
+      catalog).ValueOrDie();
+  node = anti_plan.get();
+  while (node->kind != PlanKind::kJoin) node = node->children[0].get();
+  EXPECT_EQ(node->join_type, sql::JoinType::kAnti);
+}
+
+TEST(BinderTest, LeftJoinAddsMatchedColumn) {
+  // LEFT JOIN output ends with the __matched validity column; projecting the
+  // nullable side outside COUNT stays rejected (no general NULL support).
+  Catalog catalog = MakeCatalog();
+  auto result = BindSql(
+      "SELECT id, COUNT(item_id) AS n FROM items LEFT JOIN sales "
+      "ON id = item_id GROUP BY id",
+      catalog);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto rejected = BindSql(
+      "SELECT id, item_id FROM items LEFT JOIN sales ON id = item_id", catalog);
+  EXPECT_EQ(rejected.status().code(), StatusCode::kNotImplemented);
+}
+
+TEST(ExprEvalTest, RowSemantics) {
+  // (#0 * 2 > 3) AND (#0 < 10)
+  BExpr col = MakeColumnRef(0, LogicalType::kFloat64);
+  BExpr two = MakeLiteral(Scalar(2.0), LogicalType::kFloat64);
+  BExpr mul = MakeArith(BinaryOpKind::kMul, col, two, LogicalType::kFloat64);
+  BExpr gt = MakeCompare(CompareOpKind::kGt, mul,
+                         MakeLiteral(Scalar(3.0), LogicalType::kFloat64));
+  BExpr lt = MakeCompare(CompareOpKind::kLt, col,
+                         MakeLiteral(Scalar(10.0), LogicalType::kFloat64));
+  BExpr both = MakeLogical(LogicalOpKind::kAnd, gt, lt);
+  auto eval = [&](double v) {
+    return EvalExprRow(*both, [v](int) { return Scalar(v); })
+        .ValueOrDie()
+        .bool_value();
+  };
+  EXPECT_TRUE(eval(2.0));
+  EXPECT_FALSE(eval(1.0));
+  EXPECT_FALSE(eval(50.0));
+}
+
+TEST(ExprEvalTest, FoldConstantsReplacesPureSubtrees) {
+  BExpr two = MakeLiteral(Scalar(2.0), LogicalType::kFloat64);
+  BExpr three = MakeLiteral(Scalar(3.0), LogicalType::kFloat64);
+  BExpr sum = MakeArith(BinaryOpKind::kAdd, two, three, LogicalType::kFloat64);
+  BExpr col = MakeColumnRef(0, LogicalType::kFloat64);
+  BExpr mixed = MakeArith(BinaryOpKind::kMul, col, sum, LogicalType::kFloat64);
+  BExpr folded = FoldConstants(mixed);
+  EXPECT_EQ(folded->kind, BExprKind::kArith);
+  EXPECT_EQ(folded->children[1]->kind, BExprKind::kLiteral);
+  EXPECT_DOUBLE_EQ(folded->children[1]->literal.float_value(), 5.0);
+}
+
+TEST(OptimizerTest, MergesAdjacentFilters) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan = BindSql(
+      "SELECT id FROM items, sales WHERE id = item_id AND qty > 1 AND qty < 7",
+      catalog).ValueOrDie();
+  PlanPtr optimized = Optimize(plan).ValueOrDie();
+  // No Filter(Filter(...)) chains remain.
+  std::function<void(const PlanNode&)> check = [&](const PlanNode& node) {
+    if (node.kind == PlanKind::kFilter) {
+      EXPECT_NE(node.children[0]->kind, PlanKind::kFilter);
+    }
+    for (const PlanPtr& c : node.children) check(*c);
+  };
+  check(*optimized);
+}
+
+TEST(OptimizerTest, PrunesScanColumns) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan =
+      BindSql("SELECT price FROM items WHERE id > 1", catalog).ValueOrDie();
+  PlanPtr optimized = Optimize(plan).ValueOrDie();
+  const PlanNode* node = optimized.get();
+  while (node->kind != PlanKind::kScan) node = node->children[0].get();
+  // Only id and price survive out of 4 columns.
+  EXPECT_EQ(node->scan_columns.size(), 2u);
+  EXPECT_EQ(node->output_schema.num_fields(), 2);
+}
+
+TEST(OptimizerTest, PruningPreservesResults) {
+  Catalog catalog = MakeCatalog();
+  const std::string sql =
+      "SELECT tag, SUM(price * qty) AS revenue FROM items, sales "
+      "WHERE id = item_id GROUP BY tag ORDER BY tag";
+  PlanPtr raw = BindSql(sql, catalog).ValueOrDie();
+  PlanPtr optimized = Optimize(raw).ValueOrDie();
+  VolcanoEngine engine(&catalog);
+  Table unopt_result = engine.Execute(raw).ValueOrDie();
+  Table opt_result = engine.Execute(optimized).ValueOrDie();
+  EXPECT_TRUE(TablesEqualUnordered(unopt_result, opt_result).ok());
+}
+
+TEST(PhysicalPlannerTest, AlgorithmChoicesApplied) {
+  Catalog catalog = MakeCatalog();
+  PhysicalOptions options;
+  options.join_algo = JoinAlgo::kHash;
+  options.agg_algo = AggAlgo::kHash;
+  PlanPtr plan = PlanQuery(
+      "SELECT tag, COUNT(*) AS n FROM items, sales WHERE id = item_id "
+      "GROUP BY tag",
+      catalog, options).ValueOrDie();
+  std::function<void(const PlanNode&)> check = [&](const PlanNode& node) {
+    if (node.kind == PlanKind::kJoin) EXPECT_EQ(node.join_algo, JoinAlgo::kHash);
+    if (node.kind == PlanKind::kAggregate) EXPECT_EQ(node.agg_algo, AggAlgo::kHash);
+    for (const PlanPtr& c : node.children) check(*c);
+  };
+  check(*plan);
+}
+
+TEST(PlanNodeTest, ExplainOutput) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan = PlanQuery(
+      "SELECT tag, SUM(price) AS total FROM items WHERE price > 1 "
+      "GROUP BY tag ORDER BY total DESC LIMIT 2",
+      catalog).ValueOrDie();
+  const std::string text = plan->ToString();
+  EXPECT_NE(text.find("Limit"), std::string::npos);
+  EXPECT_NE(text.find("Sort"), std::string::npos);
+  EXPECT_NE(text.find("Aggregate"), std::string::npos);
+  EXPECT_NE(text.find("Filter"), std::string::npos);
+  EXPECT_NE(text.find("Scan items"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tqp

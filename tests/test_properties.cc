@@ -1,0 +1,196 @@
+// Algebraic property tests over randomized inputs, parameterized by seed
+// (TEST_P). Each invariant is expressed as SQL executed on the tensor engine
+// itself, so a violation implicates the compiler or a kernel, not the test:
+//   * |cross join| = |L| * |R|
+//   * EXISTS and NOT EXISTS partition the outer table (incl. residuals)
+//   * LEFT JOIN row count = inner matches + unmatched left rows
+//   * LEFT JOIN COUNT(nullable) sums to the inner-join row count
+//   * scalar-subquery comparison and its complement partition the table
+//   * per-group COUNT(DISTINCT x) <= COUNT(*), and sums to the dedup size
+//   * EXTRACT(YEAR) group sizes sum to the table size; months stay in 1..12
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "compile/compiler.h"
+#include "relational/table_builder.h"
+
+namespace tqp {
+namespace {
+
+class PropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 17);
+    catalog_.RegisterTable("l", RandomTable(&rng, 200 + GetParam() * 37, 30));
+    catalog_.RegisterTable("r", RandomTable(&rng, 160 + GetParam() * 23, 45));
+  }
+
+  static Table RandomTable(Rng* rng, int64_t rows, int64_t key_domain) {
+    Schema schema({Field{"k", LogicalType::kInt64},
+                   Field{"v", LogicalType::kFloat64},
+                   Field{"d", LogicalType::kDate},
+                   Field{"s", LogicalType::kString}});
+    TableBuilder b(schema);
+    static const char* kTags[] = {"ash", "oak", "fir", "elm"};
+    for (int64_t i = 0; i < rows; ++i) {
+      b.AppendInt(0, rng->Uniform(0, key_domain - 1));
+      b.AppendDouble(1, rng->UniformDouble(-50, 50));
+      b.AppendInt(2, rng->Uniform(7000, 12000));
+      b.AppendString(3, kTags[rng->Uniform(0, 3)]);
+    }
+    return b.Finish().ValueOrDie();
+  }
+
+  // Runs `sql` on the tensor engine (static target) and returns the single
+  // scalar it produces.
+  double Scalar1(const std::string& sql) {
+    QueryCompiler compiler;
+    auto compiled = compiler.CompileSql(sql, catalog_, CompileOptions{});
+    EXPECT_TRUE(compiled.ok()) << sql << ": " << compiled.status().ToString();
+    auto result = compiled.ValueOrDie().Run(catalog_);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+    const Table t = std::move(result).ValueOrDie();
+    EXPECT_EQ(t.num_rows(), 1) << sql;
+    EXPECT_GE(t.num_columns(), 1) << sql;
+    return t.column(0).GetScalar(0).AsDouble();
+  }
+
+  Table Run(const std::string& sql) {
+    QueryCompiler compiler;
+    return compiler.CompileSql(sql, catalog_, CompileOptions{})
+        .ValueOrDie()
+        .Run(catalog_)
+        .ValueOrDie();
+  }
+
+  Catalog catalog_;
+};
+
+TEST_P(PropertyTest, CrossJoinCardinality) {
+  const double nl = Scalar1("SELECT COUNT(*) AS n FROM l");
+  const double nr = Scalar1("SELECT COUNT(*) AS n FROM r");
+  const double cross = Scalar1("SELECT COUNT(*) AS n FROM l, r");
+  EXPECT_DOUBLE_EQ(cross, nl * nr);
+}
+
+TEST_P(PropertyTest, ExistsPartitionsTheTable) {
+  const double total = Scalar1("SELECT COUNT(*) AS n FROM l");
+  const char* kSub = "(SELECT * FROM r WHERE r.k = l.k AND r.v > l.v)";
+  const double pos = Scalar1(std::string("SELECT COUNT(*) AS n FROM l WHERE EXISTS ") + kSub);
+  const double neg = Scalar1(std::string("SELECT COUNT(*) AS n FROM l WHERE NOT EXISTS ") + kSub);
+  EXPECT_DOUBLE_EQ(pos + neg, total);
+}
+
+TEST_P(PropertyTest, SemiJoinIsSubsetAntiIsComplement) {
+  const double total = Scalar1("SELECT COUNT(*) AS n FROM l");
+  const double in_rows =
+      Scalar1("SELECT COUNT(*) AS n FROM l WHERE l.k IN (SELECT k FROM r)");
+  const double not_in_rows =
+      Scalar1("SELECT COUNT(*) AS n FROM l WHERE l.k NOT IN (SELECT k FROM r)");
+  EXPECT_LE(in_rows, total);
+  EXPECT_DOUBLE_EQ(in_rows + not_in_rows, total);
+}
+
+TEST_P(PropertyTest, LeftJoinRowAccounting) {
+  // |L LEFT JOIN R| = |L INNER JOIN R| + |L rows with no match|.
+  const double left_join = Scalar1(
+      "SELECT COUNT(*) AS n FROM l LEFT OUTER JOIN r ON l.k = r.k");
+  const double inner = Scalar1(
+      "SELECT COUNT(*) AS n FROM l, r WHERE l.k = r.k");
+  const double unmatched = Scalar1(
+      "SELECT COUNT(*) AS n FROM l WHERE l.k NOT IN (SELECT k FROM r)");
+  EXPECT_DOUBLE_EQ(left_join, inner + unmatched);
+}
+
+TEST_P(PropertyTest, LeftJoinCountOfNullableSumsToInnerSize) {
+  // Sum over groups of COUNT(r.v) counts exactly the matched pairs.
+  const Table per_key = Run(
+      "SELECT l.k AS k, COUNT(r.v) AS matches FROM l LEFT OUTER JOIN r "
+      "ON l.k = r.k GROUP BY l.k");
+  double total_matches = 0;
+  for (int64_t i = 0; i < per_key.num_rows(); ++i) {
+    total_matches += per_key.column(1).GetScalar(i).AsDouble();
+  }
+  const double inner = Scalar1("SELECT COUNT(*) AS n FROM l, r WHERE l.k = r.k");
+  EXPECT_DOUBLE_EQ(total_matches, inner);
+  // And the group-by covers every distinct left key.
+  const double distinct_keys =
+      Scalar1("SELECT COUNT(*) AS n FROM (SELECT k, COUNT(*) AS c FROM l "
+              "GROUP BY k) AS g");
+  EXPECT_DOUBLE_EQ(static_cast<double>(per_key.num_rows()), distinct_keys);
+}
+
+TEST_P(PropertyTest, ScalarComparisonPartitionsTheTable) {
+  const double total = Scalar1("SELECT COUNT(*) AS n FROM l");
+  const double above = Scalar1(
+      "SELECT COUNT(*) AS n FROM l WHERE v > (SELECT AVG(v) FROM r)");
+  const double not_above = Scalar1(
+      "SELECT COUNT(*) AS n FROM l WHERE v <= (SELECT AVG(v) FROM r)");
+  EXPECT_DOUBLE_EQ(above + not_above, total);
+}
+
+TEST_P(PropertyTest, CorrelatedMaxBoundsEveryRow) {
+  // v <= MAX(v') over the same key is satisfied by every row whose key
+  // exists (trivially: each row is <= its own group's max).
+  const double rows_with_key_in_l =
+      Scalar1("SELECT COUNT(*) AS n FROM l");  // every l key exists in l
+  const double at_most_max = Scalar1(
+      "SELECT COUNT(*) AS n FROM l WHERE v <= "
+      "(SELECT MAX(l2.v) FROM l l2 WHERE l2.k = l.k)");
+  EXPECT_DOUBLE_EQ(at_most_max, rows_with_key_in_l);
+}
+
+TEST_P(PropertyTest, CountDistinctBounds) {
+  const Table per_tag = Run(
+      "SELECT s, COUNT(DISTINCT k % 7) AS dc FROM l GROUP BY s ORDER BY s");
+  const Table plain = Run(
+      "SELECT s, COUNT(*) AS c FROM l GROUP BY s ORDER BY s");
+  ASSERT_EQ(per_tag.num_rows(), plain.num_rows());
+  double dedup_total = 0;
+  for (int64_t i = 0; i < per_tag.num_rows(); ++i) {
+    const double dc = per_tag.column(1).GetScalar(i).AsDouble();
+    EXPECT_LE(dc, plain.column(1).GetScalar(i).AsDouble());
+    EXPECT_GE(dc, 1.0);
+    EXPECT_LE(dc, 7.0);  // k % 7 has at most 7 values
+    dedup_total += dc;
+  }
+  // Sum of per-group distinct counts equals the size of the dedup table.
+  const double dedup_rows = Scalar1(
+      "SELECT COUNT(*) AS n FROM (SELECT s, k % 7 AS m, COUNT(*) AS c FROM l "
+      "GROUP BY s, k % 7) AS d");
+  EXPECT_DOUBLE_EQ(dedup_total, dedup_rows);
+}
+
+TEST_P(PropertyTest, ExtractYearPartitionsRows) {
+  const double total = Scalar1("SELECT COUNT(*) AS n FROM l");
+  const Table years = Run(
+      "SELECT EXTRACT(YEAR FROM d) AS y, COUNT(*) AS n FROM l "
+      "GROUP BY EXTRACT(YEAR FROM d) ORDER BY y");
+  double sum = 0;
+  for (int64_t i = 0; i < years.num_rows(); ++i) {
+    const int64_t y = years.column(0).GetScalar(i).AsInt64();
+    EXPECT_GE(y, 1989);  // day 7000 is 1989-03-01
+    EXPECT_LE(y, 2002);  // day 12000 is 2002-11-09
+    sum += years.column(1).GetScalar(i).AsDouble();
+  }
+  EXPECT_DOUBLE_EQ(sum, total);
+  const Table months = Run(
+      "SELECT EXTRACT(MONTH FROM d) AS m, COUNT(*) AS n FROM l "
+      "GROUP BY EXTRACT(MONTH FROM d) ORDER BY m");
+  for (int64_t i = 0; i < months.num_rows(); ++i) {
+    const int64_t m = months.column(0).GetScalar(i).AsInt64();
+    EXPECT_GE(m, 1);
+    EXPECT_LE(m, 12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest, ::testing::Range(0, 8),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace tqp

@@ -1,0 +1,165 @@
+// Tests for the relational layer: dates, columns, tables, CSV round trips,
+// the builder, zero-copy ingestion accounting, and the unordered comparator.
+
+#include <gtest/gtest.h>
+
+#include "relational/csv.h"
+#include "relational/date.h"
+#include "relational/ingest.h"
+#include "relational/table_builder.h"
+
+namespace tqp {
+namespace {
+
+TEST(DateTest, CivilConversionsRoundTrip) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+  for (int64_t days : {-100000L, -1L, 0L, 1L, 8035L, 10591L, 100000L}) {
+    int y = 0;
+    int m = 0;
+    int d = 0;
+    CivilFromDays(days, &y, &m, &d);
+    EXPECT_EQ(DaysFromCivil(y, m, d), days);
+  }
+}
+
+TEST(DateTest, ParseAndFormat) {
+  EXPECT_EQ(ParseDate("1994-01-01").ValueOrDie(), 8766);
+  EXPECT_EQ(FormatDate(8766), "1994-01-01");
+  EXPECT_FALSE(ParseDate("not a date").ok());
+  EXPECT_FALSE(ParseDate("1994-13-01").ok());
+}
+
+TEST(DateTest, IntervalArithmetic) {
+  const int64_t base = ParseDate("1994-01-31").ValueOrDie();
+  EXPECT_EQ(FormatDate(AddInterval(base, 1, "day")), "1994-02-01");
+  EXPECT_EQ(FormatDate(AddInterval(base, 1, "month")), "1994-02-28");  // clamps
+  EXPECT_EQ(FormatDate(AddInterval(base, 1, "year")), "1995-01-31");
+  EXPECT_EQ(FormatDate(AddInterval(base, -1, "month")), "1993-12-31");
+  // Leap-year clamp.
+  const int64_t jan31_2000 = ParseDate("2000-01-31").ValueOrDie();
+  EXPECT_EQ(FormatDate(AddInterval(jan31_2000, 1, "month")), "2000-02-29");
+}
+
+TEST(ColumnTest, TypedConstructionAndScalars) {
+  Column ints = Column::FromInt64({1, 2}).ValueOrDie();
+  EXPECT_EQ(ints.GetScalar(1).int_value(), 2);
+  Column strs = Column::FromStrings({"ab", "c"}).ValueOrDie();
+  EXPECT_EQ(strs.GetScalar(0).string_value(), "ab");
+  EXPECT_EQ(strs.tensor().cols(), 2);
+  Column dates = Column::FromDateStrings({"1995-06-17"}).ValueOrDie();
+  EXPECT_EQ(dates.ValueToString(0), "1995-06-17");
+  Column bools = Column::FromBool({true, false}).ValueOrDie();
+  EXPECT_TRUE(bools.GetScalar(0).bool_value());
+}
+
+TEST(TableTest, MakeValidatesShapes) {
+  Schema schema({Field{"a", LogicalType::kInt64}, Field{"b", LogicalType::kFloat64}});
+  Column a = Column::FromInt64({1, 2}).ValueOrDie();
+  Column b = Column::FromDouble({1.5, 2.5}).ValueOrDie();
+  Table t = Table::Make(schema, {a, b}).ValueOrDie();
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.ColumnByName("b").ValueOrDie().GetScalar(1).float_value(), 2.5);
+  // Length mismatch.
+  Column short_col = Column::FromDouble({1.0}).ValueOrDie();
+  EXPECT_FALSE(Table::Make(schema, {a, short_col}).ok());
+  // Type mismatch.
+  EXPECT_FALSE(Table::Make(schema, {b, b}).ok());
+  // Projection.
+  Table sel = t.Select({"b"}).ValueOrDie();
+  EXPECT_EQ(sel.num_columns(), 1);
+  EXPECT_FALSE(t.Select({"zzz"}).ok());
+}
+
+TEST(TableBuilderTest, AppendRowTypeChecks) {
+  Schema schema({Field{"a", LogicalType::kInt64},
+                 Field{"s", LogicalType::kString},
+                 Field{"d", LogicalType::kDate}});
+  TableBuilder builder(schema);
+  TQP_CHECK_OK(builder.AppendRow(
+      {Scalar(int64_t{1}), Scalar(std::string("x")), Scalar(std::string("1994-01-01"))}));
+  EXPECT_FALSE(builder
+                   .AppendRow({Scalar(std::string("no")), Scalar(std::string("x")),
+                               Scalar(int64_t{0})})
+                   .ok());
+  Table t = builder.Finish().ValueOrDie();
+  EXPECT_EQ(t.num_rows(), 1);
+  EXPECT_EQ(t.column(2).ValueToString(0), "1994-01-01");
+}
+
+TEST(CsvTest, RoundTripAllTypes) {
+  Schema schema({Field{"id", LogicalType::kInt64},
+                 Field{"price", LogicalType::kFloat64},
+                 Field{"day", LogicalType::kDate},
+                 Field{"name", LogicalType::kString}});
+  const std::string csv =
+      "id,price,day,name\n"
+      "1,2.5,1994-01-01,plain\n"
+      "2,-0.5,1995-06-17,\"quoted, with comma\"\n"
+      "3,1e3,1992-02-29,\"embedded \"\"quotes\"\"\"\n";
+  Table t = ReadCsvString(csv, schema).ValueOrDie();
+  ASSERT_EQ(t.num_rows(), 3);
+  EXPECT_EQ(t.column(0).GetScalar(2).int_value(), 3);
+  EXPECT_DOUBLE_EQ(t.column(1).GetScalar(2).float_value(), 1000.0);
+  EXPECT_EQ(t.column(3).GetScalar(1).string_value(), "quoted, with comma");
+  EXPECT_EQ(t.column(3).GetScalar(2).string_value(), "embedded \"quotes\"");
+  // Write and re-read.
+  const std::string written = WriteCsvString(t);
+  Table again = ReadCsvString(written, schema).ValueOrDie();
+  EXPECT_TRUE(TablesEqualUnordered(t, again).ok());
+}
+
+TEST(CsvTest, PipeDelimitedWithTrailingDelimiter) {
+  Schema schema({Field{"a", LogicalType::kInt64}, Field{"b", LogicalType::kString}});
+  CsvOptions options;
+  options.delimiter = '|';
+  options.has_header = false;
+  Table t = ReadCsvString("1|x|\n2|y|\n", schema, options).ValueOrDie();
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.column(1).GetScalar(1).string_value(), "y");
+}
+
+TEST(CsvTest, Errors) {
+  Schema schema({Field{"a", LogicalType::kInt64}});
+  EXPECT_FALSE(ReadCsvString("a\n1,2\n", schema).ok());       // arity
+  EXPECT_FALSE(ReadCsvString("a\nnotanum\n", schema).ok());   // type
+  EXPECT_FALSE(ReadCsvFile("/no/such/file.csv", schema).ok());
+}
+
+TEST(IngestTest, ZeroCopyAccounting) {
+  HostFrame frame;
+  frame.AddInt64("k", {1, 2, 3});
+  frame.AddDouble("v", {0.5, 1.5, 2.5});
+  frame.AddDateStrings("d", {"1994-01-01", "1994-01-02", "1994-01-03"});
+  frame.AddStrings("s", {"a", "bb", "ccc"});
+  IngestStats stats;
+  Table t = frame.ToTable(/*zero_copy=*/true, &stats).ValueOrDie();
+  EXPECT_EQ(stats.columns_zero_copy, 2);
+  EXPECT_EQ(stats.columns_converted, 2);
+  EXPECT_EQ(stats.bytes_zero_copy, 3 * 8 * 2);
+  // Zero-copy columns alias the frame storage.
+  EXPECT_FALSE(t.column(0).tensor().owns_data());
+  EXPECT_TRUE(t.column(2).tensor().owns_data());
+  // Full-copy mode owns everything.
+  Table copied = frame.ToTable(/*zero_copy=*/false, nullptr).ValueOrDie();
+  EXPECT_TRUE(copied.column(0).tensor().owns_data());
+}
+
+TEST(TablesEqualTest, DetectsDifferences) {
+  Schema schema({Field{"a", LogicalType::kInt64}});
+  Table t1 = Table::Make(schema, {Column::FromInt64({1, 2}).ValueOrDie()})
+                 .ValueOrDie();
+  Table t2 = Table::Make(schema, {Column::FromInt64({2, 1}).ValueOrDie()})
+                 .ValueOrDie();
+  Table t3 = Table::Make(schema, {Column::FromInt64({2, 3}).ValueOrDie()})
+                 .ValueOrDie();
+  EXPECT_TRUE(TablesEqualUnordered(t1, t2).ok());  // order-insensitive
+  EXPECT_FALSE(TablesEqualUnordered(t1, t3).ok());
+  Table shorter = Table::Make(schema, {Column::FromInt64({1}).ValueOrDie()})
+                      .ValueOrDie();
+  EXPECT_FALSE(TablesEqualUnordered(t1, shorter).ok());
+}
+
+}  // namespace
+}  // namespace tqp

@@ -1,0 +1,236 @@
+// Tests for the SQL frontend: lexer token classes, parser coverage of the
+// accepted dialect (including the PREDICT extension), and error reporting.
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace tqp::sql {
+namespace {
+
+TEST(LexerTest, TokenClasses) {
+  auto tokens = Tokenize("SELECT x, 1.5 FROM t WHERE s = 'it''s' -- comment\n"
+                         "AND a <> b").ValueOrDie();
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_EQ(tokens[1].type, TokenType::kIdent);
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_TRUE(tokens[2].IsOperator(","));
+  EXPECT_EQ(tokens[3].type, TokenType::kNumber);
+  EXPECT_EQ(tokens[3].text, "1.5");
+  // String with escaped quote.
+  bool found = false;
+  for (const Token& t : tokens) {
+    if (t.type == TokenType::kString) {
+      EXPECT_EQ(t.text, "it's");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(Tokenize("SELECT 'unterminated").status().code() ==
+              StatusCode::kParseError);
+}
+
+TEST(LexerTest, IdentifiersFoldToLower) {
+  auto tokens = Tokenize("SeLeCt FooBar").ValueOrDie();
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_EQ(tokens[1].text, "foobar");
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = ParseSelect("SELECT a, b + 1 AS c FROM t WHERE a > 5 LIMIT 3")
+                  .ValueOrDie();
+  ASSERT_EQ(stmt->items.size(), 2u);
+  EXPECT_EQ(stmt->items[0].expr->kind, ExprKind::kColumnRef);
+  EXPECT_EQ(stmt->items[1].alias, "c");
+  ASSERT_EQ(stmt->from.size(), 1u);
+  EXPECT_EQ(stmt->from[0].table_name, "t");
+  ASSERT_TRUE(stmt->where != nullptr);
+  EXPECT_EQ(stmt->limit, 3);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = ParseSelect("SELECT a + b * c FROM t").ValueOrDie();
+  const Expr& e = *stmt->items[0].expr;
+  ASSERT_EQ(e.kind, ExprKind::kBinary);
+  EXPECT_EQ(e.op, "+");  // * binds tighter
+  EXPECT_EQ(e.children[1]->op, "*");
+  auto logic = ParseSelect("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+                   .ValueOrDie();
+  EXPECT_EQ(logic->where->op, "OR");  // AND binds tighter than OR
+}
+
+TEST(ParserTest, CaseLikeInBetween) {
+  auto stmt = ParseSelect(
+      "SELECT CASE WHEN a > 0 THEN 1 WHEN a < 0 THEN -1 ELSE 0 END "
+      "FROM t WHERE s LIKE 'x%' AND a NOT IN (1, 2) AND b BETWEEN 3 AND 4 "
+      "AND s NOT LIKE '%y'")
+                  .ValueOrDie();
+  const Expr& c = *stmt->items[0].expr;
+  EXPECT_EQ(c.kind, ExprKind::kCase);
+  EXPECT_EQ(c.children.size(), 4u);
+  EXPECT_TRUE(c.else_expr != nullptr);
+  const std::string where = stmt->where->ToString();
+  EXPECT_NE(where.find("LIKE 'x%'"), std::string::npos);
+  EXPECT_NE(where.find("NOT IN"), std::string::npos);
+  EXPECT_NE(where.find("BETWEEN"), std::string::npos);
+  EXPECT_NE(where.find("NOT LIKE"), std::string::npos);
+}
+
+TEST(ParserTest, DateAndIntervalLiterals) {
+  auto stmt = ParseSelect(
+      "SELECT * FROM t WHERE d >= DATE '1994-01-01' "
+      "AND d < DATE '1994-01-01' + INTERVAL '1' YEAR").ValueOrDie();
+  EXPECT_NE(stmt->where->ToString().find("1994-01-01"), std::string::npos);
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t WHERE d > DATE 5").ok());
+  EXPECT_FALSE(
+      ParseSelect("SELECT * FROM t WHERE d > INTERVAL '1' fortnight").ok());
+}
+
+TEST(ParserTest, JoinForms) {
+  auto explicit_join = ParseSelect(
+      "SELECT * FROM a JOIN b ON a.x = b.y LEFT JOIN c ON b.z = c.w")
+                           .ValueOrDie();
+  ASSERT_EQ(explicit_join->from.size(), 3u);
+  EXPECT_EQ(explicit_join->from[1].join_type, JoinType::kInner);
+  EXPECT_EQ(explicit_join->from[2].join_type, JoinType::kLeft);
+  EXPECT_TRUE(explicit_join->from[1].join_condition != nullptr);
+
+  auto comma_join =
+      ParseSelect("SELECT * FROM a, b aa, c WHERE a.x = aa.y").ValueOrDie();
+  ASSERT_EQ(comma_join->from.size(), 3u);
+  EXPECT_EQ(comma_join->from[1].alias, "aa");
+  EXPECT_EQ(comma_join->from[1].join_type, JoinType::kCross);
+}
+
+TEST(ParserTest, GroupByHavingOrderBy) {
+  auto stmt = ParseSelect(
+      "SELECT g, SUM(v) AS s FROM t GROUP BY g HAVING SUM(v) > 10 "
+      "ORDER BY s DESC, g").ValueOrDie();
+  EXPECT_EQ(stmt->group_by.size(), 1u);
+  EXPECT_TRUE(stmt->having != nullptr);
+  ASSERT_EQ(stmt->order_by.size(), 2u);
+  EXPECT_FALSE(stmt->order_by[0].ascending);
+  EXPECT_TRUE(stmt->order_by[1].ascending);
+}
+
+TEST(ParserTest, SubqueriesAndExists) {
+  auto exists = ParseSelect(
+      "SELECT * FROM orders WHERE EXISTS "
+      "(SELECT * FROM lineitem WHERE l_orderkey = o_orderkey)").ValueOrDie();
+  EXPECT_EQ(exists->where->kind, ExprKind::kExists);
+  auto not_exists = ParseSelect(
+      "SELECT * FROM orders WHERE NOT EXISTS "
+      "(SELECT * FROM lineitem WHERE l_orderkey = o_orderkey)").ValueOrDie();
+  EXPECT_EQ(not_exists->where->kind, ExprKind::kUnary);
+  auto in_subquery = ParseSelect(
+      "SELECT * FROM orders WHERE o_orderkey IN "
+      "(SELECT l_orderkey FROM lineitem)").ValueOrDie();
+  EXPECT_EQ(in_subquery->where->kind, ExprKind::kInSubquery);
+  auto derived = ParseSelect(
+      "SELECT * FROM (SELECT a FROM t) AS sub WHERE a > 0").ValueOrDie();
+  EXPECT_TRUE(derived->from[0].subquery != nullptr);
+  EXPECT_EQ(derived->from[0].alias, "sub");
+}
+
+TEST(ParserTest, FunctionsAndPredict) {
+  auto stmt = ParseSelect(
+      "SELECT COUNT(*), SUM(a), AVG(b), MIN(c), MAX(d), "
+      "PREDICT('model', x, y), SUBSTRING(s FROM 1 FOR 2) FROM t").ValueOrDie();
+  EXPECT_EQ(stmt->items[0].expr->name, "count");
+  EXPECT_EQ(stmt->items[0].expr->children[0]->kind, ExprKind::kStar);
+  EXPECT_EQ(stmt->items[5].expr->name, "predict");
+  EXPECT_EQ(stmt->items[5].expr->children.size(), 3u);
+  EXPECT_EQ(stmt->items[6].expr->name, "substring");
+}
+
+TEST(ParserTest, ErrorsAreParseErrors) {
+  for (const char* bad : {
+           "SELECT",                          // missing FROM
+           "SELECT a FROM",                   // missing table
+           "SELECT a FROM t WHERE",           // missing predicate
+           "SELECT a FROM t GROUP",           // incomplete GROUP BY
+           "SELECT CASE END FROM t",          // CASE without WHEN
+           "SELECT a FROM t LIMIT x",         // non-numeric limit
+           "SELECT (a FROM t",                // unbalanced paren
+           "SELECT a FROM t; SELECT b FROM t" // trailing statement
+       }) {
+    auto result = ParseSelect(bad);
+    EXPECT_FALSE(result.ok()) << bad;
+    EXPECT_EQ(result.status().code(), StatusCode::kParseError) << bad;
+  }
+}
+
+TEST(ParserTest, StatementToStringRoundParses) {
+  const std::string sql =
+      "SELECT g, SUM(v) AS s FROM t WHERE a > 1 GROUP BY g ORDER BY s DESC "
+      "LIMIT 5";
+  auto stmt = ParseSelect(sql).ValueOrDie();
+  // ToString output parses again to an equivalent statement.
+  auto reparsed = ParseSelect(stmt->ToString()).ValueOrDie();
+  EXPECT_EQ(reparsed->ToString(), stmt->ToString());
+}
+
+TEST(ParserTest, ExtractUnits) {
+  auto stmt = ParseSelect(
+      "SELECT EXTRACT(YEAR FROM d), EXTRACT(month FROM d), "
+      "EXTRACT(Day FROM d + INTERVAL '1' day) FROM t").ValueOrDie();
+  EXPECT_EQ(stmt->items[0].expr->name, "extract_year");
+  EXPECT_EQ(stmt->items[1].expr->name, "extract_month");
+  EXPECT_EQ(stmt->items[2].expr->name, "extract_day");
+  EXPECT_EQ(stmt->items[2].expr->children[0]->kind, ExprKind::kBinary);
+}
+
+TEST(ParserTest, ExtractErrors) {
+  for (const char* bad : {
+           "SELECT EXTRACT(hour FROM d) FROM t",   // unknown unit
+           "SELECT EXTRACT(YEAR d) FROM t",        // missing FROM
+           "SELECT EXTRACT(YEAR FROM d FROM t",    // unbalanced paren
+       }) {
+    auto result = ParseSelect(bad);
+    EXPECT_FALSE(result.ok()) << bad;
+    EXPECT_EQ(result.status().code(), StatusCode::kParseError) << bad;
+  }
+}
+
+TEST(ParserTest, ScalarSubqueryExpression) {
+  auto stmt = ParseSelect(
+      "SELECT a FROM t WHERE v > 2 * (SELECT AVG(v) FROM t) "
+      "AND EXISTS (SELECT * FROM u WHERE u.k = t.k)").ValueOrDie();
+  // WHERE is AND(gt, exists); gt's rhs multiplies a literal by the subquery.
+  const Expr& where = *stmt->where;
+  ASSERT_EQ(where.kind, ExprKind::kBinary);
+  const Expr& gt = *where.children[0];
+  const Expr& mul = *gt.children[1];
+  ASSERT_EQ(mul.kind, ExprKind::kBinary);
+  EXPECT_EQ(mul.children[1]->kind, ExprKind::kScalarSubquery);
+  ASSERT_NE(mul.children[1]->subquery, nullptr);
+  EXPECT_EQ(where.children[1]->kind, ExprKind::kExists);
+}
+
+TEST(ParserTest, ScalarSubqueryInHaving) {
+  auto stmt = ParseSelect(
+      "SELECT k, SUM(v) FROM t GROUP BY k "
+      "HAVING SUM(v) > (SELECT AVG(v) FROM t)").ValueOrDie();
+  ASSERT_NE(stmt->having, nullptr);
+  EXPECT_EQ(stmt->having->children[1]->kind, ExprKind::kScalarSubquery);
+}
+
+TEST(ParserTest, CountDistinctFlag) {
+  auto stmt =
+      ParseSelect("SELECT COUNT(DISTINCT x), COUNT(x) FROM t").ValueOrDie();
+  EXPECT_TRUE(stmt->items[0].expr->distinct);
+  EXPECT_FALSE(stmt->items[1].expr->distinct);
+}
+
+TEST(ParserTest, LeftOuterJoinWithCompoundOn) {
+  auto stmt = ParseSelect(
+      "SELECT a FROM t LEFT OUTER JOIN u ON t.k = u.k AND u.v > 3").ValueOrDie();
+  ASSERT_EQ(stmt->from.size(), 2u);
+  EXPECT_EQ(stmt->from[1].join_type, JoinType::kLeft);
+  ASSERT_NE(stmt->from[1].join_condition, nullptr);
+  EXPECT_EQ(stmt->from[1].join_condition->op, "AND");
+}
+
+}  // namespace
+}  // namespace tqp::sql

@@ -1,0 +1,172 @@
+// Unit tests for the tensor substrate: buffers, tensors, dtypes, scalars,
+// devices (including the simulated-GPU clock).
+
+#include <gtest/gtest.h>
+
+#include "device/device.h"
+#include "tensor/dtype.h"
+#include "tensor/scalar.h"
+#include "tensor/tensor.h"
+
+namespace tqp {
+namespace {
+
+TEST(DTypeTest, SizesAndNames) {
+  EXPECT_EQ(DTypeSize(DType::kBool), 1);
+  EXPECT_EQ(DTypeSize(DType::kUInt8), 1);
+  EXPECT_EQ(DTypeSize(DType::kInt32), 4);
+  EXPECT_EQ(DTypeSize(DType::kInt64), 8);
+  EXPECT_EQ(DTypeSize(DType::kFloat32), 4);
+  EXPECT_EQ(DTypeSize(DType::kFloat64), 8);
+  EXPECT_STREQ(DTypeName(DType::kFloat64), "float64");
+}
+
+TEST(DTypeTest, PromotionRules) {
+  EXPECT_EQ(PromoteTypes(DType::kInt32, DType::kInt64), DType::kInt64);
+  EXPECT_EQ(PromoteTypes(DType::kInt64, DType::kFloat64), DType::kFloat64);
+  EXPECT_EQ(PromoteTypes(DType::kFloat32, DType::kFloat64), DType::kFloat64);
+  // int64 + float32 widens to float64 to protect key magnitudes.
+  EXPECT_EQ(PromoteTypes(DType::kInt64, DType::kFloat32), DType::kFloat64);
+  EXPECT_EQ(PromoteTypes(DType::kBool, DType::kBool), DType::kBool);
+  EXPECT_EQ(PromoteTypes(DType::kUInt8, DType::kInt32), DType::kInt32);
+}
+
+TEST(BufferTest, AllocateZeroed) {
+  auto buf = Buffer::Allocate(64).ValueOrDie();
+  EXPECT_EQ(buf->size(), 64);
+  EXPECT_TRUE(buf->owns_data());
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(buf->data()[i], 0);
+}
+
+TEST(BufferTest, NegativeSizeFails) {
+  EXPECT_FALSE(Buffer::Allocate(-1).ok());
+}
+
+TEST(BufferTest, SliceSharesStorage) {
+  auto buf = Buffer::Allocate(64).ValueOrDie();
+  buf->mutable_data()[10] = 42;
+  auto slice = Buffer::SliceOf(buf, 8, 16);
+  EXPECT_FALSE(slice->owns_data());
+  EXPECT_EQ(slice->data()[2], 42);
+}
+
+TEST(TensorTest, FromVectorRoundTrip) {
+  Tensor t = Tensor::FromVector<int64_t>({3, 1, 4, 1, 5});
+  EXPECT_EQ(t.rows(), 5);
+  EXPECT_EQ(t.cols(), 1);
+  EXPECT_EQ(t.dtype(), DType::kInt64);
+  EXPECT_EQ(t.at<int64_t>(2), 4);
+  EXPECT_EQ(t.nbytes(), 40);
+}
+
+TEST(TensorTest, FullAndArange) {
+  Tensor f = Tensor::Full(DType::kFloat64, 3, 2, 2.5).ValueOrDie();
+  EXPECT_DOUBLE_EQ(f.at<double>(2, 1), 2.5);
+  Tensor a = Tensor::Arange(4).ValueOrDie();
+  EXPECT_EQ(a.at<int64_t>(0), 0);
+  EXPECT_EQ(a.at<int64_t>(3), 3);
+  EXPECT_FALSE(Tensor::Arange(3, DType::kFloat64).ok());
+}
+
+TEST(TensorTest, SliceRowsIsZeroCopy) {
+  Tensor t = Tensor::FromVector<double>({0, 1, 2, 3, 4});
+  Tensor s = t.SliceRows(1, 4);
+  EXPECT_EQ(s.rows(), 3);
+  EXPECT_DOUBLE_EQ(s.at<double>(0), 1.0);
+  // Same storage: mutating the parent shows through the slice.
+  t.mutable_data<double>()[1] = 9.0;
+  EXPECT_DOUBLE_EQ(s.at<double>(0), 9.0);
+}
+
+TEST(TensorTest, WrapExternalIsZeroCopy) {
+  std::vector<int64_t> host{7, 8, 9};
+  Tensor t = Tensor::WrapExternal(host.data(), 3);
+  EXPECT_FALSE(t.owns_data());
+  host[1] = 80;
+  EXPECT_EQ(t.at<int64_t>(1), 80);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor t = Tensor::FromVector<int32_t>({1, 2, 3});
+  Tensor c = t.Clone().ValueOrDie();
+  t.mutable_data<int32_t>()[0] = 99;
+  EXPECT_EQ(c.at<int32_t>(0), 1);
+}
+
+TEST(TensorTest, ScalarAccessorsConvert) {
+  Tensor t = Tensor::FromVector<float>({1.5f});
+  EXPECT_DOUBLE_EQ(t.ScalarAsDouble(0), 1.5);
+  EXPECT_EQ(t.ScalarAsInt64(0), 1);
+  Tensor b = Tensor::Full(DType::kBool, 1, 1, 1).ValueOrDie();
+  EXPECT_EQ(b.ScalarAsInt64(0), 1);
+}
+
+TEST(TensorTest, EmptyTensorBehaves) {
+  Tensor t = Tensor::Empty(DType::kFloat64, 0, 1).ValueOrDie();
+  EXPECT_EQ(t.rows(), 0);
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.nbytes(), 0);
+  Tensor undefined;
+  EXPECT_FALSE(undefined.defined());
+  EXPECT_EQ(undefined.ToString(), "Tensor<undefined>");
+}
+
+TEST(ScalarTest, VariantsAndConversions) {
+  EXPECT_TRUE(Scalar(int64_t{3}).is_int());
+  EXPECT_TRUE(Scalar(2.5).is_float());
+  EXPECT_TRUE(Scalar(std::string("x")).is_string());
+  EXPECT_TRUE(Scalar(true).is_bool());
+  EXPECT_DOUBLE_EQ(Scalar(int64_t{3}).AsDouble(), 3.0);
+  EXPECT_EQ(Scalar(2.9).AsInt64(), 2);
+  EXPECT_EQ(Scalar(true).AsInt64(), 1);
+  EXPECT_EQ(Scalar(std::string("hi")).ToString(), "'hi'");
+}
+
+TEST(DeviceTest, SimulatedClockAccumulates) {
+  Device* gpu = GetDevice(DeviceKind::kCudaSim);
+  gpu->ResetClock();
+  EXPECT_DOUBLE_EQ(gpu->simulated_seconds(), 0.0);
+  KernelCost cost;
+  cost.bytes_read = 732'000'000;  // one second of HBM bandwidth... / 1000
+  cost.bytes_written = 0;
+  gpu->RecordKernel(cost);
+  // 732 MB / 732 GB/s = 1 ms, plus 5 us launch.
+  EXPECT_NEAR(gpu->simulated_seconds(), 1.005e-3, 1e-5);
+  gpu->RecordTransfer(12'000'000);  // 12 MB over 12 GB/s = 1 ms
+  EXPECT_NEAR(gpu->simulated_seconds(), 2.005e-3, 1e-5);
+  EXPECT_EQ(gpu->bytes_transferred(), 12'000'000);
+}
+
+TEST(DeviceTest, CpuClockNeverAdvances) {
+  Device* cpu = GetDevice(DeviceKind::kCpu);
+  cpu->ResetClock();
+  KernelCost cost;
+  cost.bytes_read = 1 << 30;
+  cpu->RecordKernel(cost);
+  cpu->RecordTransfer(1 << 30);
+  EXPECT_DOUBLE_EQ(cpu->simulated_seconds(), 0.0);
+}
+
+TEST(DeviceTest, IrregularKernelsRunDerated) {
+  Device* gpu = GetDevice(DeviceKind::kCudaSim);
+  KernelCost cost;
+  cost.bytes_read = 73'200'000;
+  gpu->ResetClock();
+  gpu->RecordKernel(cost, /*irregular=*/false);
+  const double regular = gpu->simulated_seconds();
+  gpu->ResetClock();
+  gpu->RecordKernel(cost, /*irregular=*/true);
+  EXPECT_GT(gpu->simulated_seconds(), regular * 2);
+}
+
+TEST(TensorTest, ToDeviceChargesTransfer) {
+  Device* gpu = GetDevice(DeviceKind::kCudaSim);
+  gpu->ResetClock();
+  Tensor t = Tensor::Full(DType::kFloat64, 1000, 1, 1.0).ValueOrDie();
+  Tensor on_gpu = t.ToDevice(DeviceKind::kCudaSim).ValueOrDie();
+  EXPECT_EQ(on_gpu.device(), DeviceKind::kCudaSim);
+  EXPECT_EQ(gpu->bytes_transferred(), 8000);
+}
+
+}  // namespace
+}  // namespace tqp
