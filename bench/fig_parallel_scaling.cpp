@@ -1,0 +1,89 @@
+// Parallel-runtime scaling: serial executors vs the morsel-driven
+// ParallelExecutor on TPC-H at increasing thread counts. Emits JSON (one
+// object) on stdout so future PRs can track the perf trajectory; human
+// summary goes to stderr.
+//
+// Usage: fig_parallel_scaling [scale_factor]   (default 0.05)
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "compile/compiler.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+using namespace tqp;  // NOLINT: bench binary
+
+namespace {
+
+double MedianQueryTime(const CompiledQuery& query, const std::vector<Tensor>& inputs,
+                       const bench::TimingProtocol& protocol) {
+  return bench::MedianTime(
+      [&] { TQP_CHECK_OK(query.RunWithInputs(inputs).status()); }, protocol);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double sf = bench::ScaleFactorArg(argc, argv, 0.05);
+  Catalog catalog;
+  tpch::DbgenOptions gen;
+  gen.scale_factor = sf;
+  TQP_CHECK_OK(tpch::GenerateAll(gen, &catalog));
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::fprintf(stderr, "parallel scaling, SF %.3f, %u hardware threads\n", sf, hw);
+
+  const std::vector<int> queries = {1, 3, 6};
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  const bench::TimingProtocol protocol{3, 5};
+
+  QueryCompiler compiler;
+  std::printf("{\n  \"bench\": \"fig_parallel_scaling\",\n");
+  std::printf("  \"scale_factor\": %.4f,\n", sf);
+  std::printf("  \"hardware_threads\": %u,\n", hw);
+  std::printf("  \"queries\": [\n");
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const int q = queries[qi];
+    const std::string sql = tpch::QueryText(q).ValueOrDie();
+
+    CompileOptions serial_options;  // static = fused serial TorchScript analog
+    CompiledQuery serial_query =
+        compiler.CompileSql(sql, catalog, serial_options).ValueOrDie();
+    const std::vector<Tensor> inputs =
+        serial_query.CollectInputs(catalog).ValueOrDie();
+    const double serial_sec = MedianQueryTime(serial_query, inputs, protocol);
+
+    CompileOptions eager_options;
+    eager_options.target = ExecutorTarget::kEager;
+    CompiledQuery eager_query =
+        compiler.CompileSql(sql, catalog, eager_options).ValueOrDie();
+    const double eager_sec = MedianQueryTime(eager_query, inputs, protocol);
+
+    std::printf("    {\"query\": \"Q%d\", \"static_serial_ms\": %.4f, "
+                "\"eager_serial_ms\": %.4f, \"parallel\": [",
+                q, serial_sec * 1e3, eager_sec * 1e3);
+    double best_speedup = 0;
+    for (size_t ti = 0; ti < thread_counts.size(); ++ti) {
+      CompileOptions par_options;
+      par_options.target = ExecutorTarget::kParallel;
+      par_options.num_threads = thread_counts[ti];
+      CompiledQuery par_query =
+          compiler.CompileSql(sql, catalog, par_options).ValueOrDie();
+      const double par_sec = MedianQueryTime(par_query, inputs, protocol);
+      const double speedup = eager_sec / par_sec;
+      best_speedup = std::max(best_speedup, speedup);
+      std::printf("%s{\"threads\": %d, \"ms\": %.4f, \"speedup_vs_eager\": %.3f}",
+                  ti == 0 ? "" : ", ", thread_counts[ti], par_sec * 1e3, speedup);
+      std::fprintf(stderr, "  Q%d @ %d threads: %.3f ms (%.2fx vs eager %.3f ms)\n",
+                   q, thread_counts[ti], par_sec * 1e3, speedup, eager_sec * 1e3);
+    }
+    std::printf("], \"best_speedup_vs_eager\": %.3f}%s\n", best_speedup,
+                qi + 1 < queries.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

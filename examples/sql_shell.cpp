@@ -6,24 +6,37 @@
 // Usage: sql_shell [scale_factor]          (default 0.01)
 //
 // Shell commands (everything else is SQL):
-//   \backend eager|static|interp    choose the tensor executor
+//   \backend eager|static|interp|parallel   choose the tensor executor
+//   \threads <n>                    parallel backend: worker threads (0 = auto)
+//   \morsel <rows>                  parallel backend: rows per morsel (0 = auto)
 //   \device cpu|gpu                 choose the device (gpu = simulator)
-//   \engine tqp|volcano|columnar    choose the engine family
+//   \engine tqp|volcano|columnar    choose the engine family (columnar runs
+//                                   its hash operators morsel-parallel when
+//                                   the parallel backend is selected)
 //   \plan <sql>                     print the optimized physical plan
 //   \program <sql>                  print the compiled tensor program ops
 //   \tables                         list catalog tables
 //   \q <n>                          run TPC-H query n
+//   \sessions <n> <sql>             run <sql> from n concurrent sessions
+//                                   through the QueryScheduler (plan cache,
+//                                   admission queue) and print per-query stats
 //   quit                            exit
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
+
+#include <vector>
 
 #include "baseline/columnar.h"
 #include "baseline/volcano.h"
 #include "common/stopwatch.h"
 #include "compile/compiler.h"
+#include "runtime/session.h"
+#include "runtime/thread_pool.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 
@@ -35,7 +48,25 @@ struct ShellState {
   ExecutorTarget target = ExecutorTarget::kStatic;
   DeviceKind device = DeviceKind::kCpu;
   std::string engine = "tqp";
+  int num_threads = 0;      // parallel backend: 0 = process-wide pool
+  int64_t morsel_rows = 0;  // parallel backend: 0 = default morsel size
 };
+
+// Integer argument parser that reports instead of throwing (a typo in a
+// shell command must not kill the session).
+bool ParseInt64(const std::string& text, int64_t* out) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(begin, &end, 10);
+  while (end != nullptr && *end == ' ') ++end;
+  if (end == begin || (end != nullptr && *end != '\0') || errno == ERANGE) {
+    std::printf("not a number: '%s'\n", text.c_str());
+    return false;
+  }
+  *out = v;
+  return true;
+}
 
 void RunSql(const std::string& sql, const Catalog& catalog, ShellState* state) {
   Stopwatch watch;
@@ -46,7 +77,13 @@ void RunSql(const std::string& sql, const Catalog& catalog, ShellState* state) {
     watch.Reset();
     result_or = volcano.ExecuteSql(sql);
   } else if (state->engine == "columnar") {
-    ColumnarEngine columnar(&catalog);
+    // With the parallel backend selected, the columnar engine's hash
+    // join/group-by operators run morsel-parallel on the shared pool.
+    runtime::ThreadPool* pool = state->target == ExecutorTarget::kParallel
+                                    ? runtime::ThreadPool::Global()
+                                    : nullptr;
+    ColumnarEngine columnar(&catalog, nullptr, DeviceKind::kCpu,
+                            /*charge_transfers=*/true, pool);
     watch.Reset();
     result_or = columnar.ExecuteSql(sql);
   } else {
@@ -54,6 +91,8 @@ void RunSql(const std::string& sql, const Catalog& catalog, ShellState* state) {
     CompileOptions options;
     options.target = state->target;
     options.device = state->device;
+    options.num_threads = state->num_threads;
+    options.morsel_rows = state->morsel_rows;
     watch.Reset();
     auto compiled_or = compiler.CompileSql(sql, catalog, options);
     compile_ms = watch.ElapsedSeconds() * 1e3;
@@ -107,6 +146,53 @@ void PrintPlanOrProgram(const std::string& sql, const Catalog& catalog,
   std::printf("%s", compiled_or.ValueOrDie().program().ToString().c_str());
 }
 
+// Fans one statement out from `n` concurrent QuerySessions sharing a
+// scheduler: the first execution compiles, the rest hit the LRU plan cache.
+void RunSessions(int n, const std::string& sql, const Catalog& catalog,
+                 const ShellState& state) {
+  runtime::SchedulerOptions options;
+  options.compile.target = state.target;
+  options.compile.device = state.device;
+  options.compile.num_threads = state.num_threads;
+  options.compile.morsel_rows = state.morsel_rows;
+  runtime::QueryScheduler scheduler(&catalog, options);
+  std::vector<std::future<runtime::QueryOutcome>> futures;
+  futures.reserve(static_cast<size_t>(n));
+  Stopwatch watch;
+  for (int i = 0; i < n; ++i) {
+    auto future_or = scheduler.Submit(sql);
+    if (!future_or.ok()) {
+      std::printf("session %d rejected: %s\n", i,
+                  future_or.status().ToString().c_str());
+      continue;
+    }
+    futures.push_back(std::move(future_or).ValueOrDie());
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    runtime::QueryOutcome outcome = futures[i].get();
+    if (!outcome.status.ok()) {
+      std::printf("session %zu error: %s\n", i, outcome.status.ToString().c_str());
+      continue;
+    }
+    std::printf(
+        "session %zu: %lld rows, queued %.2f ms, compile %.2f ms%s, exec %.2f ms\n",
+        i, static_cast<long long>(outcome.stats.result_rows),
+        static_cast<double>(outcome.stats.queue_nanos) / 1e6,
+        static_cast<double>(outcome.stats.compile_nanos) / 1e6,
+        outcome.stats.cache_hit ? " (plan cache hit)" : "",
+        static_cast<double>(outcome.stats.exec_nanos) / 1e6);
+  }
+  const auto counters = scheduler.counters();
+  std::printf(
+      "total %.2f ms wall; admitted %lld, rejected %lld, failed %lld; "
+      "plan cache %lld hits / %lld misses\n",
+      watch.ElapsedSeconds() * 1e3, static_cast<long long>(counters.admitted),
+      static_cast<long long>(counters.rejected),
+      static_cast<long long>(counters.failed),
+      static_cast<long long>(scheduler.plan_cache().hits()),
+      static_cast<long long>(scheduler.plan_cache().misses()));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -133,7 +219,40 @@ int main(int argc, char** argv) {
       if (b == "eager") state.target = ExecutorTarget::kEager;
       else if (b == "static") state.target = ExecutorTarget::kStatic;
       else if (b == "interp") state.target = ExecutorTarget::kInterp;
+      else if (b == "parallel") state.target = ExecutorTarget::kParallel;
       else std::printf("unknown backend '%s'\n", b.c_str());
+      continue;
+    }
+    if (line.rfind("\\threads ", 0) == 0) {
+      int64_t n = 0;
+      if (!ParseInt64(line.substr(9), &n)) continue;
+      if (n < 0 || n > 256) {
+        std::printf("threads must be in [0, 256]\n");
+        continue;
+      }
+      state.num_threads = static_cast<int>(n);
+      std::printf("parallel backend threads = %d%s\n", state.num_threads,
+                  state.num_threads == 0 ? " (process-wide pool)" : "");
+      continue;
+    }
+    if (line.rfind("\\morsel ", 0) == 0) {
+      if (!ParseInt64(line.substr(8), &state.morsel_rows)) continue;
+      std::printf("parallel backend morsel rows = %lld%s\n",
+                  static_cast<long long>(state.morsel_rows),
+                  state.morsel_rows == 0 ? " (default)" : "");
+      continue;
+    }
+    if (line.rfind("\\sessions ", 0) == 0) {
+      std::istringstream args(line.substr(10));
+      int n = 0;
+      std::string sql;
+      args >> n;
+      std::getline(args, sql);
+      if (n <= 0 || sql.empty()) {
+        std::printf("usage: \\sessions <n> <sql>\n");
+        continue;
+      }
+      RunSessions(n, sql, catalog, state);
       continue;
     }
     if (line.rfind("\\device ", 0) == 0) {
@@ -166,7 +285,9 @@ int main(int argc, char** argv) {
       continue;
     }
     if (line.rfind("\\q ", 0) == 0) {
-      const int q = std::stoi(line.substr(3));
+      int64_t qn = 0;
+      if (!ParseInt64(line.substr(3), &qn)) continue;
+      const int q = static_cast<int>(qn);
       auto sql_or = tpch::QueryText(q);
       if (!sql_or.ok()) {
         std::printf("error: %s\n", sql_or.status().ToString().c_str());

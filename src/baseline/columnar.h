@@ -8,6 +8,7 @@
 #include "ml/model.h"
 #include "plan/catalog.h"
 #include "plan/physical_planner.h"
+#include "runtime/thread_pool.h"
 
 namespace tqp {
 
@@ -22,11 +23,16 @@ namespace tqp {
 /// the CPU or (with simulated timing) on the GPU device.
 class ColumnarEngine {
  public:
+  /// `pool` (optional) runs the hash join/semi-join/group-by operators
+  /// morsel-parallel on that thread pool (see src/runtime); results are
+  /// bit-identical to the serial operators. Null = serial (the baseline's
+  /// default, keeping ablation numbers single-threaded).
   ColumnarEngine(const Catalog* catalog, const ml::ModelRegistry* models = nullptr,
                  DeviceKind device = DeviceKind::kCpu,
-                 bool charge_transfers = true)
+                 bool charge_transfers = true,
+                 runtime::ThreadPool* pool = nullptr)
       : catalog_(catalog), models_(models), device_(device),
-        charge_transfers_(charge_transfers) {}
+        charge_transfers_(charge_transfers), pool_(pool) {}
 
   Result<Table> Execute(const PlanPtr& plan) const;
   Result<Table> ExecuteSql(const std::string& sql,
@@ -41,6 +47,7 @@ class ColumnarEngine {
   const ml::ModelRegistry* models_;
   DeviceKind device_;
   bool charge_transfers_ = true;
+  runtime::ThreadPool* pool_ = nullptr;  // not owned; null = serial operators
   mutable int64_t last_kernels_ = 0;
 };
 

@@ -21,6 +21,10 @@ struct CompileOptions {
   OpProfiler* profiler = nullptr;  // optional, not owned
   /// See ExecOptions::charge_transfers.
   bool charge_transfers = true;
+  /// See ExecOptions::num_threads (ParallelExecutor only).
+  int num_threads = 0;
+  /// See ExecOptions::morsel_rows (ParallelExecutor only).
+  int64_t morsel_rows = 0;
 };
 
 /// \brief A compiled query: the tensor program, its Executor, and the

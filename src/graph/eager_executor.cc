@@ -13,6 +13,8 @@ const char* ExecutorTargetName(ExecutorTarget target) {
       return "static";
     case ExecutorTarget::kInterp:
       return "interp";
+    case ExecutorTarget::kParallel:
+      return "parallel";
   }
   return "?";
 }

@@ -3,6 +3,7 @@
 #include "graph/eager_executor.h"
 #include "graph/interp_executor.h"
 #include "graph/static_executor.h"
+#include "runtime/parallel_executor.h"
 
 namespace tqp {
 
@@ -23,6 +24,9 @@ Result<std::unique_ptr<Executor>> MakeExecutor(
                            InterpExecutor::Make(std::move(program), options));
       return std::unique_ptr<Executor>(std::move(interp));
     }
+    case ExecutorTarget::kParallel:
+      return std::unique_ptr<Executor>(
+          new ParallelExecutor(std::move(program), options));
   }
   return Status::Invalid("unknown executor target");
 }

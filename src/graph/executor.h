@@ -12,12 +12,14 @@
 namespace tqp {
 
 /// \brief Executor backends, mirroring the paper's lowering targets (§2.2):
-/// PyTorch eager, TorchScript (ahead-of-time planned, fused), and the
-/// ONNX/WebAssembly browser path (portable bytecode, scalar interpreter).
+/// PyTorch eager, TorchScript (ahead-of-time planned, fused), the
+/// ONNX/WebAssembly browser path (portable bytecode, scalar interpreter),
+/// and the morsel-driven multi-core runtime (src/runtime).
 enum class ExecutorTarget : int8_t {
   kEager = 0,
   kStatic = 1,
   kInterp = 2,
+  kParallel = 3,
 };
 
 const char* ExecutorTargetName(ExecutorTarget target);
@@ -41,6 +43,12 @@ struct ExecOptions {
   /// model data already resident on the accelerator (how GPU-database
   /// comparisons such as TXT2 are usually reported).
   bool charge_transfers = true;
+  /// ParallelExecutor only: worker threads. 0 = the process-wide pool
+  /// (TQP_THREADS env var or hardware concurrency); 1 = serial execution.
+  int num_threads = 0;
+  /// ParallelExecutor only: rows per morsel for data-parallel kernels.
+  /// 0 = DefaultMorselRows() (TQP_MORSEL_ROWS env var or 16384).
+  int64_t morsel_rows = 0;
 };
 
 /// \brief A compiled, runnable tensor program (the paper's "Executor").

@@ -1,0 +1,31 @@
+#include "runtime/morsel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace tqp::runtime {
+
+int64_t DefaultMorselRows() {
+  static const int64_t rows = [] {
+    const char* v = std::getenv("TQP_MORSEL_ROWS");
+    if (v != nullptr && *v != '\0') {
+      const int64_t parsed = std::strtoll(v, nullptr, 10);
+      if (parsed > 0) return parsed;
+    }
+    return int64_t{16384};
+  }();
+  return rows;
+}
+
+std::vector<RowRange> PartitionRows(int64_t rows, int64_t morsel_rows) {
+  if (morsel_rows <= 0) morsel_rows = DefaultMorselRows();
+  std::vector<RowRange> out;
+  if (rows <= 0) return out;
+  out.reserve(static_cast<size_t>((rows + morsel_rows - 1) / morsel_rows));
+  for (int64_t b = 0; b < rows; b += morsel_rows) {
+    out.push_back(RowRange{b, std::min(rows, b + morsel_rows)});
+  }
+  return out;
+}
+
+}  // namespace tqp::runtime

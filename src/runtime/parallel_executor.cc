@@ -1,0 +1,106 @@
+#include "runtime/parallel_executor.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/stopwatch.h"
+#include "graph/eval.h"
+#include "runtime/morsel.h"
+#include "runtime/task_graph.h"
+
+namespace tqp {
+
+using runtime::ParallelContext;
+using runtime::TaskGraph;
+using runtime::ThreadPool;
+
+ParallelExecutor::ParallelExecutor(std::shared_ptr<const TensorProgram> program,
+                                   ExecOptions options)
+    : program_(std::move(program)), options_(options) {
+  // Clamp to the same ceiling as the TQP_THREADS env path: an absurd request
+  // must degrade to "many threads", not abort the process in std::thread.
+  options_.num_threads = std::min(options_.num_threads, 256);
+  if (options_.num_threads == 0) {
+    pool_ = ThreadPool::Global();
+  } else if (options_.num_threads > 1) {
+    owned_pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    pool_ = owned_pool_.get();
+  }  // num_threads == 1 (or negative): pool_ stays null -> serial execution
+}
+
+int64_t ParallelExecutor::morsel_rows() const {
+  return options_.morsel_rows > 0 ? options_.morsel_rows
+                                  : runtime::DefaultMorselRows();
+}
+
+Result<std::vector<Tensor>> ParallelExecutor::Run(const std::vector<Tensor>& inputs) {
+  const TensorProgram& prog = *program_;
+  if (inputs.size() != prog.input_nodes().size()) {
+    return Status::Invalid("executor expects " +
+                           std::to_string(prog.input_nodes().size()) +
+                           " inputs, got " + std::to_string(inputs.size()));
+  }
+  Device* device = GetDevice(options_.device);
+  ParallelContext ctx;
+  ctx.pool = pool_;
+  ctx.morsel_rows = options_.morsel_rows;
+
+  std::vector<Tensor> values(static_cast<size_t>(prog.num_nodes()));
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    values[static_cast<size_t>(prog.input_nodes()[i])] = inputs[i];
+    if (device->is_simulated() && options_.charge_transfers) {
+      device->RecordTransfer(inputs[i].nbytes());
+    }
+  }
+
+  // One task per op node; dependencies mirror the node's data inputs. The
+  // values vector is written once per slot, and TaskGraph's dependency
+  // counters order those writes before any read (release/acquire).
+  TaskGraph graph;
+  std::vector<int> task_of(static_cast<size_t>(prog.num_nodes()), -1);
+  // Serializes simulated-clock + profiler updates across concurrent tasks.
+  std::mutex record_mu;
+  for (const OpNode& node : prog.nodes()) {
+    if (node.type == OpType::kInput) continue;
+    std::vector<int> deps;
+    deps.reserve(node.inputs.size());
+    for (int in : node.inputs) {
+      const int t = task_of[static_cast<size_t>(in)];
+      if (t >= 0) deps.push_back(t);
+    }
+    task_of[static_cast<size_t>(node.id)] = graph.AddTask(
+        [this, &prog, &node, &values, &ctx, device, &record_mu]() -> Status {
+          Stopwatch timer;
+          TQP_ASSIGN_OR_RETURN(Tensor out,
+                               runtime::ParallelEvalNode(ctx, prog, node, values));
+          if (device->is_simulated() || options_.profiler != nullptr) {
+            std::lock_guard<std::mutex> lock(record_mu);
+            if (device->is_simulated()) {
+              bool irregular = false;
+              const KernelCost cost =
+                  EstimateNodeCost(node, values, out, &irregular);
+              device->RecordKernel(cost, irregular);
+            }
+            if (options_.profiler != nullptr) {
+              options_.profiler->RecordOp(node, timer.ElapsedNanos(), out.nbytes());
+            }
+          }
+          values[static_cast<size_t>(node.id)] = std::move(out);
+          return Status::OK();
+        },
+        deps);
+  }
+  TQP_RETURN_NOT_OK(graph.Run(pool_));
+
+  std::vector<Tensor> outputs;
+  outputs.reserve(prog.outputs().size());
+  for (int id : prog.outputs()) {
+    outputs.push_back(values[static_cast<size_t>(id)]);
+    if (device->is_simulated() && options_.charge_transfers) {
+      device->RecordTransfer(outputs.back().nbytes());
+    }
+  }
+  return outputs;
+}
+
+}  // namespace tqp

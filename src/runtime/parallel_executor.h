@@ -1,0 +1,54 @@
+#ifndef TQP_RUNTIME_PARALLEL_EXECUTOR_H_
+#define TQP_RUNTIME_PARALLEL_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/executor.h"
+#include "runtime/parallel_kernels.h"
+#include "runtime/thread_pool.h"
+
+namespace tqp {
+
+/// \brief Morsel-driven multi-core executor (the src/runtime subsystem's
+/// entry point into the executor registry).
+///
+/// Two axes of parallelism, both on the same work-stealing pool:
+///  - *Inter-op*: the tensor program runs as a TaskGraph — independent
+///    subtrees (join sides, per-aggregate branches) execute concurrently.
+///  - *Intra-op*: each node evaluates through ParallelEvalNode, which fans
+///    the hot kernels out over row morsels.
+///
+/// Results are bit-identical to EagerExecutor/InterpExecutor for any thread
+/// count and morsel size: only decompositions that are exactly associative
+/// (or produce per-row-independent outputs) are parallelized; everything
+/// else runs the shared serial kernels.
+///
+/// Thread count comes from ExecOptions::num_threads: 0 uses the process-wide
+/// pool, 1 runs serially (no pool), N > 1 creates a private N-thread pool
+/// owned by this executor. Run() is safe to call from concurrent threads
+/// (the QuerySession layer shares cached executors across queries).
+class ParallelExecutor : public Executor {
+ public:
+  ParallelExecutor(std::shared_ptr<const TensorProgram> program,
+                   ExecOptions options);
+
+  Result<std::vector<Tensor>> Run(const std::vector<Tensor>& inputs) override;
+  std::string name() const override { return "parallel"; }
+  ExecutorTarget target() const override { return ExecutorTarget::kParallel; }
+
+  /// \brief The pool this executor schedules on (null when running serially).
+  runtime::ThreadPool* pool() const { return pool_; }
+  int64_t morsel_rows() const;
+
+ private:
+  std::shared_ptr<const TensorProgram> program_;
+  ExecOptions options_;
+  std::unique_ptr<runtime::ThreadPool> owned_pool_;  // when num_threads > 1
+  runtime::ThreadPool* pool_ = nullptr;              // owned or global; may be null
+};
+
+}  // namespace tqp
+
+#endif  // TQP_RUNTIME_PARALLEL_EXECUTOR_H_

@@ -1,0 +1,584 @@
+#include "runtime/parallel_kernels.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <numeric>
+
+#include "graph/eval.h"
+#include "kernels/kernels.h"
+#include "runtime/morsel.h"
+
+namespace tqp::runtime {
+
+namespace {
+
+using kernels::BinaryOp;
+using kernels::Cast;
+using kernels::Compare;
+using kernels::Logical;
+using kernels::Unary;
+using kernels::Where;
+
+}  // namespace
+
+int64_t MorselRows(const ParallelContext& ctx) {
+  return ctx.morsel_rows > 0 ? ctx.morsel_rows : DefaultMorselRows();
+}
+
+bool ShouldParallelize(const ParallelContext& ctx, int64_t rows) {
+  return ctx.parallel() && rows >= ctx.min_parallel_rows &&
+         rows > MorselRows(ctx);
+}
+
+namespace {
+
+/// Returns `t` restricted to output rows [b, e): sliced when row-aligned with
+/// the output, whole when broadcast (1 row) or deliberately global.
+Tensor SliceAligned(const Tensor& t, int64_t out_rows, int64_t b, int64_t e) {
+  return t.rows() == out_rows ? t.SliceRows(b, e) : t;
+}
+
+/// Runs `fn` (a serial kernel over output row range [b, e), returning exactly
+/// e - b rows) morsel-parallel and assembles the full output. Morsel 0 runs
+/// first on the calling thread to learn the output dtype/cols — this also
+/// surfaces validation errors exactly as the serial kernel would.
+Result<Tensor> MorselMap(const ParallelContext& ctx, int64_t out_rows,
+                         const std::function<Result<Tensor>(int64_t, int64_t)>& fn) {
+  if (!ShouldParallelize(ctx, out_rows)) return fn(0, out_rows);
+  const int64_t morsel = MorselRows(ctx);
+  TQP_ASSIGN_OR_RETURN(Tensor head, fn(0, morsel));
+  if (head.rows() != morsel) {
+    return Status::Internal("MorselMap: kernel returned wrong row count");
+  }
+  TQP_ASSIGN_OR_RETURN(
+      Tensor out, Tensor::Empty(head.dtype(), out_rows, head.cols(), head.device()));
+  const int64_t row_bytes = head.cols() * DTypeSize(head.dtype());
+  auto* dst = static_cast<uint8_t*>(out.raw_mutable_data());
+  std::memcpy(dst, head.raw_data(), static_cast<size_t>(head.nbytes()));
+  Status st = ctx.pool->ParallelFor(
+      out_rows - morsel, morsel, [&](int64_t b, int64_t e) -> Status {
+        const int64_t begin = b + morsel;
+        const int64_t end = e + morsel;
+        TQP_ASSIGN_OR_RETURN(Tensor part, fn(begin, end));
+        if (part.rows() != end - begin || part.cols() != out.cols() ||
+            part.dtype() != out.dtype()) {
+          return Status::Internal("MorselMap: inconsistent morsel output");
+        }
+        std::memcpy(dst + begin * row_bytes, part.raw_data(),
+                    static_cast<size_t>(part.nbytes()));
+        return Status::OK();
+      });
+  TQP_RETURN_NOT_OK(st);
+  return out;
+}
+
+/// Broadcast output rows for a set of inputs where each must either span the
+/// output or be a single broadcast row. Returns -1 when the shapes don't fit
+/// that pattern (callers then fall back to the serial kernel, which produces
+/// the proper error or handles the exotic case).
+int64_t AlignedRows(std::initializer_list<const Tensor*> inputs) {
+  int64_t rows = 1;
+  for (const Tensor* t : inputs) {
+    if (t->rows() == 1) continue;
+    if (rows == 1) {
+      rows = t->rows();
+    } else if (t->rows() != rows) {
+      return -1;
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+Result<Tensor> ParallelBinaryOp(const ParallelContext& ctx, BinaryOpKind op,
+                                const Tensor& a, const Tensor& b) {
+  const int64_t rows = AlignedRows({&a, &b});
+  if (rows < 0) return BinaryOp(op, a, b);
+  return MorselMap(ctx, rows, [&](int64_t lo, int64_t hi) {
+    return BinaryOp(op, SliceAligned(a, rows, lo, hi), SliceAligned(b, rows, lo, hi));
+  });
+}
+
+Result<Tensor> ParallelCompare(const ParallelContext& ctx, CompareOpKind op,
+                               const Tensor& a, const Tensor& b) {
+  const int64_t rows = AlignedRows({&a, &b});
+  if (rows < 0) return Compare(op, a, b);
+  return MorselMap(ctx, rows, [&](int64_t lo, int64_t hi) {
+    return Compare(op, SliceAligned(a, rows, lo, hi), SliceAligned(b, rows, lo, hi));
+  });
+}
+
+Result<Tensor> ParallelLogical(const ParallelContext& ctx, LogicalOpKind op,
+                               const Tensor& a, const Tensor& b) {
+  const int64_t rows = AlignedRows({&a, &b});
+  if (rows < 0) return Logical(op, a, b);
+  return MorselMap(ctx, rows, [&](int64_t lo, int64_t hi) {
+    return Logical(op, SliceAligned(a, rows, lo, hi), SliceAligned(b, rows, lo, hi));
+  });
+}
+
+Result<Tensor> ParallelUnary(const ParallelContext& ctx, UnaryOpKind op,
+                             const Tensor& a) {
+  return MorselMap(ctx, a.rows(), [&](int64_t lo, int64_t hi) {
+    return Unary(op, a.SliceRows(lo, hi));
+  });
+}
+
+Result<Tensor> ParallelCast(const ParallelContext& ctx, const Tensor& a, DType to) {
+  if (a.dtype() == to) return a;  // serial fast path: no copy at all
+  return MorselMap(ctx, a.rows(), [&](int64_t lo, int64_t hi) {
+    return Cast(a.SliceRows(lo, hi), to);
+  });
+}
+
+Result<Tensor> ParallelWhere(const ParallelContext& ctx, const Tensor& cond,
+                             const Tensor& a, const Tensor& b) {
+  const int64_t rows = AlignedRows({&cond, &a, &b});
+  if (rows < 0) return Where(cond, a, b);
+  return MorselMap(ctx, rows, [&](int64_t lo, int64_t hi) {
+    return Where(SliceAligned(cond, rows, lo, hi), SliceAligned(a, rows, lo, hi),
+                 SliceAligned(b, rows, lo, hi));
+  });
+}
+
+Result<Tensor> ParallelGather(const ParallelContext& ctx, const Tensor& a,
+                              const Tensor& indices) {
+  return MorselMap(ctx, indices.rows(), [&](int64_t lo, int64_t hi) {
+    return kernels::Gather(a, indices.SliceRows(lo, hi));
+  });
+}
+
+Result<Tensor> ParallelSearchSorted(const ParallelContext& ctx, const Tensor& sorted,
+                                    const Tensor& values, bool right) {
+  if (sorted.cols() != 1 || values.cols() != 1 || sorted.dtype() != values.dtype()) {
+    return kernels::SearchSorted(sorted, values, right);  // serial error path
+  }
+  return MorselMap(ctx, values.rows(), [&](int64_t lo, int64_t hi) {
+    return kernels::SearchSorted(sorted, values.SliceRows(lo, hi), right);
+  });
+}
+
+Result<Tensor> ParallelNonzero(const ParallelContext& ctx, const Tensor& mask) {
+  if (mask.dtype() != DType::kBool || mask.cols() != 1) {
+    return kernels::Nonzero(mask);  // serial error path
+  }
+  const int64_t n = mask.rows();
+  if (!ShouldParallelize(ctx, n)) return kernels::Nonzero(mask);
+  const std::vector<RowRange> morsels = PartitionRows(n, MorselRows(ctx));
+  const bool* pm = mask.data<bool>();
+  // Pass 1: per-morsel true counts.
+  std::vector<int64_t> counts(morsels.size(), 0);
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      static_cast<int64_t>(morsels.size()), 1, [&](int64_t mb, int64_t me) -> Status {
+        for (int64_t m = mb; m < me; ++m) {
+          int64_t c = 0;
+          for (int64_t i = morsels[static_cast<size_t>(m)].begin;
+               i < morsels[static_cast<size_t>(m)].end; ++i) {
+            c += pm[i] ? 1 : 0;
+          }
+          counts[static_cast<size_t>(m)] = c;
+        }
+        return Status::OK();
+      }));
+  // Exclusive scan over morsel counts gives each morsel's output offset.
+  std::vector<int64_t> offsets(morsels.size() + 1, 0);
+  for (size_t m = 0; m < morsels.size(); ++m) {
+    offsets[m + 1] = offsets[m] + counts[m];
+  }
+  TQP_ASSIGN_OR_RETURN(
+      Tensor out, Tensor::Empty(DType::kInt64, offsets.back(), 1, mask.device()));
+  int64_t* po = out.mutable_data<int64_t>();
+  // Pass 2: disjoint writes; within a morsel, ascending row order — overall
+  // output equals the serial scan order.
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      static_cast<int64_t>(morsels.size()), 1, [&](int64_t mb, int64_t me) -> Status {
+        for (int64_t m = mb; m < me; ++m) {
+          int64_t w = offsets[static_cast<size_t>(m)];
+          for (int64_t i = morsels[static_cast<size_t>(m)].begin;
+               i < morsels[static_cast<size_t>(m)].end; ++i) {
+            if (pm[i]) po[w++] = i;
+          }
+        }
+        return Status::OK();
+      }));
+  return out;
+}
+
+Result<Tensor> ParallelCompress(const ParallelContext& ctx, const Tensor& a,
+                                const Tensor& mask) {
+  if (mask.dtype() != DType::kBool || mask.cols() != 1 || mask.rows() != a.rows()) {
+    return kernels::Compress(a, mask);  // serial error path
+  }
+  // Same decomposition as the serial kernel (Nonzero then Gather), with each
+  // stage morsel-parallel.
+  TQP_ASSIGN_OR_RETURN(Tensor idx, ParallelNonzero(ctx, mask));
+  return ParallelGather(ctx, a, idx);
+}
+
+Result<Tensor> ParallelReduceAll(const ParallelContext& ctx, ReduceOpKind op,
+                                 const Tensor& a) {
+  // Min/max: int64 -> double rounding is monotone, so min(round(x)) ==
+  // round(min(x)) and the per-morsel merge stays exact for every dtype.
+  const bool exact_parallel =
+      op == ReduceOpKind::kMin || op == ReduceOpKind::kMax ||
+      (op == ReduceOpKind::kSum && !IsFloatingPoint(a.dtype()));
+  if (!exact_parallel || a.cols() != 1 || a.numel() == 0 ||
+      !ShouldParallelize(ctx, a.rows())) {
+    return kernels::ReduceAll(op, a);
+  }
+  const std::vector<RowRange> morsels = PartitionRows(a.rows(), MorselRows(ctx));
+  std::vector<double> partials(morsels.size(), 0.0);
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      static_cast<int64_t>(morsels.size()), 1, [&](int64_t mb, int64_t me) -> Status {
+        for (int64_t m = mb; m < me; ++m) {
+          const RowRange r = morsels[static_cast<size_t>(m)];
+          TQP_ASSIGN_OR_RETURN(Tensor part,
+                               kernels::ReduceAll(op, a.SliceRows(r.begin, r.end)));
+          partials[static_cast<size_t>(m)] = part.ScalarAsDouble(0);
+        }
+        return Status::OK();
+      }));
+  // Merge in morsel (= row) order. Min/max are order-free; integer sums are
+  // exact in double below 2^53, so this matches the serial left-to-right scan.
+  double acc = partials[0];
+  for (size_t m = 1; m < partials.size(); ++m) {
+    if (op == ReduceOpKind::kSum) {
+      acc += partials[m];
+    } else if (op == ReduceOpKind::kMin) {
+      acc = std::min(acc, partials[m]);
+    } else {
+      acc = std::max(acc, partials[m]);
+    }
+  }
+  const DType dt = op == ReduceOpKind::kSum ? DType::kFloat64 : a.dtype();
+  return Tensor::Full(dt, 1, 1, acc, a.device());
+}
+
+Result<Tensor> ParallelSegmentedReduce(const ParallelContext& ctx, ReduceOpKind op,
+                                       const Tensor& values,
+                                       const Tensor& segment_ids,
+                                       int64_t num_segments) {
+  const bool exact_parallel =
+      op == ReduceOpKind::kCount || op == ReduceOpKind::kMin ||
+      op == ReduceOpKind::kMax ||
+      (op == ReduceOpKind::kSum && !IsFloatingPoint(values.dtype()));
+  const int64_t n = values.rows();
+  // Partial accumulator arrays cost slots * num_segments doubles; past ~64 MiB
+  // total the merge pass stops paying for itself.
+  const bool partials_fit =
+      ctx.pool != nullptr &&
+      num_segments <= (int64_t{1} << 23) / std::max(1, ctx.pool->max_parallel_slots());
+  if (!exact_parallel || !partials_fit || !ShouldParallelize(ctx, n) ||
+      segment_ids.dtype() != DType::kInt64 || segment_ids.cols() != 1 ||
+      values.cols() != 1 || segment_ids.rows() != n || num_segments <= 0) {
+    return kernels::SegmentedReduce(op, values, segment_ids, num_segments);
+  }
+  const int64_t* seg = segment_ids.data<int64_t>();
+  const int slots = ctx.pool->max_parallel_slots();
+  const size_t g = static_cast<size_t>(num_segments);
+
+  if (op == ReduceOpKind::kCount) {
+    std::vector<std::vector<int64_t>> partial(static_cast<size_t>(slots));
+    TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+        n, MorselRows(ctx), [&](int64_t b, int64_t e, int slot) -> Status {
+          auto& acc = partial[static_cast<size_t>(slot)];
+          if (acc.empty()) acc.assign(g, 0);
+          for (int64_t i = b; i < e; ++i) {
+            if (seg[i] < 0 || seg[i] >= num_segments) {
+              return Status::IndexError("segment id out of range");
+            }
+            ++acc[static_cast<size_t>(seg[i])];
+          }
+          return Status::OK();
+        }));
+    TQP_ASSIGN_OR_RETURN(
+        Tensor out, Tensor::Full(DType::kInt64, num_segments, 1, 0, values.device()));
+    int64_t* o = out.mutable_data<int64_t>();
+    for (const auto& acc : partial) {
+      if (acc.empty()) continue;
+      for (size_t s = 0; s < g; ++s) o[s] += acc[s];
+    }
+    return out;
+  }
+
+  // Sum/min/max accumulate in float64, exactly as the serial kernel does.
+  TQP_ASSIGN_OR_RETURN(Tensor cv, ParallelCast(ctx, values, DType::kFloat64));
+  const double* pv = cv.data<double>();
+  const bool is_sum = op == ReduceOpKind::kSum;
+  const double init = is_sum ? 0.0
+                             : (op == ReduceOpKind::kMin
+                                    ? std::numeric_limits<double>::infinity()
+                                    : -std::numeric_limits<double>::infinity());
+  std::vector<std::vector<double>> partial(static_cast<size_t>(slots));
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      n, MorselRows(ctx), [&](int64_t b, int64_t e, int slot) -> Status {
+        auto& acc = partial[static_cast<size_t>(slot)];
+        if (acc.empty()) acc.assign(g, init);
+        for (int64_t i = b; i < e; ++i) {
+          const int64_t s = seg[i];
+          if (s < 0 || s >= num_segments) {
+            return Status::IndexError("segment id out of range");
+          }
+          if (is_sum) {
+            acc[static_cast<size_t>(s)] += pv[i];
+          } else if (op == ReduceOpKind::kMin) {
+            acc[static_cast<size_t>(s)] = std::min(acc[static_cast<size_t>(s)], pv[i]);
+          } else {
+            acc[static_cast<size_t>(s)] = std::max(acc[static_cast<size_t>(s)], pv[i]);
+          }
+        }
+        return Status::OK();
+      }));
+  TQP_ASSIGN_OR_RETURN(
+      Tensor acc_t, Tensor::Full(DType::kFloat64, num_segments, 1, init, values.device()));
+  double* o = acc_t.mutable_data<double>();
+  for (const auto& acc : partial) {
+    if (acc.empty()) continue;
+    for (size_t s = 0; s < g; ++s) {
+      if (is_sum) {
+        o[s] += acc[s];
+      } else if (op == ReduceOpKind::kMin) {
+        o[s] = std::min(o[s], acc[s]);
+      } else {
+        o[s] = std::max(o[s], acc[s]);
+      }
+    }
+  }
+  if (!is_sum) {
+    // Empty segments become 0, matching the serial kernel.
+    for (size_t s = 0; s < g; ++s) {
+      if (o[s] == init) o[s] = 0.0;
+    }
+  }
+  const DType out_dt = is_sum ? DType::kFloat64 : values.dtype();
+  return Cast(acc_t, out_dt);
+}
+
+namespace {
+
+// Three-way lexicographic row comparison, mirroring src/kernels/sort.cc.
+template <typename T>
+int CompareRows(const T* p, int64_t cols, int64_t i, int64_t j) {
+  const T* ri = p + i * cols;
+  const T* rj = p + j * cols;
+  for (int64_t c = 0; c < cols; ++c) {
+    if (ri[c] < rj[c]) return -1;
+    if (rj[c] < ri[c]) return 1;
+  }
+  return 0;
+}
+
+template <typename T>
+Status ParallelStableArgsortTyped(const ParallelContext& ctx, const Tensor& a,
+                                  bool ascending, int64_t* out) {
+  const int64_t n = a.rows();
+  const T* p = a.data<T>();
+  const int64_t cols = a.cols();
+  auto cmp = [p, cols, ascending](int64_t i, int64_t j) {
+    const int c = CompareRows<T>(p, cols, i, j);
+    return ascending ? c < 0 : c > 0;
+  };
+  // Fixed chunking: enough chunks to keep every worker busy, but each chunk
+  // big enough that the O(n log n) sort dominates the O(n) merge rounds.
+  const int64_t target_chunks =
+      std::min<int64_t>(2 * ctx.pool->num_threads(),
+                        std::max<int64_t>(1, n / ctx.min_parallel_rows));
+  const int64_t chunk = (n + target_chunks - 1) / target_chunks;
+  std::iota(out, out + n, int64_t{0});
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(n, chunk, [&](int64_t b, int64_t e) -> Status {
+    std::stable_sort(out + b, out + e, cmp);
+    return Status::OK();
+  }));
+  // Pairwise stable merge rounds. std::merge takes from the first range on
+  // ties, and every index in the left chunk is smaller than every index in
+  // the right chunk, so the final permutation is *the* stable permutation —
+  // identical to a single std::stable_sort.
+  std::vector<int64_t> scratch(static_cast<size_t>(n));
+  int64_t* src = out;
+  int64_t* dst = scratch.data();
+  for (int64_t width = chunk; width < n; width *= 2) {
+    const int64_t pairs = (n + 2 * width - 1) / (2 * width);
+    TQP_RETURN_NOT_OK(
+        ctx.pool->ParallelFor(pairs, 1, [&](int64_t pb, int64_t pe) -> Status {
+          for (int64_t pr = pb; pr < pe; ++pr) {
+            const int64_t lo = pr * 2 * width;
+            const int64_t mid = std::min(n, lo + width);
+            const int64_t hi = std::min(n, lo + 2 * width);
+            std::merge(src + lo, src + mid, src + mid, src + hi, dst + lo, cmp);
+          }
+          return Status::OK();
+        }));
+    std::swap(src, dst);
+  }
+  if (src != out) std::memcpy(out, src, static_cast<size_t>(n) * sizeof(int64_t));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Tensor> ParallelArgsortRows(const ParallelContext& ctx, const Tensor& a,
+                                   bool ascending) {
+  if (!ShouldParallelize(ctx, a.rows())) {
+    return kernels::ArgsortRows(a, ascending);
+  }
+  TQP_ASSIGN_OR_RETURN(Tensor out,
+                       Tensor::Empty(DType::kInt64, a.rows(), 1, a.device()));
+  int64_t* po = out.mutable_data<int64_t>();
+  Status st;
+  switch (a.dtype()) {
+    case DType::kBool:
+      st = ParallelStableArgsortTyped<bool>(ctx, a, ascending, po);
+      break;
+    case DType::kUInt8:
+      st = ParallelStableArgsortTyped<uint8_t>(ctx, a, ascending, po);
+      break;
+    case DType::kInt32:
+      st = ParallelStableArgsortTyped<int32_t>(ctx, a, ascending, po);
+      break;
+    case DType::kInt64:
+      st = ParallelStableArgsortTyped<int64_t>(ctx, a, ascending, po);
+      break;
+    case DType::kFloat32:
+      st = ParallelStableArgsortTyped<float>(ctx, a, ascending, po);
+      break;
+    case DType::kFloat64:
+      st = ParallelStableArgsortTyped<double>(ctx, a, ascending, po);
+      break;
+  }
+  TQP_RETURN_NOT_OK(st);
+  return out;
+}
+
+Result<Tensor> ParallelEvalNode(const ParallelContext& ctx,
+                                const TensorProgram& program, const OpNode& node,
+                                const std::vector<Tensor>& values) {
+  auto in = [&](int i) -> const Tensor& {
+    return values[static_cast<size_t>(node.inputs[static_cast<size_t>(i)])];
+  };
+  if (ctx.parallel()) {
+    switch (node.type) {
+      case OpType::kBinary:
+        return ParallelBinaryOp(ctx,
+                                static_cast<BinaryOpKind>(node.attrs.GetInt("op")),
+                                in(0), in(1));
+      case OpType::kCompare:
+        return ParallelCompare(ctx,
+                               static_cast<CompareOpKind>(node.attrs.GetInt("op")),
+                               in(0), in(1));
+      case OpType::kLogical:
+        return ParallelLogical(ctx,
+                               static_cast<LogicalOpKind>(node.attrs.GetInt("op")),
+                               in(0), in(1));
+      case OpType::kUnary:
+        return ParallelUnary(ctx, static_cast<UnaryOpKind>(node.attrs.GetInt("op")),
+                             in(0));
+      case OpType::kCast:
+        return ParallelCast(ctx, in(0),
+                            static_cast<DType>(node.attrs.GetInt("dtype")));
+      case OpType::kWhere:
+        return ParallelWhere(ctx, in(0), in(1), in(2));
+      case OpType::kNonzero:
+        return ParallelNonzero(ctx, in(0));
+      case OpType::kCompress:
+        return ParallelCompress(ctx, in(0), in(1));
+      case OpType::kGather:
+        return ParallelGather(ctx, in(0), in(1));
+      case OpType::kReduceAll:
+        return ParallelReduceAll(
+            ctx, static_cast<ReduceOpKind>(node.attrs.GetInt("op")), in(0));
+      case OpType::kSegmentedReduce: {
+        const Tensor& count = in(2);
+        if (count.numel() != 1) break;  // serial error path
+        return ParallelSegmentedReduce(
+            ctx, static_cast<ReduceOpKind>(node.attrs.GetInt("op")), in(0), in(1),
+            count.ScalarAsInt64(0));
+      }
+      case OpType::kArgsortRows:
+        return ParallelArgsortRows(ctx, in(0), node.attrs.GetBool("ascending"));
+      case OpType::kSearchSorted:
+        return ParallelSearchSorted(ctx, in(0), in(1), node.attrs.GetBool("right"));
+      case OpType::kHashRows:
+        return MorselMap(ctx, in(0).rows(), [&](int64_t lo, int64_t hi) {
+          return kernels::HashRows(in(0).SliceRows(lo, hi));
+        });
+      case OpType::kHashCombine: {
+        const Tensor& h = in(0);
+        const Tensor& x = in(1);
+        if (h.rows() != x.rows()) break;  // serial error path
+        return MorselMap(ctx, h.rows(), [&](int64_t lo, int64_t hi) {
+          return kernels::HashCombine(h.SliceRows(lo, hi), x.SliceRows(lo, hi));
+        });
+      }
+      case OpType::kGatherCols: {
+        const Tensor& t = in(0);
+        const Tensor& idx = in(1);
+        if (t.rows() != idx.rows()) break;  // serial error path
+        return MorselMap(ctx, t.rows(), [&](int64_t lo, int64_t hi) {
+          return kernels::GatherCols(t.SliceRows(lo, hi), idx.SliceRows(lo, hi));
+        });
+      }
+      case OpType::kMatMul: {
+        const Tensor& a = in(0);
+        const Tensor& b = in(1);
+        return MorselMap(ctx, a.rows(), [&](int64_t lo, int64_t hi) {
+          return kernels::MatMul(a.SliceRows(lo, hi), b);
+        });
+      }
+      case OpType::kMatMulAddBias: {
+        const Tensor& a = in(0);
+        const Tensor& b = in(1);
+        const Tensor& bias = in(2);
+        return MorselMap(ctx, a.rows(), [&](int64_t lo, int64_t hi) {
+          return kernels::MatMulAddBias(a.SliceRows(lo, hi), b, bias);
+        });
+      }
+      case OpType::kEmbeddingBagSum: {
+        const Tensor& table = in(0);
+        const Tensor& ids = in(1);
+        return MorselMap(ctx, ids.rows(), [&](int64_t lo, int64_t hi) {
+          return kernels::EmbeddingBagSum(table, ids.SliceRows(lo, hi));
+        });
+      }
+      case OpType::kStringCompareScalar:
+        return MorselMap(ctx, in(0).rows(), [&](int64_t lo, int64_t hi) {
+          return kernels::StringCompareScalar(
+              static_cast<CompareOpKind>(node.attrs.GetInt("op")),
+              in(0).SliceRows(lo, hi), node.attrs.GetString("literal"));
+        });
+      case OpType::kStringCompare: {
+        const Tensor& a = in(0);
+        const Tensor& b = in(1);
+        if (a.rows() != b.rows()) break;  // serial error path
+        return MorselMap(ctx, a.rows(), [&](int64_t lo, int64_t hi) {
+          return kernels::StringCompare(
+              static_cast<CompareOpKind>(node.attrs.GetInt("op")),
+              a.SliceRows(lo, hi), b.SliceRows(lo, hi));
+        });
+      }
+      case OpType::kStringLike:
+        return MorselMap(ctx, in(0).rows(), [&](int64_t lo, int64_t hi) {
+          return kernels::StringLike(in(0).SliceRows(lo, hi),
+                                     node.attrs.GetString("pattern"));
+        });
+      case OpType::kSubstring:
+        return MorselMap(ctx, in(0).rows(), [&](int64_t lo, int64_t hi) {
+          return kernels::Substring(in(0).SliceRows(lo, hi),
+                                    node.attrs.GetInt("start"),
+                                    node.attrs.GetInt("len"));
+        });
+      case OpType::kHashTokenize:
+        return MorselMap(ctx, in(0).rows(), [&](int64_t lo, int64_t hi) {
+          return kernels::HashTokenize(in(0).SliceRows(lo, hi),
+                                       node.attrs.GetInt("vocab"),
+                                       node.attrs.GetInt("max_tokens"));
+        });
+      default:
+        break;  // sequential-by-nature ops (scans, sorts of strings, concats)
+    }
+  }
+  return EvalNode(program, node, values);
+}
+
+}  // namespace tqp::runtime

@@ -1,0 +1,95 @@
+#ifndef TQP_RUNTIME_PARALLEL_KERNELS_H_
+#define TQP_RUNTIME_PARALLEL_KERNELS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/program.h"
+#include "kernels/kernel_types.h"
+#include "runtime/thread_pool.h"
+#include "tensor/tensor.h"
+
+namespace tqp::runtime {
+
+/// \brief Shared knobs for morsel-parallel kernel execution.
+struct ParallelContext {
+  ThreadPool* pool = nullptr;  // null => serial
+  /// Rows per morsel; <= 0 selects DefaultMorselRows().
+  int64_t morsel_rows = 0;
+  /// Kernels on fewer rows than this run serially (fan-out overhead would
+  /// dominate).
+  int64_t min_parallel_rows = 8192;
+
+  bool parallel() const { return pool != nullptr && pool->num_threads() > 1; }
+};
+
+/// \brief The context's morsel size with the global default applied.
+int64_t MorselRows(const ParallelContext& ctx);
+
+/// \brief True when `rows` is worth fanning out under `ctx`.
+bool ShouldParallelize(const ParallelContext& ctx, int64_t rows);
+
+/// Morsel-parallel kernels. Every function in this header is *exact*: its
+/// result is bit-identical to the corresponding serial kernel in
+/// src/kernels, for any thread count and morsel size. Decompositions that
+/// cannot be made exact (floating-point sums, prefix scans) are not
+/// parallelized — they delegate to the serial kernel.
+
+/// \brief Elementwise family (broadcast-aware): rows are independent, so
+/// morsels of the output map to morsels of the row-aligned inputs.
+Result<Tensor> ParallelBinaryOp(const ParallelContext& ctx, BinaryOpKind op,
+                                const Tensor& a, const Tensor& b);
+Result<Tensor> ParallelCompare(const ParallelContext& ctx, CompareOpKind op,
+                               const Tensor& a, const Tensor& b);
+Result<Tensor> ParallelLogical(const ParallelContext& ctx, LogicalOpKind op,
+                               const Tensor& a, const Tensor& b);
+Result<Tensor> ParallelUnary(const ParallelContext& ctx, UnaryOpKind op,
+                             const Tensor& a);
+Result<Tensor> ParallelCast(const ParallelContext& ctx, const Tensor& a, DType to);
+Result<Tensor> ParallelWhere(const ParallelContext& ctx, const Tensor& cond,
+                             const Tensor& a, const Tensor& b);
+
+/// \brief Selection: count per morsel, exclusive scan over morsel counts,
+/// then disjoint writes — output order equals the serial (stable) order.
+Result<Tensor> ParallelNonzero(const ParallelContext& ctx, const Tensor& mask);
+Result<Tensor> ParallelCompress(const ParallelContext& ctx, const Tensor& a,
+                                const Tensor& mask);
+Result<Tensor> ParallelGather(const ParallelContext& ctx, const Tensor& a,
+                              const Tensor& indices);
+
+/// \brief Full reduction. Exact-parallel cases: min/max (order-free),
+/// count, and sums of *integer* inputs (double accumulation of integers is
+/// exact below 2^53, so the morsel merge order cannot change the result).
+/// Floating-point sums fall back to the serial kernel.
+Result<Tensor> ParallelReduceAll(const ParallelContext& ctx, ReduceOpKind op,
+                                 const Tensor& a);
+
+/// \brief Segmented reduction with per-worker partial accumulator arrays
+/// merged at a barrier (the classic morsel-driven aggregation shape). Same
+/// exactness policy as ParallelReduceAll; float sums run serially.
+Result<Tensor> ParallelSegmentedReduce(const ParallelContext& ctx, ReduceOpKind op,
+                                       const Tensor& values,
+                                       const Tensor& segment_ids,
+                                       int64_t num_segments);
+
+/// \brief Parallel stable argsort: chunks are stable-sorted concurrently and
+/// then pairwise stable-merged (ties take the lower chunk, i.e. the lower
+/// original index). A stable sort's permutation is unique, so this equals
+/// std::stable_sort's answer exactly.
+Result<Tensor> ParallelArgsortRows(const ParallelContext& ctx, const Tensor& a,
+                                   bool ascending);
+
+/// \brief Binary searches are independent per probe row.
+Result<Tensor> ParallelSearchSorted(const ParallelContext& ctx, const Tensor& sorted,
+                                    const Tensor& values, bool right);
+
+/// \brief Evaluates one tensor-program op, using the morsel-parallel kernels
+/// above where an exact decomposition exists and the serial EvalNode
+/// otherwise. Drop-in replacement for EvalNode: bit-identical results.
+Result<Tensor> ParallelEvalNode(const ParallelContext& ctx,
+                                const TensorProgram& program, const OpNode& node,
+                                const std::vector<Tensor>& values);
+
+}  // namespace tqp::runtime
+
+#endif  // TQP_RUNTIME_PARALLEL_KERNELS_H_

@@ -1,0 +1,492 @@
+#include "runtime/parallel_operators.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "kernels/kernels.h"
+#include "runtime/morsel.h"
+
+namespace tqp::runtime {
+
+namespace {
+
+constexpr int kPartitionBits = 6;
+constexpr int64_t kNumPartitions = int64_t{1} << kPartitionBits;  // 64
+
+// SplitMix64 finalizer — deterministic partition assignment for int64 keys.
+inline int64_t PartitionOfKey(int64_t key) {
+  uint64_t x = static_cast<uint64_t>(key) + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<int64_t>(x & (kNumPartitions - 1));
+}
+
+Status CheckKeys(const Tensor& keys) {
+  if (keys.dtype() != DType::kInt64 || keys.cols() != 1) {
+    return Status::TypeError("join keys must be int64 (n x 1)");
+  }
+  return Status::OK();
+}
+
+/// Order-preserving radix partition of [0, n) by PartitionOfKey(keys[i]):
+/// per-morsel histograms, an exclusive scan, then a scatter — after which
+/// partition p's slice of `row_of` lists p's rows in ascending row order.
+struct Partitioned {
+  std::vector<int64_t> row_of;           // size n, grouped by partition
+  std::vector<int64_t> partition_start;  // size kNumPartitions + 1
+};
+
+Result<Partitioned> PartitionByKey(const ParallelContext& ctx, const int64_t* keys,
+                                   int64_t n) {
+  const std::vector<RowRange> morsels = PartitionRows(n, MorselRows(ctx));
+  const size_t num_morsels = morsels.size();
+  std::vector<std::vector<int64_t>> counts(
+      num_morsels, std::vector<int64_t>(static_cast<size_t>(kNumPartitions), 0));
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      static_cast<int64_t>(num_morsels), 1, [&](int64_t mb, int64_t me) -> Status {
+        for (int64_t m = mb; m < me; ++m) {
+          auto& c = counts[static_cast<size_t>(m)];
+          const RowRange r = morsels[static_cast<size_t>(m)];
+          for (int64_t i = r.begin; i < r.end; ++i) {
+            ++c[static_cast<size_t>(PartitionOfKey(keys[i]))];
+          }
+        }
+        return Status::OK();
+      }));
+  Partitioned out;
+  out.partition_start.assign(static_cast<size_t>(kNumPartitions) + 1, 0);
+  for (int64_t p = 0; p < kNumPartitions; ++p) {
+    int64_t total = 0;
+    for (size_t m = 0; m < num_morsels; ++m) total += counts[m][static_cast<size_t>(p)];
+    out.partition_start[static_cast<size_t>(p) + 1] =
+        out.partition_start[static_cast<size_t>(p)] + total;
+  }
+  // offsets[m][p]: where morsel m writes its partition-p rows.
+  std::vector<std::vector<int64_t>> offsets(
+      num_morsels, std::vector<int64_t>(static_cast<size_t>(kNumPartitions), 0));
+  for (int64_t p = 0; p < kNumPartitions; ++p) {
+    int64_t cursor = out.partition_start[static_cast<size_t>(p)];
+    for (size_t m = 0; m < num_morsels; ++m) {
+      offsets[m][static_cast<size_t>(p)] = cursor;
+      cursor += counts[m][static_cast<size_t>(p)];
+    }
+  }
+  out.row_of.resize(static_cast<size_t>(n));
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      static_cast<int64_t>(num_morsels), 1, [&](int64_t mb, int64_t me) -> Status {
+        for (int64_t m = mb; m < me; ++m) {
+          auto cursor = offsets[static_cast<size_t>(m)];  // private copy
+          const RowRange r = morsels[static_cast<size_t>(m)];
+          for (int64_t i = r.begin; i < r.end; ++i) {
+            const size_t p = static_cast<size_t>(PartitionOfKey(keys[i]));
+            out.row_of[static_cast<size_t>(cursor[p]++)] = i;
+          }
+        }
+        return Status::OK();
+      }));
+  return out;
+}
+
+/// The serial build's chain layout: first[key] = latest row, next[r] =
+/// previous row with the same key (-1 at chain end). Built per partition in
+/// ascending row order — identical to the serial whole-table build.
+struct JoinBuild {
+  std::vector<std::unordered_map<int64_t, int64_t>> first;  // per partition
+  std::vector<int64_t> next;                                // size R
+};
+
+Result<JoinBuild> BuildPartitionedTable(const ParallelContext& ctx,
+                                        const int64_t* rk, int64_t rows) {
+  TQP_ASSIGN_OR_RETURN(Partitioned parts, PartitionByKey(ctx, rk, rows));
+  JoinBuild build;
+  build.first.resize(static_cast<size_t>(kNumPartitions));
+  build.next.assign(static_cast<size_t>(rows), -1);
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      kNumPartitions, 1, [&](int64_t pb, int64_t pe) -> Status {
+        for (int64_t p = pb; p < pe; ++p) {
+          auto& first = build.first[static_cast<size_t>(p)];
+          const int64_t begin = parts.partition_start[static_cast<size_t>(p)];
+          const int64_t end = parts.partition_start[static_cast<size_t>(p) + 1];
+          first.reserve(static_cast<size_t>(end - begin) * 2);
+          for (int64_t k = begin; k < end; ++k) {
+            const int64_t r = parts.row_of[static_cast<size_t>(k)];
+            auto [it, inserted] = first.try_emplace(rk[r], r);
+            if (!inserted) {
+              build.next[static_cast<size_t>(r)] = it->second;
+              it->second = r;
+            }
+          }
+        }
+        return Status::OK();
+      }));
+  return build;
+}
+
+}  // namespace
+
+Result<op::JoinIndices> ParallelHashJoinIndices(const ParallelContext& ctx,
+                                                const Tensor& left_keys,
+                                                const Tensor& right_keys) {
+  TQP_RETURN_NOT_OK(CheckKeys(left_keys));
+  TQP_RETURN_NOT_OK(CheckKeys(right_keys));
+  const int64_t l_rows = left_keys.rows();
+  const int64_t r_rows = right_keys.rows();
+  if (!ctx.parallel() || std::max(l_rows, r_rows) < ctx.min_parallel_rows) {
+    return op::HashJoinIndices(left_keys, right_keys);
+  }
+  const int64_t* lk = left_keys.data<int64_t>();
+  const int64_t* rk = right_keys.data<int64_t>();
+  TQP_ASSIGN_OR_RETURN(JoinBuild build, BuildPartitionedTable(ctx, rk, r_rows));
+
+  // Probe: per-morsel match buffers, concatenated in morsel order (= the
+  // serial left-scan order).
+  const std::vector<RowRange> morsels = PartitionRows(l_rows, MorselRows(ctx));
+  std::vector<std::vector<int64_t>> lout(morsels.size());
+  std::vector<std::vector<int64_t>> rout(morsels.size());
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      static_cast<int64_t>(morsels.size()), 1, [&](int64_t mb, int64_t me) -> Status {
+        for (int64_t m = mb; m < me; ++m) {
+          auto& lo = lout[static_cast<size_t>(m)];
+          auto& ro = rout[static_cast<size_t>(m)];
+          const RowRange range = morsels[static_cast<size_t>(m)];
+          for (int64_t l = range.begin; l < range.end; ++l) {
+            const auto& first =
+                build.first[static_cast<size_t>(PartitionOfKey(lk[l]))];
+            auto it = first.find(lk[l]);
+            if (it == first.end()) continue;
+            for (int64_t r = it->second; r >= 0;
+                 r = build.next[static_cast<size_t>(r)]) {
+              lo.push_back(l);
+              ro.push_back(r);
+            }
+          }
+        }
+        return Status::OK();
+      }));
+  int64_t total = 0;
+  for (const auto& part : lout) total += static_cast<int64_t>(part.size());
+  op::JoinIndices out;
+  TQP_ASSIGN_OR_RETURN(out.left_ids,
+                       Tensor::Empty(DType::kInt64, total, 1, left_keys.device()));
+  TQP_ASSIGN_OR_RETURN(out.right_ids,
+                       Tensor::Empty(DType::kInt64, total, 1, left_keys.device()));
+  int64_t* pl = out.left_ids.mutable_data<int64_t>();
+  int64_t* pr = out.right_ids.mutable_data<int64_t>();
+  int64_t w = 0;
+  for (size_t m = 0; m < morsels.size(); ++m) {
+    if (!lout[m].empty()) {
+      std::memcpy(pl + w, lout[m].data(), lout[m].size() * sizeof(int64_t));
+      std::memcpy(pr + w, rout[m].data(), rout[m].size() * sizeof(int64_t));
+    }
+    w += static_cast<int64_t>(lout[m].size());
+  }
+  return out;
+}
+
+Result<Tensor> ParallelSemiJoinIndices(const ParallelContext& ctx,
+                                       const Tensor& left_keys,
+                                       const Tensor& right_keys, bool anti) {
+  TQP_RETURN_NOT_OK(CheckKeys(left_keys));
+  TQP_RETURN_NOT_OK(CheckKeys(right_keys));
+  const int64_t l_rows = left_keys.rows();
+  const int64_t r_rows = right_keys.rows();
+  if (!ctx.parallel() || std::max(l_rows, r_rows) < ctx.min_parallel_rows) {
+    return op::SemiJoinIndices(left_keys, right_keys, anti);
+  }
+  const int64_t* lk = left_keys.data<int64_t>();
+  const int64_t* rk = right_keys.data<int64_t>();
+  // Presence only — chain layout is irrelevant for semi joins.
+  TQP_ASSIGN_OR_RETURN(JoinBuild build, BuildPartitionedTable(ctx, rk, r_rows));
+  const std::vector<RowRange> morsels = PartitionRows(l_rows, MorselRows(ctx));
+  std::vector<std::vector<int64_t>> lout(morsels.size());
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      static_cast<int64_t>(morsels.size()), 1, [&](int64_t mb, int64_t me) -> Status {
+        for (int64_t m = mb; m < me; ++m) {
+          auto& lo = lout[static_cast<size_t>(m)];
+          const RowRange range = morsels[static_cast<size_t>(m)];
+          for (int64_t l = range.begin; l < range.end; ++l) {
+            const auto& first =
+                build.first[static_cast<size_t>(PartitionOfKey(lk[l]))];
+            const bool matched = first.find(lk[l]) != first.end();
+            if (matched != anti) lo.push_back(l);
+          }
+        }
+        return Status::OK();
+      }));
+  int64_t total = 0;
+  for (const auto& part : lout) total += static_cast<int64_t>(part.size());
+  TQP_ASSIGN_OR_RETURN(Tensor out,
+                       Tensor::Empty(DType::kInt64, total, 1, left_keys.device()));
+  int64_t* po = out.mutable_data<int64_t>();
+  int64_t w = 0;
+  for (const auto& part : lout) {
+    if (!part.empty()) {
+      std::memcpy(po + w, part.data(), part.size() * sizeof(int64_t));
+    }
+    w += static_cast<int64_t>(part.size());
+  }
+  return out;
+}
+
+namespace {
+
+// Byte-encodes the key tuple of row i — mirrors src/operators/hash_groupby.cc
+// so grouping decisions are identical.
+std::string RowKey(const std::vector<Tensor>& keys, int64_t i) {
+  std::string out;
+  for (const Tensor& k : keys) {
+    const int64_t row_bytes = k.cols() * DTypeSize(k.dtype());
+    const char* p = reinterpret_cast<const char*>(k.raw_data()) + i * row_bytes;
+    out.append(p, static_cast<size_t>(row_bytes));
+    out.push_back('\x1f');
+  }
+  return out;
+}
+
+// FNV-1a over the encoded key bytes — deterministic partition assignment for
+// composite keys.
+int64_t PartitionOfRowKey(const std::string& key) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  // Final mix: FNV's low bits are weak for short keys.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<int64_t>(h & (kNumPartitions - 1));
+}
+
+}  // namespace
+
+Result<op::GroupIds> ParallelHashGroupIds(const ParallelContext& ctx,
+                                          const std::vector<Tensor>& keys) {
+  if (keys.empty()) return Status::Invalid("HashGroupIds: no keys");
+  const int64_t n = keys[0].rows();
+  for (const Tensor& k : keys) {
+    if (k.rows() != n) return Status::Invalid("HashGroupIds: length mismatch");
+  }
+  if (!ctx.parallel() || n < ctx.min_parallel_rows) {
+    return op::HashGroupIds(keys);
+  }
+
+  // Pass 1 (parallel over morsels): partition id per row.
+  std::vector<int32_t> part_of(static_cast<size_t>(n));
+  const std::vector<RowRange> morsels = PartitionRows(n, MorselRows(ctx));
+  std::vector<std::vector<int64_t>> counts(
+      morsels.size(), std::vector<int64_t>(static_cast<size_t>(kNumPartitions), 0));
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      static_cast<int64_t>(morsels.size()), 1, [&](int64_t mb, int64_t me) -> Status {
+        for (int64_t m = mb; m < me; ++m) {
+          const RowRange r = morsels[static_cast<size_t>(m)];
+          auto& c = counts[static_cast<size_t>(m)];
+          for (int64_t i = r.begin; i < r.end; ++i) {
+            const int64_t p = PartitionOfRowKey(RowKey(keys, i));
+            part_of[static_cast<size_t>(i)] = static_cast<int32_t>(p);
+            ++c[static_cast<size_t>(p)];
+          }
+        }
+        return Status::OK();
+      }));
+  // Order-preserving scatter of row ids into partitions.
+  std::vector<int64_t> partition_start(static_cast<size_t>(kNumPartitions) + 1, 0);
+  for (int64_t p = 0; p < kNumPartitions; ++p) {
+    int64_t total = 0;
+    for (size_t m = 0; m < morsels.size(); ++m) {
+      total += counts[m][static_cast<size_t>(p)];
+    }
+    partition_start[static_cast<size_t>(p) + 1] =
+        partition_start[static_cast<size_t>(p)] + total;
+  }
+  std::vector<std::vector<int64_t>> offsets(
+      morsels.size(), std::vector<int64_t>(static_cast<size_t>(kNumPartitions), 0));
+  for (int64_t p = 0; p < kNumPartitions; ++p) {
+    int64_t cursor = partition_start[static_cast<size_t>(p)];
+    for (size_t m = 0; m < morsels.size(); ++m) {
+      offsets[m][static_cast<size_t>(p)] = cursor;
+      cursor += counts[m][static_cast<size_t>(p)];
+    }
+  }
+  std::vector<int64_t> row_of(static_cast<size_t>(n));
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      static_cast<int64_t>(morsels.size()), 1, [&](int64_t mb, int64_t me) -> Status {
+        for (int64_t m = mb; m < me; ++m) {
+          auto cursor = offsets[static_cast<size_t>(m)];
+          const RowRange r = morsels[static_cast<size_t>(m)];
+          for (int64_t i = r.begin; i < r.end; ++i) {
+            const auto p = static_cast<size_t>(part_of[static_cast<size_t>(i)]);
+            row_of[static_cast<size_t>(cursor[p]++)] = i;
+          }
+        }
+        return Status::OK();
+      }));
+
+  // Pass 2 (parallel over partitions): local grouping in ascending row order.
+  // local_id[i] is the row's group rank within its partition; first_rows[p]
+  // lists each local group's first row (ascending, by construction).
+  std::vector<int64_t> local_id(static_cast<size_t>(n));
+  std::vector<std::vector<int64_t>> first_rows(static_cast<size_t>(kNumPartitions));
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      kNumPartitions, 1, [&](int64_t pb, int64_t pe) -> Status {
+        for (int64_t p = pb; p < pe; ++p) {
+          const int64_t begin = partition_start[static_cast<size_t>(p)];
+          const int64_t end = partition_start[static_cast<size_t>(p) + 1];
+          auto& reps = first_rows[static_cast<size_t>(p)];
+          std::unordered_map<std::string, int64_t> table;
+          table.reserve(static_cast<size_t>(end - begin) * 2);
+          for (int64_t k = begin; k < end; ++k) {
+            const int64_t i = row_of[static_cast<size_t>(k)];
+            auto [it, inserted] =
+                table.try_emplace(RowKey(keys, i), static_cast<int64_t>(reps.size()));
+            if (inserted) reps.push_back(i);
+            local_id[static_cast<size_t>(i)] = it->second;
+          }
+        }
+        return Status::OK();
+      }));
+
+  // Barrier: rank all groups by first-occurrence row — that *is* the serial
+  // first-seen order — and build per-partition local -> global remaps.
+  std::vector<std::pair<int64_t, int32_t>> all_reps;  // (first_row, partition)
+  for (int64_t p = 0; p < kNumPartitions; ++p) {
+    for (int64_t row : first_rows[static_cast<size_t>(p)]) {
+      all_reps.emplace_back(row, static_cast<int32_t>(p));
+    }
+  }
+  std::sort(all_reps.begin(), all_reps.end());
+  std::vector<std::vector<int64_t>> remap(static_cast<size_t>(kNumPartitions));
+  for (int64_t p = 0; p < kNumPartitions; ++p) {
+    remap[static_cast<size_t>(p)].resize(first_rows[static_cast<size_t>(p)].size());
+  }
+  std::vector<int64_t> local_rank(static_cast<size_t>(kNumPartitions), 0);
+  std::vector<int64_t> reps;
+  reps.reserve(all_reps.size());
+  for (size_t g = 0; g < all_reps.size(); ++g) {
+    const auto p = static_cast<size_t>(all_reps[g].second);
+    remap[p][static_cast<size_t>(local_rank[p]++)] = static_cast<int64_t>(g);
+    reps.push_back(all_reps[g].first);
+  }
+
+  // Pass 3 (parallel over rows): translate local ids to global ids.
+  op::GroupIds out;
+  TQP_ASSIGN_OR_RETURN(out.group_ids,
+                       Tensor::Empty(DType::kInt64, n, 1, keys[0].device()));
+  int64_t* ids = out.group_ids.mutable_data<int64_t>();
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      n, MorselRows(ctx), [&](int64_t b, int64_t e) -> Status {
+        for (int64_t i = b; i < e; ++i) {
+          ids[i] = remap[static_cast<size_t>(part_of[static_cast<size_t>(i)])]
+                        [static_cast<size_t>(local_id[static_cast<size_t>(i)])];
+        }
+        return Status::OK();
+      }));
+  out.representatives = Tensor::FromVector(reps);
+  out.num_groups = static_cast<int64_t>(reps.size());
+  return out;
+}
+
+Result<Tensor> ParallelGroupedReduce(const ParallelContext& ctx, ReduceOpKind op,
+                                     const Tensor& values,
+                                     const op::GroupIds& groups) {
+  const int64_t n = values.rows();
+  const int64_t g = groups.num_groups;
+  const bool exact_parallel =
+      op == ReduceOpKind::kCount || op == ReduceOpKind::kMin ||
+      op == ReduceOpKind::kMax ||
+      (op == ReduceOpKind::kSum && !IsFloatingPoint(values.dtype()));
+  const bool partials_fit =
+      ctx.pool != nullptr &&
+      g <= (int64_t{1} << 23) / std::max(1, ctx.pool->max_parallel_slots());
+  if (!exact_parallel || !partials_fit || !ShouldParallelize(ctx, n)) {
+    return op::GroupedReduce(op, values, groups);
+  }
+  const int64_t* ids = groups.group_ids.data<int64_t>();
+  const int slots = ctx.pool->max_parallel_slots();
+
+  if (op == ReduceOpKind::kCount) {
+    std::vector<std::vector<int64_t>> partial(static_cast<size_t>(slots));
+    TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+        n, MorselRows(ctx), [&](int64_t b, int64_t e, int slot) -> Status {
+          auto& acc = partial[static_cast<size_t>(slot)];
+          if (acc.empty()) acc.assign(static_cast<size_t>(g), 0);
+          for (int64_t i = b; i < e; ++i) ++acc[static_cast<size_t>(ids[i])];
+          return Status::OK();
+        }));
+    TQP_ASSIGN_OR_RETURN(Tensor out,
+                         Tensor::Full(DType::kInt64, g, 1, 0.0, values.device()));
+    int64_t* po = out.mutable_data<int64_t>();
+    for (const auto& acc : partial) {
+      if (acc.empty()) continue;
+      for (int64_t s = 0; s < g; ++s) po[s] += acc[static_cast<size_t>(s)];
+    }
+    return out;
+  }
+
+  TQP_ASSIGN_OR_RETURN(Tensor cv, ParallelCast(ctx, values, DType::kFloat64));
+  const double* pv = cv.data<double>();
+  struct SlotAcc {
+    std::vector<double> value;
+    std::vector<bool> seen;  // min/max only
+  };
+  std::vector<SlotAcc> partial(static_cast<size_t>(slots));
+  const bool is_sum = op == ReduceOpKind::kSum;
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      n, MorselRows(ctx), [&](int64_t b, int64_t e, int slot) -> Status {
+        SlotAcc& acc = partial[static_cast<size_t>(slot)];
+        if (acc.value.empty()) {
+          acc.value.assign(static_cast<size_t>(g), 0.0);
+          if (!is_sum) acc.seen.assign(static_cast<size_t>(g), false);
+        }
+        for (int64_t i = b; i < e; ++i) {
+          const auto id = static_cast<size_t>(ids[i]);
+          if (is_sum) {
+            acc.value[id] += pv[i];
+          } else if (!acc.seen[id]) {
+            acc.value[id] = pv[i];
+            acc.seen[id] = true;
+          } else if (op == ReduceOpKind::kMin ? pv[i] < acc.value[id]
+                                              : pv[i] > acc.value[id]) {
+            acc.value[id] = pv[i];
+          }
+        }
+        return Status::OK();
+      }));
+  TQP_ASSIGN_OR_RETURN(Tensor out,
+                       Tensor::Full(DType::kFloat64, g, 1, 0.0, values.device()));
+  double* po = out.mutable_data<double>();
+  if (is_sum) {
+    for (const auto& acc : partial) {
+      if (acc.value.empty()) continue;
+      for (int64_t s = 0; s < g; ++s) po[s] += acc.value[static_cast<size_t>(s)];
+    }
+  } else {
+    std::vector<bool> seen(static_cast<size_t>(g), false);
+    for (const auto& acc : partial) {
+      if (acc.value.empty()) continue;
+      for (int64_t s = 0; s < g; ++s) {
+        const auto us = static_cast<size_t>(s);
+        if (!acc.seen[us]) continue;
+        if (!seen[us]) {
+          po[s] = acc.value[us];
+          seen[us] = true;
+        } else if (op == ReduceOpKind::kMin ? acc.value[us] < po[s]
+                                            : acc.value[us] > po[s]) {
+          po[s] = acc.value[us];
+        }
+      }
+    }
+  }
+  // The serial kernel keeps sums in float64 but casts min/max back to the
+  // input dtype; mirror that exactly.
+  if (!is_sum && values.dtype() != DType::kFloat64) {
+    return kernels::Cast(out, values.dtype());
+  }
+  return out;
+}
+
+}  // namespace tqp::runtime

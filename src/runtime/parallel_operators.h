@@ -1,0 +1,49 @@
+#ifndef TQP_RUNTIME_PARALLEL_OPERATORS_H_
+#define TQP_RUNTIME_PARALLEL_OPERATORS_H_
+
+#include <vector>
+
+#include "operators/hash_groupby.h"
+#include "operators/hash_join.h"
+#include "runtime/parallel_kernels.h"
+
+namespace tqp::runtime {
+
+/// Morsel-driven variants of the CPU hash operators. All of them produce
+/// output *identical* to their serial counterparts in src/operators (same
+/// rows, same order), for any thread count:
+///
+///  - the build side is radix-partitioned by key hash with a per-morsel
+///    histogram + order-preserving scatter, so each partition sees its rows
+///    in global row order and reconstructs the exact chain layout the serial
+///    build produces;
+///  - the probe side is morsel-parallel with per-morsel match buffers
+///    concatenated in morsel order, which equals the serial scan order.
+
+/// \brief Parallel build + probe hash join (see op::HashJoinIndices).
+Result<op::JoinIndices> ParallelHashJoinIndices(const ParallelContext& ctx,
+                                                const Tensor& left_keys,
+                                                const Tensor& right_keys);
+
+/// \brief Parallel semi/anti join (see op::SemiJoinIndices).
+Result<Tensor> ParallelSemiJoinIndices(const ParallelContext& ctx,
+                                       const Tensor& left_keys,
+                                       const Tensor& right_keys, bool anti);
+
+/// \brief Parallel grouping with dense ids in first-seen order (see
+/// op::HashGroupIds). Partitions discover their groups independently; a
+/// barrier pass re-ranks group ids by first-occurrence row so the output
+/// matches the serial scan exactly.
+Result<op::GroupIds> ParallelHashGroupIds(const ParallelContext& ctx,
+                                          const std::vector<Tensor>& keys);
+
+/// \brief Parallel per-group aggregation with per-worker accumulators merged
+/// at a barrier (see op::GroupedReduce). Float sums fall back to the serial
+/// kernel (non-associative); count/min/max and integer sums are exact.
+Result<Tensor> ParallelGroupedReduce(const ParallelContext& ctx, ReduceOpKind op,
+                                     const Tensor& values,
+                                     const op::GroupIds& groups);
+
+}  // namespace tqp::runtime
+
+#endif  // TQP_RUNTIME_PARALLEL_OPERATORS_H_

@@ -1,0 +1,18 @@
+#ifndef TQP_RUNTIME_RUNTIME_H_
+#define TQP_RUNTIME_RUNTIME_H_
+
+/// \file Umbrella header for the morsel-driven parallel runtime: the
+/// work-stealing thread pool, DAG task scheduler, exact morsel-parallel
+/// kernels/operators, the ParallelExecutor backend, and the concurrent
+/// query-session layer (scheduler, admission queue, plan cache).
+
+#include "runtime/morsel.h"              // IWYU pragma: export
+#include "runtime/parallel_executor.h"   // IWYU pragma: export
+#include "runtime/parallel_kernels.h"    // IWYU pragma: export
+#include "runtime/parallel_operators.h"  // IWYU pragma: export
+#include "runtime/plan_cache.h"          // IWYU pragma: export
+#include "runtime/session.h"             // IWYU pragma: export
+#include "runtime/task_graph.h"          // IWYU pragma: export
+#include "runtime/thread_pool.h"         // IWYU pragma: export
+
+#endif  // TQP_RUNTIME_RUNTIME_H_

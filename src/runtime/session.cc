@@ -1,0 +1,175 @@
+#include "runtime/session.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/stopwatch.h"
+
+namespace tqp::runtime {
+
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+QueryScheduler::QueryScheduler(const Catalog* catalog, SchedulerOptions options)
+    : catalog_(catalog),
+      options_(options),
+      plan_cache_(options.plan_cache_capacity) {
+  const int n = options_.max_concurrent > 0 ? options_.max_concurrent : 1;
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryScheduler::~QueryScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+Result<std::future<QueryOutcome>> QueryScheduler::Submit(const std::string& sql) {
+  Job job;
+  job.sql = sql;
+  job.enqueue_nanos = NowNanos();
+  std::future<QueryOutcome> future = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::Invalid("scheduler is shutting down");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      ++counters_.rejected;
+      return Status::Invalid("admission queue full (" +
+                             std::to_string(options_.queue_capacity) +
+                             " queries waiting); retry later");
+    }
+    ++counters_.admitted;
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
+void QueryScheduler::WorkerLoop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    QueryOutcome outcome = Execute(&job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.completed;
+      if (!outcome.status.ok()) ++counters_.failed;
+    }
+    job.promise.set_value(std::move(outcome));
+  }
+}
+
+QueryOutcome QueryScheduler::Execute(Job* job) {
+  QueryOutcome outcome;
+  outcome.stats.queue_nanos = NowNanos() - job->enqueue_nanos;
+
+  const std::string normalized = NormalizeSql(job->sql);
+  // Cache lookup with in-flight dedup: a burst of identical statements
+  // compiles once — the worker that claims the statement compiles it while
+  // the others wait and pick the plan up from the cache. The cache is
+  // (re)checked under the claim loop so a finish between lookup and claim
+  // cannot cause a redundant compilation.
+  std::shared_ptr<const CompiledQuery> plan;
+  {
+    std::unique_lock<std::mutex> lock(compile_mu_);
+    while (true) {
+      lock.unlock();
+      plan = plan_cache_.Lookup(normalized, options_.compile);
+      lock.lock();
+      if (plan != nullptr) break;
+      if (compiling_.count(normalized) == 0) {
+        compiling_.insert(normalized);  // our claim; compile below
+        break;
+      }
+      compile_cv_.wait(lock);
+      // Woken: either the plan is cached now, or the compiling worker
+      // failed (no cache entry) and the loop re-contends for the claim.
+    }
+  }
+  if (plan != nullptr) {
+    outcome.stats.cache_hit = true;
+  } else {
+    Stopwatch compile_timer;
+    auto compiled_or = compiler_.CompileSql(job->sql, *catalog_, options_.compile);
+    outcome.stats.compile_nanos = compile_timer.ElapsedNanos();
+    if (compiled_or.ok()) {
+      plan = std::make_shared<const CompiledQuery>(
+          std::move(compiled_or).ValueOrDie());
+      plan_cache_.Insert(normalized, options_.compile, plan);
+    }
+    {
+      std::lock_guard<std::mutex> lock(compile_mu_);
+      compiling_.erase(normalized);
+    }
+    compile_cv_.notify_all();
+    if (!compiled_or.ok()) {
+      outcome.status = compiled_or.status();
+      return outcome;
+    }
+  }
+
+  Stopwatch exec_timer;
+  auto result_or = plan->Run(*catalog_);
+  outcome.stats.exec_nanos = exec_timer.ElapsedNanos();
+  if (!result_or.ok()) {
+    outcome.status = result_or.status();
+    return outcome;
+  }
+  outcome.table = std::move(result_or).ValueOrDie();
+  outcome.stats.result_rows = outcome.table.num_rows();
+  outcome.status = Status::OK();
+  return outcome;
+}
+
+SchedulerCounters QueryScheduler::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+QuerySession::QuerySession(QueryScheduler* scheduler, std::string name)
+    : scheduler_(scheduler), name_(std::move(name)) {}
+
+Result<std::future<QueryOutcome>> QuerySession::ExecuteAsync(
+    const std::string& sql) {
+  return scheduler_->Submit(sql);
+}
+
+Result<Table> QuerySession::Execute(const std::string& sql) {
+  auto future_or = scheduler_->Submit(sql);
+  if (!future_or.ok()) {
+    queries_failed_.fetch_add(1, std::memory_order_relaxed);
+    return future_or.status();
+  }
+  QueryOutcome outcome = future_or.ValueOrDie().get();
+  total_exec_nanos_.fetch_add(outcome.stats.exec_nanos,
+                              std::memory_order_relaxed);
+  if (!outcome.status.ok()) {
+    queries_failed_.fetch_add(1, std::memory_order_relaxed);
+    return outcome.status;
+  }
+  queries_ok_.fetch_add(1, std::memory_order_relaxed);
+  return std::move(outcome.table);
+}
+
+}  // namespace tqp::runtime

@@ -1,0 +1,144 @@
+#ifndef TQP_RUNTIME_SESSION_H_
+#define TQP_RUNTIME_SESSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compile/compiler.h"
+#include "plan/catalog.h"
+#include "runtime/plan_cache.h"
+
+namespace tqp::runtime {
+
+/// \brief Per-query execution record returned alongside the result.
+struct QueryStats {
+  int64_t queue_nanos = 0;    // admission -> worker pickup
+  int64_t compile_nanos = 0;  // 0 on a plan-cache hit
+  int64_t exec_nanos = 0;
+  bool cache_hit = false;
+  int64_t result_rows = 0;
+};
+
+/// \brief Result + stats of one scheduled query.
+struct QueryOutcome {
+  Status status;  // OK iff `table` is valid
+  Table table;
+  QueryStats stats;
+};
+
+/// \brief Aggregate scheduler counters (monotonic since construction).
+struct SchedulerCounters {
+  int64_t admitted = 0;
+  int64_t rejected = 0;   // bounded queue full
+  int64_t completed = 0;  // includes failed
+  int64_t failed = 0;
+};
+
+struct SchedulerOptions {
+  /// Worker threads executing admitted queries (each runs one query at a
+  /// time, so this bounds intra-process query concurrency).
+  int max_concurrent = 4;
+  /// Bounded admission queue: Submit rejects (does not block) beyond this
+  /// many queued-but-not-started queries.
+  size_t queue_capacity = 64;
+  /// LRU plan-cache entries (0 disables caching).
+  size_t plan_cache_capacity = 32;
+  /// Backend/device every admitted query compiles for. The default target is
+  /// the morsel-driven ParallelExecutor with the process-wide pool.
+  CompileOptions compile;
+
+  SchedulerOptions() { compile.target = ExecutorTarget::kParallel; }
+};
+
+/// \brief Admission control + dispatch for concurrent queries over a shared
+/// catalog: a bounded FIFO queue feeding `max_concurrent` worker threads,
+/// with an LRU compiled-plan cache keyed on normalized SQL text.
+///
+/// The scheduler owns no table data; the catalog must outlive it. Destruction
+/// drains: queued queries still execute, then workers join.
+class QueryScheduler {
+ public:
+  explicit QueryScheduler(const Catalog* catalog, SchedulerOptions options = {});
+  ~QueryScheduler();
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  /// \brief Admits a query. Fails fast with an error (no future) when the
+  /// admission queue is full.
+  Result<std::future<QueryOutcome>> Submit(const std::string& sql);
+
+  SchedulerCounters counters() const;
+  const PlanCache& plan_cache() const { return plan_cache_; }
+  const SchedulerOptions& options() const { return options_; }
+
+ private:
+  struct Job {
+    std::string sql;
+    std::promise<QueryOutcome> promise;
+    int64_t enqueue_nanos = 0;
+  };
+
+  void WorkerLoop();
+  QueryOutcome Execute(Job* job);
+
+  const Catalog* catalog_;
+  const SchedulerOptions options_;
+  PlanCache plan_cache_;
+  QueryCompiler compiler_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Job> queue_;
+  bool shutdown_ = false;
+  SchedulerCounters counters_;
+  std::vector<std::thread> workers_;
+
+  // In-flight compilation dedup: concurrent workers with the same normalized
+  // statement wait for the first compilation instead of compiling redundantly.
+  std::mutex compile_mu_;
+  std::condition_variable compile_cv_;
+  std::set<std::string> compiling_;
+};
+
+/// \brief A client handle onto a scheduler: convenience sync/async execution
+/// plus per-session counters. Cheap to create; many sessions share one
+/// scheduler (the "millions of users" fan-in point).
+class QuerySession {
+ public:
+  QuerySession(QueryScheduler* scheduler, std::string name = "session");
+
+  /// \brief Admits and waits. Admission rejection surfaces as the error.
+  Result<Table> Execute(const std::string& sql);
+
+  /// \brief Admits and returns the future (admission may reject).
+  Result<std::future<QueryOutcome>> ExecuteAsync(const std::string& sql);
+
+  const std::string& name() const { return name_; }
+  int64_t queries_ok() const { return queries_ok_.load(std::memory_order_relaxed); }
+  int64_t queries_failed() const {
+    return queries_failed_.load(std::memory_order_relaxed);
+  }
+  int64_t total_exec_nanos() const {
+    return total_exec_nanos_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  QueryScheduler* scheduler_;
+  std::string name_;
+  std::atomic<int64_t> queries_ok_{0};
+  std::atomic<int64_t> queries_failed_{0};
+  std::atomic<int64_t> total_exec_nanos_{0};
+};
+
+}  // namespace tqp::runtime
+
+#endif  // TQP_RUNTIME_SESSION_H_

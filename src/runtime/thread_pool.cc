@@ -1,0 +1,213 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+
+#include "runtime/morsel.h"
+
+namespace tqp::runtime {
+
+namespace {
+
+// Thread-local index of the worker running on this thread (-1 off-pool).
+// Keyed by pool so tasks of a private pool don't misroute submissions made
+// while running on the global pool (and vice versa).
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local int tls_worker_index = -1;
+
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const int64_t parsed = std::strtoll(v, nullptr, 10);
+  return parsed > 0 ? parsed : fallback;
+}
+
+}  // namespace
+
+int ThreadPool::DefaultThreadCount() {
+  static const int count = [] {
+    const int64_t env = EnvInt64("TQP_THREADS", 0);
+    if (env > 0) return static_cast<int>(std::min<int64_t>(env, 256));
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 2;
+  }();
+  return count;
+}
+
+ThreadPool* ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(DefaultThreadCount());
+  return pool;
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = DefaultThreadCount();
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  // Same empty critical section as Submit: a worker that read stop_==false
+  // under wake_mu_ must be fully asleep before the notify, or it would miss
+  // it and hang this join forever.
+  { std::lock_guard<std::mutex> wake_lock(wake_mu_); }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  // Worker threads push to their own queue (the back, where they also pop:
+  // depth-first execution keeps the working set hot); external threads spray
+  // round-robin.
+  int target;
+  if (tls_pool == this && tls_worker_index >= 0) {
+    target = tls_worker_index;
+  } else {
+    target = static_cast<int>(next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                              workers_.size());
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[static_cast<size_t>(target)]->mu);
+    workers_[static_cast<size_t>(target)]->queue.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  // Empty critical section: a worker that evaluated the wait predicate before
+  // our increment is either fully asleep (notify reaches it) or still holds
+  // wake_mu_ and will re-check the predicate — no lost wakeup either way.
+  { std::lock_guard<std::mutex> wake_lock(wake_mu_); }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::PopTask(int self_index, std::function<void()>* task) {
+  const int n = num_threads();
+  // Own queue first (LIFO), then steal round-robin (FIFO).
+  if (self_index >= 0) {
+    Worker& own = *workers_[static_cast<size_t>(self_index)];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.queue.empty()) {
+      *task = std::move(own.queue.back());
+      own.queue.pop_back();
+      return true;
+    }
+  }
+  const int start = self_index >= 0 ? self_index + 1 : 0;
+  for (int k = 0; k < n; ++k) {
+    Worker& victim = *workers_[static_cast<size_t>((start + k) % n)];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.queue.empty()) {
+      *task = std::move(victim.queue.front());
+      victim.queue.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::TryRunOneTask() {
+  std::function<void()> task;
+  const int self = tls_pool == this ? tls_worker_index : -1;
+  if (!PopTask(self, &task)) return false;
+  queued_.fetch_sub(1, std::memory_order_acquire);
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(int index) {
+  tls_pool = this;
+  tls_worker_index = index;
+  while (true) {
+    std::function<void()> task;
+    if (PopTask(index, &task)) {
+      queued_.fetch_sub(1, std::memory_order_acquire);
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+Status ThreadPool::ParallelFor(
+    int64_t total, int64_t morsel_rows,
+    const std::function<Status(int64_t, int64_t, int)>& fn) {
+  if (total <= 0) return Status::OK();
+  if (morsel_rows <= 0) morsel_rows = DefaultMorselRows();
+  const int64_t num_morsels = (total + morsel_rows - 1) / morsel_rows;
+  if (num_morsels == 1) return fn(0, total, 0);
+
+  struct ForState {
+    std::atomic<int64_t> cursor{0};
+    std::atomic<int> unfinished_helpers{0};
+    std::atomic<bool> failed{false};
+    std::mutex mu;
+    Status first_error = Status::OK();
+    std::condition_variable done_cv;
+  };
+  auto state = std::make_shared<ForState>();
+
+  auto drain = [state, fn, total, morsel_rows, num_morsels](int slot) {
+    while (!state->failed.load(std::memory_order_acquire)) {
+      const int64_t m = state->cursor.fetch_add(1, std::memory_order_relaxed);
+      if (m >= num_morsels) break;
+      const int64_t begin = m * morsel_rows;
+      const int64_t end = std::min(total, begin + morsel_rows);
+      Status st = fn(begin, end, slot);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (state->first_error.ok()) state->first_error = std::move(st);
+        state->failed.store(true, std::memory_order_release);
+      }
+    }
+  };
+
+  const int helpers = static_cast<int>(
+      std::min<int64_t>(num_threads(), num_morsels - 1));
+  state->unfinished_helpers.store(helpers, std::memory_order_relaxed);
+  for (int h = 0; h < helpers; ++h) {
+    // Slot 0 is the caller; helper h owns slot h + 1.
+    Submit([state, drain, h] {
+      drain(h + 1);
+      if (state->unfinished_helpers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->done_cv.notify_all();
+      }
+    });
+  }
+  drain(0);
+  // Wait for every helper to exit before returning: `fn` may reference caller
+  // stack state. While waiting, keep executing pool tasks — the helpers might
+  // be queued behind other work (including other ParallelFors), and running
+  // it here is what makes nested waits deadlock-free.
+  while (state->unfinished_helpers.load(std::memory_order_acquire) > 0) {
+    if (TryRunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+      return state->unfinished_helpers.load(std::memory_order_acquire) == 0;
+    });
+  }
+  std::lock_guard<std::mutex> lock(state->mu);
+  return state->first_error;
+}
+
+Status ThreadPool::ParallelFor(int64_t total, int64_t morsel_rows,
+                               const std::function<Status(int64_t, int64_t)>& fn) {
+  return ParallelFor(total, morsel_rows,
+                     [&fn](int64_t b, int64_t e, int) { return fn(b, e); });
+}
+
+}  // namespace tqp::runtime

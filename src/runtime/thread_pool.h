@@ -1,0 +1,97 @@
+#ifndef TQP_RUNTIME_THREAD_POOL_H_
+#define TQP_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tqp::runtime {
+
+/// \brief Work-stealing thread pool: one task deque per worker; owners pop
+/// LIFO from the back (cache locality), thieves steal FIFO from the front
+/// (oldest — and typically largest — work first). External submissions are
+/// spread round-robin.
+///
+/// Two properties matter for the query runtime built on top:
+///  - Tasks may submit further tasks (a TaskGraph node enqueues its ready
+///    successors; a kernel fans out morsels).
+///  - Blocking waits cooperate: ParallelFor and TaskGraph::Run run queued
+///    tasks on the waiting thread instead of sleeping, so nested parallelism
+///    cannot deadlock even when every worker is inside a wait.
+class ThreadPool {
+ public:
+  /// `num_threads <= 0` selects DefaultThreadCount(). A pool of size 1 still
+  /// spawns one worker (callers wanting strictly serial execution should not
+  /// use a pool at all).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueues `task` for asynchronous execution. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// \brief Executes one queued task on the calling thread if any is
+  /// available (own queue first when called from a worker, then steal).
+  /// Returns false when every queue was empty.
+  bool TryRunOneTask();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// \brief Morsel-driven parallel for over [0, total): splits the range into
+  /// morsels of `morsel_rows` (<=0 selects DefaultMorselRows()) which workers
+  /// claim from a shared atomic cursor. `fn(begin, end, slot)` runs for each
+  /// morsel; `slot` is a dense id in [0, max slots) stable for the duration
+  /// of one morsel and usable to index thread-local partial states (the same
+  /// slot value is reused by at most one thread at a time).
+  ///
+  /// The calling thread participates (slot 0). The first non-OK status cancels
+  /// remaining morsels and is returned once all in-flight morsels finish.
+  Status ParallelFor(int64_t total, int64_t morsel_rows,
+                     const std::function<Status(int64_t, int64_t, int)>& fn);
+
+  /// \brief Convenience overload without a slot id.
+  Status ParallelFor(int64_t total, int64_t morsel_rows,
+                     const std::function<Status(int64_t, int64_t)>& fn);
+
+  /// \brief Upper bound on the `slot` values ParallelFor passes to `fn`
+  /// (callers size thread-local state arrays with this).
+  int max_parallel_slots() const { return num_threads() + 1; }
+
+  /// \brief The process-wide pool, created on first use with
+  /// DefaultThreadCount() workers. Never destroyed (detached at exit).
+  static ThreadPool* Global();
+
+  /// \brief Worker count for default-constructed pools: the TQP_THREADS env
+  /// var when set and positive, else std::thread::hardware_concurrency().
+  static int DefaultThreadCount();
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> queue;
+    std::mutex mu;
+  };
+
+  void WorkerLoop(int index);
+  bool PopTask(int self_index, std::function<void()>* task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<int64_t> queued_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> next_queue_{0};
+};
+
+}  // namespace tqp::runtime
+
+#endif  // TQP_RUNTIME_THREAD_POOL_H_

@@ -96,7 +96,8 @@ TEST(DifferentialTest, RandomQueriesAgreeAcrossAllEngines) {
     const Table oracle = std::move(oracle_or).ValueOrDie();
 
     for (ExecutorTarget target :
-         {ExecutorTarget::kEager, ExecutorTarget::kStatic, ExecutorTarget::kInterp}) {
+         {ExecutorTarget::kEager, ExecutorTarget::kStatic, ExecutorTarget::kInterp,
+        ExecutorTarget::kParallel}) {
       CompileOptions options;
       options.target = target;
       auto result = compiler.CompileSql(sql, catalog, options);
@@ -179,7 +180,8 @@ TEST(DifferentialTest, SubqueryFeaturesAgreeAcrossAllEngines) {
     const Table oracle = std::move(oracle_or).ValueOrDie();
 
     for (ExecutorTarget target :
-         {ExecutorTarget::kEager, ExecutorTarget::kStatic, ExecutorTarget::kInterp}) {
+         {ExecutorTarget::kEager, ExecutorTarget::kStatic, ExecutorTarget::kInterp,
+        ExecutorTarget::kParallel}) {
       CompileOptions options;
       options.target = target;
       auto result = compiler.CompileSql(sql, catalog, options);

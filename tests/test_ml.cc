@@ -112,7 +112,8 @@ TEST_P(TreeStrategyTest, CompiledTreeMatchesScalarReference) {
           .ValueOrDie();
   program->MarkOutput(out);
   for (ExecutorTarget target :
-       {ExecutorTarget::kEager, ExecutorTarget::kStatic, ExecutorTarget::kInterp}) {
+       {ExecutorTarget::kEager, ExecutorTarget::kStatic, ExecutorTarget::kInterp,
+        ExecutorTarget::kParallel}) {
     auto executor = MakeExecutor(target, program).ValueOrDie();
     std::vector<Tensor> outputs = executor->Run({x}).ValueOrDie();
     for (int64_t i = 0; i < n; ++i) {
@@ -257,7 +258,8 @@ TEST_F(PredictionQueryTest, Figure4SentimentQueryMatchesOracle) {
   Table oracle = volcano.ExecuteSql(sql).ValueOrDie();
   QueryCompiler compiler(registry_);
   for (ExecutorTarget target :
-       {ExecutorTarget::kEager, ExecutorTarget::kStatic, ExecutorTarget::kInterp}) {
+       {ExecutorTarget::kEager, ExecutorTarget::kStatic, ExecutorTarget::kInterp,
+        ExecutorTarget::kParallel}) {
     CompileOptions options;
     options.target = target;
     Table result =

@@ -239,8 +239,12 @@ TEST(PhysicalPlannerTest, AlgorithmChoicesApplied) {
       "GROUP BY tag",
       catalog, options).ValueOrDie();
   std::function<void(const PlanNode&)> check = [&](const PlanNode& node) {
-    if (node.kind == PlanKind::kJoin) EXPECT_EQ(node.join_algo, JoinAlgo::kHash);
-    if (node.kind == PlanKind::kAggregate) EXPECT_EQ(node.agg_algo, AggAlgo::kHash);
+    if (node.kind == PlanKind::kJoin) {
+      EXPECT_EQ(node.join_algo, JoinAlgo::kHash);
+    }
+    if (node.kind == PlanKind::kAggregate) {
+      EXPECT_EQ(node.agg_algo, AggAlgo::kHash);
+    }
     for (const PlanPtr& c : node.children) check(*c);
   };
   check(*plan);

@@ -1,0 +1,633 @@
+// Tests for the morsel-driven parallel runtime: thread-pool correctness under
+// stress and nesting, task-graph dependency ordering and error propagation,
+// exactness of the morsel-parallel kernels/operators against their serial
+// counterparts, bit-identical ParallelExecutor results on TPC-H and ML
+// prediction pipelines at several thread counts, and the concurrent
+// query-session layer (scheduler, admission queue, LRU plan cache).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "baseline/columnar.h"
+#include "common/random.h"
+#include "compile/compiler.h"
+#include "datasets/iris.h"
+#include "kernels/kernels.h"
+#include "ml/linear.h"
+#include "ml/tree.h"
+#include "runtime/runtime.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace tqp {
+namespace {
+
+using runtime::ParallelContext;
+using runtime::TaskGraph;
+using runtime::ThreadPool;
+
+// ---- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPoolTest, SubmitStress) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 10000;
+  std::atomic<int> done{0};
+  std::promise<void> all_done;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      if (done.fetch_add(1, std::memory_order_acq_rel) == kTasks - 1) {
+        all_done.set_value();
+      }
+    });
+  }
+  all_done.get_future().wait();
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, TasksSubmittedFromWorkersRun) {
+  ThreadPool pool(3);
+  constexpr int kParents = 100;
+  std::atomic<int> done{0};
+  std::promise<void> all_done;
+  for (int i = 0; i < kParents; ++i) {
+    pool.Submit([&] {
+      pool.Submit([&] {  // child task enqueued from a worker thread
+        if (done.fetch_add(1, std::memory_order_acq_rel) == kParents - 1) {
+          all_done.set_value();
+        }
+      });
+    });
+  }
+  all_done.get_future().wait();
+  EXPECT_EQ(done.load(), kParents);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kTotal = 100001;  // deliberately not a morsel multiple
+  std::vector<std::atomic<int>> seen(kTotal);
+  for (auto& s : seen) s.store(0);
+  ASSERT_TRUE(pool.ParallelFor(kTotal, 997, [&](int64_t b, int64_t e) -> Status {
+                    for (int64_t i = b; i < e; ++i) {
+                      seen[static_cast<size_t>(i)].fetch_add(1);
+                    }
+                    return Status::OK();
+                  })
+                  .ok());
+  for (int64_t i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(seen[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForSlotPartialsSumExactly) {
+  ThreadPool pool(4);
+  constexpr int64_t kTotal = 200000;
+  std::vector<int64_t> partial(static_cast<size_t>(pool.max_parallel_slots()), 0);
+  ASSERT_TRUE(pool.ParallelFor(kTotal, 1024,
+                               [&](int64_t b, int64_t e, int slot) -> Status {
+                                 for (int64_t i = b; i < e; ++i) {
+                                   partial[static_cast<size_t>(slot)] += i;
+                                 }
+                                 return Status::OK();
+                               })
+                  .ok());
+  int64_t sum = 0;
+  for (int64_t p : partial) sum += p;
+  EXPECT_EQ(sum, kTotal * (kTotal - 1) / 2);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstError) {
+  ThreadPool pool(4);
+  const Status st = pool.ParallelFor(10000, 100, [&](int64_t b, int64_t) -> Status {
+    if (b >= 5000) return Status::Invalid("boom at " + std::to_string(b));
+    return Status::OK();
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);  // small pool makes worker starvation most likely
+  std::atomic<int64_t> total{0};
+  ASSERT_TRUE(pool.ParallelFor(8, 1, [&](int64_t ob, int64_t oe) -> Status {
+                    for (int64_t o = ob; o < oe; ++o) {
+                      TQP_RETURN_NOT_OK(
+                          pool.ParallelFor(1000, 50, [&](int64_t b, int64_t e) -> Status {
+                            total.fetch_add(e - b);
+                            return Status::OK();
+                          }));
+                    }
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(total.load(), 8 * 1000);
+}
+
+// ---- TaskGraph -------------------------------------------------------------
+
+TEST(TaskGraphTest, RespectsDependencies) {
+  ThreadPool pool(4);
+  TaskGraph graph;
+  std::mutex mu;
+  std::vector<int> order;
+  auto record = [&](int id) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(id);
+    return Status::OK();
+  };
+  // Diamond with a tail: 0 -> {1, 2} -> 3 -> 4.
+  const int a = graph.AddTask([&] { return record(0); });
+  const int b = graph.AddTask([&] { return record(1); }, {a});
+  const int c = graph.AddTask([&] { return record(2); }, {a});
+  const int d = graph.AddTask([&] { return record(3); }, {b, c});
+  graph.AddTask([&] { return record(4); }, {d});
+  ASSERT_TRUE(graph.Run(&pool).ok());
+  ASSERT_EQ(order.size(), 5u);
+  auto pos = [&](int id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(0), pos(2));
+  EXPECT_LT(pos(1), pos(3));
+  EXPECT_LT(pos(2), pos(3));
+  EXPECT_LT(pos(3), pos(4));
+}
+
+TEST(TaskGraphTest, IndependentSubtreesAllExecute) {
+  ThreadPool pool(4);
+  TaskGraph graph;
+  std::atomic<int> ran{0};
+  std::vector<int> leaves;
+  for (int t = 0; t < 8; ++t) {
+    const int root = graph.AddTask([&] { ++ran; return Status::OK(); });
+    const int mid = graph.AddTask([&] { ++ran; return Status::OK(); }, {root});
+    leaves.push_back(mid);
+  }
+  graph.AddTask([&] { ++ran; return Status::OK(); }, leaves);
+  ASSERT_TRUE(graph.Run(&pool).ok());
+  EXPECT_EQ(ran.load(), 17);
+}
+
+TEST(TaskGraphTest, ErrorCancelsDependents) {
+  ThreadPool pool(4);
+  TaskGraph graph;
+  std::atomic<bool> downstream_ran{false};
+  const int a = graph.AddTask([] { return Status::OK(); });
+  const int failing =
+      graph.AddTask([] { return Status::Internal("task failed"); }, {a});
+  graph.AddTask(
+      [&] {
+        downstream_ran.store(true);
+        return Status::OK();
+      },
+      {failing});
+  const Status st = graph.Run(&pool);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_FALSE(downstream_ran.load());
+}
+
+TEST(TaskGraphTest, SerialFallbackRunsInInsertionOrder) {
+  TaskGraph graph;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    graph.AddTask([&order, i] {
+      order.push_back(i);
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(graph.Run(nullptr).ok());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+// ---- Parallel kernels / operators: exactness vs serial ---------------------
+
+void ExpectTensorsIdentical(const Tensor& got, const Tensor& want,
+                            const std::string& what) {
+  ASSERT_EQ(got.dtype(), want.dtype()) << what;
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  if (want.numel() > 0) {
+    ASSERT_EQ(std::memcmp(got.raw_data(), want.raw_data(),
+                          static_cast<size_t>(want.nbytes())),
+              0)
+        << what << ": payload differs";
+  }
+}
+
+ParallelContext SmallMorselContext(ThreadPool* pool) {
+  ParallelContext ctx;
+  ctx.pool = pool;
+  ctx.morsel_rows = 1000;  // force many morsels at test sizes
+  ctx.min_parallel_rows = 128;
+  return ctx;
+}
+
+TEST(ParallelKernelTest, ElementwiseMatchesSerial) {
+  ThreadPool pool(4);
+  const ParallelContext ctx = SmallMorselContext(&pool);
+  Rng rng(123);
+  const int64_t n = 50000;
+  Tensor a = Tensor::Empty(DType::kFloat64, n, 1).ValueOrDie();
+  Tensor b = Tensor::Empty(DType::kFloat64, n, 1).ValueOrDie();
+  for (int64_t i = 0; i < n; ++i) {
+    a.mutable_data<double>()[i] = rng.UniformDouble(-10, 10);
+    b.mutable_data<double>()[i] = rng.UniformDouble(-10, 10);
+  }
+  for (BinaryOpKind op : {BinaryOpKind::kAdd, BinaryOpKind::kMul,
+                          BinaryOpKind::kDiv, BinaryOpKind::kMax}) {
+    ExpectTensorsIdentical(
+        runtime::ParallelBinaryOp(ctx, op, a, b).ValueOrDie(),
+        kernels::BinaryOp(op, a, b).ValueOrDie(), "binary op");
+  }
+  // Broadcast scalar rhs.
+  Tensor s = Tensor::Full(DType::kFloat64, 1, 1, 2.5).ValueOrDie();
+  ExpectTensorsIdentical(
+      runtime::ParallelBinaryOp(ctx, BinaryOpKind::kMul, a, s).ValueOrDie(),
+      kernels::BinaryOp(BinaryOpKind::kMul, a, s).ValueOrDie(), "broadcast mul");
+  ExpectTensorsIdentical(
+      runtime::ParallelCompare(ctx, CompareOpKind::kLt, a, b).ValueOrDie(),
+      kernels::Compare(CompareOpKind::kLt, a, b).ValueOrDie(), "compare");
+  ExpectTensorsIdentical(runtime::ParallelUnary(ctx, UnaryOpKind::kExp, a).ValueOrDie(),
+                         kernels::Unary(UnaryOpKind::kExp, a).ValueOrDie(), "unary");
+  ExpectTensorsIdentical(runtime::ParallelCast(ctx, a, DType::kFloat32).ValueOrDie(),
+                         kernels::Cast(a, DType::kFloat32).ValueOrDie(), "cast");
+  Tensor mask = kernels::Compare(CompareOpKind::kGt, a, b).ValueOrDie();
+  ExpectTensorsIdentical(runtime::ParallelWhere(ctx, mask, a, b).ValueOrDie(),
+                         kernels::Where(mask, a, b).ValueOrDie(), "where");
+  ExpectTensorsIdentical(runtime::ParallelNonzero(ctx, mask).ValueOrDie(),
+                         kernels::Nonzero(mask).ValueOrDie(), "nonzero");
+  ExpectTensorsIdentical(runtime::ParallelCompress(ctx, a, mask).ValueOrDie(),
+                         kernels::Compress(a, mask).ValueOrDie(), "compress");
+}
+
+TEST(ParallelKernelTest, ReductionsMatchSerial) {
+  ThreadPool pool(4);
+  const ParallelContext ctx = SmallMorselContext(&pool);
+  Rng rng(321);
+  const int64_t n = 60000;
+  Tensor ints = Tensor::Empty(DType::kInt64, n, 1).ValueOrDie();
+  Tensor doubles = Tensor::Empty(DType::kFloat64, n, 1).ValueOrDie();
+  Tensor ids = Tensor::Empty(DType::kInt64, n, 1).ValueOrDie();
+  const int64_t groups = 37;
+  for (int64_t i = 0; i < n; ++i) {
+    ints.mutable_data<int64_t>()[i] = rng.Uniform(-1000, 1000);
+    doubles.mutable_data<double>()[i] = rng.UniformDouble(-5, 5);
+    ids.mutable_data<int64_t>()[i] = rng.Uniform(0, groups - 1);
+  }
+  for (ReduceOpKind op : {ReduceOpKind::kSum, ReduceOpKind::kMin,
+                          ReduceOpKind::kMax, ReduceOpKind::kCount}) {
+    ExpectTensorsIdentical(runtime::ParallelReduceAll(ctx, op, ints).ValueOrDie(),
+                           kernels::ReduceAll(op, ints).ValueOrDie(),
+                           "reduce_all int");
+    // Float sums take the serial path internally; min/max/count parallelize.
+    ExpectTensorsIdentical(runtime::ParallelReduceAll(ctx, op, doubles).ValueOrDie(),
+                           kernels::ReduceAll(op, doubles).ValueOrDie(),
+                           "reduce_all double");
+    ExpectTensorsIdentical(
+        runtime::ParallelSegmentedReduce(ctx, op, ints, ids, groups).ValueOrDie(),
+        kernels::SegmentedReduce(op, ints, ids, groups).ValueOrDie(),
+        "segmented int");
+    ExpectTensorsIdentical(
+        runtime::ParallelSegmentedReduce(ctx, op, doubles, ids, groups).ValueOrDie(),
+        kernels::SegmentedReduce(op, doubles, ids, groups).ValueOrDie(),
+        "segmented double");
+  }
+  // Out-of-range segment ids fail in both.
+  ids.mutable_data<int64_t>()[n / 2] = groups + 5;
+  EXPECT_FALSE(runtime::ParallelSegmentedReduce(ctx, ReduceOpKind::kSum, ints, ids,
+                                                groups)
+                   .ok());
+}
+
+TEST(ParallelKernelTest, StableArgsortMatchesSerial) {
+  ThreadPool pool(4);
+  const ParallelContext ctx = SmallMorselContext(&pool);
+  Rng rng(99);
+  const int64_t n = 80000;
+  // Heavy duplication stresses stability: any instability would reorder ties.
+  Tensor keys = Tensor::Empty(DType::kInt64, n, 1).ValueOrDie();
+  for (int64_t i = 0; i < n; ++i) {
+    keys.mutable_data<int64_t>()[i] = rng.Uniform(0, 50);
+  }
+  for (bool ascending : {true, false}) {
+    ExpectTensorsIdentical(
+        runtime::ParallelArgsortRows(ctx, keys, ascending).ValueOrDie(),
+        kernels::ArgsortRows(keys, ascending).ValueOrDie(), "argsort int64");
+  }
+  Tensor sorted = kernels::Gather(
+                      keys, kernels::ArgsortRows(keys, true).ValueOrDie())
+                      .ValueOrDie();
+  Tensor probes = Tensor::Empty(DType::kInt64, n, 1).ValueOrDie();
+  for (int64_t i = 0; i < n; ++i) {
+    probes.mutable_data<int64_t>()[i] = rng.Uniform(-5, 55);
+  }
+  for (bool right : {false, true}) {
+    ExpectTensorsIdentical(
+        runtime::ParallelSearchSorted(ctx, sorted, probes, right).ValueOrDie(),
+        kernels::SearchSorted(sorted, probes, right).ValueOrDie(), "searchsorted");
+  }
+}
+
+TEST(ParallelOperatorTest, HashJoinMatchesSerial) {
+  ThreadPool pool(4);
+  ParallelContext ctx = SmallMorselContext(&pool);
+  Rng rng(7);
+  const int64_t l = 30000;
+  const int64_t r = 20000;
+  // Narrow key domain: plenty of duplicates, so chain order matters.
+  Tensor lk = Tensor::Empty(DType::kInt64, l, 1).ValueOrDie();
+  Tensor rk = Tensor::Empty(DType::kInt64, r, 1).ValueOrDie();
+  for (int64_t i = 0; i < l; ++i) lk.mutable_data<int64_t>()[i] = rng.Uniform(0, 5000);
+  for (int64_t i = 0; i < r; ++i) rk.mutable_data<int64_t>()[i] = rng.Uniform(0, 5000);
+  const auto serial = op::HashJoinIndices(lk, rk).ValueOrDie();
+  const auto parallel = runtime::ParallelHashJoinIndices(ctx, lk, rk).ValueOrDie();
+  ExpectTensorsIdentical(parallel.left_ids, serial.left_ids, "join left ids");
+  ExpectTensorsIdentical(parallel.right_ids, serial.right_ids, "join right ids");
+  for (bool anti : {false, true}) {
+    ExpectTensorsIdentical(
+        runtime::ParallelSemiJoinIndices(ctx, lk, rk, anti).ValueOrDie(),
+        op::SemiJoinIndices(lk, rk, anti).ValueOrDie(), "semi join");
+  }
+}
+
+TEST(ParallelOperatorTest, HashGroupByMatchesSerial) {
+  ThreadPool pool(4);
+  ParallelContext ctx = SmallMorselContext(&pool);
+  Rng rng(8);
+  const int64_t n = 40000;
+  Tensor k1 = Tensor::Empty(DType::kInt64, n, 1).ValueOrDie();
+  Tensor k2 = Tensor::Empty(DType::kInt64, n, 1).ValueOrDie();
+  Tensor vals = Tensor::Empty(DType::kInt64, n, 1).ValueOrDie();
+  for (int64_t i = 0; i < n; ++i) {
+    k1.mutable_data<int64_t>()[i] = rng.Uniform(0, 40);
+    k2.mutable_data<int64_t>()[i] = rng.Uniform(0, 25);
+    vals.mutable_data<int64_t>()[i] = rng.Uniform(-100, 100);
+  }
+  const auto serial = op::HashGroupIds({k1, k2}).ValueOrDie();
+  const auto parallel = runtime::ParallelHashGroupIds(ctx, {k1, k2}).ValueOrDie();
+  EXPECT_EQ(parallel.num_groups, serial.num_groups);
+  ExpectTensorsIdentical(parallel.group_ids, serial.group_ids, "group ids");
+  ExpectTensorsIdentical(parallel.representatives, serial.representatives,
+                         "group representatives");
+  for (ReduceOpKind op : {ReduceOpKind::kSum, ReduceOpKind::kCount,
+                          ReduceOpKind::kMin, ReduceOpKind::kMax}) {
+    ExpectTensorsIdentical(
+        runtime::ParallelGroupedReduce(ctx, op, vals, serial).ValueOrDie(),
+        op::GroupedReduce(op, vals, serial).ValueOrDie(), "grouped reduce");
+  }
+}
+
+// ---- ParallelExecutor: differential against InterpExecutor -----------------
+
+void ExpectTablesIdentical(const Table& got, const Table& want,
+                           const std::string& what) {
+  ASSERT_EQ(got.num_columns(), want.num_columns()) << what;
+  ASSERT_EQ(got.num_rows(), want.num_rows()) << what;
+  for (int c = 0; c < want.num_columns(); ++c) {
+    ASSERT_EQ(got.schema().field(c).name, want.schema().field(c).name) << what;
+    ExpectTensorsIdentical(got.column(c).tensor(), want.column(c).tensor(),
+                           what + " column " + want.schema().field(c).name);
+  }
+}
+
+class RuntimeTpchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::DbgenOptions options;
+    options.scale_factor = 0.01;
+    TQP_CHECK_OK(tpch::GenerateAll(options, catalog_));
+  }
+  static Catalog* catalog_;
+};
+
+Catalog* RuntimeTpchTest::catalog_ = nullptr;
+
+TEST_F(RuntimeTpchTest, ParallelExecutorBitIdenticalToInterpOnTpch) {
+  QueryCompiler compiler;
+  for (int q : {1, 3, 6}) {
+    const std::string sql = tpch::QueryText(q).ValueOrDie();
+    CompileOptions interp_options;
+    interp_options.target = ExecutorTarget::kInterp;
+    Table reference = compiler.CompileSql(sql, *catalog_, interp_options)
+                          .ValueOrDie()
+                          .Run(*catalog_)
+                          .ValueOrDie();
+    for (int threads : {1, 2, 8}) {
+      CompileOptions par_options;
+      par_options.target = ExecutorTarget::kParallel;
+      par_options.num_threads = threads;
+      par_options.morsel_rows = 1000;  // many morsels even at SF 0.01
+      Table result = compiler.CompileSql(sql, *catalog_, par_options)
+                         .ValueOrDie()
+                         .Run(*catalog_)
+                         .ValueOrDie();
+      ExpectTablesIdentical(result, reference,
+                            "Q" + std::to_string(q) + " at " +
+                                std::to_string(threads) + " threads");
+    }
+  }
+}
+
+TEST_F(RuntimeTpchTest, ColumnarEngineWithPoolMatchesSerialColumnar) {
+  // The columnar baseline's hash join/semi-join/group-by operators run
+  // morsel-parallel when given a pool; output must be identical.
+  ThreadPool pool(4);
+  ColumnarEngine serial(catalog_);
+  ColumnarEngine parallel(catalog_, nullptr, DeviceKind::kCpu,
+                          /*charge_transfers=*/true, &pool);
+  for (int q : {1, 3, 4, 10}) {  // joins, semi-join (Q4), multi-key group-by
+    const std::string sql = tpch::QueryText(q).ValueOrDie();
+    Table expected = serial.ExecuteSql(sql).ValueOrDie();
+    Table got = parallel.ExecuteSql(sql).ValueOrDie();
+    ExpectTablesIdentical(got, expected, "columnar Q" + std::to_string(q));
+  }
+}
+
+TEST(RuntimeMlTest, ParallelExecutorBitIdenticalToInterpOnPredictionPipeline) {
+  Catalog catalog;
+  ml::ModelRegistry registry;
+  Table iris = datasets::IrisTable().ValueOrDie();
+  catalog.RegisterTable("iris", iris);
+  Tensor features = Tensor::Empty(DType::kFloat64, iris.num_rows(), 3).ValueOrDie();
+  Tensor target = Tensor::Empty(DType::kFloat64, iris.num_rows(), 1).ValueOrDie();
+  for (int64_t i = 0; i < iris.num_rows(); ++i) {
+    for (int f = 0; f < 3; ++f) {
+      features.mutable_data<double>()[i * 3 + f] =
+          iris.column(f).tensor().at<double>(i);
+    }
+    target.mutable_data<double>()[i] = iris.column(3).tensor().at<double>(i);
+  }
+  registry.Register(
+      ml::LinearRegressionModel::Fit("petal_lr", features, target).ValueOrDie());
+  ml::RandomForestModel::FitOptions forest_options;
+  forest_options.num_trees = 5;
+  registry.Register(
+      ml::RandomForestModel::Fit("petal_rf", features, target, forest_options)
+          .ValueOrDie());
+  QueryCompiler compiler(&registry);
+  for (const char* model : {"petal_lr", "petal_rf"}) {
+    const std::string sql =
+        std::string("SELECT species, AVG(PREDICT('") + model +
+        "', sepal_length, sepal_width, petal_length)) AS predicted_width "
+        "FROM iris GROUP BY species ORDER BY species";
+    CompileOptions interp_options;
+    interp_options.target = ExecutorTarget::kInterp;
+    Table reference = compiler.CompileSql(sql, catalog, interp_options)
+                          .ValueOrDie()
+                          .Run(catalog)
+                          .ValueOrDie();
+    for (int threads : {1, 2, 8}) {
+      CompileOptions par_options;
+      par_options.target = ExecutorTarget::kParallel;
+      par_options.num_threads = threads;
+      par_options.morsel_rows = 16;  // iris is tiny; force real morsel fan-out
+      Table result = compiler.CompileSql(sql, catalog, par_options)
+                         .ValueOrDie()
+                         .Run(catalog)
+                         .ValueOrDie();
+      ExpectTablesIdentical(result, reference,
+                            std::string(model) + " at " + std::to_string(threads) +
+                                " threads");
+    }
+  }
+}
+
+// ---- Plan cache + session layer --------------------------------------------
+
+TEST(PlanCacheTest, NormalizeSqlCanonicalizes) {
+  EXPECT_EQ(runtime::NormalizeSql("SELECT  *\n FROM t ;"), "select * from t");
+  EXPECT_EQ(runtime::NormalizeSql("select * from t"),
+            runtime::NormalizeSql("  SELECT *   FROM T"));
+  // Literal case and spacing are significant.
+  EXPECT_EQ(runtime::NormalizeSql("SELECT 'A  B' FROM t"), "select 'A  B' from t");
+  EXPECT_NE(runtime::NormalizeSql("SELECT 'ABC' FROM t"),
+            runtime::NormalizeSql("SELECT 'abc' FROM t"));
+  // Escaped quote inside a literal does not end the literal.
+  EXPECT_EQ(runtime::NormalizeSql("SELECT 'it''S' FROM T"), "select 'it''S' from t");
+}
+
+TEST(PlanCacheTest, LruEvictionAndHitCounting) {
+  runtime::PlanCache cache(2);
+  CompileOptions options;
+  auto plan = std::make_shared<const CompiledQuery>();
+  cache.Insert("q1", options, plan);
+  cache.Insert("q2", options, plan);
+  EXPECT_EQ(cache.Lookup("q1", options), plan);  // bumps q1
+  cache.Insert("q3", options, plan);             // evicts q2 (LRU)
+  EXPECT_EQ(cache.Lookup("q2", options), nullptr);
+  EXPECT_NE(cache.Lookup("q1", options), nullptr);
+  EXPECT_NE(cache.Lookup("q3", options), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 3);
+  EXPECT_EQ(cache.misses(), 1);
+  // The same text on a different backend is a different plan.
+  CompileOptions other;
+  other.target = ExecutorTarget::kInterp;
+  EXPECT_EQ(cache.Lookup("q1", other), nullptr);
+}
+
+class SessionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::DbgenOptions options;
+    options.scale_factor = 0.005;
+    TQP_CHECK_OK(tpch::GenerateAll(options, catalog_));
+  }
+  static Catalog* catalog_;
+};
+
+Catalog* SessionTest::catalog_ = nullptr;
+
+TEST_F(SessionTest, ConcurrentSessionsProduceIdenticalResults) {
+  runtime::SchedulerOptions options;
+  options.max_concurrent = 4;
+  runtime::QueryScheduler scheduler(catalog_, options);
+  const std::string sql = tpch::QueryText(6).ValueOrDie();
+
+  QueryCompiler compiler;
+  CompileOptions direct;
+  direct.target = ExecutorTarget::kParallel;
+  Table expected = compiler.CompileSql(sql, *catalog_, direct)
+                       .ValueOrDie()
+                       .Run(*catalog_)
+                       .ValueOrDie();
+
+  constexpr int kSessions = 12;
+  std::vector<std::future<runtime::QueryOutcome>> futures;
+  for (int i = 0; i < kSessions; ++i) {
+    auto future_or = scheduler.Submit(sql);
+    ASSERT_TRUE(future_or.ok()) << future_or.status().ToString();
+    futures.push_back(std::move(future_or).ValueOrDie());
+  }
+  int compiles = 0;
+  for (auto& f : futures) {
+    runtime::QueryOutcome outcome = f.get();
+    ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    ExpectTablesIdentical(outcome.table, expected, "concurrent session result");
+    EXPECT_GE(outcome.stats.exec_nanos, 0);
+    if (!outcome.stats.cache_hit) ++compiles;
+  }
+  const auto counters = scheduler.counters();
+  EXPECT_EQ(counters.admitted, kSessions);
+  EXPECT_EQ(counters.completed, kSessions);
+  EXPECT_EQ(counters.failed, 0);
+  // In-flight dedup: concurrent workers with the same statement wait for the
+  // first compilation instead of compiling redundantly.
+  EXPECT_EQ(compiles, 1);
+  EXPECT_EQ(scheduler.plan_cache().size(), 1u);
+}
+
+TEST_F(SessionTest, SerialSchedulerHitsPlanCacheDeterministically) {
+  runtime::SchedulerOptions options;
+  options.max_concurrent = 1;
+  runtime::QueryScheduler scheduler(catalog_, options);
+  runtime::QuerySession session(&scheduler, "alice");
+  // Whitespace/case variants of one statement share a single plan.
+  const std::vector<std::string> variants = {
+      "SELECT COUNT(*) AS n FROM region",
+      "select count(*)   AS n FROM region",
+      "  SELECT COUNT(*) as n from region ;",
+  };
+  for (const std::string& sql : variants) {
+    auto result = session.Execute(sql);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.ValueOrDie().num_rows(), 1);
+  }
+  EXPECT_EQ(session.queries_ok(), static_cast<int64_t>(variants.size()));
+  EXPECT_EQ(scheduler.plan_cache().misses(), 1);
+  EXPECT_EQ(scheduler.plan_cache().hits(),
+            static_cast<int64_t>(variants.size()) - 1);
+}
+
+TEST_F(SessionTest, BoundedAdmissionQueueRejects) {
+  runtime::SchedulerOptions options;
+  options.max_concurrent = 1;
+  options.queue_capacity = 0;  // every submission must be rejected
+  runtime::QueryScheduler scheduler(catalog_, options);
+  auto future_or = scheduler.Submit("SELECT COUNT(*) AS n FROM region");
+  EXPECT_FALSE(future_or.ok());
+  EXPECT_EQ(scheduler.counters().rejected, 1);
+  EXPECT_EQ(scheduler.counters().admitted, 0);
+}
+
+TEST_F(SessionTest, CompileErrorsSurfaceInOutcome) {
+  runtime::QueryScheduler scheduler(catalog_);
+  runtime::QuerySession session(&scheduler, "bob");
+  auto result = session.Execute("SELECT nope FROM missing_table");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(session.queries_failed(), 1);
+  EXPECT_EQ(scheduler.counters().failed, 1);
+}
+
+}  // namespace
+}  // namespace tqp
