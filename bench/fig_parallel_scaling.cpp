@@ -1,7 +1,13 @@
 // Parallel-runtime scaling: serial executors vs the morsel-driven
-// ParallelExecutor on TPC-H at increasing thread counts. Emits JSON (one
-// object) on stdout so future PRs can track the perf trajectory; human
-// summary goes to stderr.
+// ParallelExecutor vs the pipelined morsel-streaming PipelinedExecutor on
+// TPC-H at increasing thread counts. Emits JSON (one object) on stdout so
+// future PRs can track the perf trajectory; human summary goes to stderr.
+//
+// Each timed run also reports a peak-allocation proxy from the process-wide
+// BufferPool (peak live tensor bytes during the run): node-at-a-time
+// execution materializes every intermediate, pipelined execution holds
+// morsel-sized scratch plus pipeline outputs — the materialization win the
+// streaming refactor is after.
 //
 // Usage: fig_parallel_scaling [scale_factor]   (default 0.05)
 
@@ -12,6 +18,7 @@
 
 #include "bench_util.h"
 #include "compile/compiler.h"
+#include "tensor/buffer_pool.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 
@@ -19,10 +26,32 @@ using namespace tqp;  // NOLINT: bench binary
 
 namespace {
 
-double MedianQueryTime(const CompiledQuery& query, const std::vector<Tensor>& inputs,
+struct RunResult {
+  double seconds = 0;
+  double peak_alloc_mb = 0;  // BufferPool peak live bytes during the run
+};
+
+RunResult MeasureQuery(const CompiledQuery& query, const std::vector<Tensor>& inputs,
                        const bench::TimingProtocol& protocol) {
-  return bench::MedianTime(
+  RunResult r;
+  BufferPool::Global()->ResetPeak();
+  r.seconds = bench::MedianTime(
       [&] { TQP_CHECK_OK(query.RunWithInputs(inputs).status()); }, protocol);
+  const BufferPoolStats stats = BufferPool::Global()->stats();
+  r.peak_alloc_mb =
+      static_cast<double>(stats.peak_live_bytes) / (1024.0 * 1024.0);
+  return r;
+}
+
+RunResult MeasureTarget(QueryCompiler& compiler, const Catalog& catalog,
+                        const std::string& sql, ExecutorTarget target, int threads,
+                        const std::vector<Tensor>& inputs,
+                        const bench::TimingProtocol& protocol) {
+  CompileOptions options;
+  options.target = target;
+  options.num_threads = threads;
+  CompiledQuery query = compiler.CompileSql(sql, catalog, options).ValueOrDie();
+  return MeasureQuery(query, inputs, protocol);
 }
 
 }  // namespace
@@ -55,31 +84,40 @@ int main(int argc, char** argv) {
         compiler.CompileSql(sql, catalog, serial_options).ValueOrDie();
     const std::vector<Tensor> inputs =
         serial_query.CollectInputs(catalog).ValueOrDie();
-    const double serial_sec = MedianQueryTime(serial_query, inputs, protocol);
+    const RunResult serial = MeasureQuery(serial_query, inputs, protocol);
 
-    CompileOptions eager_options;
-    eager_options.target = ExecutorTarget::kEager;
-    CompiledQuery eager_query =
-        compiler.CompileSql(sql, catalog, eager_options).ValueOrDie();
-    const double eager_sec = MedianQueryTime(eager_query, inputs, protocol);
+    const RunResult eager = MeasureTarget(compiler, catalog, sql,
+                                          ExecutorTarget::kEager, 0, inputs,
+                                          protocol);
 
     std::printf("    {\"query\": \"Q%d\", \"static_serial_ms\": %.4f, "
-                "\"eager_serial_ms\": %.4f, \"parallel\": [",
-                q, serial_sec * 1e3, eager_sec * 1e3);
+                "\"eager_serial_ms\": %.4f, \"eager_peak_alloc_mb\": %.3f,\n"
+                "     \"backends\": [",
+                q, serial.seconds * 1e3, eager.seconds * 1e3,
+                eager.peak_alloc_mb);
     double best_speedup = 0;
-    for (size_t ti = 0; ti < thread_counts.size(); ++ti) {
-      CompileOptions par_options;
-      par_options.target = ExecutorTarget::kParallel;
-      par_options.num_threads = thread_counts[ti];
-      CompiledQuery par_query =
-          compiler.CompileSql(sql, catalog, par_options).ValueOrDie();
-      const double par_sec = MedianQueryTime(par_query, inputs, protocol);
-      const double speedup = eager_sec / par_sec;
-      best_speedup = std::max(best_speedup, speedup);
-      std::printf("%s{\"threads\": %d, \"ms\": %.4f, \"speedup_vs_eager\": %.3f}",
-                  ti == 0 ? "" : ", ", thread_counts[ti], par_sec * 1e3, speedup);
-      std::fprintf(stderr, "  Q%d @ %d threads: %.3f ms (%.2fx vs eager %.3f ms)\n",
-                   q, thread_counts[ti], par_sec * 1e3, speedup, eager_sec * 1e3);
+    bool first = true;
+    for (ExecutorTarget target :
+         {ExecutorTarget::kParallel, ExecutorTarget::kPipelined}) {
+      for (size_t ti = 0; ti < thread_counts.size(); ++ti) {
+        const RunResult r = MeasureTarget(compiler, catalog, sql, target,
+                                          thread_counts[ti], inputs, protocol);
+        const double speedup = eager.seconds / r.seconds;
+        best_speedup = std::max(best_speedup, speedup);
+        std::printf("%s\n      {\"backend\": \"%s\", \"threads\": %d, "
+                    "\"ms\": %.4f, \"speedup_vs_eager\": %.3f, "
+                    "\"peak_alloc_mb\": %.3f}",
+                    first ? "" : ",", ExecutorTargetName(target),
+                    thread_counts[ti], r.seconds * 1e3, speedup,
+                    r.peak_alloc_mb);
+        first = false;
+        std::fprintf(stderr,
+                     "  Q%d %s @ %d threads: %.3f ms (%.2fx vs eager %.3f ms), "
+                     "peak alloc %.2f MiB (eager %.2f MiB)\n",
+                     q, ExecutorTargetName(target), thread_counts[ti],
+                     r.seconds * 1e3, speedup, eager.seconds * 1e3,
+                     r.peak_alloc_mb, eager.peak_alloc_mb);
+      }
     }
     std::printf("], \"best_speedup_vs_eager\": %.3f}%s\n", best_speedup,
                 qi + 1 < queries.size() ? "," : "");

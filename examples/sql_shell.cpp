@@ -6,9 +6,13 @@
 // Usage: sql_shell [scale_factor]          (default 0.01)
 //
 // Shell commands (everything else is SQL):
-//   \backend eager|static|interp|parallel   choose the tensor executor
-//   \threads <n>                    parallel backend: worker threads (0 = auto)
-//   \morsel <rows>                  parallel backend: rows per morsel (0 = auto)
+//   \backend eager|static|interp|parallel|pipelined
+//                                   choose the tensor executor (pipelined
+//                                   streams morsels through fused operator
+//                                   chains split at pipeline breakers)
+//   \threads <n>                    parallel backends: worker threads (0 = auto)
+//   \morsel <rows>                  parallel backends: rows per morsel (0 = auto)
+//   \pool                           shared thread-pool and buffer-pool stats
 //   \device cpu|gpu                 choose the device (gpu = simulator)
 //   \engine tqp|volcano|columnar    choose the engine family (columnar runs
 //                                   its hash operators morsel-parallel when
@@ -37,6 +41,7 @@
 #include "compile/compiler.h"
 #include "runtime/session.h"
 #include "runtime/thread_pool.h"
+#include "tensor/buffer_pool.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 
@@ -193,6 +198,32 @@ void RunSessions(int n, const std::string& sql, const Catalog& catalog,
       static_cast<long long>(scheduler.plan_cache().misses()));
 }
 
+// Shared-resource report: the process-wide cross-query thread pool that every
+// parallel/pipelined executor and QueryScheduler lands on, and the buffer
+// pool recycling morsel scratch across operators and queries.
+void PrintPoolStats() {
+  runtime::ThreadPool* pool = runtime::ThreadPool::Global();
+  std::printf("shared thread pool: %d worker threads (process-wide; all\n"
+              "  sessions, schedulers and parallel/pipelined executors with\n"
+              "  threads=0 share it)\n",
+              pool->num_threads());
+  const BufferPoolStats stats = BufferPool::Global()->stats();
+  const auto mb = [](int64_t bytes) {
+    return static_cast<double>(bytes) / (1024.0 * 1024.0);
+  };
+  std::printf("buffer pool: cap %.1f MiB cached\n",
+              mb(BufferPool::Global()->max_cached_bytes()));
+  std::printf("  allocations %lld (hits %lld, misses %lld, bypass %lld)\n",
+              static_cast<long long>(stats.allocations),
+              static_cast<long long>(stats.pool_hits),
+              static_cast<long long>(stats.pool_misses),
+              static_cast<long long>(stats.bypass));
+  std::printf("  recycled %.1f MiB total; cached now %.2f MiB\n",
+              mb(stats.recycled_bytes), mb(stats.cached_bytes));
+  std::printf("  live %.2f MiB, peak live %.2f MiB\n", mb(stats.live_bytes),
+              mb(stats.peak_live_bytes));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -220,7 +251,12 @@ int main(int argc, char** argv) {
       else if (b == "static") state.target = ExecutorTarget::kStatic;
       else if (b == "interp") state.target = ExecutorTarget::kInterp;
       else if (b == "parallel") state.target = ExecutorTarget::kParallel;
+      else if (b == "pipelined") state.target = ExecutorTarget::kPipelined;
       else std::printf("unknown backend '%s'\n", b.c_str());
+      continue;
+    }
+    if (line == "\\pool") {
+      PrintPoolStats();
       continue;
     }
     if (line.rfind("\\threads ", 0) == 0) {

@@ -884,6 +884,7 @@ Result<CompiledQuery> QueryCompiler::Compile(const PlanPtr& physical_plan,
   exec_options.charge_transfers = options.charge_transfers;
   exec_options.num_threads = options.num_threads;
   exec_options.morsel_rows = options.morsel_rows;
+  exec_options.pool = options.pool;
   TQP_ASSIGN_OR_RETURN(out.executor_,
                        MakeExecutor(options.target, program, exec_options));
   return out;

@@ -21,10 +21,14 @@ struct CompileOptions {
   OpProfiler* profiler = nullptr;  // optional, not owned
   /// See ExecOptions::charge_transfers.
   bool charge_transfers = true;
-  /// See ExecOptions::num_threads (ParallelExecutor only).
+  /// See ExecOptions::num_threads (Parallel/Pipelined executors).
   int num_threads = 0;
-  /// See ExecOptions::morsel_rows (ParallelExecutor only).
+  /// See ExecOptions::morsel_rows (Parallel/Pipelined executors).
   int64_t morsel_rows = 0;
+  /// See ExecOptions::pool — the shared cross-query thread pool (not owned;
+  /// must outlive the compiled query). Set by the QueryScheduler so every
+  /// concurrent session's executor lands on one process-wide pool.
+  runtime::ThreadPool* pool = nullptr;
 };
 
 /// \brief A compiled query: the tensor program, its Executor, and the

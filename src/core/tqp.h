@@ -9,6 +9,7 @@
 #include "baseline/columnar.h"          // IWYU pragma: export
 #include "baseline/volcano.h"           // IWYU pragma: export
 #include "compile/compiler.h"           // IWYU pragma: export
+#include "compile/pipeline.h"           // IWYU pragma: export
 #include "datasets/iris.h"              // IWYU pragma: export
 #include "datasets/reviews.h"           // IWYU pragma: export
 #include "frontend/spark_plan.h"        // IWYU pragma: export
@@ -34,6 +35,7 @@
 #include "relational/ingest.h"          // IWYU pragma: export
 #include "runtime/runtime.h"            // IWYU pragma: export
 #include "sql/parser.h"                 // IWYU pragma: export
+#include "tensor/buffer_pool.h"         // IWYU pragma: export
 #include "tpch/dbgen.h"                 // IWYU pragma: export
 #include "tpch/queries.h"               // IWYU pragma: export
 #include "tpch/schema.h"                // IWYU pragma: export

@@ -15,6 +15,8 @@ const char* ExecutorTargetName(ExecutorTarget target) {
       return "interp";
     case ExecutorTarget::kParallel:
       return "parallel";
+    case ExecutorTarget::kPipelined:
+      return "pipelined";
   }
   return "?";
 }

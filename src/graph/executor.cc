@@ -4,6 +4,7 @@
 #include "graph/interp_executor.h"
 #include "graph/static_executor.h"
 #include "runtime/parallel_executor.h"
+#include "runtime/pipelined_executor.h"
 
 namespace tqp {
 
@@ -27,6 +28,9 @@ Result<std::unique_ptr<Executor>> MakeExecutor(
     case ExecutorTarget::kParallel:
       return std::unique_ptr<Executor>(
           new ParallelExecutor(std::move(program), options));
+    case ExecutorTarget::kPipelined:
+      return std::unique_ptr<Executor>(
+          new PipelinedExecutor(std::move(program), options));
   }
   return Status::Invalid("unknown executor target");
 }

@@ -11,15 +11,21 @@
 
 namespace tqp {
 
+namespace runtime {
+class ThreadPool;
+}  // namespace runtime
+
 /// \brief Executor backends, mirroring the paper's lowering targets (§2.2):
 /// PyTorch eager, TorchScript (ahead-of-time planned, fused), the
 /// ONNX/WebAssembly browser path (portable bytecode, scalar interpreter),
-/// and the morsel-driven multi-core runtime (src/runtime).
+/// the morsel-driven multi-core runtime (src/runtime), and the pipelined
+/// morsel-streaming runtime (operator chains fused at pipeline breakers).
 enum class ExecutorTarget : int8_t {
   kEager = 0,
   kStatic = 1,
   kInterp = 2,
   kParallel = 3,
+  kPipelined = 4,
 };
 
 const char* ExecutorTargetName(ExecutorTarget target);
@@ -43,12 +49,17 @@ struct ExecOptions {
   /// model data already resident on the accelerator (how GPU-database
   /// comparisons such as TXT2 are usually reported).
   bool charge_transfers = true;
-  /// ParallelExecutor only: worker threads. 0 = the process-wide pool
+  /// Parallel/Pipelined executors: worker threads. 0 = the process-wide pool
   /// (TQP_THREADS env var or hardware concurrency); 1 = serial execution.
   int num_threads = 0;
-  /// ParallelExecutor only: rows per morsel for data-parallel kernels.
+  /// Parallel/Pipelined executors: rows per morsel for data-parallel kernels.
   /// 0 = DefaultMorselRows() (TQP_MORSEL_ROWS env var or 16384).
   int64_t morsel_rows = 0;
+  /// Parallel/Pipelined executors: explicit thread pool to schedule on (not
+  /// owned; must outlive the executor). Overrides num_threads — this is how
+  /// the QueryScheduler runs every concurrent session on one cross-query
+  /// pool instead of per-executor pools.
+  runtime::ThreadPool* pool = nullptr;
 };
 
 /// \brief A compiled, runnable tensor program (the paper's "Executor").

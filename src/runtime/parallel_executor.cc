@@ -20,7 +20,9 @@ ParallelExecutor::ParallelExecutor(std::shared_ptr<const TensorProgram> program,
   // Clamp to the same ceiling as the TQP_THREADS env path: an absurd request
   // must degrade to "many threads", not abort the process in std::thread.
   options_.num_threads = std::min(options_.num_threads, 256);
-  if (options_.num_threads == 0) {
+  if (options_.pool != nullptr) {
+    pool_ = options_.pool;  // shared cross-query pool (QueryScheduler)
+  } else if (options_.num_threads == 0) {
     pool_ = ThreadPool::Global();
   } else if (options_.num_threads > 1) {
     owned_pool_ = std::make_unique<ThreadPool>(options_.num_threads);

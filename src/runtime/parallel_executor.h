@@ -25,10 +25,12 @@ namespace tqp {
 /// (or produce per-row-independent outputs) are parallelized; everything
 /// else runs the shared serial kernels.
 ///
-/// Thread count comes from ExecOptions::num_threads: 0 uses the process-wide
-/// pool, 1 runs serially (no pool), N > 1 creates a private N-thread pool
-/// owned by this executor. Run() is safe to call from concurrent threads
-/// (the QuerySession layer shares cached executors across queries).
+/// Scheduling comes from ExecOptions: an explicit `pool` (the shared
+/// cross-query pool of the QueryScheduler) wins; otherwise num_threads picks
+/// one — 0 uses the process-wide pool, 1 runs serially (no pool), N > 1
+/// creates a private N-thread pool owned by this executor. Run() is safe to
+/// call from concurrent threads (the QuerySession layer shares cached
+/// executors across queries).
 class ParallelExecutor : public Executor {
  public:
   ParallelExecutor(std::shared_ptr<const TensorProgram> program,

@@ -356,6 +356,113 @@ Result<Tensor> ParallelSegmentedReduce(const ParallelContext& ctx, ReduceOpKind 
   return Cast(acc_t, out_dt);
 }
 
+Result<Tensor> ParallelConcatRows(const ParallelContext& ctx,
+                                  const std::vector<Tensor>& parts) {
+  if (parts.empty()) return kernels::ConcatRows(parts);  // serial error path
+  const DType dt = parts[0].dtype();
+  int64_t m = parts[0].cols();
+  int64_t total = 0;
+  for (const Tensor& t : parts) {
+    if (t.dtype() != dt) return kernels::ConcatRows(parts);  // serial error path
+    if (t.cols() != m) {
+      if (dt != DType::kUInt8) return kernels::ConcatRows(parts);
+      m = std::max(m, t.cols());
+    }
+    total += t.rows();
+  }
+  if (!ShouldParallelize(ctx, total)) return kernels::ConcatRows(parts);
+  // Exclusive scan over part row counts: each part's output row offset.
+  std::vector<int64_t> row_offsets(parts.size() + 1, 0);
+  for (size_t i = 0; i < parts.size(); ++i) {
+    row_offsets[i + 1] = row_offsets[i] + parts[i].rows();
+  }
+  TQP_ASSIGN_OR_RETURN(Tensor out, Tensor::Empty(dt, total, m, parts[0].device()));
+  const int64_t elem = DTypeSize(dt);
+  const int64_t out_row_bytes = m * elem;
+  uint8_t* dst = static_cast<uint8_t*>(out.raw_mutable_data());
+  // Parts copy concurrently into disjoint row ranges; the wide parts go
+  // through one big memcpy, narrower uint8 parts pad per row like the serial
+  // kernel (Tensor::Empty memory is already zeroed, so the pad bytes hold).
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      static_cast<int64_t>(parts.size()), 1,
+      [&](int64_t pb, int64_t pe) -> Status {
+        for (int64_t pi = pb; pi < pe; ++pi) {
+          const Tensor& t = parts[static_cast<size_t>(pi)];
+          uint8_t* base = dst + row_offsets[static_cast<size_t>(pi)] * out_row_bytes;
+          if (t.cols() == m) {
+            if (t.nbytes() > 0) {
+              std::memcpy(base, t.raw_data(), static_cast<size_t>(t.nbytes()));
+            }
+            continue;
+          }
+          const auto* src = static_cast<const uint8_t*>(t.raw_data());
+          const size_t row_bytes = static_cast<size_t>(t.cols() * elem);
+          for (int64_t r = 0; r < t.rows(); ++r) {
+            std::memcpy(base + r * out_row_bytes,
+                        src + static_cast<size_t>(r) * row_bytes, row_bytes);
+          }
+        }
+        return Status::OK();
+      }));
+  return out;
+}
+
+Result<Tensor> ParallelRepeatInterleave(const ParallelContext& ctx, const Tensor& a,
+                                        const Tensor& counts) {
+  if (counts.dtype() != DType::kInt64 || counts.cols() != 1 ||
+      counts.rows() != a.rows() || !ShouldParallelize(ctx, a.rows())) {
+    return kernels::RepeatInterleave(a, counts);  // serial / error path
+  }
+  const int64_t n = a.rows();
+  const int64_t* pc = counts.data<int64_t>();
+  const std::vector<RowRange> morsels = PartitionRows(n, MorselRows(ctx));
+  // Pass 1: per-morsel count totals (validating non-negative counts).
+  std::vector<int64_t> morsel_totals(morsels.size(), 0);
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      static_cast<int64_t>(morsels.size()), 1, [&](int64_t mb, int64_t me) -> Status {
+        for (int64_t mi = mb; mi < me; ++mi) {
+          const RowRange r = morsels[static_cast<size_t>(mi)];
+          int64_t sum = 0;
+          for (int64_t i = r.begin; i < r.end; ++i) {
+            if (pc[i] < 0) {
+              return Status::Invalid("RepeatInterleave: negative count");
+            }
+            sum += pc[i];
+          }
+          morsel_totals[static_cast<size_t>(mi)] = sum;
+        }
+        return Status::OK();
+      }));
+  // Exclusive scan over morsel totals gives each morsel's output offset.
+  std::vector<int64_t> morsel_offsets(morsels.size() + 1, 0);
+  for (size_t mi = 0; mi < morsels.size(); ++mi) {
+    morsel_offsets[mi + 1] = morsel_offsets[mi] + morsel_totals[mi];
+  }
+  const int64_t total = morsel_offsets.back();
+  const int64_t row_bytes = a.cols() * DTypeSize(a.dtype());
+  TQP_ASSIGN_OR_RETURN(Tensor out,
+                       Tensor::Empty(a.dtype(), total, a.cols(), a.device()));
+  const uint8_t* src = static_cast<const uint8_t*>(a.raw_data());
+  uint8_t* dst = static_cast<uint8_t*>(out.raw_mutable_data());
+  // Pass 2: local rescan per morsel; every input row writes its replicas at
+  // a disjoint offset, reproducing the serial row order exactly.
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      static_cast<int64_t>(morsels.size()), 1, [&](int64_t mb, int64_t me) -> Status {
+        for (int64_t mi = mb; mi < me; ++mi) {
+          const RowRange r = morsels[static_cast<size_t>(mi)];
+          uint8_t* w = dst + morsel_offsets[static_cast<size_t>(mi)] * row_bytes;
+          for (int64_t i = r.begin; i < r.end; ++i) {
+            for (int64_t rep = 0; rep < pc[i]; ++rep) {
+              std::memcpy(w, src + i * row_bytes, static_cast<size_t>(row_bytes));
+              w += row_bytes;
+            }
+          }
+        }
+        return Status::OK();
+      }));
+  return out;
+}
+
 namespace {
 
 // Three-way lexicographic row comparison, mirroring src/kernels/sort.cc.
@@ -485,6 +592,16 @@ Result<Tensor> ParallelEvalNode(const ParallelContext& ctx,
         return ParallelCompress(ctx, in(0), in(1));
       case OpType::kGather:
         return ParallelGather(ctx, in(0), in(1));
+      case OpType::kConcatRows: {
+        std::vector<Tensor> parts;
+        parts.reserve(node.inputs.size());
+        for (size_t i = 0; i < node.inputs.size(); ++i) {
+          parts.push_back(in(static_cast<int>(i)));
+        }
+        return ParallelConcatRows(ctx, parts);
+      }
+      case OpType::kRepeatInterleave:
+        return ParallelRepeatInterleave(ctx, in(0), in(1));
       case OpType::kReduceAll:
         return ParallelReduceAll(
             ctx, static_cast<ReduceOpKind>(node.attrs.GetInt("op")), in(0));
@@ -575,7 +692,7 @@ Result<Tensor> ParallelEvalNode(const ParallelContext& ctx,
                                        node.attrs.GetInt("max_tokens"));
         });
       default:
-        break;  // sequential-by-nature ops (scans, sorts of strings, concats)
+        break;  // sequential-by-nature ops (prefix scans, unique, boundaries)
     }
   }
   return EvalNode(program, node, values);

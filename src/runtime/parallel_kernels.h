@@ -83,6 +83,20 @@ Result<Tensor> ParallelArgsortRows(const ParallelContext& ctx, const Tensor& a,
 Result<Tensor> ParallelSearchSorted(const ParallelContext& ctx, const Tensor& sorted,
                                     const Tensor& values, bool right);
 
+/// \brief Row concatenation: an exclusive scan over part row counts gives
+/// each part's output offset, then parts copy concurrently into disjoint
+/// ranges (byte-for-byte the serial kernel's layout, including the
+/// zero-padding of narrower uint8 string parts).
+Result<Tensor> ParallelConcatRows(const ParallelContext& ctx,
+                                  const std::vector<Tensor>& parts);
+
+/// \brief repeat_interleave: a two-pass prefix sum over `counts` (per-morsel
+/// totals, exclusive scan over morsels, local rescan) gives every input
+/// row's output offset, then rows replicate concurrently into disjoint
+/// ranges — exactly the serial row order.
+Result<Tensor> ParallelRepeatInterleave(const ParallelContext& ctx, const Tensor& a,
+                                        const Tensor& counts);
+
 /// \brief Evaluates one tensor-program op, using the morsel-parallel kernels
 /// above where an exact decomposition exists and the serial EvalNode
 /// otherwise. Drop-in replacement for EvalNode: bit-identical results.

@@ -1,0 +1,249 @@
+#include "runtime/pipelined_executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "graph/eval.h"
+#include "runtime/morsel.h"
+
+namespace tqp {
+
+using runtime::MorselRows;
+using runtime::ParallelContext;
+using runtime::ThreadPool;
+
+PipelinedExecutor::PipelinedExecutor(std::shared_ptr<const TensorProgram> program,
+                                     ExecOptions options)
+    : program_(std::move(program)), options_(options) {
+  options_.num_threads = std::min(options_.num_threads, 256);
+  if (options_.pool != nullptr) {
+    pool_ = options_.pool;  // shared cross-query pool
+  } else if (options_.num_threads == 0) {
+    pool_ = ThreadPool::Global();
+  } else if (options_.num_threads > 1) {
+    owned_pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    pool_ = owned_pool_.get();
+  }  // num_threads == 1 (or negative): pool_ stays null -> serial morsel loop
+  plan_ = BuildPipelinePlan(*program_);
+}
+
+int64_t PipelinedExecutor::morsel_rows() const {
+  return options_.morsel_rows > 0 ? options_.morsel_rows
+                                  : runtime::DefaultMorselRows();
+}
+
+namespace {
+
+/// Evaluates one streamed node over the morsel [b, e) of the driver domain.
+/// `scratch` holds this morsel's bound sources and previously evaluated
+/// chain values, indexed by global node id. The three offset-corrected ops
+/// (arange_like, head, nonzero) are only streamed when their input domain is
+/// the driver domain itself, so `b` is their global row offset.
+Result<Tensor> EvalMorselNode(const TensorProgram& prog, const OpNode& node,
+                              const std::vector<Tensor>& scratch, int64_t b) {
+  switch (node.type) {
+    case OpType::kArangeLike: {
+      const Tensor& in0 = scratch[static_cast<size_t>(node.inputs[0])];
+      TQP_ASSIGN_OR_RETURN(
+          Tensor out, Tensor::Arange(in0.rows(), DType::kInt64, in0.device()));
+      if (b > 0) {
+        int64_t* po = out.mutable_data<int64_t>();
+        for (int64_t i = 0; i < out.rows(); ++i) po[i] += b;
+      }
+      return out;
+    }
+    case OpType::kHeadRows: {
+      const Tensor& in0 = scratch[static_cast<size_t>(node.inputs[0])];
+      const int64_t n = node.attrs.GetInt("n");
+      const int64_t keep = std::clamp<int64_t>(n - b, 0, in0.rows());
+      return in0.SliceRows(0, keep);  // view; chunks are copied on assembly
+    }
+    case OpType::kNonzero: {
+      TQP_ASSIGN_OR_RETURN(Tensor out, EvalNode(prog, node, scratch));
+      if (b > 0) {
+        int64_t* po = out.mutable_data<int64_t>();
+        for (int64_t i = 0; i < out.rows(); ++i) po[i] += b;
+      }
+      return out;
+    }
+    default:
+      return EvalNode(prog, node, scratch);
+  }
+}
+
+}  // namespace
+
+Status PipelinedExecutor::EvalWholeNode(const OpNode& node,
+                                        std::vector<Tensor>* values,
+                                        const ParallelContext& ctx) {
+  Device* device = GetDevice(options_.device);
+  Stopwatch timer;
+  TQP_ASSIGN_OR_RETURN(Tensor out,
+                       runtime::ParallelEvalNode(ctx, *program_, node, *values));
+  if (device->is_simulated()) {
+    bool irregular = false;
+    const KernelCost cost = EstimateNodeCost(node, *values, out, &irregular);
+    device->RecordKernel(cost, irregular);
+  }
+  if (options_.profiler != nullptr) {
+    options_.profiler->RecordOp(node, timer.ElapsedNanos(), out.nbytes());
+  }
+  (*values)[static_cast<size_t>(node.id)] = std::move(out);
+  return Status::OK();
+}
+
+Status PipelinedExecutor::RunPipelineSerial(const Pipeline& p,
+                                            std::vector<Tensor>* values,
+                                            const ParallelContext& ctx) {
+  for (const PipelineNode& pn : p.nodes) {
+    TQP_RETURN_NOT_OK(EvalWholeNode(program_->node(pn.id), values, ctx));
+  }
+  return Status::OK();
+}
+
+Status PipelinedExecutor::RunPipeline(const Pipeline& p,
+                                      std::vector<Tensor>* values,
+                                      const ParallelContext& ctx) {
+  // Resolve the driver domain from the sliced sources. A source whose row
+  // count matches neither the driver nor 1 (a runtime broadcast the splitter
+  // could not see) falls back to whole-node evaluation — same results, no
+  // streaming.
+  int64_t driver_rows = -1;
+  std::vector<bool> slice_now(p.sliced_sources.size(), false);
+  for (size_t i = 0; i < p.sliced_sources.size(); ++i) {
+    const Tensor& t = (*values)[static_cast<size_t>(p.sliced_sources[i])];
+    if (!t.defined()) {
+      return Status::Internal("pipelined executor: undefined sliced source");
+    }
+    if (driver_rows < 0) driver_rows = t.rows();
+    if (t.rows() == driver_rows) {
+      slice_now[i] = true;
+    } else if (t.rows() != 1) {
+      return RunPipelineSerial(p, values, ctx);
+    } else if (p.has_offset_op) {
+      // A 1-row broadcast source means some "driver-aligned" value really
+      // lives in the broadcast domain; an offset-corrected op downstream
+      // would add morsel offsets to non-driver rows. Evaluate whole.
+      return RunPipelineSerial(p, values, ctx);
+    }
+  }
+  if (driver_rows < 0) {
+    return Status::Internal("pipelined executor: pipeline without a driver");
+  }
+
+  const int64_t morsel = MorselRows(ctx);
+  const int64_t num_morsels =
+      driver_rows == 0 ? 1 : (driver_rows + morsel - 1) / morsel;
+  const size_t num_nodes = static_cast<size_t>(program_->num_nodes());
+
+  std::vector<std::vector<Tensor>> chunks(
+      p.outputs.size(), std::vector<Tensor>(static_cast<size_t>(num_morsels)));
+
+  auto eval_morsel = [&](int64_t b, int64_t e, int64_t m,
+                         std::vector<Tensor>* scratch) -> Status {
+    for (size_t i = 0; i < p.sliced_sources.size(); ++i) {
+      const size_t src = static_cast<size_t>(p.sliced_sources[i]);
+      (*scratch)[src] = slice_now[i] ? (*values)[src].SliceRows(b, e)
+                                     : (*values)[src];
+    }
+    for (int src : p.whole_sources) {
+      (*scratch)[static_cast<size_t>(src)] = (*values)[static_cast<size_t>(src)];
+    }
+    for (const PipelineNode& pn : p.nodes) {
+      const OpNode& node = program_->node(pn.id);
+      TQP_ASSIGN_OR_RETURN(Tensor out,
+                           EvalMorselNode(*program_, node, *scratch, b));
+      (*scratch)[static_cast<size_t>(pn.id)] = std::move(out);
+    }
+    for (size_t oi = 0; oi < p.outputs.size(); ++oi) {
+      chunks[oi][static_cast<size_t>(m)] =
+          (*scratch)[static_cast<size_t>(p.outputs[oi])];
+    }
+    return Status::OK();
+  };
+
+  const bool fan_out = ctx.parallel() && num_morsels > 1;
+  if (!fan_out) {
+    std::vector<Tensor> scratch(num_nodes);
+    for (int64_t m = 0; m < num_morsels; ++m) {
+      const int64_t b = m * morsel;
+      const int64_t e = std::min(driver_rows, b + morsel);
+      TQP_RETURN_NOT_OK(eval_morsel(b, e, m, &scratch));
+    }
+  } else {
+    std::vector<std::vector<Tensor>> slot_scratch(
+        static_cast<size_t>(ctx.pool->max_parallel_slots()));
+    TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+        driver_rows, morsel, [&](int64_t b, int64_t e, int slot) -> Status {
+          std::vector<Tensor>& scratch = slot_scratch[static_cast<size_t>(slot)];
+          if (scratch.empty()) scratch.resize(num_nodes);
+          return eval_morsel(b, e, b / morsel, &scratch);
+        }));
+  }
+
+  // Assemble pipeline outputs from chunks in morsel order — the stable
+  // per-morsel decomposition makes the concatenation bit-identical to the
+  // serial evaluation of the whole chain.
+  for (size_t oi = 0; oi < p.outputs.size(); ++oi) {
+    std::vector<Tensor>& parts = chunks[oi];
+    Tensor& dst = (*values)[static_cast<size_t>(p.outputs[oi])];
+    if (parts.size() == 1) {
+      dst = std::move(parts[0]);
+    } else {
+      TQP_ASSIGN_OR_RETURN(dst, runtime::ParallelConcatRows(ctx, parts));
+    }
+    parts.clear();  // release morsel chunks back to the buffer pool early
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Tensor>> PipelinedExecutor::Run(
+    const std::vector<Tensor>& inputs) {
+  const TensorProgram& prog = *program_;
+  if (inputs.size() != prog.input_nodes().size()) {
+    return Status::Invalid("executor expects " +
+                           std::to_string(prog.input_nodes().size()) +
+                           " inputs, got " + std::to_string(inputs.size()));
+  }
+  Device* device = GetDevice(options_.device);
+  ParallelContext ctx;
+  ctx.pool = pool_;
+  ctx.morsel_rows = options_.morsel_rows;
+
+  std::vector<Tensor> values(static_cast<size_t>(prog.num_nodes()));
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    values[static_cast<size_t>(prog.input_nodes()[i])] = inputs[i];
+    if (device->is_simulated() && options_.charge_transfers) {
+      device->RecordTransfer(inputs[i].nbytes());
+    }
+  }
+
+  for (const PipelineStep& step : plan_.schedule) {
+    if (step.serial_node >= 0) {
+      TQP_RETURN_NOT_OK(
+          EvalWholeNode(prog.node(step.serial_node), &values, ctx));
+      continue;
+    }
+    const Pipeline& p = plan_.pipelines[static_cast<size_t>(step.pipeline)];
+    if (device->is_simulated()) {
+      // Stream-invisible kernel launches would undercharge the simulated
+      // clock; meter every node instead (results are identical).
+      TQP_RETURN_NOT_OK(RunPipelineSerial(p, &values, ctx));
+    } else {
+      TQP_RETURN_NOT_OK(RunPipeline(p, &values, ctx));
+    }
+  }
+
+  std::vector<Tensor> outputs;
+  outputs.reserve(prog.outputs().size());
+  for (int id : prog.outputs()) {
+    outputs.push_back(values[static_cast<size_t>(id)]);
+    if (device->is_simulated() && options_.charge_transfers) {
+      device->RecordTransfer(outputs.back().nbytes());
+    }
+  }
+  return outputs;
+}
+
+}  // namespace tqp

@@ -1,0 +1,80 @@
+#ifndef TQP_RUNTIME_PIPELINED_EXECUTOR_H_
+#define TQP_RUNTIME_PIPELINED_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compile/pipeline.h"
+#include "graph/executor.h"
+#include "runtime/parallel_kernels.h"
+#include "runtime/thread_pool.h"
+
+namespace tqp {
+
+/// \brief Pipelined morsel-streaming executor (ExecutorTarget::kPipelined).
+///
+/// Where ParallelExecutor still runs node-at-a-time (every op materializes
+/// its full output before any consumer starts), this executor follows the
+/// PipelinePlan built by the compiler (src/compile/pipeline.h): morsels of
+/// the driver domain stream through each pipeline's fused operator chain —
+/// scan -> filter -> project -> probe — holding only morsel-sized
+/// intermediates, and only pipeline *outputs* materialize (assembled from
+/// per-morsel chunks in morsel order, which makes every result bit-identical
+/// to the serial executors for any thread count and morsel size). Pipeline
+/// breakers (sorts, reductions, scans, concats) evaluate whole through the
+/// same exact morsel-parallel kernels ParallelExecutor uses.
+///
+/// Morsel scratch churn is soaked up by the process-wide BufferPool, so a
+/// streamed chain re-uses a handful of recycled blocks instead of allocating
+/// one full-column tensor per op.
+///
+/// Scheduling: ExecOptions::pool, when set, is used directly (the shared
+/// cross-query pool of the QueryScheduler). Otherwise num_threads selects a
+/// pool exactly as in ParallelExecutor (0 = process-wide, 1 = serial,
+/// N > 1 = private pool).
+///
+/// On a simulated accelerator device the executor falls back to whole-node
+/// evaluation so every kernel launch is metered — streaming would hide
+/// per-node costs from the simulated clock. Results are identical either
+/// way. The per-op profiler hook likewise only fires for whole-node steps.
+class PipelinedExecutor : public Executor {
+ public:
+  PipelinedExecutor(std::shared_ptr<const TensorProgram> program,
+                    ExecOptions options);
+
+  Result<std::vector<Tensor>> Run(const std::vector<Tensor>& inputs) override;
+  std::string name() const override { return "pipelined"; }
+  ExecutorTarget target() const override { return ExecutorTarget::kPipelined; }
+
+  const PipelinePlan& plan() const { return plan_; }
+  /// \brief The pool this executor schedules on (null when running serially).
+  runtime::ThreadPool* pool() const { return pool_; }
+  int64_t morsel_rows() const;
+
+ private:
+  /// Evaluates one node whole (breakers, scalars, fallback pipelines) with
+  /// intra-op parallelism, simulated-device metering and the profiler hook.
+  Status EvalWholeNode(const OpNode& node, std::vector<Tensor>* values,
+                       const runtime::ParallelContext& ctx);
+
+  /// Streams one pipeline: morsels of the driver domain evaluate the fused
+  /// chain into per-slot scratch, output chunks concatenate in morsel order.
+  Status RunPipeline(const Pipeline& p, std::vector<Tensor>* values,
+                     const runtime::ParallelContext& ctx);
+
+  /// Whole-node evaluation of a pipeline (shape surprises, simulated
+  /// devices): same results, no streaming.
+  Status RunPipelineSerial(const Pipeline& p, std::vector<Tensor>* values,
+                           const runtime::ParallelContext& ctx);
+
+  std::shared_ptr<const TensorProgram> program_;
+  ExecOptions options_;
+  PipelinePlan plan_;
+  std::unique_ptr<runtime::ThreadPool> owned_pool_;  // when num_threads > 1
+  runtime::ThreadPool* pool_ = nullptr;              // owned, shared or global
+};
+
+}  // namespace tqp
+
+#endif  // TQP_RUNTIME_PIPELINED_EXECUTOR_H_

@@ -1,6 +1,7 @@
 #include "runtime/plan_cache.h"
 
 #include <cctype>
+#include <cstdint>
 
 namespace tqp::runtime {
 
@@ -48,8 +49,10 @@ std::string NormalizeSql(const std::string& sql) {
 std::string PlanCache::MakeKey(const std::string& normalized_sql,
                                const CompileOptions& options) {
   // Every option that shapes the compiled artifact participates in the key:
-  // target/device pick the executor, and num_threads/morsel_rows are baked
-  // into a ParallelExecutor (its pool is fixed at construction).
+  // target/device pick the executor, num_threads/morsel_rows are baked into
+  // a Parallel/Pipelined executor, and an explicit shared pool is bound at
+  // construction (a cache shared across schedulers must never hand one
+  // scheduler an executor wired to another's pool).
   std::string key = normalized_sql;
   key.push_back('\x1f');
   key += std::to_string(static_cast<int>(options.target));
@@ -59,6 +62,8 @@ std::string PlanCache::MakeKey(const std::string& normalized_sql,
   key += std::to_string(options.num_threads);
   key.push_back('/');
   key += std::to_string(options.morsel_rows);
+  key.push_back('/');
+  key += std::to_string(reinterpret_cast<uintptr_t>(options.pool));
   return key;
 }
 

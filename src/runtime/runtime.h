@@ -3,13 +3,15 @@
 
 /// \file Umbrella header for the morsel-driven parallel runtime: the
 /// work-stealing thread pool, DAG task scheduler, exact morsel-parallel
-/// kernels/operators, the ParallelExecutor backend, and the concurrent
-/// query-session layer (scheduler, admission queue, plan cache).
+/// kernels/operators, the ParallelExecutor and PipelinedExecutor backends,
+/// and the concurrent query-session layer (scheduler, priority admission
+/// queue, plan cache) multiplexed onto one cross-query pool.
 
 #include "runtime/morsel.h"              // IWYU pragma: export
 #include "runtime/parallel_executor.h"   // IWYU pragma: export
 #include "runtime/parallel_kernels.h"    // IWYU pragma: export
 #include "runtime/parallel_operators.h"  // IWYU pragma: export
+#include "runtime/pipelined_executor.h"  // IWYU pragma: export
 #include "runtime/plan_cache.h"          // IWYU pragma: export
 #include "runtime/session.h"             // IWYU pragma: export
 #include "runtime/task_graph.h"          // IWYU pragma: export

@@ -1,6 +1,8 @@
 #include "runtime/session.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "common/stopwatch.h"
@@ -19,13 +21,14 @@ int64_t NowNanos() {
 
 QueryScheduler::QueryScheduler(const Catalog* catalog, SchedulerOptions options)
     : catalog_(catalog),
-      options_(options),
-      plan_cache_(options.plan_cache_capacity) {
-  const int n = options_.max_concurrent > 0 ? options_.max_concurrent : 1;
-  workers_.reserve(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
+      options_(std::move(options)),
+      pool_(options_.pool != nullptr ? options_.pool : ThreadPool::Global()),
+      plan_cache_(options_.plan_cache_capacity) {
+  if (options_.max_concurrent <= 0) options_.max_concurrent = 1;
+  // Every compiled executor schedules on the scheduler's shared pool — one
+  // cross-query pool instead of a pool per executor.
+  options_.pool = pool_;
+  options_.compile.pool = pool_;
 }
 
 QueryScheduler::~QueryScheduler() {
@@ -33,11 +36,27 @@ QueryScheduler::~QueryScheduler() {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
+  // Drain: queued jobs still execute; wait until the last worker task has
+  // finished touching this object (workers notify under mu_). The wait
+  // cooperates like ParallelFor's: if this destructor runs on one of the
+  // shared pool's own workers, blocking alone would starve the WorkerBody
+  // tasks it is waiting for, so run queued pool tasks in the meantime.
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (active_workers_ == 0 && queued_total_ == 0) return;
+    }
+    if (pool_->TryRunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+      return active_workers_ == 0 && queued_total_ == 0;
+    });
+    if (active_workers_ == 0 && queued_total_ == 0) return;
+  }
 }
 
-Result<std::future<QueryOutcome>> QueryScheduler::Submit(const std::string& sql) {
+Result<std::future<QueryOutcome>> QueryScheduler::Submit(const std::string& sql,
+                                                         QueryPriority priority) {
   Job job;
   job.sql = sql;
   job.enqueue_nanos = NowNanos();
@@ -47,32 +66,76 @@ Result<std::future<QueryOutcome>> QueryScheduler::Submit(const std::string& sql)
     if (shutdown_) {
       return Status::Invalid("scheduler is shutting down");
     }
-    if (queue_.size() >= options_.queue_capacity) {
+    if (queued_total_ >= options_.queue_capacity) {
       ++counters_.rejected;
       return Status::Invalid("admission queue full (" +
                              std::to_string(options_.queue_capacity) +
                              " queries waiting); retry later");
     }
+    if (priority == QueryPriority::kLow) {
+      const double watermark = std::clamp(options_.backpressure_watermark, 0.0, 1.0);
+      // Ceil, not truncate: shedding starts once the queue actually *holds*
+      // watermark*capacity queries (a 0.1 watermark over capacity 8 must not
+      // shed on an idle queue).
+      const auto threshold = static_cast<size_t>(
+          std::ceil(watermark * static_cast<double>(options_.queue_capacity)));
+      if (queued_total_ >= threshold) {
+        ++counters_.rejected;
+        ++counters_.shed_low_priority;
+        return Status::Invalid(
+            "admission queue under backpressure (" +
+            std::to_string(queued_total_) +
+            " queries waiting); low-priority query shed, retry later");
+      }
+    }
     ++counters_.admitted;
-    queue_.push_back(std::move(job));
+    queues_[static_cast<size_t>(priority)].push_back(std::move(job));
+    ++queued_total_;
+    DispatchLocked();
   }
-  work_cv_.notify_one();
   return future;
 }
 
-void QueryScheduler::WorkerLoop() {
+void QueryScheduler::DispatchLocked() {
+  // Workers that are spawned-but-not-executing will each pop one queued job
+  // soon; spawn more only for jobs beyond that, up to max_concurrent.
+  while (active_workers_ < options_.max_concurrent &&
+         queued_total_ > static_cast<size_t>(active_workers_ - executing_workers_)) {
+    ++active_workers_;
+    pool_->Submit([this] { WorkerBody(); });
+  }
+}
+
+bool QueryScheduler::PopJobLocked(Job* job) {
+  for (int p = kNumQueryPriorities - 1; p >= 0; --p) {
+    auto& q = queues_[static_cast<size_t>(p)];
+    if (q.empty()) continue;
+    *job = std::move(q.front());
+    q.pop_front();
+    --queued_total_;
+    return true;
+  }
+  return false;
+}
+
+void QueryScheduler::WorkerBody() {
   while (true) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown with a drained queue
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!PopJobLocked(&job)) {
+        --active_workers_;
+        // Notify under mu_ so the destructor cannot tear the object down
+        // between our predicate update and the notify.
+        idle_cv_.notify_all();
+        return;
+      }
+      ++executing_workers_;
     }
     QueryOutcome outcome = Execute(&job);
     {
       std::lock_guard<std::mutex> lock(mu_);
+      --executing_workers_;
       ++counters_.completed;
       if (!outcome.status.ok()) ++counters_.failed;
     }
@@ -147,16 +210,17 @@ SchedulerCounters QueryScheduler::counters() const {
   return counters_;
 }
 
-QuerySession::QuerySession(QueryScheduler* scheduler, std::string name)
-    : scheduler_(scheduler), name_(std::move(name)) {}
+QuerySession::QuerySession(QueryScheduler* scheduler, std::string name,
+                           QueryPriority priority)
+    : scheduler_(scheduler), name_(std::move(name)), priority_(priority) {}
 
 Result<std::future<QueryOutcome>> QuerySession::ExecuteAsync(
     const std::string& sql) {
-  return scheduler_->Submit(sql);
+  return scheduler_->Submit(sql, priority_);
 }
 
 Result<Table> QuerySession::Execute(const std::string& sql) {
-  auto future_or = scheduler_->Submit(sql);
+  auto future_or = scheduler_->Submit(sql, priority_);
   if (!future_or.ok()) {
     queries_failed_.fetch_add(1, std::memory_order_relaxed);
     return future_or.status();

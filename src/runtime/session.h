@@ -1,6 +1,7 @@
 #ifndef TQP_RUNTIME_SESSION_H_
 #define TQP_RUNTIME_SESSION_H_
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -9,14 +10,21 @@
 #include <mutex>
 #include <set>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "compile/compiler.h"
 #include "plan/catalog.h"
 #include "runtime/plan_cache.h"
+#include "runtime/thread_pool.h"
 
 namespace tqp::runtime {
+
+/// \brief Admission priority of one query. Under backpressure (a filling
+/// admission queue) low-priority work is shed first; at the queue head,
+/// higher priorities dispatch before older lower-priority queries.
+enum class QueryPriority : int8_t { kLow = 0, kNormal = 1, kHigh = 2 };
+
+inline constexpr int kNumQueryPriorities = 3;
 
 /// \brief Per-query execution record returned alongside the result.
 struct QueryStats {
@@ -37,33 +45,53 @@ struct QueryOutcome {
 /// \brief Aggregate scheduler counters (monotonic since construction).
 struct SchedulerCounters {
   int64_t admitted = 0;
-  int64_t rejected = 0;   // bounded queue full
-  int64_t completed = 0;  // includes failed
+  int64_t rejected = 0;      // all rejections (full queue + backpressure)
+  int64_t shed_low_priority = 0;  // rejections due to backpressure shedding
+  int64_t completed = 0;     // includes failed
   int64_t failed = 0;
 };
 
 struct SchedulerOptions {
-  /// Worker threads executing admitted queries (each runs one query at a
-  /// time, so this bounds intra-process query concurrency).
+  /// Queries executing at once. Each admitted query runs as a task on the
+  /// shared thread pool (and fans its kernels out on that same pool), so
+  /// this bounds intra-process query concurrency without dedicating threads
+  /// per scheduler.
   int max_concurrent = 4;
   /// Bounded admission queue: Submit rejects (does not block) beyond this
   /// many queued-but-not-started queries.
   size_t queue_capacity = 64;
+  /// Admission-aware backpressure: once the queue holds at least
+  /// `backpressure_watermark * queue_capacity` queries, kLow submissions are
+  /// shed immediately instead of queueing behind normal traffic.
+  double backpressure_watermark = 0.5;
   /// LRU plan-cache entries (0 disables caching).
   size_t plan_cache_capacity = 32;
+  /// The thread pool queries execute and parallelize on. Null selects the
+  /// process-wide ThreadPool::Global(), which is how every scheduler (and
+  /// every session of every scheduler) ends up sharing one pool. A non-null
+  /// pool must outlive the scheduler.
+  ThreadPool* pool = nullptr;
   /// Backend/device every admitted query compiles for. The default target is
-  /// the morsel-driven ParallelExecutor with the process-wide pool.
+  /// the morsel-driven ParallelExecutor on the shared pool; kPipelined
+  /// streams morsels through fused operator chains instead.
   CompileOptions compile;
 
   SchedulerOptions() { compile.target = ExecutorTarget::kParallel; }
 };
 
 /// \brief Admission control + dispatch for concurrent queries over a shared
-/// catalog: a bounded FIFO queue feeding `max_concurrent` worker threads,
-/// with an LRU compiled-plan cache keyed on normalized SQL text.
+/// catalog: a bounded, priority-ordered admission queue dispatched as at
+/// most `max_concurrent` tasks on one shared ThreadPool, with an LRU
+/// compiled-plan cache keyed on normalized SQL text.
+///
+/// There are no per-scheduler worker threads and no per-executor pools: any
+/// number of schedulers and sessions multiplex onto the same process-wide
+/// pool, queries included — a query's morsel fan-out and another query's
+/// admission dispatch interleave on the same workers.
 ///
 /// The scheduler owns no table data; the catalog must outlive it. Destruction
-/// drains: queued queries still execute, then workers join.
+/// drains: queued queries still execute, then the destructor waits for every
+/// in-flight worker task to finish.
 class QueryScheduler {
  public:
   explicit QueryScheduler(const Catalog* catalog, SchedulerOptions options = {});
@@ -73,12 +101,16 @@ class QueryScheduler {
   QueryScheduler& operator=(const QueryScheduler&) = delete;
 
   /// \brief Admits a query. Fails fast with an error (no future) when the
-  /// admission queue is full.
-  Result<std::future<QueryOutcome>> Submit(const std::string& sql);
+  /// admission queue is full, or — for kLow priority — when the queue is
+  /// past the backpressure watermark.
+  Result<std::future<QueryOutcome>> Submit(
+      const std::string& sql, QueryPriority priority = QueryPriority::kNormal);
 
   SchedulerCounters counters() const;
   const PlanCache& plan_cache() const { return plan_cache_; }
   const SchedulerOptions& options() const { return options_; }
+  /// \brief The shared pool this scheduler executes on (never null).
+  ThreadPool* pool() const { return pool_; }
 
  private:
   struct Job {
@@ -87,20 +119,29 @@ class QueryScheduler {
     int64_t enqueue_nanos = 0;
   };
 
-  void WorkerLoop();
+  /// Spawns worker tasks on the pool while capacity and work both exist.
+  /// Requires mu_.
+  void DispatchLocked();
+  /// Pops the highest-priority job (FIFO within a priority). Requires mu_.
+  bool PopJobLocked(Job* job);
+  /// One worker task: drains jobs until the queue is empty, then retires.
+  void WorkerBody();
   QueryOutcome Execute(Job* job);
 
   const Catalog* catalog_;
-  const SchedulerOptions options_;
+  SchedulerOptions options_;
+  ThreadPool* pool_;
   PlanCache plan_cache_;
   QueryCompiler compiler_;
 
   mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<Job> queue_;
+  std::array<std::deque<Job>, kNumQueryPriorities> queues_;
+  size_t queued_total_ = 0;
+  int active_workers_ = 0;    // worker tasks spawned and not yet retired
+  int executing_workers_ = 0;  // workers currently inside Execute()
   bool shutdown_ = false;
   SchedulerCounters counters_;
-  std::vector<std::thread> workers_;
+  std::condition_variable idle_cv_;  // destructor waits for drain
 
   // In-flight compilation dedup: concurrent workers with the same normalized
   // statement wait for the first compilation instead of compiling redundantly.
@@ -111,10 +152,12 @@ class QueryScheduler {
 
 /// \brief A client handle onto a scheduler: convenience sync/async execution
 /// plus per-session counters. Cheap to create; many sessions share one
-/// scheduler (the "millions of users" fan-in point).
+/// scheduler (the "millions of users" fan-in point), and every scheduler
+/// shares the process-wide thread pool.
 class QuerySession {
  public:
-  QuerySession(QueryScheduler* scheduler, std::string name = "session");
+  QuerySession(QueryScheduler* scheduler, std::string name = "session",
+               QueryPriority priority = QueryPriority::kNormal);
 
   /// \brief Admits and waits. Admission rejection surfaces as the error.
   Result<Table> Execute(const std::string& sql);
@@ -123,6 +166,7 @@ class QuerySession {
   Result<std::future<QueryOutcome>> ExecuteAsync(const std::string& sql);
 
   const std::string& name() const { return name_; }
+  QueryPriority priority() const { return priority_; }
   int64_t queries_ok() const { return queries_ok_.load(std::memory_order_relaxed); }
   int64_t queries_failed() const {
     return queries_failed_.load(std::memory_order_relaxed);
@@ -134,6 +178,7 @@ class QuerySession {
  private:
   QueryScheduler* scheduler_;
   std::string name_;
+  QueryPriority priority_;
   std::atomic<int64_t> queries_ok_{0};
   std::atomic<int64_t> queries_failed_{0};
   std::atomic<int64_t> total_exec_nanos_{0};

@@ -4,29 +4,25 @@
 #include <cstring>
 #include <string>
 
-namespace tqp {
+#include "tensor/buffer_pool.h"
 
-namespace {
-constexpr int64_t kAlignment = 64;
-}  // namespace
+namespace tqp {
 
 Result<std::shared_ptr<Buffer>> Buffer::Allocate(int64_t size) {
   if (size < 0) {
     return Status::Invalid("Buffer::Allocate: negative size " + std::to_string(size));
   }
-  // Round up so aligned_alloc's size-multiple-of-alignment requirement holds.
-  const int64_t alloc = ((size + kAlignment - 1) / kAlignment) * kAlignment;
   uint8_t* mem = nullptr;
-  if (alloc > 0) {
-    mem = static_cast<uint8_t*>(
-        std::aligned_alloc(static_cast<size_t>(kAlignment), static_cast<size_t>(alloc)));
+  int64_t pool_size = 0;
+  if (size > 0) {
+    mem = BufferPool::Global()->Acquire(size, &pool_size);
     if (mem == nullptr) {
       return Status::OutOfMemory("Buffer::Allocate: failed to allocate " +
-                                 std::to_string(alloc) + " bytes");
+                                 std::to_string(size) + " bytes");
     }
-    std::memset(mem, 0, static_cast<size_t>(alloc));
   }
-  return std::shared_ptr<Buffer>(new Buffer(mem, size, /*owned=*/true, nullptr));
+  return std::shared_ptr<Buffer>(
+      new Buffer(mem, size, /*owned=*/true, nullptr, pool_size));
 }
 
 std::shared_ptr<Buffer> Buffer::WrapExternal(void* data, int64_t size) {
@@ -42,7 +38,12 @@ std::shared_ptr<Buffer> Buffer::SliceOf(std::shared_ptr<Buffer> parent,
 }
 
 Buffer::~Buffer() {
-  if (owned_ && data_ != nullptr) std::free(data_);
+  if (!owned_ || data_ == nullptr) return;
+  if (pool_size_ > 0) {
+    BufferPool::Global()->Release(data_, pool_size_);
+  } else {
+    std::free(data_);
+  }
 }
 
 }  // namespace tqp

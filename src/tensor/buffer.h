@@ -14,9 +14,15 @@ namespace tqp {
 /// external memory (used for the paper's §2.1 claim that numeric column
 /// ingestion is zero-copy). Views keep the parent alive via `parent_`, or the
 /// caller guarantees lifetime for raw external wraps.
+///
+/// Owning allocations are drawn from the process-wide BufferPool: kernels
+/// keep allocating a fresh output per op, but the bytes behind short-lived
+/// morsel scratch tensors are recycled across operators and queries instead
+/// of hitting the system allocator every time.
 class Buffer {
  public:
-  /// \brief Allocates an owning, 64-byte-aligned buffer of `size` bytes.
+  /// \brief Allocates an owning, 64-byte-aligned, zeroed buffer of `size`
+  /// bytes from the process-wide BufferPool.
   static Result<std::shared_ptr<Buffer>> Allocate(int64_t size);
 
   /// \brief Wraps external memory without copying. The caller must keep the
@@ -39,12 +45,15 @@ class Buffer {
   bool owns_data() const { return owned_; }
 
  private:
-  Buffer(uint8_t* data, int64_t size, bool owned, std::shared_ptr<Buffer> parent)
-      : data_(data), size_(size), owned_(owned), parent_(std::move(parent)) {}
+  Buffer(uint8_t* data, int64_t size, bool owned, std::shared_ptr<Buffer> parent,
+         int64_t pool_size = 0)
+      : data_(data), size_(size), owned_(owned), pool_size_(pool_size),
+        parent_(std::move(parent)) {}
 
   uint8_t* data_;
   int64_t size_;
   bool owned_;
+  int64_t pool_size_;  // BufferPool block size; 0 = not pool-backed
   std::shared_ptr<Buffer> parent_;  // keeps sliced storage alive
 };
 

@@ -1,0 +1,133 @@
+#include "tensor/buffer_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace tqp {
+
+namespace {
+constexpr int64_t kAlignment = 64;
+}  // namespace
+
+int64_t BufferPool::DefaultMaxCachedBytes() {
+  static const int64_t cap = [] {
+    const char* v = std::getenv("TQP_BUFFER_POOL_MB");
+    if (v != nullptr && *v != '\0') {
+      const int64_t mb = std::strtoll(v, nullptr, 10);
+      if (mb >= 0) return mb << 20;
+    }
+    return int64_t{256} << 20;
+  }();
+  return cap;
+}
+
+BufferPool* BufferPool::Global() {
+  static BufferPool* pool = new BufferPool();
+  return pool;
+}
+
+BufferPool::BufferPool(int64_t max_cached_bytes)
+    : max_cached_bytes_(std::max<int64_t>(0, max_cached_bytes)) {}
+
+BufferPool::~BufferPool() { Trim(); }
+
+int BufferPool::ClassIndex(int64_t size) {
+  if (size > (int64_t{1} << kMaxClassLog2)) return -1;
+  int cls = 0;
+  while ((int64_t{1} << (kMinClassLog2 + cls)) < size) ++cls;
+  return cls;
+}
+
+uint8_t* BufferPool::Acquire(int64_t size, int64_t* alloc_size) {
+  const int cls = ClassIndex(size);
+  if (cls < 0) {
+    // Bypass: too big to pool. Round up for aligned_alloc's contract.
+    const int64_t alloc = ((size + kAlignment - 1) / kAlignment) * kAlignment;
+    auto* mem = static_cast<uint8_t*>(
+        std::aligned_alloc(static_cast<size_t>(kAlignment), static_cast<size_t>(alloc)));
+    if (mem == nullptr) return nullptr;
+    std::memset(mem, 0, static_cast<size_t>(alloc));
+    *alloc_size = alloc;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.bypass;
+    stats_.live_bytes += alloc;
+    stats_.peak_live_bytes = std::max(stats_.peak_live_bytes, stats_.live_bytes);
+    return mem;
+  }
+  const int64_t alloc = int64_t{1} << (kMinClassLog2 + cls);
+  *alloc_size = alloc;
+  uint8_t* mem = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.allocations;
+    auto& free_list = free_lists_[cls];
+    if (!free_list.empty()) {
+      mem = free_list.back();
+      free_list.pop_back();
+      ++stats_.pool_hits;
+      stats_.recycled_bytes += alloc;
+      stats_.cached_bytes -= alloc;
+    } else {
+      ++stats_.pool_misses;
+    }
+    stats_.live_bytes += alloc;
+    stats_.peak_live_bytes = std::max(stats_.peak_live_bytes, stats_.live_bytes);
+  }
+  if (mem == nullptr) {
+    mem = static_cast<uint8_t*>(
+        std::aligned_alloc(static_cast<size_t>(kAlignment), static_cast<size_t>(alloc)));
+    if (mem == nullptr) {
+      std::lock_guard<std::mutex> lock(mu_);
+      --stats_.pool_misses;
+      --stats_.allocations;
+      stats_.live_bytes -= alloc;
+      return nullptr;
+    }
+  }
+  // Recycled and fresh blocks alike hand out zeroed memory (string padding
+  // bytes must be zero for bit-identical results) — but only over the bytes
+  // the caller asked for: nothing ever reads past the requested size, and a
+  // request just over a class boundary would otherwise pay nearly double.
+  const int64_t zero = std::min(
+      alloc, ((size + kAlignment - 1) / kAlignment) * kAlignment);
+  std::memset(mem, 0, static_cast<size_t>(zero));
+  return mem;
+}
+
+void BufferPool::Release(uint8_t* data, int64_t alloc_size) {
+  if (data == nullptr) return;
+  const int cls = ClassIndex(alloc_size);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.live_bytes -= alloc_size;
+    if (cls >= 0 && (int64_t{1} << (kMinClassLog2 + cls)) == alloc_size &&
+        stats_.cached_bytes + alloc_size <= max_cached_bytes_) {
+      free_lists_[cls].push_back(data);
+      stats_.cached_bytes += alloc_size;
+      return;
+    }
+  }
+  std::free(data);
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BufferPool::ResetPeak() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.peak_live_bytes = stats_.live_bytes;
+}
+
+void BufferPool::Trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& free_list : free_lists_) {
+    for (uint8_t* mem : free_list) std::free(mem);
+    free_list.clear();
+  }
+  stats_.cached_bytes = 0;
+}
+
+}  // namespace tqp

@@ -1,0 +1,92 @@
+#ifndef TQP_TENSOR_BUFFER_POOL_H_
+#define TQP_TENSOR_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace tqp {
+
+/// \brief Counters for one BufferPool (monotonic unless noted).
+struct BufferPoolStats {
+  int64_t allocations = 0;      // Acquire calls served (pooled classes)
+  int64_t pool_hits = 0;        // served from a free list (no malloc)
+  int64_t pool_misses = 0;      // served by a fresh allocation
+  int64_t bypass = 0;           // larger than the max pooled class
+  int64_t recycled_bytes = 0;   // cumulative bytes served from free lists
+  int64_t cached_bytes = 0;     // currently parked in free lists (gauge)
+  int64_t live_bytes = 0;       // handed out and not yet released (gauge)
+  int64_t peak_live_bytes = 0;  // high-water of live_bytes since ResetPeak
+};
+
+/// \brief Size-classed recycling allocator for tensor storage.
+///
+/// Kernels allocate a fresh output per op, so a streaming executor churns
+/// through morsel-sized scratch buffers at a very high rate. The pool parks
+/// freed blocks on power-of-two free lists and hands them back zeroed, which
+/// turns that churn into a handful of resident blocks shared across
+/// operators, pipelines and concurrent queries. Blocks above the max pooled
+/// class bypass the free lists (allocated and freed directly) but still count
+/// toward the live/peak gauges, so `peak_live_bytes` is a faithful
+/// peak-allocation proxy for a query's working set.
+///
+/// Zeroing on reuse is deliberate: padded string tensors rely on zero padding
+/// bytes (hashing and comparisons read the full width), so recycled memory
+/// must be indistinguishable from a fresh calloc for results to stay
+/// bit-identical.
+class BufferPool {
+ public:
+  /// `max_cached_bytes` caps the total bytes parked in free lists; releases
+  /// beyond the cap free eagerly. 0 disables recycling (stats still track).
+  explicit BufferPool(int64_t max_cached_bytes = DefaultMaxCachedBytes());
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// \brief Returns a zeroed, 64-byte-aligned block of at least `size` bytes,
+  /// or null on exhaustion. `*alloc_size` receives the actual block size,
+  /// which must be passed back to Release.
+  uint8_t* Acquire(int64_t size, int64_t* alloc_size);
+
+  /// \brief Returns a block obtained from Acquire. `alloc_size` must be the
+  /// value Acquire reported for it.
+  void Release(uint8_t* data, int64_t alloc_size);
+
+  BufferPoolStats stats() const;
+
+  /// \brief Resets the live-bytes high-water mark (bench runs call this
+  /// between backends to attribute peak working set per run).
+  void ResetPeak();
+
+  /// \brief Frees every cached block.
+  void Trim();
+
+  int64_t max_cached_bytes() const { return max_cached_bytes_; }
+
+  /// \brief The process-wide pool Buffer::Allocate draws from. Never
+  /// destroyed (buffers may outlive static destruction order).
+  static BufferPool* Global();
+
+  /// \brief Cache cap for default-constructed pools: TQP_BUFFER_POOL_MB env
+  /// var (0 disables recycling), else 256 MiB.
+  static int64_t DefaultMaxCachedBytes();
+
+ private:
+  // Pooled classes: 64 B (2^6) .. 16 MiB (2^24); larger requests bypass.
+  static constexpr int kMinClassLog2 = 6;
+  static constexpr int kMaxClassLog2 = 24;
+  static constexpr int kNumClasses = kMaxClassLog2 - kMinClassLog2 + 1;
+
+  /// Class index for `size`, or -1 when it exceeds the max pooled class.
+  static int ClassIndex(int64_t size);
+
+  const int64_t max_cached_bytes_;
+  mutable std::mutex mu_;
+  std::vector<uint8_t*> free_lists_[kNumClasses];
+  BufferPoolStats stats_;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_TENSOR_BUFFER_POOL_H_

@@ -1,0 +1,412 @@
+// Tests for the pipelined morsel-streaming execution stack: the compiler's
+// pipeline splitter (streamable-op classification, breaker placement,
+// cardinality tracking through filters and join expansions), bit-identical
+// PipelinedExecutor results against the serial executors on TPC-H and ML
+// prediction pipelines at several thread counts and morsel sizes, and the
+// size-classed BufferPool underneath it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "compile/compiler.h"
+#include "compile/pipeline.h"
+#include "datasets/iris.h"
+#include "ml/linear.h"
+#include "ml/tree.h"
+#include "runtime/runtime.h"
+#include "tensor/buffer_pool.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace tqp {
+namespace {
+
+void ExpectTensorsIdentical(const Tensor& got, const Tensor& want,
+                            const std::string& what) {
+  ASSERT_EQ(got.dtype(), want.dtype()) << what;
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  if (want.numel() > 0) {
+    ASSERT_EQ(std::memcmp(got.raw_data(), want.raw_data(),
+                          static_cast<size_t>(want.nbytes())),
+              0)
+        << what << ": payload differs";
+  }
+}
+
+void ExpectTablesIdentical(const Table& got, const Table& want,
+                           const std::string& what) {
+  ASSERT_EQ(got.num_columns(), want.num_columns()) << what;
+  ASSERT_EQ(got.num_rows(), want.num_rows()) << what;
+  for (int c = 0; c < want.num_columns(); ++c) {
+    ASSERT_EQ(got.schema().field(c).name, want.schema().field(c).name) << what;
+    ExpectTensorsIdentical(got.column(c).tensor(), want.column(c).tensor(),
+                           what + " column " + want.schema().field(c).name);
+  }
+}
+
+// ---- Pipeline splitter ------------------------------------------------------
+
+TEST(PipelineSplitTest, StreamableOpClassification) {
+  // Per-row work streams; order-, prefix- and whole-input-dependent ops break.
+  for (OpType streamable :
+       {OpType::kBinary, OpType::kCompare, OpType::kCast, OpType::kWhere,
+        OpType::kCompress, OpType::kNonzero, OpType::kGather,
+        OpType::kRepeatInterleave, OpType::kSearchSorted, OpType::kHashRows,
+        OpType::kMatMul, OpType::kStringLike, OpType::kSubstring}) {
+    EXPECT_TRUE(IsStreamableOp(streamable)) << OpTypeName(streamable);
+  }
+  for (OpType breaker :
+       {OpType::kReduceAll, OpType::kCumSum, OpType::kSegmentedReduce,
+        OpType::kArgsortRows, OpType::kSegmentBoundaries, OpType::kUniqueSorted,
+        OpType::kConcatRows}) {
+    EXPECT_FALSE(IsStreamableOp(breaker)) << OpTypeName(breaker);
+  }
+}
+
+TEST(PipelineSplitTest, FilterProjectChainFusesIntoOnePipeline) {
+  // scan -> filter -> arithmetic projection: one pipeline, no breakers.
+  auto program = std::make_shared<TensorProgram>();
+  const int a = program->AddInput("t.a");
+  const int b = program->AddInput("t.b");
+  AttrMap gt;
+  gt.Set("op", int64_t{2});  // some CompareOpKind
+  const int mask = program->AddNode(OpType::kCompare, {a, b}, gt, "filter");
+  const int ca = program->AddNode(OpType::kCompress, {a, mask}, {}, "filter a");
+  const int cb = program->AddNode(OpType::kCompress, {b, mask}, {}, "filter b");
+  AttrMap mul;
+  mul.Set("op", int64_t{2});  // BinaryOpKind::kMul
+  const int prod = program->AddNode(OpType::kBinary, {ca, cb}, mul, "project");
+  program->MarkOutput(prod);
+
+  const PipelinePlan plan = BuildPipelinePlan(*program);
+  ASSERT_EQ(plan.pipelines.size(), 1u) << plan.ToString(*program);
+  // The whole chain streams: mask, both compresses (a cardinality change!)
+  // and the projection over the survivors.
+  EXPECT_EQ(plan.pipelines[0].nodes.size(), 4u) << plan.ToString(*program);
+  // Only the projection materializes.
+  ASSERT_EQ(plan.pipelines[0].outputs.size(), 1u);
+  EXPECT_EQ(plan.pipelines[0].outputs[0], prod);
+}
+
+TEST(PipelineSplitTest, BreakerSplitsPipelines) {
+  // filter -> sort: the argsort is a breaker; the gather after it streams
+  // over a new driver domain.
+  auto program = std::make_shared<TensorProgram>();
+  const int a = program->AddInput("t.a");
+  AttrMap gt;
+  gt.Set("op", int64_t{2});
+  const int self_mask = program->AddNode(OpType::kCompare, {a, a}, gt);
+  const int ca = program->AddNode(OpType::kCompress, {a, self_mask}, {});
+  AttrMap asc;
+  asc.Set("ascending", true);
+  const int perm = program->AddNode(OpType::kArgsortRows, {ca}, asc);
+  const int sorted = program->AddNode(OpType::kGather, {ca, perm}, {});
+  program->MarkOutput(sorted);
+
+  const PipelinePlan plan = BuildPipelinePlan(*program);
+  // Two pipelines (filter chain; gather over the permutation) around one
+  // serial breaker step.
+  ASSERT_EQ(plan.pipelines.size(), 2u) << plan.ToString(*program);
+  int serial_ops = 0;
+  for (const PipelineStep& step : plan.schedule) {
+    if (step.serial_node == perm) ++serial_ops;
+  }
+  EXPECT_EQ(serial_ops, 1);
+  // The compressed column materializes (the sort and the gather consume it).
+  const auto& outs = plan.pipelines[0].outputs;
+  EXPECT_TRUE(std::find(outs.begin(), outs.end(), ca) != outs.end());
+}
+
+TEST(PipelineSplitTest, TpchPlansContainRealPipelines) {
+  Catalog catalog;
+  tpch::DbgenOptions gen;
+  gen.scale_factor = 0.001;
+  TQP_CHECK_OK(tpch::GenerateAll(gen, &catalog));
+  QueryCompiler compiler;
+  for (int q : {1, 3, 6}) {
+    const std::string sql = tpch::QueryText(q).ValueOrDie();
+    CompileOptions options;
+    options.target = ExecutorTarget::kPipelined;
+    auto compiled = compiler.CompileSql(sql, catalog, options).ValueOrDie();
+    const PipelinePlan plan = BuildPipelinePlan(compiled.program());
+    EXPECT_GE(plan.pipelines.size(), 1u) << "Q" << q;
+    // The scan->filter->project front of every TPC-H plan must actually
+    // fuse: at least one pipeline with a multi-op chain.
+    size_t longest = 0;
+    for (const Pipeline& p : plan.pipelines) {
+      longest = std::max(longest, p.nodes.size());
+    }
+    EXPECT_GE(longest, 3u) << "Q" << q << "\n" << plan.ToString(compiled.program());
+    // Fusing must skip materialization: fewer pipeline outputs than
+    // streamed nodes, else streaming won by nothing.
+    size_t streamed = 0;
+    size_t materialized = 0;
+    for (const Pipeline& p : plan.pipelines) {
+      streamed += p.nodes.size();
+      materialized += p.outputs.size();
+    }
+    EXPECT_LT(materialized, streamed) << "Q" << q;
+  }
+}
+
+// ---- PipelinedExecutor: differential --------------------------------------
+
+class PipelineTpchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::DbgenOptions options;
+    options.scale_factor = 0.01;
+    TQP_CHECK_OK(tpch::GenerateAll(options, catalog_));
+  }
+  static Catalog* catalog_;
+};
+
+Catalog* PipelineTpchTest::catalog_ = nullptr;
+
+TEST_F(PipelineTpchTest, PipelinedBitIdenticalToEagerOnTpch) {
+  QueryCompiler compiler;
+  for (int q : {1, 3, 4, 6, 10, 12, 14}) {
+    const std::string sql = tpch::QueryText(q).ValueOrDie();
+    CompileOptions eager_options;
+    eager_options.target = ExecutorTarget::kEager;
+    Table reference = compiler.CompileSql(sql, *catalog_, eager_options)
+                          .ValueOrDie()
+                          .Run(*catalog_)
+                          .ValueOrDie();
+    for (int threads : {1, 2, 8}) {
+      CompileOptions pipe_options;
+      pipe_options.target = ExecutorTarget::kPipelined;
+      pipe_options.num_threads = threads;
+      pipe_options.morsel_rows = 1000;  // many morsels even at SF 0.01
+      Table result = compiler.CompileSql(sql, *catalog_, pipe_options)
+                         .ValueOrDie()
+                         .Run(*catalog_)
+                         .ValueOrDie();
+      ExpectTablesIdentical(result, reference,
+                            "Q" + std::to_string(q) + " at " +
+                                std::to_string(threads) + " threads");
+    }
+  }
+}
+
+TEST_F(PipelineTpchTest, PipelinedExactAcrossMorselSizes) {
+  // Morsel-size sweep including pathological sizes (1 row per morsel).
+  QueryCompiler compiler;
+  const std::string sql = tpch::QueryText(6).ValueOrDie();
+  CompileOptions eager_options;
+  eager_options.target = ExecutorTarget::kEager;
+  Table reference = compiler.CompileSql(sql, *catalog_, eager_options)
+                        .ValueOrDie()
+                        .Run(*catalog_)
+                        .ValueOrDie();
+  for (int64_t morsel : {1, 7, 977, 1 << 20}) {
+    CompileOptions options;
+    options.target = ExecutorTarget::kPipelined;
+    options.num_threads = 4;
+    options.morsel_rows = morsel;
+    Table result = compiler.CompileSql(sql, *catalog_, options)
+                       .ValueOrDie()
+                       .Run(*catalog_)
+                       .ValueOrDie();
+    ExpectTablesIdentical(result, reference,
+                          "morsel " + std::to_string(morsel));
+  }
+}
+
+TEST(PipelineMlTest, PipelinedBitIdenticalToInterpOnPredictionPipeline) {
+  Catalog catalog;
+  ml::ModelRegistry registry;
+  Table iris = datasets::IrisTable().ValueOrDie();
+  catalog.RegisterTable("iris", iris);
+  Tensor features = Tensor::Empty(DType::kFloat64, iris.num_rows(), 3).ValueOrDie();
+  Tensor target = Tensor::Empty(DType::kFloat64, iris.num_rows(), 1).ValueOrDie();
+  for (int64_t i = 0; i < iris.num_rows(); ++i) {
+    for (int f = 0; f < 3; ++f) {
+      features.mutable_data<double>()[i * 3 + f] =
+          iris.column(f).tensor().at<double>(i);
+    }
+    target.mutable_data<double>()[i] = iris.column(3).tensor().at<double>(i);
+  }
+  registry.Register(
+      ml::LinearRegressionModel::Fit("petal_lr", features, target).ValueOrDie());
+  ml::RandomForestModel::FitOptions forest_options;
+  forest_options.num_trees = 5;
+  registry.Register(
+      ml::RandomForestModel::Fit("petal_rf", features, target, forest_options)
+          .ValueOrDie());
+  QueryCompiler compiler(&registry);
+  for (const char* model : {"petal_lr", "petal_rf"}) {
+    const std::string sql =
+        std::string("SELECT species, AVG(PREDICT('") + model +
+        "', sepal_length, sepal_width, petal_length)) AS predicted_width "
+        "FROM iris GROUP BY species ORDER BY species";
+    CompileOptions interp_options;
+    interp_options.target = ExecutorTarget::kInterp;
+    Table reference = compiler.CompileSql(sql, catalog, interp_options)
+                          .ValueOrDie()
+                          .Run(catalog)
+                          .ValueOrDie();
+    for (int threads : {1, 2, 8}) {
+      CompileOptions pipe_options;
+      pipe_options.target = ExecutorTarget::kPipelined;
+      pipe_options.num_threads = threads;
+      pipe_options.morsel_rows = 16;  // iris is tiny; force real morsel fan-out
+      Table result = compiler.CompileSql(sql, catalog, pipe_options)
+                         .ValueOrDie()
+                         .Run(catalog)
+                         .ValueOrDie();
+      ExpectTablesIdentical(result, reference,
+                            std::string(model) + " at " + std::to_string(threads) +
+                                " threads");
+    }
+  }
+}
+
+TEST(PipelineExecTest, RuntimeBroadcastSourceDisablesOffsetStreaming) {
+  // Regression: the splitter proves compare(y, y)'s domain equal to the
+  // driver via binary(x, y)'s union — but at runtime y is a 1-row broadcast,
+  // so the nonzero downstream must NOT add morsel offsets. The executor has
+  // to detect the broadcast and evaluate the pipeline whole.
+  auto program = std::make_shared<TensorProgram>();
+  const int x = program->AddInput("x");
+  const int y = program->AddInput("y");
+  AttrMap add;
+  add.Set("op", static_cast<int64_t>(BinaryOpKind::kAdd));
+  const int b1 = program->AddNode(OpType::kBinary, {x, y}, add);
+  AttrMap eq;
+  eq.Set("op", static_cast<int64_t>(CompareOpKind::kEq));
+  const int m = program->AddNode(OpType::kCompare, {y, y}, eq);
+  const int nz = program->AddNode(OpType::kNonzero, {m}, {});
+  program->MarkOutput(b1);
+  program->MarkOutput(nz);
+
+  const int64_t n = 40000;
+  Tensor xt = Tensor::Empty(DType::kFloat64, n, 1).ValueOrDie();
+  for (int64_t i = 0; i < n; ++i) xt.mutable_data<double>()[i] = double(i % 97);
+  Tensor yt = Tensor::Full(DType::kFloat64, 1, 1, 2.5).ValueOrDie();
+
+  auto eager = MakeExecutor(ExecutorTarget::kEager, program).ValueOrDie();
+  auto expected = eager->Run({xt, yt}).ValueOrDie();
+  ExecOptions options;
+  options.num_threads = 4;
+  options.morsel_rows = 1000;  // 40 morsels
+  auto pipelined =
+      MakeExecutor(ExecutorTarget::kPipelined, program, options).ValueOrDie();
+  auto got = pipelined->Run({xt, yt}).ValueOrDie();
+  ASSERT_EQ(got.size(), expected.size());
+  ExpectTensorsIdentical(got[0], expected[0], "broadcast binary");
+  ExpectTensorsIdentical(got[1], expected[1], "nonzero over broadcast mask");
+}
+
+TEST_F(PipelineTpchTest, SimulatedDeviceStillMetersKernels) {
+  // On the GPU simulator the pipelined backend degrades to whole-node
+  // evaluation so every kernel launch hits the simulated clock.
+  QueryCompiler compiler;
+  const std::string sql = tpch::QueryText(6).ValueOrDie();
+  CompileOptions options;
+  options.target = ExecutorTarget::kPipelined;
+  options.device = DeviceKind::kCudaSim;
+  auto compiled = compiler.CompileSql(sql, *catalog_, options).ValueOrDie();
+  GetDevice(DeviceKind::kCudaSim)->ResetClock();
+  Table result = compiled.Run(*catalog_).ValueOrDie();
+  EXPECT_GT(result.num_rows(), 0);
+  EXPECT_GT(GetDevice(DeviceKind::kCudaSim)->simulated_seconds(), 0.0);
+}
+
+// ---- BufferPool ------------------------------------------------------------
+
+TEST(BufferPoolTest, RecyclesSizeClassesZeroed) {
+  BufferPool pool(/*max_cached_bytes=*/1 << 20);
+  int64_t alloc = 0;
+  uint8_t* block = pool.Acquire(1000, &alloc);
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(alloc, 1024);  // next power of two
+  std::memset(block, 0xab, 1000);
+  pool.Release(block, alloc);
+  EXPECT_EQ(pool.stats().cached_bytes, 1024);
+
+  // Same class comes back recycled — and zeroed, despite the scribble.
+  int64_t alloc2 = 0;
+  uint8_t* again = pool.Acquire(600, &alloc2);
+  ASSERT_EQ(again, block);
+  EXPECT_EQ(alloc2, 1024);
+  for (int i = 0; i < 600; ++i) ASSERT_EQ(again[i], 0) << "byte " << i;
+  pool.Release(again, alloc2);
+
+  const BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.allocations, 2);
+  EXPECT_EQ(stats.pool_hits, 1);
+  EXPECT_EQ(stats.pool_misses, 1);
+  EXPECT_EQ(stats.recycled_bytes, 1024);
+  EXPECT_EQ(stats.live_bytes, 0);
+  EXPECT_EQ(stats.peak_live_bytes, 1024);
+  pool.Trim();
+  EXPECT_EQ(pool.stats().cached_bytes, 0);
+}
+
+TEST(BufferPoolTest, CapAndBypassRespected) {
+  BufferPool pool(/*max_cached_bytes=*/2048);
+  int64_t a1 = 0;
+  int64_t a2 = 0;
+  uint8_t* b1 = pool.Acquire(2048, &a1);
+  uint8_t* b2 = pool.Acquire(2048, &a2);
+  pool.Release(b1, a1);
+  pool.Release(b2, a2);  // over the cap: freed, not cached
+  EXPECT_EQ(pool.stats().cached_bytes, 2048);
+
+  // Oversized blocks bypass the classes entirely.
+  int64_t big_alloc = 0;
+  uint8_t* big = pool.Acquire((int64_t{1} << 24) + 1, &big_alloc);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(pool.stats().bypass, 1);
+  EXPECT_GT(pool.stats().live_bytes, int64_t{1} << 24);
+  pool.Release(big, big_alloc);
+  EXPECT_EQ(pool.stats().cached_bytes, 2048);  // bypass never parks
+  pool.Trim();
+}
+
+TEST(BufferPoolTest, TensorAllocationsFlowThroughGlobalPool) {
+  BufferPool* pool = BufferPool::Global();
+  const BufferPoolStats before = pool->stats();
+  {
+    Tensor t = Tensor::Empty(DType::kFloat64, 4096, 1).ValueOrDie();
+    ASSERT_TRUE(t.defined());
+    const BufferPoolStats during = pool->stats();
+    EXPECT_GT(during.live_bytes, before.live_bytes);
+  }
+  // Drop + reallocate the same shape: the second allocation must be served
+  // from the free list (the class is hot now).
+  const int64_t hits_before = pool->stats().pool_hits;
+  { Tensor t = Tensor::Empty(DType::kFloat64, 4096, 1).ValueOrDie(); }
+  { Tensor t = Tensor::Empty(DType::kFloat64, 4096, 1).ValueOrDie(); }
+  EXPECT_GT(pool->stats().pool_hits, hits_before);
+}
+
+TEST(BufferPoolTest, PipelinedQueryRecyclesMorselScratch) {
+  Catalog catalog;
+  tpch::DbgenOptions gen;
+  gen.scale_factor = 0.01;
+  TQP_CHECK_OK(tpch::GenerateAll(gen, &catalog));
+  QueryCompiler compiler;
+  CompileOptions options;
+  options.target = ExecutorTarget::kPipelined;
+  options.num_threads = 2;
+  options.morsel_rows = 2000;
+  auto compiled =
+      compiler.CompileSql(tpch::QueryText(6).ValueOrDie(), catalog, options)
+          .ValueOrDie();
+  TQP_CHECK_OK(compiled.Run(catalog).status());  // warm the size classes
+  const int64_t hits_before = BufferPool::Global()->stats().pool_hits;
+  TQP_CHECK_OK(compiled.Run(catalog).status());
+  EXPECT_GT(BufferPool::Global()->stats().pool_hits, hits_before);
+}
+
+}  // namespace
+}  // namespace tqp

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <future>
 #include <mutex>
@@ -305,6 +306,56 @@ TEST(ParallelKernelTest, ReductionsMatchSerial) {
   EXPECT_FALSE(runtime::ParallelSegmentedReduce(ctx, ReduceOpKind::kSum, ints, ids,
                                                 groups)
                    .ok());
+}
+
+TEST(ParallelKernelTest, ConcatRowsMatchesSerial) {
+  ThreadPool pool(4);
+  const ParallelContext ctx = SmallMorselContext(&pool);
+  Rng rng(55);
+  // Numeric parts of assorted lengths.
+  std::vector<Tensor> parts;
+  for (int64_t rows : {4000, 1, 0, 9000, 2500}) {
+    Tensor t = Tensor::Empty(DType::kInt64, rows, 1).ValueOrDie();
+    for (int64_t i = 0; i < rows; ++i) {
+      t.mutable_data<int64_t>()[i] = rng.Uniform(-1000, 1000);
+    }
+    parts.push_back(std::move(t));
+  }
+  ExpectTensorsIdentical(runtime::ParallelConcatRows(ctx, parts).ValueOrDie(),
+                         kernels::ConcatRows(parts).ValueOrDie(), "concat int64");
+  // Padded uint8 string parts with differing widths (the LEFT JOIN shape).
+  std::vector<Tensor> strings;
+  for (auto [rows, width] : std::vector<std::pair<int64_t, int64_t>>{
+           {6000, 8}, {4000, 3}, {5000, 8}}) {
+    Tensor t = Tensor::Empty(DType::kUInt8, rows, width).ValueOrDie();
+    for (int64_t i = 0; i < rows * width; ++i) {
+      t.mutable_data<uint8_t>()[i] = static_cast<uint8_t>(rng.Uniform('a', 'z'));
+    }
+    strings.push_back(std::move(t));
+  }
+  ExpectTensorsIdentical(runtime::ParallelConcatRows(ctx, strings).ValueOrDie(),
+                         kernels::ConcatRows(strings).ValueOrDie(),
+                         "concat padded strings");
+}
+
+TEST(ParallelKernelTest, RepeatInterleaveMatchesSerial) {
+  ThreadPool pool(4);
+  const ParallelContext ctx = SmallMorselContext(&pool);
+  Rng rng(66);
+  const int64_t n = 30000;
+  Tensor vals = Tensor::Empty(DType::kFloat64, n, 1).ValueOrDie();
+  Tensor counts = Tensor::Empty(DType::kInt64, n, 1).ValueOrDie();
+  for (int64_t i = 0; i < n; ++i) {
+    vals.mutable_data<double>()[i] = rng.UniformDouble(-10, 10);
+    counts.mutable_data<int64_t>()[i] = rng.Uniform(0, 4);  // many zeros
+  }
+  ExpectTensorsIdentical(
+      runtime::ParallelRepeatInterleave(ctx, vals, counts).ValueOrDie(),
+      kernels::RepeatInterleave(vals, counts).ValueOrDie(), "repeat_interleave");
+  // Negative count: both reject.
+  counts.mutable_data<int64_t>()[n / 3] = -2;
+  EXPECT_FALSE(runtime::ParallelRepeatInterleave(ctx, vals, counts).ok());
+  EXPECT_FALSE(kernels::RepeatInterleave(vals, counts).ok());
 }
 
 TEST(ParallelKernelTest, StableArgsortMatchesSerial) {
@@ -627,6 +678,217 @@ TEST_F(SessionTest, CompileErrorsSurfaceInOutcome) {
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(session.queries_failed(), 1);
   EXPECT_EQ(scheduler.counters().failed, 1);
+}
+
+// ---- One cross-query pool, priorities, backpressure -------------------------
+
+TEST_F(SessionTest, ConcurrentSchedulersShareOneProcessWidePool) {
+  // No per-scheduler worker threads and no per-executor pools: every
+  // scheduler (and through CompileOptions::pool, every compiled executor)
+  // lands on the same process-wide ThreadPool.
+  runtime::QueryScheduler s1(catalog_);
+  runtime::QueryScheduler s2(catalog_);
+  EXPECT_EQ(s1.pool(), ThreadPool::Global());
+  EXPECT_EQ(s1.pool(), s2.pool());
+  EXPECT_EQ(s1.options().compile.pool, ThreadPool::Global());
+
+  // Executors compiled for the scheduler bind the shared pool directly.
+  auto program = std::make_shared<TensorProgram>();
+  const int in = program->AddInput("x");
+  AttrMap add;
+  add.Set("op", static_cast<int64_t>(BinaryOpKind::kAdd));
+  program->MarkOutput(program->AddNode(OpType::kBinary, {in, in}, add));
+  ExecOptions exec_options;
+  exec_options.pool = s1.pool();
+  exec_options.num_threads = 7;  // an explicit pool must win over this
+  ParallelExecutor parallel(program, exec_options);
+  EXPECT_EQ(parallel.pool(), ThreadPool::Global());
+  PipelinedExecutor pipelined(program, exec_options);
+  EXPECT_EQ(pipelined.pool(), ThreadPool::Global());
+
+  // Both schedulers execute concurrently on that one pool.
+  const std::string sql = tpch::QueryText(6).ValueOrDie();
+  auto f1 = s1.Submit(sql).ValueOrDie();
+  auto f2 = s2.Submit(sql).ValueOrDie();
+  EXPECT_TRUE(f1.get().status.ok());
+  EXPECT_TRUE(f2.get().status.ok());
+}
+
+TEST_F(SessionTest, HighPriorityDispatchesBeforeEarlierLowPriority) {
+  // Jam a private 1-thread pool so every submission queues before any job is
+  // popped; the pop order is then purely priority-driven and observable
+  // through the plan cache: the kHigh job (submitted second) compiles, the
+  // kLow copy of the same statement hits the cache afterwards.
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  pool.Submit([gate] { gate.wait(); });
+
+  runtime::SchedulerOptions options;
+  options.pool = &pool;
+  options.max_concurrent = 1;
+  runtime::QueryScheduler scheduler(catalog_, options);
+  const std::string sql = "SELECT COUNT(*) AS n FROM region";
+  auto low = scheduler.Submit(sql, runtime::QueryPriority::kLow).ValueOrDie();
+  auto high = scheduler.Submit(sql, runtime::QueryPriority::kHigh).ValueOrDie();
+  release.set_value();
+
+  runtime::QueryOutcome high_outcome = high.get();
+  runtime::QueryOutcome low_outcome = low.get();
+  ASSERT_TRUE(high_outcome.status.ok()) << high_outcome.status.ToString();
+  ASSERT_TRUE(low_outcome.status.ok()) << low_outcome.status.ToString();
+  EXPECT_FALSE(high_outcome.stats.cache_hit);  // ran first, compiled
+  EXPECT_TRUE(low_outcome.stats.cache_hit);    // ran second, reused the plan
+}
+
+TEST_F(SessionTest, BackpressureShedsLowPriorityFirst) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  pool.Submit([gate] { gate.wait(); });
+
+  runtime::SchedulerOptions options;
+  options.pool = &pool;
+  options.max_concurrent = 1;
+  options.queue_capacity = 4;
+  options.backpressure_watermark = 0.5;  // kLow shed once 2 queries wait
+  runtime::QueryScheduler scheduler(catalog_, options);
+  const std::string sql = "SELECT COUNT(*) AS n FROM region";
+
+  ASSERT_TRUE(scheduler.Submit(sql).ok());
+  ASSERT_TRUE(scheduler.Submit(sql).ok());
+  // Watermark reached: low-priority work is shed, normal/high still admit.
+  auto shed = scheduler.Submit(sql, runtime::QueryPriority::kLow);
+  EXPECT_FALSE(shed.ok());
+  ASSERT_TRUE(scheduler.Submit(sql, runtime::QueryPriority::kNormal).ok());
+  ASSERT_TRUE(scheduler.Submit(sql, runtime::QueryPriority::kHigh).ok());
+  // Hard capacity still applies to everyone.
+  auto full = scheduler.Submit(sql, runtime::QueryPriority::kHigh);
+  EXPECT_FALSE(full.ok());
+
+  const auto counters = scheduler.counters();
+  EXPECT_EQ(counters.admitted, 4);
+  EXPECT_EQ(counters.rejected, 2);
+  EXPECT_EQ(counters.shed_low_priority, 1);
+  release.set_value();  // drain; the destructor waits for completion
+}
+
+TEST_F(SessionTest, IdleQueueNeverShedsLowPriority) {
+  // Regression: a small watermark over a small capacity must not truncate to
+  // a threshold of zero (which shed every kLow query on an idle scheduler).
+  runtime::SchedulerOptions options;
+  options.queue_capacity = 8;
+  options.backpressure_watermark = 0.1;  // ceil(0.8) == 1, not 0
+  runtime::QueryScheduler scheduler(catalog_, options);
+  auto admitted =
+      scheduler.Submit("SELECT COUNT(*) AS n FROM region",
+                       runtime::QueryPriority::kLow);
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+  EXPECT_TRUE(admitted.ValueOrDie().get().status.ok());
+  EXPECT_EQ(scheduler.counters().shed_low_priority, 0);
+}
+
+TEST_F(SessionTest, DestructionFromPoolThreadDrainsWithoutDeadlock) {
+  // Regression: a scheduler created, used and destroyed *inside a task on
+  // its own pool* must still drain — the destructor has to run pool tasks
+  // cooperatively instead of blocking the only worker that could execute
+  // its queued queries.
+  ThreadPool pool(1);
+  std::promise<bool> done;
+  pool.Submit([&] {
+    runtime::SchedulerOptions options;
+    options.pool = &pool;
+    runtime::QueryScheduler scheduler(catalog_, options);
+    auto future_or = scheduler.Submit("SELECT COUNT(*) AS n FROM region");
+    bool ok = future_or.ok();
+    // Scheduler destructs here, on the pool's single worker thread, with the
+    // query still queued behind this very task.
+    done.set_value(ok);
+  });
+  std::future<bool> finished = done.get_future();
+  ASSERT_EQ(finished.wait_for(std::chrono::seconds(60)),
+            std::future_status::ready)
+      << "scheduler drain deadlocked";
+  EXPECT_TRUE(finished.get());
+}
+
+TEST_F(SessionTest, SchedulerRunsPipelinedBackend) {
+  runtime::SchedulerOptions options;
+  options.compile.target = ExecutorTarget::kPipelined;
+  options.compile.morsel_rows = 500;
+  runtime::QueryScheduler scheduler(catalog_, options);
+  runtime::QuerySession session(&scheduler, "carol");
+
+  QueryCompiler compiler;
+  CompileOptions direct;
+  direct.target = ExecutorTarget::kEager;
+  const std::string sql = tpch::QueryText(3).ValueOrDie();
+  Table expected = compiler.CompileSql(sql, *catalog_, direct)
+                       .ValueOrDie()
+                       .Run(*catalog_)
+                       .ValueOrDie();
+  auto result = session.Execute(sql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectTablesIdentical(result.ValueOrDie(), expected, "pipelined via session");
+}
+
+// ---- Plan cache: eviction order + in-flight dedup ---------------------------
+
+TEST(PlanCacheTest, EvictionFollowsRecencyOrderExactly) {
+  runtime::PlanCache cache(3);
+  CompileOptions options;
+  auto plan = std::make_shared<const CompiledQuery>();
+  cache.Insert("q1", options, plan);
+  cache.Insert("q2", options, plan);
+  cache.Insert("q3", options, plan);
+  // Recency now (most..least): q3 q2 q1. Touch q1 and q2; q3 becomes LRU.
+  EXPECT_NE(cache.Lookup("q1", options), nullptr);
+  EXPECT_NE(cache.Lookup("q2", options), nullptr);
+  cache.Insert("q4", options, plan);  // evicts q3
+  EXPECT_EQ(cache.Lookup("q3", options), nullptr);
+  // Recency: q4 q2 q1. Re-inserting an existing key bumps, not grows.
+  cache.Insert("q1", options, plan);
+  EXPECT_EQ(cache.size(), 3u);
+  cache.Insert("q5", options, plan);  // evicts q2 (now least recent)
+  EXPECT_EQ(cache.Lookup("q2", options), nullptr);
+  EXPECT_NE(cache.Lookup("q1", options), nullptr);
+  EXPECT_NE(cache.Lookup("q4", options), nullptr);
+  EXPECT_NE(cache.Lookup("q5", options), nullptr);
+}
+
+TEST_F(SessionTest, InFlightCompileDedupAcrossConcurrentSessions) {
+  // Many sessions racing several distinct statements: each statement
+  // compiles exactly once; every other execution either waits on the
+  // in-flight compile or hits the cache.
+  runtime::SchedulerOptions options;
+  options.max_concurrent = 4;
+  runtime::QueryScheduler scheduler(catalog_, options);
+  const std::vector<std::string> statements = {
+      "SELECT COUNT(*) AS n FROM region",
+      "SELECT r_name, COUNT(*) AS n FROM region GROUP BY r_name ORDER BY r_name",
+  };
+  constexpr int kSessionsPerStatement = 8;
+  std::vector<std::future<runtime::QueryOutcome>> futures;
+  for (int i = 0; i < kSessionsPerStatement; ++i) {
+    for (const std::string& sql : statements) {
+      auto future_or = scheduler.Submit(sql);
+      ASSERT_TRUE(future_or.ok()) << future_or.status().ToString();
+      futures.push_back(std::move(future_or).ValueOrDie());
+    }
+  }
+  int compiles = 0;
+  for (auto& f : futures) {
+    runtime::QueryOutcome outcome = f.get();
+    ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    if (!outcome.stats.cache_hit) ++compiles;
+  }
+  EXPECT_EQ(compiles, static_cast<int>(statements.size()));
+  EXPECT_EQ(scheduler.plan_cache().size(), statements.size());
+  const auto counters = scheduler.counters();
+  EXPECT_EQ(counters.admitted,
+            static_cast<int64_t>(statements.size()) * kSessionsPerStatement);
+  EXPECT_EQ(counters.completed, counters.admitted);
+  EXPECT_EQ(counters.failed, 0);
 }
 
 }  // namespace

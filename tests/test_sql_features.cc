@@ -61,7 +61,8 @@ Table RunAllEngines(const std::string& sql, const Catalog& catalog) {
   QueryCompiler compiler;
   for (ExecutorTarget target : {ExecutorTarget::kEager, ExecutorTarget::kStatic,
                                 ExecutorTarget::kInterp,
-                                ExecutorTarget::kParallel}) {
+                                ExecutorTarget::kParallel,
+                                ExecutorTarget::kPipelined}) {
     CompileOptions options;
     options.target = target;
     auto compiled_or = compiler.CompileSql(sql, catalog, options);
