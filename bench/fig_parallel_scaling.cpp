@@ -7,11 +7,17 @@
 // BufferPool (peak live tensor bytes during the run): node-at-a-time
 // execution materializes every intermediate, pipelined execution holds
 // morsel-sized scratch plus pipeline outputs — the materialization win the
-// streaming refactor is after.
+// streaming refactor is after. The pipelined backend is measured both with
+// DAG overlap (independent pipeline steps scheduled concurrently, eager
+// value release) and with the sequential schedule walk (`"overlap": false`),
+// so the overlap-vs-peak-alloc trade is tracked per commit.
 //
-// Usage: fig_parallel_scaling [scale_factor]   (default 0.05)
+// Usage: fig_parallel_scaling [scale_factor] [num_queries]
+//   scale_factor  default 0.05
+//   num_queries   run only the first N of {Q1, Q3, Q6} (CI smoke uses 1)
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,14 +51,21 @@ RunResult MeasureQuery(const CompiledQuery& query, const std::vector<Tensor>& in
 
 RunResult MeasureTarget(QueryCompiler& compiler, const Catalog& catalog,
                         const std::string& sql, ExecutorTarget target, int threads,
-                        const std::vector<Tensor>& inputs,
+                        bool overlap, const std::vector<Tensor>& inputs,
                         const bench::TimingProtocol& protocol) {
   CompileOptions options;
   options.target = target;
   options.num_threads = threads;
+  options.pipeline_overlap = overlap;
   CompiledQuery query = compiler.CompileSql(sql, catalog, options).ValueOrDie();
   return MeasureQuery(query, inputs, protocol);
 }
+
+/// One measured backend configuration (a JSON row per thread count).
+struct BackendSpec {
+  ExecutorTarget target;
+  bool overlap;
+};
 
 }  // namespace
 
@@ -66,7 +79,11 @@ int main(int argc, char** argv) {
   const unsigned hw = std::thread::hardware_concurrency();
   std::fprintf(stderr, "parallel scaling, SF %.3f, %u hardware threads\n", sf, hw);
 
-  const std::vector<int> queries = {1, 3, 6};
+  std::vector<int> queries = {1, 3, 6};
+  if (argc > 2) {
+    const size_t n = static_cast<size_t>(std::strtoul(argv[2], nullptr, 10));
+    if (n >= 1 && n < queries.size()) queries.resize(n);
+  }
   std::vector<int> thread_counts = {1, 2, 4, 8};
   const bench::TimingProtocol protocol{3, 5};
 
@@ -87,8 +104,8 @@ int main(int argc, char** argv) {
     const RunResult serial = MeasureQuery(serial_query, inputs, protocol);
 
     const RunResult eager = MeasureTarget(compiler, catalog, sql,
-                                          ExecutorTarget::kEager, 0, inputs,
-                                          protocol);
+                                          ExecutorTarget::kEager, 0,
+                                          /*overlap=*/true, inputs, protocol);
 
     std::printf("    {\"query\": \"Q%d\", \"static_serial_ms\": %.4f, "
                 "\"eager_serial_ms\": %.4f, \"eager_peak_alloc_mb\": %.3f,\n"
@@ -97,24 +114,30 @@ int main(int argc, char** argv) {
                 eager.peak_alloc_mb);
     double best_speedup = 0;
     bool first = true;
-    for (ExecutorTarget target :
-         {ExecutorTarget::kParallel, ExecutorTarget::kPipelined}) {
+    const BackendSpec specs[] = {
+        {ExecutorTarget::kParallel, true},
+        {ExecutorTarget::kPipelined, false},  // sequential schedule walk
+        {ExecutorTarget::kPipelined, true},   // DAG overlap
+    };
+    for (const BackendSpec& spec : specs) {
       for (size_t ti = 0; ti < thread_counts.size(); ++ti) {
-        const RunResult r = MeasureTarget(compiler, catalog, sql, target,
-                                          thread_counts[ti], inputs, protocol);
+        const RunResult r =
+            MeasureTarget(compiler, catalog, sql, spec.target,
+                          thread_counts[ti], spec.overlap, inputs, protocol);
         const double speedup = eager.seconds / r.seconds;
         best_speedup = std::max(best_speedup, speedup);
         std::printf("%s\n      {\"backend\": \"%s\", \"threads\": %d, "
-                    "\"ms\": %.4f, \"speedup_vs_eager\": %.3f, "
-                    "\"peak_alloc_mb\": %.3f}",
-                    first ? "" : ",", ExecutorTargetName(target),
-                    thread_counts[ti], r.seconds * 1e3, speedup,
-                    r.peak_alloc_mb);
+                    "\"overlap\": %s, \"ms\": %.4f, "
+                    "\"speedup_vs_eager\": %.3f, \"peak_alloc_mb\": %.3f}",
+                    first ? "" : ",", ExecutorTargetName(spec.target),
+                    thread_counts[ti], spec.overlap ? "true" : "false",
+                    r.seconds * 1e3, speedup, r.peak_alloc_mb);
         first = false;
         std::fprintf(stderr,
-                     "  Q%d %s @ %d threads: %.3f ms (%.2fx vs eager %.3f ms), "
-                     "peak alloc %.2f MiB (eager %.2f MiB)\n",
-                     q, ExecutorTargetName(target), thread_counts[ti],
+                     "  Q%d %s%s @ %d threads: %.3f ms (%.2fx vs eager "
+                     "%.3f ms), peak alloc %.2f MiB (eager %.2f MiB)\n",
+                     q, ExecutorTargetName(spec.target),
+                     spec.overlap ? "" : " (no overlap)", thread_counts[ti],
                      r.seconds * 1e3, speedup, eager.seconds * 1e3,
                      r.peak_alloc_mb, eager.peak_alloc_mb);
       }

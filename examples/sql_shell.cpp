@@ -19,6 +19,9 @@
 //                                   the parallel backend is selected)
 //   \plan <sql>                     print the optimized physical plan
 //   \program <sql>                  print the compiled tensor program ops
+//   \explain pipelines <sql>        print the pipeline step DAG for <sql>:
+//                                   steps, dependency edges (deps={sN}) and
+//                                   per-step last-release sets
 //   \tables                         list catalog tables
 //   \q <n>                          run TPC-H query n
 //   \sessions <n> <sql>             run <sql> from n concurrent sessions
@@ -39,6 +42,7 @@
 #include "baseline/volcano.h"
 #include "common/stopwatch.h"
 #include "compile/compiler.h"
+#include "compile/pipeline.h"
 #include "runtime/session.h"
 #include "runtime/thread_pool.h"
 #include "tensor/buffer_pool.h"
@@ -149,6 +153,36 @@ void PrintPlanOrProgram(const std::string& sql, const Catalog& catalog,
     return;
   }
   std::printf("%s", compiled_or.ValueOrDie().program().ToString().c_str());
+}
+
+// Compiles <sql> for the pipelined backend and prints its step DAG: the
+// schedule with dependency edges (which steps can overlap) and per-step
+// last-release sets (where each intermediate's buffer returns to the pool).
+void ExplainPipelines(const std::string& sql, const Catalog& catalog,
+                      const ShellState& state) {
+  QueryCompiler compiler;
+  CompileOptions options;
+  options.target = ExecutorTarget::kPipelined;
+  options.device = DeviceKind::kCpu;
+  options.num_threads = state.num_threads;
+  options.morsel_rows = state.morsel_rows;
+  auto compiled_or = compiler.CompileSql(sql, catalog, options);
+  if (!compiled_or.ok()) {
+    std::printf("error: %s\n", compiled_or.status().ToString().c_str());
+    return;
+  }
+  const CompiledQuery& compiled = compiled_or.ValueOrDie();
+  const PipelinePlan plan = BuildPipelinePlan(compiled.program());
+  std::printf("%s", plan.ToString(compiled.program()).c_str());
+  int released = 0;
+  for (const PipelineStep& step : plan.schedule) {
+    released += static_cast<int>(step.releases.size());
+  }
+  std::printf(
+      "%zu steps (%zu pipelines, %d streamed ops), %d dependency edges, "
+      "%d roots can start immediately, %d values released before the end\n",
+      plan.schedule.size(), plan.pipelines.size(), plan.num_streamed_nodes(),
+      plan.num_step_edges(), plan.num_root_steps(), released);
 }
 
 // Fans one statement out from `n` concurrent QuerySessions sharing a
@@ -318,6 +352,10 @@ int main(int argc, char** argv) {
     }
     if (line.rfind("\\program ", 0) == 0) {
       PrintPlanOrProgram(line.substr(9), catalog, /*program=*/true, state);
+      continue;
+    }
+    if (line.rfind("\\explain pipelines ", 0) == 0) {
+      ExplainPipelines(line.substr(19), catalog, state);
       continue;
     }
     if (line.rfind("\\q ", 0) == 0) {

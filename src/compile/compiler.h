@@ -29,6 +29,12 @@ struct CompileOptions {
   /// must outlive the compiled query). Set by the QueryScheduler so every
   /// concurrent session's executor lands on one process-wide pool.
   runtime::ThreadPool* pool = nullptr;
+  /// See ExecOptions::pipeline_overlap (pipelined executor DAG overlap).
+  bool pipeline_overlap = true;
+  /// See ExecOptions::step_scheduler — priority-aware step dispatch (not
+  /// owned). Set by the QueryScheduler so steps of concurrent queries
+  /// interleave by QueryPriority class.
+  runtime::StepScheduler* step_scheduler = nullptr;
 };
 
 /// \brief A compiled query: the tensor program, its Executor, and the

@@ -98,6 +98,7 @@ class Splitter {
     for (const OpNode& node : prog_.nodes()) Visit(node);
     Flush();
     FinalizePipelines();
+    BuildStepGraph();
     return std::move(plan_);
   }
 
@@ -367,6 +368,62 @@ class Splitter {
     }
   }
 
+  /// Turns the step list into an explicit DAG: per-step dependency edges
+  /// (the producers of everything the step reads), per-step read sets, and
+  /// per-node last-consumer release sets. Runs after FinalizePipelines so
+  /// pipeline output lists are final.
+  void BuildStepGraph() {
+    const size_t n = static_cast<size_t>(prog_.num_nodes());
+    plan_.producer_step.assign(n, -1);
+    for (size_t si = 0; si < plan_.schedule.size(); ++si) {
+      const PipelineStep& step = plan_.schedule[si];
+      if (step.serial_node >= 0) {
+        plan_.producer_step[static_cast<size_t>(step.serial_node)] =
+            static_cast<int>(si);
+      } else {
+        const Pipeline& p = plan_.pipelines[static_cast<size_t>(step.pipeline)];
+        for (int out : p.outputs) {
+          plan_.producer_step[static_cast<size_t>(out)] = static_cast<int>(si);
+        }
+      }
+    }
+    // The schedule is emitted in topological program order, so a consumer
+    // step always comes after the step that materializes its operand — deps
+    // reference strictly earlier schedule indices.
+    std::vector<int> last_consumer(n, -1);
+    for (size_t si = 0; si < plan_.schedule.size(); ++si) {
+      PipelineStep& step = plan_.schedule[si];
+      if (step.serial_node >= 0) {
+        for (int in : prog_.node(step.serial_node).inputs) {
+          AddUnique(&step.reads, in);
+        }
+      } else {
+        const Pipeline& p = plan_.pipelines[static_cast<size_t>(step.pipeline)];
+        for (int src : p.sliced_sources) AddUnique(&step.reads, src);
+        for (int src : p.whole_sources) AddUnique(&step.reads, src);
+      }
+      for (int r : step.reads) {
+        last_consumer[static_cast<size_t>(r)] = static_cast<int>(si);
+        const int producer = plan_.producer_step[static_cast<size_t>(r)];
+        if (producer >= 0) step.deps.push_back(producer);
+      }
+      std::sort(step.deps.begin(), step.deps.end());
+      step.deps.erase(std::unique(step.deps.begin(), step.deps.end()),
+                      step.deps.end());
+    }
+    std::vector<bool> pinned(n, false);
+    for (int out : prog_.outputs()) pinned[static_cast<size_t>(out)] = true;
+    for (size_t id = 0; id < n; ++id) {
+      if (pinned[id]) continue;
+      int si = last_consumer[id];
+      if (si < 0) si = plan_.producer_step[id];  // produced, never consumed
+      if (si >= 0) {
+        plan_.schedule[static_cast<size_t>(si)].releases.push_back(
+            static_cast<int>(id));
+      }
+    }
+  }
+
   const TensorProgram& prog_;
   UnionFind uf_;
   std::map<std::string, int> interned_;
@@ -394,13 +451,46 @@ int PipelinePlan::num_streamed_nodes() const {
                          });
 }
 
+int PipelinePlan::num_step_edges() const {
+  return std::accumulate(schedule.begin(), schedule.end(), 0,
+                         [](int acc, const PipelineStep& s) {
+                           return acc + static_cast<int>(s.deps.size());
+                         });
+}
+
+int PipelinePlan::num_root_steps() const {
+  return static_cast<int>(
+      std::count_if(schedule.begin(), schedule.end(),
+                    [](const PipelineStep& s) { return s.deps.empty(); }));
+}
+
 std::string PipelinePlan::ToString(const TensorProgram& program) const {
+  const auto step_annotations = [](std::ostringstream& out,
+                                   const PipelineStep& step) {
+    if (!step.deps.empty()) {
+      out << "  deps={";
+      for (size_t i = 0; i < step.deps.size(); ++i) {
+        out << (i > 0 ? "," : "") << "s" << step.deps[i];
+      }
+      out << "}";
+    }
+    if (!step.releases.empty()) {
+      out << "  releases={";
+      for (size_t i = 0; i < step.releases.size(); ++i) {
+        out << (i > 0 ? "," : "") << "n" << step.releases[i];
+      }
+      out << "}";
+    }
+  };
   std::ostringstream out;
-  for (const PipelineStep& step : schedule) {
+  for (size_t si = 0; si < schedule.size(); ++si) {
+    const PipelineStep& step = schedule[si];
+    out << "s" << si << " ";
     if (step.serial_node >= 0) {
       const OpNode& node = program.node(step.serial_node);
       out << "serial   n" << node.id << " " << OpTypeName(node.type);
       if (!node.label.empty()) out << "  [" << node.label << "]";
+      step_annotations(out, step);
       out << "\n";
       continue;
     }
@@ -410,6 +500,7 @@ std::string PipelinePlan::ToString(const TensorProgram& program) const {
     for (const PipelineNode& pn : p.nodes) {
       out << " n" << pn.id << ":" << OpTypeName(program.node(pn.id).type);
     }
+    step_annotations(out, step);
     out << "\n";
   }
   return out.str();

@@ -65,18 +65,45 @@ struct Pipeline {
 
 /// \brief One unit of the execution schedule: either a single node evaluated
 /// whole (breakers, constants, statically-scalar expressions) or a pipeline.
+///
+/// Steps carry explicit dependency edges, so the schedule is a DAG, not just
+/// a list: a step depends exactly on the steps that materialize the values it
+/// consumes, and steps with disjoint dependency chains (e.g. the build sides
+/// of a multi-join query) are independent and may execute concurrently.
 struct PipelineStep {
   int serial_node = -1;  // >= 0: evaluate this node whole
   int pipeline = -1;     // >= 0: stream plan.pipelines[pipeline]
+  /// Schedule indices of earlier steps whose products this step consumes
+  /// (sorted, deduped). Empty => the step is a DAG root and can start
+  /// immediately.
+  std::vector<int> deps;
+  /// Materialized node ids this step reads (deduped): a serial step's
+  /// inputs, or a pipeline's sliced + whole sources.
+  std::vector<int> reads;
+  /// Node ids whose *last* consumer under the sequential schedule order is
+  /// this step (program outputs excluded; a produced-but-never-read node is
+  /// released by its own producer step). A serial walk releases exactly
+  /// these sets after the step; the DAG executor reaches the same release
+  /// points through per-node consumer refcounts, which stay correct when
+  /// consumers overlap out of schedule order.
+  std::vector<int> releases;
 };
 
 /// \brief The full streaming plan for one tensor program.
 struct PipelinePlan {
   std::vector<Pipeline> pipelines;
   std::vector<PipelineStep> schedule;  // topological execution order
+  /// node id -> schedule index that materializes the node's value; -1 for
+  /// program inputs and for streamed nodes that never materialize.
+  std::vector<int> producer_step;
 
   int num_streamed_nodes() const;
-  /// Human-readable listing (one line per step; pipelines show their chain).
+  /// \brief Dependency edges in the step DAG (sum of per-step dep counts).
+  int num_step_edges() const;
+  /// \brief Steps with no dependencies (can start immediately).
+  int num_root_steps() const;
+  /// Human-readable listing (one line per step; pipelines show their chain;
+  /// each step shows its dependency edges and last-release set).
   std::string ToString(const TensorProgram& program) const;
 };
 

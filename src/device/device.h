@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 namespace tqp {
@@ -47,7 +48,11 @@ struct AcceleratorSpec {
 
 /// \brief A compute device: identity plus (for simulated devices) a clock.
 ///
-/// Thread-compatible: benches and tests drive one device from one thread.
+/// Thread-safe: the device objects are process-wide singletons and the
+/// runtime executors meter kernels from concurrent queries, so the clock
+/// updates are internally serialized. Clock *reads* against in-flight
+/// queries are racy by nature — reset and read around a run, as the benches
+/// do.
 class Device {
  public:
   Device(DeviceKind kind, AcceleratorSpec spec)
@@ -67,11 +72,21 @@ class Device {
   void RecordTransfer(int64_t bytes);
 
   /// \brief Simulated elapsed seconds since the last ResetClock.
-  double simulated_seconds() const { return sim_clock_sec_; }
-  int64_t kernels_launched() const { return kernels_launched_; }
-  int64_t bytes_transferred() const { return bytes_transferred_; }
+  double simulated_seconds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sim_clock_sec_;
+  }
+  int64_t kernels_launched() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return kernels_launched_;
+  }
+  int64_t bytes_transferred() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_transferred_;
+  }
 
   void ResetClock() {
+    std::lock_guard<std::mutex> lock(mu_);
     sim_clock_sec_ = 0.0;
     kernels_launched_ = 0;
     bytes_transferred_ = 0;
@@ -80,6 +95,7 @@ class Device {
  private:
   DeviceKind kind_;
   AcceleratorSpec spec_;
+  mutable std::mutex mu_;
   double sim_clock_sec_ = 0.0;
   int64_t kernels_launched_ = 0;
   int64_t bytes_transferred_ = 0;

@@ -12,6 +12,7 @@
 namespace tqp {
 
 namespace runtime {
+class StepScheduler;
 class ThreadPool;
 }  // namespace runtime
 
@@ -34,7 +35,10 @@ const char* ExecutorTargetName(ExecutorTarget target);
 class OpProfiler {
  public:
   virtual ~OpProfiler() = default;
-  /// Called after each op node executes.
+  /// Called after each op node executes. The parallel and pipelined
+  /// executors may invoke this concurrently from worker threads (independent
+  /// steps of the execution DAG overlap); implementations must be
+  /// thread-safe.
   virtual void RecordOp(const OpNode& node, int64_t wall_nanos,
                         int64_t output_bytes) = 0;
 };
@@ -60,6 +64,16 @@ struct ExecOptions {
   /// the QueryScheduler runs every concurrent session on one cross-query
   /// pool instead of per-executor pools.
   runtime::ThreadPool* pool = nullptr;
+  /// Pipelined executor: schedule independent steps of the pipeline DAG
+  /// concurrently through the TaskGraph (each step still morsel-parallel
+  /// inside). Disable to force the sequential schedule walk — results are
+  /// bit-identical either way; this is the bench A/B switch.
+  bool pipeline_overlap = true;
+  /// Parallel/Pipelined executors: when set (not owned; must share `pool`),
+  /// step/node tasks dispatch through this priority-aware StepScheduler
+  /// instead of going to the pool directly — how the QueryScheduler
+  /// interleaves steps of concurrent queries by QueryPriority class.
+  runtime::StepScheduler* step_scheduler = nullptr;
 };
 
 /// \brief A compiled, runnable tensor program (the paper's "Executor").

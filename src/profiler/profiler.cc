@@ -16,6 +16,7 @@ void QueryProfiler::RecordOp(const OpNode& node, int64_t wall_nanos,
   rec.label = node.label;
   rec.wall_nanos = wall_nanos;
   rec.output_bytes = output_bytes;
+  std::lock_guard<std::mutex> lock(mu_);
   records_.push_back(std::move(rec));
 }
 

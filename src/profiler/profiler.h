@@ -1,6 +1,7 @@
 #ifndef TQP_PROFILER_PROFILER_H_
 #define TQP_PROFILER_PROFILER_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,10 +29,17 @@ class QueryProfiler : public OpProfiler {
     int64_t output_bytes = 0;
   };
 
+  /// Thread-safe: the parallel/pipelined executors record concurrently when
+  /// independent steps of the execution DAG overlap. Record order reflects
+  /// completion order, not program order, under those backends.
   void RecordOp(const OpNode& node, int64_t wall_nanos,
                 int64_t output_bytes) override;
 
-  void Reset() { records_.clear(); }
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+  }
+  /// Not synchronized with in-flight RecordOp calls — read after the run.
   const std::vector<OpRecord>& records() const { return records_; }
   int64_t total_nanos() const;
 
@@ -43,6 +51,7 @@ class QueryProfiler : public OpProfiler {
   std::string ToChromeTrace(const std::string& process_name = "tqp") const;
 
  private:
+  mutable std::mutex mu_;
   std::vector<OpRecord> records_;
 };
 

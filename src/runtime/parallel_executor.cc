@@ -1,11 +1,12 @@
 #include "runtime/parallel_executor.h"
 
 #include <algorithm>
-#include <mutex>
+#include <atomic>
 
 #include "common/stopwatch.h"
 #include "graph/eval.h"
 #include "runtime/morsel.h"
+#include "runtime/step_scheduler.h"
 #include "runtime/task_graph.h"
 
 namespace tqp {
@@ -13,6 +14,19 @@ namespace tqp {
 using runtime::ParallelContext;
 using runtime::TaskGraph;
 using runtime::ThreadPool;
+
+namespace {
+
+/// True when operand `i` is the first occurrence of its node id in `inputs`
+/// (a node like add(x, x) reads x once for refcount purposes).
+bool FirstUseOfOperand(const std::vector<int>& inputs, size_t i) {
+  for (size_t j = 0; j < i; ++j) {
+    if (inputs[j] == inputs[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 ParallelExecutor::ParallelExecutor(std::shared_ptr<const TensorProgram> program,
                                    ExecOptions options)
@@ -55,13 +69,28 @@ Result<std::vector<Tensor>> ParallelExecutor::Run(const std::vector<Tensor>& inp
     }
   }
 
+  // Last-use refcounts: a node's value releases back to the BufferPool the
+  // moment its final consumer finishes (program outputs stay pinned), so the
+  // node-at-a-time path's peak allocation is comparable to the pipelined
+  // executor's eager-release schedule instead of holding every intermediate
+  // until the end of the run.
+  std::vector<std::atomic<int>> refs(static_cast<size_t>(prog.num_nodes()));
+  for (const OpNode& node : prog.nodes()) {
+    for (size_t i = 0; i < node.inputs.size(); ++i) {
+      if (!FirstUseOfOperand(node.inputs, i)) continue;
+      refs[static_cast<size_t>(node.inputs[i])].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
+  for (int out : prog.outputs()) {
+    refs[static_cast<size_t>(out)].fetch_add(1, std::memory_order_relaxed);
+  }
+
   // One task per op node; dependencies mirror the node's data inputs. The
   // values vector is written once per slot, and TaskGraph's dependency
   // counters order those writes before any read (release/acquire).
   TaskGraph graph;
   std::vector<int> task_of(static_cast<size_t>(prog.num_nodes()), -1);
-  // Serializes simulated-clock + profiler updates across concurrent tasks.
-  std::mutex record_mu;
   for (const OpNode& node : prog.nodes()) {
     if (node.type == OpType::kInput) continue;
     std::vector<int> deps;
@@ -71,28 +100,48 @@ Result<std::vector<Tensor>> ParallelExecutor::Run(const std::vector<Tensor>& inp
       if (t >= 0) deps.push_back(t);
     }
     task_of[static_cast<size_t>(node.id)] = graph.AddTask(
-        [this, &prog, &node, &values, &ctx, device, &record_mu]() -> Status {
+        [this, &prog, &node, &values, &ctx, device, &refs]() -> Status {
           Stopwatch timer;
           TQP_ASSIGN_OR_RETURN(Tensor out,
                                runtime::ParallelEvalNode(ctx, prog, node, values));
-          if (device->is_simulated() || options_.profiler != nullptr) {
-            std::lock_guard<std::mutex> lock(record_mu);
-            if (device->is_simulated()) {
-              bool irregular = false;
-              const KernelCost cost =
-                  EstimateNodeCost(node, values, out, &irregular);
-              device->RecordKernel(cost, irregular);
-            }
-            if (options_.profiler != nullptr) {
-              options_.profiler->RecordOp(node, timer.ElapsedNanos(), out.nbytes());
-            }
+          if (device->is_simulated()) {
+            bool irregular = false;
+            const KernelCost cost =
+                EstimateNodeCost(node, values, out, &irregular);
+            device->RecordKernel(cost, irregular);  // internally serialized
+          }
+          if (options_.profiler != nullptr) {
+            // Thread-safe per the OpProfiler contract.
+            options_.profiler->RecordOp(node, timer.ElapsedNanos(), out.nbytes());
           }
           values[static_cast<size_t>(node.id)] = std::move(out);
+          for (size_t i = 0; i < node.inputs.size(); ++i) {
+            if (!FirstUseOfOperand(node.inputs, i)) continue;
+            const size_t in = static_cast<size_t>(node.inputs[i]);
+            if (refs[in].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+              values[in] = Tensor();
+            }
+          }
+          // Dead store (no consumer, not an output): release immediately.
+          if (refs[static_cast<size_t>(node.id)].load(
+                  std::memory_order_acquire) == 0) {
+            values[static_cast<size_t>(node.id)] = Tensor();
+          }
           return Status::OK();
         },
         deps);
   }
-  TQP_RETURN_NOT_OK(graph.Run(pool_));
+  // Through the scheduler's shared StepScheduler when available, so this
+  // query's node tasks interleave with other queries' steps in priority
+  // order; directly on the pool otherwise.
+  Status run_status;
+  if (options_.step_scheduler != nullptr &&
+      options_.step_scheduler->pool() == pool_) {
+    run_status = graph.Run(options_.step_scheduler);
+  } else {
+    run_status = graph.Run(pool_);
+  }
+  TQP_RETURN_NOT_OK(run_status);
 
   std::vector<Tensor> outputs;
   outputs.reserve(prog.outputs().size());

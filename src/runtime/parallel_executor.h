@@ -25,6 +25,14 @@ namespace tqp {
 /// (or produce per-row-independent outputs) are parallelized; everything
 /// else runs the shared serial kernels.
 ///
+/// Intermediate values carry last-use refcounts: a node's output releases
+/// back to the BufferPool the moment its final consumer finishes (program
+/// outputs stay pinned), so this path's peak-allocation proxy is comparable
+/// to the pipelined executor's eager-release schedule. When
+/// ExecOptions::step_scheduler is set, node tasks dispatch through the
+/// shared priority-aware StepScheduler and interleave with other queries'
+/// steps by QueryPriority class.
+///
 /// Scheduling comes from ExecOptions: an explicit `pool` (the shared
 /// cross-query pool of the QueryScheduler) wins; otherwise num_threads picks
 /// one — 0 uses the process-wide pool, 1 runs serially (no pool), N > 1

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <utility>
 
+#include <atomic>
+
 #include "common/stopwatch.h"
 #include "graph/eval.h"
 #include "runtime/morsel.h"
+#include "runtime/step_scheduler.h"
+#include "runtime/task_graph.h"
 
 namespace tqp {
 
@@ -84,9 +88,11 @@ Status PipelinedExecutor::EvalWholeNode(const OpNode& node,
   if (device->is_simulated()) {
     bool irregular = false;
     const KernelCost cost = EstimateNodeCost(node, *values, out, &irregular);
-    device->RecordKernel(cost, irregular);
+    device->RecordKernel(cost, irregular);  // internally serialized
   }
   if (options_.profiler != nullptr) {
+    // RecordOp may run concurrently for independent steps; the OpProfiler
+    // contract requires thread-safety.
     options_.profiler->RecordOp(node, timer.ElapsedNanos(), out.nbytes());
   }
   (*values)[static_cast<size_t>(node.id)] = std::move(out);
@@ -98,6 +104,15 @@ Status PipelinedExecutor::RunPipelineSerial(const Pipeline& p,
                                             const ParallelContext& ctx) {
   for (const PipelineNode& pn : p.nodes) {
     TQP_RETURN_NOT_OK(EvalWholeNode(program_->node(pn.id), values, ctx));
+  }
+  // Chain nodes that are not pipeline outputs have no readers outside this
+  // step (FinalizePipelines materializes every externally-read node): drop
+  // them now so the fallback's footprint matches the streaming path's.
+  for (const PipelineNode& pn : p.nodes) {
+    if (std::find(p.outputs.begin(), p.outputs.end(), pn.id) ==
+        p.outputs.end()) {
+      (*values)[static_cast<size_t>(pn.id)] = Tensor();
+    }
   }
   return Status::OK();
 }
@@ -219,21 +234,71 @@ Result<std::vector<Tensor>> PipelinedExecutor::Run(
     }
   }
 
+  // Consumer refcount per node: how many schedule steps still have to read
+  // the value, plus one pin for program outputs (collected after the walk).
+  // The zero crossing — a step's completion decrementing its read set —
+  // releases the value's buffer back to the BufferPool: under DAG overlap
+  // that is "after the last consumer completes", under the sequential walk
+  // exactly the plan's per-step release sets.
+  std::vector<std::atomic<int>> refs(static_cast<size_t>(prog.num_nodes()));
   for (const PipelineStep& step : plan_.schedule) {
+    for (int r : step.reads) {
+      refs[static_cast<size_t>(r)].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  for (int out : prog.outputs()) {
+    refs[static_cast<size_t>(out)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  auto run_step = [&](const PipelineStep& step) -> Status {
     if (step.serial_node >= 0) {
       TQP_RETURN_NOT_OK(
           EvalWholeNode(prog.node(step.serial_node), &values, ctx));
-      continue;
-    }
-    const Pipeline& p = plan_.pipelines[static_cast<size_t>(step.pipeline)];
-    if (device->is_simulated()) {
-      // Stream-invisible kernel launches would undercharge the simulated
-      // clock; meter every node instead (results are identical).
-      TQP_RETURN_NOT_OK(RunPipelineSerial(p, &values, ctx));
+      // Dead store (no consumer step, not an output): release immediately.
+      if (refs[static_cast<size_t>(step.serial_node)].load(
+              std::memory_order_acquire) == 0) {
+        values[static_cast<size_t>(step.serial_node)] = Tensor();
+      }
     } else {
-      TQP_RETURN_NOT_OK(RunPipeline(p, &values, ctx));
+      const Pipeline& p = plan_.pipelines[static_cast<size_t>(step.pipeline)];
+      if (device->is_simulated()) {
+        // Stream-invisible kernel launches would undercharge the simulated
+        // clock; meter every node instead (results are identical).
+        TQP_RETURN_NOT_OK(RunPipelineSerial(p, &values, ctx));
+      } else {
+        TQP_RETURN_NOT_OK(RunPipeline(p, &values, ctx));
+      }
     }
+    for (int r : step.reads) {
+      if (refs[static_cast<size_t>(r)].fetch_sub(
+              1, std::memory_order_acq_rel) == 1) {
+        values[static_cast<size_t>(r)] = Tensor();
+      }
+    }
+    return Status::OK();
+  };
+
+  // Each step becomes a task gated on the steps that materialize its
+  // sources; independent pipelines overlap. On the simulated device the
+  // sequential walk is kept so kernel metering order stays deterministic;
+  // TaskGraph::Run(nullptr) degenerates to exactly that walk (with the same
+  // eager release points).
+  const bool overlap = options_.pipeline_overlap && pool_ != nullptr &&
+                       pool_->num_threads() > 1 && !device->is_simulated();
+  runtime::TaskGraph graph;
+  for (const PipelineStep& step : plan_.schedule) {
+    graph.AddTask([&run_step, &step] { return run_step(step); }, step.deps);
   }
+  Status run_status;
+  if (!overlap) {
+    run_status = graph.Run(static_cast<ThreadPool*>(nullptr));
+  } else if (options_.step_scheduler != nullptr &&
+             options_.step_scheduler->pool() == pool_) {
+    run_status = graph.Run(options_.step_scheduler);
+  } else {
+    run_status = graph.Run(pool_);
+  }
+  TQP_RETURN_NOT_OK(run_status);
 
   std::vector<Tensor> outputs;
   outputs.reserve(prog.outputs().size());

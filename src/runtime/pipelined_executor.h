@@ -29,6 +29,19 @@ namespace tqp {
 /// streamed chain re-uses a handful of recycled blocks instead of allocating
 /// one full-column tensor per op.
 ///
+/// The schedule executes as a dependency DAG, not a list: each PipelineStep
+/// becomes a TaskGraph task gated on the steps that materialize its sources,
+/// so independent pipelines (the build sides of a multi-join query) run
+/// concurrently — each still morsel-parallel inside — whenever a
+/// multi-thread pool is available and ExecOptions::pipeline_overlap is on.
+/// Node values carry consumer refcounts and release back to the BufferPool
+/// the moment their last consumer step completes, so overlap does not grow
+/// the peak working set; with overlap off the same refcounts make the
+/// sequential walk release at each step's last-use set. When
+/// ExecOptions::step_scheduler is set (the QueryScheduler's shared
+/// dispatcher), step tasks are tagged with the running query's priority and
+/// interleave with other queries' steps in priority order.
+///
 /// Scheduling: ExecOptions::pool, when set, is used directly (the shared
 /// cross-query pool of the QueryScheduler). Otherwise num_threads selects a
 /// pool exactly as in ParallelExecutor (0 = process-wide, 1 = serial,

@@ -64,6 +64,10 @@ std::string PlanCache::MakeKey(const std::string& normalized_sql,
   key += std::to_string(options.morsel_rows);
   key.push_back('/');
   key += std::to_string(reinterpret_cast<uintptr_t>(options.pool));
+  key.push_back('/');
+  key += options.pipeline_overlap ? '1' : '0';
+  key.push_back('/');
+  key += std::to_string(reinterpret_cast<uintptr_t>(options.step_scheduler));
   return key;
 }
 

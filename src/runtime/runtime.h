@@ -14,6 +14,7 @@
 #include "runtime/pipelined_executor.h"  // IWYU pragma: export
 #include "runtime/plan_cache.h"          // IWYU pragma: export
 #include "runtime/session.h"             // IWYU pragma: export
+#include "runtime/step_scheduler.h"      // IWYU pragma: export
 #include "runtime/task_graph.h"          // IWYU pragma: export
 #include "runtime/thread_pool.h"         // IWYU pragma: export
 

@@ -23,12 +23,17 @@ QueryScheduler::QueryScheduler(const Catalog* catalog, SchedulerOptions options)
     : catalog_(catalog),
       options_(std::move(options)),
       pool_(options_.pool != nullptr ? options_.pool : ThreadPool::Global()),
+      steps_(pool_),
       plan_cache_(options_.plan_cache_capacity) {
   if (options_.max_concurrent <= 0) options_.max_concurrent = 1;
   // Every compiled executor schedules on the scheduler's shared pool — one
-  // cross-query pool instead of a pool per executor.
+  // cross-query pool instead of a pool per executor — and dispatches its
+  // execution-DAG steps through the scheduler's priority-aware
+  // StepScheduler, so steps of concurrent queries interleave by
+  // QueryPriority class.
   options_.pool = pool_;
   options_.compile.pool = pool_;
+  options_.compile.step_scheduler = &steps_;
 }
 
 QueryScheduler::~QueryScheduler() {
@@ -59,6 +64,7 @@ Result<std::future<QueryOutcome>> QueryScheduler::Submit(const std::string& sql,
                                                          QueryPriority priority) {
   Job job;
   job.sql = sql;
+  job.priority = priority;
   job.enqueue_nanos = NowNanos();
   std::future<QueryOutcome> future = job.promise.get_future();
   {
@@ -193,6 +199,11 @@ QueryOutcome QueryScheduler::Execute(Job* job) {
   }
 
   Stopwatch exec_timer;
+  // Ambient priority for the executor's step submissions: the query's
+  // pipeline/node tasks enter the shared StepScheduler tagged with its
+  // admission priority and interleave with other queries' steps accordingly.
+  StepScheduler::ScopedPriority step_priority(
+      static_cast<int>(job->priority));
   auto result_or = plan->Run(*catalog_);
   outcome.stats.exec_nanos = exec_timer.ElapsedNanos();
   if (!result_or.ok()) {

@@ -15,6 +15,7 @@
 #include "compile/compiler.h"
 #include "plan/catalog.h"
 #include "runtime/plan_cache.h"
+#include "runtime/step_scheduler.h"
 #include "runtime/thread_pool.h"
 
 namespace tqp::runtime {
@@ -89,6 +90,17 @@ struct SchedulerOptions {
 /// pool, queries included — a query's morsel fan-out and another query's
 /// admission dispatch interleave on the same workers.
 ///
+/// A query does not execute as one opaque task either: every compiled
+/// executor is wired to this scheduler's StepScheduler, so an admitted
+/// query's execution DAG — its pipeline steps (kPipelined) or node tasks
+/// (kParallel) — is admitted step by step into shared per-priority ready
+/// queues, tagged with the query's QueryPriority. Steps of different queries
+/// therefore interleave at step granularity, and a long breaker in one query
+/// no longer starves every other admitted query; a queued high-priority step
+/// always starts before a queued low-priority one. Admission and
+/// backpressure semantics (queue capacity, watermark shedding) are
+/// unchanged.
+///
 /// The scheduler owns no table data; the catalog must outlive it. Destruction
 /// drains: queued queries still execute, then the destructor waits for every
 /// in-flight worker task to finish.
@@ -111,10 +123,15 @@ class QueryScheduler {
   const SchedulerOptions& options() const { return options_; }
   /// \brief The shared pool this scheduler executes on (never null).
   ThreadPool* pool() const { return pool_; }
+  /// \brief The priority-aware step dispatcher every admitted query's
+  /// execution DAG flows through.
+  StepScheduler* step_scheduler() { return &steps_; }
+  const StepScheduler& step_scheduler() const { return steps_; }
 
  private:
   struct Job {
     std::string sql;
+    QueryPriority priority = QueryPriority::kNormal;
     std::promise<QueryOutcome> promise;
     int64_t enqueue_nanos = 0;
   };
@@ -131,6 +148,7 @@ class QueryScheduler {
   const Catalog* catalog_;
   SchedulerOptions options_;
   ThreadPool* pool_;
+  StepScheduler steps_;  // after pool_: constructed from it, drains before it
   PlanCache plan_cache_;
   QueryCompiler compiler_;
 

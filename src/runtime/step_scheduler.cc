@@ -1,0 +1,106 @@
+#include "runtime/step_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace tqp::runtime {
+
+namespace {
+
+// Ambient priority of the query whose execution the current thread is
+// driving. Set by StepScheduler::ScopedPriority around a query's run; read
+// once per TaskGraph submission.
+thread_local int tls_step_priority = 1;  // QueryPriority::kNormal
+
+}  // namespace
+
+StepScheduler::StepScheduler(ThreadPool* pool, int max_inflight)
+    : pool_(pool),
+      max_inflight_(max_inflight > 0 ? max_inflight
+                                     : std::max(1, pool->num_threads())) {}
+
+StepScheduler::~StepScheduler() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (inflight_ == 0 && ready_total_ == 0) return;
+    }
+    if (pool_->TryRunOneTask()) continue;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void StepScheduler::Submit(std::function<void()> step, int priority) {
+  priority = std::clamp(priority, 0, kNumPriorities - 1);
+  bool spawn = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ready_[static_cast<size_t>(priority)].push_back(std::move(step));
+    ++ready_total_;
+    ++submitted_[static_cast<size_t>(priority)];
+    if (inflight_ < max_inflight_) {
+      ++inflight_;
+      spawn = true;
+    }
+  }
+  if (spawn) pool_->Submit([this] { PumpOne(); });
+}
+
+bool StepScheduler::PopReadyLocked(std::function<void()>* step) {
+  for (int p = kNumPriorities - 1; p >= 0; --p) {
+    auto& q = ready_[static_cast<size_t>(p)];
+    if (q.empty()) continue;
+    *step = std::move(q.front());
+    q.pop_front();
+    --ready_total_;
+    return true;
+  }
+  return false;
+}
+
+void StepScheduler::PumpOne() {
+  std::function<void()> step;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!PopReadyLocked(&step)) {
+      --inflight_;
+      return;
+    }
+  }
+  step();
+  bool more;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++executed_;
+    more = ready_total_ > 0;
+    if (!more) --inflight_;
+  }
+  // Re-submission and Submit's spawn check are both under mu_, so whichever
+  // observes the other's state second keeps exactly one pump alive per
+  // pending step (no lost wakeups).
+  if (more) pool_->Submit([this] { PumpOne(); });
+}
+
+std::array<int64_t, StepScheduler::kNumPriorities> StepScheduler::submitted()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return submitted_;
+}
+
+int64_t StepScheduler::executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executed_;
+}
+
+StepScheduler::ScopedPriority::ScopedPriority(int priority)
+    : prev_(tls_step_priority) {
+  tls_step_priority = std::clamp(priority, 0, kNumPriorities - 1);
+}
+
+StepScheduler::ScopedPriority::~ScopedPriority() { tls_step_priority = prev_; }
+
+int StepScheduler::CurrentPriority() { return tls_step_priority; }
+
+}  // namespace tqp::runtime

@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "common/logging.h"
+#include "runtime/step_scheduler.h"
 
 namespace tqp::runtime {
 
@@ -27,7 +28,13 @@ int TaskGraph::AddTask(TaskFn fn, const std::vector<int>& deps) {
   return id;
 }
 
-Status TaskGraph::Run(ThreadPool* pool) {
+Status TaskGraph::Run(ThreadPool* pool) { return RunImpl(pool, nullptr); }
+
+Status TaskGraph::Run(StepScheduler* steps) {
+  return RunImpl(steps == nullptr ? nullptr : steps->pool(), steps);
+}
+
+Status TaskGraph::RunImpl(ThreadPool* pool, StepScheduler* steps) {
   const int n = num_tasks();
   if (n == 0) return Status::OK();
   if (pool == nullptr || pool->num_threads() <= 1) {
@@ -54,10 +61,14 @@ Status TaskGraph::Run(ThreadPool* pool) {
         std::memory_order_relaxed);
   }
 
+  // Steps of one graph all carry the submitting query's ambient priority.
+  const int priority = StepScheduler::CurrentPriority();
+
   // Submits `id` and, transitively, every successor that its completion
   // unblocks. Declared as a std::function so the lambda can recurse.
-  std::function<void(int)> submit = [&submit, state, pool, this](int id) {
-    pool->Submit([&submit, state, this, id] {
+  std::function<void(int)> submit = [&submit, state, pool, steps, priority,
+                                     this](int id) {
+    auto task = [&submit, state, this, id] {
       const Node& node = nodes_[static_cast<size_t>(id)];
       if (!state->failed.load(std::memory_order_acquire)) {
         Status st = node.fn();
@@ -79,7 +90,12 @@ Status TaskGraph::Run(ThreadPool* pool) {
         std::lock_guard<std::mutex> lock(state->mu);
         state->done_cv.notify_all();
       }
-    });
+    };
+    if (steps != nullptr) {
+      steps->Submit(std::move(task), priority);
+    } else {
+      pool->Submit(std::move(task));
+    }
   };
 
   for (int i = 0; i < n; ++i) {

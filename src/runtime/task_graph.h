@@ -9,6 +9,8 @@
 
 namespace tqp::runtime {
 
+class StepScheduler;
+
 /// \brief A one-shot DAG of Status-returning tasks executed with maximum
 /// concurrency on a ThreadPool: a task becomes runnable the moment its last
 /// dependency finishes, so independent subtrees (e.g. the two sides of a
@@ -38,7 +40,16 @@ class TaskGraph {
   /// valid topological order. The calling thread participates in execution.
   Status Run(ThreadPool* pool);
 
+  /// \brief Executes the graph with ready tasks dispatched through a shared
+  /// StepScheduler at the calling thread's ambient priority
+  /// (StepScheduler::CurrentPriority()). Tasks of concurrent graphs — e.g.
+  /// the step DAGs of different admitted queries — then interleave on one
+  /// pool in priority order instead of first-come-first-served.
+  Status Run(StepScheduler* steps);
+
  private:
+  Status RunImpl(ThreadPool* pool, StepScheduler* steps);
+
   struct Node {
     TaskFn fn;
     std::vector<int> deps;        // deduplicated
