@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "tensor/buffer_pool.h"
 
 namespace tqp::bench {
 
@@ -35,6 +36,37 @@ inline double MedianTime(const std::function<void()>& fn,
   }
   std::sort(times.begin(), times.end());
   return times[times.size() / 2];
+}
+
+/// \brief One timed configuration plus single-run BufferPool attribution.
+struct PoolTimedRun {
+  double seconds = 0;
+  double peak_alloc_mb = 0;     // pool peak live bytes during one run
+  int64_t allocs = 0;           // pool allocations (incl. bypass) in one run
+  double recycle_hit_rate = 0;  // pooled requests served from free lists
+};
+
+/// \brief Times `fn` per the paper's protocol, then runs it once more to
+/// attribute pool allocation count, recycle hit rate and peak live bytes to
+/// a single execution (the timed loop warms the pool's free lists).
+inline PoolTimedRun MeasureWithPool(const std::function<void()>& fn,
+                                    const TimingProtocol& protocol = {}) {
+  PoolTimedRun r;
+  r.seconds = MedianTime(fn, protocol);
+  BufferPool* pool = BufferPool::Global();
+  pool->ResetPeak();
+  const BufferPoolStats before = pool->stats();
+  fn();
+  const BufferPoolStats after = pool->stats();
+  r.peak_alloc_mb =
+      static_cast<double>(after.peak_live_bytes) / (1024.0 * 1024.0);
+  r.allocs = after.total_allocations() - before.total_allocations();
+  const int64_t pooled = after.allocations - before.allocations;
+  r.recycle_hit_rate =
+      pooled > 0 ? static_cast<double>(after.pool_hits - before.pool_hits) /
+                       static_cast<double>(pooled)
+                 : 0.0;
+  return r;
 }
 
 /// \brief Scale factor from argv[1], with a bench-appropriate default.

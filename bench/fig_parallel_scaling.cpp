@@ -32,31 +32,24 @@ using namespace tqp;  // NOLINT: bench binary
 
 namespace {
 
-struct RunResult {
-  double seconds = 0;
-  double peak_alloc_mb = 0;  // BufferPool peak live bytes during the run
-};
+using RunResult = bench::PoolTimedRun;
 
 RunResult MeasureQuery(const CompiledQuery& query, const std::vector<Tensor>& inputs,
                        const bench::TimingProtocol& protocol) {
-  RunResult r;
-  BufferPool::Global()->ResetPeak();
-  r.seconds = bench::MedianTime(
+  return bench::MeasureWithPool(
       [&] { TQP_CHECK_OK(query.RunWithInputs(inputs).status()); }, protocol);
-  const BufferPoolStats stats = BufferPool::Global()->stats();
-  r.peak_alloc_mb =
-      static_cast<double>(stats.peak_live_bytes) / (1024.0 * 1024.0);
-  return r;
 }
 
 RunResult MeasureTarget(QueryCompiler& compiler, const Catalog& catalog,
                         const std::string& sql, ExecutorTarget target, int threads,
-                        bool overlap, const std::vector<Tensor>& inputs,
+                        bool overlap, bool expr_fusion,
+                        const std::vector<Tensor>& inputs,
                         const bench::TimingProtocol& protocol) {
   CompileOptions options;
   options.target = target;
   options.num_threads = threads;
   options.pipeline_overlap = overlap;
+  options.expr_fusion = expr_fusion;
   CompiledQuery query = compiler.CompileSql(sql, catalog, options).ValueOrDie();
   return MeasureQuery(query, inputs, protocol);
 }
@@ -65,6 +58,7 @@ RunResult MeasureTarget(QueryCompiler& compiler, const Catalog& catalog,
 struct BackendSpec {
   ExecutorTarget target;
   bool overlap;
+  bool expr_fusion;
 };
 
 }  // namespace
@@ -105,7 +99,8 @@ int main(int argc, char** argv) {
 
     const RunResult eager = MeasureTarget(compiler, catalog, sql,
                                           ExecutorTarget::kEager, 0,
-                                          /*overlap=*/true, inputs, protocol);
+                                          /*overlap=*/true, /*expr_fusion=*/true,
+                                          inputs, protocol);
 
     std::printf("    {\"query\": \"Q%d\", \"static_serial_ms\": %.4f, "
                 "\"eager_serial_ms\": %.4f, \"eager_peak_alloc_mb\": %.3f,\n"
@@ -115,31 +110,39 @@ int main(int argc, char** argv) {
     double best_speedup = 0;
     bool first = true;
     const BackendSpec specs[] = {
-        {ExecutorTarget::kParallel, true},
-        {ExecutorTarget::kPipelined, false},  // sequential schedule walk
-        {ExecutorTarget::kPipelined, true},   // DAG overlap
+        {ExecutorTarget::kParallel, true, true},
+        {ExecutorTarget::kPipelined, false, true},  // sequential schedule walk
+        {ExecutorTarget::kPipelined, true, true},   // DAG overlap
+        {ExecutorTarget::kPipelined, true, false},  // expression fusion off
     };
     for (const BackendSpec& spec : specs) {
       for (size_t ti = 0; ti < thread_counts.size(); ++ti) {
-        const RunResult r =
-            MeasureTarget(compiler, catalog, sql, spec.target,
-                          thread_counts[ti], spec.overlap, inputs, protocol);
+        const RunResult r = MeasureTarget(compiler, catalog, sql, spec.target,
+                                          thread_counts[ti], spec.overlap,
+                                          spec.expr_fusion, inputs, protocol);
         const double speedup = eager.seconds / r.seconds;
         best_speedup = std::max(best_speedup, speedup);
         std::printf("%s\n      {\"backend\": \"%s\", \"threads\": %d, "
-                    "\"overlap\": %s, \"ms\": %.4f, "
-                    "\"speedup_vs_eager\": %.3f, \"peak_alloc_mb\": %.3f}",
+                    "\"overlap\": %s, \"expr_fusion\": %s, \"ms\": %.4f, "
+                    "\"speedup_vs_eager\": %.3f, \"peak_alloc_mb\": %.3f, "
+                    "\"allocs\": %lld, \"recycle_hit_rate\": %.3f}",
                     first ? "" : ",", ExecutorTargetName(spec.target),
                     thread_counts[ti], spec.overlap ? "true" : "false",
-                    r.seconds * 1e3, speedup, r.peak_alloc_mb);
+                    spec.expr_fusion ? "true" : "false", r.seconds * 1e3,
+                    speedup, r.peak_alloc_mb,
+                    static_cast<long long>(r.allocs), r.recycle_hit_rate);
         first = false;
         std::fprintf(stderr,
-                     "  Q%d %s%s @ %d threads: %.3f ms (%.2fx vs eager "
-                     "%.3f ms), peak alloc %.2f MiB (eager %.2f MiB)\n",
+                     "  Q%d %s%s%s @ %d threads: %.3f ms (%.2fx vs eager "
+                     "%.3f ms), peak alloc %.2f MiB (eager %.2f MiB), "
+                     "%lld allocs (%.0f%% recycled)\n",
                      q, ExecutorTargetName(spec.target),
-                     spec.overlap ? "" : " (no overlap)", thread_counts[ti],
+                     spec.overlap ? "" : " (no overlap)",
+                     spec.expr_fusion ? "" : " (no fusion)", thread_counts[ti],
                      r.seconds * 1e3, speedup, eager.seconds * 1e3,
-                     r.peak_alloc_mb, eager.peak_alloc_mb);
+                     r.peak_alloc_mb, eager.peak_alloc_mb,
+                     static_cast<long long>(r.allocs),
+                     r.recycle_hit_rate * 100.0);
       }
     }
     std::printf("], \"best_speedup_vs_eager\": %.3f}%s\n", best_speedup,

@@ -19,9 +19,14 @@
 //                                   the parallel backend is selected)
 //   \plan <sql>                     print the optimized physical plan
 //   \program <sql>                  print the compiled tensor program ops
-//   \explain pipelines <sql>        print the pipeline step DAG for <sql>:
-//                                   steps, dependency edges (deps={sN}) and
-//                                   per-step last-release sets
+//   \fusion on|off                  pipelined/static backends: single-pass
+//                                   fused expression execution (ExprProgram
+//                                   compiler + vectorized morsel interpreter)
+//   \explain pipelines <sql>        print the pipeline step DAG for <sql>
+//                                   (steps, dependency edges, release sets),
+//                                   then run it once and show each
+//                                   pipeline's fused expression runs with
+//                                   instruction and register-slot counts
 //   \tables                         list catalog tables
 //   \q <n>                          run TPC-H query n
 //   \sessions <n> <sql>             run <sql> from n concurrent sessions
@@ -43,6 +48,7 @@
 #include "common/stopwatch.h"
 #include "compile/compiler.h"
 #include "compile/pipeline.h"
+#include "runtime/pipelined_executor.h"
 #include "runtime/session.h"
 #include "runtime/thread_pool.h"
 #include "tensor/buffer_pool.h"
@@ -59,6 +65,7 @@ struct ShellState {
   std::string engine = "tqp";
   int num_threads = 0;      // parallel backend: 0 = process-wide pool
   int64_t morsel_rows = 0;  // parallel backend: 0 = default morsel size
+  bool expr_fusion = true;  // pipelined/static: fused expression execution
 };
 
 // Integer argument parser that reports instead of throwing (a typo in a
@@ -102,6 +109,7 @@ void RunSql(const std::string& sql, const Catalog& catalog, ShellState* state) {
     options.device = state->device;
     options.num_threads = state->num_threads;
     options.morsel_rows = state->morsel_rows;
+    options.expr_fusion = state->expr_fusion;
     watch.Reset();
     auto compiled_or = compiler.CompileSql(sql, catalog, options);
     compile_ms = watch.ElapsedSeconds() * 1e3;
@@ -166,6 +174,7 @@ void ExplainPipelines(const std::string& sql, const Catalog& catalog,
   options.device = DeviceKind::kCpu;
   options.num_threads = state.num_threads;
   options.morsel_rows = state.morsel_rows;
+  options.expr_fusion = state.expr_fusion;
   auto compiled_or = compiler.CompileSql(sql, catalog, options);
   if (!compiled_or.ok()) {
     std::printf("error: %s\n", compiled_or.status().ToString().c_str());
@@ -183,6 +192,21 @@ void ExplainPipelines(const std::string& sql, const Catalog& catalog,
       "%d roots can start immediately, %d values released before the end\n",
       plan.schedule.size(), plan.pipelines.size(), plan.num_streamed_nodes(),
       plan.num_step_edges(), plan.num_root_steps(), released);
+  if (!state.expr_fusion) {
+    std::printf("expression fusion: off (\\fusion on to enable)\n");
+    return;
+  }
+  // Expression fusion compiles lazily against runtime dtypes, so run the
+  // query once, then report each pipeline's fused runs and register counts.
+  auto result_or = compiled.Run(catalog);
+  if (!result_or.ok()) {
+    std::printf("execution error: %s\n", result_or.status().ToString().c_str());
+    return;
+  }
+  const auto* pipelined =
+      static_cast<const PipelinedExecutor*>(compiled.executor());
+  std::printf("\nexpression fusion (after one run):\n%s",
+              pipelined->FusionReport().c_str());
 }
 
 // Fans one statement out from `n` concurrent QuerySessions sharing a
@@ -252,6 +276,11 @@ void PrintPoolStats() {
               static_cast<long long>(stats.pool_hits),
               static_cast<long long>(stats.pool_misses),
               static_cast<long long>(stats.bypass));
+  std::printf("  recycle hit rate %.1f%% of %lld pooled requests "
+              "(%lld total allocations)\n",
+              100.0 * stats.recycle_hit_rate(),
+              static_cast<long long>(stats.allocations),
+              static_cast<long long>(stats.total_allocations()));
   std::printf("  recycled %.1f MiB total; cached now %.2f MiB\n",
               mb(stats.recycled_bytes), mb(stats.cached_bytes));
   std::printf("  live %.2f MiB, peak live %.2f MiB\n", mb(stats.live_bytes),
@@ -291,6 +320,16 @@ int main(int argc, char** argv) {
     }
     if (line == "\\pool") {
       PrintPoolStats();
+      continue;
+    }
+    if (line.rfind("\\fusion ", 0) == 0) {
+      const std::string f = line.substr(8);
+      if (f == "on" || f == "off") {
+        state.expr_fusion = f == "on";
+        std::printf("expression fusion %s\n", f.c_str());
+      } else {
+        std::printf("usage: \\fusion on|off\n");
+      }
       continue;
     }
     if (line.rfind("\\threads ", 0) == 0) {

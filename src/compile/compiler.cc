@@ -886,6 +886,7 @@ Result<CompiledQuery> QueryCompiler::Compile(const PlanPtr& physical_plan,
   exec_options.morsel_rows = options.morsel_rows;
   exec_options.pool = options.pool;
   exec_options.pipeline_overlap = options.pipeline_overlap;
+  exec_options.expr_fusion = options.expr_fusion;
   exec_options.step_scheduler = options.step_scheduler;
   TQP_ASSIGN_OR_RETURN(out.executor_,
                        MakeExecutor(options.target, program, exec_options));

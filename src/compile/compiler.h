@@ -31,6 +31,8 @@ struct CompileOptions {
   runtime::ThreadPool* pool = nullptr;
   /// See ExecOptions::pipeline_overlap (pipelined executor DAG overlap).
   bool pipeline_overlap = true;
+  /// See ExecOptions::expr_fusion (single-pass fused expression execution).
+  bool expr_fusion = true;
   /// See ExecOptions::step_scheduler — priority-aware step dispatch (not
   /// owned). Set by the QueryScheduler so steps of concurrent queries
   /// interleave by QueryPriority class.

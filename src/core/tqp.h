@@ -9,6 +9,7 @@
 #include "baseline/columnar.h"          // IWYU pragma: export
 #include "baseline/volcano.h"           // IWYU pragma: export
 #include "compile/compiler.h"           // IWYU pragma: export
+#include "compile/expr_program.h"       // IWYU pragma: export
 #include "compile/pipeline.h"           // IWYU pragma: export
 #include "datasets/iris.h"              // IWYU pragma: export
 #include "datasets/reviews.h"           // IWYU pragma: export

@@ -69,6 +69,13 @@ struct ExecOptions {
   /// inside). Disable to force the sequential schedule walk — results are
   /// bit-identical either way; this is the bench A/B switch.
   bool pipeline_overlap = true;
+  /// Pipelined/Static executors: lower maximal elementwise/selection runs
+  /// into register-based ExprPrograms (src/compile/expr_program.h) executed
+  /// single-pass per morsel/block by the vectorized interpreter
+  /// (src/kernels/expr_exec.h). Disable to force node-at-a-time evaluation
+  /// inside pipelines and the legacy blocked groups in StaticExecutor —
+  /// results are bit-identical either way; this is the fusion A/B switch.
+  bool expr_fusion = true;
   /// Parallel/Pipelined executors: when set (not owned; must share `pool`),
   /// step/node tasks dispatch through this priority-aware StepScheduler
   /// instead of going to the pool directly — how the QueryScheduler

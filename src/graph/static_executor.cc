@@ -1,9 +1,12 @@
 #include "graph/static_executor.h"
 
+#include <algorithm>
 #include <cstring>
+#include <unordered_map>
 
 #include "common/stopwatch.h"
 #include "graph/eval.h"
+#include "kernels/expr_exec.h"
 
 namespace tqp {
 
@@ -31,6 +34,16 @@ StaticExecutor::StaticExecutor(std::shared_ptr<const TensorProgram> program,
     }
   }
   flush();
+  group_fusion_.resize(steps_.size());
+}
+
+int StaticExecutor::num_expr_fused_groups() const {
+  std::lock_guard<std::mutex> lock(fusion_mu_);
+  int n = 0;
+  for (const GroupFusionEntry& entry : group_fusion_) {
+    if (entry.program != nullptr) ++n;
+  }
+  return n;
 }
 
 Result<std::vector<Tensor>> StaticExecutor::Run(const std::vector<Tensor>& inputs) {
@@ -64,7 +77,8 @@ Result<std::vector<Tensor>> StaticExecutor::Run(const std::vector<Tensor>& input
     }
   };
 
-  for (const Step& step : steps_) {
+  for (size_t si = 0; si < steps_.size(); ++si) {
+    const Step& step = steps_[si];
     if (step.node_ids.size() == 1) {
       const OpNode& node = prog.node(step.node_ids[0]);
       Stopwatch timer;
@@ -80,7 +94,7 @@ Result<std::vector<Tensor>> StaticExecutor::Run(const std::vector<Tensor>& input
       values[static_cast<size_t>(node.id)] = std::move(out);
       release_inputs(node);
     } else {
-      TQP_RETURN_NOT_OK(RunFusedGroup(step, &values, device));
+      TQP_RETURN_NOT_OK(RunFusedGroup(step, si, &values, device));
       for (int id : step.node_ids) release_inputs(prog.node(id));
     }
   }
@@ -98,7 +112,87 @@ Result<std::vector<Tensor>> StaticExecutor::Run(const std::vector<Tensor>& input
   return outputs;
 }
 
-Status StaticExecutor::RunFusedGroup(const Step& step, std::vector<Tensor>* values,
+std::shared_ptr<const ExprProgram> StaticExecutor::GroupFusionFor(
+    const Step& step, size_t step_index, const std::vector<Tensor>& values,
+    const std::vector<bool>& in_group) {
+  const TensorProgram& prog = *program_;
+  // Resolve every external input of the group (inputs of group nodes that
+  // are produced outside it) and derive the lowering signature.
+  std::unordered_map<int, ExprExternal> externals;
+  std::string sig;
+  for (int id : step.node_ids) {
+    for (int in : prog.node(id).inputs) {
+      if (in_group[static_cast<size_t>(in)] || externals.count(in) > 0) {
+        continue;
+      }
+      const bool is_const = prog.node(in).type == OpType::kConstant;
+      const Tensor& ext =
+          is_const ? prog.constant(static_cast<int>(
+                         prog.node(in).attrs.GetInt("const_id")))
+                   : values[static_cast<size_t>(in)];
+      ExprExternal info;
+      info.dtype = ext.dtype();
+      info.scalar = ext.numel() == 1;
+      info.single_col = ext.cols() == 1;
+      info.driver_aligned = !info.scalar;  // same-rows check done by caller
+      info.constant = is_const && info.scalar ? &ext : nullptr;
+      externals.emplace(in, info);
+      sig += std::to_string(in);
+      sig.push_back(':');
+      sig += std::to_string(static_cast<int>(info.dtype));
+      sig.push_back(info.scalar ? 'b' : 'v');
+      sig += std::to_string(info.single_col ? 1 : 0);
+      sig.push_back('/');
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(fusion_mu_);
+  GroupFusionEntry& entry = group_fusion_[step_index];
+  if (entry.compiled && entry.signature == sig) return entry.program;
+
+  // Which group nodes escape (read outside the group or program outputs)?
+  std::vector<int> required;
+  std::vector<bool> is_output(static_cast<size_t>(prog.num_nodes()), false);
+  for (int id : prog.outputs()) is_output[static_cast<size_t>(id)] = true;
+  for (int id : step.node_ids) {
+    bool escapes = is_output[static_cast<size_t>(id)];
+    for (const OpNode& n : prog.nodes()) {
+      if (escapes) break;
+      if (in_group[static_cast<size_t>(n.id)]) continue;
+      for (int in : n.inputs) {
+        if (in == id) {
+          escapes = true;
+          break;
+        }
+      }
+    }
+    if (escapes) required.push_back(id);
+  }
+
+  const auto external = [&](int id, ExprExternal* info) {
+    auto it = externals.find(id);
+    if (it == externals.end()) return false;
+    *info = it->second;
+    return true;
+  };
+  ExprFusionPlan plan =
+      BuildExprFusionPlan(prog, step.node_ids, required, external);
+  entry.compiled = true;
+  entry.signature = std::move(sig);
+  // Only a single run covering the whole group replaces the blocked legacy
+  // path (partial coverage would need dtypes of mid-group values the
+  // blocked loop never materializes whole).
+  if (plan.runs.size() == 1 && plan.runs[0].begin == 0 &&
+      plan.runs[0].end == step.node_ids.size()) {
+    entry.program = plan.runs[0].program;
+  } else {
+    entry.program = nullptr;
+  }
+  return entry.program;
+}
+
+Status StaticExecutor::RunFusedGroup(const Step& step, size_t step_index,
+                                     std::vector<Tensor>* values,
                                      Device* device) {
   const TensorProgram& prog = *program_;
   // Determine the shared row domain: every non-scalar external input of the
@@ -166,48 +260,86 @@ Status StaticExecutor::RunFusedGroup(const Step& step, std::vector<Tensor>* valu
       }
     }
   }
-  std::vector<Tensor> block_values(static_cast<size_t>(prog.num_nodes()));
+  // Copies one escaping node's block result into its full output tensor.
   std::vector<Tensor> full_outputs(static_cast<size_t>(prog.num_nodes()));
-  for (int64_t b0 = 0; b0 < n_rows; b0 += block) {
-    const int64_t b1 = std::min(n_rows, b0 + block);
-    // Bind external inputs (sliced or broadcast) into the block value table.
-    for (int id : step.node_ids) {
-      for (int in : prog.node(id).inputs) {
-        if (in_group[static_cast<size_t>(in)]) continue;
-        Tensor ext = prog.node(in).type == OpType::kConstant
-                         ? prog.constant(static_cast<int>(
-                               prog.node(in).attrs.GetInt("const_id")))
-                         : (*values)[static_cast<size_t>(in)];
-        block_values[static_cast<size_t>(in)] =
-            ext.numel() == 1 ? ext : ext.SliceRows(b0, b1);
+  const auto copy_block = [&](int id, const Tensor& blk, int64_t b0,
+                              int64_t b1) -> Status {
+    Tensor& full = full_outputs[static_cast<size_t>(id)];
+    if (!full.defined()) {
+      // Scalar results of broadcast chains keep scalar shape (the first
+      // block spans `block` rows, so the two cases cannot be confused).
+      const int64_t out_rows = blk.rows() == (b1 - b0) ? n_rows : blk.rows();
+      TQP_ASSIGN_OR_RETURN(
+          full, Tensor::Empty(blk.dtype(), out_rows, blk.cols(), blk.device()));
+    }
+    if (full.rows() == n_rows) {
+      std::memcpy(static_cast<uint8_t*>(full.raw_mutable_data()) +
+                      b0 * blk.cols() * DTypeSize(blk.dtype()),
+                  blk.raw_data(), static_cast<size_t>(blk.nbytes()));
+    } else {
+      // Broadcast-chain scalar: every block computes the same value.
+      std::memcpy(full.raw_mutable_data(), blk.raw_data(),
+                  static_cast<size_t>(blk.nbytes()));
+    }
+    return Status::OK();
+  };
+
+  // Preferred path: the whole group as one compiled ExprProgram, interpreted
+  // per block in a single pass (no per-node block tensors at all).
+  std::shared_ptr<const ExprProgram> fused;
+  if (options_.expr_fusion) {
+    fused = GroupFusionFor(step, step_index, *values, in_group);
+  }
+  if (fused != nullptr) {
+    kernels::ExprScratch scratch;
+    std::vector<Tensor> srcs(fused->source_nodes().size());
+    std::vector<Tensor> outs;
+    for (int64_t b0 = 0; b0 < n_rows; b0 += block) {
+      const int64_t b1 = std::min(n_rows, b0 + block);
+      for (size_t si = 0; si < fused->source_nodes().size(); ++si) {
+        const int in = fused->source_nodes()[si];
+        const Tensor ext =
+            prog.node(in).type == OpType::kConstant
+                ? prog.constant(static_cast<int>(
+                      prog.node(in).attrs.GetInt("const_id")))
+                : (*values)[static_cast<size_t>(in)];
+        srcs[si] = ext.numel() == 1 ? ext : ext.SliceRows(b0, b1);
+      }
+      TQP_RETURN_NOT_OK(kernels::RunExprProgram(*fused, srcs, b0,
+                                                options_.device, &scratch,
+                                                &outs));
+      for (size_t k = 0; k < fused->output_nodes().size(); ++k) {
+        TQP_RETURN_NOT_OK(copy_block(fused->output_nodes()[k], outs[k], b0, b1));
       }
     }
-    for (int id : step.node_ids) {
-      const OpNode& node = prog.node(id);
-      TQP_ASSIGN_OR_RETURN(Tensor out, EvalNode(prog, node, block_values));
-      block_values[static_cast<size_t>(id)] = std::move(out);
-    }
-    // Copy escaping nodes' block results into their full tensors.
-    for (int id : step.node_ids) {
-      if (external_uses[static_cast<size_t>(id)] == 0 &&
-          !is_output[static_cast<size_t>(id)]) {
-        continue;
+  } else {
+    std::vector<Tensor> block_values(static_cast<size_t>(prog.num_nodes()));
+    for (int64_t b0 = 0; b0 < n_rows; b0 += block) {
+      const int64_t b1 = std::min(n_rows, b0 + block);
+      // Bind external inputs (sliced or broadcast) into the block value table.
+      for (int id : step.node_ids) {
+        for (int in : prog.node(id).inputs) {
+          if (in_group[static_cast<size_t>(in)]) continue;
+          Tensor ext = prog.node(in).type == OpType::kConstant
+                           ? prog.constant(static_cast<int>(
+                                 prog.node(in).attrs.GetInt("const_id")))
+                           : (*values)[static_cast<size_t>(in)];
+          block_values[static_cast<size_t>(in)] =
+              ext.numel() == 1 ? ext : ext.SliceRows(b0, b1);
+        }
       }
-      const Tensor& blk = block_values[static_cast<size_t>(id)];
-      Tensor& full = full_outputs[static_cast<size_t>(id)];
-      if (!full.defined()) {
-        // Scalar results of broadcast chains keep scalar shape.
-        const int64_t out_rows = blk.rows() == (b1 - b0) ? n_rows : blk.rows();
-        TQP_ASSIGN_OR_RETURN(
-            full, Tensor::Empty(blk.dtype(), out_rows, blk.cols(), blk.device()));
+      for (int id : step.node_ids) {
+        const OpNode& node = prog.node(id);
+        TQP_ASSIGN_OR_RETURN(Tensor out, EvalNode(prog, node, block_values));
+        block_values[static_cast<size_t>(id)] = std::move(out);
       }
-      if (blk.rows() == (b1 - b0)) {
-        std::memcpy(static_cast<uint8_t*>(full.raw_mutable_data()) +
-                        b0 * blk.cols() * DTypeSize(blk.dtype()),
-                    blk.raw_data(), static_cast<size_t>(blk.nbytes()));
-      } else {
-        std::memcpy(full.raw_mutable_data(), blk.raw_data(),
-                    static_cast<size_t>(blk.nbytes()));
+      for (int id : step.node_ids) {
+        if (external_uses[static_cast<size_t>(id)] == 0 &&
+            !is_output[static_cast<size_t>(id)]) {
+          continue;
+        }
+        TQP_RETURN_NOT_OK(
+            copy_block(id, block_values[static_cast<size_t>(id)], b0, b1));
       }
     }
   }

@@ -2,8 +2,11 @@
 #define TQP_GRAPH_STATIC_EXECUTOR_H_
 
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
+#include "compile/expr_program.h"
 #include "graph/executor.h"
 
 namespace tqp {
@@ -13,7 +16,15 @@ namespace tqp {
 /// Two optimizations over EagerExecutor, planned once at construction:
 ///  1. *Elementwise fusion*: contiguous runs of pointwise ops execute in
 ///     cache-sized row blocks, so chain intermediates stay in L1/L2 instead
-///     of streaming through memory once per op.
+///     of streaming through memory once per op. With
+///     ExecOptions::expr_fusion (default on) each group is additionally
+///     lowered onto the engine-wide expression-fusion layer: one
+///     register-based ExprProgram (src/compile/expr_program.h — constant
+///     folding, CSE, register reuse) interpreted per block in a single pass
+///     (src/kernels/expr_exec.h), the same machinery the pipelined backend
+///     runs per morsel. Lowering needs runtime dtypes, so it happens at
+///     first Run and is cached against the input signature; groups the
+///     lowering cannot cover fall back to blocked node-at-a-time execution.
 ///  2. *Buffer release*: intermediate tensors are dropped as soon as their
 ///     last consumer has run (eager keeps everything until the end).
 /// Results are bit-identical to EagerExecutor; only the schedule differs.
@@ -29,20 +40,41 @@ class StaticExecutor : public Executor {
   /// exposed for tests and the fusion ablation bench.
   int num_fusion_groups() const { return num_fusion_groups_; }
 
+  /// \brief Number of fusion groups currently backed by a compiled
+  /// ExprProgram (populated lazily at Run; for tests and the ablation).
+  int num_expr_fused_groups() const;
+
  private:
   // One planned step: either a single node or a fused run of pointwise nodes.
   struct Step {
     std::vector<int> node_ids;  // size 1 = plain; > 1 = fused group
   };
 
-  Status RunFusedGroup(const Step& step, std::vector<Tensor>* values,
-                       Device* device);
+  Status RunFusedGroup(const Step& step, size_t step_index,
+                       std::vector<Tensor>* values, Device* device);
+
+  /// Returns the cached ExprProgram for one group (compiling against the
+  /// current external-input signature when needed), or null when the group
+  /// cannot be covered by a single fused run.
+  std::shared_ptr<const ExprProgram> GroupFusionFor(
+      const Step& step, size_t step_index, const std::vector<Tensor>& values,
+      const std::vector<bool>& in_group);
 
   std::shared_ptr<const TensorProgram> program_;
   ExecOptions options_;
   std::vector<Step> steps_;
   std::vector<int> use_counts_;
   int num_fusion_groups_ = 0;
+
+  /// Lazily compiled per-group ExprPrograms, keyed by input signature
+  /// (concurrent Run() calls on one cached plan share this).
+  struct GroupFusionEntry {
+    bool compiled = false;
+    std::string signature;
+    std::shared_ptr<const ExprProgram> program;  // null = not coverable
+  };
+  mutable std::mutex fusion_mu_;
+  mutable std::vector<GroupFusionEntry> group_fusion_;  // indexed by step
 };
 
 }  // namespace tqp

@@ -1,12 +1,15 @@
 #include "runtime/pipelined_executor.h"
 
 #include <algorithm>
+#include <sstream>
+#include <unordered_map>
 #include <utility>
 
 #include <atomic>
 
 #include "common/stopwatch.h"
 #include "graph/eval.h"
+#include "kernels/expr_exec.h"
 #include "runtime/morsel.h"
 #include "runtime/step_scheduler.h"
 #include "runtime/task_graph.h"
@@ -30,6 +33,7 @@ PipelinedExecutor::PipelinedExecutor(std::shared_ptr<const TensorProgram> progra
     pool_ = owned_pool_.get();
   }  // num_threads == 1 (or negative): pool_ stays null -> serial morsel loop
   plan_ = BuildPipelinePlan(*program_);
+  fusion_cache_.resize(plan_.pipelines.size());
 }
 
 int64_t PipelinedExecutor::morsel_rows() const {
@@ -117,7 +121,7 @@ Status PipelinedExecutor::RunPipelineSerial(const Pipeline& p,
   return Status::OK();
 }
 
-Status PipelinedExecutor::RunPipeline(const Pipeline& p,
+Status PipelinedExecutor::RunPipeline(int pipeline_index, const Pipeline& p,
                                       std::vector<Tensor>* values,
                                       const ParallelContext& ctx) {
   // Resolve the driver domain from the sliced sources. A source whose row
@@ -147,6 +151,14 @@ Status PipelinedExecutor::RunPipeline(const Pipeline& p,
     return Status::Internal("pipelined executor: pipeline without a driver");
   }
 
+  // Expression fusion: maximal elementwise/selection runs of this pipeline
+  // execute as one compiled ExprProgram per morsel instead of node-at-a-time.
+  std::shared_ptr<const ExprFusionPlan> fusion;
+  if (options_.expr_fusion) {
+    TQP_ASSIGN_OR_RETURN(fusion, FusionFor(pipeline_index, p, *values,
+                                           slice_now, driver_rows, ctx));
+  }
+
   const int64_t morsel = MorselRows(ctx);
   const int64_t num_morsels =
       driver_rows == 0 ? 1 : (driver_rows + morsel - 1) / morsel;
@@ -155,45 +167,85 @@ Status PipelinedExecutor::RunPipeline(const Pipeline& p,
   std::vector<std::vector<Tensor>> chunks(
       p.outputs.size(), std::vector<Tensor>(static_cast<size_t>(num_morsels)));
 
+  // Per-slot morsel state: the node-indexed scratch, the fused runs'
+  // register arena, and a bound flag so unchanged non-driver sources
+  // (broadcasts, whole operands) bind once per pipeline run, not per morsel.
+  struct MorselSlot {
+    std::vector<Tensor> scratch;
+    kernels::ExprScratch expr;
+    std::vector<Tensor> run_sources;
+    std::vector<Tensor> run_outputs;
+    bool bound = false;
+  };
+
   auto eval_morsel = [&](int64_t b, int64_t e, int64_t m,
-                         std::vector<Tensor>* scratch) -> Status {
+                         MorselSlot* slot) -> Status {
+    std::vector<Tensor>& scratch = slot->scratch;
+    if (scratch.empty()) scratch.resize(num_nodes);
+    if (!slot->bound) {
+      for (size_t i = 0; i < p.sliced_sources.size(); ++i) {
+        const size_t src = static_cast<size_t>(p.sliced_sources[i]);
+        if (!slice_now[i]) scratch[src] = (*values)[src];
+      }
+      for (int src : p.whole_sources) {
+        scratch[static_cast<size_t>(src)] = (*values)[static_cast<size_t>(src)];
+      }
+      slot->bound = true;
+    }
     for (size_t i = 0; i < p.sliced_sources.size(); ++i) {
       const size_t src = static_cast<size_t>(p.sliced_sources[i]);
-      (*scratch)[src] = slice_now[i] ? (*values)[src].SliceRows(b, e)
-                                     : (*values)[src];
+      if (slice_now[i]) scratch[src] = (*values)[src].SliceRows(b, e);
     }
-    for (int src : p.whole_sources) {
-      (*scratch)[static_cast<size_t>(src)] = (*values)[static_cast<size_t>(src)];
-    }
-    for (const PipelineNode& pn : p.nodes) {
-      const OpNode& node = program_->node(pn.id);
+    size_t ni = 0;
+    while (ni < p.nodes.size()) {
+      const int run_id =
+          fusion != nullptr ? fusion->run_start[ni] : -1;
+      if (run_id >= 0) {
+        const ExprFusionPlan::Run& run =
+            fusion->runs[static_cast<size_t>(run_id)];
+        const ExprProgram& ep = *run.program;
+        slot->run_sources.clear();
+        for (int id : ep.source_nodes()) {
+          slot->run_sources.push_back(scratch[static_cast<size_t>(id)]);
+        }
+        TQP_RETURN_NOT_OK(kernels::RunExprProgram(
+            ep, slot->run_sources, b, options_.device, &slot->expr,
+            &slot->run_outputs));
+        for (size_t k = 0; k < ep.output_nodes().size(); ++k) {
+          scratch[static_cast<size_t>(ep.output_nodes()[k])] =
+              std::move(slot->run_outputs[k]);
+        }
+        ni = run.end;
+        continue;
+      }
+      const OpNode& node = program_->node(p.nodes[ni].id);
       TQP_ASSIGN_OR_RETURN(Tensor out,
-                           EvalMorselNode(*program_, node, *scratch, b));
-      (*scratch)[static_cast<size_t>(pn.id)] = std::move(out);
+                           EvalMorselNode(*program_, node, scratch, b));
+      scratch[static_cast<size_t>(node.id)] = std::move(out);
+      ++ni;
     }
     for (size_t oi = 0; oi < p.outputs.size(); ++oi) {
       chunks[oi][static_cast<size_t>(m)] =
-          (*scratch)[static_cast<size_t>(p.outputs[oi])];
+          scratch[static_cast<size_t>(p.outputs[oi])];
     }
     return Status::OK();
   };
 
   const bool fan_out = ctx.parallel() && num_morsels > 1;
   if (!fan_out) {
-    std::vector<Tensor> scratch(num_nodes);
+    MorselSlot slot;
     for (int64_t m = 0; m < num_morsels; ++m) {
       const int64_t b = m * morsel;
       const int64_t e = std::min(driver_rows, b + morsel);
-      TQP_RETURN_NOT_OK(eval_morsel(b, e, m, &scratch));
+      TQP_RETURN_NOT_OK(eval_morsel(b, e, m, &slot));
     }
   } else {
-    std::vector<std::vector<Tensor>> slot_scratch(
+    std::vector<MorselSlot> slots(
         static_cast<size_t>(ctx.pool->max_parallel_slots()));
     TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
         driver_rows, morsel, [&](int64_t b, int64_t e, int slot) -> Status {
-          std::vector<Tensor>& scratch = slot_scratch[static_cast<size_t>(slot)];
-          if (scratch.empty()) scratch.resize(num_nodes);
-          return eval_morsel(b, e, b / morsel, &scratch);
+          return eval_morsel(b, e, b / morsel,
+                             &slots[static_cast<size_t>(slot)]);
         }));
   }
 
@@ -211,6 +263,155 @@ Status PipelinedExecutor::RunPipeline(const Pipeline& p,
     parts.clear();  // release morsel chunks back to the buffer pool early
   }
   return Status::OK();
+}
+
+Result<std::shared_ptr<const ExprFusionPlan>> PipelinedExecutor::FusionFor(
+    int pipeline_index, const Pipeline& p, const std::vector<Tensor>& values,
+    const std::vector<bool>& slice_now, int64_t driver_rows,
+    const ParallelContext& ctx) {
+  // Source signature: everything lowering depends on that can drift between
+  // runs (dtypes, runtime broadcast-ness, column counts). Streamed node
+  // dtypes are a function of the sources, so they need not participate.
+  std::string sig;
+  const auto append = [&sig](int id, const Tensor& t, bool broadcast) {
+    sig += std::to_string(id);
+    sig.push_back(':');
+    sig += std::to_string(static_cast<int>(t.dtype()));
+    sig.push_back(broadcast ? 'b' : 'v');
+    sig += std::to_string(t.cols() == 1 ? 1 : 0);
+    sig.push_back('/');
+  };
+  for (size_t i = 0; i < p.sliced_sources.size(); ++i) {
+    const Tensor& t = values[static_cast<size_t>(p.sliced_sources[i])];
+    append(p.sliced_sources[i], t, !slice_now[i]);
+  }
+  for (int src : p.whole_sources) {
+    const Tensor& t = values[static_cast<size_t>(src)];
+    append(src, t, t.rows() == 1);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(fusion_mu_);
+    FusionCacheEntry& entry =
+        fusion_cache_[static_cast<size_t>(pipeline_index)];
+    if (entry.compiled && entry.signature == sig) return entry.fusion;
+  }
+
+  // Cache miss: probe and compile WITHOUT the executor-wide lock, so
+  // first-run compiles of independent pipelines overlap and report readers
+  // never wait on a probe. Concurrent compiles of one pipeline are benign —
+  // lowering is deterministic per signature, and each racer returns the
+  // plan matching its own bound sources.
+  // Probe one morsel node-at-a-time so the compiler sees every streamed
+  // value's dtype/shape (paid once per executor per signature).
+  const int64_t probe_rows = std::min(driver_rows, MorselRows(ctx));
+  std::vector<Tensor> scratch(static_cast<size_t>(program_->num_nodes()));
+  for (size_t i = 0; i < p.sliced_sources.size(); ++i) {
+    const size_t src = static_cast<size_t>(p.sliced_sources[i]);
+    scratch[src] =
+        slice_now[i] ? values[src].SliceRows(0, probe_rows) : values[src];
+  }
+  for (int src : p.whole_sources) {
+    scratch[static_cast<size_t>(src)] = values[static_cast<size_t>(src)];
+  }
+  for (const PipelineNode& pn : p.nodes) {
+    const OpNode& node = program_->node(pn.id);
+    TQP_ASSIGN_OR_RETURN(Tensor out, EvalMorselNode(*program_, node, scratch, 0));
+    scratch[static_cast<size_t>(pn.id)] = std::move(out);
+  }
+
+  std::unordered_map<int, ExprExternal> externals;
+  for (size_t i = 0; i < p.sliced_sources.size(); ++i) {
+    const int id = p.sliced_sources[i];
+    const Tensor& t = values[static_cast<size_t>(id)];
+    ExprExternal ext;
+    ext.dtype = t.dtype();
+    ext.scalar = !slice_now[i];
+    ext.single_col = t.cols() == 1;
+    ext.driver_aligned = slice_now[i];
+    externals.emplace(id, ext);
+  }
+  for (int id : p.whole_sources) {
+    const Tensor& t = values[static_cast<size_t>(id)];
+    ExprExternal ext;
+    ext.dtype = t.dtype();
+    ext.scalar = t.rows() == 1;
+    ext.single_col = t.cols() == 1;
+    ext.driver_aligned = false;
+    ext.constant =
+        program_->node(id).type == OpType::kConstant ? &t : nullptr;
+    externals.emplace(id, ext);
+  }
+  std::vector<int> candidates;
+  candidates.reserve(p.nodes.size());
+  for (const PipelineNode& pn : p.nodes) candidates.push_back(pn.id);
+  const auto external = [&](int id, ExprExternal* info) {
+    auto it = externals.find(id);
+    if (it != externals.end()) {
+      *info = it->second;
+      return true;
+    }
+    // A streamed value of this pipeline: the probe knows its dtype/shape.
+    const Tensor& t = scratch[static_cast<size_t>(id)];
+    if (!t.defined()) return false;
+    info->dtype = t.dtype();
+    info->scalar = false;
+    info->single_col = t.cols() == 1;
+    info->driver_aligned = false;  // overridden by the builder's own tracking
+    info->constant = nullptr;
+    return true;
+  };
+  ExprFusionPlan compiled =
+      BuildExprFusionPlan(*program_, candidates, p.outputs, external);
+  std::shared_ptr<const ExprFusionPlan> fusion =
+      compiled.runs.empty()
+          ? nullptr
+          : std::make_shared<const ExprFusionPlan>(std::move(compiled));
+
+  std::lock_guard<std::mutex> lock(fusion_mu_);
+  FusionCacheEntry& entry = fusion_cache_[static_cast<size_t>(pipeline_index)];
+  entry.compiled = true;
+  entry.signature = std::move(sig);
+  entry.fusion = fusion;
+  return fusion;
+}
+
+std::shared_ptr<const ExprFusionPlan> PipelinedExecutor::pipeline_fusion(
+    int index) const {
+  std::lock_guard<std::mutex> lock(fusion_mu_);
+  if (index < 0 || index >= static_cast<int>(fusion_cache_.size())) {
+    return nullptr;
+  }
+  return fusion_cache_[static_cast<size_t>(index)].fusion;
+}
+
+std::string PipelinedExecutor::FusionReport() const {
+  std::lock_guard<std::mutex> lock(fusion_mu_);
+  std::ostringstream os;
+  for (size_t pi = 0; pi < fusion_cache_.size(); ++pi) {
+    const FusionCacheEntry& entry = fusion_cache_[pi];
+    const Pipeline& p = plan_.pipelines[pi];
+    os << "pipeline #" << pi << " (" << p.nodes.size() << " ops): ";
+    if (!entry.compiled) {
+      os << "not yet executed\n";
+      continue;
+    }
+    if (entry.fusion == nullptr) {
+      os << "no fusible runs\n";
+      continue;
+    }
+    os << entry.fusion->num_fused_nodes << " ops in "
+       << entry.fusion->runs.size() << " fused run(s)\n";
+    for (size_t ri = 0; ri < entry.fusion->runs.size(); ++ri) {
+      const ExprFusionPlan::Run& run = entry.fusion->runs[ri];
+      os << "  run " << ri << " [";
+      for (size_t i = run.begin; i < run.end; ++i) {
+        os << (i > run.begin ? " " : "") << "n" << p.nodes[i].id;
+      }
+      os << "]: " << run.program->ToString();
+    }
+  }
+  return os.str();
 }
 
 Result<std::vector<Tensor>> PipelinedExecutor::Run(
@@ -266,7 +467,7 @@ Result<std::vector<Tensor>> PipelinedExecutor::Run(
         // clock; meter every node instead (results are identical).
         TQP_RETURN_NOT_OK(RunPipelineSerial(p, &values, ctx));
       } else {
-        TQP_RETURN_NOT_OK(RunPipeline(p, &values, ctx));
+        TQP_RETURN_NOT_OK(RunPipeline(step.pipeline, p, &values, ctx));
       }
     }
     for (int r : step.reads) {

@@ -2,9 +2,11 @@
 #define TQP_RUNTIME_PIPELINED_EXECUTOR_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "compile/expr_program.h"
 #include "compile/pipeline.h"
 #include "graph/executor.h"
 #include "runtime/parallel_kernels.h"
@@ -28,6 +30,19 @@ namespace tqp {
 /// Morsel scratch churn is soaked up by the process-wide BufferPool, so a
 /// streamed chain re-uses a handful of recycled blocks instead of allocating
 /// one full-column tensor per op.
+///
+/// Within a pipeline, maximal runs of elementwise/selection ops additionally
+/// execute through the expression-fusion layer (ExecOptions::expr_fusion,
+/// default on): each run is lowered once into a register-based ExprProgram
+/// (src/compile/expr_program.h — constant folding, CSE, shared selection
+/// vectors, register reuse) and then interpreted over every morsel in a
+/// single sweep (src/kernels/expr_exec.h), so chain intermediates live in a
+/// few recycled register buffers and only run *outputs* allocate tensors.
+/// Lowering needs runtime dtypes, so the first execution of a pipeline
+/// probes one morsel node-at-a-time and compiles against the observed
+/// source signature; the compiled plan is cached on the executor and
+/// revalidated (recompiled on drift) per run. Fused results are
+/// bit-identical to node-at-a-time evaluation by construction.
 ///
 /// The schedule executes as a dependency DAG, not a list: each PipelineStep
 /// becomes a TaskGraph task gated on the steps that materialize its sources,
@@ -65,6 +80,15 @@ class PipelinedExecutor : public Executor {
   runtime::ThreadPool* pool() const { return pool_; }
   int64_t morsel_rows() const;
 
+  /// \brief The expression-fusion plan compiled for pipeline `index` (null
+  /// before the pipeline first executes, when fusion is disabled, or when
+  /// nothing in the pipeline fused).
+  std::shared_ptr<const ExprFusionPlan> pipeline_fusion(int index) const;
+
+  /// \brief Human-readable fused-run boundaries and register counts for
+  /// every pipeline compiled so far (`\explain pipelines` in the shell).
+  std::string FusionReport() const;
+
  private:
   /// Evaluates one node whole (breakers, scalars, fallback pipelines) with
   /// intra-op parallelism, simulated-device metering and the profiler hook.
@@ -73,8 +97,17 @@ class PipelinedExecutor : public Executor {
 
   /// Streams one pipeline: morsels of the driver domain evaluate the fused
   /// chain into per-slot scratch, output chunks concatenate in morsel order.
-  Status RunPipeline(const Pipeline& p, std::vector<Tensor>* values,
+  Status RunPipeline(int pipeline_index, const Pipeline& p,
+                     std::vector<Tensor>* values,
                      const runtime::ParallelContext& ctx);
+
+  /// Returns the (possibly cached) expression-fusion plan for one pipeline,
+  /// compiling it against the current source signature when needed. The
+  /// compile probes one morsel node-at-a-time to learn streamed dtypes.
+  Result<std::shared_ptr<const ExprFusionPlan>> FusionFor(
+      int pipeline_index, const Pipeline& p, const std::vector<Tensor>& values,
+      const std::vector<bool>& slice_now, int64_t driver_rows,
+      const runtime::ParallelContext& ctx);
 
   /// Whole-node evaluation of a pipeline (shape surprises, simulated
   /// devices): same results, no streaming.
@@ -86,6 +119,16 @@ class PipelinedExecutor : public Executor {
   PipelinePlan plan_;
   std::unique_ptr<runtime::ThreadPool> owned_pool_;  // when num_threads > 1
   runtime::ThreadPool* pool_ = nullptr;              // owned, shared or global
+
+  /// Per-pipeline compiled fusion, keyed by the runtime source signature
+  /// (dtypes + broadcast-ness); concurrent Run() calls share one cache.
+  struct FusionCacheEntry {
+    bool compiled = false;
+    std::string signature;
+    std::shared_ptr<const ExprFusionPlan> fusion;  // null = nothing fused
+  };
+  mutable std::mutex fusion_mu_;
+  mutable std::vector<FusionCacheEntry> fusion_cache_;
 };
 
 }  // namespace tqp

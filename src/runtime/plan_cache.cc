@@ -67,6 +67,8 @@ std::string PlanCache::MakeKey(const std::string& normalized_sql,
   key.push_back('/');
   key += options.pipeline_overlap ? '1' : '0';
   key.push_back('/');
+  key += options.expr_fusion ? '1' : '0';
+  key.push_back('/');
   key += std::to_string(reinterpret_cast<uintptr_t>(options.step_scheduler));
   return key;
 }

@@ -17,6 +17,18 @@ struct BufferPoolStats {
   int64_t cached_bytes = 0;     // currently parked in free lists (gauge)
   int64_t live_bytes = 0;       // handed out and not yet released (gauge)
   int64_t peak_live_bytes = 0;  // high-water of live_bytes since ResetPeak
+
+  /// \brief Every Acquire served, pooled or bypassed — the per-run
+  /// allocation count the fusion ablation tracks (fewer = fewer
+  /// materialized intermediates).
+  int64_t total_allocations() const { return allocations + bypass; }
+  /// \brief Fraction of pooled requests served from a free list (no
+  /// malloc), in [0, 1].
+  double recycle_hit_rate() const {
+    return allocations > 0
+               ? static_cast<double>(pool_hits) / static_cast<double>(allocations)
+               : 0.0;
+  }
 };
 
 /// \brief Size-classed recycling allocator for tensor storage.

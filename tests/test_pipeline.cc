@@ -446,9 +446,12 @@ TEST_F(PipelineTpchTest, PipelinedBitIdenticalToEagerOnTpch) {
                          .ValueOrDie()
                          .Run(*catalog_)
                          .ValueOrDie();
-      ExpectTablesIdentical(result, reference,
-                            "Q" + std::to_string(q) + " at " +
-                                std::to_string(threads) + " threads");
+      std::string what = "Q";
+      what += std::to_string(q);
+      what += " at ";
+      what += std::to_string(threads);
+      what += " threads";
+      ExpectTablesIdentical(result, reference, what);
     }
   }
 }
@@ -499,9 +502,11 @@ TEST_F(PipelineTpchTest, OverlapOnOffBitIdentical) {
                          .ValueOrDie()
                          .Run(*catalog_)
                          .ValueOrDie();
-      ExpectTablesIdentical(result, reference,
-                            "Q" + std::to_string(q) + " overlap=" +
-                                std::string(overlap ? "on" : "off"));
+      std::string what = "Q";
+      what += std::to_string(q);
+      what += " overlap=";
+      what += overlap ? "on" : "off";
+      ExpectTablesIdentical(result, reference, what);
     }
   }
 }
