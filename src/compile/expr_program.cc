@@ -24,20 +24,12 @@ struct ValueInfo {
   const Tensor* constant = nullptr;
 };
 
+// Built on IsFusibleElementwise so an op added to StaticExecutor's grouping
+// is automatically a lowering candidate too (plus the selection ops the
+// selection-vector lowering handles).
 bool IsExprFusibleOp(OpType type) {
-  switch (type) {
-    case OpType::kBinary:
-    case OpType::kCompare:
-    case OpType::kLogical:
-    case OpType::kUnary:
-    case OpType::kCast:
-    case OpType::kWhere:
-    case OpType::kCompress:
-    case OpType::kNonzero:
-      return true;
-    default:
-      return false;
-  }
+  return IsFusibleElementwise(type) || type == OpType::kCompress ||
+         type == OpType::kNonzero;
 }
 
 /// Output driver-ness of an op evaluated outside any run, mirroring the
@@ -118,8 +110,8 @@ class ExprRunBuilder {
 
   bool empty() const { return node_reg_.empty(); }
 
-  /// Tries to lower `node`; returns false (leaving the run unchanged aside
-  /// from possibly interned operand registers) when the node cannot join.
+  /// Tries to lower `node`; returns false (leaving the run exactly as it
+  /// was — partial emission is rolled back) when the node cannot join.
   bool AddNode(const OpNode& node, const std::vector<ValueInfo>& ins);
 
   /// Seals the run. `needed(id)` says whether a fused node's value must
@@ -141,6 +133,45 @@ class ExprRunBuilder {
 
  private:
   using CseKey = std::array<int, 7>;
+
+  /// Builder state sizes at AddNode entry; rejection restores them so a
+  /// rejected node leaves no dead instructions or unused source bindings
+  /// behind in the sealed run.
+  struct Snapshot {
+    size_t instrs, regs, constants, sources;
+    int num_domains, num_cse, num_folded;
+  };
+
+  Snapshot Snap() const {
+    return {out_->instrs_.size(), out_->regs_.size(), out_->constants_.size(),
+            out_->source_nodes_.size(), out_->num_domains_, out_->num_cse_,
+            out_->num_folded_};
+  }
+
+  void RollbackTo(const Snapshot& s) {
+    out_->instrs_.resize(s.instrs);
+    out_->regs_.resize(s.regs);
+    out_->constants_.resize(s.constants);
+    out_->source_nodes_.resize(s.sources);
+    out_->num_domains_ = s.num_domains;
+    out_->num_cse_ = s.num_cse;
+    out_->num_folded_ = s.num_folded;
+    // Any map entry minted since the snapshot points at a register >= s.regs
+    // (keys referencing a rolled-back register imply a later dst as well).
+    const auto drop_new = [&](auto* m) {
+      for (auto it = m->begin(); it != m->end();) {
+        it = it->second >= static_cast<int>(s.regs) ? m->erase(it) : ++it;
+      }
+    };
+    drop_new(&cse_);
+    drop_new(&source_reg_);
+    drop_new(&selvec_of_mask_);
+  }
+
+  /// Lowers one node, emitting instructions/registers as needed. Returns the
+  /// node's destination register, or -1 when the node cannot join the run
+  /// (the caller rolls back any partial emission).
+  int LowerNode(const OpNode& node, const std::vector<ValueInfo>& ins);
 
   int NewReg(DType dtype, bool scalar, int dom) {
     ExprReg r;
@@ -309,9 +340,22 @@ class ExprRunBuilder {
 
 bool ExprRunBuilder::AddNode(const OpNode& node,
                              const std::vector<ValueInfo>& ins) {
+  const Snapshot snap = Snap();
+  const int dst = LowerNode(node, ins);
+  if (dst < 0) {
+    RollbackTo(snap);
+    return false;
+  }
+  node_reg_.emplace(node.id, dst);
+  ++out_->num_nodes_;
+  return true;
+}
+
+int ExprRunBuilder::LowerNode(const OpNode& node,
+                              const std::vector<ValueInfo>& ins) {
   // Operand constraints common to every fused op: resolvable, single-column.
   for (const ValueInfo& vi : ins) {
-    if (!vi.single_col) return false;
+    if (!vi.single_col) return -1;
   }
   std::vector<int> r(node.inputs.size());
   const auto bind_all = [&]() {
@@ -327,7 +371,7 @@ bool ExprRunBuilder::AddNode(const OpNode& node,
       if (dt == DType::kBool || dt == DType::kUInt8) dt = DType::kInt32;
       const int a = CastTo(r[0], dt);
       const int b = CastTo(r[1], dt);
-      if (a < 0 || b < 0) return false;
+      if (a < 0 || b < 0) return -1;
       dst = Emit(ExprOpCode::kBinary, static_cast<int>(node.attrs.GetInt("op")),
                  dt, dt, a, b);
       break;
@@ -338,14 +382,14 @@ bool ExprRunBuilder::AddNode(const OpNode& node,
       if (dt == DType::kBool) dt = DType::kUInt8;
       const int a = CastTo(r[0], dt);
       const int b = CastTo(r[1], dt);
-      if (a < 0 || b < 0) return false;
+      if (a < 0 || b < 0) return -1;
       dst = Emit(ExprOpCode::kCompare, static_cast<int>(node.attrs.GetInt("op")),
                  DType::kBool, dt, a, b);
       break;
     }
     case OpType::kLogical: {
       if (ins[0].dtype != DType::kBool || ins[1].dtype != DType::kBool) {
-        return false;
+        return -1;
       }
       bind_all();
       dst = Emit(ExprOpCode::kLogical, static_cast<int>(node.attrs.GetInt("op")),
@@ -355,7 +399,7 @@ bool ExprRunBuilder::AddNode(const OpNode& node,
     case OpType::kUnary: {
       const auto op = static_cast<UnaryOpKind>(node.attrs.GetInt("op"));
       if (op == UnaryOpKind::kNot) {
-        if (ins[0].dtype != DType::kBool) return false;
+        if (ins[0].dtype != DType::kBool) return -1;
         bind_all();
         dst = Emit(ExprOpCode::kUnary, static_cast<int>(op), DType::kBool,
                    DType::kBool, r[0]);
@@ -372,7 +416,7 @@ bool ExprRunBuilder::AddNode(const OpNode& node,
         dt = dt == DType::kFloat32 ? DType::kFloat32 : DType::kFloat64;
       }
       const int a = CastTo(r[0], dt);
-      if (a < 0) return false;
+      if (a < 0) return -1;
       dst = Emit(ExprOpCode::kUnary, static_cast<int>(op), dt, dt, a);
       break;
     }
@@ -383,12 +427,12 @@ bool ExprRunBuilder::AddNode(const OpNode& node,
       break;
     }
     case OpType::kWhere: {
-      if (ins[0].dtype != DType::kBool) return false;
+      if (ins[0].dtype != DType::kBool) return -1;
       bind_all();
       const DType dt = PromoteTypes(TypeOf(r[1]), TypeOf(r[2]));
       const int b = CastTo(r[1], dt);
       const int c = CastTo(r[2], dt);
-      if (b < 0 || c < 0) return false;
+      if (b < 0 || c < 0) return -1;
       dst = Emit(ExprOpCode::kWhere, 0, dt, dt, r[0], b, c);
       break;
     }
@@ -396,7 +440,7 @@ bool ExprRunBuilder::AddNode(const OpNode& node,
       // (data, mask): one shared selection vector per mask, one gather per
       // filtered column; downstream instructions see only selected lanes.
       if (ins[1].dtype != DType::kBool || ins[0].scalar || ins[1].scalar) {
-        return false;
+        return -1;
       }
       bind_all();
       // The selection vector holds mask-local lane indices, so data and
@@ -404,7 +448,7 @@ bool ExprRunBuilder::AddNode(const OpNode& node,
       // unfused and reaches the Compress kernel, whose own rows check
       // raises the same error the eager path would (a selection vector
       // applied to a longer column would gather in-range but wrong rows).
-      if (DomOf(r[0]) != DomOf(r[1])) return false;
+      if (DomOf(r[0]) != DomOf(r[1])) return -1;
       const int sel = SelVecOf(r[1]);
       dst = Emit(ExprOpCode::kGatherSel, 0, TypeOf(r[0]), TypeOf(r[0]), sel,
                  r[0]);
@@ -414,20 +458,17 @@ bool ExprRunBuilder::AddNode(const OpNode& node,
       // Global row positions: selection vector + the morsel's base offset.
       // Only valid over the driver domain (domain 0), where the interpreter
       // knows the morsel's global offset — mirrors the splitter's rule.
-      if (ins[0].dtype != DType::kBool || ins[0].scalar) return false;
+      if (ins[0].dtype != DType::kBool || ins[0].scalar) return -1;
       bind_all();
-      if (DomOf(r[0]) != 0) return false;
+      if (DomOf(r[0]) != 0) return -1;
       const int sel = SelVecOf(r[0]);
       dst = Emit(ExprOpCode::kIota, 0, DType::kInt64, DType::kInt64, sel);
       break;
     }
     default:
-      return false;
+      return -1;
   }
-  if (dst < 0) return false;
-  node_reg_.emplace(node.id, dst);
-  ++out_->num_nodes_;
-  return true;
+  return dst;
 }
 
 std::shared_ptr<const ExprProgram> ExprRunBuilder::Finish(
@@ -480,7 +521,12 @@ std::shared_ptr<const ExprProgram> ExprRunBuilder::Finish(
       }
       out_->regs_[static_cast<size_t>(instr.dst)].slot = slot;
     }
-    for (int op : {instr.a, instr.b, instr.c}) {
+    // A register repeated in two operand positions (e.g. mul(t, t) after
+    // CSE) must free its slot exactly once.
+    const std::array<int, 3> ops = {instr.a, instr.b, instr.c};
+    for (size_t j = 0; j < ops.size(); ++j) {
+      const int op = ops[j];
+      if (j > 0 && (op == ops[0] || (j > 1 && op == ops[1]))) continue;
       if (needs_slot(op) && last_use[static_cast<size_t>(op)] ==
                                 static_cast<int>(i)) {
         free_slots.push_back(out_->regs_[static_cast<size_t>(op)].slot);
@@ -543,16 +589,6 @@ std::string ExprProgram::ToString() const {
     if (instr.dom >= 0) os << " dom" << instr.dom;
     if (instr.out_dom >= 0) os << " ->dom" << instr.out_dom;
     os << "\n";
-  }
-  return os.str();
-}
-
-std::string ExprFusionPlan::ToString() const {
-  std::ostringstream os;
-  for (size_t i = 0; i < runs.size(); ++i) {
-    const Run& run = runs[i];
-    os << "fused run " << i << " [" << run.begin << ", " << run.end << "): ";
-    os << run.program->ToString();
   }
   return os.str();
 }
@@ -630,9 +666,8 @@ ExprFusionPlan BuildExprFusionPlan(const TensorProgram& program,
       info[node.id] = builder.InfoOf(node.id);
       continue;
     }
-    // A rejected AddNode may have interned operand registers; close() seals
-    // whatever was fused so far (a nothing-fused run compiles to null) and
-    // resets the builder either way.
+    // close() seals whatever was fused so far (a nothing-fused run compiles
+    // to null) and resets the builder either way.
     close(idx);
     // Unfused candidate: record what later runs can know about its value —
     // dtype/shape from the caller (e.g. the pipeline's probe morsel),

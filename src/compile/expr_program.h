@@ -156,10 +156,6 @@ struct ExprFusionPlan {
   /// morsel loop dispatches at run starts and then skips to Run::end).
   std::vector<int> run_start;
   int num_fused_nodes = 0;
-
-  /// Candidate-index run boundaries plus each run's instruction listing
-  /// (PipelinedExecutor::FusionReport adds the pipeline's node ids).
-  std::string ToString() const;
 };
 
 /// \brief Segments `nodes` (a topologically ordered chain, e.g. one

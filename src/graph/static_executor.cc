@@ -146,27 +146,28 @@ std::shared_ptr<const ExprProgram> StaticExecutor::GroupFusionFor(
     }
   }
 
-  std::lock_guard<std::mutex> lock(fusion_mu_);
-  GroupFusionEntry& entry = group_fusion_[step_index];
-  if (entry.compiled && entry.signature == sig) return entry.program;
+  {
+    std::lock_guard<std::mutex> lock(fusion_mu_);
+    const GroupFusionEntry& entry = group_fusion_[step_index];
+    if (entry.compiled && entry.signature == sig) return entry.program;
+  }
 
+  // Cache miss: scan escapes and compile WITHOUT the executor-wide lock, so
+  // concurrent Run() calls sharing a cached plan don't serialize on a first
+  // execution or signature drift (mirrors PipelinedExecutor::FusionFor).
+  // Concurrent compiles of one group are benign — lowering is deterministic
+  // per signature.
   // Which group nodes escape (read outside the group or program outputs)?
+  // One pass over the program, like RunFusedGroup's external_uses scan.
+  std::vector<bool> escapes(static_cast<size_t>(prog.num_nodes()), false);
+  for (int id : prog.outputs()) escapes[static_cast<size_t>(id)] = true;
+  for (const OpNode& n : prog.nodes()) {
+    if (in_group[static_cast<size_t>(n.id)]) continue;
+    for (int in : n.inputs) escapes[static_cast<size_t>(in)] = true;
+  }
   std::vector<int> required;
-  std::vector<bool> is_output(static_cast<size_t>(prog.num_nodes()), false);
-  for (int id : prog.outputs()) is_output[static_cast<size_t>(id)] = true;
   for (int id : step.node_ids) {
-    bool escapes = is_output[static_cast<size_t>(id)];
-    for (const OpNode& n : prog.nodes()) {
-      if (escapes) break;
-      if (in_group[static_cast<size_t>(n.id)]) continue;
-      for (int in : n.inputs) {
-        if (in == id) {
-          escapes = true;
-          break;
-        }
-      }
-    }
-    if (escapes) required.push_back(id);
+    if (escapes[static_cast<size_t>(id)]) required.push_back(id);
   }
 
   const auto external = [&](int id, ExprExternal* info) {
@@ -177,18 +178,21 @@ std::shared_ptr<const ExprProgram> StaticExecutor::GroupFusionFor(
   };
   ExprFusionPlan plan =
       BuildExprFusionPlan(prog, step.node_ids, required, external);
-  entry.compiled = true;
-  entry.signature = std::move(sig);
   // Only a single run covering the whole group replaces the blocked legacy
   // path (partial coverage would need dtypes of mid-group values the
   // blocked loop never materializes whole).
+  std::shared_ptr<const ExprProgram> fused;
   if (plan.runs.size() == 1 && plan.runs[0].begin == 0 &&
       plan.runs[0].end == step.node_ids.size()) {
-    entry.program = plan.runs[0].program;
-  } else {
-    entry.program = nullptr;
+    fused = plan.runs[0].program;
   }
-  return entry.program;
+
+  std::lock_guard<std::mutex> lock(fusion_mu_);
+  GroupFusionEntry& entry = group_fusion_[step_index];
+  entry.compiled = true;
+  entry.signature = std::move(sig);
+  entry.program = fused;
+  return fused;
 }
 
 Status StaticExecutor::RunFusedGroup(const Step& step, size_t step_index,

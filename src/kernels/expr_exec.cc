@@ -322,7 +322,8 @@ Status RunExprProgram(const ExprProgram& program,
 
   // Bind source lengths into the domain table; every vector source of one
   // domain must agree (the compiler's cardinality claim, checked here).
-  std::vector<int64_t> dom_len(static_cast<size_t>(program.num_domains()), -1);
+  std::vector<int64_t>& dom_len = scratch->dom_len;
+  dom_len.assign(static_cast<size_t>(program.num_domains()), -1);
   for (size_t r = 0; r < regs.size(); ++r) {
     const ExprReg& reg = regs[r];
     if (reg.source < 0) continue;
@@ -354,8 +355,11 @@ Status RunExprProgram(const ExprProgram& program,
   // outputs resolve at their defining write (slots size lazily to the lanes
   // actually written — a post-filter register holds survivors, not a full
   // morsel).
-  std::vector<const uint8_t*> ptr(regs.size(), nullptr);
-  std::vector<Tensor> materialized(regs.size());
+  std::vector<const uint8_t*>& ptr = scratch->ptr;
+  ptr.assign(regs.size(), nullptr);
+  std::vector<Tensor>& materialized = scratch->materialized;
+  materialized.clear();
+  materialized.resize(regs.size());
   for (size_t r = 0; r < regs.size(); ++r) {
     const ExprReg& reg = regs[r];
     if (reg.konst >= 0) {
@@ -630,6 +634,9 @@ Status RunExprProgram(const ExprProgram& program,
       return Status::Internal("expr exec: output register never materialized");
     }
   }
+  // Outputs now hold their own references; don't pin the buffers past this
+  // invocation through the reused scratch.
+  materialized.clear();
   return Status::OK();
 }
 

@@ -35,6 +35,9 @@ class ExprScratch {
       Release();
       slots_ = std::move(other.slots_);
       other.slots_.clear();
+      dom_len = std::move(other.dom_len);
+      ptr = std::move(other.ptr);
+      materialized = std::move(other.materialized);
     }
     return *this;
   }
@@ -47,6 +50,15 @@ class ExprScratch {
 
   /// \brief Returns every block to the BufferPool.
   void Release();
+
+  /// Per-invocation interpreter bookkeeping (domain lengths, register byte
+  /// pointers, output tensors), owned here so the capacity — sized by the
+  /// immutable program, not the data — survives across morsels instead of
+  /// being heap-allocated per invocation. RunExprProgram resets the contents
+  /// on entry and drops tensor references before returning.
+  std::vector<int64_t> dom_len;
+  std::vector<const uint8_t*> ptr;
+  std::vector<Tensor> materialized;
 
  private:
   struct Slot {

@@ -287,6 +287,85 @@ TEST(ExprProgramTest, RegisterReuseKeepsSlotCountFlat) {
   EXPECT_LE(ep.num_slots(), 2) << ep.ToString();
 }
 
+TEST(ExprProgramTest, RepeatedOperandAtLastUseFreesItsSlotOnce) {
+  // (a+b)*(a+b) CSEs to mul(t, t): t dies there and its physical slot must
+  // return to the free list exactly once. A double-free would hand one slot
+  // to both of the later simultaneously-live temps u = a-b and v = a*b, so
+  // w = u+v would silently read corrupted lanes.
+  TensorProgram program;
+  const int a = program.AddInput("a");
+  const int b = program.AddInput("b");
+  const auto binary = [&](BinaryOpKind op, int x, int y) {
+    return program.AddNode(OpType::kBinary, {x, y},
+                           OpAttr(static_cast<int64_t>(op)));
+  };
+  const int s1 = binary(BinaryOpKind::kAdd, a, b);
+  const int s2 = binary(BinaryOpKind::kAdd, a, b);  // CSE: same register as s1
+  const int m = binary(BinaryOpKind::kMul, s1, s2);
+  const int u = binary(BinaryOpKind::kSub, a, b);
+  const int v = binary(BinaryOpKind::kMul, a, b);
+  const int w = binary(BinaryOpKind::kAdd, u, v);
+  program.MarkOutput(m);
+  program.MarkOutput(w);
+
+  ExprFusionPlan plan = BuildExprFusionPlan(
+      program, {s1, s2, m, u, v, w}, {m, w},
+      MapExternal({{a, VectorExternal(DType::kFloat64)},
+                   {b, VectorExternal(DType::kFloat64)}}));
+  ASSERT_EQ(plan.runs.size(), 1u);
+  const ExprProgram& ep = *plan.runs[0].program;
+  // t reuses its slot for u; v needs a second slot (the double-free would
+  // collapse this to 1).
+  EXPECT_EQ(ep.num_slots(), 2) << ep.ToString();
+
+  Tensor as = Tensor::FromVector<double>({1.0, -2.0, 3.5, 0.25});
+  Tensor bs = Tensor::FromVector<double>({2.0, 4.0, -1.5, 8.0});
+  kernels::ExprScratch scratch;
+  std::vector<Tensor> outs;
+  TQP_CHECK_OK(kernels::RunExprProgram(ep, {as, bs}, 0, DeviceKind::kCpu,
+                                       &scratch, &outs));
+  ASSERT_EQ(outs.size(), 2u);
+  Tensor sum = kernels::BinaryOp(BinaryOpKind::kAdd, as, bs).ValueOrDie();
+  Tensor want_m = kernels::BinaryOp(BinaryOpKind::kMul, sum, sum).ValueOrDie();
+  Tensor diff = kernels::BinaryOp(BinaryOpKind::kSub, as, bs).ValueOrDie();
+  Tensor prod = kernels::BinaryOp(BinaryOpKind::kMul, as, bs).ValueOrDie();
+  Tensor want_w = kernels::BinaryOp(BinaryOpKind::kAdd, diff, prod).ValueOrDie();
+  ExpectTensorsIdentical(outs[0], want_m, "(a+b)*(a+b)");
+  ExpectTensorsIdentical(outs[1], want_w, "(a-b)+(a*b)");
+}
+
+TEST(ExprProgramTest, RejectedNodeLeavesNoSourceBindingsBehind) {
+  // c2 = compress(z, mask2) is rejected (z is driver-domain, mask2 lives in
+  // a selection domain), but only after its operands were interned. The
+  // rejection must roll that back: the sealed run would otherwise bind the
+  // unused source z on every morsel.
+  TensorProgram program;
+  const int a = program.AddInput("a");
+  const int z = program.AddInput("z");
+  const int k = program.AddConstant(Tensor::FromVector<double>({2.0}));
+  const Tensor kv = program.constant(0);
+  const int mask1 = program.AddNode(
+      OpType::kCompare, {a, k}, OpAttr(static_cast<int64_t>(CompareOpKind::kLt)));
+  const int c1 = program.AddNode(OpType::kCompress, {a, mask1});
+  const int mask2 = program.AddNode(
+      OpType::kCompare, {c1, k}, OpAttr(static_cast<int64_t>(CompareOpKind::kGt)));
+  const int c2 = program.AddNode(OpType::kCompress, {z, mask2});
+  program.MarkOutput(c2);
+
+  ExprFusionPlan plan = BuildExprFusionPlan(
+      program, {mask1, c1, mask2, c2}, {c1, mask2, c2},
+      MapExternal({{a, VectorExternal(DType::kFloat64)},
+                   {z, VectorExternal(DType::kFloat64)},
+                   {k, ConstExternal(&kv)}}));
+  ASSERT_EQ(plan.runs.size(), 1u);  // mask1/c1/mask2 fuse; c2 stays out
+  const ExprProgram& ep = *plan.runs[0].program;
+  EXPECT_EQ(ep.num_nodes(), 3) << ep.ToString();
+  for (const int src : ep.source_nodes()) {
+    EXPECT_NE(src, z) << "rejected node's operand binding survived:\n"
+                      << ep.ToString();
+  }
+}
+
 TEST(ExprProgramTest, CrossDomainCompressStaysUnfusedAndErrorsLikeEager) {
   // mask2 lives in the survivor domain of a first filter; compressing a
   // *driver-domain* column on it is a cardinality error. The Compress
