@@ -12,6 +12,11 @@
 // value release) and with the sequential schedule walk (`"overlap": false`),
 // so the overlap-vs-peak-alloc trade is tracked per commit.
 //
+// With TQP_MEMORY_BUDGET_MB set, every measured run executes under that
+// per-query budget: peak_alloc_mb then reports the capped *resident*
+// working set and the spilled_mb column what each run moved to disk to
+// stay inside it (out-of-core results are bit-identical by construction).
+//
 // Usage: fig_parallel_scaling [scale_factor] [num_queries]
 //   scale_factor  default 0.05
 //   num_queries   run only the first N of {Q1, Q3, Q6} (CI smoke uses 1)
@@ -85,6 +90,9 @@ int main(int argc, char** argv) {
   std::printf("{\n  \"bench\": \"fig_parallel_scaling\",\n");
   std::printf("  \"scale_factor\": %.4f,\n", sf);
   std::printf("  \"hardware_threads\": %u,\n", hw);
+  std::printf("  \"memory_budget_mb\": %.1f,\n",
+              static_cast<double>(BufferPool::ResolveMemoryBudget(0)) /
+                  (1024.0 * 1024.0));
   std::printf("  \"queries\": [\n");
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     const int q = queries[qi];
@@ -125,24 +133,26 @@ int main(int argc, char** argv) {
         std::printf("%s\n      {\"backend\": \"%s\", \"threads\": %d, "
                     "\"overlap\": %s, \"expr_fusion\": %s, \"ms\": %.4f, "
                     "\"speedup_vs_eager\": %.3f, \"peak_alloc_mb\": %.3f, "
-                    "\"allocs\": %lld, \"recycle_hit_rate\": %.3f}",
+                    "\"allocs\": %lld, \"recycle_hit_rate\": %.3f, "
+                    "\"spilled_mb\": %.3f, \"spill_events\": %lld}",
                     first ? "" : ",", ExecutorTargetName(spec.target),
                     thread_counts[ti], spec.overlap ? "true" : "false",
                     spec.expr_fusion ? "true" : "false", r.seconds * 1e3,
                     speedup, r.peak_alloc_mb,
-                    static_cast<long long>(r.allocs), r.recycle_hit_rate);
+                    static_cast<long long>(r.allocs), r.recycle_hit_rate,
+                    r.spilled_mb, static_cast<long long>(r.spill_events));
         first = false;
         std::fprintf(stderr,
                      "  Q%d %s%s%s @ %d threads: %.3f ms (%.2fx vs eager "
                      "%.3f ms), peak alloc %.2f MiB (eager %.2f MiB), "
-                     "%lld allocs (%.0f%% recycled)\n",
+                     "%lld allocs (%.0f%% recycled), spilled %.2f MiB\n",
                      q, ExecutorTargetName(spec.target),
                      spec.overlap ? "" : " (no overlap)",
                      spec.expr_fusion ? "" : " (no fusion)", thread_counts[ti],
                      r.seconds * 1e3, speedup, eager.seconds * 1e3,
                      r.peak_alloc_mb, eager.peak_alloc_mb,
                      static_cast<long long>(r.allocs),
-                     r.recycle_hit_rate * 100.0);
+                     r.recycle_hit_rate * 100.0, r.spilled_mb);
       }
     }
     std::printf("], \"best_speedup_vs_eager\": %.3f}%s\n", best_speedup,

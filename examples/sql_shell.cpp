@@ -12,7 +12,13 @@
 //                                   chains split at pipeline breakers)
 //   \threads <n>                    parallel backends: worker threads (0 = auto)
 //   \morsel <rows>                  parallel backends: rows per morsel (0 = auto)
-//   \pool                           shared thread-pool and buffer-pool stats
+//   \budget <mb>                    parallel backends: per-query memory budget
+//                                   in MiB — a query over budget spills cold
+//                                   intermediates to disk instead of growing
+//                                   resident memory (0 = TQP_MEMORY_BUDGET_MB
+//                                   default / unlimited)
+//   \pool                           shared thread-pool and buffer-pool stats,
+//                                   current budget and session spill totals
 //   \device cpu|gpu                 choose the device (gpu = simulator)
 //   \engine tqp|volcano|columnar    choose the engine family (columnar runs
 //                                   its hash operators morsel-parallel when
@@ -66,6 +72,10 @@ struct ShellState {
   int num_threads = 0;      // parallel backend: 0 = process-wide pool
   int64_t morsel_rows = 0;  // parallel backend: 0 = default morsel size
   bool expr_fusion = true;  // pipelined/static: fused expression execution
+  int64_t budget_mb = 0;    // per-query memory budget (0 = env default)
+  // Session-cumulative spill totals (across every query run so far).
+  int64_t spilled_bytes_total = 0;
+  int64_t spill_events_total = 0;
 };
 
 // Integer argument parser that reports instead of throwing (a typo in a
@@ -88,6 +98,8 @@ void RunSql(const std::string& sql, const Catalog& catalog, ShellState* state) {
   Stopwatch watch;
   Result<Table> result_or = Status::Internal("unset");
   double compile_ms = 0;
+  QueryMemoryStats mem;
+  bool have_mem = false;
   if (state->engine == "volcano") {
     VolcanoEngine volcano(&catalog);
     watch.Reset();
@@ -110,6 +122,7 @@ void RunSql(const std::string& sql, const Catalog& catalog, ShellState* state) {
     options.num_threads = state->num_threads;
     options.morsel_rows = state->morsel_rows;
     options.expr_fusion = state->expr_fusion;
+    options.memory_budget_bytes = state->budget_mb << 20;
     watch.Reset();
     auto compiled_or = compiler.CompileSql(sql, catalog, options);
     compile_ms = watch.ElapsedSeconds() * 1e3;
@@ -120,8 +133,17 @@ void RunSql(const std::string& sql, const Catalog& catalog, ShellState* state) {
     if (state->device == DeviceKind::kCudaSim) {
       GetDevice(DeviceKind::kCudaSim)->ResetClock();
     }
+    // Run under an explicit per-query scope so peak/spill stats are
+    // reportable even when no budget is set.
+    BufferPool::QueryScope memory_scope(
+        BufferPool::ResolveMemoryBudget(state->budget_mb << 20));
+    BufferPool::QueryScope::Attach memory_attach(&memory_scope);
     watch.Reset();
     result_or = compiled_or.ValueOrDie().Run(catalog);
+    mem = memory_scope.stats();
+    have_mem = true;
+    state->spilled_bytes_total += mem.spilled_bytes;
+    state->spill_events_total += mem.spill_events;
   }
   const double exec_ms = watch.ElapsedSeconds() * 1e3;
   if (!result_or.ok()) {
@@ -138,6 +160,15 @@ void RunSql(const std::string& sql, const Catalog& catalog, ShellState* state) {
                 GetDevice(DeviceKind::kCudaSim)->simulated_seconds() * 1e3);
   }
   std::printf("\n");
+  if (have_mem && mem.spill_events > 0) {
+    std::printf("memory: peak %.2f MiB under a %.1f MiB budget; spilled "
+                "%.2f MiB in %lld evictions (%lld faults back in)\n",
+                static_cast<double>(mem.peak_live_bytes) / (1 << 20),
+                static_cast<double>(mem.budget_bytes) / (1 << 20),
+                static_cast<double>(mem.spilled_bytes) / (1 << 20),
+                static_cast<long long>(mem.spill_events),
+                static_cast<long long>(mem.fault_events));
+  }
 }
 
 void PrintPlanOrProgram(const std::string& sql, const Catalog& catalog,
@@ -218,6 +249,7 @@ void RunSessions(int n, const std::string& sql, const Catalog& catalog,
   options.compile.device = state.device;
   options.compile.num_threads = state.num_threads;
   options.compile.morsel_rows = state.morsel_rows;
+  options.compile.memory_budget_bytes = state.budget_mb << 20;
   runtime::QueryScheduler scheduler(&catalog, options);
   std::vector<std::future<runtime::QueryOutcome>> futures;
   futures.reserve(static_cast<size_t>(n));
@@ -238,28 +270,35 @@ void RunSessions(int n, const std::string& sql, const Catalog& catalog,
       continue;
     }
     std::printf(
-        "session %zu: %lld rows, queued %.2f ms, compile %.2f ms%s, exec %.2f ms\n",
+        "session %zu: %lld rows, queued %.2f ms, compile %.2f ms%s, exec %.2f "
+        "ms, peak mem %.2f MiB%s\n",
         i, static_cast<long long>(outcome.stats.result_rows),
         static_cast<double>(outcome.stats.queue_nanos) / 1e6,
         static_cast<double>(outcome.stats.compile_nanos) / 1e6,
         outcome.stats.cache_hit ? " (plan cache hit)" : "",
-        static_cast<double>(outcome.stats.exec_nanos) / 1e6);
+        static_cast<double>(outcome.stats.exec_nanos) / 1e6,
+        static_cast<double>(outcome.stats.peak_memory_bytes) / (1 << 20),
+        outcome.stats.spilled_bytes > 0 ? " (spilled)" : "");
   }
   const auto counters = scheduler.counters();
   std::printf(
       "total %.2f ms wall; admitted %lld, rejected %lld, failed %lld; "
-      "plan cache %lld hits / %lld misses\n",
+      "plan cache %lld hits / %lld misses; spilled %.2f MiB across %lld "
+      "queries\n",
       watch.ElapsedSeconds() * 1e3, static_cast<long long>(counters.admitted),
       static_cast<long long>(counters.rejected),
       static_cast<long long>(counters.failed),
       static_cast<long long>(scheduler.plan_cache().hits()),
-      static_cast<long long>(scheduler.plan_cache().misses()));
+      static_cast<long long>(scheduler.plan_cache().misses()),
+      static_cast<double>(counters.spilled_bytes) / (1 << 20),
+      static_cast<long long>(counters.queries_spilled));
 }
 
 // Shared-resource report: the process-wide cross-query thread pool that every
-// parallel/pipelined executor and QueryScheduler lands on, and the buffer
-// pool recycling morsel scratch across operators and queries.
-void PrintPoolStats() {
+// parallel/pipelined executor and QueryScheduler lands on, the buffer pool
+// recycling morsel scratch across operators and queries, and the per-query
+// memory governance layer (budget + spill) above it.
+void PrintPoolStats(const ShellState& state) {
   runtime::ThreadPool* pool = runtime::ThreadPool::Global();
   std::printf("shared thread pool: %d worker threads (process-wide; all\n"
               "  sessions, schedulers and parallel/pipelined executors with\n"
@@ -285,6 +324,20 @@ void PrintPoolStats() {
               mb(stats.recycled_bytes), mb(stats.cached_bytes));
   std::printf("  live %.2f MiB, peak live %.2f MiB\n", mb(stats.live_bytes),
               mb(stats.peak_live_bytes));
+  const int64_t budget =
+      BufferPool::ResolveMemoryBudget(state.budget_mb << 20);
+  if (budget > 0) {
+    std::printf("per-query memory budget: %.1f MiB (%s); over-budget queries "
+                "spill cold intermediates to disk\n",
+                mb(budget),
+                state.budget_mb > 0 ? "\\budget" : "TQP_MEMORY_BUDGET_MB");
+  } else {
+    std::printf("per-query memory budget: unlimited (\\budget <mb> to cap; "
+                "TQP_MEMORY_BUDGET_MB sets the default)\n");
+  }
+  std::printf("  spilled this session: %.2f MiB in %lld evictions\n",
+              mb(state.spilled_bytes_total),
+              static_cast<long long>(state.spill_events_total));
 }
 
 }  // namespace
@@ -319,7 +372,25 @@ int main(int argc, char** argv) {
       continue;
     }
     if (line == "\\pool") {
-      PrintPoolStats();
+      PrintPoolStats(state);
+      continue;
+    }
+    if (line.rfind("\\budget ", 0) == 0) {
+      int64_t mb = 0;
+      if (!ParseInt64(line.substr(8), &mb)) continue;
+      // Upper bound keeps every later `mb << 20` free of signed overflow.
+      constexpr int64_t kMaxBudgetMb = int64_t{1} << 30;  // 1 PiB
+      if (mb < 0 || mb > kMaxBudgetMb) {
+        std::printf("budget must be in [0, %lld] MiB (0 = env default / "
+                    "unlimited)\n",
+                    static_cast<long long>(kMaxBudgetMb));
+        continue;
+      }
+      state.budget_mb = mb;
+      std::printf("per-query memory budget = %lld MiB%s\n",
+                  static_cast<long long>(mb),
+                  mb == 0 ? " (TQP_MEMORY_BUDGET_MB default / unlimited)"
+                          : "");
       continue;
     }
     if (line.rfind("\\fusion ", 0) == 0) {

@@ -1,0 +1,48 @@
+#include "common/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/logging.h"
+
+namespace tqp {
+
+namespace {
+
+/// One warning per (process, variable): knobs are read from several
+/// call sites (and repeatedly from cached statics in tests), and a
+/// misconfigured shell must not flood stderr.
+bool ShouldWarnOnce(const char* name) {
+  static std::mutex mu;
+  static std::set<std::string>* warned = new std::set<std::string>();
+  std::lock_guard<std::mutex> lock(mu);
+  return warned->insert(name).second;
+}
+
+}  // namespace
+
+int64_t EnvInt64OrDefault(const char* name, int64_t fallback,
+                          int64_t min_value, int64_t max_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  while (end != nullptr && (*end == ' ' || *end == '\t')) ++end;
+  const bool complete = end != nullptr && end != v && *end == '\0';
+  const bool overflow = errno == ERANGE;
+  if (!complete || overflow || parsed < min_value || parsed > max_value) {
+    if (ShouldWarnOnce(name)) {
+      TQP_LOG(Warning) << name << "='" << v << "' is not an integer in ["
+                       << min_value << ", " << max_value
+                       << "]; using default " << fallback;
+    }
+    return fallback;
+  }
+  return parsed;
+}
+
+}  // namespace tqp

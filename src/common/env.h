@@ -1,0 +1,26 @@
+#ifndef TQP_COMMON_ENV_H_
+#define TQP_COMMON_ENV_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace tqp {
+
+/// \brief Checked integer parsing for the TQP_* environment knobs
+/// (TQP_THREADS, TQP_MORSEL_ROWS, TQP_BUFFER_POOL_MB, TQP_MEMORY_BUDGET_MB).
+///
+/// Returns the variable's value only when it is set to a complete decimal
+/// integer within [min_value, max_value]. Everything else — garbage text,
+/// trailing junk ("8x"), an out-of-range or overflowing number, a negative
+/// value where the knob's floor forbids it — logs one warning per variable
+/// per process and returns `fallback`, so a typo degrades to the default
+/// instead of silently truncating the way a bare atoi/strtoll would.
+/// An unset or empty variable returns `fallback` without a warning.
+int64_t EnvInt64OrDefault(const char* name, int64_t fallback,
+                          int64_t min_value = 0,
+                          int64_t max_value =
+                              std::numeric_limits<int64_t>::max());
+
+}  // namespace tqp
+
+#endif  // TQP_COMMON_ENV_H_

@@ -37,6 +37,9 @@ struct CompileOptions {
   /// owned). Set by the QueryScheduler so steps of concurrent queries
   /// interleave by QueryPriority class.
   runtime::StepScheduler* step_scheduler = nullptr;
+  /// See ExecOptions::memory_budget_bytes — per-query memory budget with
+  /// disk spill (0 = TQP_MEMORY_BUDGET_MB default, negative = unlimited).
+  int64_t memory_budget_bytes = 0;
 };
 
 /// \brief A compiled query: the tensor program, its Executor, and the

@@ -81,6 +81,15 @@ struct ExecOptions {
   /// instead of going to the pool directly — how the QueryScheduler
   /// interleaves steps of concurrent queries by QueryPriority class.
   runtime::StepScheduler* step_scheduler = nullptr;
+  /// Parallel/Pipelined executors: per-query memory budget in bytes.
+  /// Positive = cap the query's live tensor bytes, spilling cold idle step
+  /// outputs to disk past it (BufferPool::QueryScope; results stay
+  /// bit-identical to the in-memory path). 0 = the TQP_MEMORY_BUDGET_MB env
+  /// default (unlimited when unset); negative = explicitly unlimited. An
+  /// ambient QueryScope (the QueryScheduler attaches one per admitted
+  /// query) takes precedence — the executor then charges that query
+  /// instead of opening its own scope.
+  int64_t memory_budget_bytes = 0;
 };
 
 /// \brief A compiled, runnable tensor program (the paper's "Executor").

@@ -139,25 +139,29 @@ Result<Tensor> ConcatRows(const std::vector<Tensor>& parts) {
   }
   TQP_ASSIGN_OR_RETURN(Tensor out, Tensor::Empty(dt, total, m, parts[0].device()));
   uint8_t* dst = static_cast<uint8_t*>(out.raw_mutable_data());
-  const int64_t elem = DTypeSize(dt);
   for (const Tensor& t : parts) {
-    if (t.cols() == m) {
-      if (t.nbytes() > 0) {
-        std::memcpy(dst, t.raw_data(), static_cast<size_t>(t.nbytes()));
-      }
-      dst += t.nbytes();
-      continue;
-    }
-    const auto* src = static_cast<const uint8_t*>(t.raw_data());
-    const size_t row_bytes = static_cast<size_t>(t.cols() * elem);
-    const size_t out_row_bytes = static_cast<size_t>(m * elem);
-    for (int64_t r = 0; r < t.rows(); ++r) {
-      std::memcpy(dst, src + static_cast<size_t>(r) * row_bytes, row_bytes);
-      std::memset(dst + row_bytes, 0, out_row_bytes - row_bytes);
-      dst += out_row_bytes;
-    }
+    AppendRowsPadded(t, m, &dst);
   }
   return out;
+}
+
+void AppendRowsPadded(const Tensor& part, int64_t out_cols, uint8_t** dst) {
+  const int64_t elem = DTypeSize(part.dtype());
+  if (part.cols() == out_cols) {
+    if (part.nbytes() > 0) {
+      std::memcpy(*dst, part.raw_data(), static_cast<size_t>(part.nbytes()));
+    }
+    *dst += part.nbytes();
+    return;
+  }
+  const auto* src = static_cast<const uint8_t*>(part.raw_data());
+  const size_t row_bytes = static_cast<size_t>(part.cols() * elem);
+  const size_t out_row_bytes = static_cast<size_t>(out_cols * elem);
+  for (int64_t r = 0; r < part.rows(); ++r) {
+    std::memcpy(*dst, src + static_cast<size_t>(r) * row_bytes, row_bytes);
+    std::memset(*dst + row_bytes, 0, out_row_bytes - row_bytes);
+    *dst += out_row_bytes;
+  }
 }
 
 Result<Tensor> ConcatCols(const std::vector<Tensor>& parts) {

@@ -31,6 +31,14 @@ Result<Tensor> GatherCols(const Tensor& a, const Tensor& idx);
 /// \brief Concatenates tensors over rows. All inputs share dtype and cols.
 Result<Tensor> ConcatRows(const std::vector<Tensor>& parts);
 
+/// \brief Appends `part`'s rows at `*dst`, laid out for an output of
+/// `out_cols` columns, and advances `*dst` past them. Rows narrower than
+/// `out_cols` (padded uint8 strings) are right-padded with zero bytes. The
+/// single definition of the row-concat byte layout: ConcatRows and the
+/// spill-aware pipeline assembly both call it, so out-of-core runs cannot
+/// drift from the kernel.
+void AppendRowsPadded(const Tensor& part, int64_t out_cols, uint8_t** dst);
+
 /// \brief Concatenates (n x c_i) tensors side by side into (n x sum c_i).
 /// All inputs share dtype and row count. Used to assemble ML feature
 /// matrices from table columns.

@@ -1,19 +1,14 @@
 #include "runtime/morsel.h"
 
 #include <algorithm>
-#include <cstdlib>
+
+#include "common/env.h"
 
 namespace tqp::runtime {
 
 int64_t DefaultMorselRows() {
-  static const int64_t rows = [] {
-    const char* v = std::getenv("TQP_MORSEL_ROWS");
-    if (v != nullptr && *v != '\0') {
-      const int64_t parsed = std::strtoll(v, nullptr, 10);
-      if (parsed > 0) return parsed;
-    }
-    return int64_t{16384};
-  }();
+  static const int64_t rows = EnvInt64OrDefault(
+      "TQP_MORSEL_ROWS", 16384, 1, int64_t{1} << 30);
   return rows;
 }
 

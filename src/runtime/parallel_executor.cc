@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 #include "common/stopwatch.h"
 #include "graph/eval.h"
 #include "runtime/morsel.h"
 #include "runtime/step_scheduler.h"
 #include "runtime/task_graph.h"
+#include "tensor/buffer_pool.h"
 
 namespace tqp {
 
@@ -61,6 +63,12 @@ Result<std::vector<Tensor>> ParallelExecutor::Run(const std::vector<Tensor>& inp
   ctx.pool = pool_;
   ctx.morsel_rows = options_.morsel_rows;
 
+  // Per-query memory: the ambient scope (the QueryScheduler's) or a local
+  // one when this executor carries its own budget; node tasks inherit it
+  // through ThreadPool/StepScheduler submission.
+  ScopedQueryBudget budget_scope(options_.memory_budget_bytes);
+  BufferPool::QueryScope* const scope = budget_scope.scope();
+
   std::vector<Tensor> values(static_cast<size_t>(prog.num_nodes()));
   for (size_t i = 0; i < inputs.size(); ++i) {
     values[static_cast<size_t>(prog.input_nodes()[i])] = inputs[i];
@@ -86,6 +94,12 @@ Result<std::vector<Tensor>> ParallelExecutor::Run(const std::vector<Tensor>& inp
     refs[static_cast<size_t>(out)].fetch_add(1, std::memory_order_relaxed);
   }
 
+  // Spill bookkeeping (inert without a budget): a node value that stays
+  // materialized for later consumers registers as an eviction candidate
+  // when its producer task completes, is pinned (faulted back if on disk)
+  // around each consumer's read, and unregisters at its last-use release.
+  SpillableSet spill(scope, static_cast<size_t>(prog.num_nodes()));
+
   // One task per op node; dependencies mirror the node's data inputs. The
   // values vector is written once per slot, and TaskGraph's dependency
   // counters order those writes before any read (release/acquire).
@@ -100,7 +114,13 @@ Result<std::vector<Tensor>> ParallelExecutor::Run(const std::vector<Tensor>& inp
       if (t >= 0) deps.push_back(t);
     }
     task_of[static_cast<size_t>(node.id)] = graph.AddTask(
-        [this, &prog, &node, &values, &ctx, device, &refs]() -> Status {
+        [this, &prog, &node, &values, &ctx, device, &refs,
+         &spill]() -> Status {
+          for (size_t i = 0; i < node.inputs.size(); ++i) {
+            if (!FirstUseOfOperand(node.inputs, i)) continue;
+            TQP_RETURN_NOT_OK(
+                spill.PinSlot(static_cast<size_t>(node.inputs[i])));
+          }
           Stopwatch timer;
           TQP_ASSIGN_OR_RETURN(Tensor out,
                                runtime::ParallelEvalNode(ctx, prog, node, values));
@@ -115,10 +135,18 @@ Result<std::vector<Tensor>> ParallelExecutor::Run(const std::vector<Tensor>& inp
             options_.profiler->RecordOp(node, timer.ElapsedNanos(), out.nbytes());
           }
           values[static_cast<size_t>(node.id)] = std::move(out);
+          if (spill.enabled() &&
+              refs[static_cast<size_t>(node.id)].load(
+                  std::memory_order_acquire) > 0) {
+            spill.Register(static_cast<size_t>(node.id),
+                           &values[static_cast<size_t>(node.id)]);
+          }
           for (size_t i = 0; i < node.inputs.size(); ++i) {
             if (!FirstUseOfOperand(node.inputs, i)) continue;
             const size_t in = static_cast<size_t>(node.inputs[i]);
+            spill.UnpinSlot(in);
             if (refs[in].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+              spill.DropSlot(in);
               values[in] = Tensor();
             }
           }
@@ -146,6 +174,8 @@ Result<std::vector<Tensor>> ParallelExecutor::Run(const std::vector<Tensor>& inp
   std::vector<Tensor> outputs;
   outputs.reserve(prog.outputs().size());
   for (int id : prog.outputs()) {
+    // Fault spilled program outputs back in before handing them out.
+    TQP_RETURN_NOT_OK(spill.PinSlot(static_cast<size_t>(id)));
     outputs.push_back(values[static_cast<size_t>(id)]);
     if (device->is_simulated() && options_.charge_transfers) {
       device->RecordTransfer(outputs.back().nbytes());

@@ -10,6 +10,7 @@
 #include "common/stopwatch.h"
 #include "graph/eval.h"
 #include "kernels/expr_exec.h"
+#include "kernels/selection.h"
 #include "runtime/morsel.h"
 #include "runtime/step_scheduler.h"
 #include "runtime/task_graph.h"
@@ -153,10 +154,15 @@ Status PipelinedExecutor::RunPipeline(int pipeline_index, const Pipeline& p,
 
   // Expression fusion: maximal elementwise/selection runs of this pipeline
   // execute as one compiled ExprProgram per morsel instead of node-at-a-time.
+  // A compile (cache miss) probes one morsel node-at-a-time; its outputs
+  // seed morsel 0 below, so the probe is that morsel's one evaluation, not
+  // discarded work.
   std::shared_ptr<const ExprFusionPlan> fusion;
+  ProbeResult probe;
   if (options_.expr_fusion) {
     TQP_ASSIGN_OR_RETURN(fusion, FusionFor(pipeline_index, p, *values,
-                                           slice_now, driver_rows, ctx));
+                                           slice_now, driver_rows, ctx,
+                                           &probe));
   }
 
   const int64_t morsel = MorselRows(ctx);
@@ -166,6 +172,43 @@ Status PipelinedExecutor::RunPipeline(int pipeline_index, const Pipeline& p,
 
   std::vector<std::vector<Tensor>> chunks(
       p.outputs.size(), std::vector<Tensor>(static_cast<size_t>(num_morsels)));
+
+  // Out-of-core streaming: under a memory budget, every *completed* morsel
+  // chunk registers as an eviction candidate — the accumulation phase of a
+  // long pipeline holds only the chunks the budget allows, the rest wait on
+  // disk, and assembly below faults them back one at a time. Per-chunk
+  // shape metadata is recorded at evaluation time so assembly can size the
+  // output without touching spilled chunks.
+  BufferPool::QueryScope* scope = BufferPool::QueryScope::Current();
+  const bool spill_chunks = scope != nullptr && scope->spill_enabled();
+  struct ChunkMeta {
+    int64_t rows = 0;
+    int64_t cols = 0;
+    DType dtype = DType::kFloat64;
+  };
+  std::vector<std::vector<uint64_t>> chunk_ids;
+  std::vector<std::vector<ChunkMeta>> chunk_meta;
+  if (spill_chunks) {
+    chunk_ids.assign(p.outputs.size(),
+                     std::vector<uint64_t>(static_cast<size_t>(num_morsels), 0));
+    chunk_meta.assign(
+        p.outputs.size(),
+        std::vector<ChunkMeta>(static_cast<size_t>(num_morsels)));
+  }
+  // Registered chunk records point into `chunks`; drop them on every exit
+  // path (assembly zeroes the ids it consumes) so no record outlives it.
+  struct ChunkSpillGuard {
+    BufferPool::QueryScope* scope;
+    std::vector<std::vector<uint64_t>>* ids;
+    ~ChunkSpillGuard() {
+      if (scope == nullptr) return;
+      for (auto& per_output : *ids) {
+        for (uint64_t id : per_output) {
+          if (id != 0) scope->Drop(id);
+        }
+      }
+    }
+  } chunk_guard{spill_chunks ? scope : nullptr, &chunk_ids};
 
   // Per-slot morsel state: the node-indexed scratch, the fused runs'
   // register arena, and a bound flag so unchanged non-driver sources
@@ -180,6 +223,7 @@ Status PipelinedExecutor::RunPipeline(int pipeline_index, const Pipeline& p,
 
   auto eval_morsel = [&](int64_t b, int64_t e, int64_t m,
                          MorselSlot* slot) -> Status {
+    morsel_evals_.fetch_add(1, std::memory_order_relaxed);
     std::vector<Tensor>& scratch = slot->scratch;
     if (scratch.empty()) scratch.resize(num_nodes);
     if (!slot->bound) {
@@ -225,16 +269,38 @@ Status PipelinedExecutor::RunPipeline(int pipeline_index, const Pipeline& p,
       ++ni;
     }
     for (size_t oi = 0; oi < p.outputs.size(); ++oi) {
-      chunks[oi][static_cast<size_t>(m)] =
-          scratch[static_cast<size_t>(p.outputs[oi])];
+      // Move, not copy: the scratch slot is re-produced before its next
+      // read (topological order), and leaving a second reference would keep
+      // an evicted chunk's bytes resident.
+      Tensor& chunk = chunks[oi][static_cast<size_t>(m)];
+      chunk = std::move(scratch[static_cast<size_t>(p.outputs[oi])]);
+      if (spill_chunks) {
+        chunk_meta[oi][static_cast<size_t>(m)] = {chunk.rows(), chunk.cols(),
+                                                  chunk.dtype()};
+        chunk_ids[oi][static_cast<size_t>(m)] = scope->AddSpillable(&chunk);
+      }
     }
     return Status::OK();
   };
 
+  // A fusion compile already evaluated morsel 0 (the probe): reuse its
+  // outputs instead of evaluating the first morsel twice.
+  const bool seeded = probe.probed;
+  if (seeded) {
+    for (size_t oi = 0; oi < p.outputs.size(); ++oi) {
+      chunks[oi][0] = std::move(probe.outputs[oi]);
+      if (spill_chunks) {
+        chunk_meta[oi][0] = {chunks[oi][0].rows(), chunks[oi][0].cols(),
+                             chunks[oi][0].dtype()};
+        chunk_ids[oi][0] = scope->AddSpillable(&chunks[oi][0]);
+      }
+    }
+  }
+
   const bool fan_out = ctx.parallel() && num_morsels > 1;
   if (!fan_out) {
     MorselSlot slot;
-    for (int64_t m = 0; m < num_morsels; ++m) {
+    for (int64_t m = seeded ? 1 : 0; m < num_morsels; ++m) {
       const int64_t b = m * morsel;
       const int64_t e = std::min(driver_rows, b + morsel);
       TQP_RETURN_NOT_OK(eval_morsel(b, e, m, &slot));
@@ -244,6 +310,7 @@ Status PipelinedExecutor::RunPipeline(int pipeline_index, const Pipeline& p,
         static_cast<size_t>(ctx.pool->max_parallel_slots()));
     TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
         driver_rows, morsel, [&](int64_t b, int64_t e, int slot) -> Status {
+          if (seeded && b == 0) return Status::OK();  // probe covered it
           return eval_morsel(b, e, b / morsel,
                              &slots[static_cast<size_t>(slot)]);
         }));
@@ -251,14 +318,62 @@ Status PipelinedExecutor::RunPipeline(int pipeline_index, const Pipeline& p,
 
   // Assemble pipeline outputs from chunks in morsel order — the stable
   // per-morsel decomposition makes the concatenation bit-identical to the
-  // serial evaluation of the whole chain.
+  // serial evaluation of the whole chain. Under a budget, chunks fault back
+  // from disk one at a time and release right after their copy, so assembly
+  // holds one output plus one chunk instead of one output plus all chunks
+  // (the layout below mirrors ConcatRows exactly, zero-padded narrow uint8
+  // parts included).
   for (size_t oi = 0; oi < p.outputs.size(); ++oi) {
     std::vector<Tensor>& parts = chunks[oi];
     Tensor& dst = (*values)[static_cast<size_t>(p.outputs[oi])];
     if (parts.size() == 1) {
+      if (spill_chunks) {
+        TQP_RETURN_NOT_OK(scope->Pin(chunk_ids[oi][0]));
+        scope->Drop(chunk_ids[oi][0]);
+        chunk_ids[oi][0] = 0;
+      }
       dst = std::move(parts[0]);
-    } else {
+    } else if (!spill_chunks) {
       TQP_ASSIGN_OR_RETURN(dst, runtime::ParallelConcatRows(ctx, parts));
+    } else {
+      const std::vector<ChunkMeta>& meta = chunk_meta[oi];
+      const DType dt = meta[0].dtype;
+      int64_t total = 0;
+      int64_t out_cols = meta[0].cols;
+      bool mixed_width = false;
+      for (const ChunkMeta& cm : meta) {
+        total += cm.rows;
+        if (cm.cols != out_cols) mixed_width = true;
+        out_cols = std::max(out_cols, cm.cols);
+      }
+      if (mixed_width && dt != DType::kUInt8) {
+        // Mirror ConcatRows: only padded strings may differ in width.
+        // Fault everything back and let the kernel raise its error.
+        for (size_t m = 0; m < parts.size(); ++m) {
+          TQP_RETURN_NOT_OK(scope->Pin(chunk_ids[oi][m]));
+          scope->Drop(chunk_ids[oi][m]);
+          chunk_ids[oi][m] = 0;
+        }
+        TQP_ASSIGN_OR_RETURN(dst, runtime::ParallelConcatRows(ctx, parts));
+        parts.clear();
+        continue;
+      }
+      TQP_ASSIGN_OR_RETURN(
+          Tensor out, Tensor::Empty(dt, total, out_cols, options_.device));
+      auto* out_bytes = static_cast<uint8_t*>(out.raw_mutable_data());
+      for (size_t m = 0; m < parts.size(); ++m) {
+        TQP_RETURN_NOT_OK(scope->Pin(chunk_ids[oi][m]));
+        const Tensor& c = parts[m];
+        if (c.defined() && c.nbytes() > 0) {
+          // The one shared definition of the row-concat byte layout
+          // (mixed-width uint8 padding included) — see ConcatRows.
+          kernels::AppendRowsPadded(c, out_cols, &out_bytes);
+        }
+        scope->Drop(chunk_ids[oi][m]);
+        chunk_ids[oi][m] = 0;
+        parts[m] = Tensor();  // one chunk resident at a time
+      }
+      dst = std::move(out);
     }
     parts.clear();  // release morsel chunks back to the buffer pool early
   }
@@ -268,17 +383,23 @@ Status PipelinedExecutor::RunPipeline(int pipeline_index, const Pipeline& p,
 Result<std::shared_ptr<const ExprFusionPlan>> PipelinedExecutor::FusionFor(
     int pipeline_index, const Pipeline& p, const std::vector<Tensor>& values,
     const std::vector<bool>& slice_now, int64_t driver_rows,
-    const ParallelContext& ctx) {
+    const ParallelContext& ctx, ProbeResult* probe) {
   // Source signature: everything lowering depends on that can drift between
-  // runs (dtypes, runtime broadcast-ness, column counts). Streamed node
-  // dtypes are a function of the sources, so they need not participate.
+  // runs — dtype, broadcast binding, and the shape rank/stride class (the
+  // actual column arity plus a scalar/driver-aligned/other row class, so a
+  // batch that changes broadcast arity can never be served the previous
+  // shape's program). Streamed node dtypes/shapes are a function of the
+  // sources, so they need not participate.
   std::string sig;
-  const auto append = [&sig](int id, const Tensor& t, bool broadcast) {
+  const auto append = [&sig, driver_rows](int id, const Tensor& t,
+                                          bool broadcast) {
     sig += std::to_string(id);
     sig.push_back(':');
     sig += std::to_string(static_cast<int>(t.dtype()));
     sig.push_back(broadcast ? 'b' : 'v');
-    sig += std::to_string(t.cols() == 1 ? 1 : 0);
+    sig += std::to_string(t.cols());
+    sig.push_back(t.rows() == 1 ? 's'
+                                : (t.rows() == driver_rows ? 'd' : 'o'));
     sig.push_back('/');
   };
   for (size_t i = 0; i < p.sliced_sources.size(); ++i) {
@@ -301,9 +422,13 @@ Result<std::shared_ptr<const ExprFusionPlan>> PipelinedExecutor::FusionFor(
   // first-run compiles of independent pipelines overlap and report readers
   // never wait on a probe. Concurrent compiles of one pipeline are benign —
   // lowering is deterministic per signature, and each racer returns the
-  // plan matching its own bound sources.
+  // plan matching its own bound sources (and seeds its own morsel 0 from
+  // its own probe).
   // Probe one morsel node-at-a-time so the compiler sees every streamed
-  // value's dtype/shape (paid once per executor per signature).
+  // value's dtype/shape. The probe is exactly morsel 0's evaluation — its
+  // outputs are handed back through `probe` so the caller does not evaluate
+  // that morsel again.
+  morsel_evals_.fetch_add(1, std::memory_order_relaxed);
   const int64_t probe_rows = std::min(driver_rows, MorselRows(ctx));
   std::vector<Tensor> scratch(static_cast<size_t>(program_->num_nodes()));
   for (size_t i = 0; i < p.sliced_sources.size(); ++i) {
@@ -318,6 +443,11 @@ Result<std::shared_ptr<const ExprFusionPlan>> PipelinedExecutor::FusionFor(
     const OpNode& node = program_->node(pn.id);
     TQP_ASSIGN_OR_RETURN(Tensor out, EvalMorselNode(*program_, node, scratch, 0));
     scratch[static_cast<size_t>(pn.id)] = std::move(out);
+  }
+  probe->probed = true;
+  probe->outputs.resize(p.outputs.size());
+  for (size_t oi = 0; oi < p.outputs.size(); ++oi) {
+    probe->outputs[oi] = scratch[static_cast<size_t>(p.outputs[oi])];
   }
 
   std::unordered_map<int, ExprExternal> externals;
@@ -385,6 +515,14 @@ std::shared_ptr<const ExprFusionPlan> PipelinedExecutor::pipeline_fusion(
   return fusion_cache_[static_cast<size_t>(index)].fusion;
 }
 
+std::string PipelinedExecutor::pipeline_fusion_signature(int index) const {
+  std::lock_guard<std::mutex> lock(fusion_mu_);
+  if (index < 0 || index >= static_cast<int>(fusion_cache_.size())) {
+    return std::string();
+  }
+  return fusion_cache_[static_cast<size_t>(index)].signature;
+}
+
 std::string PipelinedExecutor::FusionReport() const {
   std::lock_guard<std::mutex> lock(fusion_mu_);
   std::ostringstream os;
@@ -427,6 +565,12 @@ Result<std::vector<Tensor>> PipelinedExecutor::Run(
   ctx.pool = pool_;
   ctx.morsel_rows = options_.morsel_rows;
 
+  // Per-query memory: the ambient scope (the QueryScheduler's) or a local
+  // one when this executor carries its own budget. Worker tasks inherit it
+  // through ThreadPool/StepScheduler submission.
+  ScopedQueryBudget budget_scope(options_.memory_budget_bytes);
+  BufferPool::QueryScope* const scope = budget_scope.scope();
+
   std::vector<Tensor> values(static_cast<size_t>(prog.num_nodes()));
   for (size_t i = 0; i < inputs.size(); ++i) {
     values[static_cast<size_t>(prog.input_nodes()[i])] = inputs[i];
@@ -434,6 +578,14 @@ Result<std::vector<Tensor>> PipelinedExecutor::Run(
       device->RecordTransfer(inputs[i].nbytes());
     }
   }
+
+  // Spill bookkeeping (inert without a budget): a step output that stays
+  // materialized for later consumers registers as an eviction candidate the
+  // moment its producer step completes, gets pinned (and faulted back in if
+  // it went to disk) around each consumer step's reads, and unregisters
+  // when its refcount releases it. Registration ids follow the same
+  // produce-before-consume ordering as `values` itself.
+  SpillableSet spill(scope, static_cast<size_t>(prog.num_nodes()));
 
   // Consumer refcount per node: how many schedule steps still have to read
   // the value, plus one pin for program outputs (collected after the walk).
@@ -452,6 +604,11 @@ Result<std::vector<Tensor>> PipelinedExecutor::Run(
   }
 
   auto run_step = [&](const PipelineStep& step) -> Status {
+    // Pin (faulting back in if spilled) everything this step reads before
+    // any kernel touches it.
+    for (int r : step.reads) {
+      TQP_RETURN_NOT_OK(spill.PinSlot(static_cast<size_t>(r)));
+    }
     if (step.serial_node >= 0) {
       TQP_RETURN_NOT_OK(
           EvalWholeNode(prog.node(step.serial_node), &values, ctx));
@@ -470,10 +627,29 @@ Result<std::vector<Tensor>> PipelinedExecutor::Run(
         TQP_RETURN_NOT_OK(RunPipeline(step.pipeline, p, &values, ctx));
       }
     }
+    // Produced values that later steps (or output collection) will read are
+    // now pinned-but-idle: register them as eviction candidates.
+    if (spill.enabled()) {
+      const auto register_value = [&](int id) {
+        const size_t n = static_cast<size_t>(id);
+        if (refs[n].load(std::memory_order_acquire) > 0) {
+          spill.Register(n, &values[n]);
+        }
+      };
+      if (step.serial_node >= 0) {
+        register_value(step.serial_node);
+      } else {
+        const Pipeline& p =
+            plan_.pipelines[static_cast<size_t>(step.pipeline)];
+        for (int out : p.outputs) register_value(out);
+      }
+    }
     for (int r : step.reads) {
-      if (refs[static_cast<size_t>(r)].fetch_sub(
-              1, std::memory_order_acq_rel) == 1) {
-        values[static_cast<size_t>(r)] = Tensor();
+      const size_t rn = static_cast<size_t>(r);
+      spill.UnpinSlot(rn);
+      if (refs[rn].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        spill.DropSlot(rn);
+        values[rn] = Tensor();
       }
     }
     return Status::OK();
@@ -504,6 +680,9 @@ Result<std::vector<Tensor>> PipelinedExecutor::Run(
   std::vector<Tensor> outputs;
   outputs.reserve(prog.outputs().size());
   for (int id : prog.outputs()) {
+    // A program output may sit on disk (produced early, never read again):
+    // fault it back in before handing it to the caller.
+    TQP_RETURN_NOT_OK(spill.PinSlot(static_cast<size_t>(id)));
     outputs.push_back(values[static_cast<size_t>(id)]);
     if (device->is_simulated() && options_.charge_transfers) {
       device->RecordTransfer(outputs.back().nbytes());

@@ -1,6 +1,7 @@
 #ifndef TQP_RUNTIME_PIPELINED_EXECUTOR_H_
 #define TQP_RUNTIME_PIPELINED_EXECUTOR_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -11,6 +12,7 @@
 #include "graph/executor.h"
 #include "runtime/parallel_kernels.h"
 #include "runtime/thread_pool.h"
+#include "tensor/buffer_pool.h"
 
 namespace tqp {
 
@@ -41,8 +43,10 @@ namespace tqp {
 /// Lowering needs runtime dtypes, so the first execution of a pipeline
 /// probes one morsel node-at-a-time and compiles against the observed
 /// source signature; the compiled plan is cached on the executor and
-/// revalidated (recompiled on drift) per run. Fused results are
-/// bit-identical to node-at-a-time evaluation by construction.
+/// revalidated (recompiled on drift) per run. The probe's outputs seed the
+/// first morsel's chunks, so a compiling run still evaluates every driver
+/// morsel exactly once. Fused results are bit-identical to node-at-a-time
+/// evaluation by construction.
 ///
 /// The schedule executes as a dependency DAG, not a list: each PipelineStep
 /// becomes a TaskGraph task gated on the steps that materialize its sources,
@@ -85,11 +89,35 @@ class PipelinedExecutor : public Executor {
   /// nothing in the pipeline fused).
   std::shared_ptr<const ExprFusionPlan> pipeline_fusion(int index) const;
 
+  /// \brief The runtime source signature pipeline `index`'s cached fusion was
+  /// compiled against (empty before the first execution). Covers, per
+  /// source, everything lowering can depend on: dtype, broadcast binding,
+  /// and the shape rank/stride class (column arity + scalar/driver/other
+  /// row class) — exposed so tests can pin that shape drift recompiles.
+  std::string pipeline_fusion_signature(int index) const;
+
+  /// \brief Driver-morsel evaluations since construction (fused or
+  /// node-at-a-time; the compile probe counts as the first morsel it
+  /// seeds). A run evaluates each driver morsel of each pipeline exactly
+  /// once — the probe-reuse regression test pins this.
+  int64_t num_morsel_evals() const {
+    return morsel_evals_.load(std::memory_order_relaxed);
+  }
+
   /// \brief Human-readable fused-run boundaries and register counts for
   /// every pipeline compiled so far (`\explain pipelines` in the shell).
   std::string FusionReport() const;
 
  private:
+  /// The first morsel's node values observed while compiling a pipeline's
+  /// fusion: FusionFor evaluates one probe morsel node-at-a-time to learn
+  /// runtime dtypes, and RunPipeline reuses its outputs as morsel 0's
+  /// chunks instead of evaluating that morsel a second time.
+  struct ProbeResult {
+    bool probed = false;
+    std::vector<Tensor> outputs;  // parallel to Pipeline::outputs
+  };
+
   /// Evaluates one node whole (breakers, scalars, fallback pipelines) with
   /// intra-op parallelism, simulated-device metering and the profiler hook.
   Status EvalWholeNode(const OpNode& node, std::vector<Tensor>* values,
@@ -103,11 +131,13 @@ class PipelinedExecutor : public Executor {
 
   /// Returns the (possibly cached) expression-fusion plan for one pipeline,
   /// compiling it against the current source signature when needed. The
-  /// compile probes one morsel node-at-a-time to learn streamed dtypes.
+  /// compile probes one morsel node-at-a-time to learn streamed dtypes;
+  /// `probe` receives that morsel's pipeline outputs so the caller can seed
+  /// morsel 0 with them (untouched on a cache hit).
   Result<std::shared_ptr<const ExprFusionPlan>> FusionFor(
       int pipeline_index, const Pipeline& p, const std::vector<Tensor>& values,
       const std::vector<bool>& slice_now, int64_t driver_rows,
-      const runtime::ParallelContext& ctx);
+      const runtime::ParallelContext& ctx, ProbeResult* probe);
 
   /// Whole-node evaluation of a pipeline (shape surprises, simulated
   /// devices): same results, no streaming.
@@ -129,6 +159,10 @@ class PipelinedExecutor : public Executor {
   };
   mutable std::mutex fusion_mu_;
   mutable std::vector<FusionCacheEntry> fusion_cache_;
+
+  /// Driver-morsel evaluations (streamed pipelines only; whole-node
+  /// fallbacks and breakers do not count).
+  std::atomic<int64_t> morsel_evals_{0};
 };
 
 }  // namespace tqp

@@ -70,6 +70,8 @@ std::string PlanCache::MakeKey(const std::string& normalized_sql,
   key += options.expr_fusion ? '1' : '0';
   key.push_back('/');
   key += std::to_string(reinterpret_cast<uintptr_t>(options.step_scheduler));
+  key.push_back('/');
+  key += std::to_string(options.memory_budget_bytes);
   return key;
 }
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "tensor/buffer_pool.h"
 
 namespace tqp::runtime {
 
@@ -144,6 +145,8 @@ void QueryScheduler::WorkerBody() {
       --executing_workers_;
       ++counters_.completed;
       if (!outcome.status.ok()) ++counters_.failed;
+      counters_.spilled_bytes += outcome.stats.spilled_bytes;
+      if (outcome.stats.spilled_bytes > 0) ++counters_.queries_spilled;
     }
     job.promise.set_value(std::move(outcome));
   }
@@ -204,8 +207,20 @@ QueryOutcome QueryScheduler::Execute(Job* job) {
   // admission priority and interleave with other queries' steps accordingly.
   StepScheduler::ScopedPriority step_priority(
       static_cast<int>(job->priority));
+  // Ambient per-query memory scope: every allocation the query makes — on
+  // this worker or on any task it fans out — charges this scope, and with a
+  // budget set (CompileOptions::memory_budget_bytes / TQP_MEMORY_BUDGET_MB)
+  // an over-budget query spills cold intermediates to disk instead of
+  // growing resident memory.
+  BufferPool::QueryScope memory_scope(
+      BufferPool::ResolveMemoryBudget(options_.compile.memory_budget_bytes));
+  BufferPool::QueryScope::Attach memory_attach(&memory_scope);
   auto result_or = plan->Run(*catalog_);
   outcome.stats.exec_nanos = exec_timer.ElapsedNanos();
+  const QueryMemoryStats mem = memory_scope.stats();
+  outcome.stats.memory_budget_bytes = mem.budget_bytes;
+  outcome.stats.peak_memory_bytes = mem.peak_live_bytes;
+  outcome.stats.spilled_bytes = mem.spilled_bytes;
   if (!result_or.ok()) {
     outcome.status = result_or.status();
     return outcome;

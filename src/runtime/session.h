@@ -34,6 +34,12 @@ struct QueryStats {
   int64_t exec_nanos = 0;
   bool cache_hit = false;
   int64_t result_rows = 0;
+  /// Per-query memory (BufferPool::QueryScope): the budget the query ran
+  /// under (0 = unlimited), its peak live tensor bytes, and how much it
+  /// spilled to disk to stay inside the budget.
+  int64_t memory_budget_bytes = 0;
+  int64_t peak_memory_bytes = 0;
+  int64_t spilled_bytes = 0;
 };
 
 /// \brief Result + stats of one scheduled query.
@@ -50,6 +56,12 @@ struct SchedulerCounters {
   int64_t shed_low_priority = 0;  // rejections due to backpressure shedding
   int64_t completed = 0;     // includes failed
   int64_t failed = 0;
+  /// Bytes completed queries wrote to the disk spill tier to stay inside
+  /// their memory budget (a query over budget spills instead of OOM-ing),
+  /// and how many completed queries spilled at all (per-eviction counts
+  /// live in each query's QueryMemoryStats::spill_events).
+  int64_t spilled_bytes = 0;
+  int64_t queries_spilled = 0;
 };
 
 struct SchedulerOptions {

@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "tensor/buffer_pool.h"
+
 namespace tqp::runtime {
 
 namespace {
@@ -34,6 +36,16 @@ StepScheduler::~StepScheduler() {
 
 void StepScheduler::Submit(std::function<void()> step, int priority) {
   priority = std::clamp(priority, 0, kNumPriorities - 1);
+  // Steps of different queries share the pump tasks, so each step carries
+  // its own query-memory scope (the submitter's ambient one). A null scope
+  // needs no wrapper: PumpOne masks the pump's inherited scope before any
+  // step runs, so unwrapped steps execute scope-less already.
+  if (auto* scope = BufferPool::QueryScope::Current(); scope != nullptr) {
+    step = [scope, inner = std::move(step)] {
+      BufferPool::QueryScope::Attach attach(scope);
+      inner();
+    };
+  }
   bool spawn = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -61,6 +73,11 @@ bool StepScheduler::PopReadyLocked(std::function<void()>* step) {
 }
 
 void StepScheduler::PumpOne() {
+  // A pump task may have been submitted while some query's scope was
+  // ambient; mask it — every popped step re-attaches its own scope, and the
+  // pump's re-submission below must not capture a scope that could be gone
+  // by the time the chained pump runs.
+  BufferPool::QueryScope::Attach mask(nullptr);
   std::function<void()> step;
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -5,7 +5,9 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "common/env.h"
 #include "runtime/morsel.h"
+#include "tensor/buffer_pool.h"
 
 namespace tqp::runtime {
 
@@ -17,19 +19,14 @@ namespace {
 thread_local const ThreadPool* tls_pool = nullptr;
 thread_local int tls_worker_index = -1;
 
-int64_t EnvInt64(const char* name, int64_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  const int64_t parsed = std::strtoll(v, nullptr, 10);
-  return parsed > 0 ? parsed : fallback;
-}
-
 }  // namespace
 
 int ThreadPool::DefaultThreadCount() {
   static const int count = [] {
-    const int64_t env = EnvInt64("TQP_THREADS", 0);
-    if (env > 0) return static_cast<int>(std::min<int64_t>(env, 256));
+    // 0 (the fallback) selects hardware concurrency; garbage or negative
+    // values warn and fall back instead of silently truncating.
+    const int64_t env = EnvInt64OrDefault("TQP_THREADS", 0, 0, 256);
+    if (env > 0) return static_cast<int>(env);
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? static_cast<int>(hw) : 2;
   }();
@@ -64,6 +61,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Tasks inherit the submitting thread's ambient query-memory scope: a
+  // query's morsel fan-out and DAG continuations charge the query's budget
+  // no matter which worker runs them. Fan-out joins (ParallelFor,
+  // TaskGraph::Run) complete before the scope dies, so the captured pointer
+  // outlives every task that dereferences it (Attach itself never does).
+  if (auto* scope = BufferPool::QueryScope::Current(); scope != nullptr) {
+    task = [scope, inner = std::move(task)] {
+      BufferPool::QueryScope::Attach attach(scope);
+      inner();
+    };
+  }
   // Worker threads push to their own queue (the back, where they also pop:
   // depth-first execution keeps the working set hot); external threads spray
   // round-robin.

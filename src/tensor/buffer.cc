@@ -14,15 +14,28 @@ Result<std::shared_ptr<Buffer>> Buffer::Allocate(int64_t size) {
   }
   uint8_t* mem = nullptr;
   int64_t pool_size = 0;
+  std::shared_ptr<QueryMemoryLedger> ledger;
   if (size > 0) {
+    // Charge the ambient query first (rounded to the block size the pool
+    // will actually hold): if the query is over budget this is where cold
+    // idle values spill to disk, *before* the new block lands.
+    auto* scope = BufferPool::QueryScope::Current();
+    if (scope != nullptr) {
+      ledger = scope->ChargeForAllocation(BufferPool::AllocSizeFor(size));
+    }
     mem = BufferPool::Global()->Acquire(size, &pool_size);
     if (mem == nullptr) {
+      if (ledger != nullptr) {
+        DischargeQueryMemory(ledger.get(), BufferPool::AllocSizeFor(size));
+      }
       return Status::OutOfMemory("Buffer::Allocate: failed to allocate " +
                                  std::to_string(size) + " bytes");
     }
   }
-  return std::shared_ptr<Buffer>(
+  auto buffer = std::shared_ptr<Buffer>(
       new Buffer(mem, size, /*owned=*/true, nullptr, pool_size));
+  buffer->ledger_ = std::move(ledger);
+  return buffer;
 }
 
 std::shared_ptr<Buffer> Buffer::WrapExternal(void* data, int64_t size) {
@@ -38,6 +51,9 @@ std::shared_ptr<Buffer> Buffer::SliceOf(std::shared_ptr<Buffer> parent,
 }
 
 Buffer::~Buffer() {
+  if (ledger_ != nullptr && pool_size_ > 0) {
+    DischargeQueryMemory(ledger_.get(), pool_size_);
+  }
   if (!owned_ || data_ == nullptr) return;
   if (pool_size_ > 0) {
     BufferPool::Global()->Release(data_, pool_size_);

@@ -8,6 +8,8 @@
 
 namespace tqp {
 
+struct QueryMemoryLedger;
+
 /// \brief Reference-counted byte storage backing tensors.
 ///
 /// A Buffer either owns an aligned allocation or is a zero-copy view over
@@ -19,6 +21,12 @@ namespace tqp {
 /// keep allocating a fresh output per op, but the bytes behind short-lived
 /// morsel scratch tensors are recycled across operators and queries instead
 /// of hitting the system allocator every time.
+///
+/// When a BufferPool::QueryScope is ambient on the allocating thread, the
+/// allocation is also charged to that query's memory ledger (budget
+/// enforcement + spill); the charge is returned when the buffer dies, even
+/// if that happens after the query's scope is gone (result tensors outlive
+/// their query).
 class Buffer {
  public:
   /// \brief Allocates an owning, 64-byte-aligned, zeroed buffer of `size`
@@ -55,6 +63,7 @@ class Buffer {
   bool owned_;
   int64_t pool_size_;  // BufferPool block size; 0 = not pool-backed
   std::shared_ptr<Buffer> parent_;  // keeps sliced storage alive
+  std::shared_ptr<QueryMemoryLedger> ledger_;  // per-query charge, if any
 };
 
 }  // namespace tqp

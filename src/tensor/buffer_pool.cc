@@ -1,25 +1,65 @@
 #include "tensor/buffer_pool.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "tensor/tensor.h"
 
 namespace tqp {
 
 namespace {
+
 constexpr int64_t kAlignment = 64;
+
+thread_local BufferPool::QueryScope* tls_query_scope = nullptr;
+
+/// Set while the spill tier itself allocates (fault-back): the nested charge
+/// must not re-enter eviction (the registry lock is already held and room
+/// was made by the caller).
+thread_local bool tls_in_spill_io = false;
+
+/// Directory for spill files: TMPDIR when set, else /tmp.
+std::string SpillDir() {
+  const char* dir = std::getenv("TMPDIR");
+  if (dir != nullptr && *dir != '\0') return dir;
+  return "/tmp";
+}
+
+uint64_t NextScopeSeq() {
+  static std::atomic<uint64_t> seq{0};
+  return seq.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
+void DischargeQueryMemory(QueryMemoryLedger* ledger, int64_t bytes) {
+  std::lock_guard<std::mutex> lock(ledger->mu);
+  ledger->stats.live_bytes -= bytes;
+}
+
 int64_t BufferPool::DefaultMaxCachedBytes() {
-  static const int64_t cap = [] {
-    const char* v = std::getenv("TQP_BUFFER_POOL_MB");
-    if (v != nullptr && *v != '\0') {
-      const int64_t mb = std::strtoll(v, nullptr, 10);
-      if (mb >= 0) return mb << 20;
-    }
-    return int64_t{256} << 20;
-  }();
+  static const int64_t cap =
+      EnvInt64OrDefault("TQP_BUFFER_POOL_MB", 256, 0, int64_t{1} << 20) << 20;
   return cap;
+}
+
+int64_t BufferPool::DefaultMemoryBudgetBytes() {
+  static const int64_t budget =
+      EnvInt64OrDefault("TQP_MEMORY_BUDGET_MB", 0, 0, int64_t{1} << 20) << 20;
+  return budget;
+}
+
+int64_t BufferPool::ResolveMemoryBudget(int64_t option_bytes) {
+  if (option_bytes > 0) return option_bytes;
+  if (option_bytes < 0) return 0;
+  return DefaultMemoryBudgetBytes();
 }
 
 BufferPool* BufferPool::Global() {
@@ -39,11 +79,17 @@ int BufferPool::ClassIndex(int64_t size) {
   return cls;
 }
 
+int64_t BufferPool::AllocSizeFor(int64_t size) {
+  const int cls = ClassIndex(size);
+  if (cls < 0) return ((size + kAlignment - 1) / kAlignment) * kAlignment;
+  return int64_t{1} << (kMinClassLog2 + cls);
+}
+
 uint8_t* BufferPool::Acquire(int64_t size, int64_t* alloc_size) {
   const int cls = ClassIndex(size);
   if (cls < 0) {
     // Bypass: too big to pool. Round up for aligned_alloc's contract.
-    const int64_t alloc = ((size + kAlignment - 1) / kAlignment) * kAlignment;
+    const int64_t alloc = AllocSizeFor(size);
     auto* mem = static_cast<uint8_t*>(
         std::aligned_alloc(static_cast<size_t>(kAlignment), static_cast<size_t>(alloc)));
     if (mem == nullptr) return nullptr;
@@ -128,6 +174,284 @@ void BufferPool::Trim() {
     free_list.clear();
   }
   stats_.cached_bytes = 0;
+}
+
+// ---------------------------------------------------------------- QueryScope
+
+BufferPool::QueryScope::QueryScope(int64_t budget_bytes)
+    : budget_bytes_(std::max<int64_t>(0, budget_bytes)),
+      scope_seq_(NextScopeSeq()),
+      ledger_(std::make_shared<QueryMemoryLedger>()) {
+  ledger_->stats.budget_bytes = budget_bytes_;
+}
+
+BufferPool::QueryScope::~QueryScope() {
+  std::lock_guard<std::mutex> lock(spill_mu_);
+  for (auto& [id, rec] : records_) {
+    (void)id;
+    if (rec.on_disk && !rec.path.empty()) std::remove(rec.path.c_str());
+  }
+  records_.clear();
+}
+
+BufferPool::QueryScope* BufferPool::QueryScope::Current() {
+  return tls_query_scope;
+}
+
+BufferPool::QueryScope::Attach::Attach(QueryScope* scope)
+    : prev_(tls_query_scope) {
+  tls_query_scope = scope;
+}
+
+BufferPool::QueryScope::Attach::~Attach() { tls_query_scope = prev_; }
+
+QueryMemoryStats BufferPool::QueryScope::stats() const {
+  std::lock_guard<std::mutex> lock(ledger_->mu);
+  return ledger_->stats;
+}
+
+int64_t BufferPool::QueryScope::LiveBytes() const {
+  std::lock_guard<std::mutex> lock(ledger_->mu);
+  return ledger_->stats.live_bytes;
+}
+
+std::shared_ptr<QueryMemoryLedger> BufferPool::QueryScope::ChargeForAllocation(
+    int64_t bytes) {
+  // Make room *before* the allocation lands: idle values move to disk first,
+  // so resident bytes never hold both the victim and the new block. Room-
+  // making and the charge stay under one registry lock — two concurrent
+  // allocations must not both observe the pre-charge gauge, jointly blow the
+  // budget, and leave budget_overruns at zero. (This serializes a budgeted
+  // query's allocations on its own scope; different queries never contend.)
+  // The spill tier's own fault-back allocations skip the lock (their caller
+  // already holds spill_mu_ and made room).
+  if (budget_bytes_ > 0 && !tls_in_spill_io) {
+    std::lock_guard<std::mutex> lock(spill_mu_);
+    if (!MakeRoomLocked(bytes)) {
+      std::lock_guard<std::mutex> ledger_lock(ledger_->mu);
+      ++ledger_->stats.budget_overruns;
+    }
+    std::lock_guard<std::mutex> ledger_lock(ledger_->mu);
+    ledger_->stats.live_bytes += bytes;
+    ledger_->stats.peak_live_bytes =
+        std::max(ledger_->stats.peak_live_bytes, ledger_->stats.live_bytes);
+    return ledger_;
+  }
+  std::lock_guard<std::mutex> lock(ledger_->mu);
+  ledger_->stats.live_bytes += bytes;
+  ledger_->stats.peak_live_bytes =
+      std::max(ledger_->stats.peak_live_bytes, ledger_->stats.live_bytes);
+  return ledger_;
+}
+
+uint64_t BufferPool::QueryScope::AddSpillable(Tensor* slot) {
+  // Values below the minimum are never worth a spill file: a 1-row-morsel
+  // sweep would otherwise turn every 8-byte chunk into its own disk file.
+  if (!spill_enabled() || slot == nullptr || !slot->defined() ||
+      !slot->owns_data() || slot->nbytes() < kMinSpillBytes) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(spill_mu_);
+  const uint64_t id = next_id_++;
+  Record& rec = records_[id];
+  rec.slot = slot;
+  rec.id = id;
+  rec.touch = ++clock_;
+  ++generation_;
+  return id;
+}
+
+Status BufferPool::QueryScope::Pin(uint64_t id) {
+  if (id == 0) return Status::OK();
+  std::lock_guard<std::mutex> lock(spill_mu_);
+  auto it = records_.find(id);
+  if (it == records_.end()) return Status::OK();
+  Record& rec = it->second;
+  if (rec.on_disk) {
+    TQP_RETURN_NOT_OK(FaultLocked(&rec));
+  }
+  ++rec.pins;
+  rec.touch = ++clock_;
+  return Status::OK();
+}
+
+void BufferPool::QueryScope::Unpin(uint64_t id) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(spill_mu_);
+  auto it = records_.find(id);
+  if (it == records_.end()) return;
+  Record& rec = it->second;
+  if (rec.pins > 0) --rec.pins;
+  rec.touch = ++clock_;
+  if (rec.pins == 0) ++generation_;  // a new eviction candidate exists
+}
+
+void BufferPool::QueryScope::Drop(uint64_t id) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(spill_mu_);
+  auto it = records_.find(id);
+  if (it == records_.end()) return;
+  if (it->second.on_disk && !it->second.path.empty()) {
+    std::remove(it->second.path.c_str());
+  }
+  records_.erase(it);
+}
+
+bool BufferPool::QueryScope::MakeRoomLocked(int64_t need) {
+  if (LiveBytes() + need <= budget_bytes_) return true;
+  // Thrash guard: once a scan found nothing evictable (the irreducible
+  // working set is over the budget), don't rescan until the registry gains
+  // a new candidate — at the floor, every allocation would otherwise pay a
+  // full scan for nothing.
+  if (floor_generation_ == generation_) return false;
+  while (LiveBytes() + need > budget_bytes_) {
+    Record* coldest = nullptr;
+    for (auto& [id, rec] : records_) {
+      (void)id;
+      if (rec.on_disk || rec.pins > 0 || rec.io_failed) continue;
+      if (rec.slot == nullptr || !rec.slot->defined() ||
+          !rec.slot->owns_data() || rec.slot->nbytes() <= 0) {
+        continue;
+      }
+      if (coldest == nullptr || rec.touch < coldest->touch) coldest = &rec;
+    }
+    if (coldest == nullptr) {
+      floor_generation_ = generation_;
+      return false;
+    }
+    EvictLocked(coldest);  // failure marks io_failed; the scan skips it
+  }
+  return true;
+}
+
+bool BufferPool::QueryScope::EvictLocked(Record* rec) {
+  const Tensor& t = *rec->slot;
+  rec->dtype = t.dtype();
+  rec->rows = t.rows();
+  rec->cols = t.cols();
+  rec->device = t.device();
+  rec->file_bytes = t.nbytes();
+  if (rec->path.empty()) {
+    rec->path = SpillDir() + "/tqp-spill-" +
+                std::to_string(static_cast<long long>(::getpid())) + "-" +
+                std::to_string(scope_seq_) + "-" + std::to_string(rec->id) +
+                ".bin";
+  }
+  std::FILE* f = std::fopen(rec->path.c_str(), "wb");
+  if (f == nullptr) {
+    TQP_LOG(Warning) << "spill: cannot open " << rec->path
+                     << "; value stays resident";
+    rec->io_failed = true;
+    return false;
+  }
+  const size_t written =
+      std::fwrite(t.raw_data(), 1, static_cast<size_t>(rec->file_bytes), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != static_cast<size_t>(rec->file_bytes) || !flushed) {
+    std::remove(rec->path.c_str());
+    TQP_LOG(Warning) << "spill: short write to " << rec->path
+                     << "; value stays resident";
+    rec->io_failed = true;
+    return false;
+  }
+  // Dropping the resident tensor discharges its bytes from the ledger via
+  // ~Buffer (lock order: spill_mu_ -> ledger mu, consistent everywhere).
+  *rec->slot = Tensor();
+  rec->on_disk = true;
+  std::lock_guard<std::mutex> lock(ledger_->mu);
+  ++ledger_->stats.spill_events;
+  ledger_->stats.spilled_bytes += rec->file_bytes;
+  ledger_->stats.spilled_now_bytes += rec->file_bytes;
+  return true;
+}
+
+Status BufferPool::QueryScope::FaultLocked(Record* rec) {
+  // Best-effort room for the returning value (at its rounded block size);
+  // if nothing idle is left the fault proceeds anyway — the reader needs
+  // the bytes resident.
+  if (!MakeRoomLocked(AllocSizeFor(rec->file_bytes))) {
+    std::lock_guard<std::mutex> lock(ledger_->mu);
+    ++ledger_->stats.budget_overruns;
+  }
+  tls_in_spill_io = true;
+  auto tensor_or = Tensor::Empty(rec->dtype, rec->rows, rec->cols, rec->device);
+  tls_in_spill_io = false;
+  TQP_RETURN_NOT_OK(tensor_or.status());
+  Tensor tensor = std::move(tensor_or).ValueOrDie();
+  std::FILE* f = std::fopen(rec->path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("spill: cannot reopen " + rec->path);
+  }
+  const size_t read = std::fread(tensor.raw_mutable_data(), 1,
+                                 static_cast<size_t>(rec->file_bytes), f);
+  std::fclose(f);
+  if (read != static_cast<size_t>(rec->file_bytes)) {
+    return Status::IOError("spill: short read from " + rec->path);
+  }
+  std::remove(rec->path.c_str());
+  *rec->slot = std::move(tensor);
+  rec->on_disk = false;
+  std::lock_guard<std::mutex> lock(ledger_->mu);
+  ++ledger_->stats.fault_events;
+  ledger_->stats.faulted_bytes += rec->file_bytes;
+  ledger_->stats.spilled_now_bytes -= rec->file_bytes;
+  return Status::OK();
+}
+
+// --------------------------------------------------------- ScopedQueryBudget
+
+namespace {
+
+BufferPool::QueryScope* ResolveRunScope(
+    int64_t option_budget_bytes,
+    std::unique_ptr<BufferPool::QueryScope>* owned) {
+  BufferPool::QueryScope* scope = BufferPool::QueryScope::Current();
+  if (scope != nullptr) return scope;
+  const int64_t budget = BufferPool::ResolveMemoryBudget(option_budget_bytes);
+  if (budget <= 0) return nullptr;
+  *owned = std::make_unique<BufferPool::QueryScope>(budget);
+  return owned->get();
+}
+
+}  // namespace
+
+ScopedQueryBudget::ScopedQueryBudget(int64_t option_budget_bytes)
+    : scope_(ResolveRunScope(option_budget_bytes, &owned_)),
+      attach_(scope_) {}
+
+// -------------------------------------------------------------- SpillableSet
+
+SpillableSet::SpillableSet(BufferPool::QueryScope* scope, size_t num_slots)
+    : scope_(scope != nullptr && scope->spill_enabled() ? scope : nullptr) {
+  if (scope_ != nullptr) ids_.assign(num_slots, 0);
+}
+
+SpillableSet::~SpillableSet() {
+  if (scope_ == nullptr) return;
+  for (uint64_t id : ids_) {
+    if (id != 0) scope_->Drop(id);
+  }
+}
+
+void SpillableSet::Register(size_t i, Tensor* tensor) {
+  if (scope_ == nullptr) return;
+  ids_[i] = scope_->AddSpillable(tensor);
+}
+
+Status SpillableSet::PinSlot(size_t i) {
+  if (scope_ == nullptr || ids_[i] == 0) return Status::OK();
+  return scope_->Pin(ids_[i]);
+}
+
+void SpillableSet::UnpinSlot(size_t i) {
+  if (scope_ == nullptr || ids_[i] == 0) return;
+  scope_->Unpin(ids_[i]);
+}
+
+void SpillableSet::DropSlot(size_t i) {
+  if (scope_ == nullptr || ids_[i] == 0) return;
+  scope_->Drop(ids_[i]);
+  ids_[i] = 0;
 }
 
 }  // namespace tqp

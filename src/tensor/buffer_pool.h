@@ -2,10 +2,19 @@
 #define TQP_TENSOR_BUFFER_POOL_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/result.h"
+#include "device/device.h"
+#include "tensor/dtype.h"
+
 namespace tqp {
+
+class Tensor;
 
 /// \brief Counters for one BufferPool (monotonic unless noted).
 struct BufferPoolStats {
@@ -31,6 +40,37 @@ struct BufferPoolStats {
   }
 };
 
+/// \brief Per-query memory accounting and spill counters (monotonic unless
+/// noted). Budget enforcement and every gauge use the pool's *rounded* block
+/// sizes, so they match the process-wide live/peak gauges byte for byte.
+struct QueryMemoryStats {
+  int64_t budget_bytes = 0;       // 0 = accounting only, no cap
+  int64_t live_bytes = 0;         // gauge: pool bytes charged to the query
+  int64_t peak_live_bytes = 0;    // high-water of live_bytes (post-spill)
+  int64_t spilled_bytes = 0;      // cumulative bytes written to spill files
+  int64_t faulted_bytes = 0;      // cumulative bytes read back from disk
+  int64_t spill_events = 0;       // values evicted to disk
+  int64_t fault_events = 0;       // values faulted back in
+  int64_t spilled_now_bytes = 0;  // gauge: bytes currently on disk
+  /// Allocations that could not be brought under the budget even after
+  /// evicting every idle value (the irreducible working set of one step
+  /// exceeds the cap). 0 after a run <=> peak_live_bytes never exceeded
+  /// the budget — the out-of-core differential asserts exactly this.
+  int64_t budget_overruns = 0;
+};
+
+/// \brief Shared accounting cell between one BufferPool::QueryScope and the
+/// buffers charged to it. Buffers can outlive their query (result tables are
+/// returned to the caller), so they hold the ledger by shared_ptr and
+/// discharge into it whenever they die.
+struct QueryMemoryLedger {
+  std::mutex mu;
+  QueryMemoryStats stats;
+};
+
+/// \brief Internal: ~Buffer returns its charged bytes to the owning query.
+void DischargeQueryMemory(QueryMemoryLedger* ledger, int64_t bytes);
+
 /// \brief Size-classed recycling allocator for tensor storage.
 ///
 /// Kernels allocate a fresh output per op, so a streaming executor churns
@@ -46,6 +86,11 @@ struct BufferPoolStats {
 /// bytes (hashing and comparisons read the full width), so recycled memory
 /// must be indistinguishable from a fresh calloc for results to stay
 /// bit-identical.
+///
+/// On top of the process-wide gauges, QueryScope (below) adds the per-query
+/// layer: every allocation made while a scope is ambient on the thread is
+/// charged to that query, and when the query has a budget, going over it
+/// evicts cold idle values to disk instead of growing resident memory.
 class BufferPool {
  public:
   /// `max_cached_bytes` caps the total bytes parked in free lists; releases
@@ -64,6 +109,12 @@ class BufferPool {
   /// \brief Returns a block obtained from Acquire. `alloc_size` must be the
   /// value Acquire reported for it.
   void Release(uint8_t* data, int64_t alloc_size);
+
+  /// \brief The block size Acquire would report for a request of `size`
+  /// bytes (size-class rounding, or 64-byte alignment rounding above the max
+  /// pooled class). Per-query charging uses this so budgets account the
+  /// bytes actually held, not the bytes asked for.
+  static int64_t AllocSizeFor(int64_t size);
 
   BufferPoolStats stats() const;
 
@@ -84,6 +135,142 @@ class BufferPool {
   /// var (0 disables recycling), else 256 MiB.
   static int64_t DefaultMaxCachedBytes();
 
+  /// \brief Default per-query memory budget: TQP_MEMORY_BUDGET_MB env var in
+  /// MiB; 0 (or unset) = unlimited.
+  static int64_t DefaultMemoryBudgetBytes();
+
+  /// \brief Budget in bytes for an ExecOptions/CompileOptions
+  /// `memory_budget_bytes` field: positive values are explicit caps, 0 defers
+  /// to DefaultMemoryBudgetBytes(), negative means explicitly unlimited.
+  static int64_t ResolveMemoryBudget(int64_t option_bytes);
+
+  /// \brief Per-query accounting scope with an optional byte budget and a
+  /// disk spill tier.
+  ///
+  /// One QueryScope represents one query's memory: while the scope is
+  /// *ambient* on a thread (see Attach), every Buffer::Allocate on that
+  /// thread charges the scope, and the charge is returned when the buffer
+  /// dies — wherever and whenever that happens (the ledger is shared, so
+  /// result tensors handed to the caller keep discharging correctly after
+  /// the scope itself is gone). The thread pool and step scheduler propagate
+  /// the ambient scope into every task submitted while it is attached, so a
+  /// query's morsel fan-out charges the query no matter which worker runs it.
+  ///
+  /// With a budget, the scope also maintains a registry of *spillable*
+  /// values: materialized, pinned-but-idle step outputs that executors
+  /// register between producing a value and its last consumer reading it.
+  /// An allocation that would push the query's live bytes over the budget
+  /// first evicts registered values cold-first (least recently pinned) to
+  /// temp files; a consumer pinning a spilled value faults it back in (after
+  /// making room the same way). Values on disk cost no resident bytes, so
+  /// `peak_live_bytes` stays at or under the budget whenever eviction could
+  /// cover the overage (`budget_overruns` counts the times it could not).
+  ///
+  /// Spill files are bit-exact raw tensor payloads; a faulted value is
+  /// indistinguishable from one that never left memory, which is what keeps
+  /// out-of-core execution bit-identical to the in-memory path.
+  ///
+  /// Thread safety: all methods are safe to call concurrently. Spill I/O
+  /// runs under the scope's registry lock — concurrent evictions/faults of
+  /// one query serialize (simple and correct; queries spill rarely).
+  class QueryScope {
+   public:
+    /// `budget_bytes <= 0` disables the budget/spill tier (pure accounting).
+    explicit QueryScope(int64_t budget_bytes = 0);
+    /// Releases any remaining spill files. Registered slots must have been
+    /// dropped by their executor already (SpillableSet guarantees this).
+    ~QueryScope();
+
+    QueryScope(const QueryScope&) = delete;
+    QueryScope& operator=(const QueryScope&) = delete;
+
+    /// \brief The scope ambient on the calling thread (null when none).
+    static QueryScope* Current();
+
+    /// \brief RAII ambient scope for the calling thread, mirroring
+    /// StepScheduler::ScopedPriority: the QueryScheduler attaches the
+    /// query's scope around execution and allocations deep in the kernel
+    /// stack find it via Current(). `scope` may be null (masks any
+    /// inherited scope). Attach only stores the pointer — it is
+    /// dereferenced solely by allocations made while attached.
+    class Attach {
+     public:
+      explicit Attach(QueryScope* scope);
+      ~Attach();
+      Attach(const Attach&) = delete;
+      Attach& operator=(const Attach&) = delete;
+
+     private:
+      QueryScope* prev_;
+    };
+
+    int64_t budget_bytes() const { return budget_bytes_; }
+    bool spill_enabled() const { return budget_bytes_ > 0; }
+    QueryMemoryStats stats() const;
+
+    /// \brief Charges `bytes` (a rounded AllocSizeFor value) to the query,
+    /// evicting registered idle values first when the charge would exceed
+    /// the budget. Returns the ledger the buffer must discharge into on
+    /// death. Called by Buffer::Allocate.
+    std::shared_ptr<QueryMemoryLedger> ChargeForAllocation(int64_t bytes);
+
+    /// \brief Registers `*slot` — a materialized, pool-backed value owned by
+    /// the caller — as an eviction candidate. Returns its registration id,
+    /// or 0 when the value is not spillable (undefined, external wrap,
+    /// empty) or the scope has no budget. `*slot` must stay valid (and must
+    /// not be reassigned by the caller) until Drop.
+    uint64_t AddSpillable(Tensor* slot);
+
+    /// \brief Faults the value back in if it is on disk and pins it
+    /// resident; a pinned value is never evicted. Pin/Unpin calls balance.
+    Status Pin(uint64_t id);
+    void Unpin(uint64_t id);
+
+    /// \brief Unregisters the value, deleting its spill file if any. The
+    /// caller may reassign `*slot` afterwards.
+    void Drop(uint64_t id);
+
+   private:
+    struct Record {
+      Tensor* slot = nullptr;
+      uint64_t id = 0;
+      int pins = 0;
+      uint64_t touch = 0;   // last registration/unpin tick; coldest = lowest
+      bool on_disk = false;
+      bool io_failed = false;  // eviction failed; never retried
+      std::string path;
+      DType dtype = DType::kFloat64;
+      int64_t rows = 0;
+      int64_t cols = 0;
+      DeviceKind device = DeviceKind::kCpu;
+      int64_t file_bytes = 0;
+    };
+
+    /// Evicts cold idle values until live + need fits the budget. Returns
+    /// false when it ran out of victims first. Requires spill_mu_.
+    bool MakeRoomLocked(int64_t need);
+    /// Writes `rec`'s value to its spill file and drops the resident tensor.
+    /// Requires spill_mu_.
+    bool EvictLocked(Record* rec);
+    /// Reads `rec`'s value back into a fresh tensor. Requires spill_mu_.
+    Status FaultLocked(Record* rec);
+    int64_t LiveBytes() const;
+
+    /// Values smaller than this never register as spillable — a disk file
+    /// per sub-page tensor costs more than it frees.
+    static constexpr int64_t kMinSpillBytes = 4096;
+
+    const int64_t budget_bytes_;
+    const uint64_t scope_seq_;  // distinguishes spill files across scopes
+    std::shared_ptr<QueryMemoryLedger> ledger_;
+    mutable std::mutex spill_mu_;
+    std::unordered_map<uint64_t, Record> records_;
+    uint64_t next_id_ = 1;
+    uint64_t clock_ = 0;
+    uint64_t generation_ = 0;        // bumps when a candidate appears
+    uint64_t floor_generation_ = ~uint64_t{0};  // generation at last dry scan
+  };
+
  private:
   // Pooled classes: 64 B (2^6) .. 16 MiB (2^24); larger requests bypass.
   static constexpr int kMinClassLog2 = 6;
@@ -97,6 +284,61 @@ class BufferPool {
   mutable std::mutex mu_;
   std::vector<uint8_t*> free_lists_[kNumClasses];
   BufferPoolStats stats_;
+};
+
+/// \brief Resolves and attaches the query-memory scope for one executor run:
+/// the ambient scope when one is attached (the QueryScheduler's
+/// per-admitted-query scope takes precedence), else a locally owned scope
+/// when the executor carries its own budget
+/// (ExecOptions::memory_budget_bytes / TQP_MEMORY_BUDGET_MB), else none.
+/// Both runtime executors share this one definition of the precedence rule.
+class ScopedQueryBudget {
+ public:
+  explicit ScopedQueryBudget(int64_t option_budget_bytes);
+
+  ScopedQueryBudget(const ScopedQueryBudget&) = delete;
+  ScopedQueryBudget& operator=(const ScopedQueryBudget&) = delete;
+
+  /// \brief The scope this run charges (null when unbudgeted and no scope
+  /// is ambient).
+  BufferPool::QueryScope* scope() const { return scope_; }
+
+ private:
+  std::unique_ptr<BufferPool::QueryScope> owned_;
+  BufferPool::QueryScope* scope_;
+  BufferPool::QueryScope::Attach attach_;
+};
+
+/// \brief RAII bookkeeping for one executor run's spillable registrations:
+/// one id slot per program node, dropped on destruction (error paths
+/// included) so no registry record outlives the values vector it points
+/// into. All methods are no-ops when constructed without a spill-enabled
+/// scope, so executors wire it unconditionally. Slot entries follow the same
+/// produce-before-consume happens-before discipline as the executor's values
+/// vector (a slot is written by the producing step and read by steps ordered
+/// after it).
+class SpillableSet {
+ public:
+  /// `scope` may be null or budget-less; the set is then inert.
+  SpillableSet(BufferPool::QueryScope* scope, size_t num_slots);
+  ~SpillableSet();
+
+  SpillableSet(const SpillableSet&) = delete;
+  SpillableSet& operator=(const SpillableSet&) = delete;
+
+  bool enabled() const { return scope_ != nullptr; }
+
+  /// \brief Registers `*tensor` as slot `i`'s spillable value.
+  void Register(size_t i, Tensor* tensor);
+  /// \brief Faults slot `i` in (if spilled) and pins it for reading.
+  Status PinSlot(size_t i);
+  void UnpinSlot(size_t i);
+  /// \brief Unregisters slot `i` (the caller is about to release the value).
+  void DropSlot(size_t i);
+
+ private:
+  BufferPool::QueryScope* scope_;
+  std::vector<uint64_t> ids_;
 };
 
 }  // namespace tqp

@@ -807,5 +807,124 @@ TEST_F(ExprFusionTpchTest, FusionReducesPoolAllocationsOnQ6) {
       << "fusion-on peak " << peak_on << " vs fusion-off " << peak_off;
 }
 
+// ---- fusion compile probe: every driver morsel evaluates exactly once -------
+
+TEST(ExprFusionProbeTest, ProbeSeedsMorselZeroInsteadOfDiscardingIt) {
+  // A single-pipeline program over a known row count: the first run
+  // compiles (the probe IS morsel 0's evaluation), every later run hits the
+  // fusion cache — the morsel-eval counter must advance by exactly
+  // ceil(rows / morsel) per run, never by one extra probe.
+  auto program = std::make_shared<TensorProgram>();
+  const int a = program->AddInput("a");
+  const int b = program->AddInput("b");
+  AttrMap mul;
+  mul.Set("op", static_cast<int64_t>(BinaryOpKind::kMul));
+  AttrMap add;
+  add.Set("op", static_cast<int64_t>(BinaryOpKind::kAdd));
+  const int prod = program->AddNode(OpType::kBinary, {a, b}, mul);
+  const int out = program->AddNode(OpType::kBinary, {prod, a}, add);
+  program->MarkOutput(out);
+  TQP_CHECK_OK(program->Validate());
+
+  const int64_t rows = 100;
+  const int64_t morsel = 10;
+  std::vector<double> av(rows), bv(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    av[static_cast<size_t>(i)] = static_cast<double>(i % 17);
+    bv[static_cast<size_t>(i)] = static_cast<double>(i % 7);
+  }
+  const Tensor at = Tensor::FromVector<double>(av);
+  const Tensor bt = Tensor::FromVector<double>(bv);
+
+  ExecOptions options;
+  options.num_threads = 1;
+  options.morsel_rows = morsel;
+  auto exec =
+      MakeExecutor(ExecutorTarget::kPipelined, program, options).ValueOrDie();
+  auto* pipelined = static_cast<PipelinedExecutor*>(exec.get());
+
+  const Tensor reference =
+      MakeExecutor(ExecutorTarget::kEager, program).ValueOrDie()
+          ->Run({at, bt})
+          .ValueOrDie()[0];
+
+  const int64_t per_run = (rows + morsel - 1) / morsel;
+  int64_t last = pipelined->num_morsel_evals();
+  EXPECT_EQ(last, 0);
+  for (int run = 0; run < 3; ++run) {
+    const Tensor result = pipelined->Run({at, bt}).ValueOrDie()[0];
+    ASSERT_EQ(std::memcmp(result.raw_data(), reference.raw_data(),
+                          static_cast<size_t>(reference.nbytes())),
+              0)
+        << "run " << run;
+    const int64_t now = pipelined->num_morsel_evals();
+    EXPECT_EQ(now - last, per_run)
+        << "run " << run
+        << (run == 0 ? ": the compile probe must seed morsel 0, not repeat it"
+                     : ": a cache hit must not probe");
+    last = now;
+  }
+  ASSERT_NE(pipelined->pipeline_fusion(0), nullptr);
+}
+
+// ---- fusion cache signature: broadcast shape drift recompiles ---------------
+
+TEST(ExprFusionCacheTest, BroadcastArityDriftRecompilesInsteadOfServingStale) {
+  // where(mask, payload, payload) keeps a multi-column payload inside the
+  // pipeline without fusing it. A second batch that changes the broadcast
+  // payload's column arity (1x2 -> 1x3) drifts only the shape rank class —
+  // dtype and broadcast-ness stay identical — so the old dtype-only
+  // signature would serve the stale compiled program. The signature must
+  // cover the rank/stride class and recompile.
+  auto program = std::make_shared<TensorProgram>();
+  const int a = program->AddInput("a");       // driver column (n x 1)
+  const int pay = program->AddInput("pay");   // broadcast payload (1 x k)
+  const int k = program->AddConstant(Tensor::FromVector<double>({2.0}));
+  const int mask = program->AddNode(
+      OpType::kCompare, {a, k}, OpAttr(static_cast<int64_t>(CompareOpKind::kLt)));
+  const int picked = program->AddNode(OpType::kWhere, {mask, pay, pay});
+  const int doubled = program->AddNode(
+      OpType::kBinary, {a, a}, OpAttr(static_cast<int64_t>(BinaryOpKind::kAdd)));
+  program->MarkOutput(picked);
+  program->MarkOutput(doubled);
+  TQP_CHECK_OK(program->Validate());
+
+  const Tensor at = Tensor::FromVector<double>({1.0, 5.0, 1.5, 9.0});
+  const Tensor pay2 = Tensor::FromVector2D<double>({7.0, 8.0}, 1, 2);
+  const Tensor pay3 = Tensor::FromVector2D<double>({7.0, 8.0, 9.0}, 1, 3);
+
+  ExecOptions options;
+  options.num_threads = 1;
+  auto exec =
+      MakeExecutor(ExecutorTarget::kPipelined, program, options).ValueOrDie();
+  auto* pipelined = static_cast<PipelinedExecutor*>(exec.get());
+  auto eager = MakeExecutor(ExecutorTarget::kEager, program).ValueOrDie();
+
+  const auto run_both = [&](const Tensor& payload, const std::string& what) {
+    const std::vector<Tensor> fused =
+        pipelined->Run({at, payload}).ValueOrDie();
+    const std::vector<Tensor> want = eager->Run({at, payload}).ValueOrDie();
+    ASSERT_EQ(fused.size(), want.size()) << what;
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(fused[i].cols(), want[i].cols()) << what;
+      ASSERT_EQ(fused[i].rows(), want[i].rows()) << what;
+      ASSERT_EQ(std::memcmp(fused[i].raw_data(), want[i].raw_data(),
+                            static_cast<size_t>(want[i].nbytes())),
+                0)
+          << what << " output " << i;
+    }
+  };
+
+  run_both(pay2, "first batch (1x2 payload)");
+  const std::string sig2 = pipelined->pipeline_fusion_signature(0);
+  ASSERT_FALSE(sig2.empty());
+  run_both(pay3, "second batch (1x3 payload)");
+  const std::string sig3 = pipelined->pipeline_fusion_signature(0);
+  EXPECT_NE(sig2, sig3)
+      << "a broadcast-arity drift must change the fusion cache signature";
+  run_both(pay2, "third batch (1x2 payload again)");
+  EXPECT_EQ(pipelined->pipeline_fusion_signature(0), sig2);
+}
+
 }  // namespace
 }  // namespace tqp
