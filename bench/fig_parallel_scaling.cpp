@@ -29,6 +29,8 @@
 
 #include "bench_util.h"
 #include "compile/compiler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/buffer_pool.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
@@ -158,6 +160,59 @@ int main(int argc, char** argv) {
     std::printf("], \"best_speedup_vs_eager\": %.3f}%s\n", best_speedup,
                 qi + 1 < queries.size() ? "," : "");
   }
-  std::printf("  ]\n}\n");
+  std::printf("  ],\n");
+
+  // Tracing overhead guard: one pipelined configuration of Q1 measured with
+  // tracing off and with every run recorded into a live TraceSession. The
+  // CI job asserts the ratio stays near 1 (the disabled path is a TLS read;
+  // the enabled path is buffered span recording).
+  {
+    const std::string sql = tpch::QueryText(1).ValueOrDie();
+    CompileOptions options;
+    options.target = ExecutorTarget::kPipelined;
+    options.num_threads = 4;
+    CompiledQuery query = compiler.CompileSql(sql, catalog, options).ValueOrDie();
+    const std::vector<Tensor> inputs = query.CollectInputs(catalog).ValueOrDie();
+    const RunResult off = MeasureQuery(query, inputs, protocol);
+    obs::TraceSession session;
+    const RunResult on = bench::MeasureWithPool(
+        [&] {
+          obs::TraceContext ctx(&session, session.NextQueryId());
+          obs::TraceSpan root("query", "query");
+          TQP_CHECK_OK(query.RunWithInputs(inputs).status());
+        },
+        protocol);
+    const double ratio = on.seconds / off.seconds;
+    std::printf("  \"trace_overhead\": {\"query\": \"Q1\", "
+                "\"backend\": \"pipelined\", \"threads\": 4, "
+                "\"off_ms\": %.4f, \"on_ms\": %.4f, \"ratio\": %.4f, "
+                "\"events_recorded\": %zu},\n",
+                off.seconds * 1e3, on.seconds * 1e3, ratio,
+                session.num_events());
+    std::fprintf(stderr,
+                 "  trace overhead: Q1 pipelined @4 threads %.3f ms off / "
+                 "%.3f ms on (ratio %.3f, %zu events)\n",
+                 off.seconds * 1e3, on.seconds * 1e3, ratio,
+                 session.num_events());
+    // TQP_TRACE_FILE=<path>: dump the recorded timeline (CI uploads it as an
+    // artifact so any run's cross-thread interleaving can be inspected).
+    const char* trace_file = std::getenv("TQP_TRACE_FILE");
+    if (trace_file != nullptr && *trace_file != '\0') {
+      std::FILE* f = std::fopen(trace_file, "w");
+      if (f != nullptr) {
+        const std::string json = session.ToChromeTrace("fig_parallel_scaling");
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::fprintf(stderr, "  trace written to %s\n", trace_file);
+      } else {
+        std::fprintf(stderr, "  cannot open TQP_TRACE_FILE=%s\n", trace_file);
+      }
+    }
+  }
+
+  // Snapshot of the process metrics registry (counters the whole bench run
+  // accumulated: morsels, steps, plan-cache traffic, pool gauges).
+  std::printf("  \"metrics\": %s\n}\n",
+              obs::MetricsRegistry::Global()->JsonSnapshot().c_str());
   return 0;
 }

@@ -38,6 +38,16 @@
 //   \sessions <n> <sql>             run <sql> from n concurrent sessions
 //                                   through the QueryScheduler (plan cache,
 //                                   admission queue) and print per-query stats
+//   \metrics                        process metrics registry in Prometheus
+//                                   text format (query latency histograms,
+//                                   scheduler/step/plan-cache counters,
+//                                   thread-pool and buffer-pool gauges)
+//   \trace <file> <sql>             run <sql> once with whole-lifecycle
+//                                   tracing and write a chrome://tracing /
+//                                   Perfetto JSON timeline (compile, steps,
+//                                   morsels, spills) to <file>
+//   EXPLAIN ANALYZE <sql>           run <sql> once under the tracer and print
+//                                   the per-step wall-time breakdown
 //   quit                            exit
 
 #include <cerrno>
@@ -52,8 +62,12 @@
 #include "baseline/columnar.h"
 #include "baseline/volcano.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "compile/compiler.h"
 #include "compile/pipeline.h"
+#include "obs/explain.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/pipelined_executor.h"
 #include "runtime/session.h"
 #include "runtime/thread_pool.h"
@@ -240,6 +254,77 @@ void ExplainPipelines(const std::string& sql, const Catalog& catalog,
               pipelined->FusionReport().c_str());
 }
 
+CompileOptions OptionsFromState(const ShellState& state) {
+  CompileOptions options;
+  options.target = state.target;
+  options.device = state.device;
+  options.num_threads = state.num_threads;
+  options.morsel_rows = state.morsel_rows;
+  options.expr_fusion = state.expr_fusion;
+  options.memory_budget_bytes = state.budget_mb << 20;
+  return options;
+}
+
+// Runs <sql> once with whole-lifecycle tracing attached and writes the
+// Chrome/Perfetto timeline JSON to <file>.
+void RunTrace(const std::string& file, const std::string& sql,
+              const Catalog& catalog, const ShellState& state) {
+  obs::TraceSession session;
+  Result<Table> result_or = Status::Internal("unset");
+  {
+    obs::TraceContext ctx(&session, session.NextQueryId());
+    obs::TraceSpan root("query", "query");
+    root.SetDetail(sql);
+    QueryCompiler compiler;
+    auto compiled_or = [&] {
+      obs::TraceSpan span("compile", "compile");
+      return compiler.CompileSql(sql, catalog, OptionsFromState(state));
+    }();
+    if (!compiled_or.ok()) {
+      std::printf("error: %s\n", compiled_or.status().ToString().c_str());
+      return;
+    }
+    BufferPool::QueryScope memory_scope(
+        BufferPool::ResolveMemoryBudget(state.budget_mb << 20));
+    BufferPool::QueryScope::Attach memory_attach(&memory_scope);
+    result_or = [&] {
+      obs::TraceSpan span("query", "execute");
+      return compiled_or.ValueOrDie().Run(catalog);
+    }();
+  }  // context detached: every thread's buffered events are flushed
+  if (!result_or.ok()) {
+    std::printf("error: %s\n", result_or.status().ToString().c_str());
+    return;
+  }
+  std::FILE* f = std::fopen(file.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("error: cannot open %s for writing\n", file.c_str());
+    return;
+  }
+  const std::string json = session.ToChromeTrace("tqp_shell");
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("%lld rows; %zu trace events -> %s (open in chrome://tracing "
+              "or ui.perfetto.dev)\n",
+              static_cast<long long>(result_or.ValueOrDie().num_rows()),
+              session.num_events(), file.c_str());
+}
+
+// EXPLAIN ANALYZE <sql>: one traced run, per-step breakdown.
+void RunExplainAnalyze(const std::string& sql, const Catalog& catalog,
+                       const ShellState& state) {
+  if (state.engine != "tqp") {
+    std::printf("EXPLAIN ANALYZE is only available for the tqp engine\n");
+    return;
+  }
+  auto result_or = obs::ExplainAnalyze(sql, catalog, OptionsFromState(state));
+  if (!result_or.ok()) {
+    std::printf("error: %s\n", result_or.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", result_or.ValueOrDie().text.c_str());
+}
+
 // Fans one statement out from `n` concurrent QuerySessions sharing a
 // scheduler: the first execution compiles, the rest hit the LRU plan cache.
 void RunSessions(int n, const std::string& sql, const Catalog& catalog,
@@ -292,6 +377,23 @@ void RunSessions(int n, const std::string& sql, const Catalog& catalog,
       static_cast<long long>(scheduler.plan_cache().misses()),
       static_cast<double>(counters.spilled_bytes) / (1 << 20),
       static_cast<long long>(counters.queries_spilled));
+  // Process-wide latency distribution from the metrics registry (covers
+  // every scheduler this process has run, this fan-out included).
+  auto* registry = obs::MetricsRegistry::Global();
+  obs::Histogram* latency =
+      registry->FindHistogram("tqp_query_latency_seconds");
+  if (latency != nullptr && latency->count() > 0) {
+    std::printf("query latency (process-wide): p50 %.2f ms, p95 %.2f ms, "
+                "p99 %.2f ms over %lld queries\n",
+                latency->Percentile(0.5) * 1e3, latency->Percentile(0.95) * 1e3,
+                latency->Percentile(0.99) * 1e3,
+                static_cast<long long>(latency->count()));
+  }
+  obs::Counter* steps = registry->FindCounter("tqp_steps_executed_total");
+  if (steps != nullptr) {
+    std::printf("execution-DAG steps executed (process-wide): %lld\n",
+                static_cast<long long>(steps->value()));
+  }
 }
 
 // Shared-resource report: the process-wide cross-query thread pool that every
@@ -304,6 +406,9 @@ void PrintPoolStats(const ShellState& state) {
               "  sessions, schedulers and parallel/pipelined executors with\n"
               "  threads=0 share it)\n",
               pool->num_threads());
+  std::printf("  tasks executed %lld (%lld stolen from another worker)\n",
+              static_cast<long long>(pool->tasks_executed()),
+              static_cast<long long>(pool->steals()));
   const BufferPoolStats stats = BufferPool::Global()->stats();
   const auto mb = [](int64_t bytes) {
     return static_cast<double>(bytes) / (1024.0 * 1024.0);
@@ -338,6 +443,14 @@ void PrintPoolStats(const ShellState& state) {
   std::printf("  spilled this session: %.2f MiB in %lld evictions\n",
               mb(state.spilled_bytes_total),
               static_cast<long long>(state.spill_events_total));
+  obs::Histogram* latency = obs::MetricsRegistry::Global()->FindHistogram(
+      "tqp_query_latency_seconds");
+  if (latency != nullptr && latency->count() > 0) {
+    std::printf("scheduled query latency: p50 %.2f ms, p99 %.2f ms over %lld "
+                "queries (\\metrics for the full registry)\n",
+                latency->Percentile(0.5) * 1e3, latency->Percentile(0.99) * 1e3,
+                static_cast<long long>(latency->count()));
+  }
 }
 
 }  // namespace
@@ -373,6 +486,25 @@ int main(int argc, char** argv) {
     }
     if (line == "\\pool") {
       PrintPoolStats(state);
+      continue;
+    }
+    if (line == "\\metrics") {
+      std::printf("%s",
+                  obs::MetricsRegistry::Global()->PrometheusText().c_str());
+      continue;
+    }
+    if (line.rfind("\\trace ", 0) == 0) {
+      std::istringstream args(line.substr(7));
+      std::string file;
+      std::string sql;
+      args >> file;
+      std::getline(args, sql);
+      const std::string_view trimmed = TrimView(sql);
+      if (file.empty() || trimmed.empty()) {
+        std::printf("usage: \\trace <file> <sql>\n");
+        continue;
+      }
+      RunTrace(file, std::string(trimmed), catalog, state);
       continue;
     }
     if (line.rfind("\\budget ", 0) == 0) {
@@ -479,6 +611,13 @@ int main(int argc, char** argv) {
       }
       std::printf("%s\n", sql_or.ValueOrDie().c_str());
       RunSql(sql_or.ValueOrDie(), catalog, &state);
+      continue;
+    }
+    constexpr std::string_view kExplainAnalyze = "explain analyze ";
+    if (line.size() > kExplainAnalyze.size() &&
+        EqualsIgnoreCase(std::string_view(line).substr(0, kExplainAnalyze.size()),
+                         kExplainAnalyze)) {
+      RunExplainAnalyze(line.substr(kExplainAnalyze.size()), catalog, state);
       continue;
     }
     RunSql(line, catalog, &state);

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/trace.h"
+
 namespace tqp {
 
 namespace {
@@ -897,7 +899,12 @@ Result<CompiledQuery> QueryCompiler::Compile(const PlanPtr& physical_plan,
 Result<CompiledQuery> QueryCompiler::CompileSql(
     const std::string& sql, const Catalog& catalog, const CompileOptions& options,
     const PhysicalOptions& physical) const {
-  TQP_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(sql, catalog, physical, models_));
+  auto plan_or = [&] {
+    obs::TraceSpan span("compile", "plan.frontend");
+    return PlanQuery(sql, catalog, physical, models_);
+  }();
+  TQP_ASSIGN_OR_RETURN(PlanPtr plan, std::move(plan_or));
+  obs::TraceSpan span("compile", "compile.lower");
   return Compile(plan, options);
 }
 

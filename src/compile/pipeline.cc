@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace tqp {
 
@@ -507,7 +508,13 @@ std::string PipelinePlan::ToString(const TensorProgram& program) const {
 }
 
 PipelinePlan BuildPipelinePlan(const TensorProgram& program) {
-  return Splitter(program).Build();
+  obs::TraceSpan span("compile", "pipeline.split");
+  PipelinePlan plan = Splitter(program).Build();
+  if (span.enabled()) {
+    span.AddArg("pipelines", static_cast<int64_t>(plan.pipelines.size()));
+    span.AddArg("steps", static_cast<int64_t>(plan.schedule.size()));
+  }
+  return plan;
 }
 
 }  // namespace tqp

@@ -1,0 +1,226 @@
+#include "obs/explain.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "compile/pipeline.h"
+#include "graph/op_type.h"
+#include "obs/trace.h"
+#include "profiler/profiler.h"
+
+namespace tqp::obs {
+
+namespace {
+
+/// One rendered breakdown row.
+struct Row {
+  std::string what;
+  int64_t calls = 0;
+  int64_t nanos = 0;
+  int64_t rows = 0;
+  int64_t bytes = 0;
+};
+
+void AppendPadded(std::ostringstream& os, const std::string& s, size_t width,
+                  bool right_align) {
+  const size_t pad = s.size() < width ? width - s.size() : 1;
+  if (right_align) os << std::string(pad, ' ') << s;
+  else os << s << std::string(pad, ' ');
+}
+
+/// Short description of one schedule step ("n5 sort" / "pipeline#2 [...]").
+std::string DescribeStep(const TensorProgram& program, const PipelinePlan& plan,
+                         size_t step_index) {
+  if (step_index >= plan.schedule.size()) return "step";
+  const PipelineStep& step = plan.schedule[step_index];
+  if (step.serial_node >= 0) {
+    const OpNode& node = program.node(step.serial_node);
+    std::string out = "n";
+    out += std::to_string(node.id);
+    out += ' ';
+    out += OpTypeName(node.type);
+    if (!node.label.empty()) out += " (" + node.label + ")";
+    return out;
+  }
+  const Pipeline& p = plan.pipelines[static_cast<size_t>(step.pipeline)];
+  std::string out = "pipeline#";
+  out += std::to_string(step.pipeline);
+  out += " [";
+  const size_t show = std::min<size_t>(p.nodes.size(), 4);
+  for (size_t i = 0; i < show; ++i) {
+    if (i > 0) out += ' ';
+    out += OpTypeName(program.node(p.nodes[i].id).type);
+  }
+  if (p.nodes.size() > show) {
+    out += " +" + std::to_string(p.nodes.size() - show);
+  }
+  out += ']';
+  return out;
+}
+
+int64_t EventArg(const TraceEvent& e, const char* name) {
+  for (int i = 0; i < e.num_args; ++i) {
+    if (e.arg_names[i] != nullptr && std::string_view(e.arg_names[i]) == name) {
+      return e.arg_values[i];
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<ExplainAnalyzeResult> ExplainAnalyze(const std::string& sql,
+                                            const Catalog& catalog,
+                                            const CompileOptions& options) {
+  ExplainAnalyzeResult out;
+  TraceSession session;
+  // A private profiler so node-at-a-time backends (eager/static/interp) have
+  // per-op samples even though they carry no span instrumentation.
+  QueryProfiler profiler;
+  CompileOptions run_options = options;
+  if (run_options.profiler == nullptr) run_options.profiler = &profiler;
+
+  // The context lives in a nested scope: its detach flushes this thread's
+  // buffered spans into the session, which must happen before the
+  // aggregation below snapshots session.events().
+  std::optional<CompiledQuery> plan;
+  {
+    TraceContext ctx(&session, session.NextQueryId());
+    QueryCompiler compiler;
+    Stopwatch compile_timer;
+    auto plan_or = [&] {
+      TraceSpan span("compile", "compile");
+      return compiler.CompileSql(sql, catalog, run_options);
+    }();
+    out.compile_nanos = compile_timer.ElapsedNanos();
+    TQP_RETURN_NOT_OK(plan_or.status());
+    plan.emplace(std::move(plan_or).ValueOrDie());
+
+    Stopwatch exec_timer;
+    auto table_or = [&] {
+      TraceSpan span("query", "execute");
+      return plan->Run(catalog);
+    }();
+    out.wall_nanos = exec_timer.ElapsedNanos();
+    TQP_RETURN_NOT_OK(table_or.status());
+    out.result_rows = table_or.ValueOrDie().num_rows();
+  }
+
+  // Fold the recorded spans into breakdown rows. Preference order: schedule
+  // steps (the pipelined backend's unit), then op spans (parallel backend),
+  // then the profiler's per-op samples (eager/static/interp).
+  const std::vector<TraceEvent> events = session.events();
+  std::vector<Row> rows;
+  bool by_step = false;
+  int64_t morsels = 0;
+  int64_t spills = 0;
+  int64_t faults = 0;
+  for (const TraceEvent& e : events) {
+    if (e.phase != TraceEvent::Phase::kInstant &&
+        std::string_view(e.category) == "morsel") {
+      ++morsels;
+    }
+    if (e.phase == TraceEvent::Phase::kInstant &&
+        std::string_view(e.category) == "memory") {
+      if (std::string_view(e.name) == "spill") ++spills;
+      if (std::string_view(e.name) == "fault") ++faults;
+    }
+  }
+
+  std::map<int64_t, Row> step_rows;
+  for (const TraceEvent& e : events) {
+    if (e.phase == TraceEvent::Phase::kInstant) continue;
+    if (std::string_view(e.category) != "step") continue;
+    Row& r = step_rows[EventArg(e, "step")];
+    ++r.calls;
+    r.nanos += e.dur_nanos;
+    r.rows += EventArg(e, "rows");
+    r.bytes += EventArg(e, "bytes");
+  }
+  if (!step_rows.empty()) {
+    by_step = true;
+    const PipelinePlan pipeline_plan = BuildPipelinePlan(plan->program());
+    for (auto& [index, r] : step_rows) {
+      r.what = DescribeStep(plan->program(), pipeline_plan,
+                            static_cast<size_t>(index));
+      rows.push_back(std::move(r));
+    }
+  } else {
+    std::map<std::string, Row> op_rows;
+    bool have_spans = false;
+    for (const TraceEvent& e : events) {
+      if (e.phase == TraceEvent::Phase::kInstant) continue;
+      if (std::string_view(e.category) != "op") continue;
+      have_spans = true;
+      Row& r = op_rows[e.name];
+      ++r.calls;
+      r.nanos += e.dur_nanos;
+      r.bytes += EventArg(e, "output_bytes");
+    }
+    if (!have_spans) {
+      for (const QueryProfiler::OpRecord& rec : profiler.records()) {
+        Row& r = op_rows[rec.op_name];
+        ++r.calls;
+        r.nanos += rec.wall_nanos;
+        r.bytes += rec.output_bytes;
+      }
+    }
+    for (auto& [name, r] : op_rows) {
+      r.what = name;
+      rows.push_back(std::move(r));
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.nanos > b.nanos; });
+  }
+  for (const Row& r : rows) out.step_nanos += r.nanos;
+
+  const double wall_ms = static_cast<double>(out.wall_nanos) / 1e6;
+  std::ostringstream os;
+  os << "EXPLAIN ANALYZE  target=" << ExecutorTargetName(options.target)
+     << "  wall=" << FormatDouble(wall_ms, 3) << " ms"
+     << "  compile=" << FormatDouble(static_cast<double>(out.compile_nanos) / 1e6, 3)
+     << " ms  rows=" << out.result_rows << "\n";
+  os << (by_step ? "step" : "    ")
+     << "   total(ms)   share    calls        rows     out(MB)  "
+     << (by_step ? "what" : "operator") << "\n";
+  os << std::string(78, '-') << "\n";
+  const double wall = static_cast<double>(std::max<int64_t>(1, out.wall_nanos));
+  int index = 0;
+  for (const Row& r : rows) {
+    std::ostringstream line;
+    AppendPadded(line, by_step ? std::to_string(index) : std::string("-"), 4,
+                 true);
+    AppendPadded(line, FormatDouble(static_cast<double>(r.nanos) / 1e6, 3), 12,
+                 true);
+    AppendPadded(line,
+                 FormatDouble(100.0 * static_cast<double>(r.nanos) / wall, 1) +
+                     "%",
+                 8, true);
+    AppendPadded(line, std::to_string(r.calls), 9, true);
+    AppendPadded(line, std::to_string(r.rows), 12, true);
+    AppendPadded(line, FormatDouble(static_cast<double>(r.bytes) / 1e6, 2), 12,
+                 true);
+    line << "  " << r.what;
+    os << line.str() << "\n";
+    ++index;
+  }
+  os << "span sum " << FormatDouble(static_cast<double>(out.step_nanos) / 1e6, 3)
+     << " ms = "
+     << FormatDouble(100.0 * static_cast<double>(out.step_nanos) / wall, 1)
+     << "% of wall";
+  if (morsels > 0) os << "; morsels=" << morsels;
+  if (spills > 0 || faults > 0) {
+    os << "; spills=" << spills << " faults=" << faults;
+  }
+  os << "\n";
+  out.text = os.str();
+  return out;
+}
+
+}  // namespace tqp::obs

@@ -1,0 +1,37 @@
+#ifndef TQP_OBS_EXPLAIN_H_
+#define TQP_OBS_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "compile/compiler.h"
+#include "plan/catalog.h"
+
+namespace tqp::obs {
+
+/// \brief EXPLAIN ANALYZE output: the query is compiled and executed once
+/// under a private TraceSession, and the recorded spans are folded into a
+/// per-step (pipelined backend) or per-operator (node-at-a-time backends)
+/// wall-time breakdown.
+struct ExplainAnalyzeResult {
+  std::string text;          // rendered report (the shell prints this)
+  int64_t wall_nanos = 0;    // plan execution wall time
+  int64_t compile_nanos = 0; // SQL -> executable
+  /// Sum of the aggregated step/op span durations. Under a serial schedule
+  /// this tracks `wall_nanos` closely (the gap is scheduling overhead the
+  /// spans do not cover); under DAG overlap it may exceed the wall.
+  int64_t step_nanos = 0;
+  int64_t result_rows = 0;
+};
+
+/// \brief Compiles and runs `sql` with tracing forced on, then renders the
+/// per-step breakdown. `options` picks the backend exactly as for a normal
+/// run; any profiler/trace state ambient on the calling thread is unused
+/// (the run records into a private session).
+Result<ExplainAnalyzeResult> ExplainAnalyze(const std::string& sql,
+                                            const Catalog& catalog,
+                                            const CompileOptions& options);
+
+}  // namespace tqp::obs
+
+#endif  // TQP_OBS_EXPLAIN_H_

@@ -1,0 +1,274 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace tqp::obs {
+
+namespace {
+
+/// Formats a double the way Prometheus expects: integral values without a
+/// trailing ".0" are fine either way, but we keep full precision for bounds
+/// like 1e-5 and avoid locale surprises.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  counts_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  // First bucket whose upper bound admits the value; past-the-end = overflow.
+  const size_t idx =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+double Histogram::Percentile(double q) const {
+  const int64_t total = count();
+  if (total <= 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (1-based, ceil like Prometheus quantile
+  // estimation on the cumulative distribution).
+  const double rank = q * static_cast<double>(total);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    const int64_t in_bucket = counts_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    const int64_t before = cumulative;
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i == bounds_.size()) {
+      // Overflow bucket has no finite upper edge; report the largest finite
+      // bound (or 0 if the histogram somehow has no finite buckets).
+      return bounds_.empty() ? 0.0 : bounds_.back();
+    }
+    const double lo = (i == 0) ? 0.0 : bounds_[i - 1];
+    const double hi = bounds_[i];
+    // Linear interpolation of the rank within this bucket's range.
+    const double frac =
+        (rank - static_cast<double>(before)) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 int n) {
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double b = start;
+  for (int i = 0; i < n; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return registry;
+}
+
+MetricsRegistry::Metric* MetricsRegistry::FindLocked(
+    const std::string& name) const {
+  for (const auto& m : metrics_) {
+    if (!m->unregistered && m->name == name) return m.get();
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Metric* m = FindLocked(name)) {
+    return m->kind == Kind::kCounter ? m->counter.get() : nullptr;
+  }
+  auto m = std::make_unique<Metric>();
+  m->name = name;
+  m->help = help;
+  m->kind = Kind::kCounter;
+  m->counter = std::make_unique<Counter>();
+  Counter* out = m->counter.get();
+  metrics_.push_back(std::move(m));
+  return out;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Metric* m = FindLocked(name)) {
+    return m->kind == Kind::kGauge ? m->gauge.get() : nullptr;
+  }
+  auto m = std::make_unique<Metric>();
+  m->name = name;
+  m->help = help;
+  m->kind = Kind::kGauge;
+  m->gauge = std::make_unique<Gauge>();
+  Gauge* out = m->gauge.get();
+  metrics_.push_back(std::move(m));
+  return out;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Metric* m = FindLocked(name)) {
+    return m->kind == Kind::kHistogram ? m->histogram.get() : nullptr;
+  }
+  auto m = std::make_unique<Metric>();
+  m->name = name;
+  m->help = help;
+  m->kind = Kind::kHistogram;
+  m->histogram = std::make_unique<Histogram>(std::move(bounds));
+  Histogram* out = m->histogram.get();
+  metrics_.push_back(std::move(m));
+  return out;
+}
+
+uint64_t MetricsRegistry::RegisterCallbackGauge(const std::string& name,
+                                                const std::string& help,
+                                                std::function<int64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto m = std::make_unique<Metric>();
+  m->name = name;
+  m->help = help;
+  m->kind = Kind::kCallback;
+  m->callback = std::move(fn);
+  m->callback_id = next_callback_id_++;
+  const uint64_t id = m->callback_id;
+  metrics_.push_back(std::move(m));
+  return id;
+}
+
+void MetricsRegistry::Unregister(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& m : metrics_) {
+    if (m->kind == Kind::kCallback && m->callback_id == id) {
+      m->unregistered = true;
+      m->callback = nullptr;
+    }
+  }
+}
+
+Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Metric* m = FindLocked(name);
+  return (m != nullptr && m->kind == Kind::kCounter) ? m->counter.get()
+                                                     : nullptr;
+}
+
+Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Metric* m = FindLocked(name);
+  return (m != nullptr && m->kind == Kind::kHistogram) ? m->histogram.get()
+                                                       : nullptr;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[192];
+  for (const auto& m : metrics_) {
+    if (m->unregistered) continue;
+    out += "# HELP " + m->name + " " + m->help + "\n";
+    switch (m->kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + m->name + " counter\n";
+        std::snprintf(buf, sizeof(buf), "%s %" PRId64 "\n", m->name.c_str(),
+                      m->counter->value());
+        out += buf;
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + m->name + " gauge\n";
+        std::snprintf(buf, sizeof(buf), "%s %" PRId64 "\n", m->name.c_str(),
+                      m->gauge->value());
+        out += buf;
+        break;
+      case Kind::kCallback:
+        out += "# TYPE " + m->name + " gauge\n";
+        std::snprintf(buf, sizeof(buf), "%s %" PRId64 "\n", m->name.c_str(),
+                      m->callback ? m->callback() : 0);
+        out += buf;
+        break;
+      case Kind::kHistogram: {
+        out += "# TYPE " + m->name + " histogram\n";
+        const Histogram& h = *m->histogram;
+        int64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.bucket_count(i);
+          std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%s\"} %" PRId64 "\n",
+                        m->name.c_str(), FormatDouble(h.bounds()[i]).c_str(),
+                        cumulative);
+          out += buf;
+        }
+        cumulative += h.bucket_count(h.bounds().size());
+        std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %" PRId64 "\n",
+                      m->name.c_str(), cumulative);
+        out += buf;
+        std::snprintf(buf, sizeof(buf), "%s_sum %s\n%s_count %" PRId64 "\n",
+                      m->name.c_str(), FormatDouble(h.sum()).c_str(),
+                      m->name.c_str(), h.count());
+        out += buf;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::JsonSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  char buf[256];
+  bool first = true;
+  for (const auto& m : metrics_) {
+    if (m->unregistered) continue;
+    if (!first) out += ",";
+    first = false;
+    switch (m->kind) {
+      case Kind::kCounter:
+        std::snprintf(buf, sizeof(buf), "\"%s\":%" PRId64, m->name.c_str(),
+                      m->counter->value());
+        out += buf;
+        break;
+      case Kind::kGauge:
+        std::snprintf(buf, sizeof(buf), "\"%s\":%" PRId64, m->name.c_str(),
+                      m->gauge->value());
+        out += buf;
+        break;
+      case Kind::kCallback:
+        std::snprintf(buf, sizeof(buf), "\"%s\":%" PRId64, m->name.c_str(),
+                      m->callback ? m->callback() : 0);
+        out += buf;
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *m->histogram;
+        std::snprintf(buf, sizeof(buf),
+                      "\"%s\":{\"count\":%" PRId64
+                      ",\"sum\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s}",
+                      m->name.c_str(), h.count(),
+                      FormatDouble(h.sum()).c_str(),
+                      FormatDouble(h.Percentile(0.50)).c_str(),
+                      FormatDouble(h.Percentile(0.95)).c_str(),
+                      FormatDouble(h.Percentile(0.99)).c_str());
+        out += buf;
+        break;
+      }
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace tqp::obs

@@ -1,0 +1,154 @@
+#ifndef TQP_OBS_METRICS_H_
+#define TQP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tqp::obs {
+
+/// Process-wide metrics registry: typed counters, gauges and fixed-bucket
+/// histograms registered by name, with Prometheus text-format exposition and
+/// a JSON snapshot. The runtime's seams publish here instead of (or on top
+/// of) their bespoke counter structs: the QueryScheduler feeds query
+/// counters and latency histograms, the StepScheduler its per-priority step
+/// counts, the PlanCache hits/misses, the BufferPool and ThreadPool expose
+/// their existing gauges through *callback gauges* sampled at exposition
+/// time — so hot paths pay at most one relaxed atomic add, and pull-only
+/// values cost nothing until someone asks.
+///
+/// Metric handles are stable for the registry's lifetime; hot paths resolve
+/// them once (function-local static) and then touch only the atomic.
+
+/// \brief Monotonic counter.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// \brief Settable instantaneous value.
+class Gauge {
+ public:
+  void Set(int64_t value) { v_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// \brief Fixed-bucket histogram with lock-free observation and percentile
+/// extraction (linear interpolation inside the bucket that crosses the
+/// requested rank; the overflow bucket reports the top finite bound).
+class Histogram {
+ public:
+  /// `bounds` are inclusive upper bounds, strictly increasing; an implicit
+  /// +Inf bucket is appended.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// \brief Value at quantile `q` in [0, 1]; 0 when empty.
+  double Percentile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// \brief Observation count of bucket `i` (bounds().size() + 1 buckets;
+  /// the last is the overflow bucket).
+  int64_t bucket_count(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+  /// \brief `n` exponential upper bounds: start, start*factor, ...
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               int n);
+  /// \brief The registry-wide default latency bounds: 10 µs .. ~84 s in
+  /// seconds, factor 2 (24 buckets + overflow).
+  static std::vector<double> LatencyBounds() {
+    return ExponentialBounds(1e-5, 2.0, 24);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// \brief The process-wide registry every runtime seam publishes to.
+  /// Never destroyed (instrumented singletons outlive static teardown).
+  static MetricsRegistry* Global();
+
+  /// \brief Returns the named metric, creating it on first use. A name keeps
+  /// its first registered type; a same-name request for a different type
+  /// returns null. Returned pointers stay valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name, const std::string& help);
+  Gauge* GetGauge(const std::string& name, const std::string& help);
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds);
+
+  /// \brief Registers a gauge whose value is sampled by `fn` at exposition
+  /// time (how the BufferPool/ThreadPool/PlanCache expose their existing
+  /// counters without new hot-path writes). Returns an id for Unregister;
+  /// `fn` must stay callable until then (process-lifetime singletons simply
+  /// never unregister).
+  uint64_t RegisterCallbackGauge(const std::string& name,
+                                 const std::string& help,
+                                 std::function<int64_t()> fn);
+  void Unregister(uint64_t id);
+
+  /// \brief Existing metric lookups (null when absent or of another type).
+  Counter* FindCounter(const std::string& name) const;
+  Histogram* FindHistogram(const std::string& name) const;
+
+  /// \brief Prometheus text exposition (HELP/TYPE comments, histogram
+  /// cumulative `_bucket{le=...}` series plus `_sum`/`_count`), metrics in
+  /// registration order.
+  std::string PrometheusText() const;
+
+  /// \brief JSON snapshot: counters/gauges by name, histograms with
+  /// count/sum and p50/p95/p99.
+  std::string JsonSnapshot() const;
+
+ private:
+  enum class Kind : int8_t { kCounter, kGauge, kHistogram, kCallback };
+
+  struct Metric {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<int64_t()> callback;
+    uint64_t callback_id = 0;
+    bool unregistered = false;  // callback removed; skipped in expositions
+  };
+
+  Metric* FindLocked(const std::string& name) const;
+
+  mutable std::mutex mu_;
+  // deque-like stability: metrics are held by unique_ptr so handles survive
+  // vector growth.
+  std::vector<std::unique_ptr<Metric>> metrics_;
+  uint64_t next_callback_id_ = 1;
+};
+
+}  // namespace tqp::obs
+
+#endif  // TQP_OBS_METRICS_H_

@@ -10,19 +10,37 @@ namespace tqp {
 
 void QueryProfiler::RecordOp(const OpNode& node, int64_t wall_nanos,
                              int64_t output_bytes) {
-  OpRecord rec;
-  rec.node_id = node.id;
-  rec.op_name = OpTypeName(node.type);
-  rec.label = node.label;
-  rec.wall_nanos = wall_nanos;
-  rec.output_bytes = output_bytes;
-  std::lock_guard<std::mutex> lock(mu_);
-  records_.push_back(std::move(rec));
+  obs::TraceEvent event;
+  event.category = "op";
+  event.name = OpTypeName(node.type);
+  event.detail = node.label;
+  // RecordOp fires after the op ran; reconstruct the begin timestamp so the
+  // exported span sits where the work actually happened.
+  event.ts_nanos = obs::TraceNowNanos() - wall_nanos;
+  event.dur_nanos = wall_nanos;
+  event.span_id = session_.NextSpanId();
+  event.AddArg("node", node.id);
+  event.AddArg("output_bytes", output_bytes);
+  session_.Append(std::move(event));
+}
+
+std::vector<QueryProfiler::OpRecord> QueryProfiler::records() const {
+  std::vector<OpRecord> out;
+  for (const obs::TraceEvent& e : session_.events()) {
+    OpRecord rec;
+    rec.op_name = e.name;
+    rec.label = e.detail;
+    rec.wall_nanos = e.dur_nanos;
+    if (e.num_args >= 1) rec.node_id = static_cast<int>(e.arg_values[0]);
+    if (e.num_args >= 2) rec.output_bytes = e.arg_values[1];
+    out.push_back(std::move(rec));
+  }
+  return out;
 }
 
 int64_t QueryProfiler::total_nanos() const {
   int64_t total = 0;
-  for (const OpRecord& r : records_) total += r.wall_nanos;
+  for (const obs::TraceEvent& e : session_.events()) total += e.dur_nanos;
   return total;
 }
 
@@ -33,11 +51,13 @@ std::string QueryProfiler::BreakdownReport(int top_k) const {
     int64_t bytes = 0;
   };
   std::map<std::string, Agg> by_op;
-  for (const OpRecord& r : records_) {
+  int64_t total_nanos = 0;
+  for (const OpRecord& r : records()) {
     Agg& agg = by_op[r.op_name];
     agg.nanos += r.wall_nanos;
     ++agg.calls;
     agg.bytes += r.output_bytes;
+    total_nanos += r.wall_nanos;
   }
   std::vector<std::pair<std::string, Agg>> rows(by_op.begin(), by_op.end());
   std::sort(rows.begin(), rows.end(),
@@ -45,7 +65,7 @@ std::string QueryProfiler::BreakdownReport(int top_k) const {
   if (top_k > 0 && static_cast<int>(rows.size()) > top_k) {
     rows.resize(static_cast<size_t>(top_k));
   }
-  const double total = static_cast<double>(std::max<int64_t>(1, total_nanos()));
+  const double total = static_cast<double>(std::max<int64_t>(1, total_nanos));
   std::ostringstream os;
   os << "operator              calls   total(ms)   share   out(MB)\n";
   os << "---------------------------------------------------------\n";
@@ -63,30 +83,7 @@ std::string QueryProfiler::BreakdownReport(int top_k) const {
 }
 
 std::string QueryProfiler::ToChromeTrace(const std::string& process_name) const {
-  std::ostringstream os;
-  os << "{\"traceEvents\":[";
-  // Ops executed sequentially; reconstruct begin offsets from durations.
-  int64_t clock = 0;
-  for (size_t i = 0; i < records_.size(); ++i) {
-    const OpRecord& r = records_[i];
-    if (i > 0) os << ",";
-    std::string name = r.op_name;
-    if (!r.label.empty()) name += " [" + r.label + "]";
-    // Escape quotes/backslashes for JSON.
-    std::string escaped;
-    for (char c : name) {
-      if (c == '"' || c == '\\') escaped.push_back('\\');
-      escaped.push_back(c);
-    }
-    os << "{\"name\":\"" << escaped << "\",\"cat\":\"op\",\"ph\":\"X\",\"ts\":"
-       << clock / 1000 << ",\"dur\":" << std::max<int64_t>(1, r.wall_nanos / 1000)
-       << ",\"pid\":1,\"tid\":1,\"args\":{\"node\":" << r.node_id
-       << ",\"output_bytes\":" << r.output_bytes << "}}";
-    clock += r.wall_nanos;
-  }
-  os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"process\":\""
-     << process_name << "\"}}";
-  return os.str();
+  return session_.ToChromeTrace(process_name);
 }
 
 }  // namespace tqp

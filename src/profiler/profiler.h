@@ -1,16 +1,22 @@
 #ifndef TQP_PROFILER_PROFILER_H_
 #define TQP_PROFILER_PROFILER_H_
 
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "graph/executor.h"
+#include "obs/trace.h"
 
 namespace tqp {
 
 /// \brief Per-operator query profiler — the stand-in for the PyTorch
 /// Profiler + TensorBoard integration of demo scenario 1.
+///
+/// Records live in a private obs::TraceSession as category-"op" span events
+/// (one trace format across the whole engine — the whole-lifecycle tracer in
+/// src/obs and this profiler export identically), and every read API is a
+/// view over a locked snapshot of that session, so reads are safe even
+/// against a late RecordOp from a still-draining StepScheduler pump.
 ///
 /// Attach via ExecOptions/CompileOptions::profiler, run the query, then:
 ///  * BreakdownReport() prints the Figure-2-style runtime breakdown of the
@@ -35,24 +41,27 @@ class QueryProfiler : public OpProfiler {
   void RecordOp(const OpNode& node, int64_t wall_nanos,
                 int64_t output_bytes) override;
 
-  void Reset() {
-    std::lock_guard<std::mutex> lock(mu_);
-    records_.clear();
-  }
-  /// Not synchronized with in-flight RecordOp calls — read after the run.
-  const std::vector<OpRecord>& records() const { return records_; }
+  void Reset() { session_.Clear(); }
+
+  /// \brief Snapshot of the per-op samples, in recording order. Safe to call
+  /// while ops are still recording (unlike the pre-span-layer profiler).
+  std::vector<OpRecord> records() const;
   int64_t total_nanos() const;
 
   /// \brief Aggregated per-op-kind report, descending by total time.
   /// `top_k` limits the rows (0 = all).
   std::string BreakdownReport(int top_k = 10) const;
 
-  /// \brief chrome://tracing JSON ("traceEvents" array of X events).
+  /// \brief chrome://tracing JSON ("traceEvents" array of X events) — the
+  /// same exporter the whole-lifecycle tracer uses, with real begin
+  /// timestamps and one track per recording thread.
   std::string ToChromeTrace(const std::string& process_name = "tqp") const;
 
+  /// \brief The underlying span session (for merging into larger traces).
+  const obs::TraceSession& session() const { return session_; }
+
  private:
-  mutable std::mutex mu_;
-  std::vector<OpRecord> records_;
+  obs::TraceSession session_;
 };
 
 }  // namespace tqp

@@ -6,6 +6,8 @@
 
 #include "common/stopwatch.h"
 #include "graph/eval.h"
+#include "graph/op_type.h"
+#include "obs/trace.h"
 #include "runtime/morsel.h"
 #include "runtime/step_scheduler.h"
 #include "runtime/task_graph.h"
@@ -122,8 +124,13 @@ Result<std::vector<Tensor>> ParallelExecutor::Run(const std::vector<Tensor>& inp
                 spill.PinSlot(static_cast<size_t>(node.inputs[i])));
           }
           Stopwatch timer;
+          // One span per op node — the node-at-a-time backend's step unit
+          // (same "op" category the QueryProfiler records under).
+          obs::TraceSpan op_span("op", OpTypeName(node.type));
+          if (op_span.enabled()) op_span.AddArg("node", node.id);
           TQP_ASSIGN_OR_RETURN(Tensor out,
                                runtime::ParallelEvalNode(ctx, prog, node, values));
+          if (op_span.enabled()) op_span.AddArg("output_bytes", out.nbytes());
           if (device->is_simulated()) {
             bool irregular = false;
             const KernelCost cost =

@@ -9,8 +9,11 @@
 
 #include "common/stopwatch.h"
 #include "graph/eval.h"
+#include "graph/op_type.h"
 #include "kernels/expr_exec.h"
 #include "kernels/selection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/morsel.h"
 #include "runtime/step_scheduler.h"
 #include "runtime/task_graph.h"
@@ -88,8 +91,11 @@ Status PipelinedExecutor::EvalWholeNode(const OpNode& node,
                                         const ParallelContext& ctx) {
   Device* device = GetDevice(options_.device);
   Stopwatch timer;
+  obs::TraceSpan op_span("op", OpTypeName(node.type));
+  if (op_span.enabled()) op_span.AddArg("node", node.id);
   TQP_ASSIGN_OR_RETURN(Tensor out,
                        runtime::ParallelEvalNode(ctx, *program_, node, *values));
+  if (op_span.enabled()) op_span.AddArg("output_bytes", out.nbytes());
   if (device->is_simulated()) {
     bool irregular = false;
     const KernelCost cost = EstimateNodeCost(node, *values, out, &irregular);
@@ -129,6 +135,11 @@ Status PipelinedExecutor::RunPipeline(int pipeline_index, const Pipeline& p,
   // count matches neither the driver nor 1 (a runtime broadcast the splitter
   // could not see) falls back to whole-node evaluation — same results, no
   // streaming.
+  obs::TraceSpan pipeline_span("pipeline", "pipeline");
+  if (pipeline_span.enabled()) {
+    pipeline_span.AddArg("index", pipeline_index);
+    pipeline_span.AddArg("ops", static_cast<int64_t>(p.nodes.size()));
+  }
   int64_t driver_rows = -1;
   std::vector<bool> slice_now(p.sliced_sources.size(), false);
   for (size_t i = 0; i < p.sliced_sources.size(); ++i) {
@@ -224,6 +235,16 @@ Status PipelinedExecutor::RunPipeline(int pipeline_index, const Pipeline& p,
   auto eval_morsel = [&](int64_t b, int64_t e, int64_t m,
                          MorselSlot* slot) -> Status {
     morsel_evals_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter* morsel_metric =
+        obs::MetricsRegistry::Global()->GetCounter(
+            "tqp_morsel_evals_total",
+            "Morsel batches evaluated by pipelined executors");
+    morsel_metric->Add(1);
+    obs::TraceSpan morsel_span("morsel", "morsel");
+    if (morsel_span.enabled()) {
+      morsel_span.AddArg("begin", b);
+      morsel_span.AddArg("rows", e - b);
+    }
     std::vector<Tensor>& scratch = slot->scratch;
     if (scratch.empty()) scratch.resize(num_nodes);
     if (!slot->bound) {
@@ -428,6 +449,8 @@ Result<std::shared_ptr<const ExprFusionPlan>> PipelinedExecutor::FusionFor(
   // value's dtype/shape. The probe is exactly morsel 0's evaluation — its
   // outputs are handed back through `probe` so the caller does not evaluate
   // that morsel again.
+  obs::TraceSpan fusion_span("compile", "fusion.compile");
+  if (fusion_span.enabled()) fusion_span.AddArg("pipeline", pipeline_index);
   morsel_evals_.fetch_add(1, std::memory_order_relaxed);
   const int64_t probe_rows = std::min(driver_rows, MorselRows(ctx));
   std::vector<Tensor> scratch(static_cast<size_t>(program_->num_nodes()));
@@ -603,7 +626,13 @@ Result<std::vector<Tensor>> PipelinedExecutor::Run(
     refs[static_cast<size_t>(out)].fetch_add(1, std::memory_order_relaxed);
   }
 
-  auto run_step = [&](const PipelineStep& step) -> Status {
+  auto run_step = [&](int step_index, const PipelineStep& step) -> Status {
+    // One span per schedule step (the EXPLAIN ANALYZE unit): covers the
+    // spill pin/unpin bookkeeping as well as the kernels, so per-step
+    // durations sum to the walk's wall time.
+    obs::TraceSpan step_span(
+        "step", step.serial_node >= 0 ? "step.serial" : "step.pipeline");
+    if (step_span.enabled()) step_span.AddArg("step", step_index);
     // Pin (faulting back in if spilled) everything this step reads before
     // any kernel touches it.
     for (int r : step.reads) {
@@ -626,6 +655,26 @@ Result<std::vector<Tensor>> PipelinedExecutor::Run(
       } else {
         TQP_RETURN_NOT_OK(RunPipeline(step.pipeline, p, &values, ctx));
       }
+    }
+    if (step_span.enabled()) {
+      int64_t out_rows = 0;
+      int64_t out_bytes = 0;
+      const auto tally = [&](int id) {
+        const Tensor& t = values[static_cast<size_t>(id)];
+        if (t.defined()) {
+          out_rows += t.rows();
+          out_bytes += t.nbytes();
+        }
+      };
+      if (step.serial_node >= 0) {
+        tally(step.serial_node);
+      } else {
+        const Pipeline& p =
+            plan_.pipelines[static_cast<size_t>(step.pipeline)];
+        for (int out : p.outputs) tally(out);
+      }
+      step_span.AddArg("rows", out_rows);
+      step_span.AddArg("bytes", out_bytes);
     }
     // Produced values that later steps (or output collection) will read are
     // now pinned-but-idle: register them as eviction candidates.
@@ -663,8 +712,13 @@ Result<std::vector<Tensor>> PipelinedExecutor::Run(
   const bool overlap = options_.pipeline_overlap && pool_ != nullptr &&
                        pool_->num_threads() > 1 && !device->is_simulated();
   runtime::TaskGraph graph;
-  for (const PipelineStep& step : plan_.schedule) {
-    graph.AddTask([&run_step, &step] { return run_step(step); }, step.deps);
+  for (size_t si = 0; si < plan_.schedule.size(); ++si) {
+    const PipelineStep& step = plan_.schedule[si];
+    graph.AddTask(
+        [&run_step, &step, si] {
+          return run_step(static_cast<int>(si), step);
+        },
+        step.deps);
   }
   Status run_status;
   if (!overlap) {

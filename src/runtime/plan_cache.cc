@@ -3,6 +3,8 @@
 #include <cctype>
 #include <cstdint>
 
+#include "obs/metrics.h"
+
 namespace tqp::runtime {
 
 std::string NormalizeSql(const std::string& sql) {
@@ -80,11 +82,19 @@ std::shared_ptr<const CompiledQuery> PlanCache::Lookup(
   const std::string key = MakeKey(normalized_sql, options);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
+  // Process-wide mirror of the per-cache counters (all PlanCaches sum here).
+  static obs::Counter* hits_metric = obs::MetricsRegistry::Global()->GetCounter(
+      "tqp_plan_cache_hits_total", "Compiled-plan cache lookup hits");
+  static obs::Counter* misses_metric =
+      obs::MetricsRegistry::Global()->GetCounter(
+          "tqp_plan_cache_misses_total", "Compiled-plan cache lookup misses");
   if (it == index_.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_metric->Add(1);
     return nullptr;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_metric->Add(1);
   lru_.splice(lru_.begin(), lru_, it->second);  // bump to most recent
   return it->second->plan;
 }

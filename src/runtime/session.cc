@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 #include "tensor/buffer_pool.h"
 
 namespace tqp::runtime {
@@ -75,6 +76,11 @@ Result<std::future<QueryOutcome>> QueryScheduler::Submit(const std::string& sql,
     }
     if (queued_total_ >= options_.queue_capacity) {
       ++counters_.rejected;
+      static obs::Counter* rejected_metric =
+          obs::MetricsRegistry::Global()->GetCounter(
+              "tqp_queries_rejected_total",
+              "Queries rejected at admission (full queue or backpressure)");
+      rejected_metric->Add(1);
       return Status::Invalid("admission queue full (" +
                              std::to_string(options_.queue_capacity) +
                              " queries waiting); retry later");
@@ -89,6 +95,26 @@ Result<std::future<QueryOutcome>> QueryScheduler::Submit(const std::string& sql,
       if (queued_total_ >= threshold) {
         ++counters_.rejected;
         ++counters_.shed_low_priority;
+        static obs::Counter* rejected_metric =
+            obs::MetricsRegistry::Global()->GetCounter(
+                "tqp_queries_rejected_total",
+                "Queries rejected at admission (full queue or backpressure)");
+        rejected_metric->Add(1);
+        static obs::Counter* shed_metric =
+            obs::MetricsRegistry::Global()->GetCounter(
+                "tqp_queries_shed_total",
+                "Low-priority queries shed under admission backpressure");
+        shed_metric->Add(1);
+        if (options_.trace != nullptr) {
+          obs::TraceEvent shed;
+          shed.phase = obs::TraceEvent::Phase::kInstant;
+          shed.category = "query";
+          shed.name = "shed";
+          shed.ts_nanos = obs::TraceNowNanos();
+          shed.thread_id = obs::TraceThreadId();
+          shed.AddArg("queued", static_cast<int64_t>(queued_total_));
+          options_.trace->Append(std::move(shed));
+        }
         return Status::Invalid(
             "admission queue under backpressure (" +
             std::to_string(queued_total_) +
@@ -96,6 +122,26 @@ Result<std::future<QueryOutcome>> QueryScheduler::Submit(const std::string& sql,
       }
     }
     ++counters_.admitted;
+    static obs::Counter* admitted_metric =
+        obs::MetricsRegistry::Global()->GetCounter(
+            "tqp_queries_admitted_total", "Queries admitted by schedulers");
+    admitted_metric->Add(1);
+    if (options_.trace != nullptr) {
+      // Tag the job with its trace query id now: every span it records —
+      // on whichever worker picks it up — carries this id, which is what
+      // lets one session's timeline separate interleaved queries.
+      job.trace_query_id = options_.trace->NextQueryId();
+      obs::TraceEvent admit;
+      admit.phase = obs::TraceEvent::Phase::kInstant;
+      admit.category = "query";
+      admit.name = "admit";
+      admit.ts_nanos = job.enqueue_nanos;
+      admit.query_id = job.trace_query_id;
+      admit.thread_id = obs::TraceThreadId();
+      admit.AddArg("priority", static_cast<int64_t>(priority));
+      admit.AddArg("queued", static_cast<int64_t>(queued_total_));
+      options_.trace->Append(std::move(admit));
+    }
     queues_[static_cast<size_t>(priority)].push_back(std::move(job));
     ++queued_total_;
     DispatchLocked();
@@ -148,6 +194,25 @@ void QueryScheduler::WorkerBody() {
       counters_.spilled_bytes += outcome.stats.spilled_bytes;
       if (outcome.stats.spilled_bytes > 0) ++counters_.queries_spilled;
     }
+    static obs::Counter* completed_metric =
+        obs::MetricsRegistry::Global()->GetCounter(
+            "tqp_queries_completed_total",
+            "Queries that finished executing (including failures)");
+    completed_metric->Add(1);
+    if (!outcome.status.ok()) {
+      static obs::Counter* failed_metric =
+          obs::MetricsRegistry::Global()->GetCounter(
+              "tqp_queries_failed_total",
+              "Queries that finished with an error status");
+      failed_metric->Add(1);
+    }
+    static obs::Histogram* latency_hist =
+        obs::MetricsRegistry::Global()->GetHistogram(
+            "tqp_query_latency_seconds",
+            "End-to-end query latency, admission to completion",
+            obs::Histogram::LatencyBounds());
+    latency_hist->Observe(
+        static_cast<double>(NowNanos() - job.enqueue_nanos) * 1e-9);
     job.promise.set_value(std::move(outcome));
   }
 }
@@ -155,6 +220,26 @@ void QueryScheduler::WorkerBody() {
 QueryOutcome QueryScheduler::Execute(Job* job) {
   QueryOutcome outcome;
   outcome.stats.queue_nanos = NowNanos() - job->enqueue_nanos;
+  static obs::Histogram* queue_hist =
+      obs::MetricsRegistry::Global()->GetHistogram(
+          "tqp_query_queue_seconds",
+          "Admission-queue wait, enqueue to worker pickup",
+          obs::Histogram::LatencyBounds());
+  queue_hist->Observe(static_cast<double>(outcome.stats.queue_nanos) * 1e-9);
+
+  // Ambient trace context for the whole query: every span below — and every
+  // span recorded by tasks the executor fans out — lands in the scheduler's
+  // session tagged with this query's id. With tracing off this attaches a
+  // null session, which doubles as a mask over any context the pool task
+  // running this worker might have inherited.
+  obs::TraceContext trace_ctx(options_.trace, job->trace_query_id);
+  // The queue wait already happened (on no particular thread); record it
+  // backdated as a top-level span so the timeline shows admission-to-pickup
+  // next to the execution that follows.
+  obs::TraceSpanWithTimes("query", "queue.wait", job->enqueue_nanos,
+                          outcome.stats.queue_nanos);
+  obs::TraceSpan query_span("query", "query");
+  if (query_span.enabled()) query_span.SetDetail(job->sql);
 
   const std::string normalized = NormalizeSql(job->sql);
   // Cache lookup with in-flight dedup: a burst of identical statements
@@ -181,10 +266,22 @@ QueryOutcome QueryScheduler::Execute(Job* job) {
   }
   if (plan != nullptr) {
     outcome.stats.cache_hit = true;
+    obs::TraceInstant("compile", "plancache.hit", "query",
+                      static_cast<int64_t>(job->trace_query_id));
   } else {
     Stopwatch compile_timer;
-    auto compiled_or = compiler_.CompileSql(job->sql, *catalog_, options_.compile);
+    auto compiled_or = [&] {
+      obs::TraceSpan compile_span("compile", "compile");
+      return compiler_.CompileSql(job->sql, *catalog_, options_.compile);
+    }();
     outcome.stats.compile_nanos = compile_timer.ElapsedNanos();
+    static obs::Histogram* compile_hist =
+        obs::MetricsRegistry::Global()->GetHistogram(
+            "tqp_query_compile_seconds",
+            "SQL-to-executable compile latency (plan-cache misses only)",
+            obs::Histogram::LatencyBounds());
+    compile_hist->Observe(static_cast<double>(outcome.stats.compile_nanos) *
+                          1e-9);
     if (compiled_or.ok()) {
       plan = std::make_shared<const CompiledQuery>(
           std::move(compiled_or).ValueOrDie());
@@ -215,8 +312,16 @@ QueryOutcome QueryScheduler::Execute(Job* job) {
   BufferPool::QueryScope memory_scope(
       BufferPool::ResolveMemoryBudget(options_.compile.memory_budget_bytes));
   BufferPool::QueryScope::Attach memory_attach(&memory_scope);
-  auto result_or = plan->Run(*catalog_);
+  auto result_or = [&] {
+    obs::TraceSpan exec_span("query", "execute");
+    return plan->Run(*catalog_);
+  }();
   outcome.stats.exec_nanos = exec_timer.ElapsedNanos();
+  static obs::Histogram* exec_hist =
+      obs::MetricsRegistry::Global()->GetHistogram(
+          "tqp_query_exec_seconds", "Plan execution latency",
+          obs::Histogram::LatencyBounds());
+  exec_hist->Observe(static_cast<double>(outcome.stats.exec_nanos) * 1e-9);
   const QueryMemoryStats mem = memory_scope.stats();
   outcome.stats.memory_budget_bytes = mem.budget_bytes;
   outcome.stats.peak_memory_bytes = mem.peak_live_bytes;
@@ -227,6 +332,11 @@ QueryOutcome QueryScheduler::Execute(Job* job) {
   }
   outcome.table = std::move(result_or).ValueOrDie();
   outcome.stats.result_rows = outcome.table.num_rows();
+  if (query_span.enabled()) {
+    query_span.AddArg("rows", outcome.stats.result_rows);
+    query_span.AddArg("cache_hit", outcome.stats.cache_hit ? 1 : 0);
+    query_span.AddArg("spilled_bytes", outcome.stats.spilled_bytes);
+  }
   outcome.status = Status::OK();
   return outcome;
 }

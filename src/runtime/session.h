@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "compile/compiler.h"
+#include "obs/trace.h"
 #include "plan/catalog.h"
 #include "runtime/plan_cache.h"
 #include "runtime/step_scheduler.h"
@@ -88,6 +89,12 @@ struct SchedulerOptions {
   /// the morsel-driven ParallelExecutor on the shared pool; kPipelined
   /// streams morsels through fused operator chains instead.
   CompileOptions compile;
+  /// Whole-lifecycle tracing (not owned; must outlive the scheduler). When
+  /// set, every admitted query records admission, queue wait, compile /
+  /// plan-cache-hit, and execution spans into this session, tagged with a
+  /// per-query id — concurrent queries interleave in one exported timeline.
+  /// Null (the default) keeps every trace hook to a null-pointer branch.
+  obs::TraceSession* trace = nullptr;
 
   SchedulerOptions() { compile.target = ExecutorTarget::kParallel; }
 };
@@ -146,6 +153,7 @@ class QueryScheduler {
     QueryPriority priority = QueryPriority::kNormal;
     std::promise<QueryOutcome> promise;
     int64_t enqueue_nanos = 0;
+    uint64_t trace_query_id = 0;  // 0 when tracing is off
   };
 
   /// Spawns worker tasks on the pool while capacity and work both exist.

@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/buffer_pool.h"
 
 namespace tqp::runtime {
@@ -46,12 +48,29 @@ void StepScheduler::Submit(std::function<void()> step, int priority) {
       inner();
     };
   }
+  // Same per-step ambient propagation for the trace context: a traced
+  // query's steps record into its session (parented to the submitting span)
+  // no matter which pump runs them, and untraced steps run context-less
+  // because PumpOne masks the pump's own inherited context.
+  if (const obs::TraceContextState trace = obs::CaptureTraceContext();
+      trace.session != nullptr) {
+    step = [trace, inner = std::move(step)] {
+      obs::TraceContext ctx(trace);
+      inner();
+    };
+  }
   bool spawn = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ready_[static_cast<size_t>(priority)].push_back(std::move(step));
     ++ready_total_;
     ++submitted_[static_cast<size_t>(priority)];
+    // Process-wide mirror (all StepSchedulers sum into one counter).
+    static obs::Counter* submitted_metric =
+        obs::MetricsRegistry::Global()->GetCounter(
+            "tqp_steps_submitted_total",
+            "Execution-DAG steps submitted to priority-aware step dispatch");
+    submitted_metric->Add(1);
     if (inflight_ < max_inflight_) {
       ++inflight_;
       spawn = true;
@@ -78,6 +97,11 @@ void StepScheduler::PumpOne() {
   // pump's re-submission below must not capture a scope that could be gone
   // by the time the chained pump runs.
   BufferPool::QueryScope::Attach mask(nullptr);
+  // Mask the inherited trace context for the same lifetime reason: a pump
+  // chain outlives the query that spawned it (it drains the shared ready
+  // queue), so an untraced step popped later must not record into — and the
+  // chained pump must not re-capture — a session that may already be gone.
+  obs::TraceContext trace_mask(nullptr, 0);
   std::function<void()> step;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -87,6 +111,11 @@ void StepScheduler::PumpOne() {
     }
   }
   step();
+  static obs::Counter* executed_metric =
+      obs::MetricsRegistry::Global()->GetCounter(
+          "tqp_steps_executed_total",
+          "Execution-DAG steps run by step-scheduler pumps");
+  executed_metric->Add(1);
   bool more;
   {
     std::lock_guard<std::mutex> lock(mu_);

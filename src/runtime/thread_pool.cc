@@ -6,6 +6,8 @@
 #include <cstdlib>
 
 #include "common/env.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/morsel.h"
 #include "tensor/buffer_pool.h"
 
@@ -34,7 +36,25 @@ int ThreadPool::DefaultThreadCount() {
 }
 
 ThreadPool* ThreadPool::Global() {
-  static ThreadPool* pool = new ThreadPool(DefaultThreadCount());
+  static ThreadPool* pool = [] {
+    auto* p = new ThreadPool(DefaultThreadCount());
+    // The process-wide pool publishes itself as callback gauges: values are
+    // sampled at exposition time, so the task hot path pays nothing beyond
+    // its own relaxed counters.
+    auto* registry = obs::MetricsRegistry::Global();
+    registry->RegisterCallbackGauge(
+        "tqp_threadpool_threads", "Worker threads in the process-wide pool",
+        [p] { return static_cast<int64_t>(p->num_threads()); });
+    registry->RegisterCallbackGauge(
+        "tqp_threadpool_tasks_executed_total",
+        "Tasks executed on the process-wide pool",
+        [p] { return p->tasks_executed(); });
+    registry->RegisterCallbackGauge(
+        "tqp_threadpool_steals_total",
+        "Tasks stolen from another worker's queue on the process-wide pool",
+        [p] { return p->steals(); });
+    return p;
+  }();
   return pool;
 }
 
@@ -69,6 +89,18 @@ void ThreadPool::Submit(std::function<void()> task) {
   if (auto* scope = BufferPool::QueryScope::Current(); scope != nullptr) {
     task = [scope, inner = std::move(task)] {
       BufferPool::QueryScope::Attach attach(scope);
+      inner();
+    };
+  }
+  // Tasks likewise inherit the submitter's ambient trace context (session +
+  // query id + submitting span), so a traced query's fan-out records into
+  // its session from any worker, parented to the span that spawned it. Same
+  // lifetime argument as the scope above: fan-out joins before the traced
+  // run returns, and every context detach flushes the thread buffer.
+  if (const obs::TraceContextState trace = obs::CaptureTraceContext();
+      trace.session != nullptr) {
+    task = [trace, inner = std::move(task)] {
+      obs::TraceContext ctx(trace);
       inner();
     };
   }
@@ -113,6 +145,11 @@ bool ThreadPool::PopTask(int self_index, std::function<void()>* task) {
     if (!victim.queue.empty()) {
       *task = std::move(victim.queue.front());
       victim.queue.pop_front();
+      // A steal is one worker taking from another's queue; an external
+      // thread helping out (self_index < 0) has no queue to prefer.
+      if (self_index >= 0 && (start + k) % n != self_index) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+      }
       return true;
     }
   }
@@ -125,6 +162,7 @@ bool ThreadPool::TryRunOneTask() {
   if (!PopTask(self, &task)) return false;
   queued_.fetch_sub(1, std::memory_order_acquire);
   task();
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -136,6 +174,7 @@ void ThreadPool::WorkerLoop(int index) {
     if (PopTask(index, &task)) {
       queued_.fetch_sub(1, std::memory_order_acquire);
       task();
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     std::unique_lock<std::mutex> lock(wake_mu_);

@@ -1,6 +1,7 @@
 #ifndef TQP_RUNTIME_THREAD_POOL_H_
 #define TQP_RUNTIME_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -46,6 +47,15 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  /// \brief Tasks executed since construction (all paths: workers,
+  /// cooperative TryRunOneTask waiters).
+  int64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+  /// \brief Tasks a thread popped from another worker's queue (FIFO steals;
+  /// the work-stealing health gauge in the metrics registry).
+  int64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
   /// \brief Morsel-driven parallel for over [0, total): splits the range into
   /// morsels of `morsel_rows` (<=0 selects DefaultMorselRows()) which workers
   /// claim from a shared atomic cursor. `fn(begin, end, slot)` runs for each
@@ -90,6 +100,8 @@ class ThreadPool {
   std::atomic<int64_t> queued_{0};
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> next_queue_{0};
+  std::atomic<int64_t> tasks_executed_{0};
+  std::atomic<int64_t> steals_{0};
 };
 
 }  // namespace tqp::runtime

@@ -10,6 +10,8 @@
 
 #include "common/env.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/tensor.h"
 
 namespace tqp {
@@ -63,7 +65,32 @@ int64_t BufferPool::ResolveMemoryBudget(int64_t option_bytes) {
 }
 
 BufferPool* BufferPool::Global() {
-  static BufferPool* pool = new BufferPool();
+  static BufferPool* pool = [] {
+    auto* p = new BufferPool();
+    // Pool gauges are sampled from the existing stats struct at exposition
+    // time — allocation hot paths gain no new writes.
+    auto* registry = obs::MetricsRegistry::Global();
+    registry->RegisterCallbackGauge(
+        "tqp_buffer_pool_live_bytes", "Live tensor bytes in the global pool",
+        [p] { return p->stats().live_bytes; });
+    registry->RegisterCallbackGauge(
+        "tqp_buffer_pool_peak_live_bytes",
+        "Peak live tensor bytes since process start",
+        [p] { return p->stats().peak_live_bytes; });
+    registry->RegisterCallbackGauge(
+        "tqp_buffer_pool_cached_bytes",
+        "Recyclable free-list bytes held by the global pool",
+        [p] { return p->stats().cached_bytes; });
+    registry->RegisterCallbackGauge(
+        "tqp_buffer_pool_allocations_total",
+        "Block acquisitions from the global pool",
+        [p] { return p->stats().allocations; });
+    registry->RegisterCallbackGauge(
+        "tqp_buffer_pool_hits_total",
+        "Acquisitions satisfied from a free list (no malloc)",
+        [p] { return p->stats().pool_hits; });
+    return p;
+  }();
   return pool;
 }
 
@@ -358,6 +385,16 @@ bool BufferPool::QueryScope::EvictLocked(Record* rec) {
   // ~Buffer (lock order: spill_mu_ -> ledger mu, consistent everywhere).
   *rec->slot = Tensor();
   rec->on_disk = true;
+  obs::TraceInstant("memory", "spill", "bytes", rec->file_bytes);
+  static obs::Counter* spill_events_metric =
+      obs::MetricsRegistry::Global()->GetCounter(
+          "tqp_spill_events_total",
+          "Tensors evicted to the disk spill tier (budget pressure)");
+  spill_events_metric->Add(1);
+  static obs::Counter* spilled_bytes_metric =
+      obs::MetricsRegistry::Global()->GetCounter(
+          "tqp_spilled_bytes_total", "Bytes written to the disk spill tier");
+  spilled_bytes_metric->Add(rec->file_bytes);
   std::lock_guard<std::mutex> lock(ledger_->mu);
   ++ledger_->stats.spill_events;
   ledger_->stats.spilled_bytes += rec->file_bytes;
@@ -391,6 +428,12 @@ Status BufferPool::QueryScope::FaultLocked(Record* rec) {
   std::remove(rec->path.c_str());
   *rec->slot = std::move(tensor);
   rec->on_disk = false;
+  obs::TraceInstant("memory", "fault", "bytes", rec->file_bytes);
+  static obs::Counter* fault_events_metric =
+      obs::MetricsRegistry::Global()->GetCounter(
+          "tqp_fault_events_total",
+          "Spilled tensors faulted back from disk on first touch");
+  fault_events_metric->Add(1);
   std::lock_guard<std::mutex> lock(ledger_->mu);
   ++ledger_->stats.fault_events;
   ledger_->stats.faulted_bytes += rec->file_bytes;

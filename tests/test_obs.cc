@@ -1,0 +1,439 @@
+// Tests for the observability layer: metrics registry (counter/gauge/
+// histogram math, Prometheus exposition, JSON snapshot), the whole-lifecycle
+// trace layer (span nesting and cross-thread parenting under the 8-thread
+// pipelined backend, Chrome trace export), EXPLAIN ANALYZE's step-sum-vs-wall
+// accounting, the QueryProfiler's span-backed reads, and the differential
+// that tracing on/off leaves TPC-H results bit-identical.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "compile/compiler.h"
+#include "graph/op_type.h"
+#include "obs/explain.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "profiler/profiler.h"
+#include "runtime/session.h"
+#include "runtime/thread_pool.h"
+#include "tensor/buffer_pool.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace tqp {
+namespace {
+
+void ExpectTensorsIdentical(const Tensor& got, const Tensor& want,
+                            const std::string& what) {
+  ASSERT_EQ(got.dtype(), want.dtype()) << what;
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  if (want.numel() > 0) {
+    ASSERT_EQ(std::memcmp(got.raw_data(), want.raw_data(),
+                          static_cast<size_t>(want.nbytes())),
+              0)
+        << what << ": payload differs";
+  }
+}
+
+void ExpectTablesIdentical(const Table& got, const Table& want,
+                           const std::string& what) {
+  ASSERT_EQ(got.num_columns(), want.num_columns()) << what;
+  ASSERT_EQ(got.num_rows(), want.num_rows()) << what;
+  for (int c = 0; c < want.num_columns(); ++c) {
+    ASSERT_EQ(got.schema().field(c).name, want.schema().field(c).name) << what;
+    ExpectTensorsIdentical(got.column(c).tensor(), want.column(c).tensor(),
+                           what + " column " + want.schema().field(c).name);
+  }
+}
+
+// ---- histogram math ---------------------------------------------------------
+
+TEST(HistogramTest, BucketsCountsAndSum) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);   // bucket 0 (<= 1)
+  h.Observe(1.0);   // bucket 0 (inclusive upper bound)
+  h.Observe(1.5);   // bucket 1
+  h.Observe(4.0);   // bucket 2
+  h.Observe(100.0); // overflow
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 107.0);
+  EXPECT_EQ(h.bucket_count(0), 2);
+  EXPECT_EQ(h.bucket_count(1), 1);
+  EXPECT_EQ(h.bucket_count(2), 1);
+  EXPECT_EQ(h.bucket_count(3), 1);  // overflow bucket
+}
+
+TEST(HistogramTest, PercentileInterpolatesInsideBucket) {
+  obs::Histogram h({10.0, 20.0});
+  for (int i = 0; i < 10; ++i) h.Observe(5.0);   // bucket 0: [0, 10]
+  for (int i = 0; i < 10; ++i) h.Observe(15.0);  // bucket 1: (10, 20]
+  // Rank 10 of 20 sits exactly at the end of bucket 0.
+  EXPECT_NEAR(h.Percentile(0.5), 10.0, 1e-9);
+  // Rank 15 is halfway through bucket 1: 10 + 0.5 * (20 - 10).
+  EXPECT_NEAR(h.Percentile(0.75), 15.0, 1e-9);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0.0);
+}
+
+TEST(HistogramTest, OverflowBucketReportsTopFiniteBound) {
+  obs::Histogram h({1.0, 2.0});
+  h.Observe(50.0);
+  h.Observe(60.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 2.0);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  obs::Histogram h(obs::Histogram::LatencyBounds());
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+  EXPECT_EQ(h.count(), 0);
+}
+
+TEST(HistogramTest, ExponentialBoundsDouble) {
+  const std::vector<double> bounds = obs::Histogram::ExponentialBounds(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+}
+
+// ---- registry ---------------------------------------------------------------
+
+TEST(MetricsRegistryTest, NamedHandlesAreIdempotentAndTyped) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c1 = registry.GetCounter("c", "a counter");
+  obs::Counter* c2 = registry.GetCounter("c", "a counter");
+  EXPECT_EQ(c1, c2);
+  c1->Add(3);
+  EXPECT_EQ(c2->value(), 3);
+  // A name keeps its first registered type.
+  EXPECT_EQ(registry.GetGauge("c", "not a gauge"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("c", "not a histogram", {1.0}), nullptr);
+  EXPECT_EQ(registry.FindCounter("c"), c1);
+  EXPECT_EQ(registry.FindCounter("absent"), nullptr);
+}
+
+TEST(MetricsRegistryTest, PrometheusTextGolden) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("tqp_test_queries_total", "Queries run")->Add(7);
+  registry.GetGauge("tqp_test_live", "Live things")->Set(3);
+  obs::Histogram* h =
+      registry.GetHistogram("tqp_test_latency_seconds", "Latency", {0.1, 1.0});
+  h->Observe(0.05);
+  h->Observe(0.5);
+  h->Observe(5.0);
+  const std::string want =
+      "# HELP tqp_test_queries_total Queries run\n"
+      "# TYPE tqp_test_queries_total counter\n"
+      "tqp_test_queries_total 7\n"
+      "# HELP tqp_test_live Live things\n"
+      "# TYPE tqp_test_live gauge\n"
+      "tqp_test_live 3\n"
+      "# HELP tqp_test_latency_seconds Latency\n"
+      "# TYPE tqp_test_latency_seconds histogram\n"
+      "tqp_test_latency_seconds_bucket{le=\"0.1\"} 1\n"
+      "tqp_test_latency_seconds_bucket{le=\"1\"} 2\n"
+      "tqp_test_latency_seconds_bucket{le=\"+Inf\"} 3\n"
+      "tqp_test_latency_seconds_sum 5.55\n"
+      "tqp_test_latency_seconds_count 3\n";
+  EXPECT_EQ(registry.PrometheusText(), want);
+}
+
+TEST(MetricsRegistryTest, CallbackGaugeSamplesAtExposition) {
+  obs::MetricsRegistry registry;
+  int64_t value = 41;
+  const uint64_t id = registry.RegisterCallbackGauge("tqp_test_cb", "Sampled",
+                                                     [&value] { return value; });
+  value = 42;
+  EXPECT_NE(registry.PrometheusText().find("tqp_test_cb 42"), std::string::npos);
+  registry.Unregister(id);
+  EXPECT_EQ(registry.PrometheusText().find("tqp_test_cb"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotContainsPercentiles) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("tqp_test_c", "c")->Add(1);
+  obs::Histogram* h = registry.GetHistogram("tqp_test_h", "h", {1.0, 2.0});
+  h->Observe(0.5);
+  const std::string json = registry.JsonSnapshot();
+  EXPECT_NE(json.find("\"tqp_test_c\""), std::string::npos);
+  EXPECT_NE(json.find("\"tqp_test_h\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, GlobalRegistryCarriesRuntimeSeams) {
+  // Touch the instrumented singletons, then check their metrics exist.
+  runtime::ThreadPool::Global();
+  BufferPool::Global();
+  const std::string text = obs::MetricsRegistry::Global()->PrometheusText();
+  EXPECT_NE(text.find("tqp_threadpool_threads"), std::string::npos);
+  EXPECT_NE(text.find("tqp_buffer_pool_live_bytes"), std::string::npos);
+}
+
+// ---- trace layer ------------------------------------------------------------
+
+TEST(TraceTest, SpansNestOnOneThread) {
+  obs::TraceSession session;
+  {
+    obs::TraceContext ctx(&session, session.NextQueryId());
+    obs::TraceSpan outer("test", "outer");
+    {
+      obs::TraceSpan inner("test", "inner");
+      obs::TraceInstant("test", "tick", "n", 7);
+    }
+  }
+  const std::vector<obs::TraceEvent> events = session.events();
+  ASSERT_EQ(events.size(), 3u);
+  const obs::TraceEvent* outer = nullptr;
+  const obs::TraceEvent* inner = nullptr;
+  const obs::TraceEvent* tick = nullptr;
+  for (const obs::TraceEvent& e : events) {
+    if (std::string(e.name) == "outer") outer = &e;
+    if (std::string(e.name) == "inner") inner = &e;
+    if (std::string(e.name) == "tick") tick = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(tick, nullptr);
+  EXPECT_EQ(outer->parent_id, 0u);
+  EXPECT_EQ(inner->parent_id, outer->span_id);
+  EXPECT_EQ(tick->parent_id, inner->span_id);
+  EXPECT_EQ(outer->query_id, 1u);
+  EXPECT_EQ(inner->query_id, 1u);
+  // Containment: inner's interval sits inside outer's.
+  EXPECT_GE(inner->ts_nanos, outer->ts_nanos);
+  EXPECT_LE(inner->ts_nanos + inner->dur_nanos,
+            outer->ts_nanos + outer->dur_nanos);
+}
+
+TEST(TraceTest, DisabledPathRecordsNothing) {
+  obs::TraceSession session;
+  {
+    obs::TraceSpan span("test", "orphan");  // no ambient context
+    obs::TraceInstant("test", "tick", "n", 1);
+  }
+  EXPECT_EQ(session.num_events(), 0u);
+}
+
+TEST(TraceTest, ChromeTraceExportShape) {
+  obs::TraceSession session;
+  {
+    obs::TraceContext ctx(&session, session.NextQueryId());
+    obs::TraceSpan span("test", "work");
+    obs::TraceInstant("test", "mark", "v", 1);
+  }
+  const std::string json = session.ToChromeTrace("unit");
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // thread names
+  EXPECT_NE(json.find("unit"), std::string::npos);
+}
+
+// ---- profiler on the span layer --------------------------------------------
+
+TEST(ProfilerTest, RecordsReadsAndResetOnSpanLayer) {
+  QueryProfiler profiler;
+  OpNode node;
+  node.id = 5;
+  node.type = OpType::kBinary;
+  node.label = "a + b";
+  profiler.RecordOp(node, 1000, 64);
+  profiler.RecordOp(node, 2000, 128);
+  const auto records = profiler.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].node_id, 5);
+  EXPECT_EQ(records[0].wall_nanos, 1000);
+  EXPECT_EQ(records[0].output_bytes, 64);
+  EXPECT_EQ(records[0].label, "a + b");
+  EXPECT_EQ(profiler.total_nanos(), 3000);
+  EXPECT_NE(profiler.BreakdownReport().find(OpTypeName(OpType::kBinary)),
+            std::string::npos);
+  EXPECT_NE(profiler.ToChromeTrace().find("\"ph\":\"X\""), std::string::npos);
+  profiler.Reset();
+  EXPECT_EQ(profiler.records().size(), 0u);
+  EXPECT_EQ(profiler.total_nanos(), 0);
+}
+
+// ---- end-to-end over TPC-H --------------------------------------------------
+
+class ObsTpchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::DbgenOptions options;
+    options.scale_factor = 0.01;
+    TQP_CHECK_OK(tpch::GenerateAll(options, catalog_));
+  }
+  static Catalog* catalog_;
+};
+
+Catalog* ObsTpchTest::catalog_ = nullptr;
+
+TEST_F(ObsTpchTest, PipelinedQ1SpansNestAcrossEightThreads) {
+  runtime::ThreadPool pool(8);
+  obs::TraceSession session;
+  runtime::SchedulerOptions options;
+  options.pool = &pool;
+  options.trace = &session;
+  options.compile.target = ExecutorTarget::kPipelined;
+  runtime::QueryScheduler scheduler(catalog_, options);
+  const std::string sql = tpch::QueryText(1).ValueOrDie();
+  auto future_or = scheduler.Submit(sql);
+  ASSERT_TRUE(future_or.ok()) << future_or.status().ToString();
+  runtime::QueryOutcome outcome = future_or.ValueOrDie().get();
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+
+  const std::vector<obs::TraceEvent> events = session.events();
+  std::map<uint64_t, const obs::TraceEvent*> by_span;
+  const obs::TraceEvent* root = nullptr;
+  const obs::TraceEvent* execute = nullptr;
+  bool saw_admit = false;
+  bool saw_queue_wait = false;
+  bool saw_compile = false;
+  int step_spans = 0;
+  int morsel_spans = 0;
+  std::set<uint32_t> threads;
+  for (const obs::TraceEvent& e : events) {
+    if (e.span_id != 0) by_span[e.span_id] = &e;
+    const std::string name = e.name;
+    if (name == "query" && e.phase == obs::TraceEvent::Phase::kSpan) root = &e;
+    if (name == "execute") execute = &e;
+    if (name == "admit") saw_admit = true;
+    if (name == "queue.wait") saw_queue_wait = true;
+    if (name == "compile") saw_compile = true;
+    if (std::string(e.category) == "step") ++step_spans;
+    if (std::string(e.category) == "morsel") {
+      ++morsel_spans;
+      threads.insert(e.thread_id);
+    }
+  }
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(execute, nullptr);
+  EXPECT_TRUE(saw_admit);
+  EXPECT_TRUE(saw_queue_wait);
+  EXPECT_TRUE(saw_compile);
+  EXPECT_GT(step_spans, 0);
+  EXPECT_GT(morsel_spans, 0);
+  EXPECT_EQ(execute->parent_id, root->span_id);
+
+  // Every span of this query is contained in the root query span's interval
+  // and correctly parented: walking parent links reaches the root, and each
+  // child's interval sits inside its parent's (spans may have recorded on
+  // any of the 8 workers — containment must hold across threads).
+  const uint64_t qid = root->query_id;
+  EXPECT_GT(qid, 0u);
+  int checked = 0;
+  for (const obs::TraceEvent& e : events) {
+    if (e.phase != obs::TraceEvent::Phase::kSpan) continue;
+    if (e.query_id != qid || &e == root) continue;
+    if (std::string(e.name) == "queue.wait") continue;  // pre-pickup, backdated
+    EXPECT_GE(e.ts_nanos, root->ts_nanos) << e.name;
+    EXPECT_LE(e.ts_nanos + e.dur_nanos, root->ts_nanos + root->dur_nanos)
+        << e.name;
+    // Parent chain terminates at the root query span.
+    const obs::TraceEvent* cur = &e;
+    int hops = 0;
+    while (cur->parent_id != 0 && hops < 64) {
+      auto it = by_span.find(cur->parent_id);
+      ASSERT_NE(it, by_span.end()) << e.name << ": dangling parent";
+      EXPECT_GE(cur->ts_nanos, it->second->ts_nanos) << e.name;
+      EXPECT_LE(cur->ts_nanos + cur->dur_nanos,
+                it->second->ts_nanos + it->second->dur_nanos)
+          << e.name << " inside " << it->second->name;
+      cur = it->second;
+      ++hops;
+    }
+    EXPECT_EQ(cur, root) << e.name << ": parent chain missed the root";
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+
+  // Morsel work fanned out across workers (8 threads, SF 0.01 Q1 has many
+  // morsels; at least two distinct threads must have recorded).
+  EXPECT_GE(threads.size(), 2u);
+
+  // The execute span covers at least 95% of the measured exec wall.
+  EXPECT_GE(static_cast<double>(execute->dur_nanos),
+            0.95 * static_cast<double>(outcome.stats.exec_nanos));
+}
+
+TEST_F(ObsTpchTest, TracingOnOffBitIdentical) {
+  QueryCompiler compiler;
+  for (const int q : {1, 3, 6, 10}) {
+    const std::string sql = tpch::QueryText(q).ValueOrDie();
+    CompileOptions options;
+    options.target = ExecutorTarget::kPipelined;
+    auto compiled_or = compiler.CompileSql(sql, *catalog_, options);
+    ASSERT_TRUE(compiled_or.ok()) << compiled_or.status().ToString();
+    const CompiledQuery& query = compiled_or.ValueOrDie();
+    auto want_or = query.Run(*catalog_);
+    ASSERT_TRUE(want_or.ok()) << want_or.status().ToString();
+    obs::TraceSession session;
+    Result<Table> got_or = Status::Internal("unset");
+    {
+      obs::TraceContext ctx(&session, session.NextQueryId());
+      obs::TraceSpan root("query", "query");
+      got_or = query.Run(*catalog_);
+    }
+    ASSERT_TRUE(got_or.ok()) << got_or.status().ToString();
+    ExpectTablesIdentical(got_or.ValueOrDie(), want_or.ValueOrDie(),
+                          "traced Q" + std::to_string(q));
+    EXPECT_GT(session.num_events(), 0u);
+  }
+}
+
+TEST_F(ObsTpchTest, ExplainAnalyzeStepSumTracksWall) {
+  CompileOptions options;
+  options.target = ExecutorTarget::kPipelined;
+  options.pipeline_overlap = false;
+  options.num_threads = 1;  // serial schedule walk: spans tile the wall
+  auto result_or =
+      obs::ExplainAnalyze(tpch::QueryText(1).ValueOrDie(), *catalog_, options);
+  ASSERT_TRUE(result_or.ok()) << result_or.status().ToString();
+  const obs::ExplainAnalyzeResult& result = result_or.ValueOrDie();
+  EXPECT_GT(result.wall_nanos, 0);
+  EXPECT_GT(result.result_rows, 0);
+  EXPECT_NE(result.text.find("EXPLAIN ANALYZE"), std::string::npos);
+  EXPECT_NE(result.text.find("pipeline"), std::string::npos);
+  const double ratio = static_cast<double>(result.step_nanos) /
+                       static_cast<double>(result.wall_nanos);
+  EXPECT_GT(ratio, 0.6) << result.text;
+  EXPECT_LT(ratio, 1.15) << result.text;
+}
+
+TEST_F(ObsTpchTest, SchedulerPublishesQueryMetrics) {
+  auto* registry = obs::MetricsRegistry::Global();
+  obs::Counter* admitted =
+      registry->GetCounter("tqp_queries_admitted_total", "");
+  obs::Counter* completed =
+      registry->GetCounter("tqp_queries_completed_total", "");
+  obs::Histogram* latency = registry->GetHistogram(
+      "tqp_query_latency_seconds", "", obs::Histogram::LatencyBounds());
+  ASSERT_NE(admitted, nullptr);
+  ASSERT_NE(completed, nullptr);
+  ASSERT_NE(latency, nullptr);
+  const int64_t admitted_before = admitted->value();
+  const int64_t completed_before = completed->value();
+  const int64_t latency_before = latency->count();
+
+  runtime::SchedulerOptions options;
+  runtime::QueryScheduler scheduler(catalog_, options);
+  const std::string sql = tpch::QueryText(6).ValueOrDie();
+  for (int i = 0; i < 3; ++i) {
+    auto future_or = scheduler.Submit(sql);
+    ASSERT_TRUE(future_or.ok());
+    runtime::QueryOutcome outcome = future_or.ValueOrDie().get();
+    ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  }
+  EXPECT_EQ(admitted->value() - admitted_before, 3);
+  EXPECT_EQ(completed->value() - completed_before, 3);
+  EXPECT_EQ(latency->count() - latency_before, 3);
+  EXPECT_GT(latency->Percentile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace tqp
