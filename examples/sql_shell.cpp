@@ -28,6 +28,14 @@
 //   \fusion on|off                  pipelined/static backends: single-pass
 //                                   fused expression execution (ExprProgram
 //                                   compiler + vectorized morsel interpreter)
+//   \expr default|interp|simd       pipelined/static backends: execution tier
+//                                   for fused ExprPrograms — the vectorized
+//                                   interpreter or the CPUID-dispatched SIMD
+//                                   kernels (default resolves from
+//                                   TQP_EXPR_BACKEND; results bit-identical)
+//   \adaptive on|off                pipelined backend: adapt morsel size
+//                                   toward a target per-morsel service time
+//                                   (bounded; results bit-identical)
 //   \explain pipelines <sql>        print the pipeline step DAG for <sql>
 //                                   (steps, dependency edges, release sets),
 //                                   then run it once and show each
@@ -86,6 +94,9 @@ struct ShellState {
   int num_threads = 0;      // parallel backend: 0 = process-wide pool
   int64_t morsel_rows = 0;  // parallel backend: 0 = default morsel size
   bool expr_fusion = true;  // pipelined/static: fused expression execution
+  // pipelined/static: expression tier (kDefault -> TQP_EXPR_BACKEND).
+  ExprBackend expr_backend = ExprBackend::kDefault;
+  bool adaptive_morsels = false;  // pipelined: service-time morsel sizing
   int64_t budget_mb = 0;    // per-query memory budget (0 = env default)
   // Session-cumulative spill totals (across every query run so far).
   int64_t spilled_bytes_total = 0;
@@ -136,6 +147,8 @@ void RunSql(const std::string& sql, const Catalog& catalog, ShellState* state) {
     options.num_threads = state->num_threads;
     options.morsel_rows = state->morsel_rows;
     options.expr_fusion = state->expr_fusion;
+    options.expr_backend = state->expr_backend;
+    options.adaptive_morsels = state->adaptive_morsels;
     options.memory_budget_bytes = state->budget_mb << 20;
     watch.Reset();
     auto compiled_or = compiler.CompileSql(sql, catalog, options);
@@ -220,6 +233,8 @@ void ExplainPipelines(const std::string& sql, const Catalog& catalog,
   options.num_threads = state.num_threads;
   options.morsel_rows = state.morsel_rows;
   options.expr_fusion = state.expr_fusion;
+  options.expr_backend = state.expr_backend;
+  options.adaptive_morsels = state.adaptive_morsels;
   auto compiled_or = compiler.CompileSql(sql, catalog, options);
   if (!compiled_or.ok()) {
     std::printf("error: %s\n", compiled_or.status().ToString().c_str());
@@ -261,6 +276,8 @@ CompileOptions OptionsFromState(const ShellState& state) {
   options.num_threads = state.num_threads;
   options.morsel_rows = state.morsel_rows;
   options.expr_fusion = state.expr_fusion;
+  options.expr_backend = state.expr_backend;
+  options.adaptive_morsels = state.adaptive_morsels;
   options.memory_budget_bytes = state.budget_mb << 20;
   return options;
 }
@@ -532,6 +549,29 @@ int main(int argc, char** argv) {
         std::printf("expression fusion %s\n", f.c_str());
       } else {
         std::printf("usage: \\fusion on|off\n");
+      }
+      continue;
+    }
+    if (line.rfind("\\expr ", 0) == 0) {
+      const std::string b = line.substr(6);
+      if (b == "default") state.expr_backend = ExprBackend::kDefault;
+      else if (b == "interp") state.expr_backend = ExprBackend::kInterp;
+      else if (b == "simd") state.expr_backend = ExprBackend::kSimd;
+      else {
+        std::printf("usage: \\expr default|interp|simd\n");
+        continue;
+      }
+      std::printf("expression backend = %s (resolves to %s)\n", b.c_str(),
+                  ExprBackendName(ResolveExprBackend(state.expr_backend)));
+      continue;
+    }
+    if (line.rfind("\\adaptive ", 0) == 0) {
+      const std::string a = line.substr(10);
+      if (a == "on" || a == "off") {
+        state.adaptive_morsels = a == "on";
+        std::printf("adaptive morsel sizing %s\n", a.c_str());
+      } else {
+        std::printf("usage: \\adaptive on|off\n");
       }
       continue;
     }

@@ -33,6 +33,11 @@ struct CompileOptions {
   bool pipeline_overlap = true;
   /// See ExecOptions::expr_fusion (single-pass fused expression execution).
   bool expr_fusion = true;
+  /// See ExecOptions::expr_backend (interp vs SIMD expression tier; kDefault
+  /// resolves from TQP_EXPR_BACKEND).
+  ExprBackend expr_backend = ExprBackend::kDefault;
+  /// See ExecOptions::adaptive_morsels (service-time-driven morsel sizing).
+  bool adaptive_morsels = false;
   /// See ExecOptions::step_scheduler — priority-aware step dispatch (not
   /// owned). Set by the QueryScheduler so steps of concurrent queries
   /// interleave by QueryPriority class.

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "compile/expr_simd.h"
 #include "kernels/elementwise.h"
 #include "kernels/kernel_types.h"
 
@@ -644,7 +645,11 @@ ExprFusionPlan BuildExprFusionPlan(const TensorProgram& program,
     if (compiled == nullptr) return;
     plan.run_start[run_begin] = static_cast<int>(plan.runs.size());
     plan.num_fused_nodes += compiled->num_nodes();
-    plan.runs.push_back({std::move(compiled), run_begin, end_idx});
+    auto simd =
+        std::make_shared<const ExprSimdPlan>(BuildExprSimdPlan(*compiled));
+    plan.runs.push_back({std::move(compiled), std::move(simd),
+                         std::make_shared<ExprRunExecStats>(), run_begin,
+                         end_idx});
   };
 
   for (size_t idx = 0; idx < nodes.size(); ++idx) {

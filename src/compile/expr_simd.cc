@@ -1,0 +1,117 @@
+#include "compile/expr_simd.h"
+
+#include "kernels/simd_exec.h"
+
+namespace tqp {
+
+namespace {
+
+/// True when `p`'s destination is a pure temp (slot-backed, not a run
+/// output) consumed exactly once in the whole program — by `q`, as exactly
+/// one of its two value operands. Skipping the temp's write is then safe:
+/// nothing else ever reads (or aliases) it.
+bool TempFeedsNext(const ExprProgram& program, const std::vector<int>& uses,
+                   const ExprInstr& p, const ExprInstr& q) {
+  const ExprReg& dreg = program.regs()[static_cast<size_t>(p.dst)];
+  if (dreg.slot < 0 || dreg.output >= 0) return false;
+  if (uses[static_cast<size_t>(p.dst)] != 1) return false;
+  const bool left = q.a == p.dst;
+  const bool right = q.b == p.dst;
+  if (left == right) return false;  // not consumed here, or used twice
+  if (q.c == p.dst) return false;
+  // Same lane domain: the fused kernel runs one loop over one length.
+  return p.dom >= 0 && p.dom == q.dom;
+}
+
+}  // namespace
+
+const char* ExprSimdStepKindName(ExprSimdStepKind kind) {
+  switch (kind) {
+    case ExprSimdStepKind::kInterp:
+      return "interp";
+    case ExprSimdStepKind::kBinBin:
+      return "binbin";
+    case ExprSimdStepKind::kCmpAnd:
+      return "cmpand";
+    case ExprSimdStepKind::kCastCmp:
+      return "castcmp";
+    case ExprSimdStepKind::kSelVec:
+      return "selvec";
+  }
+  return "?";
+}
+
+std::string ExprSimdPlan::Summary() const {
+  std::string out = "simd ";
+  out += std::to_string(num_covered);
+  out += '/';
+  out += std::to_string(num_covered + num_interp);
+  out += " instrs";
+  if (num_pairs > 0) {
+    out += " (";
+    out += std::to_string(num_pairs);
+    out += num_pairs == 1 ? " fused pair)" : " fused pairs)";
+  }
+  return out;
+}
+
+ExprSimdPlan BuildExprSimdPlan(const ExprProgram& program) {
+  const std::vector<ExprInstr>& instrs = program.instrs();
+  ExprSimdPlan plan;
+  plan.steps.assign(instrs.size(), ExprSimdStep{});
+
+  // Consumption counts per register across the whole program: a pair's temp
+  // must have exactly one consumer.
+  std::vector<int> uses(program.regs().size(), 0);
+  for (const ExprInstr& instr : instrs) {
+    for (int op : {instr.a, instr.b, instr.c}) {
+      if (op >= 0) ++uses[static_cast<size_t>(op)];
+    }
+  }
+
+  for (size_t i = 0; i < instrs.size(); ++i) {
+    const ExprInstr& p = instrs[i];
+    ExprSimdStep& step = plan.steps[i];
+
+    if (p.code == ExprOpCode::kSelVec) {
+      step.kind = ExprSimdStepKind::kSelVec;
+      ++plan.num_covered;
+      continue;
+    }
+
+    if (i + 1 < instrs.size()) {
+      const ExprInstr& q = instrs[i + 1];
+      ExprSimdStepKind kind = ExprSimdStepKind::kInterp;
+      if (p.code == ExprOpCode::kBinary && q.code == ExprOpCode::kBinary &&
+          p.dtype == q.dtype &&
+          kernels::simd::SupportsBinBin(p.dtype,
+                                        static_cast<BinaryOpKind>(p.kind),
+                                        static_cast<BinaryOpKind>(q.kind))) {
+        kind = ExprSimdStepKind::kBinBin;
+      } else if (p.code == ExprOpCode::kCompare &&
+                 q.code == ExprOpCode::kLogical &&
+                 static_cast<LogicalOpKind>(q.kind) == LogicalOpKind::kAnd &&
+                 kernels::simd::SupportsCmpAnd(p.in_dtype)) {
+        kind = ExprSimdStepKind::kCmpAnd;
+      } else if (p.code == ExprOpCode::kCast &&
+                 q.code == ExprOpCode::kCompare && q.in_dtype == p.dtype &&
+                 kernels::simd::SupportsCastCmp(p.in_dtype, p.dtype)) {
+        kind = ExprSimdStepKind::kCastCmp;
+      }
+      if (kind != ExprSimdStepKind::kInterp &&
+          TempFeedsNext(program, uses, p, q)) {
+        step.kind = kind;
+        step.t_left = q.a == p.dst;
+        ++plan.num_pairs;
+        plan.num_covered += 2;
+        ++i;  // the consumer executes inside the fused kernel
+        continue;
+      }
+    }
+
+    ++plan.num_interp;
+  }
+  return plan;
+}
+
+}  // namespace tqp

@@ -1,0 +1,64 @@
+#ifndef TQP_COMPILE_EXPR_SIMD_H_
+#define TQP_COMPILE_EXPR_SIMD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compile/expr_program.h"
+
+namespace tqp {
+
+/// SIMD coverage analysis for a compiled ExprProgram: the compile-time half
+/// of the kSimd execution tier. The planner walks the instruction sequence
+/// once and marks which positions the fused vector kernels
+/// (kernels/simd_exec.h) will execute — instruction *pairs* collapsed into
+/// one kernel invocation (the temp register is never materialized) and
+/// selection-vector compresses — leaving everything else to the interpreter,
+/// instruction by instruction. Marking consults the kernel tier's support
+/// predicates, so a planned step never falls back at run time; the plan is
+/// immutable and shared by every worker slot, and the register program
+/// itself is untouched (the interpreter remains a complete executor for the
+/// same program — that is the whole fallback story).
+
+/// \brief How one instruction position executes under the kSimd backend.
+enum class ExprSimdStepKind : int8_t {
+  kInterp = 0,  // this instruction runs through the interpreter
+  kBinBin,      // kBinary feeding kBinary: dst = (a op b) op' c, one kernel
+  kCmpAnd,      // kCompare feeding kLogical-kAnd: mask = (a cmp b) && c
+  kCastCmp,     // kCast feeding kCompare: mask = cast(a) cmp b
+  kSelVec,      // single kSelVec executed as a vectorized compress
+};
+
+const char* ExprSimdStepKindName(ExprSimdStepKind kind);
+
+/// \brief Per-instruction step. Pairs are marked on their *first*
+/// instruction; the second is skipped by the executor. `t_left` records
+/// whether the pair's temp feeds the consumer's left operand (order matters
+/// for kSub and the comparisons).
+struct ExprSimdStep {
+  ExprSimdStepKind kind = ExprSimdStepKind::kInterp;
+  bool t_left = false;
+};
+
+/// \brief SIMD coverage of one ExprProgram (steps.size() ==
+/// program.instrs().size()).
+struct ExprSimdPlan {
+  std::vector<ExprSimdStep> steps;
+  int num_pairs = 0;    // fused instruction pairs
+  int num_covered = 0;  // instructions executed by vector kernels
+  int num_interp = 0;   // instructions left to the interpreter
+
+  /// \brief One-line coverage summary for \explain pipelines.
+  std::string Summary() const;
+};
+
+/// \brief Analyzes `program` and returns its SIMD coverage plan. A pair is
+/// fused only when the producer's temp register is consumed exactly once —
+/// by the immediately following instruction, over the same lane domain — and
+/// the kernel tier supports the dtype/op shape.
+ExprSimdPlan BuildExprSimdPlan(const ExprProgram& program);
+
+}  // namespace tqp
+
+#endif  // TQP_COMPILE_EXPR_SIMD_H_

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <string>
 
+#include "kernels/lane_ops.h"
+
 namespace tqp::kernels {
 
 namespace {
@@ -49,72 +51,21 @@ void BinaryLoop(const Tensor& a, const Tensor& b, Tensor* out, F f) {
   }
 }
 
+// Per-lane arithmetic comes from kernels/lane_ops.h — the one definition
+// shared with the fused interpreter and the SIMD tier — so this file only
+// owns the broadcasting loop shape.
 template <typename T>
 Status BinaryOpTyped(BinaryOpKind op, const Tensor& a, const Tensor& b,
                      Tensor* out) {
-  switch (op) {
-    case BinaryOpKind::kAdd:
-      BinaryLoop<T, T>(a, b, out, [](T x, T y) { return static_cast<T>(x + y); });
-      return Status::OK();
-    case BinaryOpKind::kSub:
-      BinaryLoop<T, T>(a, b, out, [](T x, T y) { return static_cast<T>(x - y); });
-      return Status::OK();
-    case BinaryOpKind::kMul:
-      BinaryLoop<T, T>(a, b, out, [](T x, T y) { return static_cast<T>(x * y); });
-      return Status::OK();
-    case BinaryOpKind::kDiv:
-      if constexpr (std::is_integral_v<T>) {
-        BinaryLoop<T, T>(a, b, out,
-                         [](T x, T y) { return y == 0 ? T{0} : static_cast<T>(x / y); });
-      } else {
-        BinaryLoop<T, T>(a, b, out, [](T x, T y) { return static_cast<T>(x / y); });
-      }
-      return Status::OK();
-    case BinaryOpKind::kMod:
-      if constexpr (std::is_integral_v<T>) {
-        BinaryLoop<T, T>(a, b, out,
-                         [](T x, T y) { return y == 0 ? T{0} : static_cast<T>(x % y); });
-      } else {
-        BinaryLoop<T, T>(a, b, out, [](T x, T y) {
-          return static_cast<T>(std::fmod(static_cast<double>(x),
-                                          static_cast<double>(y)));
-        });
-      }
-      return Status::OK();
-    case BinaryOpKind::kMin:
-      BinaryLoop<T, T>(a, b, out, [](T x, T y) { return x < y ? x : y; });
-      return Status::OK();
-    case BinaryOpKind::kMax:
-      BinaryLoop<T, T>(a, b, out, [](T x, T y) { return x > y ? x : y; });
-      return Status::OK();
-  }
-  return Status::Internal("unknown binary op");
+  return lane::WithBinaryLane<T>(
+      op, [&](auto f) { BinaryLoop<T, T>(a, b, out, f); });
 }
 
 template <typename T>
 Status CompareTyped(CompareOpKind op, const Tensor& a, const Tensor& b,
                     Tensor* out) {
-  switch (op) {
-    case CompareOpKind::kEq:
-      BinaryLoop<T, bool>(a, b, out, [](T x, T y) { return x == y; });
-      return Status::OK();
-    case CompareOpKind::kNe:
-      BinaryLoop<T, bool>(a, b, out, [](T x, T y) { return x != y; });
-      return Status::OK();
-    case CompareOpKind::kLt:
-      BinaryLoop<T, bool>(a, b, out, [](T x, T y) { return x < y; });
-      return Status::OK();
-    case CompareOpKind::kLe:
-      BinaryLoop<T, bool>(a, b, out, [](T x, T y) { return x <= y; });
-      return Status::OK();
-    case CompareOpKind::kGt:
-      BinaryLoop<T, bool>(a, b, out, [](T x, T y) { return x > y; });
-      return Status::OK();
-    case CompareOpKind::kGe:
-      BinaryLoop<T, bool>(a, b, out, [](T x, T y) { return x >= y; });
-      return Status::OK();
-  }
-  return Status::Internal("unknown compare op");
+  return lane::WithCompareLane<T>(
+      op, [&](auto f) { BinaryLoop<T, bool>(a, b, out, f); });
 }
 
 template <typename From, typename To>
@@ -122,18 +73,15 @@ void CastLoop(const Tensor& a, Tensor* out) {
   const From* pa = a.data<From>();
   To* po = out->mutable_data<To>();
   const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = static_cast<To>(pa[i]);
+  for (int64_t i = 0; i < n; ++i) po[i] = lane::CastLane<From, To>(pa[i]);
 }
 
 template <typename From>
 Status CastFrom(const Tensor& a, DType to, Tensor* out) {
   switch (to) {
-    case DType::kBool: {
-      const From* pa = a.data<From>();
-      bool* po = out->mutable_data<bool>();
-      for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] != From{};
+    case DType::kBool:
+      CastLoop<From, bool>(a, out);
       return Status::OK();
-    }
     case DType::kUInt8:
       CastLoop<From, uint8_t>(a, out);
       return Status::OK();
@@ -247,17 +195,8 @@ Result<Tensor> Logical(LogicalOpKind op, const Tensor& a, const Tensor& b) {
   TQP_RETURN_NOT_OK(BroadcastShape(a, b, &rows, &cols));
   TQP_ASSIGN_OR_RETURN(Tensor out,
                        Tensor::Empty(DType::kBool, rows, cols, a.device()));
-  switch (op) {
-    case LogicalOpKind::kAnd:
-      BinaryLoop<bool, bool>(a, b, &out, [](bool x, bool y) { return x && y; });
-      break;
-    case LogicalOpKind::kOr:
-      BinaryLoop<bool, bool>(a, b, &out, [](bool x, bool y) { return x || y; });
-      break;
-    case LogicalOpKind::kXor:
-      BinaryLoop<bool, bool>(a, b, &out, [](bool x, bool y) { return x != y; });
-      break;
-  }
+  TQP_RETURN_NOT_OK(lane::WithLogicalLane(
+      op, [&](auto f) { BinaryLoop<bool, bool>(a, b, &out, f); }));
   return out;
 }
 
@@ -268,7 +207,7 @@ Result<Tensor> Unary(UnaryOpKind op, const Tensor& a) {
                          Tensor::Empty(DType::kBool, a.rows(), a.cols(), a.device()));
     const bool* pa = a.data<bool>();
     bool* po = out.mutable_data<bool>();
-    for (int64_t i = 0; i < a.numel(); ++i) po[i] = !pa[i];
+    for (int64_t i = 0; i < a.numel(); ++i) po[i] = lane::NotLane(pa[i]);
     return out;
   }
   // Transcendental ops evaluate in float64; Neg/Abs preserve numeric dtype.
@@ -282,66 +221,32 @@ Result<Tensor> Unary(UnaryOpKind op, const Tensor& a) {
   }
   TQP_ASSIGN_OR_RETURN(Tensor ca, Cast(a, dt));
   TQP_ASSIGN_OR_RETURN(Tensor out, Tensor::Empty(dt, a.rows(), a.cols(), a.device()));
-  auto apply = [&](auto f) -> Status {
-    switch (dt) {
-      case DType::kInt32: {
-        const int32_t* p = ca.data<int32_t>();
-        int32_t* o = out.mutable_data<int32_t>();
-        for (int64_t i = 0; i < ca.numel(); ++i)
-          o[i] = static_cast<int32_t>(f(static_cast<double>(p[i])));
-        return Status::OK();
-      }
-      case DType::kInt64: {
-        const int64_t* p = ca.data<int64_t>();
-        int64_t* o = out.mutable_data<int64_t>();
-        for (int64_t i = 0; i < ca.numel(); ++i)
-          o[i] = static_cast<int64_t>(f(static_cast<double>(p[i])));
-        return Status::OK();
-      }
-      case DType::kFloat32: {
-        const float* p = ca.data<float>();
-        float* o = out.mutable_data<float>();
-        for (int64_t i = 0; i < ca.numel(); ++i)
-          o[i] = static_cast<float>(f(static_cast<double>(p[i])));
-        return Status::OK();
-      }
-      case DType::kFloat64: {
-        const double* p = ca.data<double>();
-        double* o = out.mutable_data<double>();
-        for (int64_t i = 0; i < ca.numel(); ++i) o[i] = f(p[i]);
-        return Status::OK();
-      }
-      default:
-        return Status::TypeError("Unary: unsupported dtype");
-    }
+  // WithUnaryLane hands back the lane functor already composed with the
+  // evaluate-through-double-and-narrow rule.
+  const auto run = [&](auto tag) -> Status {
+    using T = decltype(tag);
+    const T* p = ca.data<T>();
+    T* o = out.mutable_data<T>();
+    const int64_t n = ca.numel();
+    return lane::WithUnaryLane<T>(op, [&](auto f) {
+      for (int64_t i = 0; i < n; ++i) o[i] = f(p[i]);
+    });
   };
-  switch (op) {
-    case UnaryOpKind::kNeg:
-      TQP_RETURN_NOT_OK(apply([](double x) { return -x; }));
+  switch (dt) {
+    case DType::kInt32:
+      TQP_RETURN_NOT_OK(run(int32_t{}));
       break;
-    case UnaryOpKind::kAbs:
-      TQP_RETURN_NOT_OK(apply([](double x) { return std::abs(x); }));
+    case DType::kInt64:
+      TQP_RETURN_NOT_OK(run(int64_t{}));
       break;
-    case UnaryOpKind::kExp:
-      TQP_RETURN_NOT_OK(apply([](double x) { return std::exp(x); }));
+    case DType::kFloat32:
+      TQP_RETURN_NOT_OK(run(float{}));
       break;
-    case UnaryOpKind::kLog:
-      TQP_RETURN_NOT_OK(apply([](double x) { return std::log(x); }));
+    case DType::kFloat64:
+      TQP_RETURN_NOT_OK(run(double{}));
       break;
-    case UnaryOpKind::kSqrt:
-      TQP_RETURN_NOT_OK(apply([](double x) { return std::sqrt(x); }));
-      break;
-    case UnaryOpKind::kSigmoid:
-      TQP_RETURN_NOT_OK(apply([](double x) { return 1.0 / (1.0 + std::exp(-x)); }));
-      break;
-    case UnaryOpKind::kTanh:
-      TQP_RETURN_NOT_OK(apply([](double x) { return std::tanh(x); }));
-      break;
-    case UnaryOpKind::kRelu:
-      TQP_RETURN_NOT_OK(apply([](double x) { return x > 0 ? x : 0; }));
-      break;
-    case UnaryOpKind::kNot:
-      return Status::Internal("unreachable");
+    default:
+      return Status::TypeError("Unary: unsupported dtype");
   }
   return out;
 }
@@ -350,33 +255,11 @@ Result<Tensor> Cast(const Tensor& a, DType to) {
   if (a.dtype() == to) return a;
   TQP_ASSIGN_OR_RETURN(Tensor out, Tensor::Empty(to, a.rows(), a.cols(), a.device()));
   switch (a.dtype()) {
-    case DType::kBool: {
-      // bool -> numeric: via uint8 view semantics (false=0, true=1).
-      const bool* pa = a.data<bool>();
-      for (int64_t i = 0; i < a.numel(); ++i) {
-        const uint8_t v = pa[i] ? 1 : 0;
-        switch (to) {
-          case DType::kUInt8:
-            out.mutable_data<uint8_t>()[i] = v;
-            break;
-          case DType::kInt32:
-            out.mutable_data<int32_t>()[i] = v;
-            break;
-          case DType::kInt64:
-            out.mutable_data<int64_t>()[i] = v;
-            break;
-          case DType::kFloat32:
-            out.mutable_data<float>()[i] = v;
-            break;
-          case DType::kFloat64:
-            out.mutable_data<double>()[i] = v;
-            break;
-          case DType::kBool:
-            break;
-        }
-      }
+    case DType::kBool:
+      // bool -> numeric: via uint8 view semantics (false=0, true=1),
+      // encoded in lane::CastLane.
+      TQP_RETURN_NOT_OK(CastFrom<bool>(a, to, &out));
       return out;
-    }
     case DType::kUInt8:
       TQP_RETURN_NOT_OK(CastFrom<uint8_t>(a, to, &out));
       return out;

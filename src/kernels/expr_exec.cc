@@ -6,6 +6,8 @@
 #include <type_traits>
 
 #include "kernels/kernel_types.h"
+#include "kernels/lane_ops.h"
+#include "kernels/simd_exec.h"
 #include "tensor/buffer_pool.h"
 
 namespace tqp::kernels {
@@ -41,9 +43,10 @@ void ExprScratch::Release() {
 
 namespace {
 
-// The loop shapes below mirror kernels/elementwise.cc lane for lane: same
-// promotion-cast inputs, same per-lane expressions, same libm calls — the
-// fused result must be bit-identical to node-at-a-time evaluation.
+// Per-lane arithmetic comes from kernels/lane_ops.h — the one definition
+// shared with kernels/elementwise.cc and the SIMD tier — so the fused
+// result is bit-identical to node-at-a-time evaluation by construction;
+// this file only owns the scalar-broadcast loop forms.
 
 template <typename T, typename Out, typename F>
 inline void LoopVV(const T* a, const T* b, Out* o, int64_t n, F f) {
@@ -79,89 +82,21 @@ inline void BinForm(const T* a, bool as, const T* b, bool bs, Out* o,
 template <typename T>
 Status BinaryExec(BinaryOpKind op, const T* a, bool as, const T* b, bool bs,
                   T* o, int64_t n) {
-  switch (op) {
-    case BinaryOpKind::kAdd:
-      BinForm(a, as, b, bs, o, n,
-              [](T x, T y) { return static_cast<T>(x + y); });
-      return Status::OK();
-    case BinaryOpKind::kSub:
-      BinForm(a, as, b, bs, o, n,
-              [](T x, T y) { return static_cast<T>(x - y); });
-      return Status::OK();
-    case BinaryOpKind::kMul:
-      BinForm(a, as, b, bs, o, n,
-              [](T x, T y) { return static_cast<T>(x * y); });
-      return Status::OK();
-    case BinaryOpKind::kDiv:
-      if constexpr (std::is_integral_v<T>) {
-        BinForm(a, as, b, bs, o, n,
-                [](T x, T y) { return y == 0 ? T{0} : static_cast<T>(x / y); });
-      } else {
-        BinForm(a, as, b, bs, o, n,
-                [](T x, T y) { return static_cast<T>(x / y); });
-      }
-      return Status::OK();
-    case BinaryOpKind::kMod:
-      if constexpr (std::is_integral_v<T>) {
-        BinForm(a, as, b, bs, o, n,
-                [](T x, T y) { return y == 0 ? T{0} : static_cast<T>(x % y); });
-      } else {
-        BinForm(a, as, b, bs, o, n, [](T x, T y) {
-          return static_cast<T>(
-              std::fmod(static_cast<double>(x), static_cast<double>(y)));
-        });
-      }
-      return Status::OK();
-    case BinaryOpKind::kMin:
-      BinForm(a, as, b, bs, o, n, [](T x, T y) { return x < y ? x : y; });
-      return Status::OK();
-    case BinaryOpKind::kMax:
-      BinForm(a, as, b, bs, o, n, [](T x, T y) { return x > y ? x : y; });
-      return Status::OK();
-  }
-  return Status::Internal("expr exec: unknown binary op");
+  return lane::WithBinaryLane<T>(
+      op, [&](auto f) { BinForm(a, as, b, bs, o, n, f); });
 }
 
 template <typename T>
 Status CompareExec(CompareOpKind op, const T* a, bool as, const T* b, bool bs,
                    bool* o, int64_t n) {
-  switch (op) {
-    case CompareOpKind::kEq:
-      BinForm(a, as, b, bs, o, n, [](T x, T y) { return x == y; });
-      return Status::OK();
-    case CompareOpKind::kNe:
-      BinForm(a, as, b, bs, o, n, [](T x, T y) { return x != y; });
-      return Status::OK();
-    case CompareOpKind::kLt:
-      BinForm(a, as, b, bs, o, n, [](T x, T y) { return x < y; });
-      return Status::OK();
-    case CompareOpKind::kLe:
-      BinForm(a, as, b, bs, o, n, [](T x, T y) { return x <= y; });
-      return Status::OK();
-    case CompareOpKind::kGt:
-      BinForm(a, as, b, bs, o, n, [](T x, T y) { return x > y; });
-      return Status::OK();
-    case CompareOpKind::kGe:
-      BinForm(a, as, b, bs, o, n, [](T x, T y) { return x >= y; });
-      return Status::OK();
-  }
-  return Status::Internal("expr exec: unknown compare op");
+  return lane::WithCompareLane<T>(
+      op, [&](auto f) { BinForm(a, as, b, bs, o, n, f); });
 }
 
 Status LogicalExec(LogicalOpKind op, const bool* a, bool as, const bool* b,
                    bool bs, bool* o, int64_t n) {
-  switch (op) {
-    case LogicalOpKind::kAnd:
-      BinForm(a, as, b, bs, o, n, [](bool x, bool y) { return x && y; });
-      return Status::OK();
-    case LogicalOpKind::kOr:
-      BinForm(a, as, b, bs, o, n, [](bool x, bool y) { return x || y; });
-      return Status::OK();
-    case LogicalOpKind::kXor:
-      BinForm(a, as, b, bs, o, n, [](bool x, bool y) { return x != y; });
-      return Status::OK();
-  }
-  return Status::Internal("expr exec: unknown logical op");
+  return lane::WithLogicalLane(
+      op, [&](auto f) { BinForm(a, as, b, bs, o, n, f); });
 }
 
 template <typename T, typename F>
@@ -176,65 +111,17 @@ inline void UnForm(const T* a, bool as, T* o, int64_t n, F f) {
 
 template <typename T>
 Status UnaryExec(UnaryOpKind op, const T* a, bool as, T* o, int64_t n) {
-  // Elementwise.cc evaluates every non-Not unary through double and narrows
-  // back (float64 stays direct); reproduce that exactly.
-  const auto apply = [&](auto f) {
-    UnForm(a, as, o, n, [f](T x) {
-      if constexpr (std::is_same_v<T, double>) {
-        return f(x);
-      } else {
-        return static_cast<T>(f(static_cast<double>(x)));
-      }
-    });
-  };
-  switch (op) {
-    case UnaryOpKind::kNeg:
-      apply([](double x) { return -x; });
-      return Status::OK();
-    case UnaryOpKind::kAbs:
-      apply([](double x) { return std::abs(x); });
-      return Status::OK();
-    case UnaryOpKind::kExp:
-      apply([](double x) { return std::exp(x); });
-      return Status::OK();
-    case UnaryOpKind::kLog:
-      apply([](double x) { return std::log(x); });
-      return Status::OK();
-    case UnaryOpKind::kSqrt:
-      apply([](double x) { return std::sqrt(x); });
-      return Status::OK();
-    case UnaryOpKind::kSigmoid:
-      apply([](double x) { return 1.0 / (1.0 + std::exp(-x)); });
-      return Status::OK();
-    case UnaryOpKind::kTanh:
-      apply([](double x) { return std::tanh(x); });
-      return Status::OK();
-    case UnaryOpKind::kRelu:
-      apply([](double x) { return x > 0 ? x : 0; });
-      return Status::OK();
-    case UnaryOpKind::kNot:
-      return Status::Internal("expr exec: kNot dispatched as numeric unary");
-  }
-  return Status::Internal("expr exec: unknown unary op");
+  return lane::WithUnaryLane<T>(op,
+                                [&](auto f) { UnForm(a, as, o, n, f); });
 }
 
 template <typename From, typename To>
 void CastLanes(const From* a, bool as, To* o, int64_t n) {
-  const auto f = [](From x) {
-    if constexpr (std::is_same_v<From, bool>) {
-      const uint8_t v = x ? 1 : 0;  // bool -> numeric via 0/1 (elementwise.cc)
-      return static_cast<To>(v);
-    } else if constexpr (std::is_same_v<To, bool>) {
-      return x != From{};
-    } else {
-      return static_cast<To>(x);
-    }
-  };
   if (as) {
-    const To v = f(a[0]);
+    const To v = lane::CastLane<From, To>(a[0]);
     for (int64_t i = 0; i < n; ++i) o[i] = v;
   } else {
-    for (int64_t i = 0; i < n; ++i) o[i] = f(a[i]);
+    for (int64_t i = 0; i < n; ++i) o[i] = lane::CastLane<From, To>(a[i]);
   }
 }
 
@@ -314,7 +201,8 @@ Status GatherSelLanes(const int64_t* sel, int64_t k, const T* data,
 Status RunExprProgram(const ExprProgram& program,
                       const std::vector<Tensor>& sources, int64_t base_offset,
                       DeviceKind device, ExprScratch* scratch,
-                      std::vector<Tensor>* outputs) {
+                      std::vector<Tensor>* outputs, const ExprSimdPlan* simd,
+                      ExprRunStats* stats) {
   const std::vector<ExprReg>& regs = program.regs();
   if (sources.size() != program.source_nodes().size()) {
     return Status::Internal("expr exec: source arity mismatch");
@@ -379,29 +267,110 @@ Status RunExprProgram(const ExprProgram& program,
     if (reg.scalar) return true;
     return dom_len[static_cast<size_t>(reg.dom)] == n;
   };
+  // Destination bytes for one non-selection instruction: run outputs
+  // materialize as fresh tensors, temps draw their physical slot.
+  const auto alloc_dst = [&](const ExprInstr& ins, int64_t lanes,
+                             uint8_t** out) -> Status {
+    const ExprReg& dreg = regs[static_cast<size_t>(ins.dst)];
+    if (dreg.output >= 0) {
+      TQP_ASSIGN_OR_RETURN(Tensor t,
+                           Tensor::Empty(dreg.dtype, lanes, 1, device));
+      *out = static_cast<uint8_t*>(t.raw_mutable_data());
+      materialized[static_cast<size_t>(ins.dst)] = std::move(t);
+    } else {
+      *out = scratch->EnsureSlot(dreg.slot, lanes * DTypeSize(dreg.dtype));
+      if (*out == nullptr) {
+        return Status::OutOfMemory("expr exec: register slot allocation");
+      }
+    }
+    ptr[static_cast<size_t>(ins.dst)] = *out;
+    return Status::OK();
+  };
+  const auto operand_ref = [&](int r) {
+    return simd::LaneRef{ptr[static_cast<size_t>(r)],
+                         regs[static_cast<size_t>(r)].scalar};
+  };
 
-  for (const ExprInstr& instr : program.instrs()) {
+  const std::vector<ExprInstr>& instrs = program.instrs();
+  const bool with_simd = simd != nullptr && simd->steps.size() == instrs.size();
+  for (size_t ii = 0; ii < instrs.size(); ++ii) {
+    const ExprInstr& instr = instrs[ii];
     const int64_t n =
         instr.dom >= 0 ? dom_len[static_cast<size_t>(instr.dom)] : 1;
     if (n < 0) {
       return Status::Internal("expr exec: instruction over unbound domain");
     }
     const ExprReg& dreg = regs[static_cast<size_t>(instr.dst)];
+
+    if (with_simd) {
+      const ExprSimdStep& step = simd->steps[ii];
+      if (step.kind == ExprSimdStepKind::kSelVec) {
+        if (!check_lanes(instr.a, n)) {
+          return Status::Invalid("expr exec: operand rows diverge in fused run");
+        }
+        // One-pass compress wants the destination up front, so size it to
+        // the survivor upper bound (slots grow and never shrink; the lane
+        // count of the defined domain is what downstream reads).
+        uint8_t* block = scratch->EnsureSlot(dreg.slot, n * 8);
+        if (block == nullptr) {
+          return Status::OutOfMemory("expr exec: selection vector allocation");
+        }
+        ptr[static_cast<size_t>(instr.dst)] = block;
+        const int64_t k =
+            simd::SelVecCompress(ptr[static_cast<size_t>(instr.a)], n,
+                                 reinterpret_cast<int64_t*>(block));
+        dom_len[static_cast<size_t>(instr.out_dom)] = k;
+        if (stats != nullptr) ++stats->simd_instrs;
+        continue;
+      }
+      if (step.kind != ExprSimdStepKind::kInterp) {
+        // Fused pair: this instruction's temp never materializes; the
+        // consumer's destination is written directly by one vector kernel.
+        const ExprInstr& next = instrs[ii + 1];
+        for (int op : {instr.a, instr.b, next.a, next.b}) {
+          if (op >= 0 && !check_lanes(op, n)) {
+            return Status::Invalid(
+                "expr exec: operand rows diverge in fused run");
+          }
+        }
+        uint8_t* dq = nullptr;
+        TQP_RETURN_NOT_OK(alloc_dst(next, n, &dq));
+        const int other = step.t_left ? next.b : next.a;
+        switch (step.kind) {
+          case ExprSimdStepKind::kBinBin:
+            TQP_RETURN_NOT_OK(simd::FusedBinBin(
+                instr.dtype, static_cast<BinaryOpKind>(instr.kind),
+                static_cast<BinaryOpKind>(next.kind), step.t_left,
+                operand_ref(instr.a), operand_ref(instr.b),
+                operand_ref(other), dq, n));
+            break;
+          case ExprSimdStepKind::kCmpAnd:
+            TQP_RETURN_NOT_OK(simd::FusedCmpAnd(
+                instr.in_dtype, static_cast<CompareOpKind>(instr.kind),
+                operand_ref(instr.a), operand_ref(instr.b),
+                operand_ref(other), dq, n));
+            break;
+          case ExprSimdStepKind::kCastCmp:
+            TQP_RETURN_NOT_OK(simd::FusedCastCmp(
+                instr.in_dtype, instr.dtype,
+                static_cast<CompareOpKind>(next.kind), step.t_left,
+                operand_ref(instr.a), operand_ref(other), dq, n));
+            break;
+          default:
+            return Status::Internal("expr exec: malformed simd step");
+        }
+        if (stats != nullptr) stats->simd_instrs += 2;
+        ++ii;  // the consumer executed inside the fused kernel
+        continue;
+      }
+    }
+
     uint8_t* dst = nullptr;
     if (instr.code == ExprOpCode::kSelVec) {
       // Sized inside the case: the selection vector holds survivor lanes,
       // counted first exactly as kernels::Nonzero does.
-    } else if (dreg.output >= 0) {
-      TQP_ASSIGN_OR_RETURN(Tensor t, Tensor::Empty(dreg.dtype, n, 1, device));
-      dst = static_cast<uint8_t*>(t.raw_mutable_data());
-      materialized[static_cast<size_t>(instr.dst)] = std::move(t);
-      ptr[static_cast<size_t>(instr.dst)] = dst;
     } else {
-      dst = scratch->EnsureSlot(dreg.slot, n * DTypeSize(dreg.dtype));
-      if (dst == nullptr) {
-        return Status::OutOfMemory("expr exec: register slot allocation");
-      }
-      ptr[static_cast<size_t>(instr.dst)] = dst;
+      TQP_RETURN_NOT_OK(alloc_dst(instr, n, &dst));
     }
     // Positional lane semantics require equal lengths on every vector
     // operand (the kernels would raise a broadcast error here too).
@@ -497,7 +466,8 @@ Status RunExprProgram(const ExprProgram& program,
         const auto kind = static_cast<UnaryOpKind>(instr.kind);
         if (kind == UnaryOpKind::kNot) {
           UnForm(reinterpret_cast<const bool*>(pa), scalar_of(instr.a),
-                 reinterpret_cast<bool*>(dst), n, [](bool x) { return !x; });
+                 reinterpret_cast<bool*>(dst), n,
+                 [](bool x) { return lane::NotLane(x); });
           break;
         }
         const bool as = scalar_of(instr.a);
@@ -616,6 +586,7 @@ Status RunExprProgram(const ExprProgram& program,
         break;
       }
     }
+    if (stats != nullptr) ++stats->interp_instrs;
   }
 
   outputs->clear();

@@ -1,0 +1,133 @@
+#include "kernels/simd_exec.h"
+
+#include <atomic>
+
+#define TQP_SIMD_IMPL_NS portable_impl
+#include "kernels/simd_exec_impl.h"
+#undef TQP_SIMD_IMPL_NS
+
+// The AVX2 TU exists only on x86-64 builds that did not opt out; everywhere
+// else the portable implementation is the sole tier and ActiveLevel() can
+// never report kAvx2.
+#if defined(__x86_64__) && !defined(TQP_DISABLE_AVX2)
+#define TQP_HAVE_AVX2_TU 1
+#endif
+
+namespace tqp::kernels::simd {
+
+#ifdef TQP_HAVE_AVX2_TU
+// Defined in simd_exec_avx2.cc (compiled -mavx2; reached only behind the
+// CPUID check below).
+namespace avx2_impl {
+Status BinBinDispatch(DType dtype, BinaryOpKind op1, BinaryOpKind op2,
+                      bool t_left, LaneRef a, LaneRef b, LaneRef c,
+                      uint8_t* dst, int64_t n);
+Status CmpAndDispatch(DType in_dtype, CompareOpKind cmp, LaneRef a, LaneRef b,
+                      LaneRef c, uint8_t* dst, int64_t n);
+Status CastCmpDispatch(DType from, DType to, CompareOpKind cmp, bool t_left,
+                       LaneRef a, LaneRef b, uint8_t* dst, int64_t n);
+int64_t SelVecCompressImpl(const uint8_t* mask, int64_t n, int64_t* sel);
+}  // namespace avx2_impl
+#endif
+
+namespace {
+
+std::atomic<bool> g_force_scalar{false};
+
+SimdLevel DetectLevel() {
+#ifdef TQP_HAVE_AVX2_TU
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+SimdLevel ActiveLevel() {
+  static const SimdLevel detected = DetectLevel();
+  if (g_force_scalar.load(std::memory_order_relaxed)) {
+    return SimdLevel::kScalar;
+  }
+  return detected;
+}
+
+void ForceScalarForTesting(bool on) {
+  g_force_scalar.store(on, std::memory_order_relaxed);
+}
+
+Status FusedBinBin(DType dtype, BinaryOpKind op1, BinaryOpKind op2,
+                   bool t_left, LaneRef a, LaneRef b, LaneRef c, uint8_t* dst,
+                   int64_t n) {
+#ifdef TQP_HAVE_AVX2_TU
+  if (ActiveLevel() == SimdLevel::kAvx2) {
+    return avx2_impl::BinBinDispatch(dtype, op1, op2, t_left, a, b, c, dst, n);
+  }
+#endif
+  return portable_impl::BinBinDispatch(dtype, op1, op2, t_left, a, b, c, dst,
+                                       n);
+}
+
+bool SupportsBinBin(DType dtype, BinaryOpKind op1, BinaryOpKind op2) {
+  const auto op_ok = [](BinaryOpKind k) {
+    return k == BinaryOpKind::kAdd || k == BinaryOpKind::kSub ||
+           k == BinaryOpKind::kMul;
+  };
+  const bool dtype_ok = dtype == DType::kInt32 || dtype == DType::kInt64 ||
+                        dtype == DType::kFloat32 || dtype == DType::kFloat64;
+  return dtype_ok && op_ok(op1) && op_ok(op2);
+}
+
+Status FusedCmpAnd(DType in_dtype, CompareOpKind cmp, LaneRef a, LaneRef b,
+                   LaneRef c, uint8_t* dst, int64_t n) {
+#ifdef TQP_HAVE_AVX2_TU
+  if (ActiveLevel() == SimdLevel::kAvx2) {
+    return avx2_impl::CmpAndDispatch(in_dtype, cmp, a, b, c, dst, n);
+  }
+#endif
+  return portable_impl::CmpAndDispatch(in_dtype, cmp, a, b, c, dst, n);
+}
+
+bool SupportsCmpAnd(DType in_dtype) {
+  return in_dtype == DType::kUInt8 || in_dtype == DType::kInt32 ||
+         in_dtype == DType::kInt64 || in_dtype == DType::kFloat32 ||
+         in_dtype == DType::kFloat64;
+}
+
+Status FusedCastCmp(DType from, DType to, CompareOpKind cmp, bool t_left,
+                    LaneRef a, LaneRef b, uint8_t* dst, int64_t n) {
+#ifdef TQP_HAVE_AVX2_TU
+  if (ActiveLevel() == SimdLevel::kAvx2) {
+    return avx2_impl::CastCmpDispatch(from, to, cmp, t_left, a, b, dst, n);
+  }
+#endif
+  return portable_impl::CastCmpDispatch(from, to, cmp, t_left, a, b, dst, n);
+}
+
+bool SupportsCastCmp(DType from, DType to) {
+  const auto numeric = [](DType t) {
+    return t == DType::kInt32 || t == DType::kInt64 || t == DType::kFloat32 ||
+           t == DType::kFloat64;
+  };
+  return numeric(from) && numeric(to);
+}
+
+int64_t SelVecCompress(const uint8_t* mask, int64_t n, int64_t* sel) {
+#ifdef TQP_HAVE_AVX2_TU
+  if (ActiveLevel() == SimdLevel::kAvx2) {
+    return avx2_impl::SelVecCompressImpl(mask, n, sel);
+  }
+#endif
+  return portable_impl::SelVecCompressImpl(mask, n, sel);
+}
+
+}  // namespace tqp::kernels::simd

@@ -1,0 +1,186 @@
+// AVX2 implementations of the SIMD-tier fused kernels. This TU is compiled
+// -mavx2 (see CMakeLists: excluded entirely under TQP_DISABLE_AVX2 or on
+// non-x86 targets) and is reached only behind the CPUID check in
+// simd_exec.cc, so nothing here executes on hosts without AVX2.
+//
+// Hand-written intrinsics cover the hottest shapes the TPC-H traces show —
+// float64 arithmetic chains, float64 compare-and into masks, and the
+// selection-vector compress; every other shape runs the generic loops of
+// simd_exec_impl.h recompiled here at the AVX2 ISA level. No FMA anywhere
+// (-mavx2 does not enable it, -ffp-contract=off forbids contraction): a
+// vector add/sub/mul is IEEE-identical per lane to the scalar interpreter.
+
+#include "kernels/simd_exec.h"
+
+#if defined(__x86_64__) && !defined(TQP_DISABLE_AVX2)
+
+#include <immintrin.h>
+
+#define TQP_SIMD_IMPL_NS avx2_generic
+#include "kernels/simd_exec_impl.h"
+#undef TQP_SIMD_IMPL_NS
+
+namespace tqp::kernels::simd {
+
+namespace {
+
+/// Re-bases a fused-kernel operand at lane `i` (broadcast operands stay put)
+/// so tail lanes can run through the generic loops.
+inline LaneRef Advance(LaneRef r, int64_t i, int64_t elem_size) {
+  if (!r.scalar && r.data != nullptr) r.data += i * elem_size;
+  return r;
+}
+
+inline bool AddSubMul(BinaryOpKind k) {
+  return k == BinaryOpKind::kAdd || k == BinaryOpKind::kSub ||
+         k == BinaryOpKind::kMul;
+}
+
+__attribute__((target("avx2"))) inline __m256d BinOp256d(BinaryOpKind op,
+                                                         __m256d x,
+                                                         __m256d y) {
+  switch (op) {
+    case BinaryOpKind::kAdd:
+      return _mm256_add_pd(x, y);
+    case BinaryOpKind::kSub:
+      return _mm256_sub_pd(x, y);
+    default:
+      return _mm256_mul_pd(x, y);
+  }
+}
+
+/// dst = f2(f1(a, b), c) over float64 lanes, 4 wide; handles every
+/// scalar-broadcast combination with loop-invariant selects. Processes
+/// exactly `n4` lanes (a multiple of 4).
+__attribute__((target("avx2"))) void BinBinF64(BinaryOpKind op1,
+                                               BinaryOpKind op2, bool t_left,
+                                               LaneRef a, LaneRef b, LaneRef c,
+                                               double* o, int64_t n4) {
+  const double* pa = reinterpret_cast<const double*>(a.data);
+  const double* pb = reinterpret_cast<const double*>(b.data);
+  const double* pc = reinterpret_cast<const double*>(c.data);
+  const __m256d av = a.scalar ? _mm256_set1_pd(pa[0]) : _mm256_setzero_pd();
+  const __m256d bv = b.scalar ? _mm256_set1_pd(pb[0]) : _mm256_setzero_pd();
+  const __m256d cv = c.scalar ? _mm256_set1_pd(pc[0]) : _mm256_setzero_pd();
+  for (int64_t i = 0; i < n4; i += 4) {
+    const __m256d x = a.scalar ? av : _mm256_loadu_pd(pa + i);
+    const __m256d y = b.scalar ? bv : _mm256_loadu_pd(pb + i);
+    const __m256d t = BinOp256d(op1, x, y);
+    const __m256d z = c.scalar ? cv : _mm256_loadu_pd(pc + i);
+    const __m256d r = t_left ? BinOp256d(op2, t, z) : BinOp256d(op2, z, t);
+    _mm256_storeu_pd(o + i, r);
+  }
+}
+
+/// mask = (a cmp b_scalar) && c over float64 lanes — the Q6-class predicate
+/// shape (column vs literal, conjoined into the running mask). `P` is the
+/// _CMP_* predicate matching the scalar comparison's NaN semantics.
+template <int P>
+__attribute__((target("avx2"))) void CmpAndF64VS(const double* a, double b,
+                                                 const uint8_t* c, uint8_t* o,
+                                                 int64_t n4) {
+  const __m256d bv = _mm256_set1_pd(b);
+  for (int64_t i = 0; i < n4; i += 4) {
+    const __m256d x = _mm256_loadu_pd(a + i);
+    const int m = _mm256_movemask_pd(_mm256_cmp_pd(x, bv, P));
+    o[i + 0] = static_cast<uint8_t>((m & 1) & (c[i + 0] != 0 ? 1 : 0));
+    o[i + 1] = static_cast<uint8_t>(((m >> 1) & 1) & (c[i + 1] != 0 ? 1 : 0));
+    o[i + 2] = static_cast<uint8_t>(((m >> 2) & 1) & (c[i + 2] != 0 ? 1 : 0));
+    o[i + 3] = static_cast<uint8_t>(((m >> 3) & 1) & (c[i + 3] != 0 ? 1 : 0));
+  }
+}
+
+/// Selection-vector compress: 32 mask bytes per iteration into a movemask
+/// word, then one index emit per set bit (ctz walk) — order-preserving,
+/// identical output to the interpreter's count-then-emit.
+__attribute__((target("avx2"))) int64_t SelVecCompressAvx2(const uint8_t* mask,
+                                                           int64_t n,
+                                                           int64_t* sel) {
+  int64_t k = 0;
+  int64_t i = 0;
+  const __m256i zero = _mm256_setzero_si256();
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + i));
+    const uint32_t zeros = static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, zero)));
+    uint32_t bits = ~zeros;
+    while (bits != 0) {
+      sel[k++] = i + __builtin_ctz(bits);
+      bits &= bits - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    sel[k] = i;
+    k += mask[i] != 0 ? 1 : 0;
+  }
+  return k;
+}
+
+}  // namespace
+
+namespace avx2_impl {
+
+Status BinBinDispatch(DType dtype, BinaryOpKind op1, BinaryOpKind op2,
+                      bool t_left, LaneRef a, LaneRef b, LaneRef c,
+                      uint8_t* dst, int64_t n) {
+  if (dtype == DType::kFloat64 && AddSubMul(op1) && AddSubMul(op2) && n >= 4) {
+    const int64_t n4 = n & ~int64_t{3};
+    BinBinF64(op1, op2, t_left, a, b, c, reinterpret_cast<double*>(dst), n4);
+    if (n4 == n) return Status::OK();
+    return avx2_generic::BinBinDispatch(dtype, op1, op2, t_left,
+                                        Advance(a, n4, 8), Advance(b, n4, 8),
+                                        Advance(c, n4, 8), dst + n4 * 8,
+                                        n - n4);
+  }
+  return avx2_generic::BinBinDispatch(dtype, op1, op2, t_left, a, b, c, dst,
+                                      n);
+}
+
+Status CmpAndDispatch(DType in_dtype, CompareOpKind cmp, LaneRef a, LaneRef b,
+                      LaneRef c, uint8_t* dst, int64_t n) {
+  if (in_dtype == DType::kFloat64 && !a.scalar && b.scalar && !c.scalar &&
+      n >= 4) {
+    const int64_t n4 = n & ~int64_t{3};
+    const double* pa = reinterpret_cast<const double*>(a.data);
+    const double bv = reinterpret_cast<const double*>(b.data)[0];
+    switch (cmp) {
+      case CompareOpKind::kEq:
+        CmpAndF64VS<_CMP_EQ_OQ>(pa, bv, c.data, dst, n4);
+        break;
+      case CompareOpKind::kNe:
+        CmpAndF64VS<_CMP_NEQ_UQ>(pa, bv, c.data, dst, n4);
+        break;
+      case CompareOpKind::kLt:
+        CmpAndF64VS<_CMP_LT_OQ>(pa, bv, c.data, dst, n4);
+        break;
+      case CompareOpKind::kLe:
+        CmpAndF64VS<_CMP_LE_OQ>(pa, bv, c.data, dst, n4);
+        break;
+      case CompareOpKind::kGt:
+        CmpAndF64VS<_CMP_GT_OQ>(pa, bv, c.data, dst, n4);
+        break;
+      case CompareOpKind::kGe:
+        CmpAndF64VS<_CMP_GE_OQ>(pa, bv, c.data, dst, n4);
+        break;
+    }
+    if (n4 == n) return Status::OK();
+    return avx2_generic::CmpAndDispatch(in_dtype, cmp, Advance(a, n4, 8), b,
+                                        Advance(c, n4, 1), dst + n4, n - n4);
+  }
+  return avx2_generic::CmpAndDispatch(in_dtype, cmp, a, b, c, dst, n);
+}
+
+Status CastCmpDispatch(DType from, DType to, CompareOpKind cmp, bool t_left,
+                       LaneRef a, LaneRef b, uint8_t* dst, int64_t n) {
+  return avx2_generic::CastCmpDispatch(from, to, cmp, t_left, a, b, dst, n);
+}
+
+int64_t SelVecCompressImpl(const uint8_t* mask, int64_t n, int64_t* sel) {
+  return SelVecCompressAvx2(mask, n, sel);
+}
+
+}  // namespace avx2_impl
+}  // namespace tqp::kernels::simd
+
+#endif  // defined(__x86_64__) && !defined(TQP_DISABLE_AVX2)

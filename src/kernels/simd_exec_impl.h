@@ -1,0 +1,193 @@
+// Generic bodies of the SIMD-tier fused kernels, compiled once per target
+// TU: simd_exec.cc includes this as namespace `portable_impl` (base ISA) and
+// simd_exec_avx2.cc as namespace `avx2_generic` (-mavx2), so the same loops
+// exist at both ISA levels under distinct symbols and the linker can never
+// substitute a vector-ISA body into the portable path. Per-lane arithmetic
+// is kernels/lane_ops.h verbatim; loops carry `#pragma omp simd` (both TUs
+// build with -fopenmp-simd -ffp-contract=off, so no FMA contraction — the
+// fused pair stays bit-identical to the interpreter's two sweeps).
+//
+// Not a standalone header: define TQP_SIMD_IMPL_NS before inclusion.
+
+#ifndef TQP_SIMD_IMPL_NS
+#error "simd_exec_impl.h requires TQP_SIMD_IMPL_NS"
+#endif
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "kernels/lane_ops.h"
+#include "kernels/simd_exec.h"
+
+namespace tqp::kernels::simd {
+namespace TQP_SIMD_IMPL_NS {
+
+namespace detail {
+
+/// dst = f2(t, c) / f2(c, t) with t = f1(a, b). Scalar operands hoist to
+/// loop invariants; the ternaries fold away under loop unswitching.
+template <typename T, typename F1, typename F2>
+inline void BinBinLoop(const T* a, bool as, const T* b, bool bs, const T* c,
+                       bool cs, bool t_left, T* o, int64_t n, F1 f1, F2 f2) {
+  const T av = as ? a[0] : T{};
+  const T bv = bs ? b[0] : T{};
+  const T cv = cs ? c[0] : T{};
+#pragma omp simd
+  for (int64_t i = 0; i < n; ++i) {
+    const T t = f1(as ? av : a[i], bs ? bv : b[i]);
+    const T z = cs ? cv : c[i];
+    o[i] = t_left ? f2(t, z) : f2(z, t);
+  }
+}
+
+/// bool dst = cmp(a, b) && c (value conjunction commutes).
+template <typename T, typename FC>
+inline void CmpAndLoop(const T* a, bool as, const T* b, bool bs,
+                       const uint8_t* c, bool cs, uint8_t* o, int64_t n,
+                       FC cmp) {
+  const T av = as ? a[0] : T{};
+  const T bv = bs ? b[0] : T{};
+  const bool cv = cs ? c[0] != 0 : false;
+#pragma omp simd
+  for (int64_t i = 0; i < n; ++i) {
+    const bool m = cmp(as ? av : a[i], bs ? bv : b[i]);
+    const bool k = cs ? cv : c[i] != 0;
+    o[i] = static_cast<uint8_t>(m && k);
+  }
+}
+
+/// bool dst = cmp(cast<To>(a), b) / cmp(b, cast<To>(a)).
+template <typename From, typename To, typename FC>
+inline void CastCmpLoop(const From* a, bool as, const To* b, bool bs,
+                        bool t_left, uint8_t* o, int64_t n, FC cmp) {
+  const From av = as ? a[0] : From{};
+  const To bv = bs ? b[0] : To{};
+#pragma omp simd
+  for (int64_t i = 0; i < n; ++i) {
+    const To t = lane::CastLane<From, To>(as ? av : a[i]);
+    const To y = bs ? bv : b[i];
+    o[i] = static_cast<uint8_t>(t_left ? cmp(t, y) : cmp(y, t));
+  }
+}
+
+template <typename T>
+Status BinBinT(BinaryOpKind op1, BinaryOpKind op2, bool t_left, LaneRef a,
+               LaneRef b, LaneRef c, uint8_t* dst, int64_t n) {
+  Status inner = Status::OK();
+  TQP_RETURN_NOT_OK(lane::WithBinaryLane<T>(op1, [&](auto f1) {
+    inner = lane::WithBinaryLane<T>(op2, [&](auto f2) {
+      BinBinLoop<T>(reinterpret_cast<const T*>(a.data), a.scalar,
+                    reinterpret_cast<const T*>(b.data), b.scalar,
+                    reinterpret_cast<const T*>(c.data), c.scalar, t_left,
+                    reinterpret_cast<T*>(dst), n, f1, f2);
+    });
+  }));
+  return inner;
+}
+
+template <typename T>
+Status CmpAndT(CompareOpKind cmp, LaneRef a, LaneRef b, LaneRef c,
+               uint8_t* dst, int64_t n) {
+  return lane::WithCompareLane<T>(cmp, [&](auto f) {
+    CmpAndLoop<T>(reinterpret_cast<const T*>(a.data), a.scalar,
+                  reinterpret_cast<const T*>(b.data), b.scalar, c.data,
+                  c.scalar, dst, n, f);
+  });
+}
+
+template <typename From, typename To>
+Status CastCmpT(CompareOpKind cmp, bool t_left, LaneRef a, LaneRef b,
+                uint8_t* dst, int64_t n) {
+  return lane::WithCompareLane<To>(cmp, [&](auto f) {
+    CastCmpLoop<From, To>(reinterpret_cast<const From*>(a.data), a.scalar,
+                          reinterpret_cast<const To*>(b.data), b.scalar,
+                          t_left, dst, n, f);
+  });
+}
+
+template <typename From>
+Status CastCmpFrom(DType to, CompareOpKind cmp, bool t_left, LaneRef a,
+                   LaneRef b, uint8_t* dst, int64_t n) {
+  switch (to) {
+    case DType::kInt32:
+      return CastCmpT<From, int32_t>(cmp, t_left, a, b, dst, n);
+    case DType::kInt64:
+      return CastCmpT<From, int64_t>(cmp, t_left, a, b, dst, n);
+    case DType::kFloat32:
+      return CastCmpT<From, float>(cmp, t_left, a, b, dst, n);
+    case DType::kFloat64:
+      return CastCmpT<From, double>(cmp, t_left, a, b, dst, n);
+    default:
+      return Status::Internal("simd: cast+compare target dtype unsupported");
+  }
+}
+
+}  // namespace detail
+
+/// \brief Generic (autovectorized) BinBin at this TU's ISA level.
+Status BinBinDispatch(DType dtype, BinaryOpKind op1, BinaryOpKind op2,
+                      bool t_left, LaneRef a, LaneRef b, LaneRef c,
+                      uint8_t* dst, int64_t n) {
+  switch (dtype) {
+    case DType::kInt32:
+      return detail::BinBinT<int32_t>(op1, op2, t_left, a, b, c, dst, n);
+    case DType::kInt64:
+      return detail::BinBinT<int64_t>(op1, op2, t_left, a, b, c, dst, n);
+    case DType::kFloat32:
+      return detail::BinBinT<float>(op1, op2, t_left, a, b, c, dst, n);
+    case DType::kFloat64:
+      return detail::BinBinT<double>(op1, op2, t_left, a, b, c, dst, n);
+    default:
+      return Status::Internal("simd: fused binary over unsupported dtype");
+  }
+}
+
+/// \brief Generic (autovectorized) CmpAnd at this TU's ISA level.
+Status CmpAndDispatch(DType in_dtype, CompareOpKind cmp, LaneRef a, LaneRef b,
+                      LaneRef c, uint8_t* dst, int64_t n) {
+  switch (in_dtype) {
+    case DType::kUInt8:
+      return detail::CmpAndT<uint8_t>(cmp, a, b, c, dst, n);
+    case DType::kInt32:
+      return detail::CmpAndT<int32_t>(cmp, a, b, c, dst, n);
+    case DType::kInt64:
+      return detail::CmpAndT<int64_t>(cmp, a, b, c, dst, n);
+    case DType::kFloat32:
+      return detail::CmpAndT<float>(cmp, a, b, c, dst, n);
+    case DType::kFloat64:
+      return detail::CmpAndT<double>(cmp, a, b, c, dst, n);
+    default:
+      return Status::Internal("simd: fused compare over unsupported dtype");
+  }
+}
+
+/// \brief Generic (autovectorized) CastCmp at this TU's ISA level.
+Status CastCmpDispatch(DType from, DType to, CompareOpKind cmp, bool t_left,
+                       LaneRef a, LaneRef b, uint8_t* dst, int64_t n) {
+  switch (from) {
+    case DType::kInt32:
+      return detail::CastCmpFrom<int32_t>(to, cmp, t_left, a, b, dst, n);
+    case DType::kInt64:
+      return detail::CastCmpFrom<int64_t>(to, cmp, t_left, a, b, dst, n);
+    case DType::kFloat32:
+      return detail::CastCmpFrom<float>(to, cmp, t_left, a, b, dst, n);
+    case DType::kFloat64:
+      return detail::CastCmpFrom<double>(to, cmp, t_left, a, b, dst, n);
+    default:
+      return Status::Internal("simd: cast+compare source dtype unsupported");
+  }
+}
+
+/// \brief Branch-free selection-vector compress (ascending true-lane
+/// indices; `sel` capacity >= n).
+int64_t SelVecCompressImpl(const uint8_t* mask, int64_t n, int64_t* sel) {
+  int64_t k = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    sel[k] = i;
+    k += mask[i] != 0 ? 1 : 0;
+  }
+  return k;
+}
+
+}  // namespace TQP_SIMD_IMPL_NS
+}  // namespace tqp::kernels::simd

@@ -11,6 +11,7 @@
 #include "common/string_util.h"
 #include "compile/pipeline.h"
 #include "graph/op_type.h"
+#include "kernels/simd_exec.h"
 #include "obs/trace.h"
 #include "profiler/profiler.h"
 
@@ -119,12 +120,18 @@ Result<ExplainAnalyzeResult> ExplainAnalyze(const std::string& sql,
   std::vector<Row> rows;
   bool by_step = false;
   int64_t morsels = 0;
+  int64_t morsel_rows = 0;  // size chosen by the last pipeline run
   int64_t spills = 0;
   int64_t faults = 0;
   for (const TraceEvent& e : events) {
     if (e.phase != TraceEvent::Phase::kInstant &&
         std::string_view(e.category) == "morsel") {
       ++morsels;
+    }
+    if (e.phase != TraceEvent::Phase::kInstant &&
+        std::string_view(e.category) == "pipeline") {
+      const int64_t mr = EventArg(e, "morsel_rows");
+      if (mr > 0) morsel_rows = mr;
     }
     if (e.phase == TraceEvent::Phase::kInstant &&
         std::string_view(e.category) == "memory") {
@@ -182,8 +189,15 @@ Result<ExplainAnalyzeResult> ExplainAnalyze(const std::string& sql,
 
   const double wall_ms = static_cast<double>(out.wall_nanos) / 1e6;
   std::ostringstream os;
-  os << "EXPLAIN ANALYZE  target=" << ExecutorTargetName(options.target)
-     << "  wall=" << FormatDouble(wall_ms, 3) << " ms"
+  os << "EXPLAIN ANALYZE  target=" << ExecutorTargetName(options.target);
+  // The expression tier fused runs dispatch to (Pipelined/Static targets).
+  const ExprBackend backend = ResolveExprBackend(options.expr_backend);
+  os << "  backend=" << ExprBackendName(backend);
+  if (backend == ExprBackend::kSimd) {
+    os << "(" << kernels::simd::SimdLevelName(kernels::simd::ActiveLevel())
+       << ")";
+  }
+  os << "  wall=" << FormatDouble(wall_ms, 3) << " ms"
      << "  compile=" << FormatDouble(static_cast<double>(out.compile_nanos) / 1e6, 3)
      << " ms  rows=" << out.result_rows << "\n";
   os << (by_step ? "step" : "    ")
@@ -215,6 +229,7 @@ Result<ExplainAnalyzeResult> ExplainAnalyze(const std::string& sql,
      << FormatDouble(100.0 * static_cast<double>(out.step_nanos) / wall, 1)
      << "% of wall";
   if (morsels > 0) os << "; morsels=" << morsels;
+  if (morsel_rows > 0) os << "; morsel_rows=" << morsel_rows;
   if (spills > 0 || faults > 0) {
     os << "; spills=" << spills << " faults=" << faults;
   }

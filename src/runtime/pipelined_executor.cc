@@ -8,10 +8,12 @@
 #include <atomic>
 
 #include "common/stopwatch.h"
+#include "compile/expr_simd.h"
 #include "graph/eval.h"
 #include "graph/op_type.h"
 #include "kernels/expr_exec.h"
 #include "kernels/selection.h"
+#include "kernels/simd_exec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/morsel.h"
@@ -36,6 +38,11 @@ PipelinedExecutor::PipelinedExecutor(std::shared_ptr<const TensorProgram> progra
     owned_pool_ = std::make_unique<ThreadPool>(options_.num_threads);
     pool_ = owned_pool_.get();
   }  // num_threads == 1 (or negative): pool_ stays null -> serial morsel loop
+  expr_backend_ = ResolveExprBackend(options_.expr_backend);
+  if (options_.adaptive_morsels || runtime::DefaultAdaptiveMorsels()) {
+    adaptive_ =
+        std::make_unique<runtime::AdaptiveMorselController>(morsel_rows());
+  }
   plan_ = BuildPipelinePlan(*program_);
   fusion_cache_.resize(plan_.pipelines.size());
 }
@@ -163,6 +170,19 @@ Status PipelinedExecutor::RunPipeline(int pipeline_index, const Pipeline& p,
     return Status::Internal("pipelined executor: pipeline without a driver");
   }
 
+  // Adaptive sizing reads one size per pipeline run; the per-morsel
+  // decomposition below is then fixed for this run, so chunk assembly (in
+  // morsel order) produces bit-identical results at whatever size the
+  // controller settled on. Chosen before the fusion probe: the probe IS
+  // morsel 0's evaluation, so it must cover exactly this run's first morsel.
+  const int64_t morsel = adaptive_ != nullptr ? adaptive_->rows()
+                                              : MorselRows(ctx);
+  static obs::Gauge* morsel_rows_gauge =
+      obs::MetricsRegistry::Global()->GetGauge(
+          "tqp_morsel_rows", "Rows per morsel used by the last pipeline run");
+  morsel_rows_gauge->Set(morsel);
+  if (pipeline_span.enabled()) pipeline_span.AddArg("morsel_rows", morsel);
+
   // Expression fusion: maximal elementwise/selection runs of this pipeline
   // execute as one compiled ExprProgram per morsel instead of node-at-a-time.
   // A compile (cache miss) probes one morsel node-at-a-time; its outputs
@@ -172,11 +192,9 @@ Status PipelinedExecutor::RunPipeline(int pipeline_index, const Pipeline& p,
   ProbeResult probe;
   if (options_.expr_fusion) {
     TQP_ASSIGN_OR_RETURN(fusion, FusionFor(pipeline_index, p, *values,
-                                           slice_now, driver_rows, ctx,
+                                           slice_now, driver_rows, morsel,
                                            &probe));
   }
-
-  const int64_t morsel = MorselRows(ctx);
   const int64_t num_morsels =
       driver_rows == 0 ? 1 : (driver_rows + morsel - 1) / morsel;
   const size_t num_nodes = static_cast<size_t>(program_->num_nodes());
@@ -245,6 +263,7 @@ Status PipelinedExecutor::RunPipeline(int pipeline_index, const Pipeline& p,
       morsel_span.AddArg("begin", b);
       morsel_span.AddArg("rows", e - b);
     }
+    Stopwatch morsel_timer;
     std::vector<Tensor>& scratch = slot->scratch;
     if (scratch.empty()) scratch.resize(num_nodes);
     if (!slot->bound) {
@@ -273,9 +292,34 @@ Status PipelinedExecutor::RunPipeline(int pipeline_index, const Pipeline& p,
         for (int id : ep.source_nodes()) {
           slot->run_sources.push_back(scratch[static_cast<size_t>(id)]);
         }
+        const ExprSimdPlan* simd_plan =
+            expr_backend_ == ExprBackend::kSimd ? run.simd.get() : nullptr;
+        kernels::ExprRunStats rstats;
         TQP_RETURN_NOT_OK(kernels::RunExprProgram(
             ep, slot->run_sources, b, options_.device, &slot->expr,
-            &slot->run_outputs));
+            &slot->run_outputs, simd_plan, &rstats));
+        // Tally the backend that *actually* ran: a kSimd dispatch whose
+        // program has no covered shapes interprets everything and counts as
+        // interp. The compile probe never reaches this branch (it evaluates
+        // node-at-a-time), so these tallies reflect fused execution only.
+        static obs::Counter* interp_runs =
+            obs::MetricsRegistry::Global()->GetCounter(
+                "tqp_expr_backend_interp_total",
+                "Fused-run morsel executions fully interpreted");
+        static obs::Counter* simd_runs =
+            obs::MetricsRegistry::Global()->GetCounter(
+                "tqp_expr_backend_simd_total",
+                "Fused-run morsel executions with SIMD-tier instructions");
+        (rstats.simd_instrs > 0 ? simd_runs : interp_runs)->Add(1);
+        if (run.exec_stats != nullptr) {
+          ExprRunExecStats& st = *run.exec_stats;
+          (rstats.simd_instrs > 0 ? st.simd_morsels : st.interp_morsels)
+              .fetch_add(1, std::memory_order_relaxed);
+          st.simd_instrs.fetch_add(rstats.simd_instrs,
+                                   std::memory_order_relaxed);
+          st.interp_instrs.fetch_add(rstats.interp_instrs,
+                                     std::memory_order_relaxed);
+        }
         for (size_t k = 0; k < ep.output_nodes().size(); ++k) {
           scratch[static_cast<size_t>(ep.output_nodes()[k])] =
               std::move(slot->run_outputs[k]);
@@ -300,6 +344,9 @@ Status PipelinedExecutor::RunPipeline(int pipeline_index, const Pipeline& p,
                                                   chunk.dtype()};
         chunk_ids[oi][static_cast<size_t>(m)] = scope->AddSpillable(&chunk);
       }
+    }
+    if (adaptive_ != nullptr) {
+      adaptive_->Observe(e - b, morsel_timer.ElapsedNanos());
     }
     return Status::OK();
   };
@@ -404,7 +451,7 @@ Status PipelinedExecutor::RunPipeline(int pipeline_index, const Pipeline& p,
 Result<std::shared_ptr<const ExprFusionPlan>> PipelinedExecutor::FusionFor(
     int pipeline_index, const Pipeline& p, const std::vector<Tensor>& values,
     const std::vector<bool>& slice_now, int64_t driver_rows,
-    const ParallelContext& ctx, ProbeResult* probe) {
+    int64_t morsel_rows, ProbeResult* probe) {
   // Source signature: everything lowering depends on that can drift between
   // runs — dtype, broadcast binding, and the shape rank/stride class (the
   // actual column arity plus a scalar/driver-aligned/other row class, so a
@@ -452,7 +499,7 @@ Result<std::shared_ptr<const ExprFusionPlan>> PipelinedExecutor::FusionFor(
   obs::TraceSpan fusion_span("compile", "fusion.compile");
   if (fusion_span.enabled()) fusion_span.AddArg("pipeline", pipeline_index);
   morsel_evals_.fetch_add(1, std::memory_order_relaxed);
-  const int64_t probe_rows = std::min(driver_rows, MorselRows(ctx));
+  const int64_t probe_rows = std::min(driver_rows, morsel_rows);
   std::vector<Tensor> scratch(static_cast<size_t>(program_->num_nodes()));
   for (size_t i = 0; i < p.sliced_sources.size(); ++i) {
     const size_t src = static_cast<size_t>(p.sliced_sources[i]);
@@ -549,6 +596,13 @@ std::string PipelinedExecutor::pipeline_fusion_signature(int index) const {
 std::string PipelinedExecutor::FusionReport() const {
   std::lock_guard<std::mutex> lock(fusion_mu_);
   std::ostringstream os;
+  os << "expr backend: " << ExprBackendName(expr_backend_);
+  if (expr_backend_ == ExprBackend::kSimd) {
+    os << " ("
+       << kernels::simd::SimdLevelName(kernels::simd::ActiveLevel()) << ")";
+  }
+  os << "; morsel rows: " << current_morsel_rows()
+     << (adaptive_ != nullptr ? " (adaptive)" : "") << "\n";
   for (size_t pi = 0; pi < fusion_cache_.size(); ++pi) {
     const FusionCacheEntry& entry = fusion_cache_[pi];
     const Pipeline& p = plan_.pipelines[pi];
@@ -570,6 +624,20 @@ std::string PipelinedExecutor::FusionReport() const {
         os << (i > run.begin ? " " : "") << "n" << p.nodes[i].id;
       }
       os << "]: " << run.program->ToString();
+      if (run.simd != nullptr) {
+        os << "    " << run.simd->Summary();
+        if (run.exec_stats != nullptr) {
+          const int64_t si =
+              run.exec_stats->simd_morsels.load(std::memory_order_relaxed);
+          const int64_t in =
+              run.exec_stats->interp_morsels.load(std::memory_order_relaxed);
+          // Compile-probe morsels evaluate node-at-a-time (always
+          // interpreted) and are not part of either tally.
+          os << "; executed: simd=" << si << " interp=" << in
+             << " morsels (probe morsels interpret node-at-a-time)";
+        }
+        os << "\n";
+      }
     }
   }
   return os.str();

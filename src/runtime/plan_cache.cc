@@ -71,6 +71,14 @@ std::string PlanCache::MakeKey(const std::string& normalized_sql,
   key.push_back('/');
   key += options.expr_fusion ? '1' : '0';
   key.push_back('/');
+  // Resolved, not raw: two sessions with kDefault under different
+  // TQP_EXPR_BACKEND values never share a process, and within one process
+  // the resolution is stable — so kDefault and its resolution are the same
+  // artifact.
+  key += std::to_string(static_cast<int>(ResolveExprBackend(options.expr_backend)));
+  key.push_back('/');
+  key += options.adaptive_morsels ? '1' : '0';
+  key.push_back('/');
   key += std::to_string(reinterpret_cast<uintptr_t>(options.step_scheduler));
   key.push_back('/');
   key += std::to_string(options.memory_budget_bytes);
