@@ -19,7 +19,12 @@
 //
 // Usage: fig_parallel_scaling [scale_factor] [num_queries]
 //   scale_factor  default 0.05
-//   num_queries   run only the first N of {Q1, Q3, Q6} (CI smoke uses 1)
+//   num_queries   run only the first N of {Q1, Q3, Q6, Q18} (CI smoke uses 1)
+//
+// Q18 is the breaker-bound row: a multi-join plus a large group-by, so its
+// wall time is dominated by pipeline breakers rather than streamed scans —
+// the configuration the radix-partitioned breaker backend targets (also
+// measured with partitioned_breakers on).
 
 #include <cstdio>
 #include <cstdlib>
@@ -49,7 +54,7 @@ RunResult MeasureQuery(const CompiledQuery& query, const std::vector<Tensor>& in
 
 RunResult MeasureTarget(QueryCompiler& compiler, const Catalog& catalog,
                         const std::string& sql, ExecutorTarget target, int threads,
-                        bool overlap, bool expr_fusion,
+                        bool overlap, bool expr_fusion, bool partitioned,
                         const std::vector<Tensor>& inputs,
                         const bench::TimingProtocol& protocol) {
   CompileOptions options;
@@ -57,6 +62,7 @@ RunResult MeasureTarget(QueryCompiler& compiler, const Catalog& catalog,
   options.num_threads = threads;
   options.pipeline_overlap = overlap;
   options.expr_fusion = expr_fusion;
+  options.partitioned_breakers = partitioned;
   CompiledQuery query = compiler.CompileSql(sql, catalog, options).ValueOrDie();
   return MeasureQuery(query, inputs, protocol);
 }
@@ -66,6 +72,7 @@ struct BackendSpec {
   ExecutorTarget target;
   bool overlap;
   bool expr_fusion;
+  bool partitioned = false;
 };
 
 }  // namespace
@@ -80,7 +87,7 @@ int main(int argc, char** argv) {
   const unsigned hw = std::thread::hardware_concurrency();
   std::fprintf(stderr, "parallel scaling, SF %.3f, %u hardware threads\n", sf, hw);
 
-  std::vector<int> queries = {1, 3, 6};
+  std::vector<int> queries = {1, 3, 6, 18};
   if (argc > 2) {
     const size_t n = static_cast<size_t>(std::strtoul(argv[2], nullptr, 10));
     if (n >= 1 && n < queries.size()) queries.resize(n);
@@ -110,7 +117,8 @@ int main(int argc, char** argv) {
     const RunResult eager = MeasureTarget(compiler, catalog, sql,
                                           ExecutorTarget::kEager, 0,
                                           /*overlap=*/true, /*expr_fusion=*/true,
-                                          inputs, protocol);
+                                          /*partitioned=*/false, inputs,
+                                          protocol);
 
     std::printf("    {\"query\": \"Q%d\", \"static_serial_ms\": %.4f, "
                 "\"eager_serial_ms\": %.4f, \"eager_peak_alloc_mb\": %.3f,\n"
@@ -124,35 +132,40 @@ int main(int argc, char** argv) {
         {ExecutorTarget::kPipelined, false, true},  // sequential schedule walk
         {ExecutorTarget::kPipelined, true, true},   // DAG overlap
         {ExecutorTarget::kPipelined, true, false},  // expression fusion off
+        {ExecutorTarget::kPipelined, true, true, true},  // partitioned breakers
     };
     for (const BackendSpec& spec : specs) {
       for (size_t ti = 0; ti < thread_counts.size(); ++ti) {
         const RunResult r = MeasureTarget(compiler, catalog, sql, spec.target,
                                           thread_counts[ti], spec.overlap,
-                                          spec.expr_fusion, inputs, protocol);
+                                          spec.expr_fusion, spec.partitioned,
+                                          inputs, protocol);
         const double speedup = eager.seconds / r.seconds;
         best_speedup = std::max(best_speedup, speedup);
         std::printf("%s\n      {\"backend\": \"%s\", \"threads\": %d, "
-                    "\"overlap\": %s, \"expr_fusion\": %s, \"ms\": %.4f, "
+                    "\"overlap\": %s, \"expr_fusion\": %s, "
+                    "\"partitioned_breakers\": %s, \"ms\": %.4f, "
                     "\"speedup_vs_eager\": %.3f, \"peak_alloc_mb\": %.3f, "
                     "\"allocs\": %lld, \"recycle_hit_rate\": %.3f, "
                     "\"spilled_mb\": %.3f, \"spill_events\": %lld}",
                     first ? "" : ",", ExecutorTargetName(spec.target),
                     thread_counts[ti], spec.overlap ? "true" : "false",
-                    spec.expr_fusion ? "true" : "false", r.seconds * 1e3,
+                    spec.expr_fusion ? "true" : "false",
+                    spec.partitioned ? "true" : "false", r.seconds * 1e3,
                     speedup, r.peak_alloc_mb,
                     static_cast<long long>(r.allocs), r.recycle_hit_rate,
                     r.spilled_mb, static_cast<long long>(r.spill_events));
         first = false;
         std::fprintf(stderr,
-                     "  Q%d %s%s%s @ %d threads: %.3f ms (%.2fx vs eager "
+                     "  Q%d %s%s%s%s @ %d threads: %.3f ms (%.2fx vs eager "
                      "%.3f ms), peak alloc %.2f MiB (eager %.2f MiB), "
                      "%lld allocs (%.0f%% recycled), spilled %.2f MiB\n",
                      q, ExecutorTargetName(spec.target),
                      spec.overlap ? "" : " (no overlap)",
-                     spec.expr_fusion ? "" : " (no fusion)", thread_counts[ti],
-                     r.seconds * 1e3, speedup, eager.seconds * 1e3,
-                     r.peak_alloc_mb, eager.peak_alloc_mb,
+                     spec.expr_fusion ? "" : " (no fusion)",
+                     spec.partitioned ? " (partitioned)" : "",
+                     thread_counts[ti], r.seconds * 1e3, speedup,
+                     eager.seconds * 1e3, r.peak_alloc_mb, eager.peak_alloc_mb,
                      static_cast<long long>(r.allocs),
                      r.recycle_hit_rate * 100.0, r.spilled_mb);
       }

@@ -36,6 +36,13 @@
 //   \adaptive on|off                pipelined backend: adapt morsel size
 //                                   toward a target per-morsel service time
 //                                   (bounded; results bit-identical)
+//   \partitions on|off              parallel/pipelined backends: evaluate
+//                                   pipeline breakers (join build, group-by,
+//                                   sort) through the radix-partitioned
+//                                   grace-join / partitioned-aggregation /
+//                                   external-sort operators — budget-aware
+//                                   partition counts, spillable partitions
+//                                   (results bit-identical)
 //   \explain pipelines <sql>        print the pipeline step DAG for <sql>
 //                                   (steps, dependency edges, release sets),
 //                                   then run it once and show each
@@ -97,6 +104,9 @@ struct ShellState {
   // pipelined/static: expression tier (kDefault -> TQP_EXPR_BACKEND).
   ExprBackend expr_backend = ExprBackend::kDefault;
   bool adaptive_morsels = false;  // pipelined: service-time morsel sizing
+  // parallel/pipelined: radix-partitioned pipeline breakers (grace join,
+  // partitioned aggregation, external sort).
+  bool partitioned_breakers = false;
   int64_t budget_mb = 0;    // per-query memory budget (0 = env default)
   // Session-cumulative spill totals (across every query run so far).
   int64_t spilled_bytes_total = 0;
@@ -149,6 +159,7 @@ void RunSql(const std::string& sql, const Catalog& catalog, ShellState* state) {
     options.expr_fusion = state->expr_fusion;
     options.expr_backend = state->expr_backend;
     options.adaptive_morsels = state->adaptive_morsels;
+    options.partitioned_breakers = state->partitioned_breakers;
     options.memory_budget_bytes = state->budget_mb << 20;
     watch.Reset();
     auto compiled_or = compiler.CompileSql(sql, catalog, options);
@@ -235,6 +246,7 @@ void ExplainPipelines(const std::string& sql, const Catalog& catalog,
   options.expr_fusion = state.expr_fusion;
   options.expr_backend = state.expr_backend;
   options.adaptive_morsels = state.adaptive_morsels;
+  options.partitioned_breakers = state.partitioned_breakers;
   auto compiled_or = compiler.CompileSql(sql, catalog, options);
   if (!compiled_or.ok()) {
     std::printf("error: %s\n", compiled_or.status().ToString().c_str());
@@ -278,6 +290,7 @@ CompileOptions OptionsFromState(const ShellState& state) {
   options.expr_fusion = state.expr_fusion;
   options.expr_backend = state.expr_backend;
   options.adaptive_morsels = state.adaptive_morsels;
+  options.partitioned_breakers = state.partitioned_breakers;
   options.memory_budget_bytes = state.budget_mb << 20;
   return options;
 }
@@ -351,6 +364,7 @@ void RunSessions(int n, const std::string& sql, const Catalog& catalog,
   options.compile.device = state.device;
   options.compile.num_threads = state.num_threads;
   options.compile.morsel_rows = state.morsel_rows;
+  options.compile.partitioned_breakers = state.partitioned_breakers;
   options.compile.memory_budget_bytes = state.budget_mb << 20;
   runtime::QueryScheduler scheduler(&catalog, options);
   std::vector<std::future<runtime::QueryOutcome>> futures;
@@ -572,6 +586,16 @@ int main(int argc, char** argv) {
         std::printf("adaptive morsel sizing %s\n", a.c_str());
       } else {
         std::printf("usage: \\adaptive on|off\n");
+      }
+      continue;
+    }
+    if (line.rfind("\\partitions ", 0) == 0) {
+      const std::string p = line.substr(12);
+      if (p == "on" || p == "off") {
+        state.partitioned_breakers = p == "on";
+        std::printf("partitioned pipeline breakers %s\n", p.c_str());
+      } else {
+        std::printf("usage: \\partitions on|off\n");
       }
       continue;
     }

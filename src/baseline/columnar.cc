@@ -6,6 +6,7 @@
 #include "operators/expr_vector_eval.h"
 #include "operators/hash_groupby.h"
 #include "operators/hash_join.h"
+#include "operators/partitioned/partition.h"
 #include "runtime/parallel_operators.h"
 
 namespace tqp {
@@ -472,6 +473,9 @@ Result<Block> Exec(const PlanNode& node, Ctx* ctx) {
 Result<Table> ColumnarEngine::Execute(const PlanPtr& plan) const {
   Ctx ctx{catalog_, models_, GetDevice(device_), charge_transfers_, 0, {}};
   ctx.par.pool = pool_;
+  // The baseline honors the process-wide breaker default only (no per-query
+  // option surface here); the env knob keeps A/B runs symmetric.
+  ctx.par.partitioned_breakers = op::partitioned::DefaultPartitionedBreakers();
   TQP_ASSIGN_OR_RETURN(Block result, Exec(*plan, &ctx));
   last_kernels_ = ctx.kernels;
   std::vector<Column> columns;

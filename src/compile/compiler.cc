@@ -891,6 +891,7 @@ Result<CompiledQuery> QueryCompiler::Compile(const PlanPtr& physical_plan,
   exec_options.expr_fusion = options.expr_fusion;
   exec_options.expr_backend = options.expr_backend;
   exec_options.adaptive_morsels = options.adaptive_morsels;
+  exec_options.partitioned_breakers = options.partitioned_breakers;
   exec_options.step_scheduler = options.step_scheduler;
   exec_options.memory_budget_bytes = options.memory_budget_bytes;
   TQP_ASSIGN_OR_RETURN(out.executor_,

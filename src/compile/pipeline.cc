@@ -198,6 +198,9 @@ class Splitter {
     if (flush) Flush();
     PipelineStep step;
     step.serial_node = id;
+    const OpType t = prog_.node(id).type;
+    step.breaker =
+        t == OpType::kArgsortRows || t == OpType::kSegmentedReduce;
     plan_.schedule.push_back(step);
   }
 
@@ -490,6 +493,7 @@ std::string PipelinePlan::ToString(const TensorProgram& program) const {
     if (step.serial_node >= 0) {
       const OpNode& node = program.node(step.serial_node);
       out << "serial   n" << node.id << " " << OpTypeName(node.type);
+      if (step.breaker) out << " (breaker)";
       if (!node.label.empty()) out << "  [" << node.label << "]";
       step_annotations(out, step);
       out << "\n";

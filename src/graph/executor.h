@@ -103,6 +103,14 @@ struct ExecOptions {
   /// results bit-identical at any size). Default off; TQP_ADAPTIVE_MORSEL=1
   /// flips the default.
   bool adaptive_morsels = false;
+  /// Parallel/Pipelined executors: evaluate pipeline breakers (hash-join
+  /// build+probe, grouping, sort) through the radix-partitioned operators in
+  /// src/operators/partitioned — cache-sized partition counts chosen from
+  /// the query budget, recursive re-partitioning of skewed partitions, and
+  /// spillable partition buffers. Results are bit-identical either way; this
+  /// is the partitioning A/B switch. Default off; TQP_PARTITIONED_BREAKERS=1
+  /// flips the default.
+  bool partitioned_breakers = false;
   /// Parallel/Pipelined executors: when set (not owned; must share `pool`),
   /// step/node tasks dispatch through this priority-aware StepScheduler
   /// instead of going to the pool directly — how the QueryScheduler

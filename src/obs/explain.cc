@@ -140,6 +140,26 @@ Result<ExplainAnalyzeResult> ExplainAnalyze(const std::string& sql,
     }
   }
 
+  // Partitioned pipeline-breaker spans (grace join, partitioned aggregation,
+  // external sort): per-kind partition totals, deepest recursion, and bytes
+  // spilled through the partition buffers.
+  struct BreakerRow {
+    int64_t calls = 0;
+    int64_t partitions = 0;
+    int64_t max_depth = 0;
+    int64_t spilled_bytes = 0;
+  };
+  std::map<std::string, BreakerRow> breaker_rows;
+  for (const TraceEvent& e : events) {
+    if (e.phase == TraceEvent::Phase::kInstant) continue;
+    if (std::string_view(e.category) != "breaker") continue;
+    BreakerRow& br = breaker_rows[e.name];
+    ++br.calls;
+    br.partitions += EventArg(e, "partitions");
+    br.max_depth = std::max(br.max_depth, EventArg(e, "recursion_depth"));
+    br.spilled_bytes += EventArg(e, "spilled_bytes");
+  }
+
   std::map<int64_t, Row> step_rows;
   for (const TraceEvent& e : events) {
     if (e.phase == TraceEvent::Phase::kInstant) continue;
@@ -232,6 +252,13 @@ Result<ExplainAnalyzeResult> ExplainAnalyze(const std::string& sql,
   if (morsel_rows > 0) os << "; morsel_rows=" << morsel_rows;
   if (spills > 0 || faults > 0) {
     os << "; spills=" << spills << " faults=" << faults;
+  }
+  for (const auto& [name, br] : breaker_rows) {
+    os << "\nbreaker " << name << ": calls=" << br.calls
+       << " partitions=" << br.partitions << " max_depth=" << br.max_depth
+       << " spilled="
+       << FormatDouble(static_cast<double>(br.spilled_bytes) / 1e6, 2)
+       << " MB";
   }
   os << "\n";
   out.text = os.str();

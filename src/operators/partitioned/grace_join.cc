@@ -1,0 +1,330 @@
+#include "operators/partitioned/grace_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace.h"
+#include "runtime/morsel.h"
+#include "tensor/buffer_pool.h"
+
+namespace tqp::op::partitioned {
+
+namespace {
+
+using runtime::MorselRows;
+using runtime::ParallelContext;
+using runtime::PartitionRows;
+using runtime::RowRange;
+
+Status CheckKeys(const Tensor& keys) {
+  if (keys.dtype() != DType::kInt64 || keys.cols() != 1) {
+    return Status::TypeError("join keys must be int64 (n x 1)");
+  }
+  return Status::OK();
+}
+
+// Build partitions hold a row-id and a key copy per row (8 + 8 bytes);
+// ChoosePartitionBits doubles this for hash-table overhead.
+constexpr int64_t kBuildBytesPerRow = 16;
+
+/// One side's rows scattered into per-leaf spillable buffers, in ascending
+/// global row order per leaf (order-preserving scatter). `keys` is only
+/// populated for the build side.
+struct LeafBuffers {
+  std::vector<Tensor> rows;       // int64 row ids per leaf
+  std::vector<Tensor> keys;       // int64 key copies per leaf (build side)
+  std::vector<uint64_t> row_reg;  // QueryScope ids (0 = unregistered)
+  std::vector<uint64_t> key_reg;
+};
+
+Result<LeafBuffers> ScatterByLeaf(const ParallelContext& ctx,
+                                  const std::vector<int32_t>& leaf_of,
+                                  const std::vector<int64_t>& leaf_count,
+                                  const int64_t* key_data, const Tensor& like,
+                                  BufferPool::QueryScope* scope) {
+  const int64_t n = static_cast<int64_t>(leaf_of.size());
+  const int num_leaves = static_cast<int>(leaf_count.size());
+  const std::vector<RowRange> morsels = PartitionRows(n, MorselRows(ctx));
+  std::vector<std::vector<int64_t>> counts(
+      morsels.size(), std::vector<int64_t>(static_cast<size_t>(num_leaves), 0));
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      static_cast<int64_t>(morsels.size()), 1, [&](int64_t mb, int64_t me) -> Status {
+        for (int64_t m = mb; m < me; ++m) {
+          auto& c = counts[static_cast<size_t>(m)];
+          const RowRange r = morsels[static_cast<size_t>(m)];
+          for (int64_t i = r.begin; i < r.end; ++i) {
+            ++c[static_cast<size_t>(leaf_of[static_cast<size_t>(i)])];
+          }
+        }
+        return Status::OK();
+      }));
+  LeafBuffers out;
+  out.rows.resize(static_cast<size_t>(num_leaves));
+  out.row_reg.assign(static_cast<size_t>(num_leaves), 0);
+  if (key_data != nullptr) {
+    out.keys.resize(static_cast<size_t>(num_leaves));
+    out.key_reg.assign(static_cast<size_t>(num_leaves), 0);
+  }
+  for (int l = 0; l < num_leaves; ++l) {
+    const auto ul = static_cast<size_t>(l);
+    TQP_ASSIGN_OR_RETURN(out.rows[ul], Tensor::Empty(DType::kInt64, leaf_count[ul],
+                                                     1, like.device()));
+    if (key_data != nullptr) {
+      TQP_ASSIGN_OR_RETURN(
+          out.keys[ul], Tensor::Empty(DType::kInt64, leaf_count[ul], 1, like.device()));
+    }
+  }
+  std::vector<std::vector<int64_t>> offsets(
+      morsels.size(), std::vector<int64_t>(static_cast<size_t>(num_leaves), 0));
+  for (int l = 0; l < num_leaves; ++l) {
+    int64_t cursor = 0;
+    for (size_t m = 0; m < morsels.size(); ++m) {
+      offsets[m][static_cast<size_t>(l)] = cursor;
+      cursor += counts[m][static_cast<size_t>(l)];
+    }
+  }
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      static_cast<int64_t>(morsels.size()), 1, [&](int64_t mb, int64_t me) -> Status {
+        for (int64_t m = mb; m < me; ++m) {
+          auto cursor = offsets[static_cast<size_t>(m)];  // private copy
+          const RowRange r = morsels[static_cast<size_t>(m)];
+          for (int64_t i = r.begin; i < r.end; ++i) {
+            const auto l = static_cast<size_t>(leaf_of[static_cast<size_t>(i)]);
+            const int64_t pos = cursor[l]++;
+            out.rows[l].mutable_data<int64_t>()[pos] = i;
+            if (key_data != nullptr) {
+              out.keys[l].mutable_data<int64_t>()[pos] = key_data[i];
+            }
+          }
+        }
+        return Status::OK();
+      }));
+  // Register after the scatter barrier: cold partitions may now evict.
+  if (scope != nullptr) {
+    for (int l = 0; l < num_leaves; ++l) {
+      const auto ul = static_cast<size_t>(l);
+      out.row_reg[ul] = scope->AddSpillable(&out.rows[ul]);
+      if (key_data != nullptr) out.key_reg[ul] = scope->AddSpillable(&out.keys[ul]);
+    }
+  }
+  return out;
+}
+
+void DropLeaf(BufferPool::QueryScope* scope, LeafBuffers* bufs, size_t l,
+              bool pinned) {
+  if (scope != nullptr) {
+    if (bufs->row_reg[l] != 0) {
+      if (pinned) scope->Unpin(bufs->row_reg[l]);
+      scope->Drop(bufs->row_reg[l]);
+      bufs->row_reg[l] = 0;
+    }
+    if (!bufs->key_reg.empty() && bufs->key_reg[l] != 0) {
+      if (pinned) scope->Unpin(bufs->key_reg[l]);
+      scope->Drop(bufs->key_reg[l]);
+      bufs->key_reg[l] = 0;
+    }
+  }
+  bufs->rows[l] = Tensor();
+  if (!bufs->keys.empty()) bufs->keys[l] = Tensor();
+}
+
+Status PinLeaf(BufferPool::QueryScope* scope, LeafBuffers* bufs, size_t l) {
+  if (scope == nullptr) return Status::OK();
+  if (bufs->row_reg[l] != 0) TQP_RETURN_NOT_OK(scope->Pin(bufs->row_reg[l]));
+  if (!bufs->key_reg.empty() && bufs->key_reg[l] != 0) {
+    TQP_RETURN_NOT_OK(scope->Pin(bufs->key_reg[l]));
+  }
+  return Status::OK();
+}
+
+void UnpinLeaf(BufferPool::QueryScope* scope, LeafBuffers* bufs, size_t l) {
+  if (scope == nullptr) return;
+  if (bufs->row_reg[l] != 0) scope->Unpin(bufs->row_reg[l]);
+  if (!bufs->key_reg.empty() && bufs->key_reg[l] != 0) scope->Unpin(bufs->key_reg[l]);
+}
+
+}  // namespace
+
+Result<op::JoinIndices> GraceHashJoinIndices(const ParallelContext& ctx,
+                                             const Tensor& left_keys,
+                                             const Tensor& right_keys,
+                                             const PartitionConfig& config,
+                                             PartitionStats* stats) {
+  TQP_RETURN_NOT_OK(CheckKeys(left_keys));
+  TQP_RETURN_NOT_OK(CheckKeys(right_keys));
+  const int64_t l_rows = left_keys.rows();
+  const int64_t r_rows = right_keys.rows();
+  const int bits = config.forced_bits >= 0
+                       ? config.forced_bits
+                       : ChoosePartitionBits(
+                             r_rows, kBuildBytesPerRow, config.budget_bytes,
+                             ctx.pool != nullptr ? ctx.pool->num_threads() : 1);
+  // An empty side leaves nothing to partition — and a 0-row tensor's data
+  // pointer is null, which ScatterByLeaf would misread as "no key copies".
+  if (bits <= 0 || ctx.pool == nullptr || l_rows == 0 || r_rows == 0) {
+    if (stats != nullptr) stats->partitions = 1;
+    return op::HashJoinIndices(left_keys, right_keys);
+  }
+
+  obs::TraceSpan span("breaker", "grace_join");
+  BufferPool::QueryScope* scope = BufferPool::QueryScope::Current();
+  if (scope != nullptr && !scope->spill_enabled()) scope = nullptr;
+  const int64_t spilled_before =
+      scope != nullptr ? scope->stats().spilled_bytes : 0;
+  PartitionStats local;
+
+  const int64_t* lk = left_keys.data<int64_t>();
+  const int64_t* rk = right_keys.data<int64_t>();
+
+  // The build (right) side drives the recursive split.
+  std::vector<uint64_t> rhash(static_cast<size_t>(r_rows));
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      r_rows, MorselRows(ctx), [&](int64_t b, int64_t e) -> Status {
+        for (int64_t i = b; i < e; ++i) {
+          rhash[static_cast<size_t>(i)] = HashKey64(rk[i]);
+        }
+        return Status::OK();
+      }));
+  const int64_t max_rows = MaxPartitionRows(config, kBuildBytesPerRow);
+  std::vector<int32_t> leaf_of_r;
+  std::vector<int64_t> leaf_count_r;
+  TQP_ASSIGN_OR_RETURN(RadixSplit split,
+                       BuildRadixSplit(ctx, rhash, bits, max_rows, &local,
+                                       &leaf_of_r, &leaf_count_r));
+  std::vector<uint64_t>().swap(rhash);
+  const int num_leaves = split.num_leaves;
+
+  TQP_ASSIGN_OR_RETURN(
+      LeafBuffers build,
+      ScatterByLeaf(ctx, leaf_of_r, leaf_count_r, rk, right_keys, scope));
+  std::vector<int32_t>().swap(leaf_of_r);
+
+  // Chain build, partition-at-a-time: ascending build-row insertion per leaf
+  // reproduces the serial whole-table chains (first = latest row per key,
+  // next = previous same-key row). Probing needs only `first` and `next`, so
+  // each leaf's scattered buffers drop as soon as its chains exist.
+  std::vector<std::unordered_map<int64_t, int64_t>> first(
+      static_cast<size_t>(num_leaves));
+  std::vector<int64_t> next(static_cast<size_t>(r_rows), -1);
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      num_leaves, 1, [&](int64_t pb, int64_t pe) -> Status {
+        for (int64_t l = pb; l < pe; ++l) {
+          const auto ul = static_cast<size_t>(l);
+          TQP_RETURN_NOT_OK(PinLeaf(scope, &build, ul));
+          const int64_t* rows = build.rows[ul].data<int64_t>();
+          const int64_t* key_buf = build.keys[ul].data<int64_t>();
+          const int64_t cnt = leaf_count_r[ul];
+          auto& table = first[ul];
+          table.reserve(static_cast<size_t>(cnt) * 2);
+          for (int64_t k = 0; k < cnt; ++k) {
+            const int64_t r = rows[k];
+            auto [it, inserted] = table.try_emplace(key_buf[k], r);
+            if (!inserted) {
+              next[static_cast<size_t>(r)] = it->second;
+              it->second = r;
+            }
+          }
+          DropLeaf(scope, &build, ul, /*pinned=*/true);
+        }
+        return Status::OK();
+      }));
+
+  // Probe rows walk the identical split tree, then scatter by leaf so each
+  // partition probes against exactly one chain table.
+  std::vector<int32_t> leaf_of_l(static_cast<size_t>(l_rows));
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      l_rows, MorselRows(ctx), [&](int64_t b, int64_t e) -> Status {
+        for (int64_t i = b; i < e; ++i) {
+          leaf_of_l[static_cast<size_t>(i)] = split.LeafOf(HashKey64(lk[i]));
+        }
+        return Status::OK();
+      }));
+  std::vector<int64_t> leaf_count_l(static_cast<size_t>(num_leaves), 0);
+  for (int64_t i = 0; i < l_rows; ++i) {
+    ++leaf_count_l[static_cast<size_t>(leaf_of_l[static_cast<size_t>(i)])];
+  }
+  TQP_ASSIGN_OR_RETURN(
+      LeafBuffers probe,
+      ScatterByLeaf(ctx, leaf_of_l, leaf_count_l, nullptr, left_keys, scope));
+  std::vector<int32_t>().swap(leaf_of_l);
+
+  // Pass A (parallel over leaves): matches per left row. Every left row lives
+  // in exactly one leaf, so the writes are disjoint.
+  std::vector<int64_t> match_count(static_cast<size_t>(l_rows), 0);
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      num_leaves, 1, [&](int64_t pb, int64_t pe) -> Status {
+        for (int64_t p = pb; p < pe; ++p) {
+          const auto up = static_cast<size_t>(p);
+          TQP_RETURN_NOT_OK(PinLeaf(scope, &probe, up));
+          const int64_t* rows = probe.rows[up].data<int64_t>();
+          const int64_t cnt = leaf_count_l[up];
+          const auto& table = first[up];
+          for (int64_t k = 0; k < cnt; ++k) {
+            const int64_t l = rows[k];
+            auto it = table.find(lk[l]);
+            if (it == table.end()) continue;
+            int64_t c = 0;
+            for (int64_t r = it->second; r >= 0; r = next[static_cast<size_t>(r)]) {
+              ++c;
+            }
+            match_count[static_cast<size_t>(l)] = c;
+          }
+          UnpinLeaf(scope, &probe, up);
+        }
+        return Status::OK();
+      }));
+  // Exclusive scan: each left row's slot in the output. Position depends only
+  // on the row id, so partition processing order cannot perturb the result.
+  std::vector<int64_t> out_off(static_cast<size_t>(l_rows) + 1, 0);
+  for (int64_t i = 0; i < l_rows; ++i) {
+    out_off[static_cast<size_t>(i) + 1] =
+        out_off[static_cast<size_t>(i)] + match_count[static_cast<size_t>(i)];
+  }
+  const int64_t total = out_off[static_cast<size_t>(l_rows)];
+  std::vector<int64_t>().swap(match_count);
+  op::JoinIndices out;
+  TQP_ASSIGN_OR_RETURN(out.left_ids,
+                       Tensor::Empty(DType::kInt64, total, 1, left_keys.device()));
+  TQP_ASSIGN_OR_RETURN(out.right_ids,
+                       Tensor::Empty(DType::kInt64, total, 1, left_keys.device()));
+  int64_t* pl = out.left_ids.mutable_data<int64_t>();
+  int64_t* pr = out.right_ids.mutable_data<int64_t>();
+
+  // Pass B: write matches at out_off[l], chains in descending build-row order
+  // exactly like the serial probe.
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      num_leaves, 1, [&](int64_t pb, int64_t pe) -> Status {
+        for (int64_t p = pb; p < pe; ++p) {
+          const auto up = static_cast<size_t>(p);
+          TQP_RETURN_NOT_OK(PinLeaf(scope, &probe, up));
+          const int64_t* rows = probe.rows[up].data<int64_t>();
+          const int64_t cnt = leaf_count_l[up];
+          const auto& table = first[up];
+          for (int64_t k = 0; k < cnt; ++k) {
+            const int64_t l = rows[k];
+            auto it = table.find(lk[l]);
+            if (it == table.end()) continue;
+            int64_t w = out_off[static_cast<size_t>(l)];
+            for (int64_t r = it->second; r >= 0; r = next[static_cast<size_t>(r)]) {
+              pl[w] = l;
+              pr[w] = r;
+              ++w;
+            }
+          }
+          DropLeaf(scope, &probe, up, /*pinned=*/true);
+        }
+        return Status::OK();
+      }));
+
+  local.spilled_bytes =
+      (scope != nullptr ? scope->stats().spilled_bytes : 0) - spilled_before;
+  span.AddArg("partitions", local.partitions);
+  span.AddArg("recursion_depth", local.recursion_depth);
+  span.AddArg("spilled_bytes", local.spilled_bytes);
+  RecordBreakerStats("grace_join", local);
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace tqp::op::partitioned

@@ -1,0 +1,42 @@
+#ifndef TQP_OPERATORS_PARTITIONED_GRACE_JOIN_H_
+#define TQP_OPERATORS_PARTITIONED_GRACE_JOIN_H_
+
+#include "common/result.h"
+#include "operators/hash_join.h"
+#include "operators/partitioned/partition.h"
+#include "runtime/parallel_kernels.h"
+#include "tensor/tensor.h"
+
+namespace tqp::op::partitioned {
+
+/// \brief Grace/hybrid hash join: both sides radix-partition by disjoint
+/// windows of the same 64-bit key hash, partitions build and probe
+/// independently across the thread pool, and the output is assembled in
+/// (left row, chain) order — bit-identical to op::HashJoinIndices for any
+/// partition count, recursion shape, or thread count.
+///
+/// The build (right) side drives the recursive split (BuildRadixSplit):
+/// partitions above the budget-derived MaxPartitionRows re-partition on
+/// fresh hash bits, all-equal-key partitions fall back to one monolithic
+/// chain, and the probe side walks the identical tree so both sides agree on
+/// leaves. Within a leaf, chains insert in ascending build-row order — the
+/// order-preserving scatter guarantees it — so every per-key chain equals
+/// the serial build's. The probe runs two passes (count, then write at
+/// per-left-row offsets): each left row's matches land at a position
+/// determined only by the row id, so partition processing order cannot
+/// perturb the output.
+///
+/// Per-leaf row-id and key buffers register with the ambient
+/// BufferPool::QueryScope, pinned partition-at-a-time and dropped as soon as
+/// the leaf's chains exist (probing needs only the chain links and heads,
+/// never the scattered keys), which keeps the resident floor to one
+/// partition's working set plus output.
+Result<op::JoinIndices> GraceHashJoinIndices(const runtime::ParallelContext& ctx,
+                                             const Tensor& left_keys,
+                                             const Tensor& right_keys,
+                                             const PartitionConfig& config,
+                                             PartitionStats* stats);
+
+}  // namespace tqp::op::partitioned
+
+#endif  // TQP_OPERATORS_PARTITIONED_GRACE_JOIN_H_

@@ -1,0 +1,311 @@
+#include "operators/partitioned/partitioned_agg.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/trace.h"
+#include "runtime/morsel.h"
+#include "tensor/buffer_pool.h"
+
+namespace tqp::op::partitioned {
+
+namespace {
+
+using runtime::MorselRows;
+using runtime::ParallelContext;
+using runtime::PartitionRows;
+using runtime::RowRange;
+
+// Byte-encodes the key tuple of row i — mirrors src/operators/hash_groupby.cc
+// so grouping decisions are identical to the serial operator.
+std::string RowKey(const std::vector<Tensor>& keys, int64_t i) {
+  std::string out;
+  for (const Tensor& k : keys) {
+    const int64_t row_bytes = k.cols() * DTypeSize(k.dtype());
+    const char* p = reinterpret_cast<const char*>(k.raw_data()) + i * row_bytes;
+    out.append(p, static_cast<size_t>(row_bytes));
+    out.push_back('\x1f');
+  }
+  return out;
+}
+
+int64_t KeyRowBytes(const std::vector<Tensor>& keys) {
+  int64_t bytes = 0;
+  for (const Tensor& k : keys) bytes += k.cols() * DTypeSize(k.dtype()) + 1;
+  return bytes;
+}
+
+}  // namespace
+
+Result<op::GroupIds> PartitionedHashGroupIds(const ParallelContext& ctx,
+                                             const std::vector<Tensor>& keys,
+                                             const PartitionConfig& config,
+                                             PartitionStats* stats) {
+  if (keys.empty()) return Status::Invalid("HashGroupIds: no keys");
+  const int64_t n = keys[0].rows();
+  for (const Tensor& k : keys) {
+    if (k.rows() != n) return Status::Invalid("HashGroupIds: length mismatch");
+  }
+  const int64_t bytes_per_row = KeyRowBytes(keys) + int64_t{8};  // key + row id
+  const int bits = config.forced_bits >= 0
+                       ? config.forced_bits
+                       : ChoosePartitionBits(
+                             n, bytes_per_row, config.budget_bytes,
+                             ctx.pool != nullptr ? ctx.pool->num_threads() : 1);
+  if (bits <= 0 || ctx.pool == nullptr || n == 0) {
+    if (stats != nullptr) stats->partitions = 1;
+    return op::HashGroupIds(keys);
+  }
+
+  obs::TraceSpan span("breaker", "partitioned_agg");
+  BufferPool::QueryScope* scope = BufferPool::QueryScope::Current();
+  if (scope != nullptr && !scope->spill_enabled()) scope = nullptr;
+  const int64_t spilled_before =
+      scope != nullptr ? scope->stats().spilled_bytes : 0;
+  PartitionStats local;
+
+  // Pass 0 (parallel over morsels): one 64-bit hash per row; every recursion
+  // level slices a different window of it.
+  std::vector<uint64_t> hashes(static_cast<size_t>(n));
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      n, MorselRows(ctx), [&](int64_t b, int64_t e) -> Status {
+        for (int64_t i = b; i < e; ++i) {
+          hashes[static_cast<size_t>(i)] = HashRowKey(RowKey(keys, i));
+        }
+        return Status::OK();
+      }));
+  const int64_t max_rows = MaxPartitionRows(config, bytes_per_row);
+  std::vector<int32_t> leaf_of;
+  std::vector<int64_t> leaf_count;
+  TQP_ASSIGN_OR_RETURN(
+      RadixSplit split,
+      BuildRadixSplit(ctx, hashes, bits, max_rows, &local, &leaf_of, &leaf_count));
+  std::vector<uint64_t>().swap(hashes);
+  const int num_leaves = split.num_leaves;
+
+  // Order-preserving scatter of row ids into per-leaf spillable buffers: the
+  // partition-p buffer lists p's rows in ascending global row order.
+  const std::vector<RowRange> morsels = PartitionRows(n, MorselRows(ctx));
+  std::vector<std::vector<int64_t>> counts(
+      morsels.size(), std::vector<int64_t>(static_cast<size_t>(num_leaves), 0));
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      static_cast<int64_t>(morsels.size()), 1, [&](int64_t mb, int64_t me) -> Status {
+        for (int64_t m = mb; m < me; ++m) {
+          auto& c = counts[static_cast<size_t>(m)];
+          const RowRange r = morsels[static_cast<size_t>(m)];
+          for (int64_t i = r.begin; i < r.end; ++i) {
+            ++c[static_cast<size_t>(leaf_of[static_cast<size_t>(i)])];
+          }
+        }
+        return Status::OK();
+      }));
+  std::vector<Tensor> leaf_rows(static_cast<size_t>(num_leaves));
+  for (int l = 0; l < num_leaves; ++l) {
+    TQP_ASSIGN_OR_RETURN(
+        leaf_rows[static_cast<size_t>(l)],
+        Tensor::Empty(DType::kInt64, leaf_count[static_cast<size_t>(l)], 1,
+                      keys[0].device()));
+  }
+  // offsets[m][l]: where morsel m writes its leaf-l rows within leaf l.
+  std::vector<std::vector<int64_t>> offsets(
+      morsels.size(), std::vector<int64_t>(static_cast<size_t>(num_leaves), 0));
+  for (int l = 0; l < num_leaves; ++l) {
+    int64_t cursor = 0;
+    for (size_t m = 0; m < morsels.size(); ++m) {
+      offsets[m][static_cast<size_t>(l)] = cursor;
+      cursor += counts[m][static_cast<size_t>(l)];
+    }
+  }
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      static_cast<int64_t>(morsels.size()), 1, [&](int64_t mb, int64_t me) -> Status {
+        for (int64_t m = mb; m < me; ++m) {
+          auto cursor = offsets[static_cast<size_t>(m)];  // private copy
+          const RowRange r = morsels[static_cast<size_t>(m)];
+          for (int64_t i = r.begin; i < r.end; ++i) {
+            const auto l =
+                static_cast<size_t>(leaf_of[static_cast<size_t>(i)]);
+            leaf_rows[l].mutable_data<int64_t>()[cursor[l]++] = i;
+          }
+        }
+        return Status::OK();
+      }));
+  // Register after the scatter barrier: from here cold leaves may evict
+  // while other leaves are being grouped.
+  std::vector<uint64_t> reg(static_cast<size_t>(num_leaves), 0);
+  if (scope != nullptr) {
+    for (int l = 0; l < num_leaves; ++l) {
+      reg[static_cast<size_t>(l)] =
+          scope->AddSpillable(&leaf_rows[static_cast<size_t>(l)]);
+    }
+  }
+
+  // Pass 2 (parallel over leaves): local grouping in ascending row order,
+  // partition-at-a-time (pin, group, drop).
+  std::vector<int64_t> local_id(static_cast<size_t>(n));
+  std::vector<std::vector<int64_t>> first_rows(static_cast<size_t>(num_leaves));
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      num_leaves, 1, [&](int64_t pb, int64_t pe) -> Status {
+        for (int64_t l = pb; l < pe; ++l) {
+          const auto ul = static_cast<size_t>(l);
+          if (reg[ul] != 0) TQP_RETURN_NOT_OK(scope->Pin(reg[ul]));
+          const int64_t* rows = leaf_rows[ul].data<int64_t>();
+          const int64_t cnt = leaf_count[ul];
+          auto& reps = first_rows[ul];
+          std::unordered_map<std::string, int64_t> table;
+          table.reserve(static_cast<size_t>(cnt) * 2);
+          for (int64_t k = 0; k < cnt; ++k) {
+            const int64_t i = rows[k];
+            auto [it, inserted] =
+                table.try_emplace(RowKey(keys, i), static_cast<int64_t>(reps.size()));
+            if (inserted) reps.push_back(i);
+            local_id[static_cast<size_t>(i)] = it->second;
+          }
+          if (reg[ul] != 0) {
+            scope->Unpin(reg[ul]);
+            scope->Drop(reg[ul]);
+          }
+          leaf_rows[ul] = Tensor();
+        }
+        return Status::OK();
+      }));
+
+  // Barrier: rank all groups by first-occurrence row — that *is* the serial
+  // first-seen order, for any leaf decomposition — and build per-leaf
+  // local -> global remaps.
+  std::vector<std::pair<int64_t, int32_t>> all_reps;  // (first_row, leaf)
+  for (int l = 0; l < num_leaves; ++l) {
+    for (int64_t row : first_rows[static_cast<size_t>(l)]) {
+      all_reps.emplace_back(row, static_cast<int32_t>(l));
+    }
+  }
+  std::sort(all_reps.begin(), all_reps.end());
+  std::vector<std::vector<int64_t>> remap(static_cast<size_t>(num_leaves));
+  for (int l = 0; l < num_leaves; ++l) {
+    remap[static_cast<size_t>(l)].resize(first_rows[static_cast<size_t>(l)].size());
+  }
+  std::vector<int64_t> local_rank(static_cast<size_t>(num_leaves), 0);
+  std::vector<int64_t> reps;
+  reps.reserve(all_reps.size());
+  for (size_t g = 0; g < all_reps.size(); ++g) {
+    const auto l = static_cast<size_t>(all_reps[g].second);
+    remap[l][static_cast<size_t>(local_rank[l]++)] = static_cast<int64_t>(g);
+    reps.push_back(all_reps[g].first);
+  }
+
+  // Pass 3 (parallel over rows): translate local ids to global ids.
+  op::GroupIds out;
+  TQP_ASSIGN_OR_RETURN(out.group_ids,
+                       Tensor::Empty(DType::kInt64, n, 1, keys[0].device()));
+  int64_t* ids = out.group_ids.mutable_data<int64_t>();
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      n, MorselRows(ctx), [&](int64_t b, int64_t e) -> Status {
+        for (int64_t i = b; i < e; ++i) {
+          ids[i] =
+              remap[static_cast<size_t>(leaf_of[static_cast<size_t>(i)])]
+                   [static_cast<size_t>(local_id[static_cast<size_t>(i)])];
+        }
+        return Status::OK();
+      }));
+  out.representatives = Tensor::FromVector(reps);
+  out.num_groups = static_cast<int64_t>(reps.size());
+
+  local.spilled_bytes =
+      (scope != nullptr ? scope->stats().spilled_bytes : 0) - spilled_before;
+  span.AddArg("partitions", local.partitions);
+  span.AddArg("recursion_depth", local.recursion_depth);
+  span.AddArg("spilled_bytes", local.spilled_bytes);
+  RecordBreakerStats("partitioned_agg", local);
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+Result<Tensor> PartitionOrderedFloatSums(const ParallelContext& ctx,
+                                         const Tensor& values, const Tensor& ids,
+                                         int64_t num_groups, bool validate) {
+  const int64_t n = values.rows();
+  const double* pv = values.data<double>();
+  const int64_t* pid = ids.data<int64_t>();
+  TQP_ASSIGN_OR_RETURN(
+      Tensor out, Tensor::Full(DType::kFloat64, num_groups, 1, 0.0, values.device()));
+  double* po = out.mutable_data<double>();
+  if (ctx.pool == nullptr || !runtime::ShouldParallelize(ctx, n)) {
+    for (int64_t i = 0; i < n; ++i) {
+      if (validate && (pid[i] < 0 || pid[i] >= num_groups)) {
+        return Status::IndexError("segment id out of range");
+      }
+      po[pid[i]] += pv[i];
+    }
+    return out;
+  }
+  // Partition the group id space into contiguous ranges. The range count
+  // cannot affect the result: each group lives in exactly one range and its
+  // rows accumulate in ascending order either way.
+  const int64_t num_ranges =
+      std::min<int64_t>(std::max<int64_t>(1, 2 * ctx.pool->num_threads()), num_groups);
+  const int64_t step = (num_groups + num_ranges - 1) / num_ranges;
+  const std::vector<RowRange> morsels = PartitionRows(n, MorselRows(ctx));
+  std::vector<std::vector<int64_t>> counts(
+      morsels.size(), std::vector<int64_t>(static_cast<size_t>(num_ranges), 0));
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      static_cast<int64_t>(morsels.size()), 1, [&](int64_t mb, int64_t me) -> Status {
+        for (int64_t m = mb; m < me; ++m) {
+          auto& c = counts[static_cast<size_t>(m)];
+          const RowRange r = morsels[static_cast<size_t>(m)];
+          for (int64_t i = r.begin; i < r.end; ++i) {
+            if (validate && (pid[i] < 0 || pid[i] >= num_groups)) {
+              return Status::IndexError("segment id out of range");
+            }
+            ++c[static_cast<size_t>(pid[i] / step)];
+          }
+        }
+        return Status::OK();
+      }));
+  std::vector<int64_t> range_start(static_cast<size_t>(num_ranges) + 1, 0);
+  for (int64_t r = 0; r < num_ranges; ++r) {
+    int64_t total = 0;
+    for (size_t m = 0; m < morsels.size(); ++m) total += counts[m][static_cast<size_t>(r)];
+    range_start[static_cast<size_t>(r) + 1] = range_start[static_cast<size_t>(r)] + total;
+  }
+  std::vector<std::vector<int64_t>> offsets(
+      morsels.size(), std::vector<int64_t>(static_cast<size_t>(num_ranges), 0));
+  for (int64_t r = 0; r < num_ranges; ++r) {
+    int64_t cursor = range_start[static_cast<size_t>(r)];
+    for (size_t m = 0; m < morsels.size(); ++m) {
+      offsets[m][static_cast<size_t>(r)] = cursor;
+      cursor += counts[m][static_cast<size_t>(r)];
+    }
+  }
+  // Order-preserving scatter: range r's slice lists its rows ascending.
+  std::vector<int64_t> row_of(static_cast<size_t>(n));
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      static_cast<int64_t>(morsels.size()), 1, [&](int64_t mb, int64_t me) -> Status {
+        for (int64_t m = mb; m < me; ++m) {
+          auto cursor = offsets[static_cast<size_t>(m)];  // private copy
+          const RowRange r = morsels[static_cast<size_t>(m)];
+          for (int64_t i = r.begin; i < r.end; ++i) {
+            const auto p = static_cast<size_t>(pid[i] / step);
+            row_of[static_cast<size_t>(cursor[p]++)] = i;
+          }
+        }
+        return Status::OK();
+      }));
+  // Each range accumulates its groups in serial row order into a disjoint
+  // output slice: bit-identical to the serial scan.
+  TQP_RETURN_NOT_OK(ctx.pool->ParallelFor(
+      num_ranges, 1, [&](int64_t rb, int64_t re) -> Status {
+        for (int64_t r = rb; r < re; ++r) {
+          const int64_t begin = range_start[static_cast<size_t>(r)];
+          const int64_t end = range_start[static_cast<size_t>(r) + 1];
+          for (int64_t k = begin; k < end; ++k) {
+            const int64_t i = row_of[static_cast<size_t>(k)];
+            po[pid[i]] += pv[i];
+          }
+        }
+        return Status::OK();
+      }));
+  return out;
+}
+
+}  // namespace tqp::op::partitioned

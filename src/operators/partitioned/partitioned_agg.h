@@ -1,0 +1,54 @@
+#ifndef TQP_OPERATORS_PARTITIONED_PARTITIONED_AGG_H_
+#define TQP_OPERATORS_PARTITIONED_PARTITIONED_AGG_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "operators/hash_groupby.h"
+#include "operators/partitioned/partition.h"
+#include "runtime/parallel_kernels.h"
+#include "tensor/tensor.h"
+
+namespace tqp::op::partitioned {
+
+/// \brief Radix-partitioned hash aggregation: per-partition group discovery
+/// followed by an ordered re-rank, so dense group ids equal the serial
+/// op::HashGroupIds first-seen order exactly.
+///
+/// Rows partition by disjoint 8-bit windows of one 64-bit key hash
+/// (PartitionOfHash); partitions whose row count exceeds the budget-derived
+/// MaxPartitionRows re-partition recursively on the next hash window, up to
+/// kMaxRecursionDepth, with a no-progress (all-equal-key) partition becoming
+/// a monolithic fallback leaf. The order-preserving scatter keeps rows of
+/// each leaf in ascending global row order, so each leaf's first-seen list
+/// is ascending and ranking *all* leaves' groups by first-occurrence row
+/// reproduces the serial order for any leaf decomposition — partition count,
+/// recursion shape, and thread count cannot change the output.
+///
+/// Per-leaf row-id buffers are pool-backed tensors registered with the
+/// ambient BufferPool::QueryScope, so cold partitions evict under memory
+/// pressure while hot ones are grouped (pinned partition-at-a-time).
+Result<op::GroupIds> PartitionedHashGroupIds(const runtime::ParallelContext& ctx,
+                                             const std::vector<Tensor>& keys,
+                                             const PartitionConfig& config,
+                                             PartitionStats* stats);
+
+/// \brief Exact parallel float sums: partitions the *group id space* into
+/// contiguous ranges, scatters row ids by range (order-preserving), then
+/// accumulates each range's groups in ascending row order into disjoint
+/// output slices. Every group's additions happen in the serial left-to-right
+/// order, so the result is bit-identical to the serial kernel for any range
+/// count or thread count — this removes the float-sum serial fallback from
+/// ParallelGroupedReduce / ParallelSegmentedReduce.
+///
+/// `values` must be kFloat64 (n x 1) — callers cast first, exactly like the
+/// serial kernels do — and `ids` kInt64 (n x 1) with num_groups > 0. With
+/// `validate`, out-of-range ids fail with the SegmentedReduce IndexError;
+/// without it ids are trusted dense (GroupedReduce's contract).
+Result<Tensor> PartitionOrderedFloatSums(const runtime::ParallelContext& ctx,
+                                         const Tensor& values, const Tensor& ids,
+                                         int64_t num_groups, bool validate);
+
+}  // namespace tqp::op::partitioned
+
+#endif  // TQP_OPERATORS_PARTITIONED_PARTITIONED_AGG_H_

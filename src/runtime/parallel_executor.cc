@@ -8,6 +8,7 @@
 #include "graph/eval.h"
 #include "graph/op_type.h"
 #include "obs/trace.h"
+#include "operators/partitioned/partition.h"
 #include "runtime/morsel.h"
 #include "runtime/step_scheduler.h"
 #include "runtime/task_graph.h"
@@ -64,6 +65,8 @@ Result<std::vector<Tensor>> ParallelExecutor::Run(const std::vector<Tensor>& inp
   ParallelContext ctx;
   ctx.pool = pool_;
   ctx.morsel_rows = options_.morsel_rows;
+  ctx.partitioned_breakers = options_.partitioned_breakers ||
+                             op::partitioned::DefaultPartitionedBreakers();
 
   // Per-query memory: the ambient scope (the QueryScheduler's) or a local
   // one when this executor carries its own budget; node tasks inherit it
@@ -124,12 +127,37 @@ Result<std::vector<Tensor>> ParallelExecutor::Run(const std::vector<Tensor>& inp
                 spill.PinSlot(static_cast<size_t>(node.inputs[i])));
           }
           Stopwatch timer;
+          // Operands a partitioned breaker released mid-node (its hook drops
+          // the consumed input before the output allocates); the release loop
+          // below must not unpin or drop them a second time.
+          std::vector<int> released;
+          runtime::BreakerHooks hooks;
+          ParallelContext node_ctx = ctx;
+          if (ctx.partitioned_breakers) {
+            hooks.release_input = [&](int operand) -> bool {
+              if (std::find(node.inputs.begin(), node.inputs.end(), operand) ==
+                  node.inputs.end()) {
+                return false;
+              }
+              const size_t on = static_cast<size_t>(operand);
+              // refs == 1 means this node is the only remaining consumer and
+              // the value is not a program output — every other reader's task
+              // already completed, so nothing touches the slot concurrently.
+              if (refs[on].load(std::memory_order_acquire) != 1) return false;
+              spill.UnpinSlot(on);
+              spill.DropSlot(on);
+              values[on] = Tensor();
+              released.push_back(operand);
+              return true;
+            };
+            node_ctx.breaker_hooks = &hooks;
+          }
           // One span per op node — the node-at-a-time backend's step unit
           // (same "op" category the QueryProfiler records under).
           obs::TraceSpan op_span("op", OpTypeName(node.type));
           if (op_span.enabled()) op_span.AddArg("node", node.id);
-          TQP_ASSIGN_OR_RETURN(Tensor out,
-                               runtime::ParallelEvalNode(ctx, prog, node, values));
+          TQP_ASSIGN_OR_RETURN(
+              Tensor out, runtime::ParallelEvalNode(node_ctx, prog, node, values));
           if (op_span.enabled()) op_span.AddArg("output_bytes", out.nbytes());
           if (device->is_simulated()) {
             bool irregular = false;
@@ -151,8 +179,12 @@ Result<std::vector<Tensor>> ParallelExecutor::Run(const std::vector<Tensor>& inp
           for (size_t i = 0; i < node.inputs.size(); ++i) {
             if (!FirstUseOfOperand(node.inputs, i)) continue;
             const size_t in = static_cast<size_t>(node.inputs[i]);
-            spill.UnpinSlot(in);
-            if (refs[in].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            const bool freed =
+                std::find(released.begin(), released.end(), node.inputs[i]) !=
+                released.end();
+            if (!freed) spill.UnpinSlot(in);
+            if (refs[in].fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+                !freed) {
               spill.DropSlot(in);
               values[in] = Tensor();
             }

@@ -7,7 +7,10 @@
 
 #include "graph/eval.h"
 #include "kernels/kernels.h"
+#include "operators/partitioned/external_sort.h"
+#include "operators/partitioned/partitioned_agg.h"
 #include "runtime/morsel.h"
+#include "tensor/buffer_pool.h"
 
 namespace tqp::runtime {
 
@@ -260,20 +263,31 @@ Result<Tensor> ParallelSegmentedReduce(const ParallelContext& ctx, ReduceOpKind 
                                        const Tensor& values,
                                        const Tensor& segment_ids,
                                        int64_t num_segments) {
+  const bool float_sum =
+      op == ReduceOpKind::kSum && IsFloatingPoint(values.dtype());
   const bool exact_parallel =
       op == ReduceOpKind::kCount || op == ReduceOpKind::kMin ||
-      op == ReduceOpKind::kMax ||
-      (op == ReduceOpKind::kSum && !IsFloatingPoint(values.dtype()));
+      op == ReduceOpKind::kMax || op == ReduceOpKind::kSum;
   const int64_t n = values.rows();
   // Partial accumulator arrays cost slots * num_segments doubles; past ~64 MiB
-  // total the merge pass stops paying for itself.
+  // total the merge pass stops paying for itself. The partition-ordered
+  // float-sum path uses no per-slot arrays, so it is exempt.
   const bool partials_fit =
       ctx.pool != nullptr &&
-      num_segments <= (int64_t{1} << 23) / std::max(1, ctx.pool->max_parallel_slots());
+      (float_sum ||
+       num_segments <=
+           (int64_t{1} << 23) / std::max(1, ctx.pool->max_parallel_slots()));
   if (!exact_parallel || !partials_fit || !ShouldParallelize(ctx, n) ||
       segment_ids.dtype() != DType::kInt64 || segment_ids.cols() != 1 ||
       values.cols() != 1 || segment_ids.rows() != n || num_segments <= 0) {
     return kernels::SegmentedReduce(op, values, segment_ids, num_segments);
+  }
+  if (float_sum) {
+    // Exact: each segment's additions replay in serial row order.
+    TQP_ASSIGN_OR_RETURN(Tensor cv, ParallelCast(ctx, values, DType::kFloat64));
+    return op::partitioned::PartitionOrderedFloatSums(ctx, cv, segment_ids,
+                                                      num_segments,
+                                                      /*validate=*/true);
   }
   const int64_t* seg = segment_ids.data<int64_t>();
   const int slots = ctx.pool->max_parallel_slots();
@@ -564,6 +578,25 @@ Result<Tensor> ParallelEvalNode(const ParallelContext& ctx,
   auto in = [&](int i) -> const Tensor& {
     return values[static_cast<size_t>(node.inputs[static_cast<size_t>(i)])];
   };
+  // Partitioned breakers engage even with a 1-thread pool: the external merge
+  // sort's budget-sized spillable runs matter for memory, not just speed.
+  if (ctx.partitioned_breakers && ctx.pool != nullptr &&
+      node.type == OpType::kArgsortRows &&
+      in(0).rows() >= ctx.min_parallel_rows) {
+    op::partitioned::PartitionConfig config;
+    auto* scope = BufferPool::QueryScope::Current();
+    config.budget_bytes = scope != nullptr ? scope->budget_bytes() : 0;
+    config.forced_bits = op::partitioned::ForcedPartitionBits();
+    std::function<void()> release;
+    if (ctx.breaker_hooks != nullptr && ctx.breaker_hooks->release_input) {
+      release = [&ctx, slot = node.inputs[0]] {
+        ctx.breaker_hooks->release_input(static_cast<int>(slot));
+      };
+    }
+    return op::partitioned::ExternalSortRows(ctx, in(0),
+                                             node.attrs.GetBool("ascending"),
+                                             config, nullptr, release);
+  }
   if (ctx.parallel()) {
     switch (node.type) {
       case OpType::kBinary:

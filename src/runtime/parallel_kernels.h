@@ -1,6 +1,7 @@
 #ifndef TQP_RUNTIME_PARALLEL_KERNELS_H_
 #define TQP_RUNTIME_PARALLEL_KERNELS_H_
 
+#include <functional>
 #include <vector>
 
 #include "common/result.h"
@@ -11,6 +12,17 @@
 
 namespace tqp::runtime {
 
+/// \brief Executor-provided callbacks for partitioned pipeline-breaker
+/// evaluation. Lives on the executor's stack for the duration of one step.
+struct BreakerHooks {
+  /// Releases the executor's value-slot handle for `operand` once a breaker
+  /// has fully consumed it (e.g. after external-sort run formation), so the
+  /// input buffer frees before the breaker's output allocates. Returns true
+  /// when the slot was actually released. Must be safe to call from the
+  /// step's calling thread.
+  std::function<bool(int operand)> release_input;
+};
+
 /// \brief Shared knobs for morsel-parallel kernel execution.
 struct ParallelContext {
   ThreadPool* pool = nullptr;  // null => serial
@@ -19,6 +31,13 @@ struct ParallelContext {
   /// Kernels on fewer rows than this run serially (fan-out overhead would
   /// dominate).
   int64_t min_parallel_rows = 8192;
+  /// Evaluate pipeline breakers (hash-join build, grouping, sort) through the
+  /// radix-partitioned operators in src/operators/partitioned. Results stay
+  /// bit-identical; partitions are cache-sized, spillable, and chosen from
+  /// the ambient query budget.
+  bool partitioned_breakers = false;
+  /// Optional executor hooks, only consulted when partitioned_breakers is on.
+  const BreakerHooks* breaker_hooks = nullptr;
 
   bool parallel() const { return pool != nullptr && pool->num_threads() > 1; }
 };
@@ -32,8 +51,11 @@ bool ShouldParallelize(const ParallelContext& ctx, int64_t rows);
 /// Morsel-parallel kernels. Every function in this header is *exact*: its
 /// result is bit-identical to the corresponding serial kernel in
 /// src/kernels, for any thread count and morsel size. Decompositions that
-/// cannot be made exact (floating-point sums, prefix scans) are not
-/// parallelized — they delegate to the serial kernel.
+/// cannot be made exact (whole-input floating-point sums, prefix scans) are
+/// not parallelized — they delegate to the serial kernel. *Grouped* float
+/// sums are exact in parallel: the partition-ordered accumulation in
+/// src/operators/partitioned replays each group's additions in serial row
+/// order, so segmented/grouped reductions parallelize for every op.
 
 /// \brief Elementwise family (broadcast-aware): rows are independent, so
 /// morsels of the output map to morsels of the row-aligned inputs.
@@ -65,8 +87,10 @@ Result<Tensor> ParallelReduceAll(const ParallelContext& ctx, ReduceOpKind op,
                                  const Tensor& a);
 
 /// \brief Segmented reduction with per-worker partial accumulator arrays
-/// merged at a barrier (the classic morsel-driven aggregation shape). Same
-/// exactness policy as ParallelReduceAll; float sums run serially.
+/// merged at a barrier (the classic morsel-driven aggregation shape).
+/// Count/min/max and integer sums merge partials; float sums go through the
+/// exact partition-ordered accumulation (each segment's additions happen in
+/// serial row order), so no op falls back to a single thread.
 Result<Tensor> ParallelSegmentedReduce(const ParallelContext& ctx, ReduceOpKind op,
                                        const Tensor& values,
                                        const Tensor& segment_ids,

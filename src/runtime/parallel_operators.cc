@@ -7,11 +7,24 @@
 #include <utility>
 
 #include "kernels/kernels.h"
+#include "operators/partitioned/grace_join.h"
+#include "operators/partitioned/partitioned_agg.h"
 #include "runtime/morsel.h"
+#include "tensor/buffer_pool.h"
 
 namespace tqp::runtime {
 
 namespace {
+
+/// Breaker config from the ambient query scope plus the TQP_PARTITION_BITS
+/// differential-sweep override.
+op::partitioned::PartitionConfig BreakerConfig() {
+  op::partitioned::PartitionConfig config;
+  auto* scope = BufferPool::QueryScope::Current();
+  config.budget_bytes = scope != nullptr ? scope->budget_bytes() : 0;
+  config.forced_bits = op::partitioned::ForcedPartitionBits();
+  return config;
+}
 
 constexpr int kPartitionBits = 6;
 constexpr int64_t kNumPartitions = int64_t{1} << kPartitionBits;  // 64
@@ -135,6 +148,13 @@ Result<op::JoinIndices> ParallelHashJoinIndices(const ParallelContext& ctx,
   TQP_RETURN_NOT_OK(CheckKeys(right_keys));
   const int64_t l_rows = left_keys.rows();
   const int64_t r_rows = right_keys.rows();
+  // The grace join engages even with a 1-thread pool: budget-sized spillable
+  // partitions matter for memory, not just speed.
+  if (ctx.partitioned_breakers && ctx.pool != nullptr &&
+      std::max(l_rows, r_rows) >= ctx.min_parallel_rows) {
+    return op::partitioned::GraceHashJoinIndices(ctx, left_keys, right_keys,
+                                                 BreakerConfig(), nullptr);
+  }
   if (!ctx.parallel() || std::max(l_rows, r_rows) < ctx.min_parallel_rows) {
     return op::HashJoinIndices(left_keys, right_keys);
   }
@@ -271,6 +291,11 @@ Result<op::GroupIds> ParallelHashGroupIds(const ParallelContext& ctx,
   for (const Tensor& k : keys) {
     if (k.rows() != n) return Status::Invalid("HashGroupIds: length mismatch");
   }
+  if (ctx.partitioned_breakers && ctx.pool != nullptr &&
+      n >= ctx.min_parallel_rows) {
+    return op::partitioned::PartitionedHashGroupIds(ctx, keys, BreakerConfig(),
+                                                    nullptr);
+  }
   if (!ctx.parallel() || n < ctx.min_parallel_rows) {
     return op::HashGroupIds(keys);
   }
@@ -395,15 +420,26 @@ Result<Tensor> ParallelGroupedReduce(const ParallelContext& ctx, ReduceOpKind op
                                      const op::GroupIds& groups) {
   const int64_t n = values.rows();
   const int64_t g = groups.num_groups;
+  const bool float_sum =
+      op == ReduceOpKind::kSum && IsFloatingPoint(values.dtype());
   const bool exact_parallel =
       op == ReduceOpKind::kCount || op == ReduceOpKind::kMin ||
-      op == ReduceOpKind::kMax ||
-      (op == ReduceOpKind::kSum && !IsFloatingPoint(values.dtype()));
+      op == ReduceOpKind::kMax || op == ReduceOpKind::kSum;
+  // The partition-ordered float-sum path uses no per-slot arrays, so the
+  // partial-accumulator size cap does not apply to it.
   const bool partials_fit =
       ctx.pool != nullptr &&
-      g <= (int64_t{1} << 23) / std::max(1, ctx.pool->max_parallel_slots());
-  if (!exact_parallel || !partials_fit || !ShouldParallelize(ctx, n)) {
+      (float_sum ||
+       g <= (int64_t{1} << 23) / std::max(1, ctx.pool->max_parallel_slots()));
+  if (!exact_parallel || !partials_fit || !ShouldParallelize(ctx, n) || g <= 0) {
     return op::GroupedReduce(op, values, groups);
+  }
+  if (float_sum) {
+    // Exact: each group's additions replay in serial row order, and the sum
+    // stays float64 like the serial kernel's.
+    TQP_ASSIGN_OR_RETURN(Tensor cv, ParallelCast(ctx, values, DType::kFloat64));
+    return op::partitioned::PartitionOrderedFloatSums(ctx, cv, groups.group_ids,
+                                                      g, /*validate=*/false);
   }
   const int64_t* ids = groups.group_ids.data<int64_t>();
   const int slots = ctx.pool->max_parallel_slots();

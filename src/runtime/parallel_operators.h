@@ -19,6 +19,12 @@ namespace tqp::runtime {
 ///    build produces;
 ///  - the probe side is morsel-parallel with per-morsel match buffers
 ///    concatenated in morsel order, which equals the serial scan order.
+///
+/// With ctx.partitioned_breakers set, the join and grouping route through
+/// the radix-partitioned breakers in src/operators/partitioned (grace hash
+/// join, partitioned aggregation): budget-aware partition counts, recursive
+/// re-partitioning of skewed partitions, and spillable partition buffers —
+/// still bit-identical to the serial operators.
 
 /// \brief Parallel build + probe hash join (see op::HashJoinIndices).
 Result<op::JoinIndices> ParallelHashJoinIndices(const ParallelContext& ctx,
@@ -37,9 +43,11 @@ Result<Tensor> ParallelSemiJoinIndices(const ParallelContext& ctx,
 Result<op::GroupIds> ParallelHashGroupIds(const ParallelContext& ctx,
                                           const std::vector<Tensor>& keys);
 
-/// \brief Parallel per-group aggregation with per-worker accumulators merged
-/// at a barrier (see op::GroupedReduce). Float sums fall back to the serial
-/// kernel (non-associative); count/min/max and integer sums are exact.
+/// \brief Parallel per-group aggregation (see op::GroupedReduce).
+/// Count/min/max and integer sums merge per-worker accumulators at a
+/// barrier; float sums go through the exact partition-ordered accumulation
+/// (each group's additions replay in serial row order), so no op falls back
+/// to a single thread.
 Result<Tensor> ParallelGroupedReduce(const ParallelContext& ctx, ReduceOpKind op,
                                      const Tensor& values,
                                      const op::GroupIds& groups);

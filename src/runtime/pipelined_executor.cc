@@ -16,6 +16,7 @@
 #include "kernels/simd_exec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "operators/partitioned/partition.h"
 #include "runtime/morsel.h"
 #include "runtime/step_scheduler.h"
 #include "runtime/task_graph.h"
@@ -655,6 +656,8 @@ Result<std::vector<Tensor>> PipelinedExecutor::Run(
   ParallelContext ctx;
   ctx.pool = pool_;
   ctx.morsel_rows = options_.morsel_rows;
+  ctx.partitioned_breakers = options_.partitioned_breakers ||
+                             op::partitioned::DefaultPartitionedBreakers();
 
   // Per-query memory: the ambient scope (the QueryScheduler's) or a local
   // one when this executor carries its own budget. Worker tasks inherit it
@@ -706,9 +709,34 @@ Result<std::vector<Tensor>> PipelinedExecutor::Run(
     for (int r : step.reads) {
       TQP_RETURN_NOT_OK(spill.PinSlot(static_cast<size_t>(r)));
     }
+    // Read slots a partitioned breaker released mid-step (its hook drops the
+    // consumed input before the breaker's output allocates); the release loop
+    // below must not unpin or drop them a second time.
+    std::vector<int> released;
     if (step.serial_node >= 0) {
+      runtime::BreakerHooks hooks;
+      ParallelContext step_ctx = ctx;
+      if (ctx.partitioned_breakers) {
+        hooks.release_input = [&](int operand) -> bool {
+          if (std::find(step.reads.begin(), step.reads.end(), operand) ==
+              step.reads.end()) {
+            return false;
+          }
+          const size_t on = static_cast<size_t>(operand);
+          // refs == 1 means this step is the only remaining consumer and the
+          // value is not a program output — every other reader already
+          // decremented, so nothing touches the slot concurrently.
+          if (refs[on].load(std::memory_order_acquire) != 1) return false;
+          spill.UnpinSlot(on);
+          spill.DropSlot(on);
+          values[on] = Tensor();
+          released.push_back(operand);
+          return true;
+        };
+        step_ctx.breaker_hooks = &hooks;
+      }
       TQP_RETURN_NOT_OK(
-          EvalWholeNode(prog.node(step.serial_node), &values, ctx));
+          EvalWholeNode(prog.node(step.serial_node), &values, step_ctx));
       // Dead store (no consumer step, not an output): release immediately.
       if (refs[static_cast<size_t>(step.serial_node)].load(
               std::memory_order_acquire) == 0) {
@@ -763,8 +791,10 @@ Result<std::vector<Tensor>> PipelinedExecutor::Run(
     }
     for (int r : step.reads) {
       const size_t rn = static_cast<size_t>(r);
-      spill.UnpinSlot(rn);
-      if (refs[rn].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      const bool freed =
+          std::find(released.begin(), released.end(), r) != released.end();
+      if (!freed) spill.UnpinSlot(rn);
+      if (refs[rn].fetch_sub(1, std::memory_order_acq_rel) == 1 && !freed) {
         spill.DropSlot(rn);
         values[rn] = Tensor();
       }

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "obs/metrics.h"
+#include "operators/partitioned/partition.h"
 
 namespace tqp::runtime {
 
@@ -78,6 +79,14 @@ std::string PlanCache::MakeKey(const std::string& normalized_sql,
   key += std::to_string(static_cast<int>(ResolveExprBackend(options.expr_backend)));
   key.push_back('/');
   key += options.adaptive_morsels ? '1' : '0';
+  key.push_back('/');
+  // Resolved like expr_backend: the TQP_PARTITIONED_BREAKERS default is
+  // stable within a process, so the unset option and its resolution are the
+  // same compiled artifact.
+  key += (options.partitioned_breakers ||
+          op::partitioned::DefaultPartitionedBreakers())
+             ? '1'
+             : '0';
   key.push_back('/');
   key += std::to_string(reinterpret_cast<uintptr_t>(options.step_scheduler));
   key.push_back('/');

@@ -1,0 +1,633 @@
+// Tests for the radix-partitioned pipeline breakers: unit pins on the
+// partition-count / recursion-depth choice policy, bit-identity of the grace
+// hash join, partitioned aggregation, external merge sort, and
+// partition-ordered float sums against their serial counterparts across
+// thread counts x forced partition counts x budgets, recursive
+// re-partitioning under Zipfian and all-equal-key skew (with the bounded
+// fallback), whole-query TPC-H differentials with the breakers routed in,
+// the EXPLAIN ANALYZE breaker summary, and the budget floor: a
+// breaker-dominated program capped at 25% of its unspilled peak must hold
+// budget_overruns == 0 with partitioned breakers on where the monolithic
+// breakers overrun.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "compile/compiler.h"
+#include "kernels/kernels.h"
+#include "obs/explain.h"
+#include "operators/hash_groupby.h"
+#include "operators/hash_join.h"
+#include "operators/partitioned/external_sort.h"
+#include "operators/partitioned/grace_join.h"
+#include "operators/partitioned/partition.h"
+#include "operators/partitioned/partitioned_agg.h"
+#include "runtime/runtime.h"
+#include "tensor/buffer_pool.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace tqp {
+namespace {
+
+using BufferScope = BufferPool::QueryScope;
+using op::partitioned::ChoosePartitionBits;
+using op::partitioned::ExternalSortRows;
+using op::partitioned::GraceHashJoinIndices;
+using op::partitioned::kMaxPartitionBits;
+using op::partitioned::kMaxRecursionDepth;
+using op::partitioned::kMinPartitionRows;
+using op::partitioned::MaxPartitionRows;
+using op::partitioned::PageRows;
+using op::partitioned::PartitionConfig;
+using op::partitioned::PartitionedHashGroupIds;
+using op::partitioned::PartitionOrderedFloatSums;
+using op::partitioned::PartitionStats;
+using runtime::ParallelContext;
+using runtime::ThreadPool;
+
+void ExpectTensorsIdentical(const Tensor& got, const Tensor& want,
+                            const std::string& what) {
+  ASSERT_EQ(got.dtype(), want.dtype()) << what;
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  if (want.numel() > 0) {
+    ASSERT_EQ(std::memcmp(got.raw_data(), want.raw_data(),
+                          static_cast<size_t>(want.nbytes())),
+              0)
+        << what << ": payload differs";
+  }
+}
+
+void ExpectTablesIdentical(const Table& got, const Table& want,
+                           const std::string& what) {
+  ASSERT_EQ(got.num_columns(), want.num_columns()) << what;
+  ASSERT_EQ(got.num_rows(), want.num_rows()) << what;
+  for (int c = 0; c < want.num_columns(); ++c) {
+    ASSERT_EQ(got.schema().field(c).name, want.schema().field(c).name) << what;
+    ExpectTensorsIdentical(got.column(c).tensor(), want.column(c).tensor(),
+                           what + " column " + want.schema().field(c).name);
+  }
+}
+
+Tensor Int64Keys(int64_t n, int64_t domain, double zipf_theta, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t = Tensor::Empty(DType::kInt64, n, 1).ValueOrDie();
+  int64_t* p = t.mutable_data<int64_t>();
+  for (int64_t i = 0; i < n; ++i) {
+    p[i] = zipf_theta > 0 ? rng.Zipf(domain, zipf_theta)
+                          : rng.Uniform(0, domain - 1);
+  }
+  return t;
+}
+
+Tensor ConstKeys(int64_t n, int64_t value) {
+  return Tensor::Full(DType::kInt64, n, 1, static_cast<double>(value))
+      .ValueOrDie();
+}
+
+/// The sweep the acceptance criteria name: partition counts {1, 4, 16} via
+/// forced_bits {0, 2, 4} (0 forced bits = the serial fallback leg).
+constexpr int kForcedBitsSweep[] = {0, 2, 4};
+constexpr int kThreadSweep[] = {1, 2, 8};
+constexpr int64_t kBudgetSweep[] = {0, 64 << 10};  // unbudgeted / recursing
+
+// ---- partition policy pins --------------------------------------------------
+
+TEST(PartitionPolicyTest, ThreadFanOutPicksTwoPartitionsPerWorker) {
+  // Smallest k with 2^k >= 2*threads, no budget pressure.
+  EXPECT_EQ(ChoosePartitionBits(1 << 20, 8, 0, 1), 1);
+  EXPECT_EQ(ChoosePartitionBits(1 << 20, 8, 0, 2), 2);
+  EXPECT_EQ(ChoosePartitionBits(1 << 20, 8, 0, 4), 3);
+  EXPECT_EQ(ChoosePartitionBits(1 << 20, 8, 0, 8), 4);
+  EXPECT_EQ(ChoosePartitionBits(0, 8, 0, 8), 0);
+  EXPECT_EQ(ChoosePartitionBits(-5, 8, 0, 8), 0);
+}
+
+TEST(PartitionPolicyTest, BudgetRaisesBitsUntilPartitionFitsQuarter) {
+  // 1 MiB budget, 8-byte rows: one partition's working set (rows doubled for
+  // hash-table overhead) must fit in 256 KiB, i.e. <= 16384 rows -> k = 6.
+  EXPECT_EQ(ChoosePartitionBits(1 << 20, 8, 1 << 20, 1), 6);
+  // Twice the budget halves the required fan-out.
+  EXPECT_EQ(ChoosePartitionBits(1 << 20, 8, 2 << 20, 1), 5);
+  // A generous budget leaves the thread fan-out choice untouched.
+  EXPECT_EQ(ChoosePartitionBits(1 << 20, 8, int64_t{1} << 40, 4), 3);
+}
+
+TEST(PartitionPolicyTest, NeverSplitsBelowMinPartitionRows) {
+  // 8 threads want k = 4, but 8192 rows / 16 partitions = 512 < 4096.
+  EXPECT_EQ(ChoosePartitionBits(8192, 8, 0, 8), 1);
+  EXPECT_EQ(ChoosePartitionBits(4096, 8, 0, 8), 0);
+  EXPECT_EQ(ChoosePartitionBits(2 * kMinPartitionRows, 8, 0, 8), 1);
+}
+
+TEST(PartitionPolicyTest, ClampsAtMaxPartitionBits) {
+  EXPECT_EQ(ChoosePartitionBits(1 << 28, 8, 4096, 1), kMaxPartitionBits);
+}
+
+TEST(PartitionPolicyTest, MaxPartitionRowsFollowsBudgetQuarter) {
+  PartitionConfig config;
+  config.max_partition_rows = 123;
+  EXPECT_EQ(MaxPartitionRows(config, 8), 123);  // explicit override wins
+  config.max_partition_rows = 0;
+  EXPECT_EQ(MaxPartitionRows(config, 8), 0);  // unbudgeted: never recurse
+  config.budget_bytes = 1 << 20;
+  EXPECT_EQ(MaxPartitionRows(config, 8), 16384);  // budget/4/(8*2)
+  config.budget_bytes = 1 << 10;  // tiny budget still floors at min rows
+  EXPECT_EQ(MaxPartitionRows(config, 8), kMinPartitionRows);
+}
+
+TEST(PartitionPolicyTest, PageRowsFloorAboveSpillMinimum) {
+  PartitionConfig config;
+  EXPECT_EQ(PageRows(config, 8), (256 << 10) / 8);  // default 256 KiB pages
+  config.page_bytes = 1000;  // below the spill minimum: floored to 8192 bytes
+  EXPECT_EQ(PageRows(config, 8), 1024);
+  config.page_bytes = 0;
+  EXPECT_EQ(PageRows(config, 1 << 20), 1);  // huge rows still page
+}
+
+// ---- differentials vs serial operators --------------------------------------
+
+TEST(GraceJoinTest, BitIdenticalAcrossThreadsBitsAndBudgets) {
+  const int64_t l = 30000, r = 20000;
+  // Narrow key domain: plenty of duplicate keys, so chain order matters.
+  Tensor lk = Int64Keys(l, 5000, 0.0, 11);
+  Tensor rk = Int64Keys(r, 5000, 0.0, 12);
+  const auto serial = op::HashJoinIndices(lk, rk).ValueOrDie();
+  for (int threads : kThreadSweep) {
+    ThreadPool pool(threads);
+    ParallelContext ctx;
+    ctx.pool = &pool;
+    ctx.morsel_rows = 1000;
+    for (int bits : kForcedBitsSweep) {
+      for (int64_t budget : kBudgetSweep) {
+        PartitionConfig config;
+        config.forced_bits = bits;
+        config.budget_bytes = budget;
+        PartitionStats stats;
+        const auto part =
+            GraceHashJoinIndices(ctx, lk, rk, config, &stats).ValueOrDie();
+        const std::string what = "grace join t=" + std::to_string(threads) +
+                                 " bits=" + std::to_string(bits) +
+                                 " budget=" + std::to_string(budget);
+        ExpectTensorsIdentical(part.left_ids, serial.left_ids, what + " left");
+        ExpectTensorsIdentical(part.right_ids, serial.right_ids,
+                               what + " right");
+        if (bits > 0) {
+          EXPECT_GE(stats.partitions, int64_t{1} << bits) << what;
+        } else {
+          EXPECT_EQ(stats.partitions, 1) << what;
+        }
+        // The 64 KiB budget forces MaxPartitionRows down to the floor, so
+        // the 4-partition split (5000 build rows each) must recurse.
+        if (bits == 2 && budget > 0) EXPECT_GT(stats.repartitions, 0) << what;
+      }
+    }
+  }
+}
+
+TEST(GraceJoinTest, EmptySidesAndDisjointDomainsMatchSerial) {
+  ThreadPool pool(2);
+  ParallelContext ctx;
+  ctx.pool = &pool;
+  PartitionConfig config;
+  config.forced_bits = 3;
+  Tensor empty = Tensor::Empty(DType::kInt64, 0, 1).ValueOrDie();
+  Tensor some = Int64Keys(9000, 100, 0.0, 3);
+  Tensor high = Int64Keys(9000, 100, 0.0, 4);
+  int64_t* p = high.mutable_data<int64_t>();
+  for (int64_t i = 0; i < high.rows(); ++i) p[i] += 1000;  // never matches
+  const struct {
+    const Tensor* l;
+    const Tensor* r;
+    const char* what;
+  } cases[] = {{&empty, &some, "empty probe"},
+               {&some, &empty, "empty build"},
+               {&some, &high, "disjoint domains"}};
+  for (const auto& c : cases) {
+    const auto serial = op::HashJoinIndices(*c.l, *c.r).ValueOrDie();
+    const auto part =
+        GraceHashJoinIndices(ctx, *c.l, *c.r, config, nullptr).ValueOrDie();
+    ExpectTensorsIdentical(part.left_ids, serial.left_ids,
+                           std::string(c.what) + " left");
+    ExpectTensorsIdentical(part.right_ids, serial.right_ids,
+                           std::string(c.what) + " right");
+  }
+  // Empty grouping keys take the serial path the same way.
+  const auto agg_serial = op::HashGroupIds({empty}).ValueOrDie();
+  const auto agg =
+      PartitionedHashGroupIds(ctx, {empty}, config, nullptr).ValueOrDie();
+  EXPECT_EQ(agg.num_groups, agg_serial.num_groups);
+  ExpectTensorsIdentical(agg.group_ids, agg_serial.group_ids, "empty agg");
+}
+
+TEST(PartitionedAggTest, GroupIdsMatchSerialFirstSeenOrder) {
+  const int64_t n = 40000;
+  Tensor k1 = Int64Keys(n, 40, 0.0, 21);
+  Tensor k2 = Int64Keys(n, 25, 0.0, 22);
+  const std::vector<Tensor> keys{k1, k2};
+  const auto serial = op::HashGroupIds(keys).ValueOrDie();
+  for (int threads : kThreadSweep) {
+    ThreadPool pool(threads);
+    ParallelContext ctx;
+    ctx.pool = &pool;
+    ctx.morsel_rows = 1000;
+    for (int bits : kForcedBitsSweep) {
+      for (int64_t budget : kBudgetSweep) {
+        PartitionConfig config;
+        config.forced_bits = bits;
+        config.budget_bytes = budget;
+        PartitionStats stats;
+        const auto part =
+            PartitionedHashGroupIds(ctx, keys, config, &stats).ValueOrDie();
+        const std::string what = "partitioned agg t=" +
+                                 std::to_string(threads) +
+                                 " bits=" + std::to_string(bits) +
+                                 " budget=" + std::to_string(budget);
+        EXPECT_EQ(part.num_groups, serial.num_groups) << what;
+        ExpectTensorsIdentical(part.group_ids, serial.group_ids,
+                               what + " ids");
+        ExpectTensorsIdentical(part.representatives, serial.representatives,
+                               what + " representatives");
+      }
+    }
+  }
+}
+
+TEST(PartitionedAggTest, FloatSumsBitIdenticalToSerialOrder) {
+  const int64_t n = 60000;
+  const int64_t groups = 37;
+  Rng rng(31);
+  Tensor values = Tensor::Empty(DType::kFloat64, n, 1).ValueOrDie();
+  Tensor ids = Tensor::Empty(DType::kInt64, n, 1).ValueOrDie();
+  for (int64_t i = 0; i < n; ++i) {
+    // Wide magnitude spread makes float addition order-sensitive, so any
+    // reordering of a group's additions shows up in the bit pattern.
+    values.mutable_data<double>()[i] =
+        rng.UniformDouble(-1, 1) * std::pow(10.0, rng.Uniform(-12, 12));
+    ids.mutable_data<int64_t>()[i] = rng.Uniform(0, groups - 1);
+  }
+  const Tensor serial =
+      kernels::SegmentedReduce(ReduceOpKind::kSum, values, ids, groups)
+          .ValueOrDie();
+  for (int threads : kThreadSweep) {
+    ThreadPool pool(threads);
+    ParallelContext ctx;
+    ctx.pool = &pool;
+    ctx.morsel_rows = 1000;
+    for (bool validate : {false, true}) {
+      ExpectTensorsIdentical(
+          PartitionOrderedFloatSums(ctx, values, ids, groups, validate)
+              .ValueOrDie(),
+          serial,
+          "float sums t=" + std::to_string(threads) +
+              (validate ? " validated" : ""));
+    }
+    // The parallel grouped/segmented reducers route float sums through the
+    // partition-ordered path (no serial fallback) and must stay exact.
+    ExpectTensorsIdentical(
+        runtime::ParallelSegmentedReduce(ctx, ReduceOpKind::kSum, values, ids,
+                                         groups)
+            .ValueOrDie(),
+        serial, "ParallelSegmentedReduce float sum");
+  }
+  // Validated mode rejects out-of-range ids like the serial kernel.
+  ThreadPool pool(2);
+  ParallelContext ctx;
+  ctx.pool = &pool;
+  ids.mutable_data<int64_t>()[n / 2] = groups + 3;
+  EXPECT_FALSE(PartitionOrderedFloatSums(ctx, values, ids, groups, true).ok());
+}
+
+TEST(ExternalSortTest, MatchesStableArgsortAcrossRunCounts) {
+  const int64_t n = 80000;
+  // Heavy duplication stresses the stable tie-break across run boundaries.
+  Tensor ints = Int64Keys(n, 50, 0.0, 41);
+  Rng rng(42);
+  Tensor doubles = Tensor::Empty(DType::kFloat64, n, 1).ValueOrDie();
+  for (int64_t i = 0; i < n; ++i) {
+    doubles.mutable_data<double>()[i] =
+        static_cast<double>(rng.Uniform(0, 50));
+  }
+  for (const Tensor* keys : {&ints, &doubles}) {
+    for (bool ascending : {true, false}) {
+      const Tensor serial =
+          kernels::ArgsortRows(*keys, ascending).ValueOrDie();
+      for (int threads : kThreadSweep) {
+        ThreadPool pool(threads);
+        ParallelContext ctx;
+        ctx.pool = &pool;
+        ctx.morsel_rows = 1000;
+        for (int bits : kForcedBitsSweep) {
+          PartitionConfig config;
+          config.forced_bits = bits;
+          PartitionStats stats;
+          const Tensor part =
+              ExternalSortRows(ctx, *keys, ascending, config, &stats)
+                  .ValueOrDie();
+          const std::string what =
+              std::string("external sort ") + DTypeName(keys->dtype()) +
+              (ascending ? " asc" : " desc") +
+              " t=" + std::to_string(threads) +
+              " bits=" + std::to_string(bits);
+          ExpectTensorsIdentical(part, serial, what);
+          EXPECT_EQ(stats.partitions, bits > 0 ? int64_t{1} << bits : 1)
+              << what;
+        }
+      }
+    }
+  }
+}
+
+// ---- skew: recursive re-partitioning and the bounded fallback ---------------
+
+TEST(SkewTest, ZipfianBuildSideRecursesAndStaysExact) {
+  const int64_t probe_n = 60000, build_n = 100000;
+  Tensor probe = Int64Keys(probe_n, 50000, 0.0, 51);
+  Tensor build = Int64Keys(build_n, 50000, 0.8, 52);  // Zipf-skewed build
+  ThreadPool pool(4);
+  ParallelContext ctx;
+  ctx.pool = &pool;
+  PartitionConfig config;
+  config.forced_bits = 2;  // 4 partitions of ~25k rows each
+  config.max_partition_rows = 4096;
+  PartitionStats stats;
+  const auto part =
+      GraceHashJoinIndices(ctx, probe, build, config, &stats).ValueOrDie();
+  const auto serial = op::HashJoinIndices(probe, build).ValueOrDie();
+  ExpectTensorsIdentical(part.left_ids, serial.left_ids, "zipf join left");
+  ExpectTensorsIdentical(part.right_ids, serial.right_ids, "zipf join right");
+  EXPECT_GT(stats.repartitions, 0) << "oversized partitions never split";
+  EXPECT_GT(stats.recursion_depth, 0);
+  EXPECT_LE(stats.recursion_depth, kMaxRecursionDepth);
+  EXPECT_GT(stats.partitions, int64_t{4}) << "recursion added no leaves";
+}
+
+TEST(SkewTest, ZipfianKeysRecursePartitionedAggExactly) {
+  const int64_t n = 200000;
+  Tensor keys = Int64Keys(n, 100000, 0.8, 61);
+  const std::vector<Tensor> key_cols{keys};
+  ThreadPool pool(4);
+  ParallelContext ctx;
+  ctx.pool = &pool;
+  PartitionConfig config;
+  config.forced_bits = 2;
+  config.max_partition_rows = 4096;
+  PartitionStats stats;
+  const auto part =
+      PartitionedHashGroupIds(ctx, key_cols, config, &stats).ValueOrDie();
+  const auto serial = op::HashGroupIds(key_cols).ValueOrDie();
+  EXPECT_EQ(part.num_groups, serial.num_groups);
+  ExpectTensorsIdentical(part.group_ids, serial.group_ids, "zipf agg ids");
+  ExpectTensorsIdentical(part.representatives, serial.representatives,
+                         "zipf agg representatives");
+  EXPECT_GT(stats.repartitions, 0);
+  EXPECT_LE(stats.recursion_depth, kMaxRecursionDepth);
+}
+
+TEST(SkewTest, AllEqualKeysFallBackMonolithicallyWithinDepthBound) {
+  // Every build row carries the same key: re-partitioning can never make
+  // progress (the whole partition shares one hash), so the split must stop
+  // at the fallback instead of recursing forever.
+  const int64_t build_n = 20000;
+  Tensor build = ConstKeys(build_n, 7);
+  Tensor probe = Int64Keys(1000, 1000, 0.0, 71);  // a few rows match key 7
+  ThreadPool pool(4);
+  ParallelContext ctx;
+  ctx.pool = &pool;
+  PartitionConfig config;
+  config.forced_bits = 2;
+  config.max_partition_rows = 4096;
+  PartitionStats stats;
+  const auto part =
+      GraceHashJoinIndices(ctx, probe, build, config, &stats).ValueOrDie();
+  const auto serial = op::HashJoinIndices(probe, build).ValueOrDie();
+  ExpectTensorsIdentical(part.left_ids, serial.left_ids, "all-equal left");
+  ExpectTensorsIdentical(part.right_ids, serial.right_ids, "all-equal right");
+  EXPECT_GT(stats.fallbacks, 0) << "no bounded fallback recorded";
+  EXPECT_LE(stats.recursion_depth, kMaxRecursionDepth);
+
+  PartitionStats agg_stats;
+  const auto agg =
+      PartitionedHashGroupIds(ctx, {build}, config, &agg_stats).ValueOrDie();
+  const auto agg_serial = op::HashGroupIds({build}).ValueOrDie();
+  EXPECT_EQ(agg.num_groups, agg_serial.num_groups);
+  ExpectTensorsIdentical(agg.group_ids, agg_serial.group_ids, "all-equal agg");
+  EXPECT_GT(agg_stats.fallbacks, 0);
+  EXPECT_LE(agg_stats.recursion_depth, kMaxRecursionDepth);
+}
+
+// ---- whole-query TPC-H differentials ----------------------------------------
+
+class PartitionedTpchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::DbgenOptions options;
+    options.scale_factor = 0.01;
+    TQP_CHECK_OK(tpch::GenerateAll(options, catalog_));
+  }
+  static Catalog* catalog_;
+};
+
+Catalog* PartitionedTpchTest::catalog_ = nullptr;
+
+TEST_F(PartitionedTpchTest, PipelinedPartitionedMatchesEager) {
+  QueryCompiler compiler;
+  for (int q : {1, 3, 18}) {
+    const std::string sql = tpch::QueryText(q).ValueOrDie();
+    CompileOptions eager;
+    eager.target = ExecutorTarget::kEager;
+    const Table reference = compiler.CompileSql(sql, *catalog_, eager)
+                                .ValueOrDie()
+                                .Run(*catalog_)
+                                .ValueOrDie();
+    for (int threads : kThreadSweep) {
+      CompileOptions options;
+      options.target = ExecutorTarget::kPipelined;
+      options.num_threads = threads;
+      options.morsel_rows = 1000;
+      options.partitioned_breakers = true;
+      const Table got = compiler.CompileSql(sql, *catalog_, options)
+                            .ValueOrDie()
+                            .Run(*catalog_)
+                            .ValueOrDie();
+      ExpectTablesIdentical(got, reference,
+                            "Q" + std::to_string(q) + " partitioned at " +
+                                std::to_string(threads) + " threads");
+    }
+  }
+}
+
+TEST_F(PartitionedTpchTest, BudgetedPartitionedRunStaysBitIdentical) {
+  QueryCompiler compiler;
+  for (int q : {3, 18}) {
+    const std::string sql = tpch::QueryText(q).ValueOrDie();
+    CompileOptions options;
+    options.target = ExecutorTarget::kPipelined;
+    options.num_threads = 2;
+    options.morsel_rows = 1000;
+    options.partitioned_breakers = true;
+    CompiledQuery compiled =
+        compiler.CompileSql(sql, *catalog_, options).ValueOrDie();
+    int64_t uncapped_peak = 0;
+    Table reference;
+    {
+      BufferScope scope;  // accounting only
+      BufferScope::Attach attach(&scope);
+      reference = compiled.Run(*catalog_).ValueOrDie();
+      uncapped_peak = scope.stats().peak_live_bytes;
+    }
+    ASSERT_GT(uncapped_peak, 0);
+    QueryMemoryStats mem;
+    Table capped;
+    {
+      BufferScope scope(uncapped_peak / 4);
+      BufferScope::Attach attach(&scope);
+      capped = compiled.Run(*catalog_).ValueOrDie();
+      mem = scope.stats();
+    }
+    const std::string what = "budgeted partitioned Q" + std::to_string(q);
+    ExpectTablesIdentical(capped, reference, what);
+    EXPECT_LE(mem.peak_live_bytes, uncapped_peak) << what;
+  }
+}
+
+TEST_F(PartitionedTpchTest, ExplainAnalyzeReportsBreakerSummary) {
+  CompileOptions options;
+  options.target = ExecutorTarget::kPipelined;
+  options.num_threads = 2;
+  options.morsel_rows = 1000;
+  options.partitioned_breakers = true;
+  const std::string sql = tpch::QueryText(18).ValueOrDie();
+  const auto result =
+      obs::ExplainAnalyze(sql, *catalog_, options).ValueOrDie();
+  EXPECT_NE(result.text.find("breaker external_sort"), std::string::npos)
+      << result.text;
+}
+
+// ---- budget floor: partitioned breakers under 25% of the unspilled peak -----
+
+TEST(PartitionedBudgetTest, BreakerDominatedProgramHoldsBudgetOnlyWhenOn) {
+  // Four independent sort branches, phase-ordered (all products, then all
+  // sorts, then all gathers, then all reductions) so every branch's 1 MiB
+  // sort input is live at once: xi (2-col f64, uncharged input) -> Ai =
+  // xi*xi (1 MiB) -> permi = argsort(Ai) (0.5 MiB) -> oi = gather(yi, permi)
+  // -> ri = sum(oi) (scalar output). At a quarter of the unspilled peak
+  // (~1.1 MiB) the monolithic argsort's irreducible floor — pinned 1 MiB
+  // input plus 0.5 MiB output — must overrun, while the external merge
+  // sort's spillable runs (input released after run formation, one page per
+  // run pinned during the merge) keep every step under budget.
+  constexpr int kBranches = 4;
+  const int64_t n = 1 << 16;
+  auto program = std::make_shared<TensorProgram>();
+  std::vector<int> xs, ys;
+  for (int i = 0; i < kBranches; ++i) {
+    xs.push_back(program->AddInput("x" + std::to_string(i)));
+    ys.push_back(program->AddInput("y" + std::to_string(i)));
+  }
+  AttrMap mul;
+  mul.Set("op", static_cast<int64_t>(BinaryOpKind::kMul));
+  AttrMap asc;
+  asc.Set("ascending", true);
+  AttrMap sum;
+  sum.Set("op", static_cast<int64_t>(ReduceOpKind::kSum));
+  std::vector<int> as, perms, os;
+  for (int i = 0; i < kBranches; ++i) {
+    as.push_back(program->AddNode(OpType::kBinary, {xs[i], xs[i]}, mul));
+  }
+  for (int i = 0; i < kBranches; ++i) {
+    perms.push_back(program->AddNode(OpType::kArgsortRows, {as[i]}, asc));
+  }
+  for (int i = 0; i < kBranches; ++i) {
+    os.push_back(program->AddNode(OpType::kGather, {ys[i], perms[i]}, {}));
+  }
+  for (int i = 0; i < kBranches; ++i) {
+    program->MarkOutput(program->AddNode(OpType::kReduceAll, {os[i]}, sum));
+  }
+
+  Rng rng(81);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < kBranches; ++i) {
+    Tensor x = Tensor::Empty(DType::kFloat64, n, 2).ValueOrDie();
+    Tensor y = Tensor::Empty(DType::kFloat64, n, 1).ValueOrDie();
+    for (int64_t j = 0; j < n * 2; ++j) {
+      x.mutable_data<double>()[j] = rng.UniformDouble(-100, 100);
+    }
+    for (int64_t j = 0; j < n; ++j) {
+      y.mutable_data<double>()[j] = rng.UniformDouble(-100, 100);
+    }
+    inputs.push_back(std::move(x));
+    inputs.push_back(std::move(y));
+  }
+
+  // The executors OR the process-wide env default into their flag, so with
+  // TQP_PARTITIONED_BREAKERS=1 (the breaker-budget CI job) a monolithic run
+  // cannot be constructed and the contrast below proves nothing.
+  if (op::partitioned::DefaultPartitionedBreakers()) {
+    GTEST_SKIP() << "TQP_PARTITIONED_BREAKERS forces the flag on";
+  }
+
+  ExecOptions options;
+  options.num_threads = 2;
+  // Sequential schedule walk: DAG overlap pins two steps' working sets at
+  // once, which legitimately raises the floor (the TPC-H differential covers
+  // the overlap contract).
+  options.pipeline_overlap = false;
+  auto monolithic =
+      MakeExecutor(ExecutorTarget::kPipelined, program, options).ValueOrDie();
+  ExecOptions part_options = options;
+  part_options.partitioned_breakers = true;
+  auto partitioned =
+      MakeExecutor(ExecutorTarget::kPipelined, program, part_options)
+          .ValueOrDie();
+
+  int64_t uncapped_peak = 0;
+  std::vector<Tensor> reference;
+  {
+    BufferScope scope;
+    BufferScope::Attach attach(&scope);
+    reference = monolithic->Run(inputs).ValueOrDie();
+    uncapped_peak = scope.stats().peak_live_bytes;
+  }
+  // All branches' sort inputs idle at once: the peak holds most of them.
+  ASSERT_GT(uncapped_peak, kBranches * (n * 16));
+
+  const int64_t budget = uncapped_peak / 4;
+  QueryMemoryStats mono_mem;
+  {
+    BufferScope scope(budget);
+    BufferScope::Attach attach(&scope);
+    TQP_CHECK_OK(monolithic->Run(inputs).status());
+    mono_mem = scope.stats();
+  }
+  EXPECT_GT(mono_mem.budget_overruns, 0)
+      << "the monolithic argsort floor fits in a quarter of the peak — the "
+         "partitioned run below proves nothing";
+
+  QueryMemoryStats part_mem;
+  std::vector<Tensor> capped;
+  {
+    BufferScope scope(budget);
+    BufferScope::Attach attach(&scope);
+    capped = partitioned->Run(inputs).ValueOrDie();
+    part_mem = scope.stats();
+  }
+  ASSERT_EQ(capped.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    ExpectTensorsIdentical(capped[i], reference[i],
+                           "partitioned output " + std::to_string(i));
+  }
+  EXPECT_EQ(part_mem.budget_overruns, 0)
+      << "partitioned breakers exceeded 25% of the unspilled peak";
+  EXPECT_LE(part_mem.peak_live_bytes, budget);
+  EXPECT_GT(part_mem.spill_events, 0) << "sort runs never spilled";
+}
+
+}  // namespace
+}  // namespace tqp
