@@ -48,6 +48,24 @@
 //                                   then run it once and show each
 //                                   pipeline's fused expression runs with
 //                                   instruction and register-slot counts
+//   \timeout <ms>                   per-query deadline in milliseconds for
+//                                   every later statement (0 = the
+//                                   TQP_QUERY_TIMEOUT_MS default / none); an
+//                                   expired query stops at the next morsel
+//                                   boundary with a Deadline exceeded error
+//   \submit <sql>                   run <sql> asynchronously through a
+//                                   QueryScheduler and return to the prompt;
+//                                   the result prints when it completes (or
+//                                   at the next \wait)
+//   \cancel                         cooperatively cancel the in-flight
+//                                   \submit query (it stops within one
+//                                   morsel/step boundary and its memory
+//                                   returns to the pool)
+//   \wait                           block until the in-flight \submit query
+//                                   finishes and print its outcome
+//   Ctrl-C (SIGINT)                 cancels the currently running query —
+//                                   synchronous or \submit — instead of
+//                                   killing the shell
 //   \tables                         list catalog tables
 //   \q <n>                          run TPC-H query n
 //   \sessions <n> <sql>             run <sql> from n concurrent sessions
@@ -65,10 +83,15 @@
 //                                   the per-step wall-time breakdown
 //   quit                            exit
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -76,6 +99,7 @@
 
 #include "baseline/columnar.h"
 #include "baseline/volcano.h"
+#include "common/cancel.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "compile/compiler.h"
@@ -108,9 +132,50 @@ struct ShellState {
   // partitioned aggregation, external sort).
   bool partitioned_breakers = false;
   int64_t budget_mb = 0;    // per-query memory budget (0 = env default)
+  // Per-query deadline for every later statement, milliseconds
+  // (0 = TQP_QUERY_TIMEOUT_MS default / none).
+  int64_t timeout_ms = 0;
   // Session-cumulative spill totals (across every query run so far).
   int64_t spilled_bytes_total = 0;
   int64_t spill_events_total = 0;
+  // \submit machinery: a lazily (re)built scheduler plus the one in-flight
+  // async query. The scheduler is only rebuilt while idle — its destructor
+  // drains — so options changes apply from the next \submit onward.
+  std::unique_ptr<runtime::QueryScheduler> scheduler;
+  std::future<runtime::QueryOutcome> async_future;
+  uint64_t async_query_id = 0;
+  std::string async_sql;
+};
+
+// SIGINT routing: while a query runs, the handler cooperatively cancels it
+// through this token instead of killing the shell. RequestCancel is one
+// atomic CAS — async-signal-safe. At the prompt (null token) ^C is ignored.
+std::atomic<CancellationToken*> g_sigint_token{nullptr};
+
+// Set when ^C arrives with no synchronous query running — the \wait loop
+// turns it into a scheduler Cancel of the in-flight \submit query.
+std::atomic<int> g_sigint_flag{0};
+
+extern "C" void HandleSigint(int) {
+  CancellationToken* token = g_sigint_token.load(std::memory_order_acquire);
+  if (token != nullptr) {
+    token->RequestCancel(CancelReason::kUserCancelled);
+    return;
+  }
+  g_sigint_flag.store(1, std::memory_order_release);
+}
+
+// Registers `token` as the SIGINT cancellation target for its scope.
+class SigintCancelGuard {
+ public:
+  explicit SigintCancelGuard(CancellationToken* token) {
+    g_sigint_token.store(token, std::memory_order_release);
+  }
+  ~SigintCancelGuard() {
+    g_sigint_token.store(nullptr, std::memory_order_release);
+  }
+  SigintCancelGuard(const SigintCancelGuard&) = delete;
+  SigintCancelGuard& operator=(const SigintCancelGuard&) = delete;
 };
 
 // Integer argument parser that reports instead of throwing (a typo in a
@@ -161,6 +226,7 @@ void RunSql(const std::string& sql, const Catalog& catalog, ShellState* state) {
     options.adaptive_morsels = state->adaptive_morsels;
     options.partitioned_breakers = state->partitioned_breakers;
     options.memory_budget_bytes = state->budget_mb << 20;
+    options.deadline_ms = state->timeout_ms;
     watch.Reset();
     auto compiled_or = compiler.CompileSql(sql, catalog, options);
     compile_ms = watch.ElapsedSeconds() * 1e3;
@@ -176,6 +242,14 @@ void RunSql(const std::string& sql, const Catalog& catalog, ShellState* state) {
     BufferPool::QueryScope memory_scope(
         BufferPool::ResolveMemoryBudget(state->budget_mb << 20));
     BufferPool::QueryScope::Attach memory_attach(&memory_scope);
+    // Per-query cancellation: Ctrl-C signals this token (instead of killing
+    // the shell) and \timeout arms its deadline; executors poll it at every
+    // morsel/step boundary through the ambient attach.
+    CancellationToken token;
+    const int64_t deadline_ms = ResolveDeadlineMs(state->timeout_ms);
+    if (deadline_ms > 0) token.SetDeadlineAfterMs(deadline_ms);
+    CancellationToken::Attach token_attach(&token);
+    SigintCancelGuard sigint_guard(&token);
     watch.Reset();
     result_or = compiled_or.ValueOrDie().Run(catalog);
     mem = memory_scope.stats();
@@ -292,6 +366,7 @@ CompileOptions OptionsFromState(const ShellState& state) {
   options.adaptive_morsels = state.adaptive_morsels;
   options.partitioned_breakers = state.partitioned_breakers;
   options.memory_budget_bytes = state.budget_mb << 20;
+  options.deadline_ms = state.timeout_ms;
   return options;
 }
 
@@ -366,6 +441,7 @@ void RunSessions(int n, const std::string& sql, const Catalog& catalog,
   options.compile.morsel_rows = state.morsel_rows;
   options.compile.partitioned_breakers = state.partitioned_breakers;
   options.compile.memory_budget_bytes = state.budget_mb << 20;
+  options.compile.deadline_ms = state.timeout_ms;
   runtime::QueryScheduler scheduler(&catalog, options);
   std::vector<std::future<runtime::QueryOutcome>> futures;
   futures.reserve(static_cast<size_t>(n));
@@ -484,6 +560,64 @@ void PrintPoolStats(const ShellState& state) {
   }
 }
 
+// Prints the finished \submit query's outcome (result table or the
+// structured termination/error status).
+void PrintAsyncOutcome(ShellState* state) {
+  runtime::QueryOutcome outcome = state->async_future.get();
+  std::printf("[async #%llu] %s\n",
+              static_cast<unsigned long long>(state->async_query_id),
+              state->async_sql.c_str());
+  if (!outcome.status.ok()) {
+    std::printf("[async #%llu] %s%s\n",
+                static_cast<unsigned long long>(state->async_query_id),
+                outcome.status.ToString().c_str(),
+                outcome.termination_reason != CancelReason::kNone
+                    ? (std::string(" (reason: ") +
+                       CancelReasonName(outcome.termination_reason) + ")")
+                          .c_str()
+                    : "");
+    return;
+  }
+  std::printf("%s", outcome.table.ToString(20).c_str());
+  std::printf("[async #%llu] %lld rows, queued %.2f ms, compile %.2f ms%s, "
+              "exec %.2f ms\n",
+              static_cast<unsigned long long>(state->async_query_id),
+              static_cast<long long>(outcome.stats.result_rows),
+              static_cast<double>(outcome.stats.queue_nanos) / 1e6,
+              static_cast<double>(outcome.stats.compile_nanos) / 1e6,
+              outcome.stats.cache_hit ? " (plan cache hit)" : "",
+              static_cast<double>(outcome.stats.exec_nanos) / 1e6);
+}
+
+// Collects the in-flight \submit query: non-blocking at the prompt (prints
+// only if it already finished), blocking for \wait — where ^C cooperatively
+// cancels the query through the scheduler instead of killing the shell.
+void CollectAsync(ShellState* state, bool block) {
+  if (!state->async_future.valid()) {
+    if (block) std::printf("no async query in flight (\\submit <sql>)\n");
+    return;
+  }
+  if (block) {
+    g_sigint_flag.store(0, std::memory_order_release);
+    while (state->async_future.wait_for(std::chrono::milliseconds(50)) !=
+           std::future_status::ready) {
+      if (g_sigint_flag.exchange(0, std::memory_order_acq_rel) != 0) {
+        if (state->scheduler->Cancel(state->async_query_id)) {
+          std::printf("^C — cancelling query #%llu...\n",
+                      static_cast<unsigned long long>(state->async_query_id));
+        }
+      }
+    }
+  } else if (state->async_future.wait_for(std::chrono::seconds(0)) !=
+             std::future_status::ready) {
+    return;
+  }
+  PrintAsyncOutcome(state);
+  state->async_future = {};
+  state->async_query_id = 0;
+  state->async_sql.clear();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -494,10 +628,13 @@ int main(int argc, char** argv) {
   TQP_CHECK_OK(tpch::GenerateAll(gen, &catalog));
   std::printf("TQP shell — TPC-H catalog at SF %.3f. Type \\tables, SQL, or quit.\n",
               sf);
+  // ^C cancels the running query (sync or \submit), never the shell.
+  std::signal(SIGINT, HandleSigint);
 
   ShellState state;
   std::string line;
   while (true) {
+    CollectAsync(&state, /*block=*/false);
     std::printf("tqp[%s/%s/%s]> ", state.engine.c_str(),
                 ExecutorTargetName(state.target),
                 state.device == DeviceKind::kCpu ? "cpu" : "gpu-sim");
@@ -554,6 +691,75 @@ int main(int argc, char** argv) {
                   static_cast<long long>(mb),
                   mb == 0 ? " (TQP_MEMORY_BUDGET_MB default / unlimited)"
                           : "");
+      continue;
+    }
+    if (line.rfind("\\timeout ", 0) == 0) {
+      int64_t ms = 0;
+      if (!ParseInt64(line.substr(9), &ms)) continue;
+      // Same ceiling as ResolveDeadlineMs: ~12 days keeps ms -> ns arming
+      // free of overflow.
+      if (ms < 0 || ms > (int64_t{1} << 40) / 1000) {
+        std::printf("timeout must be in [0, %lld] ms (0 = "
+                    "TQP_QUERY_TIMEOUT_MS default / none)\n",
+                    static_cast<long long>((int64_t{1} << 40) / 1000));
+        continue;
+      }
+      state.timeout_ms = ms;
+      std::printf("per-query timeout = %lld ms%s\n",
+                  static_cast<long long>(ms),
+                  ms == 0 ? " (TQP_QUERY_TIMEOUT_MS default / none)" : "");
+      continue;
+    }
+    if (line.rfind("\\submit ", 0) == 0) {
+      // Own the text: a view into line.substr(8)'s temporary would dangle
+      // before the scheduler compiles it.
+      const std::string sql(TrimView(std::string_view(line).substr(8)));
+      if (sql.empty()) {
+        std::printf("usage: \\submit <sql>\n");
+        continue;
+      }
+      if (state.async_future.valid()) {
+        std::printf("query #%llu still in flight — \\wait or \\cancel first\n",
+                    static_cast<unsigned long long>(state.async_query_id));
+        continue;
+      }
+      // Idle, so the old scheduler drains instantly; a fresh one picks up
+      // the current backend/budget/timeout options.
+      runtime::SchedulerOptions sched_options;
+      sched_options.compile = OptionsFromState(state);
+      state.scheduler = std::make_unique<runtime::QueryScheduler>(
+          &catalog, sched_options);
+      auto future_or = state.scheduler->Submit(
+          sql, runtime::QueryPriority::kNormal, &state.async_query_id);
+      if (!future_or.ok()) {
+        std::printf("rejected: %s\n", future_or.status().ToString().c_str());
+        continue;
+      }
+      state.async_future = std::move(future_or).ValueOrDie();
+      state.async_sql = sql;
+      std::printf("query #%llu submitted (\\wait to block, \\cancel to "
+                  "stop)\n",
+                  static_cast<unsigned long long>(state.async_query_id));
+      continue;
+    }
+    if (line == "\\cancel") {
+      if (!state.async_future.valid()) {
+        std::printf("no async query in flight (\\submit <sql>)\n");
+        continue;
+      }
+      if (state.scheduler->Cancel(state.async_query_id)) {
+        std::printf("cancel requested for query #%llu (stops at the next "
+                    "morsel/step boundary)\n",
+                    static_cast<unsigned long long>(state.async_query_id));
+      } else {
+        std::printf("query #%llu already completed\n",
+                    static_cast<unsigned long long>(state.async_query_id));
+      }
+      CollectAsync(&state, /*block=*/true);
+      continue;
+    }
+    if (line == "\\wait") {
+      CollectAsync(&state, /*block=*/true);
       continue;
     }
     if (line.rfind("\\fusion ", 0) == 0) {
@@ -685,6 +891,12 @@ int main(int argc, char** argv) {
       continue;
     }
     RunSql(line, catalog, &state);
+  }
+  // Exiting with a \submit query in flight: cancel it so the scheduler's
+  // draining destructor returns promptly instead of finishing the query.
+  if (state.async_future.valid()) {
+    state.scheduler->Cancel(state.async_query_id);
+    state.async_future.wait();
   }
   return 0;
 }

@@ -1,0 +1,176 @@
+#include "common/fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tqp {
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kSpillWrite:
+      return "spill_write";
+    case FaultSite::kSpillRead:
+      return "spill_read";
+    case FaultSite::kAlloc:
+      return "alloc";
+    case FaultSite::kTaskSubmit:
+      return "task_submit";
+    case FaultSite::kStepExec:
+      return "step_exec";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool ParseSiteName(const std::string& name, FaultSite* out) {
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    FaultSite site = static_cast<FaultSite>(i);
+    if (name == FaultSiteName(site)) {
+      *out = site;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Parses a non-negative decimal integer; false on garbage/overflow.
+bool ParseCount(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size() || v < 0) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+FaultInjector* FaultInjector::Global() {
+  static FaultInjector* const kGlobal = new FaultInjector();
+  return kGlobal;
+}
+
+FaultInjector::FaultInjector() {
+  const char* spec = std::getenv("TQP_FAULT_SPEC");
+  if (spec == nullptr || spec[0] == '\0') return;
+  Status st = ApplySpec(spec);
+  if (!st.ok()) {
+    std::fprintf(stderr, "TQP warning: ignoring TQP_FAULT_SPEC: %s\n",
+                 st.ToString().c_str());
+  }
+}
+
+Status FaultInjector::SetSpecForTesting(const std::string& spec) {
+  // Disarm first so a parse error leaves a clean (disabled) state.
+  enabled_.store(false, std::memory_order_relaxed);
+  for (auto& site : sites_) {
+    site.schedule.store(0, std::memory_order_relaxed);
+    site.remaining.store(-1, std::memory_order_relaxed);
+    site.hits.store(0, std::memory_order_relaxed);
+    site.fired.store(0, std::memory_order_relaxed);
+  }
+  if (spec.empty()) return Status::OK();
+  return ApplySpec(spec);
+}
+
+void FaultInjector::ResetCountersForTesting() {
+  for (auto& site : sites_) {
+    site.hits.store(0, std::memory_order_relaxed);
+    site.fired.store(0, std::memory_order_relaxed);
+  }
+}
+
+Status FaultInjector::ApplySpec(const std::string& spec) {
+  // Grammar: clause (';' clause)*
+  //   clause := site ':' mode '=' N (',' "limit" '=' M)?
+  //   mode   := "every" | "after"
+  size_t pos = 0;
+  bool armed_any = false;
+  while (pos < spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) continue;
+
+    size_t colon = clause.find(':');
+    if (colon == std::string::npos) {
+      return Status::Invalid("fault clause missing ':': " + clause);
+    }
+    FaultSite site;
+    if (!ParseSiteName(clause.substr(0, colon), &site)) {
+      return Status::Invalid("unknown fault site: " + clause.substr(0, colon));
+    }
+
+    std::string body = clause.substr(colon + 1);
+    int64_t schedule = 0;
+    int64_t limit = -1;
+    size_t part_pos = 0;
+    while (part_pos < body.size()) {
+      size_t part_end = body.find(',', part_pos);
+      if (part_end == std::string::npos) part_end = body.size();
+      std::string part = body.substr(part_pos, part_end - part_pos);
+      part_pos = part_end + 1;
+      size_t eq = part.find('=');
+      if (eq == std::string::npos) {
+        return Status::Invalid("fault clause part missing '=': " + part);
+      }
+      std::string key = part.substr(0, eq);
+      int64_t value = 0;
+      if (!ParseCount(part.substr(eq + 1), &value)) {
+        return Status::Invalid("bad fault count in: " + part);
+      }
+      if (key == "every") {
+        if (value < 1) return Status::Invalid("every=N needs N >= 1");
+        schedule = value;
+      } else if (key == "after") {
+        schedule = -(value + 1);  // -1 encodes after=0 (every hit fails)
+      } else if (key == "limit") {
+        limit = value;
+      } else {
+        return Status::Invalid("unknown fault clause key: " + key);
+      }
+    }
+    if (schedule == 0) {
+      return Status::Invalid("fault clause needs every= or after=: " + clause);
+    }
+    SiteState& state = sites_[static_cast<int>(site)];
+    state.schedule.store(schedule, std::memory_order_relaxed);
+    state.remaining.store(limit, std::memory_order_relaxed);
+    state.hits.store(0, std::memory_order_relaxed);
+    state.fired.store(0, std::memory_order_relaxed);
+    armed_any = true;
+  }
+  if (armed_any) enabled_.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+bool FaultInjector::ShouldFailSlow(FaultSite site) {
+  SiteState& state = sites_[static_cast<int>(site)];
+  int64_t schedule = state.schedule.load(std::memory_order_relaxed);
+  if (schedule == 0) return false;
+  int64_t hit = state.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fail = false;
+  if (schedule > 0) {
+    fail = (hit % schedule) == 0;  // every=N: hits N, 2N, 3N, ...
+  } else {
+    fail = hit >= -schedule;  // after=N: hits N+1, N+2, ...
+  }
+  if (!fail) return false;
+  // Enforce the optional fire limit.
+  int64_t remaining = state.remaining.load(std::memory_order_relaxed);
+  while (remaining >= 0) {
+    if (remaining == 0) return false;
+    if (state.remaining.compare_exchange_weak(remaining, remaining - 1,
+                                              std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  state.fired.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace tqp

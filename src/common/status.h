@@ -24,6 +24,8 @@ enum class StatusCode : int {
   kOutOfMemory = 8,
   kIoError = 9,
   kInternal = 10,
+  kCancelled = 11,
+  kDeadlineExceeded = 12,
 };
 
 /// \brief Returns a human-readable name for a status code ("Invalid argument").
@@ -76,6 +78,20 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+
+  /// \brief True for the two cooperative-termination codes (kCancelled and
+  /// kDeadlineExceeded), which mean "the query was asked to stop", not "the
+  /// engine hit a fault".
+  bool IsTermination() const {
+    return code() == StatusCode::kCancelled ||
+           code() == StatusCode::kDeadlineExceeded;
   }
 
   bool ok() const { return state_ == nullptr; }

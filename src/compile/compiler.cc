@@ -894,6 +894,7 @@ Result<CompiledQuery> QueryCompiler::Compile(const PlanPtr& physical_plan,
   exec_options.partitioned_breakers = options.partitioned_breakers;
   exec_options.step_scheduler = options.step_scheduler;
   exec_options.memory_budget_bytes = options.memory_budget_bytes;
+  exec_options.deadline_ms = options.deadline_ms;
   TQP_ASSIGN_OR_RETURN(out.executor_,
                        MakeExecutor(options.target, program, exec_options));
   return out;

@@ -48,6 +48,9 @@ struct CompileOptions {
   /// See ExecOptions::memory_budget_bytes — per-query memory budget with
   /// disk spill (0 = TQP_MEMORY_BUDGET_MB default, negative = unlimited).
   int64_t memory_budget_bytes = 0;
+  /// See ExecOptions::deadline_ms — cooperative per-query deadline
+  /// (0 = TQP_QUERY_TIMEOUT_MS default, negative = none).
+  int64_t deadline_ms = 0;
 };
 
 /// \brief A compiled query: the tensor program, its Executor, and the

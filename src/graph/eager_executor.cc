@@ -1,5 +1,6 @@
 #include "graph/eager_executor.h"
 
+#include "common/cancel.h"
 #include "common/stopwatch.h"
 #include "graph/eval.h"
 
@@ -43,6 +44,8 @@ Result<std::vector<Tensor>> EagerExecutor::Run(const std::vector<Tensor>& inputs
   }
   for (const OpNode& node : prog.nodes()) {
     if (node.type == OpType::kInput) continue;
+    // Node-boundary cancellation/deadline poll (cooperative contract).
+    TQP_RETURN_NOT_OK(CheckAmbientCancelled());
     Stopwatch timer;
     TQP_ASSIGN_OR_RETURN(Tensor out, EvalNode(prog, node, values));
     if (device->is_simulated()) {

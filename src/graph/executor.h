@@ -125,6 +125,14 @@ struct ExecOptions {
   /// query) takes precedence — the executor then charges that query
   /// instead of opening its own scope.
   int64_t memory_budget_bytes = 0;
+  /// Per-query deadline in milliseconds, enforced cooperatively at morsel
+  /// and step boundaries. Positive = cap this query's wall time (expired
+  /// queries terminate with Status::DeadlineExceeded and memory back at
+  /// baseline). 0 = the TQP_QUERY_TIMEOUT_MS env default (none when unset);
+  /// negative = explicitly no deadline. An ambient CancellationToken (the
+  /// QueryScheduler arms one per admitted query) takes precedence — the
+  /// executor then polls that token instead of arming its own.
+  int64_t deadline_ms = 0;
 };
 
 /// \brief A compiled, runnable tensor program (the paper's "Executor").

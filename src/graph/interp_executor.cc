@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/cancel.h"
 #include "common/stopwatch.h"
 #include "graph/eval.h"
 #include "graph/serialize.h"
@@ -444,6 +445,8 @@ Result<std::vector<Tensor>> InterpExecutor::Run(const std::vector<Tensor>& input
   }
   for (const OpNode& node : prog.nodes()) {
     if (node.type == OpType::kInput) continue;
+    // Node-boundary cancellation/deadline poll (cooperative contract).
+    TQP_RETURN_NOT_OK(CheckAmbientCancelled());
     Stopwatch timer;
     Tensor out;
     TQP_ASSIGN_OR_RETURN(bool handled, TryScalarEval(prog, node, values, &out));

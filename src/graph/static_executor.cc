@@ -4,6 +4,7 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "common/cancel.h"
 #include "common/stopwatch.h"
 #include "compile/expr_simd.h"
 #include "graph/eval.h"
@@ -81,6 +82,9 @@ Result<std::vector<Tensor>> StaticExecutor::Run(const std::vector<Tensor>& input
   };
 
   for (size_t si = 0; si < steps_.size(); ++si) {
+    // Step-boundary cancellation/deadline poll — the serial backends honor
+    // the same cooperative contract as the morsel loops.
+    TQP_RETURN_NOT_OK(CheckAmbientCancelled());
     const Step& step = steps_[si];
     if (step.node_ids.size() == 1) {
       const OpNode& node = prog.node(step.node_ids[0]);

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <memory>
 
+#include "common/cancel.h"
+#include "common/fault.h"
 #include "common/stopwatch.h"
 #include "graph/eval.h"
 #include "graph/op_type.h"
@@ -74,6 +76,12 @@ Result<std::vector<Tensor>> ParallelExecutor::Run(const std::vector<Tensor>& inp
   ScopedQueryBudget budget_scope(options_.memory_budget_bytes);
   BufferPool::QueryScope* const scope = budget_scope.scope();
 
+  // Per-query cancellation/deadline, same precedence as the memory scope:
+  // the ambient token (the QueryScheduler's) or a locally armed deadline
+  // from ExecOptions::deadline_ms / TQP_QUERY_TIMEOUT_MS. Node tasks poll
+  // it through CheckAmbientCancelled().
+  ScopedQueryDeadline deadline_scope(options_.deadline_ms);
+
   std::vector<Tensor> values(static_cast<size_t>(prog.num_nodes()));
   for (size_t i = 0; i < inputs.size(); ++i) {
     values[static_cast<size_t>(prog.input_nodes()[i])] = inputs[i];
@@ -121,6 +129,14 @@ Result<std::vector<Tensor>> ParallelExecutor::Run(const std::vector<Tensor>& inp
     task_of[static_cast<size_t>(node.id)] = graph.AddTask(
         [this, &prog, &node, &values, &ctx, device, &refs,
          &spill]() -> Status {
+          // Node-boundary cancellation poll and the step-execution fault
+          // seam; either failure cancels every not-yet-started task via
+          // TaskGraph's first-error machinery.
+          TQP_RETURN_NOT_OK(CheckAmbientCancelled());
+          if (FaultHit(FaultSite::kStepExec)) {
+            return Status::Internal("injected fault: step_exec (node " +
+                                    std::to_string(node.id) + ")");
+          }
           for (size_t i = 0; i < node.inputs.size(); ++i) {
             if (!FirstUseOfOperand(node.inputs, i)) continue;
             TQP_RETURN_NOT_OK(

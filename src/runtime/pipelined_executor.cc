@@ -7,6 +7,8 @@
 
 #include <atomic>
 
+#include "common/cancel.h"
+#include "common/fault.h"
 #include "common/stopwatch.h"
 #include "compile/expr_simd.h"
 #include "graph/eval.h"
@@ -253,6 +255,11 @@ Status PipelinedExecutor::RunPipeline(int pipeline_index, const Pipeline& p,
 
   auto eval_morsel = [&](int64_t b, int64_t e, int64_t m,
                          MorselSlot* slot) -> Status {
+    // Cooperative cancellation poll: a cancelled/expired query stops before
+    // the next morsel evaluates, and the resulting non-OK status unwinds
+    // through the same cleanup every real error takes (chunk guard, spill
+    // drops, scope teardown).
+    TQP_RETURN_NOT_OK(CheckAmbientCancelled());
     morsel_evals_.fetch_add(1, std::memory_order_relaxed);
     static obs::Counter* morsel_metric =
         obs::MetricsRegistry::Global()->GetCounter(
@@ -665,6 +672,12 @@ Result<std::vector<Tensor>> PipelinedExecutor::Run(
   ScopedQueryBudget budget_scope(options_.memory_budget_bytes);
   BufferPool::QueryScope* const scope = budget_scope.scope();
 
+  // Per-query cancellation/deadline, same precedence as the memory scope:
+  // the ambient token (the QueryScheduler's) or a locally armed deadline
+  // from ExecOptions::deadline_ms / TQP_QUERY_TIMEOUT_MS. Morsel and step
+  // loops poll it through CheckAmbientCancelled().
+  ScopedQueryDeadline deadline_scope(options_.deadline_ms);
+
   std::vector<Tensor> values(static_cast<size_t>(prog.num_nodes()));
   for (size_t i = 0; i < inputs.size(); ++i) {
     values[static_cast<size_t>(prog.input_nodes()[i])] = inputs[i];
@@ -698,6 +711,14 @@ Result<std::vector<Tensor>> PipelinedExecutor::Run(
   }
 
   auto run_step = [&](int step_index, const PipelineStep& step) -> Status {
+    // Step-boundary cancellation poll plus the step-execution fault seam:
+    // an injected hit fails the step with a structured error, which the
+    // TaskGraph turns into cancellation of every not-yet-started step.
+    TQP_RETURN_NOT_OK(CheckAmbientCancelled());
+    if (FaultHit(FaultSite::kStepExec)) {
+      return Status::Internal("injected fault: step_exec (step " +
+                              std::to_string(step_index) + ")");
+    }
     // One span per schedule step (the EXPLAIN ANALYZE unit): covers the
     // spill pin/unpin bookkeeping as well as the kernels, so per-step
     // durations sum to the walk's wall time.

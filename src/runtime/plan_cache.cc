@@ -91,6 +91,8 @@ std::string PlanCache::MakeKey(const std::string& normalized_sql,
   key += std::to_string(reinterpret_cast<uintptr_t>(options.step_scheduler));
   key.push_back('/');
   key += std::to_string(options.memory_budget_bytes);
+  key.push_back('/');
+  key += std::to_string(options.deadline_ms);
   return key;
 }
 

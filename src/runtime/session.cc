@@ -63,11 +63,18 @@ QueryScheduler::~QueryScheduler() {
 }
 
 Result<std::future<QueryOutcome>> QueryScheduler::Submit(const std::string& sql,
-                                                         QueryPriority priority) {
+                                                         QueryPriority priority,
+                                                         uint64_t* query_id) {
   Job job;
   job.sql = sql;
   job.priority = priority;
   job.enqueue_nanos = NowNanos();
+  // The cancellation token is born at admission and its deadline (when one
+  // is configured) is armed from enqueue time: queue wait counts against
+  // the deadline, which is what makes queued-too-long shedding work.
+  job.token = std::make_shared<CancellationToken>();
+  const int64_t deadline_ms = ResolveDeadlineMs(options_.compile.deadline_ms);
+  if (deadline_ms > 0) job.token->SetDeadlineAfterMs(deadline_ms);
   std::future<QueryOutcome> future = job.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -142,11 +149,50 @@ Result<std::future<QueryOutcome>> QueryScheduler::Submit(const std::string& sql,
       admit.AddArg("queued", static_cast<int64_t>(queued_total_));
       options_.trace->Append(std::move(admit));
     }
+    job.query_id = next_query_id_++;
+    if (query_id != nullptr) *query_id = job.query_id;
+    tokens_.emplace(job.query_id, TokenEntry{job.token, priority});
     queues_[static_cast<size_t>(priority)].push_back(std::move(job));
     ++queued_total_;
     DispatchLocked();
   }
   return future;
+}
+
+bool QueryScheduler::Cancel(uint64_t query_id) {
+  std::shared_ptr<CancellationToken> token;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tokens_.find(query_id);
+    if (it == tokens_.end()) return false;
+    token = it->second.token;
+  }
+  // Signal outside mu_: RequestCancel is lock-free, but holding the
+  // scheduler lock across it buys nothing and this keeps Cancel callable
+  // from anywhere (shell command handlers included).
+  token->RequestCancel(CancelReason::kUserCancelled);
+  obs::TraceInstant("query", "cancel.request", "query_id",
+                    static_cast<int64_t>(query_id));
+  return true;
+}
+
+int QueryScheduler::PreemptLowPriority() {
+  std::vector<std::shared_ptr<CancellationToken>> victims;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, entry] : tokens_) {
+      (void)id;
+      if (entry.priority == QueryPriority::kLow) victims.push_back(entry.token);
+    }
+  }
+  for (const auto& token : victims) {
+    token->RequestCancel(CancelReason::kPreempted);
+  }
+  if (!victims.empty()) {
+    obs::TraceInstant("query", "preempt.low_priority", "victims",
+                      static_cast<int64_t>(victims.size()));
+  }
+  return static_cast<int>(victims.size());
 }
 
 void QueryScheduler::DispatchLocked() {
@@ -193,6 +239,53 @@ void QueryScheduler::WorkerBody() {
       if (!outcome.status.ok()) ++counters_.failed;
       counters_.spilled_bytes += outcome.stats.spilled_bytes;
       if (outcome.stats.spilled_bytes > 0) ++counters_.queries_spilled;
+      switch (outcome.termination_reason) {
+        case CancelReason::kUserCancelled:
+          ++counters_.cancelled;
+          break;
+        case CancelReason::kDeadlineExceeded:
+          ++counters_.timed_out;
+          if (outcome.stats.timed_out_in_queue) ++counters_.timed_out_queued;
+          break;
+        case CancelReason::kPreempted:
+          ++counters_.preempted;
+          break;
+        case CancelReason::kNone:
+          break;
+      }
+      tokens_.erase(job.query_id);  // Cancel now reports "unknown id"
+    }
+    if (outcome.termination_reason != CancelReason::kNone) {
+      static obs::Counter* cancelled_metric =
+          obs::MetricsRegistry::Global()->GetCounter(
+              "tqp_queries_cancelled_total",
+              "Queries terminated by explicit cancellation requests");
+      static obs::Counter* timeout_metric =
+          obs::MetricsRegistry::Global()->GetCounter(
+              "tqp_queries_timed_out_total",
+              "Queries terminated by deadline expiry (queued or running)");
+      static obs::Counter* timeout_queued_metric =
+          obs::MetricsRegistry::Global()->GetCounter(
+              "tqp_queries_timed_out_queued",
+              "Queries whose deadline expired before execution started");
+      static obs::Counter* preempted_metric =
+          obs::MetricsRegistry::Global()->GetCounter(
+              "tqp_queries_preempted_total",
+              "Low-priority queries preempted under memory pressure");
+      switch (outcome.termination_reason) {
+        case CancelReason::kUserCancelled:
+          cancelled_metric->Add(1);
+          break;
+        case CancelReason::kDeadlineExceeded:
+          timeout_metric->Add(1);
+          if (outcome.stats.timed_out_in_queue) timeout_queued_metric->Add(1);
+          break;
+        case CancelReason::kPreempted:
+          preempted_metric->Add(1);
+          break;
+        case CancelReason::kNone:
+          break;
+      }
     }
     static obs::Counter* completed_metric =
         obs::MetricsRegistry::Global()->GetCounter(
@@ -233,6 +326,24 @@ QueryOutcome QueryScheduler::Execute(Job* job) {
   // null session, which doubles as a mask over any context the pool task
   // running this worker might have inherited.
   obs::TraceContext trace_ctx(options_.trace, job->trace_query_id);
+  // Queued-too-long shedding and pre-execution cancellation: the token was
+  // armed at admission, so a deadline that expired during the queue wait —
+  // or a Cancel that landed before pickup — terminates the query here with
+  // a structured error instead of executing it late.
+  if (job->token != nullptr && job->token->cancelled()) {
+    outcome.status = job->token->CheckCancelled();
+    outcome.termination_reason = job->token->reason();
+    outcome.stats.timed_out_in_queue =
+        outcome.termination_reason == CancelReason::kDeadlineExceeded;
+    if (outcome.stats.timed_out_in_queue) {
+      outcome.status = outcome.status.WithContext(
+          "deadline expired in admission queue after " +
+          std::to_string(outcome.stats.queue_nanos / 1000000) + " ms");
+      obs::TraceInstant("query", "shed.expired", "queued_ms",
+                        outcome.stats.queue_nanos / 1000000);
+    }
+    return outcome;
+  }
   // The queue wait already happened (on no particular thread); record it
   // backdated as a top-level span so the timeline shows admission-to-pickup
   // next to the execution that follows.
@@ -312,6 +423,10 @@ QueryOutcome QueryScheduler::Execute(Job* job) {
   BufferPool::QueryScope memory_scope(
       BufferPool::ResolveMemoryBudget(options_.compile.memory_budget_bytes));
   BufferPool::QueryScope::Attach memory_attach(&memory_scope);
+  // Ambient cancellation token: the executors' ScopedQueryDeadline sees it
+  // and polls it (instead of arming a second deadline), and every task the
+  // query fans out re-attaches it via ThreadPool/StepScheduler submission.
+  CancellationToken::Attach token_attach(job->token.get());
   auto result_or = [&] {
     obs::TraceSpan exec_span("query", "execute");
     return plan->Run(*catalog_);
@@ -328,6 +443,15 @@ QueryOutcome QueryScheduler::Execute(Job* job) {
   outcome.stats.spilled_bytes = mem.spilled_bytes;
   if (!result_or.ok()) {
     outcome.status = result_or.status();
+    // A termination status with the token fired means the stop was the
+    // cooperative kind — surface the structured reason (a plain execution
+    // error leaves kNone even if a late cancel raced in after the failure).
+    if (outcome.status.IsTermination() && job->token != nullptr &&
+        job->token->reason() != CancelReason::kNone) {
+      outcome.termination_reason = job->token->reason();
+      obs::TraceInstant("query", "terminated", "reason",
+                        static_cast<int64_t>(outcome.termination_reason));
+    }
     return outcome;
   }
   outcome.table = std::move(result_or).ValueOrDie();

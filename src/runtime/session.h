@@ -10,8 +10,10 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "compile/compiler.h"
 #include "obs/trace.h"
 #include "plan/catalog.h"
@@ -41,6 +43,9 @@ struct QueryStats {
   int64_t memory_budget_bytes = 0;
   int64_t peak_memory_bytes = 0;
   int64_t spilled_bytes = 0;
+  /// True when the deadline expired while the query was still in the
+  /// admission queue — it was shed at worker pickup and never executed.
+  bool timed_out_in_queue = false;
 };
 
 /// \brief Result + stats of one scheduled query.
@@ -48,6 +53,11 @@ struct QueryOutcome {
   Status status;  // OK iff `table` is valid
   Table table;
   QueryStats stats;
+  /// Structured termination reason when the query was stopped cooperatively
+  /// (user cancel, deadline, preemption); kNone for success and for plain
+  /// execution errors. `status` carries the matching kCancelled /
+  /// kDeadlineExceeded code.
+  CancelReason termination_reason = CancelReason::kNone;
 };
 
 /// \brief Aggregate scheduler counters (monotonic since construction).
@@ -63,6 +73,11 @@ struct SchedulerCounters {
   /// live in each query's QueryMemoryStats::spill_events).
   int64_t spilled_bytes = 0;
   int64_t queries_spilled = 0;
+  /// Cooperative-termination tallies (all three also count into `failed`).
+  int64_t cancelled = 0;         // user requests (Cancel)
+  int64_t timed_out = 0;         // deadline expiries, queued or running
+  int64_t timed_out_queued = 0;  // subset: expired before execution started
+  int64_t preempted = 0;         // kLow queries stopped by PreemptLowPriority
 };
 
 struct SchedulerOptions {
@@ -133,9 +148,27 @@ class QueryScheduler {
 
   /// \brief Admits a query. Fails fast with an error (no future) when the
   /// admission queue is full, or — for kLow priority — when the queue is
-  /// past the backpressure watermark.
+  /// past the backpressure watermark. When `query_id` is non-null it
+  /// receives the admitted query's id, the handle Cancel takes; ids are
+  /// process-unique and never 0.
   Result<std::future<QueryOutcome>> Submit(
-      const std::string& sql, QueryPriority priority = QueryPriority::kNormal);
+      const std::string& sql, QueryPriority priority = QueryPriority::kNormal,
+      uint64_t* query_id = nullptr);
+
+  /// \brief Requests cooperative cancellation of an admitted query (queued
+  /// or executing). Returns false when the id is unknown or the query
+  /// already completed. A queued query terminates at worker pickup without
+  /// executing; a running one stops within a morsel/step boundary. Either
+  /// way its future resolves with Status::Cancelled and a structured
+  /// termination reason.
+  bool Cancel(uint64_t query_id);
+
+  /// \brief Memory-pressure relief: requests cancellation (reason
+  /// kPreempted) of every admitted kLow query, queued and running. Returns
+  /// how many tokens were signalled. Callers invoke this when the pool is
+  /// under pressure; preempted queries release all memory and fail with a
+  /// structured reason so clients can resubmit later.
+  int PreemptLowPriority();
 
   SchedulerCounters counters() const;
   const PlanCache& plan_cache() const { return plan_cache_; }
@@ -154,6 +187,13 @@ class QueryScheduler {
     std::promise<QueryOutcome> promise;
     int64_t enqueue_nanos = 0;
     uint64_t trace_query_id = 0;  // 0 when tracing is off
+    uint64_t query_id = 0;        // Cancel handle; assigned at admission
+    /// The query's cancellation token, created at admission with the
+    /// deadline (CompileOptions::deadline_ms / TQP_QUERY_TIMEOUT_MS) armed
+    /// from enqueue time — so queue wait counts against the deadline and
+    /// queued-too-long queries shed at pickup. shared_ptr because Cancel /
+    /// PreemptLowPriority signal it from other threads via tokens_.
+    std::shared_ptr<CancellationToken> token;
   };
 
   /// Spawns worker tasks on the pool while capacity and work both exist.
@@ -174,6 +214,15 @@ class QueryScheduler {
 
   mutable std::mutex mu_;
   std::array<std::deque<Job>, kNumQueryPriorities> queues_;
+  /// Admitted-and-not-yet-completed queries' tokens, the Cancel /
+  /// PreemptLowPriority lookup table. Guarded by mu_; entries erase when
+  /// the worker finishes the query.
+  struct TokenEntry {
+    std::shared_ptr<CancellationToken> token;
+    QueryPriority priority = QueryPriority::kNormal;
+  };
+  std::unordered_map<uint64_t, TokenEntry> tokens_;
+  uint64_t next_query_id_ = 1;
   size_t queued_total_ = 0;
   int active_workers_ = 0;    // worker tasks spawned and not yet retired
   int executing_workers_ = 0;  // workers currently inside Execute()

@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/cancel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/buffer_pool.h"
@@ -45,6 +46,15 @@ void StepScheduler::Submit(std::function<void()> step, int priority) {
   if (auto* scope = BufferPool::QueryScope::Current(); scope != nullptr) {
     step = [scope, inner = std::move(step)] {
       BufferPool::QueryScope::Attach attach(scope);
+      inner();
+    };
+  }
+  // Per-step cancellation-token propagation, same rules as the scope above:
+  // the token rides with the step, and PumpOne masks the pump's inherited
+  // token so steps of other queries never observe it.
+  if (auto* token = CancellationToken::Current(); token != nullptr) {
+    step = [token, inner = std::move(step)] {
+      CancellationToken::Attach attach(token);
       inner();
     };
   }
@@ -97,6 +107,9 @@ void StepScheduler::PumpOne() {
   // pump's re-submission below must not capture a scope that could be gone
   // by the time the chained pump runs.
   BufferPool::QueryScope::Attach mask(nullptr);
+  // Mask the inherited cancellation token too: a pump chain serves many
+  // queries, and one query's cancellation must not leak into another's step.
+  CancellationToken::Attach token_mask(nullptr);
   // Mask the inherited trace context for the same lifetime reason: a pump
   // chain outlives the query that spawned it (it drains the shared ready
   // queue), so an untraced step popped later must not record into — and the

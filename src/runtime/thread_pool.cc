@@ -5,7 +5,9 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "common/cancel.h"
 #include "common/env.h"
+#include "common/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/morsel.h"
@@ -92,6 +94,15 @@ void ThreadPool::Submit(std::function<void()> task) {
       inner();
     };
   }
+  // And the ambient cancellation token, with the same lifetime argument: a
+  // cancelled query's fan-out observes the request at its next morsel/step
+  // poll no matter which worker picked the task up.
+  if (auto* token = CancellationToken::Current(); token != nullptr) {
+    task = [token, inner = std::move(task)] {
+      CancellationToken::Attach attach(token);
+      inner();
+    };
+  }
   // Tasks likewise inherit the submitter's ambient trace context (session +
   // query id + submitting span), so a traced query's fan-out records into
   // its session from any worker, parented to the span that spawned it. Same
@@ -103,6 +114,15 @@ void ThreadPool::Submit(std::function<void()> task) {
       obs::TraceContext ctx(trace);
       inner();
     };
+  }
+  // Fault seam: a hit degrades this submission to inline execution on the
+  // submitting thread — a benign perturbation that reorders completion and
+  // removes asynchrony, proving no caller depends on tasks actually running
+  // elsewhere (results must stay bit-identical).
+  if (FaultHit(FaultSite::kTaskSubmit)) {
+    task();
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    return;
   }
   // Worker threads push to their own queue (the back, where they also pop:
   // depth-first execution keeps the working set hot); external threads spray
@@ -209,6 +229,16 @@ Status ThreadPool::ParallelFor(
 
   auto drain = [state, fn, total, morsel_rows, num_morsels](int slot) {
     while (!state->failed.load(std::memory_order_acquire)) {
+      // Cancellation poll before claiming each morsel: breaker internals
+      // (partition scans, hash builds, merge passes) all fan out through
+      // here, so a cancelled query stops within one morsel everywhere, not
+      // just at pipeline step boundaries.
+      if (Status st = CheckAmbientCancelled(); !st.ok()) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (state->first_error.ok()) state->first_error = std::move(st);
+        state->failed.store(true, std::memory_order_release);
+        break;
+      }
       const int64_t m = state->cursor.fetch_add(1, std::memory_order_relaxed);
       if (m >= num_morsels) break;
       const int64_t begin = m * morsel_rows;

@@ -4,11 +4,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "common/env.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -37,6 +40,20 @@ std::string SpillDir() {
 uint64_t NextScopeSeq() {
   static std::atomic<uint64_t> seq{0};
   return seq.fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Backoff before the attempt'th in-place retry of a spill read/write
+/// (1 ms, 2 ms, 4 ms ...): long enough for a transient condition (EINTR,
+/// momentary fd pressure) to clear, short enough to be invisible next to
+/// the disk I/O itself.
+void SpillRetryBackoff(int attempt) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(int64_t{1} << attempt));
 }
 
 }  // namespace
@@ -113,6 +130,11 @@ int64_t BufferPool::AllocSizeFor(int64_t size) {
 }
 
 uint8_t* BufferPool::Acquire(int64_t size, int64_t* alloc_size) {
+  // Fault seam: a hit behaves exactly like malloc exhaustion. The caller
+  // (Buffer::Allocate) discharges the query ledger and returns a clean
+  // Status::OutOfMemory, so injected allocation faults prove the OOM
+  // unwind path leaks nothing.
+  if (FaultHit(FaultSite::kAlloc)) return nullptr;
   const int cls = ClassIndex(size);
   if (cls < 0) {
     // Bypass: too big to pool. Round up for aligned_alloc's contract.
@@ -326,6 +348,12 @@ void BufferPool::QueryScope::Drop(uint64_t id) {
 
 bool BufferPool::QueryScope::MakeRoomLocked(int64_t need) {
   if (LiveBytes() + need <= budget_bytes_) return true;
+  // Repeated hard eviction failures (disk full, unwritable spill dir)
+  // disable spilling for this scope only: the query degrades to resident
+  // execution with budget_overruns counted, instead of hammering a dead
+  // disk on every allocation — and other queries' spill tiers are
+  // unaffected.
+  if (spill_disabled_) return false;
   // Thrash guard: once a scan found nothing evictable (the irreducible
   // working set is over the budget), don't rescan until the registry gains
   // a new candidate — at the floor, every allocation would otherwise pay a
@@ -333,20 +361,31 @@ bool BufferPool::QueryScope::MakeRoomLocked(int64_t need) {
   if (floor_generation_ == generation_) return false;
   while (LiveBytes() + need > budget_bytes_) {
     Record* coldest = nullptr;
+    bool deferred_by_backoff = false;
+    const int64_t now = SteadyNowNanos();
     for (auto& [id, rec] : records_) {
       (void)id;
-      if (rec.on_disk || rec.pins > 0 || rec.io_failed) continue;
+      if (rec.on_disk || rec.pins > 0) continue;
       if (rec.slot == nullptr || !rec.slot->defined() ||
           !rec.slot->owns_data() || rec.slot->nbytes() <= 0) {
+        continue;
+      }
+      // A previously failed eviction re-enters candidacy once its backoff
+      // window passes; until then it is deferred, not excluded.
+      if (rec.io_failures > 0 && now < rec.retry_after_nanos) {
+        deferred_by_backoff = true;
         continue;
       }
       if (coldest == nullptr || rec.touch < coldest->touch) coldest = &rec;
     }
     if (coldest == nullptr) {
-      floor_generation_ = generation_;
+      // Don't latch the floor while candidates are merely in backoff —
+      // they become evictable again with no generation bump, so a later
+      // scan must run.
+      if (!deferred_by_backoff) floor_generation_ = generation_;
       return false;
     }
-    EvictLocked(coldest);  // failure marks io_failed; the scan skips it
+    if (!EvictLocked(coldest) && spill_disabled_) return false;
   }
   return true;
 }
@@ -364,23 +403,46 @@ bool BufferPool::QueryScope::EvictLocked(Record* rec) {
                 std::to_string(scope_seq_) + "-" + std::to_string(rec->id) +
                 ".bin";
   }
-  std::FILE* f = std::fopen(rec->path.c_str(), "wb");
-  if (f == nullptr) {
-    TQP_LOG(Warning) << "spill: cannot open " << rec->path
-                     << "; value stays resident";
-    rec->io_failed = true;
+  // Transient write failures (interrupted syscall, momentary fd pressure,
+  // an injected kSpillWrite fault) retry in place with short backoff; only
+  // after kSpillIoAttempts does the failure count as hard.
+  bool wrote = false;
+  for (int attempt = 0; attempt < kSpillIoAttempts; ++attempt) {
+    if (attempt > 0) SpillRetryBackoff(attempt - 1);
+    if (FaultHit(FaultSite::kSpillWrite)) continue;  // simulated open failure
+    std::FILE* f = std::fopen(rec->path.c_str(), "wb");
+    if (f == nullptr) continue;
+    const size_t written =
+        std::fwrite(t.raw_data(), 1, static_cast<size_t>(rec->file_bytes), f);
+    const bool flushed = std::fclose(f) == 0;
+    if (written != static_cast<size_t>(rec->file_bytes) || !flushed) {
+      std::remove(rec->path.c_str());
+      continue;
+    }
+    wrote = true;
+    break;
+  }
+  if (!wrote) {
+    // Hard failure: the value stays resident and the record re-enters
+    // victim candidacy after an exponential backoff (1 ms << failures,
+    // capped) instead of being poisoned forever.
+    ++rec->io_failures;
+    const int shift = std::min(rec->io_failures - 1, 6);
+    rec->retry_after_nanos = SteadyNowNanos() + (int64_t{1000000} << shift);
+    if (++consecutive_eviction_failures_ >= kMaxEvictionFailures &&
+        !spill_disabled_) {
+      spill_disabled_ = true;
+      TQP_LOG(Warning) << "spill: " << consecutive_eviction_failures_
+                       << " consecutive eviction failures; disabling the "
+                          "spill tier for this query (resident fallback)";
+    }
+    TQP_LOG(Warning) << "spill: cannot write " << rec->path
+                     << "; value stays resident (retry after backoff)";
     return false;
   }
-  const size_t written =
-      std::fwrite(t.raw_data(), 1, static_cast<size_t>(rec->file_bytes), f);
-  const bool flushed = std::fclose(f) == 0;
-  if (written != static_cast<size_t>(rec->file_bytes) || !flushed) {
-    std::remove(rec->path.c_str());
-    TQP_LOG(Warning) << "spill: short write to " << rec->path
-                     << "; value stays resident";
-    rec->io_failed = true;
-    return false;
-  }
+  rec->io_failures = 0;
+  rec->retry_after_nanos = 0;
+  consecutive_eviction_failures_ = 0;
   // Dropping the resident tensor discharges its bytes from the ledger via
   // ~Buffer (lock order: spill_mu_ -> ledger mu, consistent everywhere).
   *rec->slot = Tensor();
@@ -415,15 +477,26 @@ Status BufferPool::QueryScope::FaultLocked(Record* rec) {
   tls_in_spill_io = false;
   TQP_RETURN_NOT_OK(tensor_or.status());
   Tensor tensor = std::move(tensor_or).ValueOrDie();
-  std::FILE* f = std::fopen(rec->path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::IOError("spill: cannot reopen " + rec->path);
+  // Same bounded in-place retry as the write side: the reader needs these
+  // bytes to make progress, so only a hard (post-retry) failure surfaces,
+  // and it surfaces as a clean IOError the query fails with — the record
+  // stays on_disk with its file intact, and the scope destructor removes
+  // the file.
+  bool read_ok = false;
+  for (int attempt = 0; attempt < kSpillIoAttempts; ++attempt) {
+    if (attempt > 0) SpillRetryBackoff(attempt - 1);
+    if (FaultHit(FaultSite::kSpillRead)) continue;  // simulated open failure
+    std::FILE* f = std::fopen(rec->path.c_str(), "rb");
+    if (f == nullptr) continue;
+    const size_t read = std::fread(tensor.raw_mutable_data(), 1,
+                                   static_cast<size_t>(rec->file_bytes), f);
+    std::fclose(f);
+    if (read != static_cast<size_t>(rec->file_bytes)) continue;
+    read_ok = true;
+    break;
   }
-  const size_t read = std::fread(tensor.raw_mutable_data(), 1,
-                                 static_cast<size_t>(rec->file_bytes), f);
-  std::fclose(f);
-  if (read != static_cast<size_t>(rec->file_bytes)) {
-    return Status::IOError("spill: short read from " + rec->path);
+  if (!read_ok) {
+    return Status::IOError("spill: cannot read back " + rec->path);
   }
   std::remove(rec->path.c_str());
   *rec->slot = std::move(tensor);

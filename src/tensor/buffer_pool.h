@@ -237,7 +237,12 @@ class BufferPool {
       int pins = 0;
       uint64_t touch = 0;   // last registration/unpin tick; coldest = lowest
       bool on_disk = false;
-      bool io_failed = false;  // eviction failed; never retried
+      /// Consecutive failed evictions of this value (reset on success). A
+      /// failed eviction is retried: the record re-enters victim candidacy
+      /// once the steady clock passes `retry_after_nanos` (exponential
+      /// backoff in io_failures), instead of being excluded forever.
+      int io_failures = 0;
+      int64_t retry_after_nanos = 0;
       std::string path;
       DType dtype = DType::kFloat64;
       int64_t rows = 0;
@@ -247,18 +252,30 @@ class BufferPool {
     };
 
     /// Evicts cold idle values until live + need fits the budget. Returns
-    /// false when it ran out of victims first. Requires spill_mu_.
+    /// false when it ran out of victims first (or the scope's spill tier is
+    /// disabled after repeated hard I/O failures). Requires spill_mu_.
     bool MakeRoomLocked(int64_t need);
     /// Writes `rec`'s value to its spill file and drops the resident tensor.
-    /// Requires spill_mu_.
+    /// Transient write failures retry in place with bounded exponential
+    /// backoff; a hard failure leaves the value resident, schedules the
+    /// record for a later retry, and counts toward the per-scope disable
+    /// threshold (a full disk degrades this one query to resident-only
+    /// execution, never the whole process). Requires spill_mu_.
     bool EvictLocked(Record* rec);
-    /// Reads `rec`'s value back into a fresh tensor. Requires spill_mu_.
+    /// Reads `rec`'s value back into a fresh tensor, retrying transient
+    /// read failures the same way. Requires spill_mu_.
     Status FaultLocked(Record* rec);
     int64_t LiveBytes() const;
 
     /// Values smaller than this never register as spillable — a disk file
     /// per sub-page tensor costs more than it frees.
     static constexpr int64_t kMinSpillBytes = 4096;
+    /// In-place attempts per spill read/write before declaring the failure
+    /// hard, and hard eviction failures tolerated before the scope stops
+    /// spilling (per-query disk-full fallback: values stay resident, budget
+    /// overruns are counted, the query keeps running).
+    static constexpr int kSpillIoAttempts = 3;
+    static constexpr int kMaxEvictionFailures = 3;
 
     const int64_t budget_bytes_;
     const uint64_t scope_seq_;  // distinguishes spill files across scopes
@@ -269,6 +286,8 @@ class BufferPool {
     uint64_t clock_ = 0;
     uint64_t generation_ = 0;        // bumps when a candidate appears
     uint64_t floor_generation_ = ~uint64_t{0};  // generation at last dry scan
+    int consecutive_eviction_failures_ = 0;     // resets on any success
+    bool spill_disabled_ = false;    // latched per-query disk-full fallback
   };
 
  private:
