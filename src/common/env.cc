@@ -2,11 +2,11 @@
 
 #include <cerrno>
 #include <cstdlib>
-#include <mutex>
 #include <set>
 #include <string>
 
 #include "common/logging.h"
+#include "common/sync.h"
 
 namespace tqp {
 
@@ -16,9 +16,9 @@ namespace {
 /// call sites (and repeatedly from cached statics in tests), and a
 /// misconfigured shell must not flood stderr.
 bool ShouldWarnOnce(const char* name) {
-  static std::mutex mu;
+  static Mutex mu;
   static std::set<std::string>* warned = new std::set<std::string>();
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   return warned->insert(name).second;
 }
 

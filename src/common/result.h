@@ -21,7 +21,7 @@ namespace tqp {
 ///   TQP_ASSIGN_OR_RETURN(Tensor t, MakeTensor(...));
 /// \endcode
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a success value.
   Result(T value) : payload_(std::move(value)) {}  // NOLINT implicit

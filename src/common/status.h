@@ -36,7 +36,11 @@ const char* StatusCodeToString(StatusCode code);
 /// TQP does not use exceptions; every fallible public function returns either
 /// a `Status` or a `Result<T>` (see result.h). A default-constructed Status is
 /// OK and carries no allocation.
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping a returned Status is a
+/// compile error. A deliberately ignored status must be cast away with
+/// `(void)` and a comment saying why losing the error is acceptable.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string msg);

@@ -1,0 +1,175 @@
+#ifndef TQP_COMMON_SYNC_H_
+#define TQP_COMMON_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+/// Annotated synchronization primitives: the one place in the tree allowed to
+/// name std::mutex / std::condition_variable (tools/repo_lint.py enforces
+/// this). Everything concurrent in src/ locks through tqp::Mutex /
+/// tqp::MutexLock / tqp::CondVar so that a clang build with
+/// `-DTQP_THREAD_SAFETY=ON` (-Wthread-safety -Werror) proves the repo's lock
+/// discipline at compile time:
+///
+///  - every field a mutex guards is declared `TQP_GUARDED_BY(mu_)`;
+///  - every `*Locked()` helper declares `TQP_REQUIRES(mu_)`, so calling it
+///    without the lock — or re-locking inside it — is a build failure;
+///  - lock acquisition is scoped (MutexLock), so a leaked lock on an early
+///    return is a build failure too.
+///
+/// The attribute macros expand to Clang's thread-safety attributes under
+/// clang and to nothing elsewhere; GCC builds are unaffected. See the
+/// "Concurrency contracts & static analysis" section of README.md.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define TQP_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef TQP_THREAD_ANNOTATION
+#define TQP_THREAD_ANNOTATION(x)  // not clang: annotations compile away
+#endif
+
+/// A type that acts as a lock (clang tracks acquire/release of each instance).
+#define TQP_CAPABILITY(x) TQP_THREAD_ANNOTATION(capability(x))
+/// An RAII type whose lifetime equals a region of mutual exclusion.
+#define TQP_SCOPED_CAPABILITY TQP_THREAD_ANNOTATION(scoped_lockable)
+/// Field/variable may only be touched while holding `x`.
+#define TQP_GUARDED_BY(x) TQP_THREAD_ANNOTATION(guarded_by(x))
+/// Pointee (not the pointer) may only be touched while holding `x`.
+#define TQP_PT_GUARDED_BY(x) TQP_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Caller must hold the listed locks (the `*Locked()` helper contract).
+#define TQP_REQUIRES(...) TQP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the listed locks (held on return, not on entry).
+#define TQP_ACQUIRE(...) TQP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the listed locks (held on entry, not on return).
+#define TQP_RELEASE(...) TQP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the lock iff it returns `b`.
+#define TQP_TRY_ACQUIRE(b, ...) \
+  TQP_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+/// Caller must NOT hold the listed locks (deadlock documentation for
+/// functions that acquire them, or that call out under no lock).
+#define TQP_EXCLUDES(...) TQP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Runtime assertion that the lock is held (tells the analysis to trust it).
+#define TQP_ASSERT_CAPABILITY(x) TQP_THREAD_ANNOTATION(assert_capability(x))
+/// Function returns a reference to the lock that guards its result.
+#define TQP_RETURN_CAPABILITY(x) TQP_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch. Every use must carry an inline comment saying why the
+/// analysis cannot see the invariant that makes the code correct.
+#define TQP_NO_THREAD_SAFETY_ANALYSIS \
+  TQP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace tqp {
+
+class CondVar;
+
+/// \brief std::mutex with a capability annotation: lock discipline over this
+/// type is checked by clang's thread-safety analysis.
+class TQP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TQP_ACQUIRE() { mu_.lock(); }
+  void Unlock() TQP_RELEASE() { mu_.unlock(); }
+  bool TryLock() TQP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief Scoped lock over a tqp::Mutex (the only way the code base takes a
+/// lock). Supports an explicit Unlock/Lock pair for the rare
+/// drop-the-lock-around-a-callout pattern; the destructor releases only if
+/// still held.
+class TQP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TQP_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.Lock();
+  }
+  ~MutexLock() TQP_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// \brief Drops the lock early (e.g. to call into another lock's domain).
+  void Unlock() TQP_RELEASE() {
+    held_ = false;
+    mu_.Unlock();
+  }
+  /// \brief Re-takes the lock after an explicit Unlock.
+  void Lock() TQP_ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// \brief Condition variable bound to tqp::Mutex, absl-style: waits take the
+/// Mutex itself (not a lock object), so `TQP_REQUIRES(mu)` lets the analysis
+/// check that every wait happens with the right lock held. Internally the
+/// held std::mutex is adopted for the duration of the wait and released back
+/// to the caller's MutexLock afterwards.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) TQP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's MutexLock still owns the mutex
+  }
+
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) TQP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock, std::move(pred));
+    lock.release();
+  }
+
+  /// \brief Timed wait without a predicate; may wake spuriously, so callers
+  /// re-check their condition under the lock (the loop shape the analysis
+  /// can follow — predicates that read guarded fields belong in the caller,
+  /// not in a lambda the attributes cannot reliably annotate).
+  template <typename Rep, typename Period>
+  void WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      TQP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait_for(lock, timeout);
+    lock.release();
+  }
+
+  /// \brief Timed predicate wait; returns the predicate's final value. The
+  /// predicate runs with `mu` held but is analyzed as a separate function,
+  /// so it must only read state with its own synchronization (atomics) —
+  /// guarded fields would warn under clang. Use the predicate-less overload
+  /// plus a caller-side re-check for those.
+  template <typename Rep, typename Period, typename Pred>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout,
+               Pred pred) TQP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const bool satisfied = cv_.wait_for(lock, timeout, std::move(pred));
+    lock.release();
+    return satisfied;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_COMMON_SYNC_H_

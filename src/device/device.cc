@@ -25,7 +25,7 @@ void Device::RecordKernel(const KernelCost& cost, bool irregular) {
   // Each pass pays launch latency; memory/compute overlap within a pass.
   // The clock is a sum, so concurrent queries charge it in any order with
   // the same total.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sim_clock_sec_ +=
       passes * spec_.kernel_launch_sec + std::max(mem_sec, compute_sec);
   kernels_launched_ += cost.passes;
@@ -33,7 +33,7 @@ void Device::RecordKernel(const KernelCost& cost, bool irregular) {
 
 void Device::RecordTransfer(int64_t bytes) {
   if (!is_simulated()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sim_clock_sec_ += static_cast<double>(bytes) / spec_.pcie_bytes_per_sec;
   bytes_transferred_ += bytes;
 }

@@ -3,8 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
+
+#include "common/sync.h"
 
 namespace tqp {
 
@@ -73,20 +74,20 @@ class Device {
 
   /// \brief Simulated elapsed seconds since the last ResetClock.
   double simulated_seconds() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return sim_clock_sec_;
   }
   int64_t kernels_launched() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return kernels_launched_;
   }
   int64_t bytes_transferred() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return bytes_transferred_;
   }
 
   void ResetClock() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     sim_clock_sec_ = 0.0;
     kernels_launched_ = 0;
     bytes_transferred_ = 0;
@@ -95,10 +96,10 @@ class Device {
  private:
   DeviceKind kind_;
   AcceleratorSpec spec_;
-  mutable std::mutex mu_;
-  double sim_clock_sec_ = 0.0;
-  int64_t kernels_launched_ = 0;
-  int64_t bytes_transferred_ = 0;
+  mutable Mutex mu_;
+  double sim_clock_sec_ TQP_GUARDED_BY(mu_) = 0.0;
+  int64_t kernels_launched_ TQP_GUARDED_BY(mu_) = 0;
+  int64_t bytes_transferred_ TQP_GUARDED_BY(mu_) = 0;
 };
 
 /// \brief Returns the process-wide device object for `kind`.

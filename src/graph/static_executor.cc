@@ -42,7 +42,7 @@ StaticExecutor::StaticExecutor(std::shared_ptr<const TensorProgram> program,
 }
 
 int StaticExecutor::num_expr_fused_groups() const {
-  std::lock_guard<std::mutex> lock(fusion_mu_);
+  MutexLock lock(fusion_mu_);
   int n = 0;
   for (const GroupFusionEntry& entry : group_fusion_) {
     if (entry.program != nullptr) ++n;
@@ -155,7 +155,7 @@ std::shared_ptr<const ExprProgram> StaticExecutor::GroupFusionFor(
   }
 
   {
-    std::lock_guard<std::mutex> lock(fusion_mu_);
+    MutexLock lock(fusion_mu_);
     const GroupFusionEntry& entry = group_fusion_[step_index];
     if (entry.compiled && entry.signature == sig) {
       if (simd_out != nullptr) *simd_out = entry.simd;
@@ -201,7 +201,7 @@ std::shared_ptr<const ExprProgram> StaticExecutor::GroupFusionFor(
   }
   if (simd_out != nullptr) *simd_out = fused_simd;
 
-  std::lock_guard<std::mutex> lock(fusion_mu_);
+  MutexLock lock(fusion_mu_);
   GroupFusionEntry& entry = group_fusion_[step_index];
   entry.compiled = true;
   entry.signature = std::move(sig);

@@ -2,10 +2,10 @@
 #define TQP_GRAPH_STATIC_EXECUTOR_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "compile/expr_program.h"
 #include "graph/executor.h"
 
@@ -78,8 +78,9 @@ class StaticExecutor : public Executor {
     std::shared_ptr<const ExprProgram> program;  // null = not coverable
     std::shared_ptr<const struct ExprSimdPlan> simd;  // coverage of program
   };
-  mutable std::mutex fusion_mu_;
-  mutable std::vector<GroupFusionEntry> group_fusion_;  // indexed by step
+  mutable Mutex fusion_mu_;
+  mutable std::vector<GroupFusionEntry> group_fusion_
+      TQP_GUARDED_BY(fusion_mu_);  // indexed by step
 };
 
 }  // namespace tqp

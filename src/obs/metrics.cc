@@ -89,7 +89,7 @@ MetricsRegistry::Metric* MetricsRegistry::FindLocked(
 
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (Metric* m = FindLocked(name)) {
     return m->kind == Kind::kCounter ? m->counter.get() : nullptr;
   }
@@ -105,7 +105,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (Metric* m = FindLocked(name)) {
     return m->kind == Kind::kGauge ? m->gauge.get() : nullptr;
   }
@@ -122,7 +122,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::string& help,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (Metric* m = FindLocked(name)) {
     return m->kind == Kind::kHistogram ? m->histogram.get() : nullptr;
   }
@@ -139,7 +139,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 uint64_t MetricsRegistry::RegisterCallbackGauge(const std::string& name,
                                                 const std::string& help,
                                                 std::function<int64_t()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto m = std::make_unique<Metric>();
   m->name = name;
   m->help = help;
@@ -152,7 +152,7 @@ uint64_t MetricsRegistry::RegisterCallbackGauge(const std::string& name,
 }
 
 void MetricsRegistry::Unregister(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& m : metrics_) {
     if (m->kind == Kind::kCallback && m->callback_id == id) {
       m->unregistered = true;
@@ -162,21 +162,21 @@ void MetricsRegistry::Unregister(uint64_t id) {
 }
 
 Counter* MetricsRegistry::FindCounter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Metric* m = FindLocked(name);
   return (m != nullptr && m->kind == Kind::kCounter) ? m->counter.get()
                                                      : nullptr;
 }
 
 Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Metric* m = FindLocked(name);
   return (m != nullptr && m->kind == Kind::kHistogram) ? m->histogram.get()
                                                        : nullptr;
 }
 
 std::string MetricsRegistry::PrometheusText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   char buf[192];
   for (const auto& m : metrics_) {
@@ -228,7 +228,7 @@ std::string MetricsRegistry::PrometheusText() const {
 }
 
 std::string MetricsRegistry::JsonSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{";
   char buf[256];
   bool first = true;

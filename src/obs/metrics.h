@@ -5,9 +5,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace tqp::obs {
 
@@ -140,13 +141,13 @@ class MetricsRegistry {
     bool unregistered = false;  // callback removed; skipped in expositions
   };
 
-  Metric* FindLocked(const std::string& name) const;
+  Metric* FindLocked(const std::string& name) const TQP_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // deque-like stability: metrics are held by unique_ptr so handles survive
   // vector growth.
-  std::vector<std::unique_ptr<Metric>> metrics_;
-  uint64_t next_callback_id_ = 1;
+  std::vector<std::unique_ptr<Metric>> metrics_ TQP_GUARDED_BY(mu_);
+  uint64_t next_callback_id_ TQP_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace tqp::obs

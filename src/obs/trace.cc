@@ -84,29 +84,29 @@ TraceSession* TraceSession::Current() { return tls_trace.ctx.session; }
 
 void TraceSession::Append(TraceEvent event) {
   if (event.thread_id == 0) event.thread_id = TraceThreadId();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.push_back(std::move(event));
 }
 
 void TraceSession::AppendBatch(std::vector<TraceEvent>* events) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.insert(events_.end(), std::make_move_iterator(events->begin()),
                  std::make_move_iterator(events->end()));
   events->clear();
 }
 
 void TraceSession::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.clear();
 }
 
 std::vector<TraceEvent> TraceSession::events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 
 size_t TraceSession::num_events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_.size();
 }
 

@@ -3,9 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace tqp::obs {
 
@@ -113,8 +114,8 @@ class TraceSession {
   std::string ToChromeTrace(const std::string& process_name = "tqp") const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ TQP_GUARDED_BY(mu_);
   std::atomic<uint64_t> next_span_id_{1};
   std::atomic<uint64_t> next_query_id_{1};
 };

@@ -47,7 +47,7 @@ std::string FormatDate(int64_t days) {
   int m = 0;
   int d = 0;
   CivilFromDays(days, &y, &m, &d);
-  char buf[16];
+  char buf[32];  // %04d can widen to 11 chars for extreme int values
   std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
   return buf;
 }

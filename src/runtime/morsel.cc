@@ -22,7 +22,7 @@ AdaptiveMorselController::AdaptiveMorselController(int64_t initial_rows)
     : rows_(std::clamp(initial_rows, kMinRows, kMaxRows)) {}
 
 int64_t AdaptiveMorselController::rows() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rows_;
 }
 
@@ -30,7 +30,7 @@ void AdaptiveMorselController::Observe(int64_t rows, int64_t wall_nanos) {
   if (rows <= 0 || wall_nanos <= 0) return;
   const double per_row =
       static_cast<double>(wall_nanos) / static_cast<double>(rows);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ewma_nanos_per_row_ = ewma_nanos_per_row_ < 0.0
                             ? per_row
                             : 0.25 * per_row + 0.75 * ewma_nanos_per_row_;

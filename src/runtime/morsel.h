@@ -2,8 +2,9 @@
 #define TQP_RUNTIME_MORSEL_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace tqp::runtime {
 
@@ -59,9 +60,10 @@ class AdaptiveMorselController {
   void Observe(int64_t rows, int64_t wall_nanos);
 
  private:
-  mutable std::mutex mu_;
-  int64_t rows_;
-  double ewma_nanos_per_row_ = -1.0;  // < 0 until the first observation
+  mutable Mutex mu_;
+  int64_t rows_ TQP_GUARDED_BY(mu_);
+  /// < 0 until the first observation.
+  double ewma_nanos_per_row_ TQP_GUARDED_BY(mu_) = -1.0;
 };
 
 }  // namespace tqp::runtime

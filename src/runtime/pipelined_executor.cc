@@ -488,7 +488,7 @@ Result<std::shared_ptr<const ExprFusionPlan>> PipelinedExecutor::FusionFor(
   }
 
   {
-    std::lock_guard<std::mutex> lock(fusion_mu_);
+    MutexLock lock(fusion_mu_);
     FusionCacheEntry& entry =
         fusion_cache_[static_cast<size_t>(pipeline_index)];
     if (entry.compiled && entry.signature == sig) return entry.fusion;
@@ -576,7 +576,7 @@ Result<std::shared_ptr<const ExprFusionPlan>> PipelinedExecutor::FusionFor(
           ? nullptr
           : std::make_shared<const ExprFusionPlan>(std::move(compiled));
 
-  std::lock_guard<std::mutex> lock(fusion_mu_);
+  MutexLock lock(fusion_mu_);
   FusionCacheEntry& entry = fusion_cache_[static_cast<size_t>(pipeline_index)];
   entry.compiled = true;
   entry.signature = std::move(sig);
@@ -586,7 +586,7 @@ Result<std::shared_ptr<const ExprFusionPlan>> PipelinedExecutor::FusionFor(
 
 std::shared_ptr<const ExprFusionPlan> PipelinedExecutor::pipeline_fusion(
     int index) const {
-  std::lock_guard<std::mutex> lock(fusion_mu_);
+  MutexLock lock(fusion_mu_);
   if (index < 0 || index >= static_cast<int>(fusion_cache_.size())) {
     return nullptr;
   }
@@ -594,7 +594,7 @@ std::shared_ptr<const ExprFusionPlan> PipelinedExecutor::pipeline_fusion(
 }
 
 std::string PipelinedExecutor::pipeline_fusion_signature(int index) const {
-  std::lock_guard<std::mutex> lock(fusion_mu_);
+  MutexLock lock(fusion_mu_);
   if (index < 0 || index >= static_cast<int>(fusion_cache_.size())) {
     return std::string();
   }
@@ -602,7 +602,7 @@ std::string PipelinedExecutor::pipeline_fusion_signature(int index) const {
 }
 
 std::string PipelinedExecutor::FusionReport() const {
-  std::lock_guard<std::mutex> lock(fusion_mu_);
+  MutexLock lock(fusion_mu_);
   std::ostringstream os;
   os << "expr backend: " << ExprBackendName(expr_backend_);
   if (expr_backend_ == ExprBackend::kSimd) {

@@ -3,10 +3,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "compile/expr_program.h"
 #include "compile/pipeline.h"
 #include "graph/executor.h"
@@ -177,8 +177,8 @@ class PipelinedExecutor : public Executor {
     std::string signature;
     std::shared_ptr<const ExprFusionPlan> fusion;  // null = nothing fused
   };
-  mutable std::mutex fusion_mu_;
-  mutable std::vector<FusionCacheEntry> fusion_cache_;
+  mutable Mutex fusion_mu_;
+  mutable std::vector<FusionCacheEntry> fusion_cache_ TQP_GUARDED_BY(fusion_mu_);
 
   /// Driver-morsel evaluations (streamed pipelines only; whole-node
   /// fallbacks and breakers do not count).

@@ -99,7 +99,7 @@ std::string PlanCache::MakeKey(const std::string& normalized_sql,
 std::shared_ptr<const CompiledQuery> PlanCache::Lookup(
     const std::string& normalized_sql, const CompileOptions& options) {
   const std::string key = MakeKey(normalized_sql, options);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   // Process-wide mirror of the per-cache counters (all PlanCaches sum here).
   static obs::Counter* hits_metric = obs::MetricsRegistry::Global()->GetCounter(
@@ -123,7 +123,7 @@ void PlanCache::Insert(const std::string& normalized_sql,
                        std::shared_ptr<const CompiledQuery> plan) {
   if (capacity_ == 0) return;
   const std::string key = MakeKey(normalized_sql, options);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->plan = std::move(plan);
@@ -139,13 +139,13 @@ void PlanCache::Insert(const std::string& normalized_sql,
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
 }
 
 size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lru_.size();
 }
 

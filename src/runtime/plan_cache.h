@@ -4,10 +4,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/sync.h"
 #include "compile/compiler.h"
 
 namespace tqp::runtime {
@@ -54,9 +54,10 @@ class PlanCache {
   };
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  mutable Mutex mu_;
+  std::list<Entry> lru_ TQP_GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      TQP_GUARDED_BY(mu_);
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
 };

@@ -40,7 +40,7 @@ QueryScheduler::QueryScheduler(const Catalog* catalog, SchedulerOptions options)
 
 QueryScheduler::~QueryScheduler() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   // Drain: queued jobs still execute; wait until the last worker task has
@@ -50,14 +50,15 @@ QueryScheduler::~QueryScheduler() {
   // tasks it is waiting for, so run queued pool tasks in the meantime.
   while (true) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (active_workers_ == 0 && queued_total_ == 0) return;
     }
     if (pool_->TryRunOneTask()) continue;
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
-      return active_workers_ == 0 && queued_total_ == 0;
-    });
+    MutexLock lock(mu_);
+    // Predicate-less timed wait + re-check under the lock: the condition
+    // reads mu_-guarded fields, which a predicate lambda could not touch
+    // under the thread-safety analysis. Spurious wakeups just loop.
+    idle_cv_.WaitFor(mu_, std::chrono::milliseconds(1));
     if (active_workers_ == 0 && queued_total_ == 0) return;
   }
 }
@@ -77,7 +78,7 @@ Result<std::future<QueryOutcome>> QueryScheduler::Submit(const std::string& sql,
   if (deadline_ms > 0) job.token->SetDeadlineAfterMs(deadline_ms);
   std::future<QueryOutcome> future = job.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) {
       return Status::Invalid("scheduler is shutting down");
     }
@@ -162,7 +163,7 @@ Result<std::future<QueryOutcome>> QueryScheduler::Submit(const std::string& sql,
 bool QueryScheduler::Cancel(uint64_t query_id) {
   std::shared_ptr<CancellationToken> token;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = tokens_.find(query_id);
     if (it == tokens_.end()) return false;
     token = it->second.token;
@@ -179,7 +180,7 @@ bool QueryScheduler::Cancel(uint64_t query_id) {
 int QueryScheduler::PreemptLowPriority() {
   std::vector<std::shared_ptr<CancellationToken>> victims;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [id, entry] : tokens_) {
       (void)id;
       if (entry.priority == QueryPriority::kLow) victims.push_back(entry.token);
@@ -221,19 +222,19 @@ void QueryScheduler::WorkerBody() {
   while (true) {
     Job job;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!PopJobLocked(&job)) {
         --active_workers_;
         // Notify under mu_ so the destructor cannot tear the object down
         // between our predicate update and the notify.
-        idle_cv_.notify_all();
+        idle_cv_.NotifyAll();
         return;
       }
       ++executing_workers_;
     }
     QueryOutcome outcome = Execute(&job);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --executing_workers_;
       ++counters_.completed;
       if (!outcome.status.ok()) ++counters_.failed;
@@ -360,17 +361,17 @@ QueryOutcome QueryScheduler::Execute(Job* job) {
   // cannot cause a redundant compilation.
   std::shared_ptr<const CompiledQuery> plan;
   {
-    std::unique_lock<std::mutex> lock(compile_mu_);
+    MutexLock lock(compile_mu_);
     while (true) {
-      lock.unlock();
+      lock.Unlock();
       plan = plan_cache_.Lookup(normalized, options_.compile);
-      lock.lock();
+      lock.Lock();
       if (plan != nullptr) break;
       if (compiling_.count(normalized) == 0) {
         compiling_.insert(normalized);  // our claim; compile below
         break;
       }
-      compile_cv_.wait(lock);
+      compile_cv_.Wait(compile_mu_);
       // Woken: either the plan is cached now, or the compiling worker
       // failed (no cache entry) and the loop re-contends for the claim.
     }
@@ -399,10 +400,10 @@ QueryOutcome QueryScheduler::Execute(Job* job) {
       plan_cache_.Insert(normalized, options_.compile, plan);
     }
     {
-      std::lock_guard<std::mutex> lock(compile_mu_);
+      MutexLock lock(compile_mu_);
       compiling_.erase(normalized);
     }
-    compile_cv_.notify_all();
+    compile_cv_.NotifyAll();
     if (!compiled_or.ok()) {
       outcome.status = compiled_or.status();
       return outcome;
@@ -466,7 +467,7 @@ QueryOutcome QueryScheduler::Execute(Job* job) {
 }
 
 SchedulerCounters QueryScheduler::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_;
 }
 

@@ -2,18 +2,17 @@
 #define TQP_RUNTIME_SESSION_H_
 
 #include <array>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/sync.h"
 #include "compile/compiler.h"
 #include "obs/trace.h"
 #include "plan/catalog.h"
@@ -197,10 +196,9 @@ class QueryScheduler {
   };
 
   /// Spawns worker tasks on the pool while capacity and work both exist.
-  /// Requires mu_.
-  void DispatchLocked();
-  /// Pops the highest-priority job (FIFO within a priority). Requires mu_.
-  bool PopJobLocked(Job* job);
+  void DispatchLocked() TQP_REQUIRES(mu_);
+  /// Pops the highest-priority job (FIFO within a priority).
+  bool PopJobLocked(Job* job) TQP_REQUIRES(mu_);
   /// One worker task: drains jobs until the queue is empty, then retires.
   void WorkerBody();
   QueryOutcome Execute(Job* job);
@@ -212,29 +210,31 @@ class QueryScheduler {
   PlanCache plan_cache_;
   QueryCompiler compiler_;
 
-  mutable std::mutex mu_;
-  std::array<std::deque<Job>, kNumQueryPriorities> queues_;
+  mutable Mutex mu_;
+  std::array<std::deque<Job>, kNumQueryPriorities> queues_ TQP_GUARDED_BY(mu_);
   /// Admitted-and-not-yet-completed queries' tokens, the Cancel /
-  /// PreemptLowPriority lookup table. Guarded by mu_; entries erase when
-  /// the worker finishes the query.
+  /// PreemptLowPriority lookup table; entries erase when the worker finishes
+  /// the query.
   struct TokenEntry {
     std::shared_ptr<CancellationToken> token;
     QueryPriority priority = QueryPriority::kNormal;
   };
-  std::unordered_map<uint64_t, TokenEntry> tokens_;
-  uint64_t next_query_id_ = 1;
-  size_t queued_total_ = 0;
-  int active_workers_ = 0;    // worker tasks spawned and not yet retired
-  int executing_workers_ = 0;  // workers currently inside Execute()
-  bool shutdown_ = false;
-  SchedulerCounters counters_;
-  std::condition_variable idle_cv_;  // destructor waits for drain
+  std::unordered_map<uint64_t, TokenEntry> tokens_ TQP_GUARDED_BY(mu_);
+  uint64_t next_query_id_ TQP_GUARDED_BY(mu_) = 1;
+  size_t queued_total_ TQP_GUARDED_BY(mu_) = 0;
+  /// Worker tasks spawned and not yet retired.
+  int active_workers_ TQP_GUARDED_BY(mu_) = 0;
+  /// Workers currently inside Execute().
+  int executing_workers_ TQP_GUARDED_BY(mu_) = 0;
+  bool shutdown_ TQP_GUARDED_BY(mu_) = false;
+  SchedulerCounters counters_ TQP_GUARDED_BY(mu_);
+  CondVar idle_cv_;  // destructor waits for drain
 
   // In-flight compilation dedup: concurrent workers with the same normalized
   // statement wait for the first compilation instead of compiling redundantly.
-  std::mutex compile_mu_;
-  std::condition_variable compile_cv_;
-  std::set<std::string> compiling_;
+  Mutex compile_mu_;
+  CondVar compile_cv_;
+  std::set<std::string> compiling_ TQP_GUARDED_BY(compile_mu_);
 };
 
 /// \brief A client handle onto a scheduler: convenience sync/async execution

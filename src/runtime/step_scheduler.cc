@@ -29,7 +29,7 @@ StepScheduler::StepScheduler(ThreadPool* pool, int max_inflight)
 StepScheduler::~StepScheduler() {
   while (true) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (inflight_ == 0 && ready_total_ == 0) return;
     }
     if (pool_->TryRunOneTask()) continue;
@@ -71,7 +71,7 @@ void StepScheduler::Submit(std::function<void()> step, int priority) {
   }
   bool spawn = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ready_[static_cast<size_t>(priority)].push_back(std::move(step));
     ++ready_total_;
     ++submitted_[static_cast<size_t>(priority)];
@@ -117,7 +117,7 @@ void StepScheduler::PumpOne() {
   obs::TraceContext trace_mask(nullptr, 0);
   std::function<void()> step;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!PopReadyLocked(&step)) {
       --inflight_;
       return;
@@ -131,7 +131,7 @@ void StepScheduler::PumpOne() {
   executed_metric->Add(1);
   bool more;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++executed_;
     more = ready_total_ > 0;
     if (!more) --inflight_;
@@ -144,12 +144,12 @@ void StepScheduler::PumpOne() {
 
 std::array<int64_t, StepScheduler::kNumPriorities> StepScheduler::submitted()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return submitted_;
 }
 
 int64_t StepScheduler::executed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return executed_;
 }
 

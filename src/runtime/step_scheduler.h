@@ -5,8 +5,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 
+#include "common/sync.h"
 #include "runtime/thread_pool.h"
 
 namespace tqp::runtime {
@@ -84,19 +84,21 @@ class StepScheduler {
   static int CurrentPriority();
 
  private:
-  /// Pops the highest-priority ready step. Requires mu_.
-  bool PopReadyLocked(std::function<void()>* step);
+  /// Pops the highest-priority ready step.
+  bool PopReadyLocked(std::function<void()>* step) TQP_REQUIRES(mu_);
   /// One pump: run at most one step, then re-submit while work remains.
   void PumpOne();
 
   ThreadPool* pool_;
   const int max_inflight_;
-  mutable std::mutex mu_;
-  std::array<std::deque<std::function<void()>>, kNumPriorities> ready_;
-  size_t ready_total_ = 0;
-  int inflight_ = 0;  // pump tasks handed to the pool and not yet retired
-  std::array<int64_t, kNumPriorities> submitted_{};
-  int64_t executed_ = 0;
+  mutable Mutex mu_;
+  std::array<std::deque<std::function<void()>>, kNumPriorities> ready_
+      TQP_GUARDED_BY(mu_);
+  size_t ready_total_ TQP_GUARDED_BY(mu_) = 0;
+  /// Pump tasks handed to the pool and not yet retired.
+  int inflight_ TQP_GUARDED_BY(mu_) = 0;
+  std::array<int64_t, kNumPriorities> submitted_ TQP_GUARDED_BY(mu_){};
+  int64_t executed_ TQP_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tqp::runtime

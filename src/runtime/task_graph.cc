@@ -3,11 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 
 #include "common/logging.h"
+#include "common/sync.h"
 #include "runtime/step_scheduler.h"
 
 namespace tqp::runtime {
@@ -50,9 +49,9 @@ Status TaskGraph::RunImpl(ThreadPool* pool, StepScheduler* steps) {
     std::vector<std::atomic<int>> pending;  // unfinished deps per task
     std::atomic<int> completed{0};
     std::atomic<bool> failed{false};
-    std::mutex mu;
-    Status first_error = Status::OK();
-    std::condition_variable done_cv;
+    Mutex mu;
+    Status first_error TQP_GUARDED_BY(mu) = Status::OK();
+    CondVar done_cv;
   };
   auto state = std::make_shared<RunState>(n);
   for (int i = 0; i < n; ++i) {
@@ -73,7 +72,7 @@ Status TaskGraph::RunImpl(ThreadPool* pool, StepScheduler* steps) {
       if (!state->failed.load(std::memory_order_acquire)) {
         Status st = node.fn();
         if (!st.ok()) {
-          std::lock_guard<std::mutex> lock(state->mu);
+          MutexLock lock(state->mu);
           if (state->first_error.ok()) state->first_error = std::move(st);
           state->failed.store(true, std::memory_order_release);
         }
@@ -87,8 +86,8 @@ Status TaskGraph::RunImpl(ThreadPool* pool, StepScheduler* steps) {
         }
       }
       if (state->completed.fetch_add(1, std::memory_order_acq_rel) == num_tasks() - 1) {
-        std::lock_guard<std::mutex> lock(state->mu);
-        state->done_cv.notify_all();
+        MutexLock lock(state->mu);
+        state->done_cv.NotifyAll();
       }
     };
     if (steps != nullptr) {
@@ -106,12 +105,12 @@ Status TaskGraph::RunImpl(ThreadPool* pool, StepScheduler* steps) {
   // worker; beneficial otherwise).
   while (state->completed.load(std::memory_order_acquire) < n) {
     if (pool->TryRunOneTask()) continue;
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->done_cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+    MutexLock lock(state->mu);
+    state->done_cv.WaitFor(state->mu, std::chrono::milliseconds(1), [&] {
       return state->completed.load(std::memory_order_acquire) >= n;
     });
   }
-  std::lock_guard<std::mutex> lock(state->mu);
+  MutexLock lock(state->mu);
   return state->first_error;
 }
 

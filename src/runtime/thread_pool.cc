@@ -77,8 +77,8 @@ ThreadPool::~ThreadPool() {
   // Same empty critical section as Submit: a worker that read stop_==false
   // under wake_mu_ must be fully asleep before the notify, or it would miss
   // it and hang this join forever.
-  { std::lock_guard<std::mutex> wake_lock(wake_mu_); }
-  wake_cv_.notify_all();
+  { MutexLock wake_lock(wake_mu_); }
+  wake_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -135,15 +135,15 @@ void ThreadPool::Submit(std::function<void()> task) {
                               workers_.size());
   }
   {
-    std::lock_guard<std::mutex> lock(workers_[static_cast<size_t>(target)]->mu);
+    MutexLock lock(workers_[static_cast<size_t>(target)]->mu);
     workers_[static_cast<size_t>(target)]->queue.push_back(std::move(task));
   }
   queued_.fetch_add(1, std::memory_order_release);
   // Empty critical section: a worker that evaluated the wait predicate before
   // our increment is either fully asleep (notify reaches it) or still holds
   // wake_mu_ and will re-check the predicate — no lost wakeup either way.
-  { std::lock_guard<std::mutex> wake_lock(wake_mu_); }
-  wake_cv_.notify_one();
+  { MutexLock wake_lock(wake_mu_); }
+  wake_cv_.NotifyOne();
 }
 
 bool ThreadPool::PopTask(int self_index, std::function<void()>* task) {
@@ -151,7 +151,7 @@ bool ThreadPool::PopTask(int self_index, std::function<void()>* task) {
   // Own queue first (LIFO), then steal round-robin (FIFO).
   if (self_index >= 0) {
     Worker& own = *workers_[static_cast<size_t>(self_index)];
-    std::lock_guard<std::mutex> lock(own.mu);
+    MutexLock lock(own.mu);
     if (!own.queue.empty()) {
       *task = std::move(own.queue.back());
       own.queue.pop_back();
@@ -161,7 +161,7 @@ bool ThreadPool::PopTask(int self_index, std::function<void()>* task) {
   const int start = self_index >= 0 ? self_index + 1 : 0;
   for (int k = 0; k < n; ++k) {
     Worker& victim = *workers_[static_cast<size_t>((start + k) % n)];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    MutexLock lock(victim.mu);
     if (!victim.queue.empty()) {
       *task = std::move(victim.queue.front());
       victim.queue.pop_front();
@@ -197,8 +197,8 @@ void ThreadPool::WorkerLoop(int index) {
       tasks_executed_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_cv_.wait(lock, [this] {
+    MutexLock lock(wake_mu_);
+    wake_cv_.Wait(wake_mu_, [this] {
       return stop_.load(std::memory_order_acquire) ||
              queued_.load(std::memory_order_acquire) > 0;
     });
@@ -221,9 +221,9 @@ Status ThreadPool::ParallelFor(
     std::atomic<int64_t> cursor{0};
     std::atomic<int> unfinished_helpers{0};
     std::atomic<bool> failed{false};
-    std::mutex mu;
-    Status first_error = Status::OK();
-    std::condition_variable done_cv;
+    Mutex mu;
+    Status first_error TQP_GUARDED_BY(mu) = Status::OK();
+    CondVar done_cv;
   };
   auto state = std::make_shared<ForState>();
 
@@ -234,7 +234,7 @@ Status ThreadPool::ParallelFor(
       // here, so a cancelled query stops within one morsel everywhere, not
       // just at pipeline step boundaries.
       if (Status st = CheckAmbientCancelled(); !st.ok()) {
-        std::lock_guard<std::mutex> lock(state->mu);
+        MutexLock lock(state->mu);
         if (state->first_error.ok()) state->first_error = std::move(st);
         state->failed.store(true, std::memory_order_release);
         break;
@@ -245,7 +245,7 @@ Status ThreadPool::ParallelFor(
       const int64_t end = std::min(total, begin + morsel_rows);
       Status st = fn(begin, end, slot);
       if (!st.ok()) {
-        std::lock_guard<std::mutex> lock(state->mu);
+        MutexLock lock(state->mu);
         if (state->first_error.ok()) state->first_error = std::move(st);
         state->failed.store(true, std::memory_order_release);
       }
@@ -260,8 +260,8 @@ Status ThreadPool::ParallelFor(
     Submit([state, drain, h] {
       drain(h + 1);
       if (state->unfinished_helpers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(state->mu);
-        state->done_cv.notify_all();
+        MutexLock lock(state->mu);
+        state->done_cv.NotifyAll();
       }
     });
   }
@@ -272,12 +272,12 @@ Status ThreadPool::ParallelFor(
   // it here is what makes nested waits deadlock-free.
   while (state->unfinished_helpers.load(std::memory_order_acquire) > 0) {
     if (TryRunOneTask()) continue;
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->done_cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+    MutexLock lock(state->mu);
+    state->done_cv.WaitFor(state->mu, std::chrono::milliseconds(1), [&] {
       return state->unfinished_helpers.load(std::memory_order_acquire) == 0;
     });
   }
-  std::lock_guard<std::mutex> lock(state->mu);
+  MutexLock lock(state->mu);
   return state->first_error;
 }
 

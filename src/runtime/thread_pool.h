@@ -2,16 +2,15 @@
 #define TQP_RUNTIME_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 
 namespace tqp::runtime {
 
@@ -86,8 +85,8 @@ class ThreadPool {
 
  private:
   struct Worker {
-    std::deque<std::function<void()>> queue;
-    std::mutex mu;
+    Mutex mu;
+    std::deque<std::function<void()>> queue TQP_GUARDED_BY(mu);
   };
 
   void WorkerLoop(int index);
@@ -95,8 +94,11 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
+  /// Sleep/wake handshake only: the predicate state (queued_, stop_) is
+  /// atomic, and the empty critical sections in Submit/~ThreadPool pair with
+  /// the wait in WorkerLoop to rule out lost wakeups.
+  Mutex wake_mu_;
+  CondVar wake_cv_;
   std::atomic<int64_t> queued_{0};
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> next_queue_{0};

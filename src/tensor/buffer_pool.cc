@@ -59,7 +59,7 @@ void SpillRetryBackoff(int attempt) {
 }  // namespace
 
 void DischargeQueryMemory(QueryMemoryLedger* ledger, int64_t bytes) {
-  std::lock_guard<std::mutex> lock(ledger->mu);
+  MutexLock lock(ledger->mu);
   ledger->stats.live_bytes -= bytes;
 }
 
@@ -144,7 +144,7 @@ uint8_t* BufferPool::Acquire(int64_t size, int64_t* alloc_size) {
     if (mem == nullptr) return nullptr;
     std::memset(mem, 0, static_cast<size_t>(alloc));
     *alloc_size = alloc;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.bypass;
     stats_.live_bytes += alloc;
     stats_.peak_live_bytes = std::max(stats_.peak_live_bytes, stats_.live_bytes);
@@ -154,7 +154,7 @@ uint8_t* BufferPool::Acquire(int64_t size, int64_t* alloc_size) {
   *alloc_size = alloc;
   uint8_t* mem = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.allocations;
     auto& free_list = free_lists_[cls];
     if (!free_list.empty()) {
@@ -173,7 +173,7 @@ uint8_t* BufferPool::Acquire(int64_t size, int64_t* alloc_size) {
     mem = static_cast<uint8_t*>(
         std::aligned_alloc(static_cast<size_t>(kAlignment), static_cast<size_t>(alloc)));
     if (mem == nullptr) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --stats_.pool_misses;
       --stats_.allocations;
       stats_.live_bytes -= alloc;
@@ -194,7 +194,7 @@ void BufferPool::Release(uint8_t* data, int64_t alloc_size) {
   if (data == nullptr) return;
   const int cls = ClassIndex(alloc_size);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.live_bytes -= alloc_size;
     if (cls >= 0 && (int64_t{1} << (kMinClassLog2 + cls)) == alloc_size &&
         stats_.cached_bytes + alloc_size <= max_cached_bytes_) {
@@ -207,17 +207,17 @@ void BufferPool::Release(uint8_t* data, int64_t alloc_size) {
 }
 
 BufferPoolStats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void BufferPool::ResetPeak() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_.peak_live_bytes = stats_.live_bytes;
 }
 
 void BufferPool::Trim() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& free_list : free_lists_) {
     for (uint8_t* mem : free_list) std::free(mem);
     free_list.clear();
@@ -231,11 +231,14 @@ BufferPool::QueryScope::QueryScope(int64_t budget_bytes)
     : budget_bytes_(std::max<int64_t>(0, budget_bytes)),
       scope_seq_(NextScopeSeq()),
       ledger_(std::make_shared<QueryMemoryLedger>()) {
+  // The ledger is not shared until this constructor returns, but the lock
+  // keeps the guarded-field contract unconditional (and is uncontended).
+  MutexLock lock(ledger_->mu);
   ledger_->stats.budget_bytes = budget_bytes_;
 }
 
 BufferPool::QueryScope::~QueryScope() {
-  std::lock_guard<std::mutex> lock(spill_mu_);
+  MutexLock lock(spill_mu_);
   for (auto& [id, rec] : records_) {
     (void)id;
     if (rec.on_disk && !rec.path.empty()) std::remove(rec.path.c_str());
@@ -255,12 +258,12 @@ BufferPool::QueryScope::Attach::Attach(QueryScope* scope)
 BufferPool::QueryScope::Attach::~Attach() { tls_query_scope = prev_; }
 
 QueryMemoryStats BufferPool::QueryScope::stats() const {
-  std::lock_guard<std::mutex> lock(ledger_->mu);
+  MutexLock lock(ledger_->mu);
   return ledger_->stats;
 }
 
 int64_t BufferPool::QueryScope::LiveBytes() const {
-  std::lock_guard<std::mutex> lock(ledger_->mu);
+  MutexLock lock(ledger_->mu);
   return ledger_->stats.live_bytes;
 }
 
@@ -275,18 +278,18 @@ std::shared_ptr<QueryMemoryLedger> BufferPool::QueryScope::ChargeForAllocation(
   // The spill tier's own fault-back allocations skip the lock (their caller
   // already holds spill_mu_ and made room).
   if (budget_bytes_ > 0 && !tls_in_spill_io) {
-    std::lock_guard<std::mutex> lock(spill_mu_);
+    MutexLock lock(spill_mu_);
     if (!MakeRoomLocked(bytes)) {
-      std::lock_guard<std::mutex> ledger_lock(ledger_->mu);
+      MutexLock ledger_lock(ledger_->mu);
       ++ledger_->stats.budget_overruns;
     }
-    std::lock_guard<std::mutex> ledger_lock(ledger_->mu);
+    MutexLock ledger_lock(ledger_->mu);
     ledger_->stats.live_bytes += bytes;
     ledger_->stats.peak_live_bytes =
         std::max(ledger_->stats.peak_live_bytes, ledger_->stats.live_bytes);
     return ledger_;
   }
-  std::lock_guard<std::mutex> lock(ledger_->mu);
+  MutexLock lock(ledger_->mu);
   ledger_->stats.live_bytes += bytes;
   ledger_->stats.peak_live_bytes =
       std::max(ledger_->stats.peak_live_bytes, ledger_->stats.live_bytes);
@@ -300,7 +303,7 @@ uint64_t BufferPool::QueryScope::AddSpillable(Tensor* slot) {
       !slot->owns_data() || slot->nbytes() < kMinSpillBytes) {
     return 0;
   }
-  std::lock_guard<std::mutex> lock(spill_mu_);
+  MutexLock lock(spill_mu_);
   const uint64_t id = next_id_++;
   Record& rec = records_[id];
   rec.slot = slot;
@@ -312,7 +315,7 @@ uint64_t BufferPool::QueryScope::AddSpillable(Tensor* slot) {
 
 Status BufferPool::QueryScope::Pin(uint64_t id) {
   if (id == 0) return Status::OK();
-  std::lock_guard<std::mutex> lock(spill_mu_);
+  MutexLock lock(spill_mu_);
   auto it = records_.find(id);
   if (it == records_.end()) return Status::OK();
   Record& rec = it->second;
@@ -326,7 +329,7 @@ Status BufferPool::QueryScope::Pin(uint64_t id) {
 
 void BufferPool::QueryScope::Unpin(uint64_t id) {
   if (id == 0) return;
-  std::lock_guard<std::mutex> lock(spill_mu_);
+  MutexLock lock(spill_mu_);
   auto it = records_.find(id);
   if (it == records_.end()) return;
   Record& rec = it->second;
@@ -337,7 +340,7 @@ void BufferPool::QueryScope::Unpin(uint64_t id) {
 
 void BufferPool::QueryScope::Drop(uint64_t id) {
   if (id == 0) return;
-  std::lock_guard<std::mutex> lock(spill_mu_);
+  MutexLock lock(spill_mu_);
   auto it = records_.find(id);
   if (it == records_.end()) return;
   if (it->second.on_disk && !it->second.path.empty()) {
@@ -457,7 +460,7 @@ bool BufferPool::QueryScope::EvictLocked(Record* rec) {
       obs::MetricsRegistry::Global()->GetCounter(
           "tqp_spilled_bytes_total", "Bytes written to the disk spill tier");
   spilled_bytes_metric->Add(rec->file_bytes);
-  std::lock_guard<std::mutex> lock(ledger_->mu);
+  MutexLock lock(ledger_->mu);
   ++ledger_->stats.spill_events;
   ledger_->stats.spilled_bytes += rec->file_bytes;
   ledger_->stats.spilled_now_bytes += rec->file_bytes;
@@ -469,7 +472,7 @@ Status BufferPool::QueryScope::FaultLocked(Record* rec) {
   // if nothing idle is left the fault proceeds anyway — the reader needs
   // the bytes resident.
   if (!MakeRoomLocked(AllocSizeFor(rec->file_bytes))) {
-    std::lock_guard<std::mutex> lock(ledger_->mu);
+    MutexLock lock(ledger_->mu);
     ++ledger_->stats.budget_overruns;
   }
   tls_in_spill_io = true;
@@ -507,7 +510,7 @@ Status BufferPool::QueryScope::FaultLocked(Record* rec) {
           "tqp_fault_events_total",
           "Spilled tensors faulted back from disk on first touch");
   fault_events_metric->Add(1);
-  std::lock_guard<std::mutex> lock(ledger_->mu);
+  MutexLock lock(ledger_->mu);
   ++ledger_->stats.fault_events;
   ledger_->stats.faulted_bytes += rec->file_bytes;
   ledger_->stats.spilled_now_bytes -= rec->file_bytes;

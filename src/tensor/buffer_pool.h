@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "device/device.h"
 #include "tensor/dtype.h"
 
@@ -64,8 +64,8 @@ struct QueryMemoryStats {
 /// returned to the caller), so they hold the ledger by shared_ptr and
 /// discharge into it whenever they die.
 struct QueryMemoryLedger {
-  std::mutex mu;
-  QueryMemoryStats stats;
+  Mutex mu;
+  QueryMemoryStats stats TQP_GUARDED_BY(mu);
 };
 
 /// \brief Internal: ~Buffer returns its charged bytes to the owning query.
@@ -253,18 +253,18 @@ class BufferPool {
 
     /// Evicts cold idle values until live + need fits the budget. Returns
     /// false when it ran out of victims first (or the scope's spill tier is
-    /// disabled after repeated hard I/O failures). Requires spill_mu_.
-    bool MakeRoomLocked(int64_t need);
+    /// disabled after repeated hard I/O failures).
+    bool MakeRoomLocked(int64_t need) TQP_REQUIRES(spill_mu_);
     /// Writes `rec`'s value to its spill file and drops the resident tensor.
     /// Transient write failures retry in place with bounded exponential
     /// backoff; a hard failure leaves the value resident, schedules the
     /// record for a later retry, and counts toward the per-scope disable
     /// threshold (a full disk degrades this one query to resident-only
-    /// execution, never the whole process). Requires spill_mu_.
-    bool EvictLocked(Record* rec);
+    /// execution, never the whole process).
+    bool EvictLocked(Record* rec) TQP_REQUIRES(spill_mu_);
     /// Reads `rec`'s value back into a fresh tensor, retrying transient
-    /// read failures the same way. Requires spill_mu_.
-    Status FaultLocked(Record* rec);
+    /// read failures the same way.
+    Status FaultLocked(Record* rec) TQP_REQUIRES(spill_mu_);
     int64_t LiveBytes() const;
 
     /// Values smaller than this never register as spillable — a disk file
@@ -280,14 +280,21 @@ class BufferPool {
     const int64_t budget_bytes_;
     const uint64_t scope_seq_;  // distinguishes spill files across scopes
     std::shared_ptr<QueryMemoryLedger> ledger_;
-    mutable std::mutex spill_mu_;
-    std::unordered_map<uint64_t, Record> records_;
-    uint64_t next_id_ = 1;
-    uint64_t clock_ = 0;
-    uint64_t generation_ = 0;        // bumps when a candidate appears
-    uint64_t floor_generation_ = ~uint64_t{0};  // generation at last dry scan
-    int consecutive_eviction_failures_ = 0;     // resets on any success
-    bool spill_disabled_ = false;    // latched per-query disk-full fallback
+    /// Lock order: spill_mu_ -> ledger_->mu, everywhere. (EvictLocked drops
+    /// the resident tensor while holding spill_mu_, and ~Buffer discharges
+    /// into the ledger, so the ledger lock nests inside the registry lock.)
+    mutable Mutex spill_mu_;
+    std::unordered_map<uint64_t, Record> records_ TQP_GUARDED_BY(spill_mu_);
+    uint64_t next_id_ TQP_GUARDED_BY(spill_mu_) = 1;
+    uint64_t clock_ TQP_GUARDED_BY(spill_mu_) = 0;
+    /// Bumps when a candidate appears.
+    uint64_t generation_ TQP_GUARDED_BY(spill_mu_) = 0;
+    /// Generation at last dry scan.
+    uint64_t floor_generation_ TQP_GUARDED_BY(spill_mu_) = ~uint64_t{0};
+    /// Resets on any success.
+    int consecutive_eviction_failures_ TQP_GUARDED_BY(spill_mu_) = 0;
+    /// Latched per-query disk-full fallback.
+    bool spill_disabled_ TQP_GUARDED_BY(spill_mu_) = false;
   };
 
  private:
@@ -300,9 +307,9 @@ class BufferPool {
   static int ClassIndex(int64_t size);
 
   const int64_t max_cached_bytes_;
-  mutable std::mutex mu_;
-  std::vector<uint8_t*> free_lists_[kNumClasses];
-  BufferPoolStats stats_;
+  mutable Mutex mu_;
+  std::vector<uint8_t*> free_lists_[kNumClasses] TQP_GUARDED_BY(mu_);
+  BufferPoolStats stats_ TQP_GUARDED_BY(mu_);
 };
 
 /// \brief Resolves and attaches the query-memory scope for one executor run:

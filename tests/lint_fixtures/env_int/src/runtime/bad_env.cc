@@ -1,0 +1,13 @@
+// Golden fixture: must trigger exactly the `env-int` rule.
+#include <cstdlib>
+
+namespace tqp::runtime {
+
+int ThreadCountFromEnv() {
+  // Raw atoi of an integer knob: garbage silently truncates to 0 instead of
+  // going through EnvInt64OrDefault's bounds-checked parse.
+  const char* v = std::getenv("TQP_THREADS");
+  return v != nullptr ? std::atoi(v) : 0;
+}
+
+}  // namespace tqp::runtime

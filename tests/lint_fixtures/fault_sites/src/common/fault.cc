@@ -1,0 +1,13 @@
+// Golden fixture (see fault.h): table covers only one of the two enum members.
+#include "common/fault.h"
+
+namespace tqp {
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kSpillWrite: return "spill_write";
+    default: return "unknown";
+  }
+}
+
+}  // namespace tqp

@@ -1,0 +1,21 @@
+// Golden fixture: must trigger exactly the `fault-sites` rule.
+// Drift on every axis the rule checks: kNumFaultSites is stale, the
+// FaultSiteName table is missing a member, the README documents a site that
+// no longer exists, and kGhostSeam is never polled anywhere.
+#ifndef FIXTURE_FAULT_H_
+#define FIXTURE_FAULT_H_
+
+namespace tqp {
+
+enum class FaultSite : int {
+  kSpillWrite = 0,
+  kGhostSeam = 1,
+};
+
+inline constexpr int kNumFaultSites = 3;
+
+const char* FaultSiteName(FaultSite site);
+
+}  // namespace tqp
+
+#endif  // FIXTURE_FAULT_H_

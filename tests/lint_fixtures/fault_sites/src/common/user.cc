@@ -1,0 +1,8 @@
+// Golden fixture: polls kSpillWrite so only kGhostSeam is the dead seam.
+#include "common/fault.h"
+
+namespace tqp {
+
+bool MaybeFailWrite() { return FaultHit(FaultSite::kSpillWrite); }
+
+}  // namespace tqp

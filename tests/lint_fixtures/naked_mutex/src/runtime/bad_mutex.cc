@@ -1,0 +1,13 @@
+// Golden fixture: must trigger exactly the `naked-mutex` rule.
+#include <mutex>
+
+namespace tqp::runtime {
+
+std::mutex raw_mu;  // locking outside the annotated sync.h wrappers
+
+int Bump(int* counter) {
+  std::lock_guard<std::mutex> lock(raw_mu);
+  return ++*counter;
+}
+
+}  // namespace tqp::runtime

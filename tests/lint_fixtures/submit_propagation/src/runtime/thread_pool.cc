@@ -1,0 +1,23 @@
+// Golden fixture: must trigger exactly the `submit-propagation` rule.
+// This Submit re-attaches the query-memory scope and the cancellation token
+// but forgets the trace context — the exact bug class the rule exists for.
+
+namespace tqp::runtime {
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (auto* scope = BufferPool::QueryScope::Current(); scope != nullptr) {
+    task = [scope, inner = std::move(task)] {
+      BufferPool::QueryScope::Attach attach(scope);
+      inner();
+    };
+  }
+  if (auto* token = CancellationToken::Current(); token != nullptr) {
+    task = [token, inner = std::move(task)] {
+      CancellationToken::Attach attach(token);
+      inner();
+    };
+  }
+  Enqueue(std::move(task));
+}
+
+}  // namespace tqp::runtime

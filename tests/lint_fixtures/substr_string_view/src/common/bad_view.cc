@@ -1,0 +1,14 @@
+// Golden fixture: must trigger exactly the `substr-string-view` rule.
+#include <string>
+#include <string_view>
+
+namespace tqp {
+
+std::string_view Scheme(const std::string& url) {
+  // std::string::substr returns a temporary string; the view dangles the
+  // moment this statement ends.
+  std::string_view scheme = url.substr(0, url.find(':'));
+  return scheme;
+}
+
+}  // namespace tqp

@@ -185,7 +185,9 @@ TEST(GraceJoinTest, BitIdenticalAcrossThreadsBitsAndBudgets) {
         }
         // The 64 KiB budget forces MaxPartitionRows down to the floor, so
         // the 4-partition split (5000 build rows each) must recurse.
-        if (bits == 2 && budget > 0) EXPECT_GT(stats.repartitions, 0) << what;
+        if (bits == 2 && budget > 0) {
+          EXPECT_GT(stats.repartitions, 0) << what;
+        }
       }
     }
   }
